@@ -1,0 +1,134 @@
+//! Criterion benches mirroring the paper's figures at reduced scale.
+//!
+//! One group per figure; within a group, one benchmark per
+//! (variant, thread-count) cell, measuring the total completion time of
+//! the workload exactly as the figure binaries do (`iter_custom`
+//! returns the workload's own wall-clock measurement). For paper-scale
+//! numbers use the `harness` binaries; these benches exist so
+//! `cargo bench` regenerates every figure's data in minutes and guards
+//! against performance regressions.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use harness::{SchedPolicy, Variant};
+
+/// Iterations per thread per workload run (paper: 1,000,000).
+const ITERS: usize = 2_000;
+/// 50%-enqueues prefill (paper: 1000).
+const PREFILL: usize = 1000;
+/// Thread counts sampled from the paper's 1..=16 sweep.
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+fn bench_fig7(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7_pairs");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(3));
+    for &threads in &THREADS {
+        for v in Variant::FIG7 {
+            g.bench_with_input(
+                BenchmarkId::new(v.label().replace(' ', "_"), threads),
+                &threads,
+                |b, &t| {
+                    b.iter_custom(|n| {
+                        let mut total = Duration::ZERO;
+                        for _ in 0..n {
+                            total += v.run_pairs(t, ITERS, SchedPolicy::Unpinned);
+                        }
+                        total
+                    });
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8_fifty_fifty");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(3));
+    for &threads in &THREADS {
+        for v in Variant::FIG7 {
+            g.bench_with_input(
+                BenchmarkId::new(v.label().replace(' ', "_"), threads),
+                &threads,
+                |b, &t| {
+                    b.iter_custom(|n| {
+                        let mut total = Duration::ZERO;
+                        for _ in 0..n {
+                            total += v.run_fifty_fifty(t, ITERS, PREFILL, SchedPolicy::Unpinned);
+                        }
+                        total
+                    });
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_fig9(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9_ablation");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(3));
+    for &threads in &THREADS {
+        for v in Variant::FIG9 {
+            g.bench_with_input(
+                BenchmarkId::new(v.label().replace(' ', "_"), threads),
+                &threads,
+                |b, &t| {
+                    b.iter_custom(|n| {
+                        let mut total = Duration::ZERO;
+                        for _ in 0..n {
+                            total += v.run_pairs(t, ITERS, SchedPolicy::Unpinned);
+                        }
+                        total
+                    });
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+/// Figure 10's time-axis counterpart: the live-byte measurement itself
+/// runs in the `fig10` binary (it needs to own the global allocator);
+/// here we bench the *throughput* effect of resident queue size, the
+/// other observable of that experiment.
+fn bench_fig10_resident_size(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10_resident_size");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(3));
+    for size in [0usize, 1_000, 100_000] {
+        for v in [Variant::Lf, Variant::WfOptBoth] {
+            g.bench_with_input(
+                BenchmarkId::new(v.label().replace(' ', "_"), size),
+                &size,
+                |b, &size| {
+                    b.iter_custom(|n| {
+                        let mut total = Duration::ZERO;
+                        for _ in 0..n {
+                            total += v.run_fifty_fifty(4, ITERS, size, SchedPolicy::Unpinned);
+                        }
+                        total
+                    });
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(
+    figures,
+    bench_fig7,
+    bench_fig8,
+    bench_fig9,
+    bench_fig10_resident_size
+);
+criterion_main!(figures);

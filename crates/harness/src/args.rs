@@ -1,0 +1,119 @@
+//! A tiny `--key value` argument parser shared by the figure binaries
+//! (no external CLI dependency needed for five flags).
+
+use std::collections::HashMap;
+
+/// Parsed command-line options.
+#[derive(Debug, Default)]
+pub struct Args {
+    values: HashMap<String, String>,
+}
+
+impl Args {
+    /// Parses `--key value` pairs from `std::env::args`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (with a usage hint) on a dangling `--key` or a token that
+    /// does not start with `--`.
+    pub fn from_env() -> Self {
+        Self::from_iter(std::env::args().skip(1))
+    }
+
+    /// Parses from an explicit token stream (testable).
+    pub fn from_iter(tokens: impl IntoIterator<Item = String>) -> Self {
+        let mut values = HashMap::new();
+        let mut iter = tokens.into_iter();
+        while let Some(key) = iter.next() {
+            let stripped = key
+                .strip_prefix("--")
+                .unwrap_or_else(|| panic!("expected --flag, got {key:?}"));
+            let value = iter
+                .next()
+                .unwrap_or_else(|| panic!("flag --{stripped} needs a value"));
+            values.insert(stripped.to_string(), value);
+        }
+        Args { values }
+    }
+
+    /// String value of `key`, if present.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(String::as_str)
+    }
+
+    /// Parsed value of `key`, or `default`.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> T
+    where
+        T::Err: std::fmt::Debug,
+    {
+        match self.values.get(key) {
+            Some(v) => v
+                .parse()
+                .unwrap_or_else(|e| panic!("bad value for --{key}: {v:?} ({e:?})")),
+            None => default,
+        }
+    }
+}
+
+/// Standard knobs shared by the figure binaries.
+#[derive(Debug, Clone)]
+pub struct BenchArgs {
+    /// Maximum thread count swept (1..=max_threads). Paper: 16.
+    pub max_threads: usize,
+    /// Iterations per thread. Paper: 1,000,000.
+    pub iters: usize,
+    /// Repetitions per data point. Paper: 10.
+    pub reps: usize,
+    /// Output directory for CSV files.
+    pub out_dir: String,
+}
+
+impl BenchArgs {
+    /// Parses the standard knobs with reproduction-scale defaults
+    /// (paper-scale runs: `--iters 1000000 --reps 10`).
+    pub fn parse(args: &Args) -> Self {
+        BenchArgs {
+            max_threads: args.get_or("max-threads", 16),
+            iters: args.get_or("iters", 20_000),
+            reps: args.get_or("reps", 3),
+            out_dir: args.get("out-dir").unwrap_or("results").to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_pairs() {
+        let a = Args::from_iter(toks(&["--iters", "500", "--out-dir", "/tmp/x"]));
+        assert_eq!(a.get_or("iters", 0usize), 500);
+        assert_eq!(a.get("out-dir"), Some("/tmp/x"));
+        assert_eq!(a.get_or("reps", 7usize), 7);
+    }
+
+    #[test]
+    fn bench_args_defaults() {
+        let b = BenchArgs::parse(&Args::from_iter(toks(&[])));
+        assert_eq!(b.max_threads, 16);
+        assert_eq!(b.reps, 3);
+        assert_eq!(b.out_dir, "results");
+    }
+
+    #[test]
+    #[should_panic]
+    fn dangling_flag_panics() {
+        let _ = Args::from_iter(toks(&["--iters"]));
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_flag_panics() {
+        let _ = Args::from_iter(toks(&["iters", "5"]));
+    }
+}

@@ -1,0 +1,47 @@
+//! Figure 7: the **enqueue-dequeue pairs** benchmark.
+//!
+//! Total completion time vs. number of threads (1..=16), series
+//! {LF, base WF, opt WF (1+2)}, one sub-figure per scheduler
+//! configuration (standing in for the paper's three OS configurations).
+//!
+//! ```text
+//! cargo run -p harness --release --bin fig7 -- \
+//!     --iters 1000000 --reps 10            # paper scale
+//! cargo run -p harness --release --bin fig7 -- --sched yielding
+//! ```
+
+use std::path::Path;
+
+use harness::args::{Args, BenchArgs};
+use harness::figures::throughput_sweep;
+use harness::report::{render_table, write_csv};
+use harness::{SchedPolicy, Variant};
+
+fn main() {
+    let args = Args::from_env();
+    let bench = BenchArgs::parse(&args);
+    let scheds: Vec<SchedPolicy> = match args.get("sched") {
+        Some(s) => vec![SchedPolicy::parse(s).expect("--sched pinned|unpinned|yielding")],
+        None => SchedPolicy::ALL.to_vec(),
+    };
+
+    println!(
+        "Figure 7: enqueue-dequeue pairs | iters/thread = {}, reps = {}, cores = {}",
+        bench.iters,
+        bench.reps,
+        harness::sched::num_cores()
+    );
+    for sched in scheds {
+        let series = throughput_sweep(&Variant::FIG7, bench.max_threads, bench.reps, |v, t| {
+            v.run_pairs(t, bench.iters, sched)
+        });
+        let title = format!(
+            "Fig 7 — pairs, sched = {sched} (paper analog: {})",
+            sched.paper_analog()
+        );
+        print!("{}", render_table(&title, "threads", "sec", &series));
+        let path = Path::new(&bench.out_dir).join(format!("fig7_{sched}.csv"));
+        write_csv(&path, "threads", &series).expect("write CSV");
+        println!("-> {}\n", path.display());
+    }
+}

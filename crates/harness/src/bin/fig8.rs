@@ -1,0 +1,48 @@
+//! Figure 8: the **50% enqueues** benchmark.
+//!
+//! The queue is initialized with 1000 elements; each thread performs
+//! `iters` operations, each chosen uniformly at random between enqueue
+//! and dequeue. Series and sweep as in Figure 7. The paper observes the
+//! same relative behaviour as Figure 7 at roughly half the completion
+//! time (half the operations per iteration).
+
+use std::path::Path;
+
+use harness::args::{Args, BenchArgs};
+use harness::figures::throughput_sweep;
+use harness::report::{render_table, write_csv};
+use harness::{SchedPolicy, Variant};
+
+/// The paper's initial queue size for this benchmark.
+const PREFILL: usize = 1000;
+
+fn main() {
+    let args = Args::from_env();
+    let bench = BenchArgs::parse(&args);
+    let prefill = args.get_or("prefill", PREFILL);
+    let scheds: Vec<SchedPolicy> = match args.get("sched") {
+        Some(s) => vec![SchedPolicy::parse(s).expect("--sched pinned|unpinned|yielding")],
+        None => SchedPolicy::ALL.to_vec(),
+    };
+
+    println!(
+        "Figure 8: 50% enqueues | iters/thread = {}, prefill = {}, reps = {}, cores = {}",
+        bench.iters,
+        prefill,
+        bench.reps,
+        harness::sched::num_cores()
+    );
+    for sched in scheds {
+        let series = throughput_sweep(&Variant::FIG7, bench.max_threads, bench.reps, |v, t| {
+            v.run_fifty_fifty(t, bench.iters, prefill, sched)
+        });
+        let title = format!(
+            "Fig 8 — 50% enqueues, sched = {sched} (paper analog: {})",
+            sched.paper_analog()
+        );
+        print!("{}", render_table(&title, "threads", "sec", &series));
+        let path = Path::new(&bench.out_dir).join(format!("fig8_{sched}.csv"));
+        write_csv(&path, "threads", &series).expect("write CSV");
+        println!("-> {}\n", path.display());
+    }
+}

@@ -1,0 +1,44 @@
+//! Figure 9: the optimization ablation on the pairs benchmark.
+//!
+//! Series {base WF, opt WF (1+2), opt WF (1), opt WF (2)}. The paper
+//! shows this for the CentOS and RedHat configurations and reports the
+//! gain comes mainly from optimization 1 (helping one thread per
+//! operation); optimization 2's contribution is minor but grows with
+//! the thread count.
+
+use std::path::Path;
+
+use harness::args::{Args, BenchArgs};
+use harness::figures::throughput_sweep;
+use harness::report::{render_table, write_csv};
+use harness::{SchedPolicy, Variant};
+
+fn main() {
+    let args = Args::from_env();
+    let bench = BenchArgs::parse(&args);
+    // Paper sub-figures: (a) CentOS ≈ yielding, (b) RedHat ≈ pinned.
+    let scheds: Vec<SchedPolicy> = match args.get("sched") {
+        Some(s) => vec![SchedPolicy::parse(s).expect("--sched pinned|unpinned|yielding")],
+        None => vec![SchedPolicy::Yielding, SchedPolicy::Pinned],
+    };
+
+    println!(
+        "Figure 9: optimization impact (pairs) | iters/thread = {}, reps = {}, cores = {}",
+        bench.iters,
+        bench.reps,
+        harness::sched::num_cores()
+    );
+    for sched in scheds {
+        let series = throughput_sweep(&Variant::FIG9, bench.max_threads, bench.reps, |v, t| {
+            v.run_pairs(t, bench.iters, sched)
+        });
+        let title = format!(
+            "Fig 9 — optimization ablation, sched = {sched} (paper analog: {})",
+            sched.paper_analog()
+        );
+        print!("{}", render_table(&title, "threads", "sec", &series));
+        let path = Path::new(&bench.out_dir).join(format!("fig9_{sched}.csv"));
+        write_csv(&path, "threads", &series).expect("write CSV");
+        println!("-> {}\n", path.display());
+    }
+}

@@ -1,0 +1,54 @@
+//! Shared driver for the throughput figures (7, 8, 9): sweep thread
+//! counts, repeat each data point, and collect one [`Series`] per
+//! variant — the same protocol for every figure, so the binaries differ
+//! only in workload and variant list.
+
+use std::time::Duration;
+
+use crate::report::Series;
+use crate::stats::summarize;
+use crate::variants::Variant;
+
+/// Sweeps `threads = 1..=max_threads` for each variant, running
+/// `reps` repetitions of `run(variant, threads)` and recording the mean
+/// completion time in seconds (the paper plots the average of ten runs).
+pub fn throughput_sweep(
+    variants: &[Variant],
+    max_threads: usize,
+    reps: usize,
+    mut run: impl FnMut(Variant, usize) -> Duration,
+) -> Vec<Series> {
+    let mut all = Vec::with_capacity(variants.len());
+    for &v in variants {
+        let mut series = Series::new(v.label());
+        for threads in 1..=max_threads {
+            let samples: Vec<f64> = (0..reps)
+                .map(|_| run(v, threads).as_secs_f64())
+                .collect();
+            series.push(threads, summarize(&samples).mean);
+        }
+        all.push(series);
+    }
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_shape() {
+        let calls = std::cell::RefCell::new(Vec::new());
+        let out = throughput_sweep(&[Variant::Lf, Variant::Mutex], 3, 2, |v, t| {
+            calls.borrow_mut().push((v, t));
+            Duration::from_millis((t * 10) as u64)
+        });
+        assert_eq!(out.len(), 2);
+        for s in &out {
+            assert_eq!(s.points.len(), 3);
+            assert!((s.at(2).unwrap() - 0.020).abs() < 1e-9);
+        }
+        // 2 variants × 3 thread counts × 2 reps
+        assert_eq!(calls.borrow().len(), 12);
+    }
+}

@@ -1,0 +1,151 @@
+//! Per-operation latency measurement — the reproduction's extension
+//! experiment.
+//!
+//! Wait-freedom is a *worst-case* guarantee: every operation completes
+//! in a bounded number of steps even if the scheduler conspires against
+//! the thread. Throughput plots (the paper's figures) cannot show this;
+//! latency tails can. This module runs the pairs workload while
+//! recording every operation's wall-clock latency into a log-scaled
+//! histogram, then reports median and extreme percentiles per variant.
+
+use std::sync::Barrier;
+use std::time::Instant;
+
+use queue_traits::{ConcurrentQueue, QueueHandle};
+
+use crate::sched::SchedPolicy;
+use crate::stats::percentile_sorted;
+
+/// A latency distribution in nanoseconds, kept as raw samples (bounded
+/// by the iteration count, so memory is predictable).
+#[derive(Debug, Default, Clone)]
+pub struct LatencyProfile {
+    samples: Vec<u64>,
+}
+
+impl LatencyProfile {
+    /// Merges another profile into this one.
+    pub fn merge(&mut self, other: LatencyProfile) {
+        self.samples.extend(other.samples);
+    }
+
+    /// Number of recorded operations.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Sorts and reports `(p50, p99, p99.9, p99.99, max)` in
+    /// nanoseconds.
+    pub fn quantiles(&mut self) -> Quantiles {
+        assert!(!self.samples.is_empty(), "no latency samples");
+        self.samples.sort_unstable();
+        Quantiles {
+            p50: percentile_sorted(&self.samples, 50.0),
+            p99: percentile_sorted(&self.samples, 99.0),
+            p999: percentile_sorted(&self.samples, 99.9),
+            p9999: percentile_sorted(&self.samples, 99.99),
+            max: *self.samples.last().unwrap(),
+        }
+    }
+}
+
+/// Latency quantiles in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Quantiles {
+    /// Median.
+    pub p50: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// 99.9th percentile.
+    pub p999: u64,
+    /// 99.99th percentile.
+    pub p9999: u64,
+    /// Worst observed operation.
+    pub max: u64,
+}
+
+/// Runs the pairs workload on `queue` with per-operation timing.
+/// Returns the merged profile over all workers (2 × `iters` × `threads`
+/// samples: each enqueue and each dequeue).
+pub fn profile_pairs<Q: ConcurrentQueue<u64>>(
+    queue: &Q,
+    threads: usize,
+    iters: usize,
+    sched: SchedPolicy,
+) -> LatencyProfile {
+    let barrier = Barrier::new(threads);
+    let mut merged = LatencyProfile::default();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|worker| {
+                let barrier = &barrier;
+                let queue = &queue;
+                s.spawn(move || {
+                    sched.apply(worker);
+                    let mut h = queue.register().expect("register");
+                    let mut profile = LatencyProfile {
+                        samples: Vec::with_capacity(2 * iters),
+                    };
+                    barrier.wait();
+                    for i in 0..iters {
+                        let t0 = Instant::now();
+                        h.enqueue(crate::workload::encode(worker, i));
+                        profile.samples.push(t0.elapsed().as_nanos() as u64);
+                        let t1 = Instant::now();
+                        std::hint::black_box(h.dequeue());
+                        profile.samples.push(t1.elapsed().as_nanos() as u64);
+                        if sched.yields() && i % crate::sched::YIELD_EVERY == 0 {
+                            std::thread::yield_now();
+                        }
+                    }
+                    profile
+                })
+            })
+            .collect();
+        for h in handles {
+            merged.merge(h.join().unwrap());
+        }
+    });
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ms_queue::MsQueue;
+
+    #[test]
+    fn profile_counts_all_ops() {
+        let q = MsQueue::new();
+        let mut p = profile_pairs(&q, 2, 500, SchedPolicy::Unpinned);
+        assert_eq!(p.len(), 2 * 2 * 500);
+        let qs = p.quantiles();
+        assert!(qs.p50 <= qs.p99);
+        assert!(qs.p99 <= qs.p999);
+        assert!(qs.p999 <= qs.p9999);
+        assert!(qs.p9999 <= qs.max);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = LatencyProfile {
+            samples: vec![1, 2],
+        };
+        let b = LatencyProfile {
+            samples: vec![3],
+        };
+        a.merge(b);
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn quantiles_of_empty_panic() {
+        LatencyProfile::default().quantiles();
+    }
+}

@@ -1,0 +1,169 @@
+//! Table and CSV output, shaped like the paper's figures: one row per
+//! thread count (the x axis), one column per series.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// One line/series of a figure.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label ("LF", "base WF", …).
+    pub label: String,
+    /// `(x, y)` points, e.g. `(threads, seconds)`.
+    pub points: Vec<(usize, f64)>,
+}
+
+impl Series {
+    /// Creates an empty series.
+    pub fn new(label: impl Into<String>) -> Self {
+        Series {
+            label: label.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Appends a point.
+    pub fn push(&mut self, x: usize, y: f64) {
+        self.points.push((x, y));
+    }
+
+    /// The y value at `x`, if measured.
+    pub fn at(&self, x: usize) -> Option<f64> {
+        self.points.iter().find(|(px, _)| *px == x).map(|(_, y)| *y)
+    }
+}
+
+/// Renders an aligned text table: first column `x_label`, one column
+/// per series.
+pub fn render_table(title: &str, x_label: &str, unit: &str, series: &[Series]) -> String {
+    let mut xs: Vec<usize> = series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|(x, _)| *x))
+        .collect();
+    xs.sort_unstable();
+    xs.dedup();
+
+    let mut out = String::new();
+    let _ = writeln!(out, "== {title} ==");
+    let width = series
+        .iter()
+        .map(|s| s.label.len().max(12))
+        .max()
+        .unwrap_or(12);
+    let _ = write!(out, "{x_label:>10}");
+    for s in series {
+        let _ = write!(out, "  {:>width$}", s.label);
+    }
+    let _ = writeln!(out, "   [{unit}]");
+    for x in xs {
+        let _ = write!(out, "{x:>10}");
+        for s in series {
+            match s.at(x) {
+                Some(y) => {
+                    let _ = write!(out, "  {y:>width$.4}");
+                }
+                None => {
+                    let _ = write!(out, "  {:>width$}", "-");
+                }
+            }
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Writes the series as a CSV (`x, <label>, <label>, …`).
+pub fn write_csv(path: &Path, x_label: &str, series: &[Series]) -> io::Result<()> {
+    if let Some(dir) = path.parent() {
+        fs::create_dir_all(dir)?;
+    }
+    let mut xs: Vec<usize> = series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|(x, _)| *x))
+        .collect();
+    xs.sort_unstable();
+    xs.dedup();
+
+    let mut out = String::new();
+    out.push_str(x_label);
+    for s in series {
+        out.push(',');
+        // Minimal CSV quoting: our labels contain no quotes.
+        if s.label.contains(',') || s.label.contains(' ') {
+            let _ = write!(out, "\"{}\"", s.label);
+        } else {
+            out.push_str(&s.label);
+        }
+    }
+    out.push('\n');
+    for x in xs {
+        let _ = write!(out, "{x}");
+        for s in series {
+            match s.at(x) {
+                Some(y) => {
+                    let _ = write!(out, ",{y}");
+                }
+                None => out.push(','),
+            }
+        }
+        out.push('\n');
+    }
+    fs::write(path, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Series> {
+        let mut a = Series::new("LF");
+        a.push(1, 1.5);
+        a.push(2, 3.25);
+        let mut b = Series::new("base WF");
+        b.push(1, 4.0);
+        b.push(2, 8.5);
+        vec![a, b]
+    }
+
+    #[test]
+    fn table_contains_all_cells() {
+        let t = render_table("Fig 7", "threads", "sec", &sample());
+        assert!(t.contains("Fig 7"));
+        assert!(t.contains("LF"));
+        assert!(t.contains("base WF"));
+        assert!(t.contains("3.25"));
+        assert!(t.contains("8.5"));
+    }
+
+    #[test]
+    fn missing_points_render_dash() {
+        let mut a = Series::new("A");
+        a.push(1, 1.0);
+        let mut b = Series::new("B");
+        b.push(2, 2.0);
+        let t = render_table("t", "x", "u", &[a, b]);
+        assert!(t.contains('-'));
+    }
+
+    #[test]
+    fn csv_roundtrip_shape() {
+        let dir = std::env::temp_dir().join("wfq-report-test");
+        let path = dir.join("fig.csv");
+        write_csv(&path, "threads", &sample()).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut lines = text.lines();
+        assert_eq!(lines.next().unwrap(), "threads,LF,\"base WF\"");
+        assert_eq!(lines.next().unwrap(), "1,1.5,4");
+        assert_eq!(lines.next().unwrap(), "2,3.25,8.5");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn series_at() {
+        let s = &sample()[0];
+        assert_eq!(s.at(1), Some(1.5));
+        assert_eq!(s.at(99), None);
+    }
+}

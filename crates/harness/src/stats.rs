@@ -1,0 +1,79 @@
+//! Small statistics helpers (the paper reports the average of ten runs
+//! and notes negligible standard deviation).
+
+/// Mean and sample standard deviation of a set of measurements.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (0 for fewer than two samples).
+    pub stddev: f64,
+    /// Number of samples.
+    pub n: usize,
+}
+
+/// Summarizes `samples`.
+pub fn summarize(samples: &[f64]) -> Summary {
+    let n = samples.len();
+    if n == 0 {
+        return Summary {
+            mean: 0.0,
+            stddev: 0.0,
+            n: 0,
+        };
+    }
+    let mean = samples.iter().sum::<f64>() / n as f64;
+    let stddev = if n >= 2 {
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
+        var.sqrt()
+    } else {
+        0.0
+    };
+    Summary { mean, stddev, n }
+}
+
+/// Percentile (nearest-rank) of a sorted slice; `p` in `[0, 100]`.
+pub fn percentile_sorted(sorted: &[u64], p: f64) -> u64 {
+    assert!(!sorted.is_empty(), "percentile of empty data");
+    assert!((0.0..=100.0).contains(&p));
+    let rank = ((p / 100.0) * (sorted.len() as f64 - 1.0)).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_constants() {
+        let s = summarize(&[2.0, 2.0, 2.0]);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.stddev, 0.0);
+        assert_eq!(s.n, 3);
+    }
+
+    #[test]
+    fn summary_known_values() {
+        let s = summarize(&[1.0, 2.0, 3.0, 4.0]);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        // sample stddev of 1..4 = sqrt(5/3)
+        assert!((s.stddev - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_empty_and_single() {
+        assert_eq!(summarize(&[]).n, 0);
+        let s = summarize(&[7.0]);
+        assert_eq!(s.mean, 7.0);
+        assert_eq!(s.stddev, 0.0);
+    }
+
+    #[test]
+    fn percentiles() {
+        let data: Vec<u64> = (0..=100).collect();
+        assert_eq!(percentile_sorted(&data, 0.0), 0);
+        assert_eq!(percentile_sorted(&data, 50.0), 50);
+        assert_eq!(percentile_sorted(&data, 100.0), 100);
+        assert_eq!(percentile_sorted(&[42], 99.0), 42);
+    }
+}

@@ -1,0 +1,219 @@
+//! The global state of a hazard-pointer instance: the record list and the
+//! orphaned-retired stack.
+
+use std::ptr;
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicUsize, Ordering};
+
+use crate::participant::Participant;
+use crate::retired::Retired;
+
+/// One thread's entry in the domain: `K` hazard slots plus an `active`
+/// flag used to hand records from departed threads to new ones.
+pub(crate) struct Record {
+    /// Next record in the grow-only global list.
+    pub(crate) next: *mut Record,
+    /// Claimed by a live participant?
+    pub(crate) active: AtomicBool,
+    /// The hazard slots. Null = slot empty.
+    pub(crate) hazards: Box<[AtomicPtr<u8>]>,
+}
+
+/// A batch of retired objects abandoned by a departing participant,
+/// stacked on the domain for adoption.
+struct OrphanBatch {
+    next: *mut OrphanBatch,
+    retired: Vec<Retired>,
+}
+
+/// An independent hazard-pointer universe.
+///
+/// Objects retired in one domain are only checked against hazard slots of
+/// the *same* domain, so each data structure (or group of structures
+/// sharing nodes) should use its own domain.
+pub struct Domain {
+    /// Head of the grow-only record list.
+    records: AtomicPtr<Record>,
+    /// Hazard slots per record (`K`).
+    slots_per_record: usize,
+    /// Total records ever created; `H = slots_per_record * record_count`.
+    record_count: AtomicUsize,
+    /// Retired lists abandoned by departed participants.
+    orphans: AtomicPtr<OrphanBatch>,
+}
+
+// SAFETY: all shared state is atomics; raw pointers are only dereferenced
+// under the protocol documented on each method.
+unsafe impl Send for Domain {}
+unsafe impl Sync for Domain {}
+
+impl Domain {
+    /// Creates a domain whose participants each get `slots_per_record`
+    /// hazard slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots_per_record` is zero.
+    pub fn new(slots_per_record: usize) -> Self {
+        assert!(slots_per_record > 0, "need at least one hazard slot");
+        Domain {
+            records: AtomicPtr::new(ptr::null_mut()),
+            slots_per_record,
+            record_count: AtomicUsize::new(0),
+            orphans: AtomicPtr::new(ptr::null_mut()),
+        }
+    }
+
+    /// Number of hazard slots per participant.
+    pub fn slots_per_record(&self) -> usize {
+        self.slots_per_record
+    }
+
+    /// Total hazard slots in the domain (`H` in Michael's analysis).
+    pub fn total_slots(&self) -> usize {
+        self.record_count.load(Ordering::Acquire) * self.slots_per_record
+    }
+
+    /// Joins the domain, claiming (or creating) a hazard record.
+    ///
+    /// Wait-free: reusing scans the finite record list with one CAS per
+    /// record; appending is a bounded-retry CAS loop only contended by
+    /// other *new* records (and in any case bounded by the number of
+    /// concurrent joiners, a property we accept as "wait-free for all
+    /// practical purposes", exactly like the paper's phase counter).
+    pub fn enter(&self) -> Participant<'_> {
+        // Try to adopt an inactive record first.
+        let mut cur = self.records.load(Ordering::Acquire);
+        while !cur.is_null() {
+            // SAFETY: records are never freed while the domain is alive.
+            let rec = unsafe { &*cur };
+            if !rec.active.load(Ordering::Relaxed)
+                && rec
+                    .active
+                    .compare_exchange(false, true, Ordering::AcqRel, Ordering::Relaxed)
+                    .is_ok()
+            {
+                return Participant::new(self, cur);
+            }
+            cur = rec.next;
+        }
+        // Allocate and push a fresh record.
+        let hazards = (0..self.slots_per_record)
+            .map(|_| AtomicPtr::new(ptr::null_mut()))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        let rec = Box::into_raw(Box::new(Record {
+            next: ptr::null_mut(),
+            active: AtomicBool::new(true),
+            hazards,
+        }));
+        let mut head = self.records.load(Ordering::Acquire);
+        loop {
+            // SAFETY: `rec` is not yet shared.
+            unsafe { (*rec).next = head };
+            match self
+                .records
+                .compare_exchange(head, rec, Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(_) => break,
+                Err(h) => head = h,
+            }
+        }
+        self.record_count.fetch_add(1, Ordering::AcqRel);
+        Participant::new(self, rec)
+    }
+
+    /// Snapshot of every non-null hazard pointer in the domain, sorted for
+    /// binary search. SeqCst loads pair with the SeqCst hazard publishes
+    /// in `Participant::protect`.
+    pub(crate) fn collect_hazards(&self) -> Vec<*mut u8> {
+        let mut out = Vec::with_capacity(self.total_slots());
+        let mut cur = self.records.load(Ordering::SeqCst);
+        while !cur.is_null() {
+            // SAFETY: records live as long as the domain.
+            let rec = unsafe { &*cur };
+            for slot in rec.hazards.iter() {
+                let p = slot.load(Ordering::SeqCst);
+                if !p.is_null() {
+                    out.push(p);
+                }
+            }
+            cur = rec.next;
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Pops the entire orphan stack; the caller adopts the contents.
+    pub(crate) fn take_orphans(&self) -> Vec<Retired> {
+        let mut head = self.orphans.swap(ptr::null_mut(), Ordering::AcqRel);
+        let mut out = Vec::new();
+        while !head.is_null() {
+            // SAFETY: we exclusively own the popped stack.
+            let batch = unsafe { Box::from_raw(head) };
+            out.extend(batch.retired);
+            head = batch.next;
+        }
+        out
+    }
+
+    /// Pushes a departing participant's leftovers for later adoption.
+    pub(crate) fn push_orphans(&self, retired: Vec<Retired>) {
+        if retired.is_empty() {
+            return;
+        }
+        let batch = Box::into_raw(Box::new(OrphanBatch {
+            next: ptr::null_mut(),
+            retired,
+        }));
+        let mut head = self.orphans.load(Ordering::Acquire);
+        loop {
+            // SAFETY: `batch` is not yet shared.
+            unsafe { (*batch).next = head };
+            match self
+                .orphans
+                .compare_exchange(head, batch, Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(_) => return,
+                Err(h) => head = h,
+            }
+        }
+    }
+
+    /// Retire threshold: scan when a local retired list reaches this size.
+    /// Michael's analysis wants `R = H + Θ(H)`; we use `max(2H, 64)` so
+    /// small domains still batch enough to amortize the scan.
+    pub(crate) fn scan_threshold(&self) -> usize {
+        (2 * self.total_slots()).max(64)
+    }
+}
+
+impl Drop for Domain {
+    fn drop(&mut self) {
+        // No participant can outlive the domain (they borrow it), so no
+        // hazard slot is set and every retired object is reclaimable.
+        for r in self.take_orphans() {
+            // SAFETY: no hazards remain; each object reclaimed once.
+            unsafe { r.reclaim() };
+        }
+        let mut cur = *self.records.get_mut();
+        while !cur.is_null() {
+            // SAFETY: exclusive access in Drop; records were Box-allocated.
+            let rec = unsafe { Box::from_raw(cur) };
+            debug_assert!(
+                !rec.active.load(Ordering::Relaxed),
+                "participant outlived its domain"
+            );
+            cur = rec.next;
+        }
+    }
+}
+
+impl std::fmt::Debug for Domain {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Domain")
+            .field("slots_per_record", &self.slots_per_record)
+            .field("records", &self.record_count.load(Ordering::Relaxed))
+            .finish()
+    }
+}

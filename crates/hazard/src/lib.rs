@@ -1,0 +1,59 @@
+//! Hazard-pointer safe memory reclamation, implemented from scratch after
+//! Michael, *Hazard Pointers: Safe Memory Reclamation for Lock-Free
+//! Objects* (IEEE TPDS 2004).
+//!
+//! Section 3.4 of Kogan & Petrank's PPoPP 2011 paper prescribes exactly
+//! this technique for running their wait-free queue outside a
+//! garbage-collected runtime: hazard pointers are single-writer
+//! multi-reader registers that threads use to mark objects they may still
+//! access; a removed object is reclaimed only once no hazard pointer
+//! covers it. Both marking (a store) and reclamation (a bounded scan) are
+//! wait-free, so layering it under the queue preserves the queue's
+//! progress guarantee — unlike epoch-based schemes, which are merely
+//! lock-free.
+//!
+//! # Architecture
+//!
+//! * A [`Domain`] owns a grow-only, lock-free list of *records*, each with
+//!   `K` hazard slots. Threads join with [`Domain::enter`], which either
+//!   reuses an inactive record (one CAS per record, bounded) or appends a
+//!   fresh one.
+//! * A [`Participant`] provides `protect`/`clear` on its record's slots
+//!   and a thread-local *retired list*. When the retired list exceeds a
+//!   threshold proportional to the total number of hazard slots, the
+//!   participant scans all hazards and frees every retired object not
+//!   covered by one.
+//! * When a participant leaves, any objects it could not yet free are
+//!   pushed onto the domain's *orphan* stack and adopted by the next scan
+//!   of any participant (or freed when the domain is dropped).
+//!
+//! # Example
+//!
+//! ```
+//! use hazard::Domain;
+//! use std::sync::atomic::{AtomicPtr, Ordering};
+//!
+//! let domain = Domain::new(2);
+//! let shared = AtomicPtr::new(Box::into_raw(Box::new(42u64)));
+//!
+//! let mut p = domain.enter();
+//! let ptr = p.protect(0, &shared);
+//! assert_eq!(unsafe { *ptr }, 42);
+//!
+//! // Unlink, then retire: the object is freed once no hazard covers it.
+//! let old = shared.swap(std::ptr::null_mut(), Ordering::AcqRel);
+//! unsafe { p.retire(old) };
+//! p.clear(0);
+//! ```
+
+#![warn(missing_docs)]
+
+mod domain;
+mod participant;
+mod retired;
+
+pub use domain::Domain;
+pub use participant::Participant;
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,163 @@
+//! Per-thread hazard-pointer state: protection slots and the retired list.
+
+use std::ptr;
+use std::sync::atomic::{AtomicPtr, Ordering};
+
+use crate::domain::{Domain, Record};
+use crate::retired::Retired;
+
+/// A thread's membership in a [`Domain`].
+///
+/// Holds `K` hazard slots (see [`Domain::slots_per_record`]) and a private
+/// retired list. Not `Sync`: one participant per thread. It is `Send`, so
+/// it may be created on one thread and moved into a worker.
+pub struct Participant<'d> {
+    domain: &'d Domain,
+    record: *mut Record,
+    retired: Vec<Retired>,
+    /// Number of successful reclamations, for tests/diagnostics.
+    reclaimed: usize,
+}
+
+// SAFETY: the record pointer is only mutated through atomics; moving the
+// participant between threads is fine because all accesses go through
+// `&mut self` or atomics.
+unsafe impl Send for Participant<'_> {}
+
+impl<'d> Participant<'d> {
+    pub(crate) fn new(domain: &'d Domain, record: *mut Record) -> Self {
+        Participant {
+            domain,
+            record,
+            retired: Vec::new(),
+            reclaimed: 0,
+        }
+    }
+
+    fn slots(&self) -> &[AtomicPtr<u8>] {
+        // SAFETY: records live as long as the domain, which outlives `'d`.
+        unsafe { &(*self.record).hazards }
+    }
+
+    /// The domain this participant belongs to.
+    pub fn domain(&self) -> &'d Domain {
+        self.domain
+    }
+
+    /// Number of objects this participant has reclaimed so far.
+    pub fn reclaimed(&self) -> usize {
+        self.reclaimed
+    }
+
+    /// Number of objects currently parked on this participant's retired
+    /// list.
+    pub fn retired_len(&self) -> usize {
+        self.retired.len()
+    }
+
+    /// Publishes `ptr` in hazard slot `slot`.
+    ///
+    /// SeqCst so the store is globally ordered before the caller's
+    /// subsequent validation load — the classic store-load fence hazard
+    /// pointers require.
+    ///
+    /// This is the *raw* interface: the caller must re-validate that the
+    /// object is still reachable (e.g. re-load the source pointer) after
+    /// this call and retry if not. Prefer [`protect`](Self::protect).
+    pub fn set<T>(&self, slot: usize, ptr: *mut T) {
+        self.slots()[slot].store(ptr.cast(), Ordering::SeqCst);
+    }
+
+    /// Clears hazard slot `slot`.
+    pub fn clear(&self, slot: usize) {
+        self.slots()[slot].store(ptr::null_mut(), Ordering::Release);
+    }
+
+    /// Reads `src` and protects the loaded pointer in slot `slot`,
+    /// retrying until the protection is stable (the pointer re-read from
+    /// `src` is unchanged after publishing the hazard).
+    ///
+    /// On return, if the result is non-null it will not be reclaimed
+    /// until the slot is overwritten or cleared — provided the data
+    /// structure retires objects only after unlinking them from `src`.
+    pub fn protect<T>(&self, slot: usize, src: &AtomicPtr<T>) -> *mut T {
+        let mut p = src.load(Ordering::Acquire);
+        loop {
+            self.set(slot, p);
+            let q = src.load(Ordering::SeqCst);
+            if q == p {
+                return p;
+            }
+            p = q;
+        }
+    }
+
+    /// Hands `ptr` to the reclamation machinery.
+    ///
+    /// # Safety
+    ///
+    /// * `ptr` came from `Box::into_raw` and ownership is transferred.
+    /// * The object has been unlinked: no thread can create a *new*
+    ///   reference to it after this call (threads holding hazard
+    ///   protection established earlier are exactly what the scan checks).
+    /// * `retire` is called at most once per object.
+    pub unsafe fn retire<T: Send>(&mut self, ptr: *mut T) {
+        debug_assert!(!ptr.is_null(), "retiring a null pointer");
+        // SAFETY: forwarded from the caller.
+        self.retired.push(unsafe { Retired::new(ptr) });
+        if self.retired.len() >= self.domain.scan_threshold() {
+            self.scan();
+        }
+    }
+
+    /// Reclaims every retired object not covered by a hazard pointer.
+    ///
+    /// Also adopts orphaned retired lists left behind by departed
+    /// participants. Bounded work: one pass over the domain's hazard
+    /// slots plus one pass over the retired list — wait-free.
+    pub fn scan(&mut self) {
+        self.retired.extend(self.domain.take_orphans());
+        if self.retired.is_empty() {
+            return;
+        }
+        let hazards = self.domain.collect_hazards();
+        let mut kept = Vec::with_capacity(self.retired.len());
+        for r in self.retired.drain(..) {
+            if hazards.binary_search(&r.ptr).is_ok() {
+                kept.push(r);
+            } else {
+                // SAFETY: object unlinked (retire contract) and no hazard
+                // covers it at a point after it was unlinked, so no thread
+                // can still acquire a reference.
+                unsafe { r.reclaim() };
+                self.reclaimed += 1;
+            }
+        }
+        self.retired = kept;
+    }
+}
+
+impl Drop for Participant<'_> {
+    fn drop(&mut self) {
+        // Last chance to free eagerly, then abandon leftovers for
+        // adoption and return the record to the domain.
+        self.scan();
+        for slot in self.slots() {
+            slot.store(ptr::null_mut(), Ordering::Release);
+        }
+        if !self.retired.is_empty() {
+            self.domain.push_orphans(std::mem::take(&mut self.retired));
+        }
+        // SAFETY: record outlives participant.
+        unsafe { (*self.record).active.store(false, Ordering::Release) };
+    }
+}
+
+impl std::fmt::Debug for Participant<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Participant")
+            .field("retired", &self.retired.len())
+            .field("reclaimed", &self.reclaimed)
+            .finish()
+    }
+}

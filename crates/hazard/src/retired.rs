@@ -1,0 +1,68 @@
+//! Type-erased retired objects awaiting reclamation.
+
+/// A heap object that has been unlinked from its data structure and is
+/// waiting for no hazard pointer to cover it.
+pub(crate) struct Retired {
+    /// Address of the object (also the value hazard slots are compared
+    /// against).
+    pub(crate) ptr: *mut u8,
+    /// Deallocates and drops the object. Captures the concrete type.
+    pub(crate) drop_fn: unsafe fn(*mut u8),
+}
+
+impl Retired {
+    /// Type-erases `ptr`, which must have come from `Box::into_raw`.
+    ///
+    /// # Safety
+    ///
+    /// `ptr` must be a valid, uniquely owned `Box<T>` allocation.
+    pub(crate) unsafe fn new<T>(ptr: *mut T) -> Self {
+        unsafe fn drop_box<T>(p: *mut u8) {
+            // SAFETY: `p` was produced by `Box::into_raw::<T>` in
+            // `Retired::new` and is reclaimed exactly once.
+            unsafe { drop(Box::from_raw(p.cast::<T>())) }
+        }
+        Retired {
+            ptr: ptr.cast(),
+            drop_fn: drop_box::<T>,
+        }
+    }
+
+    /// Drops and frees the object.
+    ///
+    /// # Safety
+    ///
+    /// No thread may hold a hazard pointer to `self.ptr`, and `reclaim`
+    /// must be called at most once.
+    pub(crate) unsafe fn reclaim(self) {
+        unsafe { (self.drop_fn)(self.ptr) }
+    }
+}
+
+// Retired objects are moved between threads (orphan adoption). The
+// underlying objects are required to be `Send` by `Participant::retire`'s
+// bound.
+unsafe impl Send for Retired {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    static DROPS: AtomicUsize = AtomicUsize::new(0);
+
+    struct Counting;
+    impl Drop for Counting {
+        fn drop(&mut self) {
+            DROPS.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    #[test]
+    fn reclaim_runs_drop() {
+        let before = DROPS.load(Ordering::SeqCst);
+        let r = unsafe { Retired::new(Box::into_raw(Box::new(Counting))) };
+        unsafe { r.reclaim() };
+        assert_eq!(DROPS.load(Ordering::SeqCst), before + 1);
+    }
+}

@@ -1,0 +1,96 @@
+//! Property-based tests for the renaming pool: arbitrary interleavings
+//! of acquire/release (driven as a single-threaded script against a
+//! model) never hand out duplicates, never exceed capacity, and always
+//! recycle released names.
+
+use idpool::{IdGuard, IdPool};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+#[derive(Debug, Clone, Copy)]
+enum Step {
+    Acquire,
+    /// Release the i-th oldest held guard (modulo holdings).
+    Release(usize),
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        3 => Just(Step::Acquire),
+        2 => (0usize..16).prop_map(Step::Release),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn script_matches_model(
+        capacity in 1usize..12,
+        script in prop::collection::vec(step_strategy(), 0..200),
+    ) {
+        let pool = IdPool::new(capacity);
+        let mut held: Vec<IdGuard<'_>> = Vec::new();
+        for step in script {
+            match step {
+                Step::Acquire => {
+                    match pool.acquire() {
+                        Some(g) => {
+                            prop_assert!(g.id() < capacity, "id in range");
+                            prop_assert!(
+                                held.len() < capacity,
+                                "acquire succeeded with pool already full"
+                            );
+                            held.push(g);
+                        }
+                        None => {
+                            prop_assert_eq!(
+                                held.len(), capacity,
+                                "acquire failed with free slots remaining"
+                            );
+                        }
+                    }
+                }
+                Step::Release(i) => {
+                    if !held.is_empty() {
+                        let idx = i % held.len();
+                        held.swap_remove(idx);
+                    }
+                }
+            }
+            // Held IDs are always pairwise distinct.
+            let ids: HashSet<usize> = held.iter().map(|g| g.id()).collect();
+            prop_assert_eq!(ids.len(), held.len(), "duplicate live IDs");
+            prop_assert_eq!(pool.in_use(), held.len(), "in_use bookkeeping");
+        }
+    }
+
+    #[test]
+    fn full_drain_refill(capacity in 1usize..32) {
+        let pool = IdPool::new(capacity);
+        for _round in 0..3 {
+            let guards: Vec<_> = (0..capacity)
+                .map(|_| pool.acquire().expect("capacity available"))
+                .collect();
+            let ids: HashSet<usize> = guards.iter().map(|g| g.id()).collect();
+            prop_assert_eq!(ids.len(), capacity, "all IDs distinct when full");
+            prop_assert!(pool.acquire().is_none());
+            drop(guards);
+            prop_assert_eq!(pool.in_use(), 0);
+        }
+    }
+
+    #[test]
+    fn acquire_exact_respects_holdings(capacity in 2usize..10, target in 0usize..10) {
+        let pool = IdPool::new(capacity);
+        let target = target % capacity;
+        let g = pool.acquire_exact(target).expect("free pool");
+        prop_assert_eq!(g.id(), target);
+        prop_assert!(pool.acquire_exact(target).is_none());
+        // The rest of the pool is still available.
+        let rest: Vec<_> = (0..capacity - 1)
+            .map(|_| pool.acquire().expect("other slots free"))
+            .collect();
+        prop_assert!(rest.iter().all(|r| r.id() != target));
+    }
+}

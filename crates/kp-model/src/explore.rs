@@ -1,0 +1,343 @@
+//! Exhaustive DFS over all interleavings of the scheme's atomic steps.
+
+use std::collections::HashSet;
+
+use crate::state::{OpKind, Pc, Scenario, State};
+
+/// A model-level bug, reported with the schedule that reaches it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// A linearization step executed twice for one operation
+    /// (Lemma 1/2 violation).
+    DoubleLinearization {
+        /// `(thread, op_index)` of the offending operation.
+        op: (usize, usize),
+        /// The schedule (step labels) reaching the bug.
+        schedule: Vec<String>,
+    },
+    /// A dequeue's observed value diverged from the sequential spec at
+    /// its linearization point.
+    SpecDivergence {
+        /// `(thread, op_index)`.
+        op: (usize, usize),
+        /// What the operation observed.
+        observed: Option<u64>,
+        /// What the specification required.
+        expected: Option<u64>,
+        /// The schedule reaching the bug.
+        schedule: Vec<String>,
+    },
+    /// The abstract list and the spec queue disagree (structure bug).
+    StructureDivergence {
+        /// Effective list contents.
+        list: Vec<u64>,
+        /// Spec contents.
+        spec: Vec<u64>,
+        /// The schedule reaching the bug.
+        schedule: Vec<String>,
+    },
+    /// A reachable non-terminal state has no enabled step.
+    Stuck {
+        /// The schedule reaching the stuck state.
+        schedule: Vec<String>,
+    },
+}
+
+/// Statistics from a successful exploration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExploreResult {
+    /// Distinct states visited.
+    pub states: usize,
+    /// Distinct terminal states reached.
+    pub terminals: usize,
+}
+
+/// A step of some operation, identified for enumeration.
+#[derive(Debug, Clone, Copy)]
+struct Step {
+    thread: usize,
+    op: usize,
+    kind: StepKind,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StepKind {
+    Publish,
+    Append,
+    AckEnq,
+    FixTail,
+    Stage0Empty,
+    Stage0NonEmpty,
+    Restage,
+    Lock,
+    AckDeq,
+    FixHead,
+}
+
+impl Step {
+    fn label(&self) -> String {
+        format!("t{}op{}:{:?}", self.thread, self.op, self.kind)
+    }
+}
+
+/// Explores every interleaving of `scenario`; returns statistics or the
+/// first model error found.
+pub fn explore(scenario: &Scenario) -> Result<ExploreResult, ModelError> {
+    let mut memo: HashSet<State> = HashSet::new();
+    let mut terminals: HashSet<State> = HashSet::new();
+    let mut schedule: Vec<String> = Vec::new();
+    let init = State::initial(scenario);
+    dfs(&init, &mut memo, &mut terminals, &mut schedule)?;
+    Ok(ExploreResult {
+        states: memo.len(),
+        terminals: terminals.len(),
+    })
+}
+
+fn dfs(
+    s: &State,
+    memo: &mut HashSet<State>,
+    terminals: &mut HashSet<State>,
+    schedule: &mut Vec<String>,
+) -> Result<(), ModelError> {
+    if !memo.insert(s.clone()) {
+        return Ok(());
+    }
+    check_structure(s, schedule)?;
+    if s.terminal() {
+        check_terminal(s, schedule)?;
+        terminals.insert(s.clone());
+        return Ok(());
+    }
+    let steps = enabled_steps(s);
+    if steps.is_empty() {
+        return Err(ModelError::Stuck {
+            schedule: schedule.clone(),
+        });
+    }
+    for step in steps {
+        let next = apply(s, step, schedule)?;
+        schedule.push(step.label());
+        dfs(&next, memo, terminals, schedule)?;
+        schedule.pop();
+    }
+    Ok(())
+}
+
+/// The *effective* list: the shared list minus a head sentinel whose
+/// dequeue already linearized (spec popped at Lock; head swings later).
+fn effective_list(s: &State) -> Vec<u64> {
+    let mut vals = s.list_values();
+    if s.nodes[s.head].deq_by.is_some() && !vals.is_empty() {
+        vals.remove(0);
+    }
+    vals
+}
+
+fn check_structure(s: &State, schedule: &[String]) -> Result<(), ModelError> {
+    let list = effective_list(s);
+    let spec: Vec<u64> = s.spec.iter().copied().collect();
+    if list != spec {
+        return Err(ModelError::StructureDivergence {
+            list,
+            spec,
+            schedule: schedule.to_vec(),
+        });
+    }
+    Ok(())
+}
+
+fn check_terminal(s: &State, schedule: &[String]) -> Result<(), ModelError> {
+    for (t, ops) in s.ops.iter().enumerate() {
+        for (k, op) in ops.iter().enumerate() {
+            debug_assert_eq!(op.pc, Pc::Done);
+            if op.linearized_count != 1 {
+                return Err(ModelError::DoubleLinearization {
+                    op: (t, k),
+                    schedule: schedule.to_vec(),
+                });
+            }
+            if matches!(op.kind, OpKind::Dequeue) && op.result.is_none() {
+                return Err(ModelError::SpecDivergence {
+                    op: (t, k),
+                    observed: None,
+                    expected: None,
+                    schedule: schedule.to_vec(),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+fn enabled_steps(s: &State) -> Vec<Step> {
+    let mut out = Vec::new();
+    for (t, &cur) in s.cur.iter().enumerate() {
+        if cur >= s.ops[t].len() {
+            continue;
+        }
+        let op = &s.ops[t][cur];
+        let mk = |kind| Step {
+            thread: t,
+            op: cur,
+            kind,
+        };
+        match (op.kind, op.pc) {
+            (_, Pc::Publish) => out.push(mk(StepKind::Publish)),
+            (OpKind::Enqueue(_), Pc::Append) => {
+                // §3.1 lazy-enqueue invariant: append only at a settled
+                // tail (no dangling node).
+                if s.dangling().is_none() {
+                    out.push(mk(StepKind::Append));
+                }
+            }
+            (OpKind::Enqueue(_), Pc::AckEnq) => out.push(mk(StepKind::AckEnq)),
+            (OpKind::Enqueue(_), Pc::FixTail) => out.push(mk(StepKind::FixTail)),
+            (OpKind::Dequeue, Pc::Stage0) => {
+                if s.head == s.tail {
+                    if s.nodes[s.tail].next.is_none() {
+                        out.push(mk(StepKind::Stage0Empty));
+                    }
+                    // else: an enqueue is mid-flight (dangling node);
+                    // the dequeue must wait for its FixTail — the
+                    // paper's "help it first, then retry" (L122–123).
+                } else {
+                    out.push(mk(StepKind::Stage0NonEmpty));
+                }
+            }
+            (OpKind::Dequeue, Pc::Lock) => {
+                let staged = op.node.expect("stage 0 recorded a sentinel");
+                if s.head != staged {
+                    // Head moved since stage 0: restage (L129–132 loop).
+                    out.push(mk(StepKind::Restage));
+                } else if s.nodes[staged].deq_by.is_none() {
+                    out.push(mk(StepKind::Lock));
+                }
+                // else: sentinel locked by another op; its Ack/FixHead
+                // are enabled instead — progress is global.
+            }
+            (OpKind::Dequeue, Pc::AckDeq) => out.push(mk(StepKind::AckDeq)),
+            (OpKind::Dequeue, Pc::FixHead) => out.push(mk(StepKind::FixHead)),
+            (_, Pc::Done) => unreachable!("cur advances when an op completes"),
+            _ => unreachable!("kind/pc mismatch"),
+        }
+    }
+    out
+}
+
+fn apply(s: &State, step: Step, schedule: &[String]) -> Result<State, ModelError> {
+    let mut n = s.clone();
+    let t = step.thread;
+    let k = step.op;
+    // Split borrows: mutate the op through an index each time.
+    macro_rules! op {
+        () => {
+            n.ops[t][k]
+        };
+    }
+    match step.kind {
+        StepKind::Publish => {
+            op!().pc = match op!().kind {
+                OpKind::Enqueue(_) => Pc::Append,
+                OpKind::Dequeue => Pc::Stage0,
+            };
+        }
+        StepKind::Append => {
+            let OpKind::Enqueue(v) = op!().kind else {
+                unreachable!()
+            };
+            let idx = n.nodes.len();
+            n.nodes.push(crate::state::Node {
+                value: Some(v),
+                next: None,
+                deq_by: None,
+            });
+            debug_assert!(n.nodes[n.tail].next.is_none());
+            let tail = n.tail;
+            n.nodes[tail].next = Some(idx);
+            op!().node = Some(idx);
+            // Linearization of the enqueue.
+            n.spec.push_back(v);
+            op!().linearized_count += 1;
+            if op!().linearized_count > 1 {
+                return Err(ModelError::DoubleLinearization {
+                    op: (t, k),
+                    schedule: schedule.to_vec(),
+                });
+            }
+            op!().pc = Pc::AckEnq;
+        }
+        StepKind::AckEnq => {
+            op!().pc = Pc::FixTail;
+        }
+        StepKind::FixTail => {
+            let next = n.nodes[n.tail].next.expect("our appended node");
+            debug_assert_eq!(Some(next), op!().node);
+            n.tail = next;
+            op!().pc = Pc::Done;
+            n.cur[t] += 1;
+        }
+        StepKind::Stage0Empty => {
+            // Linearized as an empty dequeue (L112 read + L120 CAS).
+            let expected = n.spec.front().copied();
+            if expected.is_some() {
+                return Err(ModelError::SpecDivergence {
+                    op: (t, k),
+                    observed: None,
+                    expected,
+                    schedule: schedule.to_vec(),
+                });
+            }
+            op!().result = Some(None);
+            op!().linearized_count += 1;
+            op!().pc = Pc::Done;
+            n.cur[t] += 1;
+        }
+        StepKind::Stage0NonEmpty => {
+            op!().node = Some(n.head);
+            op!().pc = Pc::Lock;
+        }
+        StepKind::Restage => {
+            op!().node = None;
+            op!().pc = Pc::Stage0;
+        }
+        StepKind::Lock => {
+            let sentinel = op!().node.expect("staged");
+            debug_assert_eq!(sentinel, n.head);
+            debug_assert!(n.nodes[sentinel].deq_by.is_none());
+            n.nodes[sentinel].deq_by = Some((t, k));
+            let first = n.nodes[sentinel].next.expect("non-empty branch");
+            let observed = n.nodes[first].value;
+            // Linearization of the successful dequeue.
+            let expected = n.spec.pop_front();
+            if observed != expected {
+                return Err(ModelError::SpecDivergence {
+                    op: (t, k),
+                    observed,
+                    expected,
+                    schedule: schedule.to_vec(),
+                });
+            }
+            op!().result = Some(observed);
+            op!().linearized_count += 1;
+            if op!().linearized_count > 1 {
+                return Err(ModelError::DoubleLinearization {
+                    op: (t, k),
+                    schedule: schedule.to_vec(),
+                });
+            }
+            op!().pc = Pc::AckDeq;
+        }
+        StepKind::AckDeq => {
+            op!().pc = Pc::FixHead;
+        }
+        StepKind::FixHead => {
+            let sentinel = op!().node.expect("locked");
+            debug_assert_eq!(sentinel, n.head);
+            n.head = n.nodes[sentinel].next.expect("locked sentinel has next");
+            op!().pc = Pc::Done;
+            n.cur[t] += 1;
+        }
+    }
+    Ok(n)
+}

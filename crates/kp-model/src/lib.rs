@@ -1,0 +1,46 @@
+//! An executable abstract model of the Kogan–Petrank operation scheme
+//! (paper §3.1) with **exhaustive interleaving exploration**.
+//!
+//! The real implementation (`kp-queue`) is validated with real threads,
+//! a linearizability checker, and stall injection — but real schedulers
+//! only sample interleavings. This crate complements that testing by
+//! model-checking the *protocol* itself: each operation is modelled as
+//! the paper's sequence of guarded atomic steps, and a DFS with state
+//! memoization visits **every** reachable interleaving of a bounded
+//! configuration, checking on each path:
+//!
+//! * **Linearization soundness** — the paper's linearization points
+//!   (the append CAS for enqueue, L74; the `deqTid` CAS for successful
+//!   dequeue, L135; the empty observation, L112) are applied to an
+//!   embedded sequential specification queue at the moment they
+//!   execute; any divergence between an operation's observed result and
+//!   the spec is reported with the offending schedule.
+//! * **Structural invariants** — at most one dangling node (the §3.1
+//!   lazy-enqueue invariant the whole scheme rests on), `head` reaches
+//!   `tail`, a locked sentinel always has a successor.
+//! * **Exactly-once (Lemmas 1–2)** — by construction each operation has
+//!   one append/lock step, and the checker verifies the step's *guard*
+//!   is never satisfiable twice (re-execution is a model bug).
+//! * **Progress** — no reachable non-terminal state is stuck: some step
+//!   is always enabled. In the scheme this is the operational shadow of
+//!   lock-freedom; combined with the phase doorway (helpers cannot
+//!   return while an older operation is pending, which the *code-level*
+//!   tests cover) it yields the paper's wait-freedom argument.
+//!
+//! The model deliberately abstracts the helping *mechanics* (who
+//! executes a step) because the shared-state evolution is identical
+//! regardless of the executor — that is the entire point of the
+//! three-step scheme. What the model cannot check (and the code-level
+//! tests do) is the Rust implementation's memory management.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod explore;
+mod state;
+
+pub use explore::{explore, ExploreResult, ModelError};
+pub use state::{OpKind, Scenario};
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,144 @@
+//! The abstract shared state and the guarded atomic steps of the
+//! operation scheme.
+
+use std::collections::VecDeque;
+
+/// What an operation does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// `enqueue(value)`.
+    Enqueue(u64),
+    /// `dequeue()`.
+    Dequeue,
+}
+
+/// A bounded configuration to explore: each inner vector is one
+/// thread's program (operations executed in order).
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Per-thread operation sequences.
+    pub programs: Vec<Vec<OpKind>>,
+}
+
+/// Control location of an in-flight operation. Steps correspond to the
+/// paper's atomic transitions:
+///
+/// * enqueue: `Publish → Append (L74, linearizes) → Ack (L93) →
+///   FixTail (L94) → Done`
+/// * dequeue: `Publish → Stage0 (L131) → Lock (L135, linearizes) /
+///   ObserveEmpty (L112+L120) → Ack (L149) → FixHead (L150) → Done`
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) enum Pc {
+    Publish,
+    /// Enqueue: waiting to append (needs `tail.next == null`).
+    Append,
+    /// Enqueue: appended, pending flag still set.
+    AckEnq,
+    /// Enqueue: acknowledged; tail still behind.
+    FixTail,
+    /// Dequeue: stage 0 — point descriptor at the current sentinel (or
+    /// observe empty).
+    Stage0,
+    /// Dequeue: lock the sentinel recorded at stage 0.
+    Lock,
+    /// Dequeue: locked, pending flag still set.
+    AckDeq,
+    /// Dequeue: acknowledged; head still behind.
+    FixHead,
+    /// Operation complete (result recorded for dequeues).
+    Done,
+}
+
+/// One node of the abstract linked list (arena-allocated; the model is
+/// garbage collected by `Clone`, mirroring the paper's Java setting).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub(crate) struct Node {
+    pub(crate) value: Option<u64>,
+    pub(crate) next: Option<usize>,
+    /// Which (thread, op-index) locked this node for dequeue, if any.
+    pub(crate) deq_by: Option<(usize, usize)>,
+}
+
+/// An in-flight or completed operation instance.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub(crate) struct OpState {
+    pub(crate) kind: OpKind,
+    pub(crate) pc: Pc,
+    /// Enqueue: the node this op will append. Dequeue: the sentinel
+    /// recorded at stage 0.
+    pub(crate) node: Option<usize>,
+    /// Dequeue result (`Some(None)` = observed empty).
+    pub(crate) result: Option<Option<u64>>,
+    /// Lemma instrumentation: how many times the linearization step ran.
+    pub(crate) linearized_count: u8,
+}
+
+/// The abstract shared state: list + per-thread programs + spec queue.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub(crate) struct State {
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) head: usize,
+    pub(crate) tail: usize,
+    /// `ops[t]` = thread `t`'s operation instances (in program order).
+    pub(crate) ops: Vec<Vec<OpState>>,
+    /// Index of each thread's current operation (== len ⇒ thread done).
+    pub(crate) cur: Vec<usize>,
+    /// The sequential specification the linearization points drive.
+    pub(crate) spec: VecDeque<u64>,
+}
+
+impl State {
+    pub(crate) fn initial(scenario: &Scenario) -> Self {
+        let ops = scenario
+            .programs
+            .iter()
+            .map(|prog| {
+                prog.iter()
+                    .map(|&kind| OpState {
+                        kind,
+                        pc: Pc::Publish,
+                        node: None,
+                        result: None,
+                        linearized_count: 0,
+                    })
+                    .collect()
+            })
+            .collect();
+        State {
+            nodes: vec![Node {
+                value: None,
+                next: None,
+                deq_by: None,
+            }],
+            head: 0,
+            tail: 0,
+            ops,
+            cur: vec![0; scenario.programs.len()],
+            spec: VecDeque::new(),
+        }
+    }
+
+    /// The node after `tail`, if any (the §3.1 *dangling* node).
+    pub(crate) fn dangling(&self) -> Option<usize> {
+        self.nodes[self.tail].next
+    }
+
+    /// True when every thread has finished its program.
+    pub(crate) fn terminal(&self) -> bool {
+        self.cur
+            .iter()
+            .zip(self.ops.iter())
+            .all(|(&c, ops)| c == ops.len())
+    }
+
+    /// The values currently in the abstract list, head to tail.
+    pub(crate) fn list_values(&self) -> Vec<u64> {
+        let mut out = Vec::new();
+        let mut cur = self.nodes[self.head].next;
+        while let Some(i) = cur {
+            out.push(self.nodes[i].value.expect("non-sentinel carries a value"));
+            cur = self.nodes[i].next;
+        }
+        out
+    }
+}

@@ -1,0 +1,93 @@
+//! Exhaustive-exploration tests of the operation scheme.
+
+use crate::{explore, ModelError, OpKind, Scenario};
+use OpKind::{Dequeue, Enqueue};
+
+fn scenario(programs: &[&[OpKind]]) -> Scenario {
+    Scenario {
+        programs: programs.iter().map(|p| p.to_vec()).collect(),
+    }
+}
+
+#[test]
+fn single_thread_pairs() {
+    let r = explore(&scenario(&[&[Enqueue(1), Dequeue, Dequeue]])).unwrap();
+    assert!(r.states > 0);
+    assert_eq!(r.terminals, 1, "deterministic single-thread execution");
+}
+
+#[test]
+fn two_enqueuers_all_interleavings() {
+    let r = explore(&scenario(&[
+        &[Enqueue(1), Enqueue(2)],
+        &[Enqueue(3), Enqueue(4)],
+    ]))
+    .unwrap();
+    // Multiple insertion orders are reachable; all are spec-conformant.
+    assert!(r.terminals >= 2, "interleavings produce distinct orders");
+}
+
+#[test]
+fn two_dequeuers_share_the_elements() {
+    let r = explore(&scenario(&[
+        &[Enqueue(1), Enqueue(2), Dequeue],
+        &[Dequeue],
+    ]))
+    .unwrap();
+    assert!(r.states > 10);
+}
+
+#[test]
+fn enqueuer_vs_dequeuer_empty_race() {
+    // The §3.1 empty-queue race the stage-0 trick resolves: a dequeue
+    // concurrent with the very first enqueue may observe empty or take
+    // the element — never anything else.
+    let r = explore(&scenario(&[&[Enqueue(7)], &[Dequeue]])).unwrap();
+    assert!(r.terminals >= 2, "both outcomes must be reachable");
+}
+
+#[test]
+fn three_threads_mixed() {
+    let r = explore(&scenario(&[
+        &[Enqueue(1), Dequeue],
+        &[Enqueue(2)],
+        &[Dequeue, Enqueue(3)],
+    ]))
+    .unwrap();
+    assert!(r.states > 100, "nontrivial state space: {}", r.states);
+}
+
+#[test]
+fn deeper_two_thread_program() {
+    let r = explore(&scenario(&[
+        &[Enqueue(1), Enqueue(2), Dequeue, Dequeue],
+        &[Dequeue, Enqueue(3), Dequeue],
+    ]))
+    .unwrap();
+    assert!(r.states > 500, "state space: {}", r.states);
+}
+
+/// Sanity of the checker itself: a corrupted transition relation (here
+/// simulated by exploring a scenario, then asserting the checker's
+/// error type renders) — the real negative coverage lives in
+/// `explore.rs`'s guards; this test pins the error enum's shape.
+#[test]
+fn model_error_is_descriptive() {
+    let e = ModelError::SpecDivergence {
+        op: (1, 0),
+        observed: Some(9),
+        expected: Some(1),
+        schedule: vec!["t0op0:Append".into()],
+    };
+    let s = format!("{e:?}");
+    assert!(s.contains("SpecDivergence") && s.contains("t0op0"));
+}
+
+#[test]
+fn fifo_order_is_forced_for_sequential_enqueues() {
+    // One thread enqueues 1 then 2 (strictly ordered); a second thread
+    // dequeues twice. In every terminal state where both dequeues got
+    // values, they must be (1, 2) — never (2, 1). The exploration
+    // would flag a SpecDivergence otherwise; reaching Ok is the proof.
+    explore(&scenario(&[&[Enqueue(1), Enqueue(2)], &[Dequeue, Dequeue]])).unwrap();
+}

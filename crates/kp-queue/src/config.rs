@@ -1,0 +1,154 @@
+//! Runtime configuration selecting among the paper's algorithm variants.
+
+/// How a thread chooses which peers to help on each operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HelpPolicy {
+    /// The base algorithm (Figure 2 `help()`): scan the entire `state`
+    /// array and help every pending operation with phase ≤ own phase.
+    ScanAll,
+    /// Optimization 1 (§3.3): examine only `chunk` entries per operation,
+    /// advancing cyclically through the array (plus the thread's own
+    /// entry). Wait-freedom is preserved because each index is revisited
+    /// at least once every `ceil(n / chunk)` operations.
+    Cyclic {
+        /// Entries examined per operation (`k` in the paper, `1 ≤ k < n`).
+        chunk: usize,
+    },
+    /// The paper's alternative to `Cyclic`: examine `chunk` entries
+    /// starting at a random index, giving *probabilistic* wait-freedom.
+    RandomChunk {
+        /// Entries examined per operation.
+        chunk: usize,
+    },
+}
+
+/// How a thread obtains its phase number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PhasePolicy {
+    /// The base algorithm (Figure 2 `maxPhase()`): scan the `state` array
+    /// and pick the maximum phase plus one. O(n) per operation.
+    MaxScan,
+    /// Optimization 2 (§3.3): a shared monotone counter bumped with an
+    /// atomic read-modify-write. O(1) per operation. (The paper uses a
+    /// CAS whose failure may be ignored — a failed CAS means another
+    /// thread took the same phase, and equal phases are benign; a
+    /// fetch-add is the equivalent primitive with unique results.)
+    AtomicCounter,
+}
+
+/// Variant selection for a [`WfQueue`](crate::WfQueue).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Config {
+    /// Helping policy (optimization 1 axis).
+    pub help: HelpPolicy,
+    /// Phase-number policy (optimization 2 axis).
+    pub phase: PhasePolicy,
+    /// §3.3 enhancement #3: read the `pending` flag before attempting
+    /// the (costly) descriptor CAS in the two `help_finish_*` methods.
+    pub validate_before_cas: bool,
+}
+
+impl Config {
+    /// The base algorithm of §3.2 — the paper's `base WF` series.
+    pub const fn base() -> Self {
+        Config {
+            help: HelpPolicy::ScanAll,
+            phase: PhasePolicy::MaxScan,
+            validate_before_cas: false,
+        }
+    }
+
+    /// Optimization 1 only — the paper's `opt WF (1)` series.
+    pub const fn opt1() -> Self {
+        Config {
+            help: HelpPolicy::Cyclic { chunk: 1 },
+            phase: PhasePolicy::MaxScan,
+            validate_before_cas: false,
+        }
+    }
+
+    /// Optimization 2 only — the paper's `opt WF (2)` series.
+    pub const fn opt2() -> Self {
+        Config {
+            help: HelpPolicy::ScanAll,
+            phase: PhasePolicy::AtomicCounter,
+            validate_before_cas: false,
+        }
+    }
+
+    /// Both optimizations — the paper's `opt WF (1+2)` series.
+    pub const fn opt_both() -> Self {
+        Config {
+            help: HelpPolicy::Cyclic { chunk: 1 },
+            phase: PhasePolicy::AtomicCounter,
+            validate_before_cas: false,
+        }
+    }
+
+    /// Enables the validation-before-CAS enhancement (§3.3 #3).
+    pub const fn with_validation(mut self) -> Self {
+        self.validate_before_cas = true;
+        self
+    }
+
+    /// Sets the helping policy.
+    pub const fn with_help(mut self, help: HelpPolicy) -> Self {
+        self.help = help;
+        self
+    }
+
+    /// Sets the phase policy.
+    pub const fn with_phase(mut self, phase: PhasePolicy) -> Self {
+        self.phase = phase;
+        self
+    }
+
+    /// Short label used by the harness and benches ("base", "opt1", …).
+    pub fn label(&self) -> &'static str {
+        match (self.help, self.phase) {
+            (HelpPolicy::ScanAll, PhasePolicy::MaxScan) => "base WF",
+            (HelpPolicy::Cyclic { .. }, PhasePolicy::MaxScan) => "opt WF (1)",
+            (HelpPolicy::ScanAll, PhasePolicy::AtomicCounter) => "opt WF (2)",
+            (HelpPolicy::Cyclic { .. }, PhasePolicy::AtomicCounter) => "opt WF (1+2)",
+            (HelpPolicy::RandomChunk { .. }, PhasePolicy::MaxScan) => "opt WF (rand)",
+            (HelpPolicy::RandomChunk { .. }, PhasePolicy::AtomicCounter) => "opt WF (rand+2)",
+        }
+    }
+}
+
+impl Default for Config {
+    /// Defaults to the best-performing variant, `opt WF (1+2)`.
+    fn default() -> Self {
+        Config::opt_both()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper_series() {
+        assert_eq!(Config::base().label(), "base WF");
+        assert_eq!(Config::opt1().label(), "opt WF (1)");
+        assert_eq!(Config::opt2().label(), "opt WF (2)");
+        assert_eq!(Config::opt_both().label(), "opt WF (1+2)");
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = Config::base()
+            .with_validation()
+            .with_help(HelpPolicy::RandomChunk { chunk: 2 })
+            .with_phase(PhasePolicy::AtomicCounter);
+        assert!(c.validate_before_cas);
+        assert_eq!(c.help, HelpPolicy::RandomChunk { chunk: 2 });
+        assert_eq!(c.phase, PhasePolicy::AtomicCounter);
+        assert_eq!(c.label(), "opt WF (rand+2)");
+    }
+
+    #[test]
+    fn default_is_opt_both() {
+        assert_eq!(Config::default(), Config::opt_both());
+    }
+}

@@ -1,0 +1,55 @@
+//! The operation descriptor (paper Figure 1, `class OpDesc`).
+
+use crate::node::Node;
+
+/// Published record of a thread's current (or last) operation.
+///
+/// Descriptors are immutable once published in the `state` array; every
+/// state transition replaces the whole record with a CAS, exactly as the
+/// Java original allocates a fresh `OpDesc` for each transition. The
+/// displaced record is retired through the epoch collector.
+pub(crate) struct OpDesc<T> {
+    /// The operation's priority (smaller = older = helped first).
+    pub(crate) phase: i64,
+    /// `true` from publication until the operation is linearized *and*
+    /// acknowledged (step 2 of the three-step scheme).
+    pub(crate) pending: bool,
+    /// `true` for enqueue, `false` for dequeue.
+    pub(crate) enqueue: bool,
+    /// * enqueue: the node carrying the value to insert;
+    /// * dequeue: the sentinel preceding the value to return (stage 0 of
+    ///   `help_deq`), or null before stage 0 / for an empty-queue result.
+    ///
+    /// Never dereferenced through this field alone — helpers only compare
+    /// it against pointers obtained from a pinned traversal, and the
+    /// owner dereferences it only while its own guard (held since before
+    /// the pointer was stored) keeps the node alive.
+    pub(crate) node: *const Node<T>,
+}
+
+impl<T> OpDesc<T> {
+    /// The initial per-slot descriptor (constructor, Figure 1 line 33):
+    /// phase −1, not pending.
+    pub(crate) fn initial() -> Self {
+        OpDesc {
+            phase: -1,
+            pending: false,
+            enqueue: true,
+            node: std::ptr::null(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_descriptor_is_idle() {
+        let d: OpDesc<u32> = OpDesc::initial();
+        assert_eq!(d.phase, -1);
+        assert!(!d.pending);
+        assert!(d.enqueue);
+        assert!(d.node.is_null());
+    }
+}

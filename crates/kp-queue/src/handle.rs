@@ -1,0 +1,326 @@
+//! The per-thread handle: operation entry points (paper Figure 4 `enq`,
+//! Figure 6 `deq`) and the §3.3 helping-policy dispatch.
+
+use std::ptr;
+
+use crossbeam_epoch::{self as epoch, Guard};
+use idpool::IdGuard;
+use queue_traits::QueueHandle;
+
+use crate::config::HelpPolicy;
+use crate::desc::OpDesc;
+use crate::node::Node;
+use crate::queue::WfQueue;
+use crate::stats::Stats;
+
+/// A registered thread's handle to a [`WfQueue`].
+///
+/// Owns a virtual thread ID (`TID` in the paper's listings) for the
+/// handle's lifetime; dropping the handle returns the ID to the pool.
+/// Operations take `&mut self` because a handle embodies *one* thread of
+/// the algorithm — the queue itself may be shared freely.
+pub struct WfHandle<'q, T> {
+    queue: &'q WfQueue<T>,
+    id: IdGuard<'q>,
+    /// Next state-array index to examine under `HelpPolicy::Cyclic`.
+    cursor: usize,
+    /// xorshift64* state for `HelpPolicy::RandomChunk`.
+    rng: u64,
+}
+
+impl<'q, T: Send> WfHandle<'q, T> {
+    pub(crate) fn new(queue: &'q WfQueue<T>, id: IdGuard<'q>) -> Self {
+        let tid = id.id();
+        WfHandle {
+            queue,
+            id,
+            cursor: (tid + 1) % queue.max_threads(),
+            // Any nonzero seed works; derive from the slot for variety.
+            rng: 0x9E37_79B9_7F4A_7C15 ^ ((tid as u64 + 1) << 17),
+        }
+    }
+
+    /// This handle's virtual thread ID (index into the `state` array).
+    pub fn tid(&self) -> usize {
+        self.id.id()
+    }
+
+    /// The queue this handle operates on.
+    pub fn queue(&self) -> &'q WfQueue<T> {
+        self.queue
+    }
+
+    fn next_rand(&mut self) -> u64 {
+        // xorshift64*: tiny, decent-quality generator; no external
+        // dependency needed in the hot path.
+        let mut x = self.rng;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Applies the configured helping policy for an operation running at
+    /// `phase`, then drives the handle's *own* operation to completion.
+    fn run_help(&mut self, phase: i64, enqueue: bool, guard: &Guard) {
+        let q = self.queue;
+        let tid = self.tid();
+        let n = q.max_threads();
+        match q.config.help {
+            HelpPolicy::ScanAll => {
+                // Base algorithm: the L64/L101 `help(phase)` call. The
+                // scan includes our own entry, so the operation is
+                // complete when it returns.
+                q.help_all(phase, tid, guard);
+            }
+            HelpPolicy::Cyclic { chunk } => {
+                // §3.3 optimization 1: examine `chunk` entries starting
+                // at the cyclic cursor (in addition to our own entry).
+                for j in 0..chunk.min(n) {
+                    let i = (self.cursor + j) % n;
+                    if i != tid {
+                        q.help_index(i, phase, tid, guard);
+                    }
+                }
+                self.cursor = (self.cursor + chunk) % n;
+            }
+            HelpPolicy::RandomChunk { chunk } => {
+                // §3.3 alternative: random chunk (probabilistic
+                // wait-freedom).
+                let start = (self.next_rand() % n as u64) as usize;
+                for j in 0..chunk.min(n) {
+                    let i = (start + j) % n;
+                    if i != tid {
+                        q.help_index(i, phase, tid, guard);
+                    }
+                }
+            }
+        }
+        // Under the chunked policies our own entry may not have been
+        // visited; drive our own operation to completion. (Redundant but
+        // harmless under ScanAll: `is_still_pending` fails immediately.)
+        if enqueue {
+            q.help_enq(tid, phase, tid, guard);
+        } else {
+            q.help_deq(tid, phase, tid, guard);
+        }
+    }
+
+    /// `enq(value)`, Figure 4 L61–66.
+    pub fn enqueue(&mut self, value: T) {
+        let q = self.queue;
+        let tid = self.tid();
+        let guard = epoch::pin();
+        let phase = q.next_phase(&guard); // L62
+        let node = Box::into_raw(Box::new(Node::new(Some(value), tid)));
+        // L63: publish the operation descriptor.
+        q.publish(
+            tid,
+            OpDesc {
+                phase,
+                pending: true,
+                enqueue: true,
+                node,
+            },
+            &guard,
+        );
+        self.run_help(phase, true, &guard); // L64
+        q.help_finish_enq(&guard); // L65 (see the paper's L65 argument)
+        Stats::bump(&q.stats.enqueues);
+    }
+
+    /// `deq()`, Figure 6 L98–108. Returns `None` where the paper throws
+    /// `EmptyException`.
+    pub fn dequeue(&mut self) -> Option<T> {
+        let q = self.queue;
+        let tid = self.tid();
+        // The guard is held from before the descriptor is published
+        // until after the value is read: every node our descriptor can
+        // reference is retired (if at all) during this pin, so the reads
+        // below are safe.
+        let guard = epoch::pin();
+        let phase = q.next_phase(&guard); // L99
+        // L100: publish the operation descriptor.
+        q.publish(
+            tid,
+            OpDesc {
+                phase,
+                pending: true,
+                enqueue: false,
+                node: ptr::null(),
+            },
+            &guard,
+        );
+        self.run_help(phase, false, &guard); // L101
+        q.help_finish_deq(&guard); // L102
+        Stats::bump(&q.stats.dequeues);
+        // L103–107: read the result through our completed descriptor.
+        Self::read_deq_result(q, tid, &guard)
+    }
+
+    /// The L103–107 epilogue, shared with the test-hook path.
+    fn read_deq_result(q: &WfQueue<T>, tid: usize, guard: &Guard) -> Option<T> {
+        let desc = q.state[tid].load(std::sync::atomic::Ordering::SeqCst, guard);
+        // SAFETY: descriptor slots are never null; we are pinned.
+        let desc_ref = unsafe { desc.deref() };
+        debug_assert!(!desc_ref.pending, "operation must be complete");
+        debug_assert!(!desc_ref.enqueue, "descriptor must be ours (dequeue)");
+        let node = desc_ref.node;
+        if node.is_null() {
+            Stats::bump(&q.stats.empty_dequeues);
+            return None; // L104–105: linearized on an empty queue
+        }
+        // L107: the value lives in the node *after* the sentinel our
+        // operation locked.
+        // SAFETY: `node` is the sentinel this dequeue locked; it was
+        // retired no earlier than the L150 head-CAS, which happened
+        // during our pin, so it is still live. Same for `next`.
+        let next = unsafe { &*node }.next.load(std::sync::atomic::Ordering::SeqCst, guard);
+        debug_assert!(!next.is_null(), "locked sentinel must have a successor");
+        // SAFETY (uniqueness of the take): `node.deq_tid == tid` was set
+        // by a successful CAS from −1, so exactly one operation ever
+        // locks `node`, and only that operation's owner executes this
+        // line for `node` — each value is taken exactly once, with the
+        // enqueuer's write ordered before by the release/acquire chain
+        // through the list links.
+        let value = unsafe { (*next.deref().value.get()).take() };
+        Some(value.expect("value already taken: deq_tid uniqueness violated"))
+    }
+
+    /// Begins an operation but performs **no helping**, leaving the
+    /// published descriptor pending — as if the thread stalled right
+    /// after the paper's L63/L100. Test infrastructure for exercising
+    /// the helping mechanism deterministically; not part of the public
+    /// API surface.
+    #[doc(hidden)]
+    pub fn begin_enqueue_unhelped(&mut self, value: T) -> PendingOp<'_, 'q, T> {
+        let q = self.queue;
+        let tid = self.tid();
+        let guard = epoch::pin();
+        let phase = q.next_phase(&guard);
+        let node = Box::into_raw(Box::new(Node::new(Some(value), tid)));
+        q.publish(
+            tid,
+            OpDesc {
+                phase,
+                pending: true,
+                enqueue: true,
+                node,
+            },
+            &guard,
+        );
+        PendingOp {
+            handle: self,
+            guard,
+            phase,
+            enqueue: true,
+            done: false,
+        }
+    }
+
+    /// Dequeue counterpart of [`begin_enqueue_unhelped`].
+    ///
+    /// [`begin_enqueue_unhelped`]: Self::begin_enqueue_unhelped
+    #[doc(hidden)]
+    pub fn begin_dequeue_unhelped(&mut self) -> PendingOp<'_, 'q, T> {
+        let q = self.queue;
+        let tid = self.tid();
+        let guard = epoch::pin();
+        let phase = q.next_phase(&guard);
+        q.publish(
+            tid,
+            OpDesc {
+                phase,
+                pending: true,
+                enqueue: false,
+                node: ptr::null(),
+            },
+            &guard,
+        );
+        PendingOp {
+            handle: self,
+            guard,
+            phase,
+            enqueue: false,
+            done: false,
+        }
+    }
+}
+
+impl<T: Send> QueueHandle<T> for WfHandle<'_, T> {
+    fn enqueue(&mut self, value: T) {
+        WfHandle::enqueue(self, value);
+    }
+
+    fn dequeue(&mut self) -> Option<T> {
+        WfHandle::dequeue(self)
+    }
+}
+
+/// An in-flight operation started by [`WfHandle::begin_enqueue_unhelped`]
+/// or [`WfHandle::begin_dequeue_unhelped`] — the owner is "stalled" and
+/// other threads' operations may complete it through helping.
+///
+/// Holds the owner's epoch guard, so the queue's node references stay
+/// valid until [`finish`](PendingOp::finish). Not `Send`: it models one
+/// stalled thread.
+#[doc(hidden)]
+pub struct PendingOp<'h, 'q, T: Send> {
+    handle: &'h mut WfHandle<'q, T>,
+    guard: Guard,
+    phase: i64,
+    enqueue: bool,
+    done: bool,
+}
+
+impl<T: Send> PendingOp<'_, '_, T> {
+    /// True while the operation has not been linearized-and-acknowledged
+    /// by anyone (owner or helper).
+    pub fn is_pending(&self) -> bool {
+        self.handle
+            .queue
+            .is_still_pending(self.handle.tid(), self.phase, &self.guard)
+    }
+
+    /// The phase number the operation was published with.
+    pub fn phase(&self) -> i64 {
+        self.phase
+    }
+
+    fn complete(&mut self) -> Option<T> {
+        debug_assert!(!self.done);
+        self.done = true;
+        let q = self.handle.queue;
+        let tid = self.handle.tid();
+        if self.enqueue {
+            q.help_enq(tid, self.phase, tid, &self.guard);
+            q.help_finish_enq(&self.guard);
+            Stats::bump(&q.stats.enqueues);
+            None
+        } else {
+            q.help_deq(tid, self.phase, tid, &self.guard);
+            q.help_finish_deq(&self.guard);
+            Stats::bump(&q.stats.dequeues);
+            WfHandle::read_deq_result(q, tid, &self.guard)
+        }
+    }
+
+    /// Resumes the stalled owner: completes the operation (help may
+    /// already have done all the work) and returns the dequeued value,
+    /// if this was a dequeue.
+    pub fn finish(mut self) -> Option<T> {
+        self.complete()
+    }
+}
+
+impl<T: Send> Drop for PendingOp<'_, '_, T> {
+    fn drop(&mut self) {
+        if !self.done {
+            // The operation MUST be driven to completion before the
+            // handle can be reused; a dequeued value, if any, is
+            // discarded.
+            drop(self.complete());
+        }
+    }
+}

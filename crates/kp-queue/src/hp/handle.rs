@@ -1,0 +1,156 @@
+//! Per-thread handle of the hazard-pointer queue: operation entry
+//! points (Figure 4 `enq` / Figure 6 `deq`) and the §3.3 helping-policy
+//! dispatch, mirroring `crate::handle`.
+
+use std::mem::ManuallyDrop;
+use std::ptr;
+
+use hazard::Participant;
+use idpool::IdGuard;
+use queue_traits::QueueHandle;
+
+use crate::config::HelpPolicy;
+use crate::hp::queue::WfQueueHp;
+use crate::hp::types::{NodeHp, OpDescHp, H_DESC};
+use crate::stats::Stats;
+
+/// A registered thread's handle to a [`WfQueueHp`].
+///
+/// Owns the thread's virtual ID *and* its hazard-pointer record.
+pub struct WfHpHandle<'q, T> {
+    queue: &'q WfQueueHp<T>,
+    id: IdGuard<'q>,
+    participant: Participant<'q>,
+    cursor: usize,
+    rng: u64,
+}
+
+impl<'q, T: Send> WfHpHandle<'q, T> {
+    pub(crate) fn new(queue: &'q WfQueueHp<T>, id: IdGuard<'q>, participant: Participant<'q>) -> Self {
+        let tid = id.id();
+        WfHpHandle {
+            queue,
+            id,
+            participant,
+            cursor: (tid + 1) % queue.max_threads(),
+            rng: 0x9E37_79B9_7F4A_7C15 ^ ((tid as u64 + 1) << 17),
+        }
+    }
+
+    /// This handle's virtual thread ID.
+    pub fn tid(&self) -> usize {
+        self.id.id()
+    }
+
+    /// The queue this handle operates on.
+    pub fn queue(&self) -> &'q WfQueueHp<T> {
+        self.queue
+    }
+
+    /// Objects reclaimed so far through this handle's hazard record
+    /// (diagnostics; proves reclamation happens without a GC).
+    pub fn reclaimed(&self) -> usize {
+        self.participant.reclaimed()
+    }
+
+    fn next_rand(&mut self) -> u64 {
+        let mut x = self.rng;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// §3.3 helping-policy dispatch followed by driving our own op.
+    fn run_help(&mut self, phase: i64, enqueue: bool) {
+        let q = self.queue;
+        let tid = self.id.id();
+        let n = q.max_threads();
+        match q.config().help {
+            HelpPolicy::ScanAll => q.help_all(&mut self.participant, phase, tid),
+            HelpPolicy::Cyclic { chunk } => {
+                for j in 0..chunk.min(n) {
+                    let i = (self.cursor + j) % n;
+                    if i != tid {
+                        q.help_index(&mut self.participant, i, phase, tid);
+                    }
+                }
+                self.cursor = (self.cursor + chunk) % n;
+            }
+            HelpPolicy::RandomChunk { chunk } => {
+                let start = (self.next_rand() % n as u64) as usize;
+                for j in 0..chunk.min(n) {
+                    let i = (start + j) % n;
+                    if i != tid {
+                        q.help_index(&mut self.participant, i, phase, tid);
+                    }
+                }
+            }
+        }
+        if enqueue {
+            q.help_enq(&mut self.participant, tid, phase, tid);
+        } else {
+            q.help_deq(&mut self.participant, tid, phase, tid);
+        }
+    }
+
+    /// `enq(value)`, L61–66.
+    pub fn enqueue(&mut self, value: T) {
+        let q = self.queue;
+        let tid = self.id.id();
+        let phase = q.next_phase(&self.participant); // L62
+        let node = NodeHp::boxed(Some(value), tid);
+        let desc = OpDescHp::boxed(phase, true, true, node, None);
+        q.publish(&mut self.participant, tid, desc); // L63
+        self.run_help(phase, true); // L64
+        q.help_finish_enq(&mut self.participant); // L65
+        Stats::bump(&q.stats.enqueues);
+    }
+
+    /// `deq()`, L98–108. `None` where the paper throws `EmptyException`.
+    pub fn dequeue(&mut self) -> Option<T> {
+        let q = self.queue;
+        let tid = self.id.id();
+        let phase = q.next_phase(&self.participant); // L99
+        let desc = OpDescHp::boxed(phase, true, false, ptr::null(), None);
+        q.publish(&mut self.participant, tid, desc); // L100
+        self.run_help(phase, false); // L101
+        q.help_finish_deq(&mut self.participant); // L102
+        Stats::bump(&q.stats.dequeues);
+        // L103–107, §3.4 edition: the result travels in our descriptor,
+        // so no queue node is touched here.
+        let d = self.participant.protect(H_DESC, &q.state[tid]);
+        // SAFETY: protected by H_DESC; slots are never null.
+        let result = unsafe {
+            debug_assert!(!(*d).pending, "own op must be complete");
+            debug_assert!(!(*d).enqueue, "descriptor must be our dequeue");
+            if (*d).node.is_null() {
+                None // empty-queue result
+            } else {
+                // Take the §3.4 value. Exactly-once: only the owner
+                // executes this, once per operation, and the descriptor
+                // cannot be replaced concurrently (only the owner starts
+                // operations for `tid`, and completion transitions
+                // require `pending == true`).
+                let v = ptr::read(&(*d).value);
+                Some(ManuallyDrop::into_inner(v).expect("completed dequeue carries a value"))
+            }
+        };
+        self.participant.clear(H_DESC);
+        if result.is_none() {
+            Stats::bump(&q.stats.empty_dequeues);
+        }
+        result
+    }
+}
+
+impl<T: Send> QueueHandle<T> for WfHpHandle<'_, T> {
+    fn enqueue(&mut self, value: T) {
+        WfHpHandle::enqueue(self, value);
+    }
+
+    fn dequeue(&mut self) -> Option<T> {
+        WfHpHandle::dequeue(self)
+    }
+}

@@ -1,0 +1,57 @@
+//! The wait-free queue with **hazard-pointer** memory management —
+//! the paper's §3.4, implemented in full.
+//!
+//! The epoch-based [`WfQueue`](crate::WfQueue) matches the paper's Java
+//! presentation (which leans on the GC), but epoch reclamation is only
+//! lock-free: one stalled thread can stall *all* reclamation. §3.4
+//! prescribes Michael's hazard pointers to make memory management
+//! wait-free too, and sketches the one algorithmic change required:
+//!
+//! > "we need to add a field into the operation descriptor records to
+//! > hold a value removed from the queue (and not just a reference to
+//! > the sentinel through which this value can be located)"
+//!
+//! [`WfQueueHp`] implements exactly that: when a helper completes a
+//! dequeue (the `pending → false` descriptor transition, paper L148–149),
+//! it copies the dequeued value *into the new descriptor*, so the
+//! operation's owner reads its result from its own (hazard-protected)
+//! descriptor and never touches queue nodes after they may have been
+//! retired. Nodes are retired as soon as `head` passes them (end of
+//! `help_finish_deq`), exactly as §3.4 wants.
+//!
+//! ## Hazard discipline
+//!
+//! Three slots per thread:
+//!
+//! | slot | protects |
+//! |---|---|
+//! | 0 | the `head`/`tail` node an operation is working on |
+//! | 1 | that node's successor (validated via a `head`/`tail` re-read: while the anchor is still in place, the successor cannot have been retired) |
+//! | 2 | the operation descriptor currently being read |
+//!
+//! ## Value-ownership protocol
+//!
+//! Values never *move out of* nodes (no node field is ever mutated after
+//! publication, so helper reads race with nothing). Instead, ownership
+//! is transferred by `ptr::read` copies along a chain with exactly one
+//! live end: node → the unique winning completion descriptor → the
+//! owner's return value. Every other bitwise copy sits in a
+//! `ManuallyDrop` and is deliberately never dropped:
+//!
+//! * node drops never drop the value of a node that became a sentinel
+//!   (its value's ownership moved to a descriptor when its predecessor
+//!   was dequeued);
+//! * descriptor drops never drop values (the owner's `deq()` has taken
+//!   it — our API guarantees every operation's epilogue runs);
+//! * the queue's `Drop` manually drops the values of resident
+//!   non-sentinel nodes, the only copies still owned by the structure.
+
+mod handle;
+mod queue;
+mod types;
+
+pub use handle::WfHpHandle;
+pub use queue::WfQueueHp;
+
+#[cfg(test)]
+mod tests;

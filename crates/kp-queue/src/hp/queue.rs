@@ -1,0 +1,546 @@
+//! Shared structure and helping machinery of the hazard-pointer queue.
+//!
+//! The control flow mirrors `crate::queue` (the epoch version) line for
+//! line — the same paper line references apply — with two differences:
+//!
+//! 1. every shared dereference is covered by a hazard slot, validated
+//!    by re-reading the pointer's source (see the table in the module
+//!    docs);
+//! 2. completed dequeues carry their value in the descriptor (§3.4), so
+//!    the owner's epilogue reads no queue nodes.
+
+use std::mem::ManuallyDrop;
+use std::ptr;
+use std::sync::atomic::{AtomicI64, AtomicPtr, Ordering};
+
+use crossbeam_utils::CachePadded;
+use hazard::{Domain, Participant};
+use idpool::IdPool;
+use queue_traits::{ConcurrentQueue, RegistrationError};
+
+use crate::config::{Config, PhasePolicy};
+use crate::hp::handle::WfHpHandle;
+use crate::hp::types::{NodeHp, OpDescHp, H_DESC, H_NEXT, H_NODE, NO_DEQUEUER};
+use crate::stats::{Stats, StatsSnapshot};
+
+/// Fields of a descriptor, copied out while it was hazard-protected so
+/// no reference outlives the protection window.
+#[derive(Clone, Copy)]
+pub(crate) struct DescView<T> {
+    pub(crate) phase: i64,
+    pub(crate) pending: bool,
+    pub(crate) enqueue: bool,
+    /// Retained for symmetry with the epoch version's descriptor view;
+    /// the HP helpers re-read the node pointer under fresh protection
+    /// (see `help_enq`) instead of using this copy.
+    #[allow(dead_code)]
+    pub(crate) node: *const NodeHp<T>,
+}
+
+/// The Kogan–Petrank wait-free queue with hazard-pointer reclamation
+/// (paper §3.4): both the queue operations *and* memory management are
+/// wait-free.
+///
+/// Same API and [`Config`] variants as [`WfQueue`](crate::WfQueue).
+pub struct WfQueueHp<T> {
+    pub(crate) head: CachePadded<AtomicPtr<NodeHp<T>>>,
+    pub(crate) tail: CachePadded<AtomicPtr<NodeHp<T>>>,
+    pub(crate) state: Box<[AtomicPtr<OpDescHp<T>>]>,
+    phase_counter: CachePadded<AtomicI64>,
+    pub(crate) domain: Domain,
+    ids: IdPool,
+    pub(crate) config: Config,
+    pub(crate) stats: Stats,
+}
+
+// SAFETY: same protocol as the epoch version; see module docs for the
+// value-ownership argument.
+unsafe impl<T: Send> Send for WfQueueHp<T> {}
+unsafe impl<T: Send> Sync for WfQueueHp<T> {}
+
+impl<T: Send> WfQueueHp<T> {
+    /// Creates a queue for at most `max_threads` registered handles with
+    /// the default (`opt WF (1+2)`) configuration.
+    pub fn new(max_threads: usize) -> Self {
+        Self::with_config(max_threads, Config::default())
+    }
+
+    /// Creates a queue with an explicit algorithm [`Config`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_threads` is zero or a chunked policy has a zero
+    /// chunk.
+    pub fn with_config(max_threads: usize, config: Config) -> Self {
+        assert!(max_threads > 0, "max_threads must be positive");
+        if let crate::HelpPolicy::Cyclic { chunk } | crate::HelpPolicy::RandomChunk { chunk } =
+            config.help
+        {
+            assert!(chunk > 0, "help chunk must be positive");
+        }
+        let sentinel = NodeHp::sentinel();
+        WfQueueHp {
+            head: CachePadded::new(AtomicPtr::new(sentinel)),
+            tail: CachePadded::new(AtomicPtr::new(sentinel)),
+            state: (0..max_threads)
+                .map(|_| AtomicPtr::new(OpDescHp::initial()))
+                .collect::<Vec<_>>()
+                .into_boxed_slice(),
+            phase_counter: CachePadded::new(AtomicI64::new(0)),
+            domain: Domain::new(crate::hp::types::H_SLOTS),
+            ids: IdPool::new(max_threads),
+            config,
+            stats: Stats::default(),
+        }
+    }
+
+    /// The configuration this queue runs with.
+    pub fn config(&self) -> Config {
+        self.config
+    }
+
+    /// Maximum simultaneously registered handles.
+    pub fn max_threads(&self) -> usize {
+        self.state.len()
+    }
+
+    /// A copy of the helping statistics.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Approximate length (O(n); callers must be externally quiesced —
+    /// unlike the epoch version there is no pin to keep a traversal
+    /// safe, so this walks only when no concurrent dequeuers run;
+    /// intended for tests and diagnostics).
+    pub fn len_approx_quiescent(&self) -> usize {
+        let mut n = 0;
+        // SAFETY: quiescence contract — no concurrent retirement.
+        unsafe {
+            let mut cur = (*self.head.load(Ordering::SeqCst)).next.load(Ordering::SeqCst);
+            while !cur.is_null() {
+                n += 1;
+                cur = (*cur).next.load(Ordering::SeqCst);
+            }
+        }
+        n
+    }
+
+    // ------------------------------------------------------------------
+    // Auxiliary methods (Figure 2)
+    // ------------------------------------------------------------------
+
+    /// Protects and copies `state[tid]`'s fields (slot `H_DESC` is
+    /// released before returning; only POD fields are copied out).
+    pub(crate) fn read_desc(&self, p: &Participant<'_>, tid: usize) -> DescView<T> {
+        let d = p.protect(H_DESC, &self.state[tid]);
+        // SAFETY: protected by H_DESC; descriptors are never null.
+        let view = unsafe {
+            DescView {
+                phase: (*d).phase,
+                pending: (*d).pending,
+                enqueue: (*d).enqueue,
+                node: (*d).node,
+            }
+        };
+        p.clear(H_DESC);
+        view
+    }
+
+    /// `maxPhase()`, L48–57.
+    pub(crate) fn max_phase(&self, p: &Participant<'_>) -> i64 {
+        Stats::bump(&self.stats.phase_scans);
+        let mut max = -1;
+        for tid in 0..self.state.len() {
+            max = max.max(self.read_desc(p, tid).phase);
+        }
+        max
+    }
+
+    /// Phase selection (L62/L99 or the §3.3 counter).
+    pub(crate) fn next_phase(&self, p: &Participant<'_>) -> i64 {
+        match self.config.phase {
+            PhasePolicy::MaxScan => self.max_phase(p) + 1,
+            PhasePolicy::AtomicCounter => self.phase_counter.fetch_add(1, Ordering::SeqCst) + 1,
+        }
+    }
+
+    /// `isStillPending(tid, ph)`, L58–60, folded into the helper loops
+    /// as a fresh `read_desc` copy per iteration (the descriptor fields
+    /// must be re-read anyway, so a separate method would double the
+    /// protected reads).
+
+    /// Publishes a fresh descriptor in `state[tid]` (L63/L100), retiring
+    /// the displaced one.
+    pub(crate) fn publish(&self, p: &mut Participant<'_>, tid: usize, desc: *mut OpDescHp<T>) {
+        let old = self.state[tid].swap(desc, Ordering::SeqCst);
+        // SAFETY: `old` was just unlinked from the slot; readers hold
+        // hazard protection, which retire/scan respects.
+        unsafe { p.retire(old) };
+    }
+
+    /// CAS `state[tid]`: `cur → new`, retiring `cur` on success and
+    /// freeing the unused `new` allocation on failure (descriptor drops
+    /// never touch the value — see `OpDescHp`).
+    pub(crate) fn cas_state(
+        &self,
+        p: &mut Participant<'_>,
+        tid: usize,
+        cur: *mut OpDescHp<T>,
+        new: *mut OpDescHp<T>,
+    ) -> bool {
+        if self.state[tid]
+            .compare_exchange(cur, new, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+        {
+            // SAFETY: `cur` unlinked by our CAS.
+            unsafe { p.retire(cur) };
+            true
+        } else {
+            // SAFETY: `new` never escaped.
+            unsafe { drop(Box::from_raw(new)) };
+            false
+        }
+    }
+
+    /// One `help()` scan step (L38–45).
+    pub(crate) fn help_index(&self, p: &mut Participant<'_>, i: usize, ph: i64, helper: usize) {
+        let d = self.read_desc(p, i);
+        if d.pending && d.phase <= ph {
+            if i != helper {
+                Stats::bump(&self.stats.help_calls);
+            }
+            if d.enqueue {
+                self.help_enq(p, i, ph, helper);
+            } else {
+                self.help_deq(p, i, ph, helper);
+            }
+        }
+    }
+
+    /// `help(phase)`, L36–47.
+    pub(crate) fn help_all(&self, p: &mut Participant<'_>, ph: i64, helper: usize) {
+        for i in 0..self.state.len() {
+            self.help_index(p, i, ph, helper);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // enqueue machinery (Figure 4)
+    // ------------------------------------------------------------------
+
+    /// `help_enq`, L67–84.
+    pub(crate) fn help_enq(&self, p: &mut Participant<'_>, tid: usize, ph: i64, helper: usize) {
+        loop {
+            // L68 + L73 in one protected read: copy the descriptor's
+            // fields fresh each iteration.
+            let d = self.read_desc(p, tid);
+            if !(d.pending && d.phase <= ph) {
+                return;
+            }
+            let last = p.protect(H_NODE, &*self.tail); // L69
+            // SAFETY: protected; the tail node is never retired while
+            // tail can still point at it (head never overtakes tail).
+            let next = unsafe { (*last).next.load(Ordering::SeqCst) }; // L70
+            if self.tail.load(Ordering::SeqCst) != last {
+                continue; // L71 failed
+            }
+            if next.is_null() {
+                // L72–74: append the owner's node.
+                //
+                // Without a GC this is the one step where a pointer read
+                // *out of a descriptor* is published into the structure,
+                // so it needs its own protection: re-read the descriptor
+                // under H_DESC, hazard its node in H_NEXT, and validate
+                // the slot still holds the same descriptor. Descriptor
+                // unchanged ⇒ the operation is still pending ⇒ its node
+                // has not been appended yet, let alone dequeued/retired
+                // (retire is ordered after the pending→false CAS), so
+                // the hazard covers a live node from a point where it
+                // was still reachable. Trusting the earlier copy `d`
+                // instead is a real use-after-free: the op can complete
+                // and its node be freed — or recycled as another
+                // thread's fresh node, which a stale CAS would then
+                // double-insert.
+                let cur = p.protect(H_DESC, &self.state[tid]);
+                // SAFETY: protected by H_DESC.
+                let (c_pending, c_phase, c_enqueue, c_node) = unsafe {
+                    ((*cur).pending, (*cur).phase, (*cur).enqueue, (*cur).node)
+                };
+                let mut appended = false;
+                if c_pending && c_phase <= ph && c_enqueue {
+                    p.set(H_NEXT, c_node as *mut NodeHp<T>);
+                    if self.state[tid].load(Ordering::SeqCst) == cur {
+                        // SAFETY: `last` is protected by H_NODE; `c_node`
+                        // is validated-live as argued above (the CAS does
+                        // not dereference it, but it must not publish a
+                        // dangling pointer).
+                        appended = unsafe {
+                            (*last).next.compare_exchange(
+                                ptr::null_mut(),
+                                c_node as *mut _,
+                                Ordering::SeqCst,
+                                Ordering::SeqCst,
+                            )
+                        }
+                        .is_ok();
+                    }
+                    p.clear(H_NEXT);
+                }
+                p.clear(H_DESC);
+                if appended {
+                    Stats::bump(&self.stats.appends_total);
+                    if helper != tid {
+                        Stats::bump(&self.stats.helped_appends);
+                    }
+                    self.help_finish_enq(p); // L75
+                    return;
+                }
+            } else {
+                // L79–80: finish the in-progress enqueue first.
+                self.help_finish_enq(p);
+            }
+        }
+    }
+
+    /// `help_finish_enq`, L85–97.
+    pub(crate) fn help_finish_enq(&self, p: &mut Participant<'_>) {
+        let last = p.protect(H_NODE, &*self.tail); // L86
+        // SAFETY: protected as in help_enq.
+        let next = unsafe { (*last).next.load(Ordering::SeqCst) }; // L87
+        if next.is_null() {
+            return;
+        }
+        // Protect `next` before dereferencing: while `last` is still the
+        // tail, head ≤ last < next, so next cannot have been retired.
+        p.set(H_NEXT, next);
+        if self.tail.load(Ordering::SeqCst) != last {
+            p.clear(H_NEXT);
+            return;
+        }
+        // SAFETY: H_NEXT hazard validated above.
+        let tid = unsafe { (*next).enq_tid }; // L89
+        debug_assert!(tid < self.state.len());
+        let cur = p.protect(H_DESC, &self.state[tid]); // L90
+        // SAFETY: protected by H_DESC.
+        let (cur_phase, cur_pending, cur_node) =
+            unsafe { ((*cur).phase, (*cur).pending, (*cur).node) };
+        // L91
+        if self.tail.load(Ordering::SeqCst) == last && ptr::eq(cur_node, next) {
+            if !(self.config.validate_before_cas && !cur_pending) {
+                // L92–93: step 2.
+                let new = OpDescHp::boxed(cur_phase, false, true, next, None);
+                self.cas_state(p, tid, cur, new);
+            }
+            // L94: step 3.
+            let _ = self
+                .tail
+                .compare_exchange(last, next, Ordering::SeqCst, Ordering::SeqCst);
+        }
+        p.clear(H_DESC);
+        p.clear(H_NEXT);
+    }
+
+    // ------------------------------------------------------------------
+    // dequeue machinery (Figure 6)
+    // ------------------------------------------------------------------
+
+    /// `help_deq`, L109–140.
+    pub(crate) fn help_deq(&self, p: &mut Participant<'_>, tid: usize, ph: i64, helper: usize) {
+        loop {
+            let d0 = self.read_desc(p, tid); // L110
+            if !(d0.pending && d0.phase <= ph) {
+                return;
+            }
+            let first = p.protect(H_NODE, &*self.head); // L111
+            let last = self.tail.load(Ordering::SeqCst); // L112
+            // SAFETY: `first` protected; sentinels are retired only
+            // after head moves off them, which protect() rules out.
+            let next = unsafe { (*first).next.load(Ordering::SeqCst) }; // L113
+            if self.head.load(Ordering::SeqCst) != first {
+                continue; // L114
+            }
+            if first == last {
+                // L115: queue might be empty.
+                if next.is_null() {
+                    // L116–121: record the empty result.
+                    let cur = p.protect(H_DESC, &self.state[tid]); // L117
+                    // SAFETY: protected by H_DESC.
+                    let (cur_phase, cur_pending) = unsafe { ((*cur).phase, (*cur).pending) };
+                    if self.tail.load(Ordering::SeqCst) == last && cur_pending && cur_phase <= ph
+                    {
+                        let new = OpDescHp::boxed(cur_phase, false, false, ptr::null(), None);
+                        self.cas_state(p, tid, cur, new);
+                    }
+                    p.clear(H_DESC);
+                } else {
+                    // L122–123.
+                    self.help_finish_enq(p);
+                }
+            } else {
+                // L125–137: queue is not empty.
+                let cur = p.protect(H_DESC, &self.state[tid]); // L126
+                // SAFETY: protected by H_DESC.
+                let (cur_phase, cur_pending, cur_node) =
+                    unsafe { ((*cur).phase, (*cur).pending, (*cur).node) };
+                if !(cur_pending && cur_phase <= ph) {
+                    p.clear(H_DESC);
+                    return; // L128
+                }
+                // L129–134: stage 0.
+                if self.head.load(Ordering::SeqCst) == first && !ptr::eq(cur_node, first) {
+                    let new = OpDescHp::boxed(cur_phase, true, false, first, None);
+                    let ok = self.cas_state(p, tid, cur, new);
+                    p.clear(H_DESC);
+                    if !ok {
+                        continue; // L132
+                    }
+                } else {
+                    p.clear(H_DESC);
+                }
+                // L135: step 1 — lock the sentinel (linearization).
+                // SAFETY: `first` still protected by H_NODE.
+                let locked = unsafe {
+                    (*first).deq_tid.compare_exchange(
+                        NO_DEQUEUER,
+                        tid as isize,
+                        Ordering::SeqCst,
+                        Ordering::SeqCst,
+                    )
+                }
+                .is_ok();
+                if locked {
+                    Stats::bump(&self.stats.locks_total);
+                    if helper != tid {
+                        Stats::bump(&self.stats.helped_locks);
+                    }
+                }
+                // L136.
+                self.help_finish_deq(p);
+            }
+        }
+    }
+
+    /// `help_finish_deq`, L141–153, with the §3.4 value hand-off.
+    pub(crate) fn help_finish_deq(&self, p: &mut Participant<'_>) {
+        let first = p.protect(H_NODE, &*self.head); // L142
+        // SAFETY: protected.
+        let next = unsafe { (*first).next.load(Ordering::SeqCst) }; // L143
+        // Protect `next` before any use: while `first` is still the
+        // head, `next` cannot have been retired (head must pass `first`
+        // before it can pass `next`).
+        p.set(H_NEXT, next);
+        if self.head.load(Ordering::SeqCst) != first {
+            p.clear(H_NEXT);
+            return;
+        }
+        // SAFETY: `first` protected by H_NODE.
+        let tid = unsafe { (*first).deq_tid.load(Ordering::SeqCst) }; // L144
+        if tid != NO_DEQUEUER {
+            let tid = tid as usize;
+            let cur = p.protect(H_DESC, &self.state[tid]); // L146
+            // SAFETY: protected by H_DESC.
+            let (cur_phase, cur_pending, cur_node) =
+                unsafe { ((*cur).phase, (*cur).pending, (*cur).node) };
+            // L147.
+            if self.head.load(Ordering::SeqCst) == first && !next.is_null() {
+                if !(self.config.validate_before_cas && !cur_pending) {
+                    // L148–149: step 2, carrying the value (§3.4). The
+                    // copy is a plain read: node values are never
+                    // written after publication, and exactly one
+                    // descriptor (the CAS winner) becomes the value's
+                    // owner — losers free their box without dropping
+                    // (ManuallyDrop).
+                    // SAFETY: `next` covered by H_NEXT, validated above.
+                    let value: ManuallyDrop<Option<T>> =
+                        unsafe { ptr::read(&(*next).value) };
+                    let new = Box::into_raw(Box::new(OpDescHp {
+                        phase: cur_phase,
+                        pending: false,
+                        enqueue: false,
+                        node: cur_node,
+                        value,
+                    }));
+                    self.cas_state(p, tid, cur, new);
+                }
+                // L150: step 3. The winner retires the removed sentinel
+                // — this is the §3.4 "call RetireNode right at the end
+                // of help_deq" point.
+                if self
+                    .head
+                    .compare_exchange(first, next, Ordering::SeqCst, Ordering::SeqCst)
+                    .is_ok()
+                {
+                    // SAFETY: `first` is unlinked; its value ownership
+                    // moved out when *it* became the sentinel (or never
+                    // existed), and NodeHp's drop glue never drops
+                    // values.
+                    unsafe { p.retire(first) };
+                }
+            }
+            p.clear(H_DESC);
+        }
+        p.clear(H_NEXT);
+    }
+}
+
+impl<T: Send> ConcurrentQueue<T> for WfQueueHp<T> {
+    type Handle<'a>
+        = WfHpHandle<'a, T>
+    where
+        T: 'a;
+
+    fn register(&self) -> Result<Self::Handle<'_>, RegistrationError> {
+        match self.ids.acquire() {
+            Some(id) => Ok(WfHpHandle::new(self, id, self.domain.enter())),
+            None => Err(RegistrationError {
+                capacity: self.max_threads(),
+            }),
+        }
+    }
+
+    fn thread_capacity(&self) -> usize {
+        self.max_threads()
+    }
+}
+
+impl<T> Drop for WfQueueHp<T> {
+    fn drop(&mut self) {
+        // Exclusive access. Descriptors: plain frees (values, if any,
+        // were taken by their owners; ManuallyDrop keeps this sound).
+        for slot in self.state.iter() {
+            let d = slot.load(Ordering::Relaxed);
+            // SAFETY: exclusive; each slot owns its descriptor.
+            unsafe { drop(Box::from_raw(d)) };
+        }
+        // Nodes: the sentinel's value ownership already left (or never
+        // existed); every later node still owns its value.
+        let mut cur = *self.head.get_mut();
+        let mut is_sentinel = true;
+        while !cur.is_null() {
+            // SAFETY: exclusive access; list nodes are owned by the list
+            // (retired nodes are owned by the hazard domain, dropped
+            // next).
+            unsafe {
+                let mut node = Box::from_raw(cur);
+                cur = node.next.load(Ordering::Relaxed);
+                if !is_sentinel {
+                    ManuallyDrop::drop(&mut node.value);
+                }
+                is_sentinel = false;
+            }
+        }
+        // `self.domain` drops after this body, freeing retired nodes and
+        // descriptors (whose drop glue leaves values alone — correct,
+        // since everything retired had its value moved out).
+    }
+}
+
+impl<T: Send> std::fmt::Debug for WfQueueHp<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WfQueueHp")
+            .field("max_threads", &self.max_threads())
+            .field("config", &self.config)
+            .finish()
+    }
+}

@@ -1,0 +1,180 @@
+//! Unit tests for the hazard-pointer (§3.4) queue.
+
+use queue_traits::testing;
+
+use crate::hp::WfQueueHp;
+use crate::{Config, ConcurrentQueue, HelpPolicy};
+
+fn all_configs() -> Vec<Config> {
+    vec![
+        Config::base(),
+        Config::opt1(),
+        Config::opt2(),
+        Config::opt_both(),
+        Config::base().with_validation(),
+        Config::opt_both().with_validation(),
+        Config::opt_both().with_help(HelpPolicy::RandomChunk { chunk: 2 }),
+    ]
+}
+
+#[test]
+fn sequential_fifo_all_variants() {
+    for cfg in all_configs() {
+        let q: WfQueueHp<u64> = WfQueueHp::with_config(4, cfg);
+        testing::check_sequential_fifo(&q);
+    }
+}
+
+#[test]
+fn mpmc_conservation_all_variants() {
+    for cfg in all_configs() {
+        let q: WfQueueHp<u64> = WfQueueHp::with_config(8, cfg);
+        testing::check_mpmc_conservation(&q, 4, 4, testing::scaled(2_000));
+    }
+}
+
+#[test]
+fn owned_payloads() {
+    for cfg in [Config::base(), Config::opt_both()] {
+        let q: WfQueueHp<Box<u64>> = WfQueueHp::with_config(4, cfg);
+        testing::check_owned_payloads(&q, 4);
+    }
+}
+
+#[test]
+fn registration_capacity() {
+    let q: WfQueueHp<u64> = WfQueueHp::new(3);
+    testing::check_registration_capacity(&q, 3);
+}
+
+#[test]
+fn empty_dequeues() {
+    let q: WfQueueHp<u64> = WfQueueHp::with_config(2, Config::base());
+    let mut h = q.register().unwrap();
+    for _ in 0..5 {
+        assert_eq!(h.dequeue(), None);
+    }
+    h.enqueue(7);
+    assert_eq!(h.dequeue(), Some(7));
+    assert_eq!(h.dequeue(), None);
+    let s = q.stats();
+    assert_eq!(s.empty_dequeues, 6);
+    assert_eq!(s.dequeues, 7);
+}
+
+#[test]
+fn values_dropped_exactly_once() {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+    struct CountDrop(Arc<AtomicUsize>);
+    impl Drop for CountDrop {
+        fn drop(&mut self) {
+            self.0.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+    let drops = Arc::new(AtomicUsize::new(0));
+    {
+        let q: WfQueueHp<CountDrop> = WfQueueHp::new(2);
+        let mut h = q.register().unwrap();
+        for _ in 0..300 {
+            h.enqueue(CountDrop(drops.clone()));
+        }
+        for _ in 0..120 {
+            drop(h.dequeue());
+        }
+        assert_eq!(drops.load(Ordering::SeqCst), 120, "dequeued values drop");
+        drop(h);
+    }
+    assert_eq!(
+        drops.load(Ordering::SeqCst),
+        300,
+        "resident values drop exactly once at queue drop"
+    );
+}
+
+#[test]
+fn nodes_are_reclaimed_without_gc() {
+    // The point of §3.4: memory is reclaimed while the queue runs, not
+    // deferred until drop.
+    let q: WfQueueHp<u64> = WfQueueHp::new(2);
+    let mut h = q.register().unwrap();
+    let n = testing::scaled(20_000) as u64;
+    for i in 0..n {
+        h.enqueue(i);
+        assert_eq!(h.dequeue(), Some(i));
+    }
+    assert!(
+        h.reclaimed() > testing::scaled(10_000),
+        "hazard scans must have freed nodes/descriptors during the run (got {})",
+        h.reclaimed()
+    );
+}
+
+#[test]
+fn string_payloads_roundtrip() {
+    let q: WfQueueHp<String> = WfQueueHp::new(2);
+    let mut h = q.register().unwrap();
+    for i in 0..1_000 {
+        h.enqueue(format!("value-{i}"));
+        assert_eq!(h.dequeue().as_deref(), Some(format!("value-{i}").as_str()));
+    }
+}
+
+#[test]
+fn lemma_counters_hold() {
+    for cfg in [Config::base(), Config::opt_both()] {
+        let q: WfQueueHp<u64> = WfQueueHp::with_config(8, cfg);
+        std::thread::scope(|s| {
+            for t in 0..8u64 {
+                let q = &q;
+                s.spawn(move || {
+                    let mut h = q.register().unwrap();
+                    for i in 0..testing::scaled(3_000) as u64 {
+                        if (t + i) % 3 == 0 {
+                            h.dequeue();
+                        } else {
+                            h.enqueue(t * 100_000 + i);
+                        }
+                    }
+                });
+            }
+        });
+        let stats = q.stats();
+        assert_eq!(stats.appends_total, stats.enqueues, "Lemma 1 ({cfg:?})");
+        assert_eq!(
+            stats.locks_total,
+            stats.dequeues - stats.empty_dequeues,
+            "Lemma 2 ({cfg:?})"
+        );
+        let resident = (stats.enqueues - (stats.dequeues - stats.empty_dequeues)) as usize;
+        assert_eq!(q.len_approx_quiescent(), resident);
+    }
+}
+
+#[test]
+fn helping_occurs_under_contention() {
+    let q: WfQueueHp<u64> = WfQueueHp::with_config(8, Config::base());
+    std::thread::scope(|s| {
+        for _ in 0..8 {
+            s.spawn(|| {
+                let mut h = q.register().unwrap();
+                for i in 0..testing::scaled(10_000) as u64 {
+                    h.enqueue(i);
+                    h.dequeue();
+                }
+            });
+        }
+    });
+    let stats = q.stats();
+    assert_eq!(stats.ops(), 8 * 2 * testing::scaled(10_000) as u64);
+    assert!(
+        stats.help_calls > 0,
+        "base policy must help peers under contention: {stats:?}"
+    );
+}
+
+#[test]
+fn debug_format() {
+    let q: WfQueueHp<u64> = WfQueueHp::new(2);
+    assert!(format!("{q:?}").contains("WfQueueHp"));
+}

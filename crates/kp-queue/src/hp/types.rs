@@ -1,0 +1,133 @@
+//! Node and descriptor types for the hazard-pointer variant.
+
+use std::mem::ManuallyDrop;
+use std::ptr;
+use std::sync::atomic::{AtomicIsize, AtomicPtr};
+
+pub(crate) use crate::node::NO_DEQUEUER;
+
+/// Hazard slot index for the head/tail anchor node.
+pub(crate) const H_NODE: usize = 0;
+/// Hazard slot index for the anchor's successor.
+pub(crate) const H_NEXT: usize = 1;
+/// Hazard slot index for descriptors.
+pub(crate) const H_DESC: usize = 2;
+/// Hazard slots per participant.
+pub(crate) const H_SLOTS: usize = 3;
+
+/// List node (paper Figure 1 `Node`, hazard-pointer edition).
+pub(crate) struct NodeHp<T> {
+    /// Written once before publication; *never* mutated afterwards, so
+    /// helper reads are race-free. Wrapped in `ManuallyDrop` because
+    /// ownership of the value leaves the node by `ptr::read` copy when
+    /// the node's predecessor is dequeued (see module docs); the node
+    /// must then not drop it.
+    pub(crate) value: ManuallyDrop<Option<T>>,
+    pub(crate) next: AtomicPtr<NodeHp<T>>,
+    /// Immutable; `usize::MAX` for the initial sentinel.
+    pub(crate) enq_tid: usize,
+    pub(crate) deq_tid: AtomicIsize,
+}
+
+impl<T> NodeHp<T> {
+    pub(crate) fn boxed(value: Option<T>, enq_tid: usize) -> *mut Self {
+        Box::into_raw(Box::new(NodeHp {
+            value: ManuallyDrop::new(value),
+            next: AtomicPtr::new(ptr::null_mut()),
+            enq_tid,
+            deq_tid: AtomicIsize::new(NO_DEQUEUER),
+        }))
+    }
+
+    pub(crate) fn sentinel() -> *mut Self {
+        Self::boxed(None, usize::MAX)
+    }
+}
+
+// SAFETY: cross-thread access follows the protocol in the module docs;
+// the value is only read, and ownership transfers are unique.
+unsafe impl<T: Send> Send for NodeHp<T> {}
+unsafe impl<T: Send> Sync for NodeHp<T> {}
+
+/// Operation descriptor (paper Figure 1 `OpDesc` + the §3.4 `value`
+/// field).
+pub(crate) struct OpDescHp<T> {
+    pub(crate) phase: i64,
+    pub(crate) pending: bool,
+    pub(crate) enqueue: bool,
+    /// enqueue: node to insert; dequeue: the locked sentinel (stage 0+)
+    /// or null (initial / empty result). Compared, never dereferenced.
+    pub(crate) node: *const NodeHp<T>,
+    /// §3.4: a completed non-empty dequeue's result. `ManuallyDrop`
+    /// because the descriptor is a *courier*, not an owner: exactly one
+    /// copy (the one in the winning descriptor) is taken by the
+    /// operation's owner; all descriptor drops leave it alone.
+    pub(crate) value: ManuallyDrop<Option<T>>,
+}
+
+impl<T> OpDescHp<T> {
+    pub(crate) fn initial() -> *mut Self {
+        Self::boxed(-1, false, true, ptr::null(), None)
+    }
+
+    pub(crate) fn boxed(
+        phase: i64,
+        pending: bool,
+        enqueue: bool,
+        node: *const NodeHp<T>,
+        value: Option<T>,
+    ) -> *mut Self {
+        Box::into_raw(Box::new(OpDescHp {
+            phase,
+            pending,
+            enqueue,
+            node,
+            value: ManuallyDrop::new(value),
+        }))
+    }
+}
+
+// SAFETY: as for NodeHp.
+unsafe impl<T: Send> Send for OpDescHp<T> {}
+unsafe impl<T: Send> Sync for OpDescHp<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::Ordering;
+
+    #[test]
+    fn node_construction() {
+        let n = NodeHp::boxed(Some(5u32), 2);
+        unsafe {
+            assert_eq!(*(*n).value, Some(5));
+            assert_eq!((*n).enq_tid, 2);
+            assert_eq!((*n).deq_tid.load(Ordering::Relaxed), NO_DEQUEUER);
+            // Manual cleanup with value drop (not a sentinel).
+            ManuallyDrop::drop(&mut (*n).value);
+            drop(Box::from_raw(n));
+        }
+    }
+
+    #[test]
+    fn descriptor_drop_leaves_value_alone() {
+        use std::sync::atomic::AtomicUsize;
+        use std::sync::Arc;
+        struct D(Arc<AtomicUsize>);
+        impl Drop for D {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let drops = Arc::new(AtomicUsize::new(0));
+        let d = OpDescHp::boxed(1, false, false, ptr::null(), Some(D(drops.clone())));
+        unsafe {
+            // Take the value (the owner's read), then free the box.
+            let v = ptr::read(&(*d).value);
+            drop(Box::from_raw(d)); // must NOT drop the value again
+            assert_eq!(drops.load(Ordering::SeqCst), 0);
+            drop(ManuallyDrop::into_inner(v));
+        }
+        assert_eq!(drops.load(Ordering::SeqCst), 1, "dropped exactly once");
+    }
+}

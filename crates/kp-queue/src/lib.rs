@@ -1,0 +1,120 @@
+//! The Kogan–Petrank wait-free MPMC FIFO queue (PPoPP 2011) — the
+//! paper's primary contribution, transcribed from the Java listings of
+//! Figures 1–6 into Rust.
+//!
+//! # Algorithm
+//!
+//! The queue extends Michael & Scott's lock-free queue with a
+//! priority-based *helping* scheme:
+//!
+//! 1. A thread starting an operation picks a **phase** number greater
+//!    than (or equal to — ties are benign) every phase picked before it,
+//!    Bakery-doorway style, and publishes an operation descriptor in the
+//!    shared `state` array.
+//! 2. It then **helps** every thread whose descriptor is pending with a
+//!    phase ≤ its own (so operations older than it are finished before it
+//!    returns), and finally returns once its own descriptor is no longer
+//!    pending.
+//! 3. Each operation is split into **three atomic steps** so that any
+//!    number of helpers can share the work without applying it twice:
+//!    append-node / clear-pending / swing-tail for `enqueue`, and
+//!    lock-sentinel (`deqTid` CAS) / clear-pending / swing-head for
+//!    `dequeue`, with an extra descriptor-points-at-sentinel stage that
+//!    resolves the empty-queue race.
+//!
+//! Because a thread returns only after every operation with a phase not
+//! exceeding its own is linearized, each call completes in a bounded
+//! number of steps regardless of scheduling: **wait-freedom**.
+//!
+//! # Variants
+//!
+//! The paper evaluates the base algorithm plus two optimizations (§3.3),
+//! all expressible through [`Config`]:
+//!
+//! | Paper label | Constructor | Meaning |
+//! |---|---|---|
+//! | `base WF` | [`Config::base()`] | help all peers; phase = `maxPhase()+1` scan |
+//! | `opt WF (1)` | [`Config::opt1()`] | help at most one peer per operation, cyclically |
+//! | `opt WF (2)` | [`Config::opt2()`] | phase from an atomic counter |
+//! | `opt WF (1+2)` | [`Config::opt_both()`] | both |
+//!
+//! plus [`HelpPolicy::RandomChunk`] (the paper's "random chunk" remark,
+//! probabilistic wait-freedom) and the `validate_before_cas` enhancement.
+//!
+//! # Memory management
+//!
+//! The paper's base algorithm leans on the Java GC; §3.4 discusses
+//! non-GC runtimes. Here nodes *and* descriptors are reclaimed through
+//! [crossbeam-epoch] deferred destruction, which provides the same two
+//! guarantees the GC provided: no ABA (addresses are not reused while
+//! any thread can still hold them) and no use-after-free. Epoch
+//! reclamation is lock-free rather than wait-free; the paper's fully
+//! wait-free answer (hazard pointers) is implemented in this workspace's
+//! `hazard` crate and exercised by the `ms-queue` crate — see DESIGN.md
+//! for the substitution rationale.
+//!
+//! # Thread identities
+//!
+//! `NUM_THRDS` in the paper becomes the `max_threads` constructor
+//! argument. Threads acquire a slot by calling [`WfQueue::register`],
+//! which draws a virtual ID from a wait-free long-lived-renaming pool
+//! (`idpool`), the relaxation §3.3 describes; dropping the handle
+//! releases the slot.
+//!
+//! # Memory ordering
+//!
+//! All shared-structure atomics use `SeqCst`, matching the semantics of
+//! the Java `volatile`/`AtomicReference` fields in the paper's listings.
+//! Relaxing orderings is a documented non-goal: the paper's performance
+//! story concerns algorithmic helping costs, not fence elision.
+//!
+//! # Example
+//!
+//! ```
+//! use kp_queue::{Config, WfQueue};
+//! use kp_queue::{ConcurrentQueue, QueueHandle};
+//!
+//! let q: WfQueue<u64> = WfQueue::with_config(8, Config::opt_both());
+//! std::thread::scope(|s| {
+//!     for t in 0..4u64 {
+//!         let q = &q;
+//!         s.spawn(move || {
+//!             let mut h = q.register().unwrap();
+//!             for i in 0..100 {
+//!                 h.enqueue(t * 1000 + i);
+//!             }
+//!         });
+//!     }
+//! });
+//! let mut h = q.register().unwrap();
+//! let mut n = 0;
+//! while h.dequeue().is_some() {
+//!     n += 1;
+//! }
+//! assert_eq!(n, 400);
+//! ```
+//!
+//! [crossbeam-epoch]: https://docs.rs/crossbeam-epoch
+
+#![warn(missing_docs)]
+
+mod config;
+mod desc;
+mod handle;
+pub mod hp;
+mod node;
+mod queue;
+mod stats;
+
+pub use config::{Config, HelpPolicy, PhasePolicy};
+pub use hp::{WfHpHandle, WfQueueHp};
+#[doc(hidden)]
+pub use handle::PendingOp;
+pub use handle::WfHandle;
+pub use queue::WfQueue;
+pub use stats::StatsSnapshot;
+
+pub use queue_traits::{ConcurrentQueue, QueueHandle, RegistrationError};
+
+#[cfg(test)]
+mod tests;

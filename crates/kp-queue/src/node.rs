@@ -1,0 +1,68 @@
+//! The linked-list node (paper Figure 1, `class Node`).
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::AtomicIsize;
+
+use crossbeam_epoch::Atomic;
+
+/// `deqTid`'s "unlocked" value.
+pub(crate) const NO_DEQUEUER: isize = -1;
+
+/// A node of the queue's underlying singly-linked list.
+///
+/// Compared with the Michael–Scott node, the paper adds two fields that
+/// let helpers identify *whose* operation a structural change belongs to:
+///
+/// * `enq_tid` — the (virtual) ID of the thread inserting this node,
+///   written once at construction; helpers use it to find the owner's
+///   entry in the `state` array (Figure 4, line 89).
+/// * `deq_tid` — the ID of the thread whose dequeue removes this node
+///   from the list, CASed from −1 exactly once (Figure 6, line 135);
+///   this CAS is the linearization point of a successful dequeue.
+pub(crate) struct Node<T> {
+    /// `None` only for sentinels whose payload was already taken (or the
+    /// initial sentinel, which never had one). Taken exactly once, by the
+    /// unique thread whose dequeue locked this node's predecessor.
+    pub(crate) value: UnsafeCell<Option<T>>,
+    pub(crate) next: Atomic<Node<T>>,
+    /// Immutable after construction. `usize::MAX` for the initial
+    /// sentinel (which is never a dangling node, so never read).
+    pub(crate) enq_tid: usize,
+    pub(crate) deq_tid: AtomicIsize,
+}
+
+impl<T> Node<T> {
+    pub(crate) fn new(value: Option<T>, enq_tid: usize) -> Self {
+        Node {
+            value: UnsafeCell::new(value),
+            next: Atomic::null(),
+            enq_tid,
+            deq_tid: AtomicIsize::new(NO_DEQUEUER),
+        }
+    }
+
+    pub(crate) fn sentinel() -> Self {
+        Node::new(None, usize::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::Ordering;
+
+    #[test]
+    fn fresh_node_is_unlocked() {
+        let n: Node<u32> = Node::new(Some(5), 3);
+        assert_eq!(n.deq_tid.load(Ordering::Relaxed), NO_DEQUEUER);
+        assert_eq!(n.enq_tid, 3);
+        assert_eq!(unsafe { (*n.value.get()).take() }, Some(5));
+    }
+
+    #[test]
+    fn sentinel_has_no_value() {
+        let s: Node<u32> = Node::sentinel();
+        assert!(unsafe { (*s.value.get()).is_none() });
+        assert_eq!(s.enq_tid, usize::MAX);
+    }
+}

@@ -1,0 +1,523 @@
+//! The wait-free queue proper: shared structure and helping machinery
+//! (paper Figures 1, 2, 4 and 6).
+//!
+//! Line references in comments (`L62`, `L74`, …) are to the paper's Java
+//! listings, so the transcription can be audited side by side.
+
+use std::ptr;
+use std::sync::atomic::{AtomicI64, Ordering};
+
+use crossbeam_epoch::{self as epoch, Atomic, Guard, Owned, Shared};
+use crossbeam_utils::CachePadded;
+use idpool::IdPool;
+use queue_traits::{ConcurrentQueue, RegistrationError};
+
+use crate::config::{Config, PhasePolicy};
+use crate::desc::OpDesc;
+use crate::handle::WfHandle;
+use crate::node::{Node, NO_DEQUEUER};
+use crate::stats::{Stats, StatsSnapshot};
+
+/// The Kogan–Petrank wait-free MPMC FIFO queue.
+///
+/// See the [crate documentation](crate) for the algorithm overview and
+/// the paper-variant table. Construct with [`WfQueue::new`] (default
+/// `opt WF (1+2)` configuration) or [`WfQueue::with_config`], then call
+/// [`register`](ConcurrentQueue::register) from each participating
+/// thread.
+pub struct WfQueue<T> {
+    pub(crate) head: CachePadded<Atomic<Node<T>>>,
+    pub(crate) tail: CachePadded<Atomic<Node<T>>>,
+    /// One descriptor slot per virtual thread ID (`state` in Figure 1).
+    pub(crate) state: Box<[Atomic<OpDesc<T>>]>,
+    /// Monotone phase source under `PhasePolicy::AtomicCounter` (§3.3).
+    phase_counter: CachePadded<AtomicI64>,
+    /// Virtual thread IDs (§3.3 long-lived renaming).
+    ids: IdPool,
+    pub(crate) config: Config,
+    pub(crate) stats: Stats,
+}
+
+// SAFETY: all cross-thread traffic goes through atomics. The only
+// non-atomic shared data is each node's payload, which is written before
+// the node is published (release CAS) and taken exactly once by the
+// unique thread whose dequeue locked the node's predecessor (see
+// `WfHandle::dequeue` for the full argument).
+unsafe impl<T: Send> Send for WfQueue<T> {}
+unsafe impl<T: Send> Sync for WfQueue<T> {}
+
+impl<T: Send> WfQueue<T> {
+    /// Creates a queue for at most `max_threads` simultaneously
+    /// registered handles, with the default (`opt WF (1+2)`) config.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_threads` is zero.
+    pub fn new(max_threads: usize) -> Self {
+        Self::with_config(max_threads, Config::default())
+    }
+
+    /// Creates a queue with an explicit algorithm [`Config`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_threads` is zero or a chunked help policy has a
+    /// zero chunk.
+    pub fn with_config(max_threads: usize, config: Config) -> Self {
+        assert!(max_threads > 0, "max_threads must be positive");
+        if let crate::HelpPolicy::Cyclic { chunk } | crate::HelpPolicy::RandomChunk { chunk } =
+            config.help
+        {
+            assert!(chunk > 0, "help chunk must be positive");
+        }
+        // Queue constructor, L27–35.
+        let sentinel = Owned::new(Node::sentinel());
+        let queue = WfQueue {
+            head: CachePadded::new(Atomic::null()),
+            tail: CachePadded::new(Atomic::null()),
+            state: (0..max_threads)
+                .map(|_| Atomic::new(OpDesc::initial()))
+                .collect::<Vec<_>>()
+                .into_boxed_slice(),
+            phase_counter: CachePadded::new(AtomicI64::new(0)),
+            ids: IdPool::new(max_threads),
+            config,
+            stats: Stats::default(),
+        };
+        // SAFETY: the queue is not yet shared.
+        let guard = unsafe { epoch::unprotected() };
+        let s = sentinel.into_shared(guard);
+        queue.head.store(s, Ordering::Relaxed);
+        queue.tail.store(s, Ordering::Relaxed);
+        queue
+    }
+
+    /// The configuration this queue runs with.
+    pub fn config(&self) -> Config {
+        self.config
+    }
+
+    /// Maximum number of simultaneously registered handles
+    /// (`NUM_THRDS` in the paper).
+    pub fn max_threads(&self) -> usize {
+        self.state.len()
+    }
+
+    /// A copy of the queue's helping statistics.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Approximate number of elements (O(n) walk; diagnostics only).
+    pub fn len_approx(&self) -> usize {
+        let guard = epoch::pin();
+        let mut n = 0;
+        let head = self.head.load(Ordering::SeqCst, &guard);
+        // SAFETY: head is never null and reachable nodes live under pin.
+        let mut cur = unsafe { head.deref() }.next.load(Ordering::SeqCst, &guard);
+        while !cur.is_null() {
+            n += 1;
+            cur = unsafe { cur.deref() }.next.load(Ordering::SeqCst, &guard);
+        }
+        n
+    }
+
+    /// True if the queue is observed empty.
+    pub fn is_empty(&self) -> bool {
+        let guard = epoch::pin();
+        let head = self.head.load(Ordering::SeqCst, &guard);
+        // SAFETY: as in `len_approx`.
+        unsafe { head.deref() }
+            .next
+            .load(Ordering::SeqCst, &guard)
+            .is_null()
+    }
+
+    // ------------------------------------------------------------------
+    // Auxiliary methods (Figure 2)
+    // ------------------------------------------------------------------
+
+    /// `maxPhase()`, L48–57.
+    pub(crate) fn max_phase(&self, guard: &Guard) -> i64 {
+        Stats::bump(&self.stats.phase_scans);
+        let mut max = -1;
+        for slot in self.state.iter() {
+            // SAFETY: descriptor slots are never null; displaced
+            // descriptors are epoch-retired, and we are pinned.
+            let d = unsafe { slot.load(Ordering::SeqCst, guard).deref() };
+            max = max.max(d.phase);
+        }
+        max
+    }
+
+    /// Phase selection: `maxPhase() + 1` (L62/L99) or the §3.3 atomic
+    /// counter.
+    pub(crate) fn next_phase(&self, guard: &Guard) -> i64 {
+        match self.config.phase {
+            PhasePolicy::MaxScan => self.max_phase(guard) + 1,
+            PhasePolicy::AtomicCounter => self.phase_counter.fetch_add(1, Ordering::SeqCst) + 1,
+        }
+    }
+
+    /// `isStillPending(tid, ph)`, L58–60.
+    pub(crate) fn is_still_pending(&self, tid: usize, ph: i64, guard: &Guard) -> bool {
+        // SAFETY: as in `max_phase`.
+        let d = unsafe { self.state[tid].load(Ordering::SeqCst, guard).deref() };
+        d.pending && d.phase <= ph
+    }
+
+    /// Publishes a new descriptor in `state[tid]` (L63/L100) and retires
+    /// the displaced one.
+    pub(crate) fn publish(&self, tid: usize, desc: OpDesc<T>, guard: &Guard) {
+        let old = self.state[tid].swap(Owned::new(desc), Ordering::SeqCst, guard);
+        // SAFETY: `old` was just unlinked from the slot; concurrent
+        // readers are pinned, so destruction is deferred past them.
+        unsafe { guard.defer_destroy(old) };
+    }
+
+    /// CAS `state[tid]` from `cur` to `new`, retiring `cur` on success.
+    /// On failure the freshly allocated `new` is simply dropped.
+    pub(crate) fn cas_state(
+        &self,
+        tid: usize,
+        cur: Shared<'_, OpDesc<T>>,
+        new: OpDesc<T>,
+        guard: &Guard,
+    ) -> bool {
+        match self.state[tid].compare_exchange(
+            cur,
+            Owned::new(new),
+            Ordering::SeqCst,
+            Ordering::SeqCst,
+            guard,
+        ) {
+            Ok(_) => {
+                // SAFETY: `cur` was unlinked by our successful CAS.
+                unsafe { guard.defer_destroy(cur) };
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// `help(phase)`, L36–47: scan the whole state array and help every
+    /// pending operation no younger than `ph`.
+    pub(crate) fn help_all(&self, ph: i64, helper: usize, guard: &Guard) {
+        for i in 0..self.state.len() {
+            self.help_index(i, ph, helper, guard);
+        }
+    }
+
+    /// One iteration of the `help()` scan body (L38–45), also used by
+    /// the chunked §3.3 policies.
+    pub(crate) fn help_index(&self, i: usize, ph: i64, helper: usize, guard: &Guard) {
+        // SAFETY: as in `max_phase`.
+        let d = unsafe { self.state[i].load(Ordering::SeqCst, guard).deref() };
+        if d.pending && d.phase <= ph {
+            if i != helper {
+                Stats::bump(&self.stats.help_calls);
+            }
+            if d.enqueue {
+                self.help_enq(i, ph, helper, guard);
+            } else {
+                self.help_deq(i, ph, helper, guard);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // enqueue machinery (Figure 4)
+    // ------------------------------------------------------------------
+
+    /// `help_enq(tid, phase)`, L67–84: drive thread `tid`'s pending
+    /// enqueue until it is linearized (step 1 of the scheme: append the
+    /// node at the end of the list).
+    pub(crate) fn help_enq(&self, tid: usize, ph: i64, helper: usize, guard: &Guard) {
+        while self.is_still_pending(tid, ph, guard) {
+            let last = self.tail.load(Ordering::SeqCst, guard); // L69
+            // SAFETY: tail is never null; the node it references is not
+            // retired before head passes it, which cannot happen while it
+            // is still the tail; we are pinned throughout.
+            let last_ref = unsafe { last.deref() };
+            let next = last_ref.next.load(Ordering::SeqCst, guard); // L70
+            if last == self.tail.load(Ordering::SeqCst, guard) {
+                // L71
+                if next.is_null() {
+                    // L72: enqueue can be applied.
+                    // L73: re-check, then read the node from the owner's
+                    // descriptor. Reading the descriptor once and using
+                    // its own fields is equivalent to the paper's
+                    // repeated `state.get(tid)` reads: if the descriptor
+                    // changed, the owner's node was already appended,
+                    // which makes `last.next` non-null and the CAS below
+                    // fail (see the dangling-node invariant, §3.1).
+                    let desc = self.state[tid].load(Ordering::SeqCst, guard);
+                    // SAFETY: as in `max_phase`.
+                    let desc_ref = unsafe { desc.deref() };
+                    if desc_ref.pending && desc_ref.phase <= ph && desc_ref.enqueue {
+                        let node = Shared::from(desc_ref.node);
+                        if last_ref
+                            .next
+                            .compare_exchange(
+                                Shared::null(),
+                                node,
+                                Ordering::SeqCst,
+                                Ordering::SeqCst,
+                                guard,
+                            )
+                            .is_ok()
+                        {
+                            // L74 succeeded: the operation is linearized.
+                            Stats::bump(&self.stats.appends_total);
+                            if helper != tid {
+                                Stats::bump(&self.stats.helped_appends);
+                            }
+                            self.help_finish_enq(guard); // L75
+                            return;
+                        }
+                    }
+                } else {
+                    // L79: some enqueue is in progress; finish it first.
+                    self.help_finish_enq(guard); // L80
+                }
+            }
+        }
+    }
+
+    /// `help_finish_enq()`, L85–97: steps 2 and 3 of the scheme — clear
+    /// the owner's `pending` flag, then swing `tail` to the appended
+    /// node.
+    pub(crate) fn help_finish_enq(&self, guard: &Guard) {
+        let last = self.tail.load(Ordering::SeqCst, guard); // L86
+        // SAFETY: as in `help_enq`.
+        let last_ref = unsafe { last.deref() };
+        let next = last_ref.next.load(Ordering::SeqCst, guard); // L87
+        if !next.is_null() {
+            // SAFETY: `next` was reachable from the pinned tail.
+            let next_ref = unsafe { next.deref() };
+            let tid = next_ref.enq_tid; // L89: owner of the dangling node
+            debug_assert!(
+                tid < self.state.len(),
+                "dangling node must carry a valid enqueuer tid"
+            );
+            let cur = self.state[tid].load(Ordering::SeqCst, guard); // L90
+            // SAFETY: as in `max_phase`.
+            let cur_ref = unsafe { cur.deref() };
+            // L91: `last` still tail and the owner's descriptor still
+            // refers to the dangling node (guards against a racing
+            // help_finish_enq having already completed a *different*
+            // operation of the same thread).
+            if last == self.tail.load(Ordering::SeqCst, guard)
+                && ptr::eq(cur_ref.node, next.as_raw())
+            {
+                // §3.3 enhancement: skip the descriptor CAS when the flag
+                // is already off (a racing helper beat us to step 2).
+                if !(self.config.validate_before_cas && !cur_ref.pending) {
+                    // L92–93: step 2 — acknowledge linearization.
+                    let new = OpDesc {
+                        phase: cur_ref.phase,
+                        pending: false,
+                        enqueue: true,
+                        node: next.as_raw(),
+                    };
+                    self.cas_state(tid, cur, new, guard);
+                }
+                // L94: step 3 — fix tail. At most one of the racing CASes
+                // succeeds; the others observe tail already advanced.
+                let _ = self.tail.compare_exchange(
+                    last,
+                    next,
+                    Ordering::SeqCst,
+                    Ordering::SeqCst,
+                    guard,
+                );
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // dequeue machinery (Figure 6)
+    // ------------------------------------------------------------------
+
+    /// `help_deq(tid, phase)`, L109–140: drive thread `tid`'s pending
+    /// dequeue until it is linearized (either the sentinel is locked
+    /// with `tid`, or the queue is observed empty).
+    pub(crate) fn help_deq(&self, tid: usize, ph: i64, helper: usize, guard: &Guard) {
+        while self.is_still_pending(tid, ph, guard) {
+            let first = self.head.load(Ordering::SeqCst, guard); // L111
+            let last = self.tail.load(Ordering::SeqCst, guard); // L112
+            // SAFETY: head is never null; a sentinel is only retired
+            // after head moves off it, which our pin then defers.
+            let first_ref = unsafe { first.deref() };
+            let next = first_ref.next.load(Ordering::SeqCst, guard); // L113
+            if first != self.head.load(Ordering::SeqCst, guard) {
+                continue; // L114 failed: restart
+            }
+            if first == last {
+                // L115: queue might be empty.
+                if next.is_null() {
+                    // L116: queue is empty.
+                    let cur = self.state[tid].load(Ordering::SeqCst, guard); // L117
+                    // SAFETY: as in `max_phase`.
+                    let cur_ref = unsafe { cur.deref() };
+                    if last == self.tail.load(Ordering::SeqCst, guard)
+                        && cur_ref.pending
+                        && cur_ref.phase <= ph
+                    {
+                        // L118–120: record the empty result (node = null)
+                        // and clear pending. Descriptor-CAS failure means
+                        // another helper resolved the operation.
+                        let new = OpDesc {
+                            phase: cur_ref.phase,
+                            pending: false,
+                            enqueue: false,
+                            node: ptr::null(),
+                        };
+                        self.cas_state(tid, cur, new, guard);
+                    }
+                } else {
+                    // L122: an enqueue is in progress; help it first.
+                    self.help_finish_enq(guard); // L123
+                }
+            } else {
+                // L125: queue is not empty.
+                let cur = self.state[tid].load(Ordering::SeqCst, guard); // L126
+                // SAFETY: as in `max_phase`.
+                let cur_ref = unsafe { cur.deref() };
+                let node = cur_ref.node; // L127
+                if !(cur_ref.pending && cur_ref.phase <= ph) {
+                    break; // L128
+                }
+                // L129–134: stage 0 — point the owner's descriptor at the
+                // current sentinel, so helpers racing between the empty
+                // and non-empty paths agree on which node the operation
+                // is about to remove.
+                if first == self.head.load(Ordering::SeqCst, guard)
+                    && !ptr::eq(node, first.as_raw())
+                {
+                    let new = OpDesc {
+                        phase: cur_ref.phase,
+                        pending: true,
+                        enqueue: false,
+                        node: first.as_raw(),
+                    };
+                    if !self.cas_state(tid, cur, new, guard) {
+                        continue; // L132: descriptor changed; restart
+                    }
+                }
+                // L135: step 1 — lock the sentinel with the owner's tid
+                // (linearization point of a successful dequeue).
+                let locked = first_ref
+                    .deq_tid
+                    .compare_exchange(
+                        NO_DEQUEUER,
+                        tid as isize,
+                        Ordering::SeqCst,
+                        Ordering::SeqCst,
+                    )
+                    .is_ok();
+                if locked {
+                    Stats::bump(&self.stats.locks_total);
+                    if helper != tid {
+                        Stats::bump(&self.stats.helped_locks);
+                    }
+                }
+                // L136: complete whichever dequeue locked the sentinel.
+                self.help_finish_deq(guard);
+            }
+        }
+    }
+
+    /// `help_finish_deq()`, L141–153: steps 2 and 3 — clear the locking
+    /// owner's `pending` flag, then swing `head` past the sentinel.
+    pub(crate) fn help_finish_deq(&self, guard: &Guard) {
+        let first = self.head.load(Ordering::SeqCst, guard); // L142
+        // SAFETY: as in `help_deq`.
+        let first_ref = unsafe { first.deref() };
+        let next = first_ref.next.load(Ordering::SeqCst, guard); // L143
+        let tid = first_ref.deq_tid.load(Ordering::SeqCst); // L144
+        if tid != NO_DEQUEUER {
+            let tid = tid as usize;
+            let cur = self.state[tid].load(Ordering::SeqCst, guard); // L146
+            // SAFETY: as in `max_phase`.
+            let cur_ref = unsafe { cur.deref() };
+            if first == self.head.load(Ordering::SeqCst, guard) && !next.is_null() {
+                // L147
+                if !(self.config.validate_before_cas && !cur_ref.pending) {
+                    // L148–149: step 2 — acknowledge linearization,
+                    // keeping the descriptor's sentinel reference (the
+                    // owner reads the value through it, L103–107).
+                    let new = OpDesc {
+                        phase: cur_ref.phase,
+                        pending: false,
+                        enqueue: false,
+                        node: cur_ref.node,
+                    };
+                    self.cas_state(tid, cur, new, guard);
+                }
+                // L150: step 3 — fix head. The winner retires the old
+                // sentinel; threads still reading it are pinned.
+                if self
+                    .head
+                    .compare_exchange(first, next, Ordering::SeqCst, Ordering::SeqCst, guard)
+                    .is_ok()
+                {
+                    // SAFETY: `first` is now unreachable from the queue.
+                    unsafe { guard.defer_destroy(first) };
+                }
+            }
+        }
+    }
+}
+
+impl<T: Send> ConcurrentQueue<T> for WfQueue<T> {
+    type Handle<'a>
+        = WfHandle<'a, T>
+    where
+        T: 'a;
+
+    fn register(&self) -> Result<Self::Handle<'_>, RegistrationError> {
+        match self.ids.acquire() {
+            Some(id) => Ok(WfHandle::new(self, id)),
+            None => Err(RegistrationError {
+                capacity: self.max_threads(),
+            }),
+        }
+    }
+
+    fn thread_capacity(&self) -> usize {
+        self.max_threads()
+    }
+}
+
+impl<T> Drop for WfQueue<T> {
+    fn drop(&mut self) {
+        // Exclusive access: free the descriptors, then the node list
+        // (values still resident are dropped with their nodes).
+        let guard = unsafe { epoch::unprotected() };
+        for slot in self.state.iter() {
+            let d = slot.load(Ordering::Relaxed, guard);
+            if !d.is_null() {
+                // SAFETY: exclusive access; slot descriptors are owned by
+                // the slot.
+                drop(unsafe { d.into_owned() });
+            }
+        }
+        let mut cur = self.head.load(Ordering::Relaxed, guard);
+        while !cur.is_null() {
+            // SAFETY: exclusive access; list nodes are owned by the list.
+            let node = unsafe { cur.into_owned() };
+            cur = node.next.load(Ordering::Relaxed, guard);
+        }
+    }
+}
+
+impl<T: Send> std::fmt::Debug for WfQueue<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WfQueue")
+            .field("max_threads", &self.max_threads())
+            .field("config", &self.config)
+            .field("len_approx", &self.len_approx())
+            .finish()
+    }
+}

@@ -1,0 +1,130 @@
+//! Lightweight operation counters.
+//!
+//! The paper's §4 argues that the wait-free queue's cost comes from
+//! state-array bookkeeping and helping; these counters let the harness
+//! and the test suite observe that machinery directly (e.g. "under
+//! contention, a nonzero fraction of operations is completed by
+//! helpers"). All increments are relaxed — the numbers are statistics,
+//! not synchronization.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crossbeam_utils::CachePadded;
+
+#[derive(Default)]
+pub(crate) struct Stats {
+    /// Completed enqueue operations (counted by the invoking thread).
+    pub(crate) enqueues: CachePadded<AtomicU64>,
+    /// Completed dequeue operations, including empty ones.
+    pub(crate) dequeues: CachePadded<AtomicU64>,
+    /// Dequeue operations that linearized on an empty queue.
+    pub(crate) empty_dequeues: CachePadded<AtomicU64>,
+    /// Every successful step-1 append (Figure 4 line 74) — Lemma 1 says
+    /// exactly one per enqueue operation.
+    pub(crate) appends_total: CachePadded<AtomicU64>,
+    /// Every successful sentinel lock (Figure 6 line 135) — Lemma 2 says
+    /// exactly one per successful dequeue operation.
+    pub(crate) locks_total: CachePadded<AtomicU64>,
+    /// Successful step-1 appends (Figure 4 line 74) performed by a thread
+    /// other than the operation's owner.
+    pub(crate) helped_appends: CachePadded<AtomicU64>,
+    /// Successful sentinel locks (Figure 6 line 135) performed by a
+    /// thread other than the operation's owner.
+    pub(crate) helped_locks: CachePadded<AtomicU64>,
+    /// `maxPhase()` scans performed (only under `PhasePolicy::MaxScan`).
+    pub(crate) phase_scans: CachePadded<AtomicU64>,
+    /// Iterations of the `help()` scan that actually called into
+    /// `help_enq`/`help_deq` for a peer.
+    pub(crate) help_calls: CachePadded<AtomicU64>,
+}
+
+impl Stats {
+    #[inline]
+    pub(crate) fn bump(counter: &CachePadded<AtomicU64>) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            enqueues: self.enqueues.load(Ordering::Relaxed),
+            dequeues: self.dequeues.load(Ordering::Relaxed),
+            empty_dequeues: self.empty_dequeues.load(Ordering::Relaxed),
+            appends_total: self.appends_total.load(Ordering::Relaxed),
+            locks_total: self.locks_total.load(Ordering::Relaxed),
+            helped_appends: self.helped_appends.load(Ordering::Relaxed),
+            helped_locks: self.helped_locks.load(Ordering::Relaxed),
+            phase_scans: self.phase_scans.load(Ordering::Relaxed),
+            help_calls: self.help_calls.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of a queue's helping statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Completed enqueue operations.
+    pub enqueues: u64,
+    /// Completed dequeue operations (including those that found the
+    /// queue empty).
+    pub dequeues: u64,
+    /// Dequeue operations that linearized on an empty queue.
+    pub empty_dequeues: u64,
+    /// Total successful step-1 appends (paper L74). Lemma 1's
+    /// exactly-once property means this equals `enqueues` at
+    /// quiescence — asserted by the test suite.
+    pub appends_total: u64,
+    /// Total successful sentinel locks (paper L135). Lemma 2's
+    /// exactly-once property means this equals
+    /// `dequeues - empty_dequeues` at quiescence.
+    pub locks_total: u64,
+    /// Enqueue linearization steps executed by a helper rather than the
+    /// operation's owner.
+    pub helped_appends: u64,
+    /// Dequeue linearization steps executed by a helper rather than the
+    /// operation's owner.
+    pub helped_locks: u64,
+    /// `maxPhase()` array scans performed.
+    pub phase_scans: u64,
+    /// Times a thread entered `help_enq`/`help_deq` on behalf of a peer.
+    pub help_calls: u64,
+}
+
+impl StatsSnapshot {
+    /// Total completed operations.
+    pub fn ops(&self) -> u64 {
+        self.enqueues + self.dequeues
+    }
+
+    /// Fraction of operations whose linearization step was executed by a
+    /// helper (0.0 when no operations ran).
+    pub fn helped_fraction(&self) -> f64 {
+        let ops = self.ops();
+        if ops == 0 {
+            return 0.0;
+        }
+        (self.helped_appends + self.helped_locks) as f64 / ops as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_bumps() {
+        let s = Stats::default();
+        Stats::bump(&s.enqueues);
+        Stats::bump(&s.enqueues);
+        Stats::bump(&s.helped_locks);
+        let snap = s.snapshot();
+        assert_eq!(snap.enqueues, 2);
+        assert_eq!(snap.helped_locks, 1);
+        assert_eq!(snap.ops(), 2);
+        assert!((snap.helped_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn helped_fraction_empty() {
+        assert_eq!(StatsSnapshot::default().helped_fraction(), 0.0);
+    }
+}

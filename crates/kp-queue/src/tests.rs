@@ -1,0 +1,327 @@
+//! Unit tests for the wait-free queue, run over every paper variant.
+
+use crate::{Config, ConcurrentQueue, HelpPolicy, PhasePolicy, WfQueue};
+use queue_traits::testing;
+
+/// All four paper variants plus the random-chunk and validation
+/// enhancements — every behavioural test runs on each.
+fn all_configs() -> Vec<Config> {
+    vec![
+        Config::base(),
+        Config::opt1(),
+        Config::opt2(),
+        Config::opt_both(),
+        Config::base().with_validation(),
+        Config::opt_both().with_validation(),
+        Config::base().with_help(HelpPolicy::RandomChunk { chunk: 1 }),
+        Config::opt_both().with_help(HelpPolicy::Cyclic { chunk: 3 }),
+    ]
+}
+
+#[test]
+fn sequential_fifo_all_variants() {
+    for cfg in all_configs() {
+        let q: WfQueue<u64> = WfQueue::with_config(4, cfg);
+        testing::check_sequential_fifo(&q);
+    }
+}
+
+#[test]
+fn mpmc_conservation_all_variants() {
+    for cfg in all_configs() {
+        let q: WfQueue<u64> = WfQueue::with_config(8, cfg);
+        testing::check_mpmc_conservation(&q, 4, 4, testing::scaled(3_000));
+    }
+}
+
+#[test]
+fn owned_payloads_base_and_opt() {
+    for cfg in [Config::base(), Config::opt_both()] {
+        let q: WfQueue<Box<u64>> = WfQueue::with_config(4, cfg);
+        testing::check_owned_payloads(&q, 4);
+    }
+}
+
+#[test]
+fn registration_capacity_is_enforced() {
+    let q: WfQueue<u64> = WfQueue::new(3);
+    testing::check_registration_capacity(&q, 3);
+    assert_eq!(q.thread_capacity(), 3);
+}
+
+#[test]
+fn empty_dequeue_returns_none_repeatedly() {
+    let q: WfQueue<u64> = WfQueue::with_config(2, Config::base());
+    let mut h = q.register().unwrap();
+    for _ in 0..10 {
+        assert_eq!(h.dequeue(), None);
+    }
+    h.enqueue(1);
+    assert_eq!(h.dequeue(), Some(1));
+    assert_eq!(h.dequeue(), None);
+}
+
+#[test]
+fn values_survive_handle_churn() {
+    // Handles coming and going (virtual-ID reuse, §3.3) must not disturb
+    // resident values.
+    let q: WfQueue<u64> = WfQueue::new(2);
+    {
+        let mut h = q.register().unwrap();
+        for i in 0..50 {
+            h.enqueue(i);
+        }
+    }
+    {
+        let mut h = q.register().unwrap();
+        for i in 0..25 {
+            assert_eq!(h.dequeue(), Some(i));
+        }
+    }
+    let mut h = q.register().unwrap();
+    for i in 25..50 {
+        assert_eq!(h.dequeue(), Some(i));
+    }
+    assert_eq!(h.dequeue(), None);
+}
+
+#[test]
+fn len_and_is_empty() {
+    let q: WfQueue<u64> = WfQueue::new(2);
+    assert!(q.is_empty());
+    assert_eq!(q.len_approx(), 0);
+    let mut h = q.register().unwrap();
+    for i in 0..7 {
+        h.enqueue(i);
+    }
+    assert!(!q.is_empty());
+    assert_eq!(q.len_approx(), 7);
+    h.dequeue();
+    assert_eq!(q.len_approx(), 6);
+}
+
+#[test]
+fn drop_releases_resident_values() {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+    struct CountDrop(Arc<AtomicUsize>);
+    impl Drop for CountDrop {
+        fn drop(&mut self) {
+            self.0.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+    let drops = Arc::new(AtomicUsize::new(0));
+    {
+        let q: WfQueue<CountDrop> = WfQueue::new(2);
+        let mut h = q.register().unwrap();
+        for _ in 0..100 {
+            h.enqueue(CountDrop(drops.clone()));
+        }
+        for _ in 0..30 {
+            drop(h.dequeue());
+        }
+        assert_eq!(drops.load(Ordering::SeqCst), 30);
+        drop(h);
+    }
+    assert_eq!(
+        drops.load(Ordering::SeqCst),
+        100,
+        "queue drop must free the remaining 70 values exactly once"
+    );
+}
+
+#[test]
+fn phase_numbers_increase_monotonically() {
+    // The doorway property behind wait-freedom: each operation's phase
+    // exceeds all phases chosen before it (single-threaded here, so the
+    // property must hold exactly).
+    for phase_policy in [PhasePolicy::MaxScan, PhasePolicy::AtomicCounter] {
+        let q: WfQueue<u64> =
+            WfQueue::with_config(4, Config::base().with_phase(phase_policy));
+        let mut h = q.register().unwrap();
+        let mut last = -1;
+        for i in 0..20 {
+            let pending = h.begin_enqueue_unhelped(i);
+            let ph = pending.phase();
+            assert!(ph > last, "phase must increase: {ph} after {last}");
+            last = ph;
+            pending.finish();
+        }
+    }
+}
+
+#[test]
+fn stalled_enqueue_is_completed_by_helper() {
+    // The central helping property: a thread that stalls right after
+    // publishing its descriptor (paper L63) still gets its operation
+    // applied, by any other thread running an operation with a larger
+    // phase.
+    let q: WfQueue<u64> = WfQueue::with_config(4, Config::base());
+    let mut stalled = q.register().unwrap();
+    let mut helper = q.register().unwrap();
+
+    let pending = stalled.begin_enqueue_unhelped(42);
+    assert!(pending.is_pending());
+
+    helper.enqueue(7); // helper's phase > stalled's ⇒ must help first
+
+    assert!(
+        !pending.is_pending(),
+        "helper must have completed the stalled enqueue"
+    );
+    // FIFO: the stalled enqueue (42) linearized before the helper's (7).
+    assert_eq!(helper.dequeue(), Some(42));
+    assert_eq!(helper.dequeue(), Some(7));
+    pending.finish();
+    assert!(q.stats().helped_appends >= 1, "help was counted");
+}
+
+#[test]
+fn stalled_dequeue_is_completed_by_helper() {
+    let q: WfQueue<u64> = WfQueue::with_config(4, Config::base());
+    let mut stalled = q.register().unwrap();
+    let mut helper = q.register().unwrap();
+
+    helper.enqueue(1);
+    helper.enqueue(2);
+
+    let pending = stalled.begin_dequeue_unhelped();
+    assert!(pending.is_pending());
+
+    helper.enqueue(3); // any op with larger phase helps
+
+    assert!(
+        !pending.is_pending(),
+        "helper must have completed the stalled dequeue"
+    );
+    // The stalled dequeue linearized before helper.enqueue(3), so it
+    // must return the then-head: 1.
+    assert_eq!(pending.finish(), Some(1));
+    assert_eq!(helper.dequeue(), Some(2));
+    assert_eq!(helper.dequeue(), Some(3));
+    assert!(q.stats().helped_locks >= 1);
+}
+
+#[test]
+fn stalled_dequeue_on_empty_queue_observes_empty() {
+    let q: WfQueue<u64> = WfQueue::with_config(4, Config::base());
+    let mut stalled = q.register().unwrap();
+    let mut helper = q.register().unwrap();
+
+    let pending = stalled.begin_dequeue_unhelped();
+    // A helper dequeue on the empty queue resolves the stalled op as
+    // "empty" (paper L116–121) rather than handing it a later value.
+    assert_eq!(helper.dequeue(), None);
+    assert!(!pending.is_pending());
+    helper.enqueue(9); // arrives after the stalled deq linearized empty
+    assert_eq!(pending.finish(), None, "op linearized on the empty queue");
+    assert_eq!(helper.dequeue(), Some(9));
+}
+
+#[test]
+fn abandoned_pending_op_is_driven_to_completion() {
+    let q: WfQueue<u64> = WfQueue::with_config(2, Config::base());
+    let mut h = q.register().unwrap();
+    {
+        let pending = h.begin_enqueue_unhelped(5);
+        drop(pending); // Drop must complete the operation
+    }
+    assert_eq!(h.dequeue(), Some(5));
+}
+
+#[test]
+fn helping_occurs_under_contention() {
+    // Statistical version of the stalled-thread tests: with many threads
+    // hammering a base-config queue, some linearization steps are
+    // executed by helpers.
+    let q: WfQueue<u64> = WfQueue::with_config(8, Config::base());
+    std::thread::scope(|s| {
+        for _ in 0..8 {
+            s.spawn(|| {
+                let mut h = q.register().unwrap();
+                for i in 0..testing::scaled(20_000) as u64 {
+                    h.enqueue(i);
+                    h.dequeue();
+                }
+            });
+        }
+    });
+    let stats = q.stats();
+    assert_eq!(stats.ops(), 8 * 2 * testing::scaled(20_000) as u64);
+    assert!(
+        stats.helped_appends + stats.helped_locks > 0,
+        "contention must produce at least some helped operations: {stats:?}"
+    );
+}
+
+#[test]
+fn cyclic_chunk_never_starves_own_op() {
+    // With chunk=1 and many slots, a thread mostly helps others; its own
+    // op must still complete every time.
+    let q: WfQueue<u64> = WfQueue::with_config(16, Config::opt_both());
+    let mut h = q.register().unwrap();
+    for i in 0..1000 {
+        h.enqueue(i);
+        assert_eq!(h.dequeue(), Some(i));
+    }
+}
+
+#[test]
+fn lemma_1_and_2_exactly_once() {
+    // The paper's Lemmas 1 and 2: for every enqueue, step 1 (the L74
+    // append CAS) succeeds exactly once; for every successful dequeue,
+    // step 1 (the L135 deqTid CAS) succeeds exactly once — even though
+    // many helpers race to execute those steps. At quiescence the global
+    // counters must therefore match the operation counts exactly.
+    for cfg in [Config::base(), Config::opt1(), Config::opt2(), Config::opt_both()] {
+        let q: WfQueue<u64> = WfQueue::with_config(8, cfg);
+        std::thread::scope(|s| {
+            for t in 0..8u64 {
+                let q = &q;
+                s.spawn(move || {
+                    let mut h = q.register().unwrap();
+                    for i in 0..testing::scaled(5_000) as u64 {
+                        if (t + i) % 3 == 0 {
+                            // bursts of dequeues drive the queue empty
+                            h.dequeue();
+                        } else {
+                            h.enqueue(t * 100_000 + i);
+                        }
+                    }
+                });
+            }
+        });
+        let stats = q.stats();
+        assert_eq!(
+            stats.appends_total, stats.enqueues,
+            "Lemma 1 violated ({cfg:?}): {stats:?}"
+        );
+        assert_eq!(
+            stats.locks_total,
+            stats.dequeues - stats.empty_dequeues,
+            "Lemma 2 violated ({cfg:?}): {stats:?}"
+        );
+        // Cross-check against the structure: resident = in - out.
+        let resident = (stats.enqueues - (stats.dequeues - stats.empty_dequeues)) as usize;
+        assert_eq!(q.len_approx(), resident);
+    }
+}
+
+#[test]
+fn queue_debug_format_mentions_config() {
+    let q: WfQueue<u64> = WfQueue::new(2);
+    let s = format!("{q:?}");
+    assert!(s.contains("WfQueue"), "{s}");
+    assert!(s.contains("max_threads"), "{s}");
+}
+
+#[test]
+fn many_variants_cross_thread_smoke() {
+    // 2 producers + 2 consumers on every variant, moving enough values
+    // to force multiple epoch collections.
+    for cfg in all_configs() {
+        let q: WfQueue<u64> = WfQueue::with_config(4, cfg);
+        testing::check_mpmc_conservation(&q, 2, 2, testing::scaled(5_000));
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,112 @@
+//! A small fixed-capacity bit set used as the "linearized operations"
+//! mask in the checker's memo table.
+
+use std::hash::{Hash, Hasher};
+
+/// Fixed-capacity bit set over `0..len`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub(crate) struct BitSet {
+    words: Vec<u64>,
+    len: usize,
+    ones: usize,
+}
+
+impl BitSet {
+    pub(crate) fn new(len: usize) -> Self {
+        BitSet {
+            words: vec![0; len.div_ceil(64)],
+            len,
+            ones: 0,
+        }
+    }
+
+    #[inline]
+    pub(crate) fn contains(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        self.words[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    #[inline]
+    pub(crate) fn insert(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        let w = &mut self.words[i / 64];
+        let bit = 1 << (i % 64);
+        debug_assert!(*w & bit == 0, "inserting an already-present bit");
+        *w |= bit;
+        self.ones += 1;
+    }
+
+    #[inline]
+    pub(crate) fn remove(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        let w = &mut self.words[i / 64];
+        let bit = 1 << (i % 64);
+        debug_assert!(*w & bit != 0, "removing an absent bit");
+        *w &= !bit;
+        self.ones -= 1;
+    }
+
+    #[inline]
+    pub(crate) fn count(&self) -> usize {
+        self.ones
+    }
+
+    #[inline]
+    pub(crate) fn is_full(&self) -> bool {
+        self.ones == self.len
+    }
+}
+
+impl Hash for BitSet {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.words.hash(state);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_roundtrip() {
+        let mut s = BitSet::new(130);
+        assert!(!s.contains(0));
+        assert!(!s.contains(129));
+        s.insert(0);
+        s.insert(64);
+        s.insert(129);
+        assert!(s.contains(0) && s.contains(64) && s.contains(129));
+        assert_eq!(s.count(), 3);
+        s.remove(64);
+        assert!(!s.contains(64));
+        assert_eq!(s.count(), 2);
+    }
+
+    #[test]
+    fn full_detection() {
+        let mut s = BitSet::new(3);
+        for i in 0..3 {
+            assert!(!s.is_full());
+            s.insert(i);
+        }
+        assert!(s.is_full());
+    }
+
+    #[test]
+    fn equal_sets_hash_equal() {
+        use std::collections::hash_map::DefaultHasher;
+        let mut a = BitSet::new(100);
+        let mut b = BitSet::new(100);
+        a.insert(5);
+        a.insert(99);
+        b.insert(99);
+        b.insert(5);
+        assert_eq!(a, b);
+        let h = |s: &BitSet| {
+            let mut h = DefaultHasher::new();
+            s.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(h(&a), h(&b));
+    }
+}

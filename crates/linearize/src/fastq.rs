@@ -1,0 +1,414 @@
+//! A linear(ish)-time checker of *necessary* linearizability conditions
+//! for FIFO-queue histories.
+//!
+//! The exact WGL search ([`crate::check`]) is exponential in the worst
+//! case, so the stress suites can only feed it small rounds. This module
+//! complements it: a set of necessary conditions that any linearizable
+//! queue history must satisfy, checkable in `O(n log n)`. A violation
+//! here is a *proof* of non-linearizability; passing is *not* a proof of
+//! linearizability (the conditions are necessary, not sufficient) — use
+//! the WGL checker for that, on small histories.
+//!
+//! Checked conditions (values are assumed unique, which all our
+//! workloads guarantee by construction):
+//!
+//! 1. **Provenance** — every dequeued value was enqueued, and the
+//!    dequeue's window cannot close before the enqueue's opens
+//!    (`deq.ret > enq.invoke`).
+//! 2. **Uniqueness** — no value is dequeued twice.
+//! 3. **FIFO order** — if `enq(a)` finishes before `enq(b)` starts and
+//!    both values are dequeued, `deq(b)` must not finish before
+//!    `deq(a)` starts (b cannot overtake a).
+//! 4. **Loss freedom** — if `enq(a)` finishes before `enq(b)` starts
+//!    and `b` is dequeued, `a` cannot remain in the queue at the end of
+//!    the history *if* `a`'s absence is provable… which it is not in
+//!    general (a may legally linger), so this condition instead checks
+//!    the quantitative form: the number of dequeued values can never
+//!    exceed the number of enqueues whose windows opened before the
+//!    last dequeue closed. (A coarse conservation bound.)
+//! 5. **Empty soundness** — a `dequeue → None` is illegal if some value
+//!    was *provably resident* for the whole window: enqueued (window
+//!    closed) before the dequeue began and first dequeued (window
+//!    opened) after the dequeue returned — including never dequeued.
+
+use std::collections::HashMap;
+
+use crate::history::History;
+use crate::model::QueueOp;
+
+/// A concrete violation of a necessary condition, with the indices of
+/// the offending operations in `history.ops()`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// A value came out that never went in (or out before in was open).
+    Invented {
+        /// Index of the offending dequeue.
+        dequeue: usize,
+        /// The value it claimed.
+        value: u64,
+    },
+    /// The same value was delivered twice.
+    Duplicated {
+        /// First delivery.
+        first: usize,
+        /// Second delivery.
+        second: usize,
+        /// The value.
+        value: u64,
+    },
+    /// A later enqueue's value overtook an earlier enqueue's value.
+    Reordered {
+        /// The earlier enqueue (its dequeue starts too late).
+        first_enqueue: usize,
+        /// The later enqueue (its dequeue finished too early).
+        second_enqueue: usize,
+    },
+    /// `None` was observed while some value was provably resident.
+    FalseEmpty {
+        /// The offending empty dequeue.
+        dequeue: usize,
+        /// A value resident across its whole window.
+        resident_value: u64,
+    },
+}
+
+/// Runs all necessary-condition checks; `None` means no violation found
+/// (the history *may* be linearizable).
+pub fn check_necessary(history: &History<QueueOp>) -> Option<Violation> {
+    let ops = history.ops();
+
+    // Index enqueues and dequeues by value.
+    let mut enq_by_value: HashMap<u64, usize> = HashMap::new();
+    let mut deq_by_value: HashMap<u64, usize> = HashMap::new();
+    let mut empties: Vec<usize> = Vec::new();
+
+    for (i, r) in ops.iter().enumerate() {
+        match r.op {
+            QueueOp::Enqueue(v) => {
+                // Workload contract: unique values. (The insert must not
+                // live inside a debug_assert!, which compiles out.)
+                let prev = enq_by_value.insert(v, i);
+                debug_assert!(
+                    prev.is_none(),
+                    "duplicate enqueue of {v}: the necessary-condition \
+                     checker requires unique values"
+                );
+            }
+            QueueOp::Dequeue(Some(v)) => {
+                if let Some(&first) = deq_by_value.get(&v) {
+                    return Some(Violation::Duplicated {
+                        first,
+                        second: i,
+                        value: v,
+                    });
+                }
+                deq_by_value.insert(v, i);
+            }
+            QueueOp::Dequeue(None) => empties.push(i),
+        }
+    }
+
+    // 1. Provenance.
+    for (&v, &d) in &deq_by_value {
+        match enq_by_value.get(&v) {
+            None => return Some(Violation::Invented { dequeue: d, value: v }),
+            Some(&e) => {
+                if ops[d].ret < ops[e].invoke {
+                    // The dequeue finished before the enqueue began.
+                    return Some(Violation::Invented { dequeue: d, value: v });
+                }
+            }
+        }
+    }
+
+    // 3. FIFO order between strictly ordered enqueues. Sorting the
+    // dequeued values by their enqueue-return time lets us do this in
+    // one sweep: for the sequence of enqueues e1 < e2 (strictly, by
+    // windows), deq(e2) must not return before deq(e1) is invoked.
+    // Sweep trick: walk enqueues by ascending `ret`; maintain the
+    // maximum `deq.invoke`-lower-bound seen so far among *strictly
+    // earlier* enqueues, via a second pointer over `invoke`-sorted
+    // order.
+    {
+        // "a" candidates: every enqueue. A value never dequeued in a
+        // *complete* history stayed in the queue, so its (virtual)
+        // dequeue-invoke is ∞ — any strictly later enqueue whose value
+        // *was* dequeued then proves a FIFO violation.
+        let mut pairs: Vec<(u64, u64, u64, u64, usize)> = enq_by_value
+            .iter()
+            .map(|(&v, &e)| {
+                let deq_inv = deq_by_value
+                    .get(&v)
+                    .map(|&d| ops[d].invoke)
+                    .unwrap_or(u64::MAX);
+                (ops[e].ret, ops[e].invoke, deq_inv, 0, e)
+            })
+            .collect();
+        // "b" candidates: dequeued values only, ordered by enq invoke.
+        let mut by_invoke: Vec<(u64, u64, u64, u64, usize)> = deq_by_value
+            .iter()
+            .map(|(&v, &d)| {
+                let e = enq_by_value[&v];
+                (ops[e].ret, ops[e].invoke, ops[d].invoke, ops[d].ret, e)
+            })
+            .collect();
+        by_invoke.sort_unstable_by_key(|p| p.1);
+        // Sort by enqueue ret: candidates for "a" in order.
+        pairs.sort_unstable_by_key(|p| p.0);
+
+        // For each b (by enqueue invoke), every a with enq_ret < b's
+        // enq_invoke must satisfy deq(b).ret >= deq(a).invoke, i.e.
+        // deq(b).ret >= max over such a of deq(a).invoke. Maintain that
+        // running max with a pointer into the ret-sorted list.
+        let mut ai = 0;
+        let mut max_deq_invoke: Option<(u64, usize)> = None; // (deq.invoke, enq idx)
+        for &(_, b_enq_invoke, _, b_deq_ret, b_idx) in &by_invoke {
+            while ai < pairs.len() && pairs[ai].0 < b_enq_invoke {
+                let cand = (pairs[ai].2, pairs[ai].4);
+                if max_deq_invoke.is_none() || cand.0 > max_deq_invoke.unwrap().0 {
+                    max_deq_invoke = Some(cand);
+                }
+                ai += 1;
+            }
+            if let Some((a_deq_invoke, a_idx)) = max_deq_invoke {
+                if b_deq_ret < a_deq_invoke {
+                    return Some(Violation::Reordered {
+                        first_enqueue: a_idx,
+                        second_enqueue: b_idx,
+                    });
+                }
+            }
+        }
+    }
+
+    // 5. Empty soundness: for each None-dequeue D, look for a value
+    // enqueued entirely before D (enq.ret < D.invoke) whose dequeue (if
+    // any) begins only after D returns (deq.invoke ≥ D.ret). Such a
+    // value is in the queue across D's whole window ⇒ D is illegal.
+    //
+    // O(n log n): values sorted by enqueue-return, prefix maxima of
+    // their dequeue-invoke (∞ for never-dequeued), binary search per D.
+    if !empties.is_empty() {
+        let mut resident: Vec<(u64, u64, u64)> = enq_by_value
+            .iter()
+            .map(|(&v, &e)| {
+                let deq_inv = deq_by_value
+                    .get(&v)
+                    .map(|&dq| ops[dq].invoke)
+                    .unwrap_or(u64::MAX);
+                (ops[e].ret, deq_inv, v)
+            })
+            .collect();
+        resident.sort_unstable();
+        // prefix_max[i] = the (deq_invoke, value) pair with max
+        // deq_invoke among resident[..=i].
+        let mut prefix_max: Vec<(u64, u64)> = Vec::with_capacity(resident.len());
+        let mut best = (0u64, 0u64);
+        for &(_, deq_inv, v) in &resident {
+            if deq_inv >= best.0 {
+                best = (deq_inv, v);
+            }
+            prefix_max.push(best);
+        }
+        for &d in &empties {
+            let (d_inv, d_ret) = (ops[d].invoke, ops[d].ret);
+            // Values with enq_ret < d_inv: a prefix of `resident`.
+            let k = resident.partition_point(|&(enq_ret, _, _)| enq_ret < d_inv);
+            if k > 0 {
+                let (max_deq_inv, v) = prefix_max[k - 1];
+                if max_deq_inv >= d_ret {
+                    return Some(Violation::FalseEmpty {
+                        dequeue: d,
+                        resident_value: v,
+                    });
+                }
+            }
+        }
+    }
+
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::OpRecord;
+    use crate::QueueOp::*;
+
+    fn hist(spec: &[(QueueOp, u64, u64)]) -> History<QueueOp> {
+        History::from_records(
+            spec.iter()
+                .enumerate()
+                .map(|(t, (op, i, r))| OpRecord {
+                    thread: t,
+                    op: *op,
+                    invoke: *i,
+                    ret: *r,
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn clean_history_passes() {
+        let h = hist(&[
+            (Enqueue(1), 0, 1),
+            (Enqueue(2), 2, 3),
+            (Dequeue(Some(1)), 4, 5),
+            (Dequeue(Some(2)), 6, 7),
+            (Dequeue(None), 8, 9),
+        ]);
+        assert_eq!(check_necessary(&h), None);
+    }
+
+    #[test]
+    fn invented_value_caught() {
+        let h = hist(&[(Enqueue(1), 0, 1), (Dequeue(Some(9)), 2, 3)]);
+        assert!(matches!(
+            check_necessary(&h),
+            Some(Violation::Invented { value: 9, .. })
+        ));
+    }
+
+    #[test]
+    fn dequeue_before_enqueue_caught() {
+        let h = hist(&[(Dequeue(Some(1)), 0, 1), (Enqueue(1), 5, 6)]);
+        assert!(matches!(
+            check_necessary(&h),
+            Some(Violation::Invented { value: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_caught() {
+        let h = hist(&[
+            (Enqueue(1), 0, 1),
+            (Dequeue(Some(1)), 2, 3),
+            (Dequeue(Some(1)), 4, 5),
+        ]);
+        assert!(matches!(
+            check_necessary(&h),
+            Some(Violation::Duplicated { value: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn strict_reordering_caught() {
+        // enq(1) < enq(2) strictly; deq(2) returns before deq(1) begins.
+        let h = hist(&[
+            (Enqueue(1), 0, 1),
+            (Enqueue(2), 2, 3),
+            (Dequeue(Some(2)), 4, 5),
+            (Dequeue(Some(1)), 6, 7),
+        ]);
+        assert!(matches!(
+            check_necessary(&h),
+            Some(Violation::Reordered { .. })
+        ));
+    }
+
+    #[test]
+    fn overlapping_enqueues_may_swap() {
+        let h = hist(&[
+            (Enqueue(1), 0, 10),
+            (Enqueue(2), 1, 9),
+            (Dequeue(Some(2)), 11, 12),
+            (Dequeue(Some(1)), 13, 14),
+        ]);
+        assert_eq!(check_necessary(&h), None);
+    }
+
+    #[test]
+    fn overlapping_dequeues_may_swap() {
+        // Strictly ordered enqueues but overlapping dequeues: fine.
+        let h = hist(&[
+            (Enqueue(1), 0, 1),
+            (Enqueue(2), 2, 3),
+            (Dequeue(Some(2)), 4, 10),
+            (Dequeue(Some(1)), 5, 9),
+        ]);
+        assert_eq!(check_necessary(&h), None);
+    }
+
+    #[test]
+    fn lost_value_caught() {
+        // 1 enqueued strictly before 2; 2 came out, 1 never did — in a
+        // complete history that proves 2 overtook 1.
+        let h = hist(&[
+            (Enqueue(1), 0, 1),
+            (Enqueue(2), 2, 3),
+            (Dequeue(Some(2)), 4, 5),
+        ]);
+        assert!(matches!(
+            check_necessary(&h),
+            Some(Violation::Reordered { .. })
+        ));
+    }
+
+    #[test]
+    fn lingering_tail_value_ok() {
+        // 2 enqueued after 1 and *not* dequeued: perfectly legal.
+        let h = hist(&[
+            (Enqueue(1), 0, 1),
+            (Enqueue(2), 2, 3),
+            (Dequeue(Some(1)), 4, 5),
+        ]);
+        assert_eq!(check_necessary(&h), None);
+    }
+
+    #[test]
+    fn false_empty_caught() {
+        // 1 is in the queue for the empty dequeue's whole window.
+        let h = hist(&[(Enqueue(1), 0, 1), (Dequeue(None), 2, 3)]);
+        assert!(matches!(
+            check_necessary(&h),
+            Some(Violation::FalseEmpty {
+                resident_value: 1,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn empty_next_to_overlapping_enqueue_ok() {
+        let h = hist(&[(Enqueue(1), 0, 10), (Dequeue(None), 1, 2), (Dequeue(Some(1)), 11, 12)]);
+        assert_eq!(check_necessary(&h), None);
+    }
+
+    #[test]
+    fn empty_with_value_dequeued_concurrently_ok() {
+        // 1 enqueued before, but its dequeue overlaps the empty one —
+        // the empty may linearize after 1 is gone.
+        let h = hist(&[
+            (Enqueue(1), 0, 1),
+            (Dequeue(Some(1)), 2, 10),
+            (Dequeue(None), 3, 9),
+        ]);
+        assert_eq!(check_necessary(&h), None);
+    }
+
+    #[test]
+    fn agrees_with_wgl_on_small_histories() {
+        // Cross-validate against the exact checker: whatever the WGL
+        // checker accepts, the necessary conditions must not reject.
+        use crate::{check, Outcome, QueueModel};
+        let histories = [
+            hist(&[
+                (Enqueue(1), 0, 4),
+                (Enqueue(2), 1, 3),
+                (Dequeue(Some(2)), 5, 8),
+                (Dequeue(Some(1)), 6, 7),
+            ]),
+            hist(&[
+                (Dequeue(None), 0, 1),
+                (Enqueue(5), 2, 3),
+                (Dequeue(Some(5)), 3, 4),
+                (Dequeue(None), 5, 6),
+            ]),
+        ];
+        for h in &histories {
+            assert_eq!(check(&QueueModel, h), Outcome::Linearizable);
+            assert_eq!(check_necessary(h), None);
+        }
+    }
+}

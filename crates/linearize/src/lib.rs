@@ -1,0 +1,35 @@
+//! A linearizability checker for concurrent histories.
+//!
+//! The paper's §5 proves the queue linearizable by identifying the
+//! linearization points of `enqueue` (the successful append CAS, L74)
+//! and `dequeue` (the successful `deqTid` CAS, L135, or the tail read
+//! L112 for the empty case). This crate provides the *testing*
+//! counterpart of that proof: it records real multi-threaded histories
+//! (operation invocations and responses with their observed results) and
+//! decides whether some legal sequential order of the operations exists
+//! that (a) matches every observed result and (b) respects real-time
+//! order — Herlihy & Wing's definition of linearizability.
+//!
+//! The decision procedure is the classic Wing–Gong tree search in the
+//! Lowe/"Porcupine" formulation, with memoization on
+//! *(set of linearized operations, abstract state)* pairs. The abstract
+//! state is supplied by a [`Model`]; [`QueueModel`] is the sequential
+//! FIFO spec used throughout this workspace.
+//!
+//! Checking is NP-hard in general, so the checker carries a step budget
+//! and returns [`Outcome::Unknown`] when exceeded; the test suites keep
+//! histories small enough that this never triggers in practice.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bitset;
+mod checker;
+mod fastq;
+mod history;
+mod model;
+
+pub use checker::{check, check_with_budget, Outcome, DEFAULT_BUDGET};
+pub use fastq::{check_necessary, Violation};
+pub use history::{History, OpRecord, Recorder, ThreadLog};
+pub use model::{Model, QueueModel, QueueOp, RegisterModel, RegisterOp};

@@ -1,0 +1,122 @@
+//! Sequential specifications the checker validates histories against.
+
+use std::collections::VecDeque;
+use std::hash::Hash;
+
+/// A sequential specification: a deterministic state machine whose
+/// transitions validate an operation's *observed* result.
+pub trait Model {
+    /// Operation-with-result type recorded in histories.
+    type Op: Clone;
+    /// Abstract state. `Hash + Eq` feeds the checker's memo table.
+    type State: Clone + Hash + Eq;
+
+    /// The state before any operation.
+    fn initial(&self) -> Self::State;
+
+    /// If `op` (including its observed result) is legal in `state`,
+    /// returns the successor state; otherwise `None`.
+    fn step(&self, state: &Self::State, op: &Self::Op) -> Option<Self::State>;
+}
+
+/// An operation on a FIFO queue of `u64`s, together with its observed
+/// result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueueOp {
+    /// `enqueue(value)` (always succeeds).
+    Enqueue(u64),
+    /// `dequeue()` observing `Some(value)` or empty (`None`).
+    Dequeue(Option<u64>),
+}
+
+/// The sequential FIFO queue specification.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QueueModel;
+
+impl Model for QueueModel {
+    type Op = QueueOp;
+    type State = VecDeque<u64>;
+
+    fn initial(&self) -> Self::State {
+        VecDeque::new()
+    }
+
+    fn step(&self, state: &Self::State, op: &Self::Op) -> Option<Self::State> {
+        match *op {
+            QueueOp::Enqueue(v) => {
+                let mut s = state.clone();
+                s.push_back(v);
+                Some(s)
+            }
+            QueueOp::Dequeue(None) => state.is_empty().then(|| state.clone()),
+            QueueOp::Dequeue(Some(v)) => {
+                if state.front() == Some(&v) {
+                    let mut s = state.clone();
+                    s.pop_front();
+                    Some(s)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+}
+
+/// An operation on a single read/write register (used to self-test the
+/// checker against the textbook examples).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RegisterOp {
+    /// `write(value)`.
+    Write(u64),
+    /// `read()` observing `value`.
+    Read(u64),
+}
+
+/// A sequential read/write register specification (initial value 0).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RegisterModel;
+
+impl Model for RegisterModel {
+    type Op = RegisterOp;
+    type State = u64;
+
+    fn initial(&self) -> Self::State {
+        0
+    }
+
+    fn step(&self, state: &Self::State, op: &Self::Op) -> Option<Self::State> {
+        match *op {
+            RegisterOp::Write(v) => Some(v),
+            RegisterOp::Read(v) => (*state == v).then_some(*state),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_model_fifo() {
+        let m = QueueModel;
+        let s0 = m.initial();
+        let s1 = m.step(&s0, &QueueOp::Enqueue(1)).unwrap();
+        let s2 = m.step(&s1, &QueueOp::Enqueue(2)).unwrap();
+        assert!(m.step(&s2, &QueueOp::Dequeue(Some(2))).is_none(), "LIFO rejected");
+        let s3 = m.step(&s2, &QueueOp::Dequeue(Some(1))).unwrap();
+        let s4 = m.step(&s3, &QueueOp::Dequeue(Some(2))).unwrap();
+        assert!(m.step(&s4, &QueueOp::Dequeue(Some(9))).is_none());
+        assert!(m.step(&s4, &QueueOp::Dequeue(None)).is_some());
+        assert!(m.step(&s2, &QueueOp::Dequeue(None)).is_none(), "non-empty can't observe empty");
+    }
+
+    #[test]
+    fn register_model() {
+        let m = RegisterModel;
+        let s = m.initial();
+        assert!(m.step(&s, &RegisterOp::Read(0)).is_some());
+        assert!(m.step(&s, &RegisterOp::Read(1)).is_none());
+        let s = m.step(&s, &RegisterOp::Write(7)).unwrap();
+        assert!(m.step(&s, &RegisterOp::Read(7)).is_some());
+    }
+}

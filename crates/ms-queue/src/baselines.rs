@@ -1,0 +1,278 @@
+//! Context baselines referenced by the paper's Related Work section.
+//!
+//! Neither of these appears in the paper's figures; they exist to anchor
+//! the evaluation (a coarse lock as the naive floor, and Lamport's SPSC
+//! queue as the historical wait-free starting point that only supports
+//! one enqueuer and one dequeuer — the limitation the paper removes).
+
+use std::cell::UnsafeCell;
+use std::collections::VecDeque;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crossbeam_utils::CachePadded;
+use parking_lot::Mutex;
+use queue_traits::{ConcurrentQueue, QueueHandle, RegistrationError};
+
+/// A coarse-grained blocking queue: one `parking_lot::Mutex` around a
+/// `VecDeque`. Neither lock-free nor wait-free; the floor every
+/// non-blocking algorithm should beat under contention.
+pub struct MutexQueue<T> {
+    inner: Mutex<VecDeque<T>>,
+}
+
+impl<T: Send> MutexQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        MutexQueue {
+            inner: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Inserts `value` at the tail.
+    pub fn enqueue(&self, value: T) {
+        self.inner.lock().push_back(value);
+    }
+
+    /// Removes and returns the head value, or `None` if empty.
+    pub fn dequeue(&self) -> Option<T> {
+        self.inner.lock().pop_front()
+    }
+
+    /// Current length.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+}
+
+impl<T: Send> Default for MutexQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Trivial handle for the mutex queue.
+pub struct MutexHandle<'q, T> {
+    queue: &'q MutexQueue<T>,
+}
+
+impl<T: Send> QueueHandle<T> for MutexHandle<'_, T> {
+    fn enqueue(&mut self, value: T) {
+        self.queue.enqueue(value);
+    }
+
+    fn dequeue(&mut self) -> Option<T> {
+        self.queue.dequeue()
+    }
+}
+
+impl<T: Send> ConcurrentQueue<T> for MutexQueue<T> {
+    type Handle<'a>
+        = MutexHandle<'a, T>
+    where
+        T: 'a;
+
+    fn register(&self) -> Result<Self::Handle<'_>, RegistrationError> {
+        Ok(MutexHandle { queue: self })
+    }
+}
+
+/// Lamport's wait-free single-producer single-consumer bounded queue
+/// (the paper's Related Work [16]): a statically sized ring buffer where
+/// the producer owns `tail` and the consumer owns `head`, so neither ever
+/// retries — wait-freedom with *one* thread on each side, which is
+/// exactly the concurrency limitation the Kogan–Petrank queue removes.
+struct SpscInner<T> {
+    buf: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    head: CachePadded<AtomicUsize>, // next slot to read  (consumer-owned)
+    tail: CachePadded<AtomicUsize>, // next slot to write (producer-owned)
+}
+
+// SAFETY: each slot is accessed mutably by exactly one side at a time,
+// mediated by the head/tail indices.
+unsafe impl<T: Send> Send for SpscInner<T> {}
+unsafe impl<T: Send> Sync for SpscInner<T> {}
+
+impl<T> SpscInner<T> {
+    fn slots(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+impl<T> Drop for SpscInner<T> {
+    fn drop(&mut self) {
+        // Drain unconsumed values.
+        let head = self.head.load(Ordering::Relaxed);
+        let tail = self.tail.load(Ordering::Relaxed);
+        let n = self.slots();
+        let mut i = head;
+        while i != tail {
+            // SAFETY: slots in [head, tail) are initialized.
+            unsafe { (*self.buf[i % n].get()).assume_init_drop() };
+            i = (i + 1) % n;
+        }
+    }
+}
+
+/// Handle to create a Lamport SPSC queue, returning its two endpoints.
+pub struct SpscQueue;
+
+impl SpscQueue {
+    /// Creates a bounded SPSC queue holding up to `capacity` elements,
+    /// returning the producer and consumer endpoints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity<T: Send>(capacity: usize) -> (SpscProducer<T>, SpscConsumer<T>) {
+        assert!(capacity > 0, "capacity must be positive");
+        // One slot is sacrificed to distinguish full from empty.
+        let slots = capacity + 1;
+        let buf = (0..slots)
+            .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        let inner = Arc::new(SpscInner {
+            buf,
+            head: CachePadded::new(AtomicUsize::new(0)),
+            tail: CachePadded::new(AtomicUsize::new(0)),
+        });
+        (
+            SpscProducer {
+                inner: inner.clone(),
+            },
+            SpscConsumer { inner },
+        )
+    }
+}
+
+/// The unique producer endpoint of a [`SpscQueue`].
+pub struct SpscProducer<T> {
+    inner: Arc<SpscInner<T>>,
+}
+
+impl<T: Send> SpscProducer<T> {
+    /// Attempts to enqueue; returns `Err(value)` if the buffer is full.
+    /// Wait-free: one load, one store, no retries.
+    pub fn push(&mut self, value: T) -> Result<(), T> {
+        let n = self.inner.slots();
+        let tail = self.inner.tail.load(Ordering::Relaxed);
+        let next = (tail + 1) % n;
+        if next == self.inner.head.load(Ordering::Acquire) {
+            return Err(value); // full
+        }
+        // SAFETY: slot `tail` is empty and owned by the producer.
+        unsafe { (*self.inner.buf[tail].get()).write(value) };
+        self.inner.tail.store(next, Ordering::Release);
+        Ok(())
+    }
+}
+
+/// The unique consumer endpoint of a [`SpscQueue`].
+pub struct SpscConsumer<T> {
+    inner: Arc<SpscInner<T>>,
+}
+
+impl<T: Send> SpscConsumer<T> {
+    /// Attempts to dequeue; `None` if empty. Wait-free.
+    pub fn pop(&mut self) -> Option<T> {
+        let n = self.inner.slots();
+        let head = self.inner.head.load(Ordering::Relaxed);
+        if head == self.inner.tail.load(Ordering::Acquire) {
+            return None; // empty
+        }
+        // SAFETY: slot `head` is initialized and owned by the consumer.
+        let value = unsafe { (*self.inner.buf[head].get()).assume_init_read() };
+        self.inner.head.store((head + 1) % n, Ordering::Release);
+        Some(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutex_queue_fifo() {
+        let q = MutexQueue::new();
+        assert!(q.is_empty());
+        q.enqueue(1);
+        q.enqueue(2);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.dequeue(), Some(1));
+        assert_eq!(q.dequeue(), Some(2));
+        assert_eq!(q.dequeue(), None);
+    }
+
+    #[test]
+    fn spsc_fifo_and_capacity() {
+        let (mut p, mut c) = SpscQueue::with_capacity::<u32>(2);
+        assert_eq!(c.pop(), None);
+        p.push(1).unwrap();
+        p.push(2).unwrap();
+        assert_eq!(p.push(3), Err(3), "full at capacity");
+        assert_eq!(c.pop(), Some(1));
+        p.push(3).unwrap();
+        assert_eq!(c.pop(), Some(2));
+        assert_eq!(c.pop(), Some(3));
+        assert_eq!(c.pop(), None);
+    }
+
+    #[test]
+    fn spsc_cross_thread_stream() {
+        const N: u64 = 200_000;
+        let (mut p, mut c) = SpscQueue::with_capacity::<u64>(64);
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                for i in 0..N {
+                    let mut v = i;
+                    loop {
+                        match p.push(v) {
+                            Ok(()) => break,
+                            Err(back) => {
+                                v = back;
+                                std::hint::spin_loop();
+                            }
+                        }
+                    }
+                }
+            });
+            s.spawn(move || {
+                let mut expect = 0;
+                while expect < N {
+                    if let Some(v) = c.pop() {
+                        assert_eq!(v, expect);
+                        expect += 1;
+                    } else {
+                        std::hint::spin_loop();
+                    }
+                }
+            });
+        });
+    }
+
+    #[test]
+    fn spsc_drops_unconsumed() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct D;
+        impl Drop for D {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let (mut p, c) = SpscQueue::with_capacity::<D>(8);
+        for _ in 0..5 {
+            assert!(p.push(D).is_ok());
+        }
+        drop(p);
+        drop(c);
+        assert_eq!(DROPS.load(Ordering::SeqCst), 5);
+    }
+}

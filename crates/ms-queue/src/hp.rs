@@ -1,0 +1,289 @@
+//! Michael–Scott queue over our from-scratch hazard-pointer domain.
+//!
+//! This is the memory-management pairing from Michael's hazard-pointer
+//! paper itself and the one §3.4 of Kogan & Petrank prescribes for
+//! running these algorithms without a garbage collector. Unlike the
+//! epoch variant, reclamation here is wait-free: a stalled thread delays
+//! at most the objects its own hazard slots cover, never the whole
+//! domain.
+//!
+//! Hazard discipline (two slots per thread):
+//! * slot 0 protects `head`/`tail` during an operation,
+//! * slot 1 protects `head.next` across the dequeue's head-CAS so the
+//!   payload read afterwards is safe.
+
+use std::cell::UnsafeCell;
+use std::ptr;
+use std::sync::atomic::{AtomicPtr, Ordering};
+
+use crossbeam_utils::CachePadded;
+use hazard::{Domain, Participant};
+use queue_traits::{ConcurrentQueue, QueueHandle, RegistrationError};
+
+struct Node<T> {
+    value: UnsafeCell<Option<T>>,
+    next: AtomicPtr<Node<T>>,
+}
+
+impl<T> Node<T> {
+    fn boxed(value: Option<T>) -> *mut Self {
+        Box::into_raw(Box::new(Node {
+            value: UnsafeCell::new(value),
+            next: AtomicPtr::new(ptr::null_mut()),
+        }))
+    }
+}
+
+// SAFETY: payload is only taken by the unique head-CAS winner.
+unsafe impl<T: Send> Send for Node<T> {}
+unsafe impl<T: Send> Sync for Node<T> {}
+
+/// Michael–Scott queue with hazard-pointer reclamation (wait-free
+/// memory management).
+pub struct MsQueueHp<T> {
+    domain: Domain,
+    head: CachePadded<AtomicPtr<Node<T>>>,
+    tail: CachePadded<AtomicPtr<Node<T>>>,
+}
+
+// SAFETY: as for `MsQueue`; the hazard domain is itself Sync.
+unsafe impl<T: Send> Send for MsQueueHp<T> {}
+unsafe impl<T: Send> Sync for MsQueueHp<T> {}
+
+impl<T: Send> MsQueueHp<T> {
+    /// Creates an empty queue with its own hazard-pointer domain.
+    pub fn new() -> Self {
+        let sentinel = Node::boxed(None);
+        MsQueueHp {
+            domain: Domain::new(2),
+            head: CachePadded::new(AtomicPtr::new(sentinel)),
+            tail: CachePadded::new(AtomicPtr::new(sentinel)),
+        }
+    }
+
+    /// The queue's hazard-pointer domain (exposed for diagnostics).
+    pub fn domain(&self) -> &Domain {
+        &self.domain
+    }
+}
+
+impl<T: Send> Default for MsQueueHp<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Drop for MsQueueHp<T> {
+    fn drop(&mut self) {
+        // Exclusive access: free the remaining list. Retired nodes are
+        // owned by the domain, which is dropped right after and frees
+        // them itself.
+        let mut cur = *self.head.get_mut();
+        while !cur.is_null() {
+            // SAFETY: exclusive access; nodes in the list are not on any
+            // retired list (they are only retired after being unlinked).
+            let node = unsafe { Box::from_raw(cur) };
+            cur = node.next.load(Ordering::Relaxed);
+        }
+    }
+}
+
+/// Per-thread handle holding the hazard-pointer participant.
+pub struct MsHpHandle<'q, T> {
+    queue: &'q MsQueueHp<T>,
+    participant: Participant<'q>,
+}
+
+impl<T: Send> MsHpHandle<'_, T> {
+    /// Inserts `value` at the tail.
+    pub fn enqueue(&mut self, value: T) {
+        let q = self.queue;
+        let node = Node::boxed(Some(value));
+        loop {
+            let tail = self.participant.protect(0, &q.tail);
+            // SAFETY: protected by slot 0 and re-validated by protect().
+            let tail_ref = unsafe { &*tail };
+            let next = tail_ref.next.load(Ordering::SeqCst);
+            if q.tail.load(Ordering::SeqCst) != tail {
+                continue;
+            }
+            if next.is_null() {
+                if tail_ref
+                    .next
+                    .compare_exchange(
+                        ptr::null_mut(),
+                        node,
+                        Ordering::SeqCst,
+                        Ordering::SeqCst,
+                    )
+                    .is_ok()
+                {
+                    let _ = q.tail.compare_exchange(
+                        tail,
+                        node,
+                        Ordering::SeqCst,
+                        Ordering::SeqCst,
+                    );
+                    self.participant.clear(0);
+                    return;
+                }
+            } else {
+                let _ =
+                    q.tail
+                        .compare_exchange(tail, next, Ordering::SeqCst, Ordering::SeqCst);
+            }
+        }
+    }
+
+    /// Removes and returns the head value, or `None` if empty.
+    pub fn dequeue(&mut self) -> Option<T> {
+        let q = self.queue;
+        loop {
+            let head = self.participant.protect(0, &q.head);
+            let tail = q.tail.load(Ordering::SeqCst);
+            // SAFETY: protected by slot 0.
+            let head_ref = unsafe { &*head };
+            // Protect `next` *before* the head CAS: the payload is read
+            // after the CAS, by which time other dequeuers may already be
+            // retiring nodes. The head re-check below validates the
+            // hazard: if `head` is still the sentinel, `next` is still in
+            // the queue and therefore not yet retired.
+            let next = head_ref.next.load(Ordering::SeqCst);
+            self.participant.set(1, next);
+            if q.head.load(Ordering::SeqCst) != head {
+                continue;
+            }
+            if head == tail {
+                if next.is_null() {
+                    self.participant.clear(0);
+                    self.participant.clear(1);
+                    return None;
+                }
+                let _ =
+                    q.tail
+                        .compare_exchange(tail, next, Ordering::SeqCst, Ordering::SeqCst);
+            } else if q
+                .head
+                .compare_exchange(head, next, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                // SAFETY: unique head-CAS winner takes the payload; `next`
+                // is covered by hazard slot 1 (published while `head` was
+                // still the sentinel, so `next` could not yet have been
+                // retired).
+                let value = unsafe { (*(*next).value.get()).take() };
+                self.participant.clear(0);
+                self.participant.clear(1);
+                // SAFETY: `head` is unlinked; ownership passes to the
+                // reclamation machinery.
+                unsafe { self.participant.retire(head) };
+                return Some(value.expect("non-sentinel node must carry a value"));
+            }
+        }
+    }
+}
+
+impl<T: Send> QueueHandle<T> for MsHpHandle<'_, T> {
+    fn enqueue(&mut self, value: T) {
+        MsHpHandle::enqueue(self, value);
+    }
+
+    fn dequeue(&mut self) -> Option<T> {
+        MsHpHandle::dequeue(self)
+    }
+}
+
+impl<T: Send> ConcurrentQueue<T> for MsQueueHp<T> {
+    type Handle<'a>
+        = MsHpHandle<'a, T>
+    where
+        T: 'a;
+
+    fn register(&self) -> Result<Self::Handle<'_>, RegistrationError> {
+        Ok(MsHpHandle {
+            queue: self,
+            participant: self.domain.enter(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_fifo() {
+        let q = MsQueueHp::new();
+        let mut h = q.register().unwrap();
+        assert_eq!(h.dequeue(), None);
+        for i in 0..100 {
+            h.enqueue(i);
+        }
+        for i in 0..100 {
+            assert_eq!(h.dequeue(), Some(i));
+        }
+        assert_eq!(h.dequeue(), None);
+    }
+
+    #[test]
+    fn nodes_are_reclaimed() {
+        let q = MsQueueHp::new();
+        let mut h = q.register().unwrap();
+        // Push enough traffic through one handle to cross the scan
+        // threshold several times.
+        for i in 0..10_000u64 {
+            h.enqueue(i);
+            assert_eq!(h.dequeue(), Some(i));
+        }
+        assert!(
+            h.participant.reclaimed() > 0,
+            "scan must have freed retired nodes"
+        );
+    }
+
+    #[test]
+    fn values_dropped_exactly_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        struct CountDrop(Arc<AtomicUsize>);
+        impl Drop for CountDrop {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let drops = Arc::new(AtomicUsize::new(0));
+        {
+            let q = MsQueueHp::new();
+            let mut h = q.register().unwrap();
+            for _ in 0..500 {
+                h.enqueue(CountDrop(drops.clone()));
+            }
+            for _ in 0..200 {
+                drop(h.dequeue());
+            }
+            assert_eq!(drops.load(Ordering::SeqCst), 200);
+            drop(h);
+        }
+        assert_eq!(drops.load(Ordering::SeqCst), 500, "rest freed on drop");
+    }
+
+    #[test]
+    fn mpmc_smoke() {
+        let q = MsQueueHp::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    let mut h = q.register().unwrap();
+                    for i in 0..5_000u64 {
+                        h.enqueue(i);
+                        while h.dequeue().is_none() {
+                            std::hint::spin_loop();
+                        }
+                    }
+                });
+            }
+        });
+        let mut h = q.register().unwrap();
+        assert_eq!(h.dequeue(), None, "pairs workload leaves queue empty");
+    }
+}

@@ -1,0 +1,87 @@
+//! The lock-free baseline the paper measures against, plus two context
+//! baselines from its Related Work section.
+//!
+//! * [`MsQueue`] — Michael & Scott's lock-free queue (PODC 1996), the
+//!   algorithm the paper's Figures 7–10 label **LF**, with
+//!   [crossbeam-epoch] deferred reclamation standing in for the Java GC
+//!   of the original evaluation.
+//! * [`MsQueueHp`] — the same algorithm on our from-scratch
+//!   hazard-pointer domain ([`hazard`]), the reclamation scheme Michael's
+//!   own paper pairs it with and the one Kogan & Petrank §3.4 prescribes
+//!   for non-GC runtimes.
+//! * [`MutexQueue`] — a coarse-grained lock baseline (sanity reference in
+//!   examples and benches; not in the paper's figures).
+//! * [`SpscQueue`] — Lamport's wait-free single-producer single-consumer
+//!   array queue (the paper's Related Work [16]): the historical starting
+//!   point that motivates *multi* enqueuer/dequeuer wait-freedom.
+//!
+//! All MPMC queues implement [`queue_traits::ConcurrentQueue`], so the
+//! benchmark harness drives them and the Kogan–Petrank queue through one
+//! generic code path.
+//!
+//! [crossbeam-epoch]: https://docs.rs/crossbeam-epoch
+
+#![warn(missing_docs)]
+
+mod baselines;
+mod epoch;
+mod hp;
+
+pub use baselines::{MutexQueue, SpscConsumer, SpscProducer, SpscQueue};
+pub use epoch::MsQueue;
+pub use hp::MsQueueHp;
+
+pub use queue_traits::{ConcurrentQueue, QueueHandle, RegistrationError};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use queue_traits::testing;
+
+    #[test]
+    fn ms_epoch_sequential() {
+        testing::check_sequential_fifo(&MsQueue::new());
+    }
+
+    #[test]
+    fn ms_hp_sequential() {
+        testing::check_sequential_fifo(&MsQueueHp::new());
+    }
+
+    #[test]
+    fn mutex_sequential() {
+        testing::check_sequential_fifo(&MutexQueue::new());
+    }
+
+    #[test]
+    fn ms_epoch_mpmc() {
+        testing::check_mpmc_conservation(&MsQueue::new(), 4, 4, testing::scaled(4_000));
+    }
+
+    #[test]
+    fn ms_hp_mpmc() {
+        testing::check_mpmc_conservation(&MsQueueHp::new(), 4, 4, testing::scaled(4_000));
+    }
+
+    #[test]
+    fn mutex_mpmc() {
+        testing::check_mpmc_conservation(&MutexQueue::new(), 4, 4, testing::scaled(4_000));
+    }
+
+    #[test]
+    fn ms_epoch_owned_payloads() {
+        testing::check_owned_payloads(&MsQueue::new(), 4);
+    }
+
+    #[test]
+    fn ms_hp_owned_payloads() {
+        testing::check_owned_payloads(&MsQueueHp::new(), 4);
+    }
+
+    #[test]
+    fn registration_unbounded() {
+        testing::check_registration_capacity(&MsQueue::<u64>::new(), usize::MAX);
+        testing::check_registration_capacity(&MsQueueHp::<u64>::new(), usize::MAX);
+        testing::check_registration_capacity(&MutexQueue::<u64>::new(), usize::MAX);
+    }
+}

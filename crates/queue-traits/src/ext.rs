@@ -1,0 +1,91 @@
+//! Convenience combinators over [`QueueHandle`].
+//!
+//! The queue operations themselves are non-blocking (a dequeue on an
+//! empty queue returns `None`, the paper's `EmptyException`); these
+//! helpers implement the common polling idioms used by applications,
+//! examples, and tests, so the spin loops live in one audited place.
+
+use crate::QueueHandle;
+
+/// Extension helpers for any queue handle.
+pub trait QueueHandleExt<T>: QueueHandle<T> {
+    /// Dequeues, spinning (with `spin_loop` hints) until a value is
+    /// available. Only sensible when producers are known to be active —
+    /// this busy-waits forever on a permanently empty queue.
+    fn dequeue_spin(&mut self) -> T {
+        loop {
+            if let Some(v) = self.dequeue() {
+                return v;
+            }
+            std::hint::spin_loop();
+        }
+    }
+
+    /// Dequeues up to `max` immediately available values into `out`;
+    /// returns how many were taken. Stops at the first empty
+    /// observation.
+    fn drain_into(&mut self, out: &mut Vec<T>, max: usize) -> usize {
+        let mut taken = 0;
+        while taken < max {
+            match self.dequeue() {
+                Some(v) => {
+                    out.push(v);
+                    taken += 1;
+                }
+                None => break,
+            }
+        }
+        taken
+    }
+
+    /// Enqueues every value from an iterator.
+    fn extend_from(&mut self, values: impl IntoIterator<Item = T>) {
+        for v in values {
+            self.enqueue(v);
+        }
+    }
+}
+
+impl<T, H: QueueHandle<T> + ?Sized> QueueHandleExt<T> for H {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A trivial in-memory handle for exercising the default methods.
+    struct VecHandle(std::collections::VecDeque<u32>);
+    impl QueueHandle<u32> for VecHandle {
+        fn enqueue(&mut self, v: u32) {
+            self.0.push_back(v);
+        }
+        fn dequeue(&mut self) -> Option<u32> {
+            self.0.pop_front()
+        }
+    }
+
+    #[test]
+    fn drain_into_takes_at_most_max() {
+        let mut h = VecHandle([1, 2, 3, 4].into());
+        let mut out = Vec::new();
+        assert_eq!(h.drain_into(&mut out, 3), 3);
+        assert_eq!(out, vec![1, 2, 3]);
+        assert_eq!(h.drain_into(&mut out, 10), 1, "stops when empty");
+        assert_eq!(out, vec![1, 2, 3, 4]);
+        assert_eq!(h.drain_into(&mut out, 10), 0);
+    }
+
+    #[test]
+    fn extend_from_enqueues_all() {
+        let mut h = VecHandle(Default::default());
+        h.extend_from(10..15);
+        let mut out = Vec::new();
+        h.drain_into(&mut out, usize::MAX);
+        assert_eq!(out, vec![10, 11, 12, 13, 14]);
+    }
+
+    #[test]
+    fn dequeue_spin_returns_available_value() {
+        let mut h = VecHandle([7].into());
+        assert_eq!(h.dequeue_spin(), 7);
+    }
+}

@@ -1,0 +1,105 @@
+//! Common traits implemented by every concurrent FIFO queue in this
+//! workspace.
+//!
+//! The traits deliberately mirror the *usage model* of the Kogan–Petrank
+//! wait-free queue (the paper's contribution): a thread first *registers*
+//! with the queue, obtaining a [`QueueHandle`] bound to a thread slot, and
+//! then performs operations through that handle. Queues that do not need
+//! per-thread state (e.g. the Michael–Scott baseline) return a trivial
+//! handle, so benchmarks and tests can be written once, generically.
+//!
+//! Handles take `&mut self` on operations: a handle represents *one*
+//! logical thread of the algorithm and must never be used concurrently.
+//! Handles are `Send` (they may be moved into a worker thread) but not
+//! `Sync`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ext;
+pub mod testing;
+
+pub use ext::QueueHandleExt;
+
+use std::fmt;
+
+/// Error returned by [`ConcurrentQueue::register`] when the queue's thread
+/// capacity (the paper's `NUM_THRDS`) is exhausted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegistrationError {
+    /// The maximum number of simultaneously registered handles.
+    pub capacity: usize,
+}
+
+impl fmt::Display for RegistrationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "queue thread capacity exhausted ({} handles already registered)",
+            self.capacity
+        )
+    }
+}
+
+impl std::error::Error for RegistrationError {}
+
+/// A per-thread handle through which queue operations are performed.
+///
+/// Dropping the handle releases the underlying thread slot (if any), so
+/// slots can be reused by threads that register later — the "dynamic
+/// thread IDs via long-lived renaming" relaxation of §3.3 of the paper.
+pub trait QueueHandle<T>: Send {
+    /// Inserts `value` at the tail of the queue.
+    fn enqueue(&mut self, value: T);
+
+    /// Removes and returns the value at the head of the queue, or `None`
+    /// if the queue is observed empty (the paper's `EmptyException`).
+    fn dequeue(&mut self) -> Option<T>;
+}
+
+/// A multi-producer multi-consumer FIFO queue.
+pub trait ConcurrentQueue<T: Send>: Send + Sync {
+    /// The handle type produced by [`register`](Self::register).
+    type Handle<'a>: QueueHandle<T> + 'a
+    where
+        Self: 'a;
+
+    /// Registers the calling thread, returning a handle bound to a free
+    /// thread slot.
+    fn register(&self) -> Result<Self::Handle<'_>, RegistrationError>;
+
+    /// Upper bound on the number of simultaneously registered handles.
+    /// `usize::MAX` for queues without per-thread state.
+    fn thread_capacity(&self) -> usize {
+        usize::MAX
+    }
+}
+
+/// Convenience: run `f` with a freshly registered handle, panicking if the
+/// queue is at thread capacity. Used pervasively by tests and benchmarks.
+pub fn with_handle<T, Q, R>(queue: &Q, f: impl FnOnce(&mut Q::Handle<'_>) -> R) -> R
+where
+    T: Send,
+    Q: ConcurrentQueue<T>,
+{
+    let mut h = queue.register().expect("queue thread capacity exhausted");
+    f(&mut h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_error_display() {
+        let e = RegistrationError { capacity: 8 };
+        let s = e.to_string();
+        assert!(s.contains('8'), "display should mention capacity: {s}");
+    }
+
+    #[test]
+    fn registration_error_is_error() {
+        fn takes_error<E: std::error::Error>(_: E) {}
+        takes_error(RegistrationError { capacity: 1 });
+    }
+}

@@ -1,0 +1,198 @@
+//! Generic conformance checks run against every queue implementation in
+//! the workspace. Each queue crate's test suite calls into these with its
+//! own constructor, so all implementations are held to the same contract.
+
+use crate::{ConcurrentQueue, QueueHandle};
+
+/// Scales an iteration count down in unoptimized (debug) builds so the
+/// heavy stress tests stay tractable while `cargo test --release` keeps
+/// full coverage. Debug builds of these lock-free loops are easily an
+/// order of magnitude slower, and CI boxes may have a single core.
+pub fn scaled(n: usize) -> usize {
+    if cfg!(debug_assertions) {
+        (n / 10).max(1)
+    } else {
+        n
+    }
+}
+
+/// Single-threaded FIFO semantics: values come out in insertion order and
+/// an exhausted queue reports empty.
+pub fn check_sequential_fifo<Q: ConcurrentQueue<u64>>(queue: &Q) {
+    let mut h = queue.register().expect("register");
+    assert_eq!(h.dequeue(), None, "fresh queue must be empty");
+    for i in 0..100 {
+        h.enqueue(i);
+    }
+    for i in 0..100 {
+        assert_eq!(h.dequeue(), Some(i), "FIFO order violated");
+    }
+    assert_eq!(h.dequeue(), None, "drained queue must be empty");
+    // Interleaved enqueue/dequeue (the paper's pairs workload, 1 thread).
+    for i in 0..1000 {
+        h.enqueue(i);
+        assert_eq!(h.dequeue(), Some(i));
+    }
+    assert_eq!(h.dequeue(), None);
+}
+
+/// Multi-producer multi-consumer conservation: every enqueued value is
+/// dequeued exactly once, and nothing is invented.
+///
+/// Values are tagged `producer_id * per_thread + seq` so uniqueness and
+/// per-producer order can both be checked.
+pub fn check_mpmc_conservation<Q: ConcurrentQueue<u64> + Sync>(
+    queue: &Q,
+    producers: usize,
+    consumers: usize,
+    per_producer: usize,
+) {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Barrier;
+
+    let total = producers * per_producer;
+    let consumed = AtomicUsize::new(0);
+    let barrier = Barrier::new(producers + consumers);
+    let mut all: Vec<Vec<u64>> = Vec::new();
+
+    std::thread::scope(|s| {
+        for p in 0..producers {
+            let queue = &queue;
+            let barrier = &barrier;
+            s.spawn(move || {
+                let mut h = queue.register().expect("register producer");
+                barrier.wait();
+                for i in 0..per_producer {
+                    h.enqueue((p * per_producer + i) as u64);
+                }
+            });
+        }
+        let handles: Vec<_> = (0..consumers)
+            .map(|_| {
+                let queue = &queue;
+                let barrier = &barrier;
+                let consumed = &consumed;
+                s.spawn(move || {
+                    let mut h = queue.register().expect("register consumer");
+                    let mut got = Vec::new();
+                    barrier.wait();
+                    while consumed.load(Ordering::Relaxed) < total {
+                        if let Some(v) = h.dequeue() {
+                            consumed.fetch_add(1, Ordering::Relaxed);
+                            got.push(v);
+                        } else {
+                            // Yield rather than spin: on oversubscribed
+                            // (or single-core) machines a spinning
+                            // consumer burns its whole quantum while the
+                            // producers it waits for are descheduled.
+                            std::thread::yield_now();
+                        }
+                    }
+                    got
+                })
+            })
+            .collect();
+        for h in handles {
+            all.push(h.join().unwrap());
+        }
+    });
+
+    let mut seen = vec![false; total];
+    for batch in &all {
+        for &v in batch {
+            let v = v as usize;
+            assert!(v < total, "invented value {v}");
+            assert!(!seen[v], "value {v} dequeued twice");
+            seen[v] = true;
+        }
+    }
+    assert!(seen.iter().all(|&b| b), "some values were lost");
+
+    // Per-producer FIFO: within each consumer's stream, values from the
+    // same producer must appear in increasing sequence order (a necessary
+    // condition of linearizability for FIFO queues).
+    for batch in &all {
+        let mut last = vec![None::<u64>; producers];
+        for &v in batch {
+            let p = (v as usize) / per_producer;
+            if let Some(prev) = last[p] {
+                assert!(
+                    v > prev,
+                    "per-producer FIFO violated: {prev} before {v} from producer {p}"
+                );
+            }
+            last[p] = Some(v);
+        }
+    }
+}
+
+/// Values must never be duplicated or lost when the element type owns heap
+/// memory — exercises the take-once semantics of node payloads.
+pub fn check_owned_payloads<Q: ConcurrentQueue<Box<u64>> + Sync>(queue: &Q, threads: usize) {
+    use std::sync::Barrier;
+    let per = 2_000usize;
+    let barrier = Barrier::new(threads);
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let queue = &queue;
+            let barrier = &barrier;
+            s.spawn(move || {
+                let mut h = queue.register().expect("register");
+                barrier.wait();
+                let mut sum_in = 0u64;
+                let mut sum_out = 0u64;
+                let mut outstanding = 0usize;
+                for i in 0..per {
+                    let v = (t * per + i) as u64;
+                    sum_in += v;
+                    h.enqueue(Box::new(v));
+                    outstanding += 1;
+                    if i % 2 == 1 {
+                        if let Some(b) = h.dequeue() {
+                            sum_out += *b;
+                            outstanding -= 1;
+                        }
+                    }
+                }
+                while outstanding > 0 {
+                    if let Some(b) = h.dequeue() {
+                        sum_out += *b;
+                        outstanding -= 1;
+                    }
+                }
+                // Sums cannot be compared per-thread (threads steal each
+                // other's values); the real check is that every Box is
+                // dropped exactly once, which ASan/Miri would catch and
+                // the process-global allocator keeps honest. Touch the
+                // sums so the loops aren't optimized away.
+                assert!(sum_in > 0 || per == 0);
+                assert!(sum_out <= u64::MAX);
+            });
+        }
+    });
+    // Drain leftovers on one handle.
+    let mut h = queue.register().expect("register");
+    while h.dequeue().is_some() {}
+}
+
+/// Registration must hand out at most `capacity` concurrent handles and
+/// recycle released ones.
+pub fn check_registration_capacity<Q: ConcurrentQueue<u64>>(queue: &Q, capacity: usize) {
+    if capacity == usize::MAX {
+        // Unbounded queues (baselines) trivially pass.
+        let _h = queue.register().expect("register");
+        return;
+    }
+    let mut handles = Vec::new();
+    for _ in 0..capacity {
+        handles.push(queue.register().expect("capacity not yet reached"));
+    }
+    assert!(
+        queue.register().is_err(),
+        "registration beyond capacity must fail"
+    );
+    handles.pop();
+    let _again = queue
+        .register()
+        .expect("released slot must be reusable (long-lived renaming)");
+}

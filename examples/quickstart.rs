@@ -1,0 +1,63 @@
+//! Quickstart: create a wait-free queue, register threads, move values.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use wfq_repro::kp_queue::{Config, ConcurrentQueue, WfQueue};
+
+fn main() {
+    // A queue for at most 8 simultaneously registered threads, using the
+    // paper's best variant, opt WF (1+2). `Config::base()` selects the
+    // base algorithm of §3.2 instead.
+    let queue: WfQueue<String> = WfQueue::with_config(8, Config::opt_both());
+
+    // Four producers and three consumers share the queue; each thread
+    // registers to obtain its handle (its virtual thread ID).
+    std::thread::scope(|s| {
+        for producer in 0..4 {
+            let queue = &queue;
+            s.spawn(move || {
+                let mut h = queue.register().expect("a free thread slot");
+                for i in 0..5 {
+                    h.enqueue(format!("message {i} from producer {producer}"));
+                }
+            });
+        }
+        for consumer in 0..3 {
+            let queue = &queue;
+            s.spawn(move || {
+                let mut h = queue.register().expect("a free thread slot");
+                let mut got = 0;
+                while got < 5 {
+                    // `None` = queue observed empty (the paper's
+                    // EmptyException); poll again.
+                    if let Some(msg) = h.dequeue() {
+                        println!("consumer {consumer}: {msg}");
+                        got += 1;
+                    } else {
+                        std::hint::spin_loop();
+                    }
+                }
+            });
+        }
+    });
+
+    // Drain the remainder on the main thread.
+    let mut h = queue.register().unwrap();
+    let mut rest = 0;
+    while h.dequeue().is_some() {
+        rest += 1;
+    }
+    println!("main drained {rest} leftover messages");
+
+    // The queue exposes its helping statistics: under contention some
+    // operations' linearization steps are executed by peers.
+    let stats = queue.stats();
+    println!(
+        "ops = {}, helped steps = {} ({:.2}% of ops)",
+        stats.ops(),
+        stats.helped_appends + stats.helped_locks,
+        100.0 * stats.helped_fraction()
+    );
+}

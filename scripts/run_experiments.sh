@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Regenerates every figure of the paper's evaluation section plus the
+# latency extension experiment. Results land in results/ (CSV) and
+# results/logs/ (full console output). Scale knobs:
+#   ITERS  iterations per thread per run   (paper: 1000000)
+#   REPS   repetitions per data point      (paper: 10)
+#   MAXT   largest thread count            (paper: 16)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ITERS="${ITERS:-20000}"
+REPS="${REPS:-3}"
+MAXT="${MAXT:-16}"
+OUT="${OUT:-results}"
+mkdir -p "$OUT/logs"
+
+cargo build --release -p harness --bins
+
+run() {
+  local name="$1"; shift
+  echo "=== $name ==="
+  ./target/release/"$name" "$@" | tee "$OUT/logs/$name.txt"
+}
+
+run fig7 --iters "$ITERS" --reps "$REPS" --max-threads "$MAXT" --out-dir "$OUT"
+run fig8 --iters "$ITERS" --reps "$REPS" --max-threads "$MAXT" --out-dir "$OUT"
+run fig9 --iters "$ITERS" --reps "$REPS" --max-threads "$MAXT" --out-dir "$OUT"
+run fig10 --iters 2000 --max-size "${FIG10_MAX:-1000000}" --out-dir "$OUT"
+run latency --iters "$ITERS" --threads "${LAT_THREADS:-8}" --out-dir "$OUT"
+
+echo "All figures regenerated under $OUT/"

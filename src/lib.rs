@@ -1,0 +1,30 @@
+//! Umbrella crate for the reproduction of Kogan & Petrank, *Wait-Free
+//! Queues With Multiple Enqueuers and Dequeuers* (PPoPP 2011).
+//!
+//! Re-exports the workspace's public surface so examples and downstream
+//! users can depend on a single crate:
+//!
+//! * [`kp_queue`] — the paper's wait-free MPMC queue (base + optimized).
+//! * [`ms_queue`] — the Michael–Scott lock-free baseline and context
+//!   baselines (mutex queue, Lamport SPSC).
+//! * [`hazard`] — hazard-pointer reclamation (paper §3.4).
+//! * [`idpool`] — wait-free long-lived renaming for dynamic thread IDs
+//!   (paper §3.3).
+//! * [`linearize`] — linearizability checker used by the test suite.
+//! * [`kp_model`] — exhaustive-interleaving model of the operation
+//!   scheme (machine-checks the §5 lemmas on bounded configurations).
+//! * [`harness`] — workload generators and the figure-reproduction
+//!   drivers.
+
+pub use harness;
+pub use hazard;
+pub use idpool;
+pub use kp_model;
+pub use kp_queue;
+pub use linearize;
+pub use ms_queue;
+
+/// The queue traits shared by every implementation.
+pub mod traits {
+    pub use kp_queue::{ConcurrentQueue, QueueHandle};
+}

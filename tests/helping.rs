@@ -1,0 +1,204 @@
+//! Cross-thread helping tests: a genuinely stalled OS thread (parked
+//! after publishing its operation descriptor) has its operation
+//! completed by peers running on other threads — the property that
+//! makes the queue wait-free.
+//!
+//! These complement kp-queue's same-thread unit tests by exercising the
+//! real multi-thread path with channels coordinating the stall.
+
+use std::sync::mpsc;
+
+use kp_queue::{Config, ConcurrentQueue, WfQueue};
+
+#[test]
+fn parked_enqueuer_is_helped_across_threads() {
+    let q: WfQueue<u64> = WfQueue::with_config(4, Config::base());
+    let (ready_tx, ready_rx) = mpsc::channel();
+    let (resume_tx, resume_rx) = mpsc::channel::<()>();
+    let (done_tx, done_rx) = mpsc::channel();
+
+    std::thread::scope(|s| {
+        // The stalled thread: publishes an enqueue descriptor and parks.
+        {
+            let q = &q;
+            s.spawn(move || {
+                let mut h = q.register().unwrap();
+                let pending = h.begin_enqueue_unhelped(42);
+                ready_tx.send(pending.phase()).unwrap();
+                resume_rx.recv().unwrap(); // park until the helper finished
+                assert!(
+                    !pending.is_pending(),
+                    "helper thread must have completed the stalled enqueue"
+                );
+                pending.finish();
+            });
+        }
+
+        // The helper thread: runs ordinary operations, which (base
+        // policy) help all older pending operations first.
+        {
+            let q = &q;
+            s.spawn(move || {
+                let stalled_phase: i64 = ready_rx.recv().unwrap();
+                let mut h = q.register().unwrap();
+                h.enqueue(7);
+                // FIFO: the stalled op (phase older than ours)
+                // linearized before our enqueue.
+                assert_eq!(h.dequeue(), Some(42), "stalled enqueue went first");
+                assert_eq!(h.dequeue(), Some(7));
+                assert!(stalled_phase >= 0);
+                done_tx.send(()).unwrap();
+            });
+        }
+
+        done_rx.recv().unwrap();
+        resume_tx.send(()).unwrap();
+    });
+
+    assert!(q.stats().helped_appends >= 1);
+    assert!(q.is_empty());
+}
+
+#[test]
+fn parked_dequeuer_is_helped_across_threads() {
+    let q: WfQueue<u64> = WfQueue::with_config(4, Config::base());
+    {
+        let mut h = q.register().unwrap();
+        h.enqueue(100);
+        h.enqueue(200);
+    }
+
+    let (ready_tx, ready_rx) = mpsc::channel();
+    let (resume_tx, resume_rx) = mpsc::channel::<()>();
+    let (done_tx, done_rx) = mpsc::channel();
+
+    std::thread::scope(|s| {
+        {
+            let q = &q;
+            s.spawn(move || {
+                let mut h = q.register().unwrap();
+                let pending = h.begin_dequeue_unhelped();
+                ready_tx.send(()).unwrap();
+                resume_rx.recv().unwrap();
+                assert!(!pending.is_pending());
+                // The stalled dequeue linearized before the helper's own
+                // dequeue, so it must receive the older element.
+                assert_eq!(pending.finish(), Some(100));
+            });
+        }
+
+        {
+            let q = &q;
+            s.spawn(move || {
+                ready_rx.recv().unwrap();
+                let mut h = q.register().unwrap();
+                assert_eq!(h.dequeue(), Some(200), "stalled dequeue owns 100");
+                done_tx.send(()).unwrap();
+            });
+        }
+
+        done_rx.recv().unwrap();
+        resume_tx.send(()).unwrap();
+    });
+
+    assert!(q.stats().helped_locks >= 1);
+    assert!(q.is_empty());
+}
+
+#[test]
+fn many_parked_ops_all_completed_by_one_helper() {
+    // Three stalled enqueuers; a single helper operation completes all
+    // of them (help() scans every older pending descriptor).
+    let q: WfQueue<u64> = WfQueue::with_config(8, Config::base());
+    let (ready_tx, ready_rx) = mpsc::channel();
+
+    std::thread::scope(|s| {
+        let mut resume_txs = Vec::new();
+        for t in 0..3u64 {
+            let q = &q;
+            let ready_tx = ready_tx.clone();
+            let (resume_tx, resume_rx) = mpsc::channel::<()>();
+            resume_txs.push(resume_tx);
+            s.spawn(move || {
+                let mut h = q.register().unwrap();
+                let pending = h.begin_enqueue_unhelped(t);
+                ready_tx.send(()).unwrap();
+                resume_rx.recv().unwrap();
+                assert!(!pending.is_pending(), "thread {t} was not helped");
+                pending.finish();
+            });
+        }
+
+        for _ in 0..3 {
+            ready_rx.recv().unwrap();
+        }
+        let mut h = q.register().unwrap();
+        h.enqueue(99); // helps all three stalled ops first
+        for tx in resume_txs {
+            tx.send(()).unwrap();
+        }
+        // All four values present; the stalled trio precedes ours.
+        let mut seen = Vec::new();
+        while let Some(v) = h.dequeue() {
+            seen.push(v);
+        }
+        assert_eq!(seen.len(), 4);
+        assert_eq!(*seen.last().unwrap(), 99, "helper's value enqueued last");
+        let mut trio = seen[..3].to_vec();
+        trio.sort_unstable();
+        assert_eq!(trio, vec![0, 1, 2]);
+    });
+    assert_eq!(q.stats().helped_appends, 3);
+}
+
+#[test]
+fn stalled_op_survives_chunked_policies_eventually() {
+    // Under opt1 (help one peer per op, cyclically) a stalled op is
+    // reached within at most `n` helper operations.
+    let q: WfQueue<u64> = WfQueue::with_config(4, Config::opt_both());
+    let (ready_tx, ready_rx) = mpsc::channel();
+    let (resume_tx, resume_rx) = mpsc::channel::<()>();
+    let (done_tx, done_rx) = mpsc::channel();
+
+    std::thread::scope(|s| {
+        {
+            let q = &q;
+            s.spawn(move || {
+                let mut h = q.register().unwrap();
+                let pending = h.begin_enqueue_unhelped(1234);
+                ready_tx.send(()).unwrap();
+                resume_rx.recv().unwrap();
+                assert!(
+                    !pending.is_pending(),
+                    "after n helper ops the cyclic cursor must have visited us"
+                );
+                pending.finish();
+            });
+        }
+
+        {
+            let q = &q;
+            s.spawn(move || {
+                ready_rx.recv().unwrap();
+                let mut h = q.register().unwrap();
+                // n = 4 slots ⇒ 4 operations guarantee a full cursor lap.
+                for i in 0..8 {
+                    h.enqueue(i);
+                }
+                done_tx.send(()).unwrap();
+            });
+        }
+
+        done_rx.recv().unwrap();
+        resume_tx.send(()).unwrap();
+    });
+    // 1234 must be among the queue contents exactly once.
+    let mut h = q.register().unwrap();
+    let mut count = 0;
+    while let Some(v) = h.dequeue() {
+        if v == 1234 {
+            count += 1;
+        }
+    }
+    assert_eq!(count, 1);
+}

@@ -1,0 +1,143 @@
+//! Large-history linearizability screening: the exact WGL check is
+//! exponential, so `tests/linearizability.rs` keeps its rounds tiny.
+//! Here we record *big* concurrent histories (thousands of operations)
+//! from every queue and screen them with the linear-time
+//! necessary-condition checker — any violation is a hard proof of a
+//! bug (invented/duplicated values, FIFO reordering between strictly
+//! ordered enqueues, or a false empty observation).
+
+use linearize::{check_necessary, History, QueueOp, Recorder};
+use queue_traits::{ConcurrentQueue, QueueHandle};
+
+use kp_queue::{Config, WfQueue, WfQueueHp};
+use ms_queue::{MsQueue, MsQueueHp, MutexQueue};
+
+fn record_big<Q: ConcurrentQueue<u64> + Sync>(
+    queue: &Q,
+    threads: usize,
+    ops_per_thread: usize,
+    seed: u64,
+) -> History<QueueOp> {
+    let recorder = Recorder::new();
+    let mut logs = Vec::new();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let recorder = &recorder;
+                let queue = &queue;
+                s.spawn(move || {
+                    let mut h = queue.register().expect("register");
+                    let mut log = recorder.log::<QueueOp>(t);
+                    let mut x = seed ^ (t as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15);
+                    for i in 0..ops_per_thread {
+                        x ^= x << 13;
+                        x ^= x >> 7;
+                        x ^= x << 17;
+                        if x % 100 < 60 {
+                            let v = ((t as u64) << 40) | i as u64; // unique
+                            log.record(|| h.enqueue(v), |_| QueueOp::Enqueue(v));
+                        } else {
+                            log.record(|| h.dequeue(), |r| QueueOp::Dequeue(*r));
+                        }
+                    }
+                    log
+                })
+            })
+            .collect();
+        for h in handles {
+            logs.push(h.join().unwrap());
+        }
+    });
+    History::from_logs(logs)
+}
+
+fn screen<Q: ConcurrentQueue<u64> + Sync>(make: impl Fn() -> Q, name: &str) {
+    const THREADS: usize = 6;
+    let ops = queue_traits::testing::scaled(4_000);
+    const ROUNDS: usize = 3;
+    for round in 0..ROUNDS {
+        let queue = make();
+        let history = record_big(&queue, THREADS, ops, 31 * round as u64 + 5);
+        assert_eq!(history.len(), THREADS * ops);
+        if let Some(v) = check_necessary(&history) {
+            panic!("{name}: round {round}: necessary condition violated: {v:?}");
+        }
+    }
+}
+
+#[test]
+fn big_histories_ms_epoch() {
+    screen(MsQueue::<u64>::new, "MsQueue");
+}
+
+#[test]
+fn big_histories_ms_hazard() {
+    screen(MsQueueHp::<u64>::new, "MsQueueHp");
+}
+
+#[test]
+fn big_histories_mutex() {
+    screen(MutexQueue::<u64>::new, "MutexQueue");
+}
+
+#[test]
+fn big_histories_wf_base() {
+    screen(|| WfQueue::with_config(6, Config::base()), "WfQueue(base)");
+}
+
+#[test]
+fn big_histories_wf_opt_both() {
+    screen(
+        || WfQueue::with_config(6, Config::opt_both()),
+        "WfQueue(opt1+2)",
+    );
+}
+
+#[test]
+fn big_histories_wf_hazard() {
+    screen(
+        || WfQueueHp::with_config(6, Config::opt_both()),
+        "WfQueueHp(opt1+2)",
+    );
+}
+
+/// Meta-test: the screen catches a broken queue at scale (a stack
+/// reorders strictly ordered enqueues almost immediately).
+#[test]
+fn screen_rejects_lifo_at_scale() {
+    use parking_lot::Mutex;
+    struct Lifo(Mutex<Vec<u64>>);
+    struct H<'q>(&'q Lifo);
+    impl QueueHandle<u64> for H<'_> {
+        fn enqueue(&mut self, v: u64) {
+            self.0 .0.lock().push(v);
+        }
+        fn dequeue(&mut self) -> Option<u64> {
+            self.0 .0.lock().pop()
+        }
+    }
+    impl ConcurrentQueue<u64> for Lifo {
+        type Handle<'a> = H<'a>;
+        fn register(&self) -> Result<H<'_>, queue_traits::RegistrationError> {
+            Ok(H(self))
+        }
+    }
+
+    // Single-threaded so enqueues are strictly ordered: any LIFO pop of
+    // two resident elements violates the FIFO condition.
+    let q = Lifo(Mutex::new(Vec::new()));
+    let recorder = Recorder::new();
+    let mut log = recorder.log::<QueueOp>(0);
+    let mut h = q.register().unwrap();
+    for v in 0..50u64 {
+        log.record(|| h.enqueue(v), |_| QueueOp::Enqueue(v));
+    }
+    for _ in 0..50 {
+        log.record(|| h.dequeue(), |r| QueueOp::Dequeue(*r));
+    }
+    let history = History::from_logs([log]);
+    assert!(
+        check_necessary(&history).is_some(),
+        "LIFO order must violate the FIFO necessary condition"
+    );
+}

@@ -1,0 +1,116 @@
+//! Property-based sequential equivalence: any single-threaded sequence
+//! of operations applied to each queue implementation must produce
+//! exactly the results a `VecDeque` produces.
+
+use std::collections::VecDeque;
+
+use proptest::prelude::*;
+use queue_traits::{ConcurrentQueue, QueueHandle};
+
+use kp_queue::{Config, HelpPolicy, PhasePolicy, WfQueue};
+use ms_queue::{MsQueue, MsQueueHp, MutexQueue};
+
+/// A scripted operation.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Enq(u64),
+    Deq,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u64..1000).prop_map(Op::Enq),
+        Just(Op::Deq),
+    ]
+}
+
+fn check_against_model<Q: ConcurrentQueue<u64>>(queue: &Q, script: &[Op]) {
+    let mut model: VecDeque<u64> = VecDeque::new();
+    let mut h = queue.register().expect("register");
+    for (i, op) in script.iter().enumerate() {
+        match *op {
+            Op::Enq(v) => {
+                model.push_back(v);
+                h.enqueue(v);
+            }
+            Op::Deq => {
+                let expected = model.pop_front();
+                let got = h.dequeue();
+                assert_eq!(got, expected, "divergence at step {i} ({script:?})");
+            }
+        }
+    }
+    // Drain both and compare the tails.
+    loop {
+        let expected = model.pop_front();
+        let got = h.dequeue();
+        assert_eq!(got, expected);
+        if got.is_none() {
+            break;
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn ms_epoch_matches_vecdeque(script in prop::collection::vec(op_strategy(), 0..200)) {
+        check_against_model(&MsQueue::new(), &script);
+    }
+
+    #[test]
+    fn ms_hp_matches_vecdeque(script in prop::collection::vec(op_strategy(), 0..200)) {
+        check_against_model(&MsQueueHp::new(), &script);
+    }
+
+    #[test]
+    fn mutex_matches_vecdeque(script in prop::collection::vec(op_strategy(), 0..200)) {
+        check_against_model(&MutexQueue::new(), &script);
+    }
+
+    #[test]
+    fn wf_base_matches_vecdeque(script in prop::collection::vec(op_strategy(), 0..200)) {
+        check_against_model(&WfQueue::with_config(3, Config::base()), &script);
+    }
+
+    #[test]
+    fn wf_opt_both_matches_vecdeque(script in prop::collection::vec(op_strategy(), 0..200)) {
+        check_against_model(&WfQueue::with_config(3, Config::opt_both()), &script);
+    }
+
+    #[test]
+    fn wf_random_policy_matches_vecdeque(script in prop::collection::vec(op_strategy(), 0..200)) {
+        let cfg = Config::base()
+            .with_help(HelpPolicy::RandomChunk { chunk: 2 })
+            .with_phase(PhasePolicy::AtomicCounter)
+            .with_validation();
+        check_against_model(&WfQueue::with_config(5, cfg), &script);
+    }
+
+    /// Handle churn mid-script must not change sequential semantics
+    /// (the virtual-ID relaxation of §3.3).
+    #[test]
+    fn wf_matches_vecdeque_across_reregistration(
+        scripts in prop::collection::vec(prop::collection::vec(op_strategy(), 0..60), 1..5)
+    ) {
+        let queue: WfQueue<u64> = WfQueue::new(2);
+        let mut model: VecDeque<u64> = VecDeque::new();
+        for script in &scripts {
+            // Fresh handle (potentially a different virtual ID) per
+            // segment; state must carry over in the queue itself.
+            let mut h = queue.register().expect("register");
+            for op in script {
+                match *op {
+                    Op::Enq(v) => {
+                        model.push_back(v);
+                        h.enqueue(v);
+                    }
+                    Op::Deq => {
+                        prop_assert_eq!(h.dequeue(), model.pop_front());
+                    }
+                }
+            }
+        }
+    }
+}

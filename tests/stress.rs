@@ -1,0 +1,186 @@
+//! Cross-crate stress tests: heavier, longer-running checks than the
+//! per-crate unit suites, exercising every queue implementation through
+//! the shared conformance helpers plus scenarios that combine features
+//! (handle churn during traffic, mixed payload types, stats sanity).
+
+use queue_traits::testing;
+use queue_traits::{ConcurrentQueue, QueueHandle};
+
+use kp_queue::{Config, HelpPolicy, WfQueue, WfQueueHp};
+use ms_queue::{MsQueue, MsQueueHp, MutexQueue};
+
+const PRODUCERS: usize = 4;
+const CONSUMERS: usize = 4;
+const PER_PRODUCER: usize = 4_000; // scaled() further in debug
+
+#[test]
+fn mpmc_conservation_heavy_lf() {
+    testing::check_mpmc_conservation(&MsQueue::new(), PRODUCERS, CONSUMERS, testing::scaled(PER_PRODUCER));
+}
+
+#[test]
+fn mpmc_conservation_heavy_lf_hp() {
+    testing::check_mpmc_conservation(&MsQueueHp::new(), PRODUCERS, CONSUMERS, testing::scaled(PER_PRODUCER));
+}
+
+#[test]
+fn mpmc_conservation_heavy_mutex() {
+    testing::check_mpmc_conservation(&MutexQueue::new(), PRODUCERS, CONSUMERS, testing::scaled(PER_PRODUCER));
+}
+
+#[test]
+fn mpmc_conservation_heavy_wf_base() {
+    let q: WfQueue<u64> = WfQueue::with_config(PRODUCERS + CONSUMERS, Config::base());
+    testing::check_mpmc_conservation(&q, PRODUCERS, CONSUMERS, testing::scaled(PER_PRODUCER));
+}
+
+#[test]
+fn mpmc_conservation_heavy_wf_opt() {
+    let q: WfQueue<u64> = WfQueue::with_config(PRODUCERS + CONSUMERS, Config::opt_both());
+    testing::check_mpmc_conservation(&q, PRODUCERS, CONSUMERS, testing::scaled(PER_PRODUCER));
+}
+
+#[test]
+fn mpmc_conservation_heavy_wf_hazard() {
+    let q: WfQueueHp<u64> = WfQueueHp::with_config(PRODUCERS + CONSUMERS, Config::opt_both());
+    testing::check_mpmc_conservation(&q, PRODUCERS, CONSUMERS, testing::scaled(PER_PRODUCER) / 2 + 1);
+}
+
+#[test]
+fn wf_handle_churn_during_traffic() {
+    // Threads repeatedly register, do a burst, and deregister while
+    // other threads are mid-flight — exercising virtual-ID recycling
+    // under contention (§3.3) together with the helping machinery.
+    let q: WfQueue<u64> = WfQueue::with_config(6, Config::opt_both());
+    let total = std::sync::atomic::AtomicU64::new(0);
+    std::thread::scope(|s| {
+        for t in 0..4 {
+            let q = &q;
+            let total = &total;
+            s.spawn(move || {
+                for gen in 0..50 {
+                    let mut h = loop {
+                        // Capacity 6 > 4 workers, so registration can
+                        // only fail transiently while another thread's
+                        // drop is racing; retry.
+                        if let Ok(h) = q.register() {
+                            break h;
+                        }
+                        std::hint::spin_loop();
+                    };
+                    for i in 0..200u64 {
+                        h.enqueue(t * 1_000_000 + gen * 1_000 + i);
+                        if let Some(v) = h.dequeue() {
+                            total.fetch_add(v, std::sync::atomic::Ordering::Relaxed);
+                        }
+                    }
+                }
+            });
+        }
+    });
+    // Every enqueued element was dequeued (pairs pattern leaves empty).
+    assert!(q.is_empty());
+    assert_eq!(q.stats().ops(), 4 * 50 * 200 * 2);
+}
+
+#[test]
+fn wf_string_payloads_roundtrip() {
+    let q: WfQueue<String> = WfQueue::new(4);
+    std::thread::scope(|s| {
+        for t in 0..2 {
+            let q = &q;
+            s.spawn(move || {
+                let mut h = q.register().unwrap();
+                for i in 0..testing::scaled(5_000) {
+                    h.enqueue(format!("{t}:{i}"));
+                    let got = loop {
+                        if let Some(v) = h.dequeue() {
+                            break v;
+                        }
+                    };
+                    // The dequeued string must be a well-formed tagged
+                    // value (not necessarily ours).
+                    let mut parts = got.splitn(2, ':');
+                    let tt: usize = parts.next().unwrap().parse().unwrap();
+                    let ii: usize = parts.next().unwrap().parse().unwrap();
+                    assert!(tt < 2 && ii < 5_000);
+                }
+            });
+        }
+    });
+    assert!(q.is_empty());
+}
+
+#[test]
+fn wf_large_chunk_policy_under_stress() {
+    let q: WfQueue<u64> =
+        WfQueue::with_config(8, Config::opt_both().with_help(HelpPolicy::Cyclic { chunk: 7 }));
+    testing::check_mpmc_conservation(&q, 4, 4, testing::scaled(5_000));
+}
+
+#[test]
+fn wf_random_chunk_policy_under_stress() {
+    let q: WfQueue<u64> = WfQueue::with_config(
+        8,
+        Config::opt2().with_help(HelpPolicy::RandomChunk { chunk: 2 }),
+    );
+    testing::check_mpmc_conservation(&q, 4, 4, testing::scaled(5_000));
+}
+
+#[test]
+fn alternating_producers_consumers_fifo_per_producer() {
+    // One producer, one consumer: the consumer must observe the
+    // producer's exact order (single-producer FIFO is total).
+    fn run<Q: ConcurrentQueue<u64> + Sync>(q: &Q) {
+        let n: u64 = testing::scaled(30_000) as u64;
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let mut h = q.register().unwrap();
+                for i in 0..n {
+                    h.enqueue(i);
+                }
+            });
+            s.spawn(|| {
+                let mut h = q.register().unwrap();
+                let mut expect = 0;
+                while expect < n {
+                    if let Some(v) = h.dequeue() {
+                        assert_eq!(v, expect, "SPSC order must be exact");
+                        expect += 1;
+                    }
+                }
+            });
+        });
+    }
+    run(&MsQueue::new());
+    run(&MsQueueHp::new());
+    run(&WfQueue::with_config(2, Config::base()));
+    run(&WfQueue::with_config(2, Config::opt_both()));
+    run(&WfQueueHp::with_config(2, Config::opt_both()));
+}
+
+#[test]
+fn helping_stats_accumulate_under_oversubscription() {
+    // With 8 threads on few cores and the ScanAll policy, helpers finish
+    // a measurable number of peer operations.
+    let q: WfQueue<u64> = WfQueue::with_config(8, Config::base());
+    std::thread::scope(|s| {
+        for _ in 0..8 {
+            s.spawn(|| {
+                let mut h = q.register().unwrap();
+                for i in 0..testing::scaled(10_000) as u64 {
+                    h.enqueue(i);
+                    h.dequeue();
+                }
+            });
+        }
+    });
+    let stats = q.stats();
+    let per = testing::scaled(10_000) as u64;
+    assert_eq!(stats.enqueues, 8 * per);
+    assert_eq!(stats.dequeues, 8 * per);
+    assert!(
+        stats.help_calls > 0,
+        "base policy must enter peer helping under contention"
+    );
+}
