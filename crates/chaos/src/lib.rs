@@ -1,0 +1,517 @@
+//! Deterministic fault injection for the wait-free queue test suite.
+//!
+//! The paper's correctness claims are strongest exactly where friendly
+//! OS schedules never go: a helper stalled between two of an
+//! operation's three atomic steps, or a thread that dies mid-operation
+//! (§3.3's exit discussion). This crate provides the machinery the
+//! torture suite uses to force those schedules:
+//!
+//! * **Injection points.** Instrumented crates mark each shared-memory
+//!   step with an `inject!("site.name")` macro. With their `chaos`
+//!   cargo feature off the macro expands to nothing; with it on, every
+//!   hit calls [`hit`], which counts the step and consults the active
+//!   fault plan.
+//! * **[`FaultPlan`]** — a deterministic, seed-derivable set of rules
+//!   saying "the k-th time thread t reaches site s: stall for N yields
+//!   / storm yields / die". Thread identity is the *virtual* ID the
+//!   test registered via [`register_thread`], so plans are stable
+//!   across runs.
+//! * **Watchdog** — counts shared-memory steps between
+//!   [`op_begin`]/[`op_end`] per thread and records the worst case, so
+//!   tests can assert the empirical per-operation step bound stays
+//!   linear in the number of registered threads even under stalls.
+//!
+//! Only threads that registered are ever affected; the plan is
+//! installed process-globally under a lock ([`install`]) so concurrent
+//! unit tests in the same binary cannot interfere with a torture run.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, RwLock};
+
+// ---------------------------------------------------------------------
+// Plans
+// ---------------------------------------------------------------------
+
+/// Which registered thread a rule applies to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThreadSel {
+    /// Any registered thread.
+    Any,
+    /// The thread registered with this virtual ID.
+    Id(usize),
+}
+
+impl ThreadSel {
+    fn matches(&self, tid: usize) -> bool {
+        match self {
+            ThreadSel::Any => true,
+            ThreadSel::Id(id) => *id == tid,
+        }
+    }
+}
+
+/// What happens when a rule fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Park the thread at the site for `yields` voluntary yields —
+    /// a helper stalled between atomic steps.
+    Stall { yields: u32 },
+    /// Simulated crash: unwind out of the operation with a
+    /// [`ChaosKill`] panic payload. The harness thread catches it; the
+    /// queue code does not, so the operation is abandoned wherever the
+    /// site sits.
+    Kill,
+}
+
+/// A single fault rule.
+#[derive(Debug, Clone)]
+pub struct Rule {
+    /// Site name; a trailing `*` matches any site with that prefix.
+    pub site: String,
+    pub thread: ThreadSel,
+    /// 0-based occurrence index: the rule fires the `hit`-th time the
+    /// selected thread reaches a matching site.
+    pub hit: u64,
+    pub action: Action,
+}
+
+impl Rule {
+    fn site_matches(&self, site: &str) -> bool {
+        match self.site.strip_suffix('*') {
+            Some(prefix) => site.starts_with(prefix),
+            None => self.site == site,
+        }
+    }
+}
+
+/// Background yield noise: every `period`-th step of a registered
+/// thread inserts `yields` voluntary yields, scrambling the schedule
+/// without targeting a specific site.
+#[derive(Debug, Clone, Copy)]
+pub struct Storm {
+    pub period: u64,
+    pub yields: u32,
+}
+
+/// A deterministic fault schedule.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    pub rules: Vec<Rule>,
+    pub storm: Option<Storm>,
+}
+
+impl FaultPlan {
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Adds a stall rule (builder style).
+    pub fn stall(mut self, site: &str, thread: ThreadSel, hit: u64, yields: u32) -> Self {
+        self.rules.push(Rule { site: site.to_string(), thread, hit, action: Action::Stall { yields } });
+        self
+    }
+
+    /// Adds a kill rule (builder style).
+    pub fn kill(mut self, site: &str, thread: ThreadSel, hit: u64) -> Self {
+        self.rules.push(Rule { site: site.to_string(), thread, hit, action: Action::Kill });
+        self
+    }
+
+    /// Adds background yield noise (builder style).
+    pub fn with_storm(mut self, period: u64, yields: u32) -> Self {
+        self.storm = Some(Storm { period, yields });
+        self
+    }
+
+    /// Derives a plan of `n_stalls` stall rules over the given sites
+    /// and `threads` registered IDs, plus a yield storm, entirely from
+    /// `seed`. The same seed always yields the same plan.
+    pub fn seeded(seed: u64, sites: &[&str], threads: usize, n_stalls: usize) -> FaultPlan {
+        assert!(!sites.is_empty() && threads > 0);
+        let mut state = seed;
+        let mut next = move || splitmix64(&mut state);
+        let mut plan = FaultPlan::new();
+        for _ in 0..n_stalls {
+            let site = sites[(next() % sites.len() as u64) as usize];
+            let thread = ThreadSel::Id((next() % threads as u64) as usize);
+            let hit = next() % 8;
+            let yields = 1 + (next() % 64) as u32;
+            plan = plan.stall(site, thread, hit, yields);
+        }
+        plan.with_storm(5 + seed % 11, 1 + (seed % 3) as u32)
+    }
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+// ---------------------------------------------------------------------
+// Global session
+// ---------------------------------------------------------------------
+
+/// Panic payload of [`Action::Kill`]. Torture harnesses downcast the
+/// `JoinHandle` error to this to confirm the death was the planned one.
+#[derive(Debug)]
+pub struct ChaosKill {
+    pub site: &'static str,
+    pub thread: usize,
+}
+
+#[derive(Default)]
+struct SessionStats {
+    max_op_steps: AtomicU64,
+    total_steps: AtomicU64,
+    stalls: AtomicU64,
+    kills: AtomicU64,
+    ops: AtomicU64,
+}
+
+struct PlanState {
+    plan: FaultPlan,
+    stats: SessionStats,
+}
+
+fn active_cell() -> &'static RwLock<Option<Arc<PlanState>>> {
+    static ACTIVE: OnceLock<RwLock<Option<Arc<PlanState>>>> = OnceLock::new();
+    ACTIVE.get_or_init(|| RwLock::new(None))
+}
+
+fn session_lock() -> &'static Mutex<()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+}
+
+/// Counters observed while a plan was installed.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Report {
+    /// Worst shared-memory step count of any single completed operation.
+    pub max_op_steps: u64,
+    /// Total instrumented steps executed by registered threads.
+    pub total_steps: u64,
+    /// Stall rules fired (incl. storm bursts).
+    pub stalls: u64,
+    /// Kill rules fired.
+    pub kills: u64,
+    /// Operations completed by registered threads.
+    pub ops: u64,
+}
+
+impl Report {
+    /// The empirical wait-freedom check: the worst observed
+    /// per-operation step count must stay below a budget linear in the
+    /// number of threads. Returns the budget it checked against.
+    pub fn assert_linear_bound(&self, threads: usize, base: u64, per_thread: u64) -> u64 {
+        let budget = base + per_thread * threads as u64;
+        assert!(
+            self.max_op_steps <= budget,
+            "wait-freedom watchdog: an operation took {} instrumented steps, \
+             over the linear budget {} (= {} + {}*{} threads)",
+            self.max_op_steps,
+            budget,
+            base,
+            per_thread,
+            threads
+        );
+        budget
+    }
+}
+
+/// An installed fault plan. Dropping it uninstalls the plan and frees
+/// the global chaos slot for the next test.
+pub struct ChaosSession {
+    _serial: MutexGuard<'static, ()>,
+}
+
+/// Installs `plan` process-wide. Blocks until any other session ends.
+pub fn install(plan: FaultPlan) -> ChaosSession {
+    let serial = match session_lock().lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    *active_cell().write().unwrap() =
+        Some(Arc::new(PlanState { plan, stats: SessionStats::default() }));
+    ChaosSession { _serial: serial }
+}
+
+impl ChaosSession {
+    /// Snapshot of the session's counters.
+    pub fn report(&self) -> Report {
+        let guard = active_cell().read().unwrap();
+        let state = guard.as_ref().expect("session active");
+        Report {
+            max_op_steps: state.stats.max_op_steps.load(Ordering::SeqCst),
+            total_steps: state.stats.total_steps.load(Ordering::SeqCst),
+            stalls: state.stats.stalls.load(Ordering::SeqCst),
+            kills: state.stats.kills.load(Ordering::SeqCst),
+            ops: state.stats.ops.load(Ordering::SeqCst),
+        }
+    }
+}
+
+impl Drop for ChaosSession {
+    fn drop(&mut self) {
+        *active_cell().write().unwrap() = None;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Per-thread state
+// ---------------------------------------------------------------------
+
+struct ThreadState {
+    id: usize,
+    /// Per-site occurrence counters (rule matching).
+    site_hits: HashMap<&'static str, u64>,
+    /// Steps since thread registration (storm phase).
+    total_hits: u64,
+    /// Steps inside the current operation (watchdog).
+    op_steps: u64,
+    in_op: bool,
+    /// Set once a kill fired so the unwind path (handle Drop cleanup
+    /// re-enters instrumented code) is not re-killed.
+    killing: bool,
+}
+
+thread_local! {
+    static THREAD: RefCell<Option<ThreadState>> = const { RefCell::new(None) };
+}
+
+/// Marks the calling thread as participating in the active chaos
+/// session under virtual ID `id` (use the queue's virtual thread ID so
+/// plans and queue behavior line up). Unregisters on drop.
+pub fn register_thread(id: usize) -> ThreadToken {
+    THREAD.with(|t| {
+        *t.borrow_mut() = Some(ThreadState {
+            id,
+            site_hits: HashMap::new(),
+            total_hits: 0,
+            op_steps: 0,
+            in_op: false,
+            killing: false,
+        });
+    });
+    ThreadToken { _priv: () }
+}
+
+/// RAII handle for a registered thread.
+pub struct ThreadToken {
+    _priv: (),
+}
+
+impl Drop for ThreadToken {
+    fn drop(&mut self) {
+        let _ = THREAD.try_with(|t| *t.borrow_mut() = None);
+    }
+}
+
+/// Instrumentation entry point: one shared-memory step at `site`.
+/// No-op for unregistered threads.
+pub fn hit(site: &'static str) {
+    // Decide under the thread-local borrow, act (yield/panic) outside it.
+    enum Fire {
+        Nothing,
+        Yields(u64),
+        Kill(usize),
+    }
+    let fire = THREAD.try_with(|t| {
+        let mut borrow = t.borrow_mut();
+        let state = match borrow.as_mut() {
+            Some(s) if !s.killing => s,
+            _ => return Fire::Nothing,
+        };
+        let guard = active_cell().read().unwrap();
+        let plan_state = match guard.as_ref() {
+            Some(p) => p,
+            None => return Fire::Nothing,
+        };
+        state.total_hits += 1;
+        if state.in_op {
+            state.op_steps += 1;
+        }
+        plan_state.stats.total_steps.fetch_add(1, Ordering::Relaxed);
+        let occurrence = {
+            let c = state.site_hits.entry(site).or_insert(0);
+            let n = *c;
+            *c += 1;
+            n
+        };
+        let mut yields: u64 = 0;
+        if let Some(storm) = plan_state.plan.storm {
+            if storm.period > 0 && state.total_hits % storm.period == 0 {
+                yields += storm.yields as u64;
+            }
+        }
+        for rule in &plan_state.plan.rules {
+            if rule.hit == occurrence && rule.thread.matches(state.id) && rule.site_matches(site) {
+                match rule.action {
+                    Action::Stall { yields: y } => {
+                        plan_state.stats.stalls.fetch_add(1, Ordering::Relaxed);
+                        yields += y as u64;
+                    }
+                    Action::Kill => {
+                        plan_state.stats.kills.fetch_add(1, Ordering::Relaxed);
+                        state.killing = true;
+                        return Fire::Kill(state.id);
+                    }
+                }
+            }
+        }
+        if yields > 0 {
+            Fire::Yields(yields)
+        } else {
+            Fire::Nothing
+        }
+    });
+    match fire {
+        Ok(Fire::Nothing) | Err(_) => {}
+        Ok(Fire::Yields(n)) => {
+            for _ in 0..n {
+                std::thread::yield_now();
+            }
+        }
+        Ok(Fire::Kill(thread)) => {
+            std::panic::panic_any(ChaosKill { site, thread });
+        }
+    }
+}
+
+/// Watchdog: marks the start of one queue operation on this thread.
+pub fn op_begin() {
+    let _ = THREAD.try_with(|t| {
+        if let Some(state) = t.borrow_mut().as_mut() {
+            state.in_op = true;
+            state.op_steps = 0;
+        }
+    });
+}
+
+/// Watchdog: marks the end of the operation begun by [`op_begin`] and
+/// folds its step count into the session maximum.
+pub fn op_end() {
+    let steps = THREAD.try_with(|t| {
+        t.borrow_mut().as_mut().and_then(|state| {
+            if !state.in_op {
+                return None;
+            }
+            state.in_op = false;
+            Some(state.op_steps)
+        })
+    });
+    if let Ok(Some(steps)) = steps {
+        if let Some(plan_state) = active_cell().read().unwrap().as_ref() {
+            plan_state.stats.ops.fetch_add(1, Ordering::Relaxed);
+            plan_state.stats.max_op_steps.fetch_max(steps, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unregistered_threads_unaffected() {
+        let _session = install(FaultPlan::new().kill("x", ThreadSel::Any, 0));
+        hit("x"); // would panic if the rule applied
+    }
+
+    #[test]
+    fn seeded_plans_are_deterministic() {
+        let a = FaultPlan::seeded(42, &["s1", "s2"], 4, 6);
+        let b = FaultPlan::seeded(42, &["s1", "s2"], 4, 6);
+        assert_eq!(a.rules.len(), b.rules.len());
+        for (x, y) in a.rules.iter().zip(&b.rules) {
+            assert_eq!(x.site, y.site);
+            assert_eq!(x.thread, y.thread);
+            assert_eq!(x.hit, y.hit);
+            assert_eq!(x.action, y.action);
+        }
+        let c = FaultPlan::seeded(43, &["s1", "s2"], 4, 6);
+        let differs = a
+            .rules
+            .iter()
+            .zip(&c.rules)
+            .any(|(x, y)| x.site != y.site || x.thread != y.thread || x.hit != y.hit);
+        assert!(differs, "different seeds should give different plans");
+    }
+
+    #[test]
+    fn stall_counts_and_watchdog() {
+        let session = install(FaultPlan::new().stall("site.a", ThreadSel::Id(0), 1, 3));
+        let token = register_thread(0);
+        op_begin();
+        hit("site.a"); // occurrence 0: no rule
+        hit("site.a"); // occurrence 1: stall fires
+        hit("site.b");
+        op_end();
+        let report = session.report();
+        assert_eq!(report.stalls, 1);
+        assert_eq!(report.ops, 1);
+        assert_eq!(report.max_op_steps, 3);
+        assert_eq!(report.total_steps, 3);
+        report.assert_linear_bound(1, 4, 0);
+        drop(token);
+    }
+
+    #[test]
+    fn kill_fires_once_and_marks_thread() {
+        let session = install(FaultPlan::new().kill("die.here", ThreadSel::Id(7), 0));
+        let err = std::thread::spawn(|| {
+            let _token = register_thread(7);
+            hit("die.here");
+            unreachable!("kill must unwind");
+        })
+        .join()
+        .expect_err("thread should die");
+        let kill = err.downcast_ref::<ChaosKill>().expect("ChaosKill payload");
+        assert_eq!(kill.site, "die.here");
+        assert_eq!(kill.thread, 7);
+        assert_eq!(session.report().kills, 1);
+    }
+
+    #[test]
+    fn killed_thread_cleanup_is_not_rekilled() {
+        let _session = install(FaultPlan::new().kill("a", ThreadSel::Id(1), 0).kill("b", ThreadSel::Id(1), 0));
+        std::thread::spawn(|| {
+            let _token = register_thread(1);
+            struct Cleanup;
+            impl Drop for Cleanup {
+                fn drop(&mut self) {
+                    // Unwind path re-enters instrumented code; the kill
+                    // on "b" must not fire (double panic would abort).
+                    hit("b");
+                }
+            }
+            let _cleanup = Cleanup;
+            hit("a");
+        })
+        .join()
+        .expect_err("planned kill");
+    }
+
+    #[test]
+    fn wildcard_sites_match_prefix() {
+        let r = Rule {
+            site: "kp.enq.*".to_string(),
+            thread: ThreadSel::Any,
+            hit: 0,
+            action: Action::Stall { yields: 1 },
+        };
+        assert!(r.site_matches("kp.enq.append"));
+        assert!(!r.site_matches("kp.deq.lock"));
+    }
+
+    #[test]
+    #[should_panic(expected = "wait-freedom watchdog")]
+    fn watchdog_bound_violation_panics() {
+        let report = Report { max_op_steps: 1000, ..Default::default() };
+        report.assert_linear_bound(2, 10, 10);
+    }
+}

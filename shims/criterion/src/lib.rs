@@ -1,0 +1,277 @@
+//! Offline shim for the `criterion` API subset this workspace uses.
+//!
+//! Semantics: each `bench_function`/`bench_with_input` call runs a
+//! short warm-up, then a fixed number of timed batches, and prints the
+//! mean time per iteration to stdout. There is no statistical analysis,
+//! HTML report, or baseline comparison — the figure binaries under
+//! `crates/harness` are the reproduction's real measurement path; these
+//! benches exist for quick relative spot checks.
+
+use std::fmt::{self, Display};
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a computed value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level bench context, handed to each target by `criterion_main!`.
+pub struct Criterion {
+    /// Substring filter taken from argv (same UX as the real crate:
+    /// `cargo bench -- <filter>`).
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && !a.is_empty());
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(200),
+            measurement_time: Duration::from_millis(500),
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut g = self.benchmark_group("");
+        g.bench_function(id, f);
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a Criterion,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let full = if self.name.is_empty() {
+            id.label()
+        } else {
+            format!("{}/{}", self.name, id.label())
+        };
+        if let Some(filter) = &self.criterion.filter {
+            if !full.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut b = Bencher {
+            total: Duration::ZERO,
+            iters: 0,
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        let per_iter = if b.iters > 0 {
+            b.total / (b.iters as u32).max(1)
+        } else {
+            Duration::ZERO
+        };
+        println!("{full:<60} {:>12.3?}/iter ({} iters)", per_iter, b.iters);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Selects units for throughput reporting (accepted, ignored).
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Runs and times the measured closure.
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `f` over batches until the measurement budget is spent.
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        // Warm-up, and calibrate a batch size that keeps timer overhead
+        // negligible.
+        let warm_deadline = Instant::now() + self.warm_up_time;
+        let mut warm_iters: u64 = 0;
+        while Instant::now() < warm_deadline {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let batch = (warm_iters / 10).max(1);
+        let deadline = Instant::now() + self.measurement_time;
+        while Instant::now() < deadline {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            self.total += start.elapsed();
+            self.iters += batch;
+        }
+    }
+
+    /// Hands the iteration count to `f`, which returns the measured
+    /// duration (used by workloads that manage their own timing).
+    pub fn iter_custom<F>(&mut self, mut f: F)
+    where
+        F: FnMut(u64) -> Duration,
+    {
+        let n = self.sample_size as u64;
+        self.total += f(n);
+        self.iters += n;
+    }
+}
+
+/// A benchmark name, optionally parameterized.
+pub struct BenchmarkId {
+    function: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId { function: function.into(), parameter: Some(parameter.to_string()) }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId { function: String::new(), parameter: Some(parameter.to_string()) }
+    }
+
+    fn label(&self) -> String {
+        match &self.parameter {
+            Some(p) if !self.function.is_empty() => format!("{}/{}", self.function, p),
+            Some(p) => p.clone(),
+            None => self.function.clone(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { function: s.to_string(), parameter: None }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { function: s, parameter: None }
+    }
+}
+
+impl fmt::Debug for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion { filter: None };
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(2));
+        let mut ran = false;
+        g.bench_function("noop", |b| {
+            b.iter(|| black_box(1 + 1));
+            ran = true;
+        });
+        g.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn iter_custom_accumulates() {
+        let mut b = Bencher {
+            total: Duration::ZERO,
+            iters: 0,
+            warm_up_time: Duration::ZERO,
+            measurement_time: Duration::ZERO,
+            sample_size: 7,
+        };
+        b.iter_custom(|n| Duration::from_nanos(n));
+        assert_eq!(b.iters, 7);
+        assert_eq!(b.total, Duration::from_nanos(7));
+    }
+}

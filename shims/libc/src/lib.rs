@@ -1,0 +1,80 @@
+//! Offline shim for the `libc` API subset this workspace uses: the
+//! CPU-affinity types and syscall wrapper needed by
+//! `harness::sched::pin_to_core`. Layouts match glibc on Linux.
+
+#![allow(non_camel_case_types, non_snake_case)]
+
+pub type c_int = i32;
+pub type pid_t = i32;
+pub type size_t = usize;
+
+/// Bits in a `cpu_set_t` (glibc default).
+pub const CPU_SETSIZE: c_int = 1024;
+
+const ULONG_BITS: usize = 8 * core::mem::size_of::<u64>();
+
+/// glibc's `cpu_set_t`: a 1024-bit mask stored as an array of
+/// unsigned longs (64-bit on every target we build for).
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub struct cpu_set_t {
+    bits: [u64; CPU_SETSIZE as usize / ULONG_BITS],
+}
+
+/// Clears `set`.
+pub fn CPU_ZERO(set: &mut cpu_set_t) {
+    for word in set.bits.iter_mut() {
+        *word = 0;
+    }
+}
+
+/// Adds `cpu` to `set`. Out-of-range CPUs are ignored, matching the
+/// glibc macro's bounds check.
+pub fn CPU_SET(cpu: usize, set: &mut cpu_set_t) {
+    if cpu < CPU_SETSIZE as usize {
+        set.bits[cpu / ULONG_BITS] |= 1 << (cpu % ULONG_BITS);
+    }
+}
+
+/// True if `cpu` is a member of `set`.
+pub fn CPU_ISSET(cpu: usize, set: &cpu_set_t) -> bool {
+    cpu < CPU_SETSIZE as usize && set.bits[cpu / ULONG_BITS] & (1 << (cpu % ULONG_BITS)) != 0
+}
+
+#[cfg(target_os = "linux")]
+extern "C" {
+    /// Direct binding to glibc's `sched_setaffinity`.
+    pub fn sched_setaffinity(pid: pid_t, cpusetsize: size_t, cpuset: *const cpu_set_t) -> c_int;
+}
+
+#[cfg(not(target_os = "linux"))]
+/// Stub for non-Linux targets: reports success without doing anything.
+pub unsafe fn sched_setaffinity(_pid: pid_t, _cpusetsize: size_t, _cpuset: *const cpu_set_t) -> c_int {
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_and_test_bits() {
+        let mut set: cpu_set_t = unsafe { core::mem::zeroed() };
+        CPU_ZERO(&mut set);
+        assert!(!CPU_ISSET(3, &set));
+        CPU_SET(3, &mut set);
+        assert!(CPU_ISSET(3, &set));
+        CPU_SET(5000, &mut set); // out of range: ignored
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn setaffinity_links_and_runs() {
+        let mut set: cpu_set_t = unsafe { core::mem::zeroed() };
+        CPU_ZERO(&mut set);
+        CPU_SET(0, &mut set);
+        let rc = unsafe { sched_setaffinity(0, core::mem::size_of::<cpu_set_t>(), &set) };
+        // Success on most systems; permission errors are still a valid link test.
+        assert!(rc == 0 || rc == -1);
+    }
+}

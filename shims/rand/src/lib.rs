@@ -1,0 +1,137 @@
+//! Offline shim for the `rand` API subset this workspace uses:
+//! `SmallRng::seed_from_u64`, `Rng::gen`, and `Rng::gen_range` over
+//! primitive integers. The generator is xorshift64* seeded through
+//! splitmix64 — deterministic, fast, and unrelated to the real crate's
+//! stream (nothing in the workspace depends on the exact stream).
+
+/// Low-level generator interface.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Types producible from a raw generator via `Rng::gen`.
+pub trait Random {
+    fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Random for bool {
+    fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_random_int {
+    ($($t:ty),*) => {$(
+        impl Random for $t {
+            fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_random_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// High-level convenience methods, blanket-implemented for every
+/// generator.
+pub trait Rng: RngCore {
+    fn gen<T: Random>(&mut self) -> T {
+        T::random(self)
+    }
+
+    /// Uniform value in `[range.start, range.end)`. Uses the modulo
+    /// method; the bias is negligible for the small ranges the
+    /// workloads draw from.
+    fn gen_range<T>(&mut self, range: std::ops::Range<T>) -> T
+    where
+        T: Copy + PartialOrd + TryFrom<u64> + Into<u64>,
+    {
+        let lo: u64 = range.start.into();
+        let hi: u64 = range.end.into();
+        assert!(lo < hi, "gen_range: empty range");
+        let v = lo + self.next_u64() % (hi - lo);
+        T::try_from(v).ok().expect("gen_range: value out of range")
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Seeding interface.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+pub mod rngs {
+    use super::{splitmix64, RngCore, SeedableRng};
+
+    /// A small, fast, non-cryptographic generator (xorshift64*).
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        state: u64,
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut s = seed;
+            let mut state = splitmix64(&mut s);
+            if state == 0 {
+                state = 0x9E37_79B9_7F4A_7C15;
+            }
+            SmallRng { state }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let mut x = self.state;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.state = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn bool_is_not_constant() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let draws: Vec<bool> = (0..64).map(|_| rng.gen::<bool>()).collect();
+        assert!(draws.iter().any(|&b| b));
+        assert!(draws.iter().any(|&b| !b));
+    }
+
+    #[test]
+    fn gen_range_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3u64..17);
+            assert!((3..17).contains(&v));
+        }
+    }
+}

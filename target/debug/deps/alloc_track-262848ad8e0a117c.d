@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/alloc_track-262848ad8e0a117c.d: crates/alloc-track/src/lib.rs
+
+/root/repo/target/debug/deps/liballoc_track-262848ad8e0a117c.rlib: crates/alloc-track/src/lib.rs
+
+/root/repo/target/debug/deps/liballoc_track-262848ad8e0a117c.rmeta: crates/alloc-track/src/lib.rs
+
+crates/alloc-track/src/lib.rs:

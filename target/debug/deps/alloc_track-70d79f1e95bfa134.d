@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/alloc_track-70d79f1e95bfa134.d: crates/alloc-track/src/lib.rs
+
+/root/repo/target/debug/deps/alloc_track-70d79f1e95bfa134: crates/alloc-track/src/lib.rs
+
+crates/alloc-track/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench-5fca5442343b3e14.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/bench-5fca5442343b3e14: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bench-a9d979fdb3ed5943.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbench-a9d979fdb3ed5943.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbench-a9d979fdb3ed5943.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

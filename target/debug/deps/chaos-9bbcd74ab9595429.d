@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/chaos-9bbcd74ab9595429.d: crates/chaos/src/lib.rs
+
+/root/repo/target/debug/deps/libchaos-9bbcd74ab9595429.rlib: crates/chaos/src/lib.rs
+
+/root/repo/target/debug/deps/libchaos-9bbcd74ab9595429.rmeta: crates/chaos/src/lib.rs
+
+crates/chaos/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos-a1e8c1a8afa92243.d: crates/chaos/src/lib.rs
+
+/root/repo/target/debug/deps/chaos-a1e8c1a8afa92243: crates/chaos/src/lib.rs
+
+crates/chaos/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crossbeam_epoch-9e30d2ec2a896d6e.d: shims/crossbeam-epoch/src/lib.rs
+
+/root/repo/target/debug/deps/crossbeam_epoch-9e30d2ec2a896d6e: shims/crossbeam-epoch/src/lib.rs
+
+shims/crossbeam-epoch/src/lib.rs:

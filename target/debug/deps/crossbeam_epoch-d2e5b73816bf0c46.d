@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/crossbeam_epoch-d2e5b73816bf0c46.d: shims/crossbeam-epoch/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam_epoch-d2e5b73816bf0c46.rlib: shims/crossbeam-epoch/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam_epoch-d2e5b73816bf0c46.rmeta: shims/crossbeam-epoch/src/lib.rs
+
+shims/crossbeam-epoch/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/crossbeam_utils-af4cf635a058b0d9.d: shims/crossbeam-utils/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam_utils-af4cf635a058b0d9.rlib: shims/crossbeam-utils/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam_utils-af4cf635a058b0d9.rmeta: shims/crossbeam-utils/src/lib.rs
+
+shims/crossbeam-utils/src/lib.rs:

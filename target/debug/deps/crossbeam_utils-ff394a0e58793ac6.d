@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crossbeam_utils-ff394a0e58793ac6.d: shims/crossbeam-utils/src/lib.rs
+
+/root/repo/target/debug/deps/crossbeam_utils-ff394a0e58793ac6: shims/crossbeam-utils/src/lib.rs
+
+shims/crossbeam-utils/src/lib.rs:

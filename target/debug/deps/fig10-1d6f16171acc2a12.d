@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-1d6f16171acc2a12.d: crates/harness/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/fig10-1d6f16171acc2a12: crates/harness/src/bin/fig10.rs
+
+crates/harness/src/bin/fig10.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-6a991a1185d2cac0.d: crates/harness/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-6a991a1185d2cac0: crates/harness/src/bin/fig7.rs
+
+crates/harness/src/bin/fig7.rs:

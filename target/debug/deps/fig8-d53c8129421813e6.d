@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-d53c8129421813e6.d: crates/harness/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-d53c8129421813e6: crates/harness/src/bin/fig8.rs
+
+crates/harness/src/bin/fig8.rs:

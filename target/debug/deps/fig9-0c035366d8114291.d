@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-0c035366d8114291.d: crates/harness/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-0c035366d8114291: crates/harness/src/bin/fig9.rs
+
+crates/harness/src/bin/fig9.rs:

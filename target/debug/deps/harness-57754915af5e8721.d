@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/harness-57754915af5e8721.d: crates/harness/src/lib.rs crates/harness/src/args.rs crates/harness/src/figures.rs crates/harness/src/latency.rs crates/harness/src/report.rs crates/harness/src/sched.rs crates/harness/src/space.rs crates/harness/src/stats.rs crates/harness/src/variants.rs crates/harness/src/workload.rs
+
+/root/repo/target/debug/deps/harness-57754915af5e8721: crates/harness/src/lib.rs crates/harness/src/args.rs crates/harness/src/figures.rs crates/harness/src/latency.rs crates/harness/src/report.rs crates/harness/src/sched.rs crates/harness/src/space.rs crates/harness/src/stats.rs crates/harness/src/variants.rs crates/harness/src/workload.rs
+
+crates/harness/src/lib.rs:
+crates/harness/src/args.rs:
+crates/harness/src/figures.rs:
+crates/harness/src/latency.rs:
+crates/harness/src/report.rs:
+crates/harness/src/sched.rs:
+crates/harness/src/space.rs:
+crates/harness/src/stats.rs:
+crates/harness/src/variants.rs:
+crates/harness/src/workload.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hazard-7feb2df417b8c69d.d: crates/hazard/src/lib.rs crates/hazard/src/domain.rs crates/hazard/src/participant.rs crates/hazard/src/retired.rs crates/hazard/src/tests.rs
+
+/root/repo/target/debug/deps/hazard-7feb2df417b8c69d: crates/hazard/src/lib.rs crates/hazard/src/domain.rs crates/hazard/src/participant.rs crates/hazard/src/retired.rs crates/hazard/src/tests.rs
+
+crates/hazard/src/lib.rs:
+crates/hazard/src/domain.rs:
+crates/hazard/src/participant.rs:
+crates/hazard/src/retired.rs:
+crates/hazard/src/tests.rs:

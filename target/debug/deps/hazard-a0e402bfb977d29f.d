@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/hazard-a0e402bfb977d29f.d: crates/hazard/src/lib.rs crates/hazard/src/domain.rs crates/hazard/src/participant.rs crates/hazard/src/retired.rs
+
+/root/repo/target/debug/deps/libhazard-a0e402bfb977d29f.rlib: crates/hazard/src/lib.rs crates/hazard/src/domain.rs crates/hazard/src/participant.rs crates/hazard/src/retired.rs
+
+/root/repo/target/debug/deps/libhazard-a0e402bfb977d29f.rmeta: crates/hazard/src/lib.rs crates/hazard/src/domain.rs crates/hazard/src/participant.rs crates/hazard/src/retired.rs
+
+crates/hazard/src/lib.rs:
+crates/hazard/src/domain.rs:
+crates/hazard/src/participant.rs:
+crates/hazard/src/retired.rs:

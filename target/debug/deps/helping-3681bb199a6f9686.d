@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/helping-3681bb199a6f9686.d: tests/helping.rs
+
+/root/repo/target/debug/deps/helping-3681bb199a6f9686: tests/helping.rs
+
+tests/helping.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/idpool-3e7c70724925501c.d: crates/idpool/src/lib.rs
+
+/root/repo/target/debug/deps/libidpool-3e7c70724925501c.rlib: crates/idpool/src/lib.rs
+
+/root/repo/target/debug/deps/libidpool-3e7c70724925501c.rmeta: crates/idpool/src/lib.rs
+
+crates/idpool/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/idpool-622e17c4fe9760cc.d: crates/idpool/src/lib.rs
+
+/root/repo/target/debug/deps/idpool-622e17c4fe9760cc: crates/idpool/src/lib.rs
+
+crates/idpool/src/lib.rs:

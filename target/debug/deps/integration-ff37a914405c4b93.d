@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration-ff37a914405c4b93.d: crates/hazard/tests/integration.rs
+
+/root/repo/target/debug/deps/integration-ff37a914405c4b93: crates/hazard/tests/integration.rs
+
+crates/hazard/tests/integration.rs:

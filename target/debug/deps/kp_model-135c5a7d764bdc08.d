@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/kp_model-135c5a7d764bdc08.d: crates/kp-model/src/lib.rs crates/kp-model/src/explore.rs crates/kp-model/src/state.rs crates/kp-model/src/tests.rs
+
+/root/repo/target/debug/deps/kp_model-135c5a7d764bdc08: crates/kp-model/src/lib.rs crates/kp-model/src/explore.rs crates/kp-model/src/state.rs crates/kp-model/src/tests.rs
+
+crates/kp-model/src/lib.rs:
+crates/kp-model/src/explore.rs:
+crates/kp-model/src/state.rs:
+crates/kp-model/src/tests.rs:

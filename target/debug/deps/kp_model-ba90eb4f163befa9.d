@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/kp_model-ba90eb4f163befa9.d: crates/kp-model/src/lib.rs crates/kp-model/src/explore.rs crates/kp-model/src/state.rs
+
+/root/repo/target/debug/deps/libkp_model-ba90eb4f163befa9.rlib: crates/kp-model/src/lib.rs crates/kp-model/src/explore.rs crates/kp-model/src/state.rs
+
+/root/repo/target/debug/deps/libkp_model-ba90eb4f163befa9.rmeta: crates/kp-model/src/lib.rs crates/kp-model/src/explore.rs crates/kp-model/src/state.rs
+
+crates/kp-model/src/lib.rs:
+crates/kp-model/src/explore.rs:
+crates/kp-model/src/state.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/kp_queue-362cafaa2b079e4c.d: crates/kp-queue/src/lib.rs crates/kp-queue/src/config.rs crates/kp-queue/src/desc.rs crates/kp-queue/src/handle.rs crates/kp-queue/src/hp/mod.rs crates/kp-queue/src/hp/handle.rs crates/kp-queue/src/hp/queue.rs crates/kp-queue/src/hp/types.rs crates/kp-queue/src/hp/tests.rs crates/kp-queue/src/node.rs crates/kp-queue/src/queue.rs crates/kp-queue/src/stats.rs crates/kp-queue/src/tests.rs
+
+/root/repo/target/debug/deps/kp_queue-362cafaa2b079e4c: crates/kp-queue/src/lib.rs crates/kp-queue/src/config.rs crates/kp-queue/src/desc.rs crates/kp-queue/src/handle.rs crates/kp-queue/src/hp/mod.rs crates/kp-queue/src/hp/handle.rs crates/kp-queue/src/hp/queue.rs crates/kp-queue/src/hp/types.rs crates/kp-queue/src/hp/tests.rs crates/kp-queue/src/node.rs crates/kp-queue/src/queue.rs crates/kp-queue/src/stats.rs crates/kp-queue/src/tests.rs
+
+crates/kp-queue/src/lib.rs:
+crates/kp-queue/src/config.rs:
+crates/kp-queue/src/desc.rs:
+crates/kp-queue/src/handle.rs:
+crates/kp-queue/src/hp/mod.rs:
+crates/kp-queue/src/hp/handle.rs:
+crates/kp-queue/src/hp/queue.rs:
+crates/kp-queue/src/hp/types.rs:
+crates/kp-queue/src/hp/tests.rs:
+crates/kp-queue/src/node.rs:
+crates/kp-queue/src/queue.rs:
+crates/kp-queue/src/stats.rs:
+crates/kp-queue/src/tests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/latency-88921c15c864567d.d: crates/harness/src/bin/latency.rs
+
+/root/repo/target/debug/deps/latency-88921c15c864567d: crates/harness/src/bin/latency.rs
+
+crates/harness/src/bin/latency.rs:

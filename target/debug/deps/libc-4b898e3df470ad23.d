@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/libc-4b898e3df470ad23.d: shims/libc/src/lib.rs
+
+/root/repo/target/debug/deps/libc-4b898e3df470ad23: shims/libc/src/lib.rs
+
+shims/libc/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/libc-80c3fead4077ce5c.d: shims/libc/src/lib.rs
+
+/root/repo/target/debug/deps/liblibc-80c3fead4077ce5c.rlib: shims/libc/src/lib.rs
+
+/root/repo/target/debug/deps/liblibc-80c3fead4077ce5c.rmeta: shims/libc/src/lib.rs
+
+shims/libc/src/lib.rs:

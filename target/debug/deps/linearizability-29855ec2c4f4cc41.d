@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/linearizability-29855ec2c4f4cc41.d: tests/linearizability.rs
+
+/root/repo/target/debug/deps/linearizability-29855ec2c4f4cc41: tests/linearizability.rs
+
+tests/linearizability.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/linearize-a5bbf614bfec7043.d: crates/linearize/src/lib.rs crates/linearize/src/bitset.rs crates/linearize/src/checker.rs crates/linearize/src/fastq.rs crates/linearize/src/history.rs crates/linearize/src/model.rs
+
+/root/repo/target/debug/deps/linearize-a5bbf614bfec7043: crates/linearize/src/lib.rs crates/linearize/src/bitset.rs crates/linearize/src/checker.rs crates/linearize/src/fastq.rs crates/linearize/src/history.rs crates/linearize/src/model.rs
+
+crates/linearize/src/lib.rs:
+crates/linearize/src/bitset.rs:
+crates/linearize/src/checker.rs:
+crates/linearize/src/fastq.rs:
+crates/linearize/src/history.rs:
+crates/linearize/src/model.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/linearize-b958b82d6157071b.d: crates/linearize/src/lib.rs crates/linearize/src/bitset.rs crates/linearize/src/checker.rs crates/linearize/src/fastq.rs crates/linearize/src/history.rs crates/linearize/src/model.rs
+
+/root/repo/target/debug/deps/liblinearize-b958b82d6157071b.rlib: crates/linearize/src/lib.rs crates/linearize/src/bitset.rs crates/linearize/src/checker.rs crates/linearize/src/fastq.rs crates/linearize/src/history.rs crates/linearize/src/model.rs
+
+/root/repo/target/debug/deps/liblinearize-b958b82d6157071b.rmeta: crates/linearize/src/lib.rs crates/linearize/src/bitset.rs crates/linearize/src/checker.rs crates/linearize/src/fastq.rs crates/linearize/src/history.rs crates/linearize/src/model.rs
+
+crates/linearize/src/lib.rs:
+crates/linearize/src/bitset.rs:
+crates/linearize/src/checker.rs:
+crates/linearize/src/fastq.rs:
+crates/linearize/src/history.rs:
+crates/linearize/src/model.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ms_queue-220ed2c8c39bb768.d: crates/ms-queue/src/lib.rs crates/ms-queue/src/baselines.rs crates/ms-queue/src/epoch.rs crates/ms-queue/src/hp.rs
+
+/root/repo/target/debug/deps/libms_queue-220ed2c8c39bb768.rlib: crates/ms-queue/src/lib.rs crates/ms-queue/src/baselines.rs crates/ms-queue/src/epoch.rs crates/ms-queue/src/hp.rs
+
+/root/repo/target/debug/deps/libms_queue-220ed2c8c39bb768.rmeta: crates/ms-queue/src/lib.rs crates/ms-queue/src/baselines.rs crates/ms-queue/src/epoch.rs crates/ms-queue/src/hp.rs
+
+crates/ms-queue/src/lib.rs:
+crates/ms-queue/src/baselines.rs:
+crates/ms-queue/src/epoch.rs:
+crates/ms-queue/src/hp.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/ms_queue-c3eff5a3e92c3520.d: crates/ms-queue/src/lib.rs crates/ms-queue/src/baselines.rs crates/ms-queue/src/epoch.rs crates/ms-queue/src/hp.rs
+
+/root/repo/target/debug/deps/ms_queue-c3eff5a3e92c3520: crates/ms-queue/src/lib.rs crates/ms-queue/src/baselines.rs crates/ms-queue/src/epoch.rs crates/ms-queue/src/hp.rs
+
+crates/ms-queue/src/lib.rs:
+crates/ms-queue/src/baselines.rs:
+crates/ms-queue/src/epoch.rs:
+crates/ms-queue/src/hp.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/necessary_conditions-713e743974753be9.d: tests/necessary_conditions.rs
+
+/root/repo/target/debug/deps/necessary_conditions-713e743974753be9: tests/necessary_conditions.rs
+
+tests/necessary_conditions.rs:

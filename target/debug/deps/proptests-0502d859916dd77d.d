@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-0502d859916dd77d.d: crates/linearize/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-0502d859916dd77d: crates/linearize/tests/proptests.rs
+
+crates/linearize/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-676b964db21c64c0.d: crates/idpool/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-676b964db21c64c0: crates/idpool/tests/proptests.rs
+
+crates/idpool/tests/proptests.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/queue_traits-9a93253a4860303c.d: crates/queue-traits/src/lib.rs crates/queue-traits/src/ext.rs crates/queue-traits/src/testing.rs
+
+/root/repo/target/debug/deps/queue_traits-9a93253a4860303c: crates/queue-traits/src/lib.rs crates/queue-traits/src/ext.rs crates/queue-traits/src/testing.rs
+
+crates/queue-traits/src/lib.rs:
+crates/queue-traits/src/ext.rs:
+crates/queue-traits/src/testing.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/queue_traits-f6b5a245d6c6c28d.d: crates/queue-traits/src/lib.rs crates/queue-traits/src/ext.rs crates/queue-traits/src/testing.rs
+
+/root/repo/target/debug/deps/libqueue_traits-f6b5a245d6c6c28d.rlib: crates/queue-traits/src/lib.rs crates/queue-traits/src/ext.rs crates/queue-traits/src/testing.rs
+
+/root/repo/target/debug/deps/libqueue_traits-f6b5a245d6c6c28d.rmeta: crates/queue-traits/src/lib.rs crates/queue-traits/src/ext.rs crates/queue-traits/src/testing.rs
+
+crates/queue-traits/src/lib.rs:
+crates/queue-traits/src/ext.rs:
+crates/queue-traits/src/testing.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-6476b45f7898f748.d: shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/rand-6476b45f7898f748: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-a766c984c102c075.d: shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-a766c984c102c075.rlib: shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-a766c984c102c075.rmeta: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

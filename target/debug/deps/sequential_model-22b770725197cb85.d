@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sequential_model-22b770725197cb85.d: tests/sequential_model.rs
+
+/root/repo/target/debug/deps/sequential_model-22b770725197cb85: tests/sequential_model.rs
+
+tests/sequential_model.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stress-47a7166981cb2d8a.d: tests/stress.rs
+
+/root/repo/target/debug/deps/stress-47a7166981cb2d8a: tests/stress.rs
+
+tests/stress.rs:

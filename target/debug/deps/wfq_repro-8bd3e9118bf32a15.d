@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/wfq_repro-8bd3e9118bf32a15.d: src/lib.rs
+
+/root/repo/target/debug/deps/libwfq_repro-8bd3e9118bf32a15.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libwfq_repro-8bd3e9118bf32a15.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/wfq_repro-bc803afd5add9a5f.d: src/lib.rs
+
+/root/repo/target/debug/deps/wfq_repro-bc803afd5add9a5f: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dynamic_threads-1c4854af241a201a.d: examples/dynamic_threads.rs
+
+/root/repo/target/debug/examples/dynamic_threads-1c4854af241a201a: examples/dynamic_threads.rs
+
+examples/dynamic_threads.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hp_stress_probe-d207f4db5f0f069b.d: crates/kp-queue/examples/hp_stress_probe.rs
+
+/root/repo/target/debug/examples/hp_stress_probe-d207f4db5f0f069b: crates/kp-queue/examples/hp_stress_probe.rs
+
+crates/kp-queue/examples/hp_stress_probe.rs:

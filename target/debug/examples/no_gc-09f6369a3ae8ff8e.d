@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/no_gc-09f6369a3ae8ff8e.d: examples/no_gc.rs
+
+/root/repo/target/debug/examples/no_gc-09f6369a3ae8ff8e: examples/no_gc.rs
+
+examples/no_gc.rs:

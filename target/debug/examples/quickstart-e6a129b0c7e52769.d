@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-e6a129b0c7e52769.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-e6a129b0c7e52769: examples/quickstart.rs
+
+examples/quickstart.rs:

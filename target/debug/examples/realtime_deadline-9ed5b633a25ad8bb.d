@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/realtime_deadline-9ed5b633a25ad8bb.d: examples/realtime_deadline.rs
+
+/root/repo/target/debug/examples/realtime_deadline-9ed5b633a25ad8bb: examples/realtime_deadline.rs
+
+examples/realtime_deadline.rs:

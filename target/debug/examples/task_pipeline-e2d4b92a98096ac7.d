@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/task_pipeline-e2d4b92a98096ac7.d: examples/task_pipeline.rs
+
+/root/repo/target/debug/examples/task_pipeline-e2d4b92a98096ac7: examples/task_pipeline.rs
+
+examples/task_pipeline.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/alloc_track-839583fa9cba6d5f.d: crates/alloc-track/src/lib.rs
+
+/root/repo/target/release/deps/liballoc_track-839583fa9cba6d5f.rlib: crates/alloc-track/src/lib.rs
+
+/root/repo/target/release/deps/liballoc_track-839583fa9cba6d5f.rmeta: crates/alloc-track/src/lib.rs
+
+crates/alloc-track/src/lib.rs:

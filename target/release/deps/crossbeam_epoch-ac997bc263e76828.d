@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/crossbeam_epoch-ac997bc263e76828.d: shims/crossbeam-epoch/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam_epoch-ac997bc263e76828.rlib: shims/crossbeam-epoch/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam_epoch-ac997bc263e76828.rmeta: shims/crossbeam-epoch/src/lib.rs
+
+shims/crossbeam-epoch/src/lib.rs:

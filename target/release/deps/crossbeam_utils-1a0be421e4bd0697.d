@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/crossbeam_utils-1a0be421e4bd0697.d: shims/crossbeam-utils/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam_utils-1a0be421e4bd0697.rlib: shims/crossbeam-utils/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam_utils-1a0be421e4bd0697.rmeta: shims/crossbeam-utils/src/lib.rs
+
+shims/crossbeam-utils/src/lib.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/harness-b54f4afad9a01247.d: crates/harness/src/lib.rs crates/harness/src/args.rs crates/harness/src/figures.rs crates/harness/src/latency.rs crates/harness/src/report.rs crates/harness/src/sched.rs crates/harness/src/space.rs crates/harness/src/stats.rs crates/harness/src/variants.rs crates/harness/src/workload.rs
+
+/root/repo/target/release/deps/libharness-b54f4afad9a01247.rlib: crates/harness/src/lib.rs crates/harness/src/args.rs crates/harness/src/figures.rs crates/harness/src/latency.rs crates/harness/src/report.rs crates/harness/src/sched.rs crates/harness/src/space.rs crates/harness/src/stats.rs crates/harness/src/variants.rs crates/harness/src/workload.rs
+
+/root/repo/target/release/deps/libharness-b54f4afad9a01247.rmeta: crates/harness/src/lib.rs crates/harness/src/args.rs crates/harness/src/figures.rs crates/harness/src/latency.rs crates/harness/src/report.rs crates/harness/src/sched.rs crates/harness/src/space.rs crates/harness/src/stats.rs crates/harness/src/variants.rs crates/harness/src/workload.rs
+
+crates/harness/src/lib.rs:
+crates/harness/src/args.rs:
+crates/harness/src/figures.rs:
+crates/harness/src/latency.rs:
+crates/harness/src/report.rs:
+crates/harness/src/sched.rs:
+crates/harness/src/space.rs:
+crates/harness/src/stats.rs:
+crates/harness/src/variants.rs:
+crates/harness/src/workload.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/hazard-e411bdb7139d3949.d: crates/hazard/src/lib.rs crates/hazard/src/domain.rs crates/hazard/src/participant.rs crates/hazard/src/retired.rs
+
+/root/repo/target/release/deps/libhazard-e411bdb7139d3949.rlib: crates/hazard/src/lib.rs crates/hazard/src/domain.rs crates/hazard/src/participant.rs crates/hazard/src/retired.rs
+
+/root/repo/target/release/deps/libhazard-e411bdb7139d3949.rmeta: crates/hazard/src/lib.rs crates/hazard/src/domain.rs crates/hazard/src/participant.rs crates/hazard/src/retired.rs
+
+crates/hazard/src/lib.rs:
+crates/hazard/src/domain.rs:
+crates/hazard/src/participant.rs:
+crates/hazard/src/retired.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/idpool-fade7ae9cb4dfcf4.d: crates/idpool/src/lib.rs
+
+/root/repo/target/release/deps/libidpool-fade7ae9cb4dfcf4.rlib: crates/idpool/src/lib.rs
+
+/root/repo/target/release/deps/libidpool-fade7ae9cb4dfcf4.rmeta: crates/idpool/src/lib.rs
+
+crates/idpool/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/kp_model-4079f7e61e879b6c.d: crates/kp-model/src/lib.rs crates/kp-model/src/explore.rs crates/kp-model/src/state.rs
+
+/root/repo/target/release/deps/libkp_model-4079f7e61e879b6c.rlib: crates/kp-model/src/lib.rs crates/kp-model/src/explore.rs crates/kp-model/src/state.rs
+
+/root/repo/target/release/deps/libkp_model-4079f7e61e879b6c.rmeta: crates/kp-model/src/lib.rs crates/kp-model/src/explore.rs crates/kp-model/src/state.rs
+
+crates/kp-model/src/lib.rs:
+crates/kp-model/src/explore.rs:
+crates/kp-model/src/state.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/kp_queue-2ea0ebabe8581d08.d: crates/kp-queue/src/lib.rs crates/kp-queue/src/config.rs crates/kp-queue/src/desc.rs crates/kp-queue/src/handle.rs crates/kp-queue/src/hp/mod.rs crates/kp-queue/src/hp/handle.rs crates/kp-queue/src/hp/queue.rs crates/kp-queue/src/hp/types.rs crates/kp-queue/src/node.rs crates/kp-queue/src/queue.rs crates/kp-queue/src/stats.rs
+
+/root/repo/target/release/deps/libkp_queue-2ea0ebabe8581d08.rlib: crates/kp-queue/src/lib.rs crates/kp-queue/src/config.rs crates/kp-queue/src/desc.rs crates/kp-queue/src/handle.rs crates/kp-queue/src/hp/mod.rs crates/kp-queue/src/hp/handle.rs crates/kp-queue/src/hp/queue.rs crates/kp-queue/src/hp/types.rs crates/kp-queue/src/node.rs crates/kp-queue/src/queue.rs crates/kp-queue/src/stats.rs
+
+/root/repo/target/release/deps/libkp_queue-2ea0ebabe8581d08.rmeta: crates/kp-queue/src/lib.rs crates/kp-queue/src/config.rs crates/kp-queue/src/desc.rs crates/kp-queue/src/handle.rs crates/kp-queue/src/hp/mod.rs crates/kp-queue/src/hp/handle.rs crates/kp-queue/src/hp/queue.rs crates/kp-queue/src/hp/types.rs crates/kp-queue/src/node.rs crates/kp-queue/src/queue.rs crates/kp-queue/src/stats.rs
+
+crates/kp-queue/src/lib.rs:
+crates/kp-queue/src/config.rs:
+crates/kp-queue/src/desc.rs:
+crates/kp-queue/src/handle.rs:
+crates/kp-queue/src/hp/mod.rs:
+crates/kp-queue/src/hp/handle.rs:
+crates/kp-queue/src/hp/queue.rs:
+crates/kp-queue/src/hp/types.rs:
+crates/kp-queue/src/node.rs:
+crates/kp-queue/src/queue.rs:
+crates/kp-queue/src/stats.rs:

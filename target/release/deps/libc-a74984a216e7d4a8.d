@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/libc-a74984a216e7d4a8.d: shims/libc/src/lib.rs
+
+/root/repo/target/release/deps/liblibc-a74984a216e7d4a8.rlib: shims/libc/src/lib.rs
+
+/root/repo/target/release/deps/liblibc-a74984a216e7d4a8.rmeta: shims/libc/src/lib.rs
+
+shims/libc/src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/linearize-1c88adcf7ffc26ae.d: crates/linearize/src/lib.rs crates/linearize/src/bitset.rs crates/linearize/src/checker.rs crates/linearize/src/fastq.rs crates/linearize/src/history.rs crates/linearize/src/model.rs
+
+/root/repo/target/release/deps/liblinearize-1c88adcf7ffc26ae.rlib: crates/linearize/src/lib.rs crates/linearize/src/bitset.rs crates/linearize/src/checker.rs crates/linearize/src/fastq.rs crates/linearize/src/history.rs crates/linearize/src/model.rs
+
+/root/repo/target/release/deps/liblinearize-1c88adcf7ffc26ae.rmeta: crates/linearize/src/lib.rs crates/linearize/src/bitset.rs crates/linearize/src/checker.rs crates/linearize/src/fastq.rs crates/linearize/src/history.rs crates/linearize/src/model.rs
+
+crates/linearize/src/lib.rs:
+crates/linearize/src/bitset.rs:
+crates/linearize/src/checker.rs:
+crates/linearize/src/fastq.rs:
+crates/linearize/src/history.rs:
+crates/linearize/src/model.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/ms_queue-820949dd5c300577.d: crates/ms-queue/src/lib.rs crates/ms-queue/src/baselines.rs crates/ms-queue/src/epoch.rs crates/ms-queue/src/hp.rs
+
+/root/repo/target/release/deps/libms_queue-820949dd5c300577.rlib: crates/ms-queue/src/lib.rs crates/ms-queue/src/baselines.rs crates/ms-queue/src/epoch.rs crates/ms-queue/src/hp.rs
+
+/root/repo/target/release/deps/libms_queue-820949dd5c300577.rmeta: crates/ms-queue/src/lib.rs crates/ms-queue/src/baselines.rs crates/ms-queue/src/epoch.rs crates/ms-queue/src/hp.rs
+
+crates/ms-queue/src/lib.rs:
+crates/ms-queue/src/baselines.rs:
+crates/ms-queue/src/epoch.rs:
+crates/ms-queue/src/hp.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parking_lot-e934a792438f34d2.d: shims/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-e934a792438f34d2.rlib: shims/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-e934a792438f34d2.rmeta: shims/parking_lot/src/lib.rs
+
+shims/parking_lot/src/lib.rs:

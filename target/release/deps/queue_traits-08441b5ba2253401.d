@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/queue_traits-08441b5ba2253401.d: crates/queue-traits/src/lib.rs crates/queue-traits/src/ext.rs crates/queue-traits/src/testing.rs
+
+/root/repo/target/release/deps/libqueue_traits-08441b5ba2253401.rlib: crates/queue-traits/src/lib.rs crates/queue-traits/src/ext.rs crates/queue-traits/src/testing.rs
+
+/root/repo/target/release/deps/libqueue_traits-08441b5ba2253401.rmeta: crates/queue-traits/src/lib.rs crates/queue-traits/src/ext.rs crates/queue-traits/src/testing.rs
+
+crates/queue-traits/src/lib.rs:
+crates/queue-traits/src/ext.rs:
+crates/queue-traits/src/testing.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-a280612022f6dd9e.d: shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-a280612022f6dd9e.rlib: shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-a280612022f6dd9e.rmeta: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/wfq_repro-93f7f1c09e70edaa.d: src/lib.rs
+
+/root/repo/target/release/deps/libwfq_repro-93f7f1c09e70edaa.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libwfq_repro-93f7f1c09e70edaa.rmeta: src/lib.rs
+
+src/lib.rs:
