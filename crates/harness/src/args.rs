@@ -1,7 +1,56 @@
 //! A tiny `--key value` argument parser shared by the figure binaries
 //! (no external CLI dependency needed for five flags).
+//!
+//! Malformed command lines are user errors, not bugs: the binaries
+//! report them on stderr and exit with status 2 rather than panicking
+//! with a backtrace.
 
 use std::collections::HashMap;
+use std::fmt;
+
+/// A malformed command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgsError {
+    /// A token that does not start with `--` where a flag was expected.
+    NotAFlag(String),
+    /// A trailing `--key` with no value after it.
+    MissingValue(String),
+    /// A value that failed to parse as the expected type.
+    BadValue {
+        /// The flag (without `--`).
+        key: String,
+        /// The offending value as given.
+        value: String,
+        /// The parse error, as text.
+        message: String,
+    },
+}
+
+impl fmt::Display for ArgsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgsError::NotAFlag(token) => {
+                write!(f, "expected a --flag, got {token:?}")
+            }
+            ArgsError::MissingValue(key) => {
+                write!(f, "flag --{key} needs a value")
+            }
+            ArgsError::BadValue { key, value, message } => {
+                write!(f, "bad value for --{key}: {value:?} ({message})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArgsError {}
+
+/// Prints `err` plus a usage hint to stderr and exits with status 2
+/// (the conventional exit code for command-line misuse).
+fn usage_exit(err: &ArgsError) -> ! {
+    eprintln!("error: {err}");
+    eprintln!("usage: <binary> [--flag value]...  (all flags take a value)");
+    std::process::exit(2);
+}
 
 /// Parsed command-line options.
 #[derive(Debug, Default)]
@@ -12,28 +61,26 @@ pub struct Args {
 impl Args {
     /// Parses `--key value` pairs from `std::env::args`.
     ///
-    /// # Panics
-    ///
-    /// Panics (with a usage hint) on a dangling `--key` or a token that
-    /// does not start with `--`.
+    /// On a malformed command line, prints the error and a usage hint to
+    /// stderr and exits with status 2.
     pub fn from_env() -> Self {
-        Self::from_iter(std::env::args().skip(1))
+        Self::from_iter(std::env::args().skip(1)).unwrap_or_else(|e| usage_exit(&e))
     }
 
     /// Parses from an explicit token stream (testable).
-    pub fn from_iter(tokens: impl IntoIterator<Item = String>) -> Self {
+    pub fn from_iter(tokens: impl IntoIterator<Item = String>) -> Result<Self, ArgsError> {
         let mut values = HashMap::new();
         let mut iter = tokens.into_iter();
         while let Some(key) = iter.next() {
             let stripped = key
                 .strip_prefix("--")
-                .unwrap_or_else(|| panic!("expected --flag, got {key:?}"));
+                .ok_or_else(|| ArgsError::NotAFlag(key.clone()))?;
             let value = iter
                 .next()
-                .unwrap_or_else(|| panic!("flag --{stripped} needs a value"));
+                .ok_or_else(|| ArgsError::MissingValue(stripped.to_string()))?;
             values.insert(stripped.to_string(), value);
         }
-        Args { values }
+        Ok(Args { values })
     }
 
     /// String value of `key`, if present.
@@ -41,17 +88,30 @@ impl Args {
         self.values.get(key).map(String::as_str)
     }
 
-    /// Parsed value of `key`, or `default`.
-    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> T
+    /// Parsed value of `key`, or `default` when absent; `Err` when
+    /// present but unparsable.
+    pub fn try_get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ArgsError>
     where
-        T::Err: std::fmt::Debug,
+        T::Err: fmt::Display,
     {
         match self.values.get(key) {
-            Some(v) => v
-                .parse()
-                .unwrap_or_else(|e| panic!("bad value for --{key}: {v:?} ({e:?})")),
-            None => default,
+            Some(v) => v.parse().map_err(|e: T::Err| ArgsError::BadValue {
+                key: key.to_string(),
+                value: v.clone(),
+                message: e.to_string(),
+            }),
+            None => Ok(default),
         }
+    }
+
+    /// Parsed value of `key`, or `default`. An unparsable value is
+    /// reported on stderr and exits with status 2 (binary entry-point
+    /// convenience around [`try_get_or`](Self::try_get_or)).
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> T
+    where
+        T::Err: fmt::Display,
+    {
+        self.try_get_or(key, default).unwrap_or_else(|e| usage_exit(&e))
     }
 }
 
@@ -91,7 +151,7 @@ mod tests {
 
     #[test]
     fn parses_pairs() {
-        let a = Args::from_iter(toks(&["--iters", "500", "--out-dir", "/tmp/x"]));
+        let a = Args::from_iter(toks(&["--iters", "500", "--out-dir", "/tmp/x"])).unwrap();
         assert_eq!(a.get_or("iters", 0usize), 500);
         assert_eq!(a.get("out-dir"), Some("/tmp/x"));
         assert_eq!(a.get_or("reps", 7usize), 7);
@@ -99,21 +159,46 @@ mod tests {
 
     #[test]
     fn bench_args_defaults() {
-        let b = BenchArgs::parse(&Args::from_iter(toks(&[])));
+        let b = BenchArgs::parse(&Args::from_iter(toks(&[])).unwrap());
         assert_eq!(b.max_threads, 16);
         assert_eq!(b.reps, 3);
         assert_eq!(b.out_dir, "results");
     }
 
     #[test]
-    #[should_panic]
-    fn dangling_flag_panics() {
-        let _ = Args::from_iter(toks(&["--iters"]));
+    fn dangling_flag_is_an_error() {
+        match Args::from_iter(toks(&["--iters"])) {
+            Err(ArgsError::MissingValue(key)) => assert_eq!(key, "iters"),
+            other => panic!("expected MissingValue, got {other:?}"),
+        }
     }
 
     #[test]
-    #[should_panic]
-    fn non_flag_panics() {
-        let _ = Args::from_iter(toks(&["iters", "5"]));
+    fn non_flag_is_an_error() {
+        match Args::from_iter(toks(&["iters", "5"])) {
+            Err(ArgsError::NotAFlag(tok)) => assert_eq!(tok, "iters"),
+            other => panic!("expected NotAFlag, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_value_is_an_error() {
+        let a = Args::from_iter(toks(&["--iters", "many"])).unwrap();
+        match a.try_get_or("iters", 0usize) {
+            Err(ArgsError::BadValue { key, value, .. }) => {
+                assert_eq!(key, "iters");
+                assert_eq!(value, "many");
+            }
+            other => panic!("expected BadValue, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_display_cleanly() {
+        assert_eq!(
+            ArgsError::MissingValue("iters".into()).to_string(),
+            "flag --iters needs a value"
+        );
+        assert!(ArgsError::NotAFlag("x".into()).to_string().contains("--flag"));
     }
 }

@@ -6,6 +6,20 @@ use std::sync::atomic::{AtomicPtr, Ordering};
 use crate::domain::{Domain, Record};
 use crate::retired::Retired;
 
+// Fault-injection sites (`hazard.protect` / `hazard.retire` /
+// `hazard.scan`), compiled away unless the `chaos` feature is on — see
+// the `chaos` crate.
+#[cfg(feature = "chaos")]
+macro_rules! inject {
+    ($site:expr) => {
+        ::chaos::hit($site)
+    };
+}
+#[cfg(not(feature = "chaos"))]
+macro_rules! inject {
+    ($site:expr) => {};
+}
+
 /// A thread's membership in a [`Domain`].
 ///
 /// Holds `K` hazard slots (see [`Domain::slots_per_record`]) and a private
@@ -81,9 +95,13 @@ impl<'d> Participant<'d> {
     /// until the slot is overwritten or cleared — provided the data
     /// structure retires objects only after unlinking them from `src`.
     pub fn protect<T>(&self, slot: usize, src: &AtomicPtr<T>) -> *mut T {
+        inject!("hazard.protect");
         let mut p = src.load(Ordering::Acquire);
         loop {
             self.set(slot, p);
+            // A stall here — hazard published but not yet validated — is
+            // the schedule Michael's protocol exists to survive.
+            inject!("hazard.protect.validate");
             let q = src.load(Ordering::SeqCst);
             if q == p {
                 return p;
@@ -102,6 +120,7 @@ impl<'d> Participant<'d> {
     ///   protection established earlier are exactly what the scan checks).
     /// * `retire` is called at most once per object.
     pub unsafe fn retire<T: Send>(&mut self, ptr: *mut T) {
+        inject!("hazard.retire");
         debug_assert!(!ptr.is_null(), "retiring a null pointer");
         // SAFETY: forwarded from the caller.
         self.retired.push(unsafe { Retired::new(ptr) });
@@ -116,6 +135,7 @@ impl<'d> Participant<'d> {
     /// participants. Bounded work: one pass over the domain's hazard
     /// slots plus one pass over the retired list — wait-free.
     pub fn scan(&mut self) {
+        inject!("hazard.scan");
         self.retired.extend(self.domain.take_orphans());
         if self.retired.is_empty() {
             return;

@@ -31,6 +31,19 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 use crossbeam_utils::CachePadded;
 
+// Fault-injection sites (`idpool.acquire` / `idpool.release`), compiled
+// away unless the `chaos` feature is on — see the `chaos` crate.
+#[cfg(feature = "chaos")]
+macro_rules! inject {
+    ($site:expr) => {
+        ::chaos::hit($site)
+    };
+}
+#[cfg(not(feature = "chaos"))]
+macro_rules! inject {
+    ($site:expr) => {};
+}
+
 /// A fixed-capacity pool of reusable small integer IDs.
 ///
 /// All operations are wait-free: `acquire` performs at most one CAS per
@@ -80,6 +93,7 @@ impl IdPool {
     /// Returns `None` if every slot is claimed at the instant each was
     /// probed. Wait-free: at most `capacity` CAS attempts.
     pub fn acquire(&self) -> Option<IdGuard<'_>> {
+        inject!("idpool.acquire");
         let n = self.slots.len();
         // Relaxed is fine for a pure performance hint.
         let start = self.next_hint.fetch_add(1, Ordering::Relaxed) % n;
@@ -107,6 +121,7 @@ impl IdPool {
     }
 
     fn release(&self, id: usize) {
+        inject!("idpool.release");
         debug_assert!(id < self.slots.len());
         let was = self.slots[id].swap(false, Ordering::AcqRel);
         debug_assert!(was, "released an ID ({id}) that was not claimed");

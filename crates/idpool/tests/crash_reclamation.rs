@@ -1,0 +1,178 @@
+//! Crash-reclamation properties for the renaming pool (§3.3's
+//! long-lived renaming): a thread that *dies* while holding a virtual
+//! ID — a panic unwinding a worker mid-operation — must release the ID
+//! exactly once. Random interleavings of acquires, orderly releases and
+//! simulated crashes must never leak a slot (the pool would otherwise
+//! shrink forever under thread churn) and never double-release one
+//! (`IdPool::release` debug-asserts the slot was claimed, so a double
+//! release fails these debug-build tests loudly).
+
+use idpool::{IdGuard, IdPool};
+use proptest::prelude::*;
+use std::collections::HashSet;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Once;
+
+/// Panic payload for simulated crashes, filtered out of the default
+/// panic hook so the expected unwinds don't spam test output.
+struct SimulatedCrash;
+
+fn quiet_simulated_crashes() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let default = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<SimulatedCrash>().is_none() {
+                default(info);
+            }
+        }));
+    });
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Step {
+    Acquire,
+    /// Orderly release of the i-th held guard (modulo holdings).
+    Release(usize),
+    /// The holder of the i-th guard dies in place: the guard is dropped
+    /// by its panic unwind.
+    CrashInPlace(usize),
+    /// The holder dies on its own thread: the guard moves into a worker
+    /// that panics mid-"operation", and the crash is observed as a
+    /// `JoinHandle` error.
+    CrashOnThread(usize),
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        4 => Just(Step::Acquire),
+        2 => (0usize..16).prop_map(Step::Release),
+        2 => (0usize..16).prop_map(Step::CrashInPlace),
+        1 => (0usize..16).prop_map(Step::CrashOnThread),
+    ]
+}
+
+/// Drops `guard` inside a panicking closure, as a real unwinding worker
+/// would.
+fn crash_in_place(guard: IdGuard<'_>) {
+    let result = panic::catch_unwind(AssertUnwindSafe(move || {
+        let _held_to_the_grave = guard;
+        panic::panic_any(SimulatedCrash);
+    }));
+    assert!(result.is_err(), "the simulated crash must unwind");
+}
+
+/// Moves `guard` into a worker thread that panics while holding it.
+fn crash_on_thread(guard: IdGuard<'_>) {
+    std::thread::scope(|s| {
+        let worker = s.spawn(move || {
+            let _held_to_the_grave = guard;
+            panic::panic_any(SimulatedCrash);
+        });
+        let err = worker.join().expect_err("worker must die");
+        assert!(
+            err.downcast_ref::<SimulatedCrash>().is_some(),
+            "worker died of something other than the simulated crash"
+        );
+    });
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Arbitrary interleavings of acquire / release / crash keep the
+    /// pool's bookkeeping exact: live IDs stay distinct, `in_use`
+    /// matches the survivors, and every slot freed by a crash is
+    /// immediately re-acquirable.
+    #[test]
+    fn crashes_never_leak_or_double_release(
+        capacity in 1usize..10,
+        script in prop::collection::vec(step_strategy(), 0..120),
+    ) {
+        quiet_simulated_crashes();
+        let pool = IdPool::new(capacity);
+        let mut held: Vec<IdGuard<'_>> = Vec::new();
+        for step in script {
+            match step {
+                Step::Acquire => {
+                    if let Some(g) = pool.acquire() {
+                        prop_assert!(g.id() < capacity);
+                        held.push(g);
+                    } else {
+                        prop_assert_eq!(held.len(), capacity,
+                            "acquire failed with free slots remaining");
+                    }
+                }
+                Step::Release(i) => {
+                    if !held.is_empty() {
+                        let idx = i % held.len();
+                        drop(held.swap_remove(idx));
+                    }
+                }
+                Step::CrashInPlace(i) => {
+                    if !held.is_empty() {
+                        let idx = i % held.len();
+                        let id = held[idx].id();
+                        crash_in_place(held.swap_remove(idx));
+                        // The crashed slot is free again, exactly once.
+                        let back = pool.acquire_exact(id);
+                        prop_assert!(back.is_some(),
+                            "slot {} not reclaimable after crash", id);
+                        drop(back);
+                    }
+                }
+                Step::CrashOnThread(i) => {
+                    if !held.is_empty() {
+                        let idx = i % held.len();
+                        let id = held[idx].id();
+                        crash_on_thread(held.swap_remove(idx));
+                        let back = pool.acquire_exact(id);
+                        prop_assert!(back.is_some(),
+                            "slot {} not reclaimable after thread death", id);
+                        drop(back);
+                    }
+                }
+            }
+            let ids: HashSet<usize> = held.iter().map(|g| g.id()).collect();
+            prop_assert_eq!(ids.len(), held.len(), "duplicate live IDs");
+            prop_assert_eq!(pool.in_use(), held.len(),
+                "slots leaked or double-released");
+        }
+        // Quiescence: dropping the survivors empties the pool entirely.
+        drop(held);
+        prop_assert_eq!(pool.in_use(), 0);
+    }
+
+    /// Churn entirely made of crashing workers: a pool survives its full
+    /// capacity being claimed and crash-released many times over, which
+    /// is the §3.3 requirement that thread death not permanently consume
+    /// names from the (small) namespace.
+    #[test]
+    fn sustained_crash_churn_keeps_full_capacity(capacity in 1usize..8) {
+        quiet_simulated_crashes();
+        let pool = IdPool::new(capacity);
+        for _round in 0..6 {
+            let guards: Vec<_> = (0..capacity)
+                .map(|_| pool.acquire().expect("full capacity available"))
+                .collect();
+            prop_assert!(pool.acquire().is_none());
+            std::thread::scope(|s| {
+                let workers: Vec<_> = guards
+                    .into_iter()
+                    .map(|g| {
+                        s.spawn(move || {
+                            let _held_to_the_grave = g;
+                            panic::panic_any(SimulatedCrash);
+                        })
+                    })
+                    .collect();
+                // Join (and thereby acknowledge) every planned death —
+                // an unjoined panicked scoped thread re-panics the scope.
+                for w in workers {
+                    w.join().expect_err("worker must die");
+                }
+            });
+            prop_assert_eq!(pool.in_use(), 0, "crashed workers leaked slots");
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! Fault-injection hooks, compiled away unless the `chaos` cargo
+//! feature is enabled.
+//!
+//! Every atomic step of the protocol is labeled with an
+//! `inject!("site")` call placed immediately *before* the step, so a
+//! fault plan (see the `chaos` crate) can stall or kill a thread in the
+//! window between any two steps — the schedules the paper's helping
+//! scheme exists to survive. With the feature off the macro expands to
+//! nothing and the op-scope functions are empty `#[inline(always)]`
+//! bodies, so the production queue pays zero cost.
+//!
+//! Site names (`kp.*` for the epoch variant, `kp_hp.*` for the
+//! hazard-pointer variant):
+//!
+//! | site | window it opens |
+//! |---|---|
+//! | `publish` | after phase selection, before the L63/L100 descriptor publish |
+//! | `append` | before the L74 `next` CAS (enqueue step 1) |
+//! | `clear_pending.enq` | before the L92–93 descriptor CAS (enqueue step 2) |
+//! | `swing_tail` | before the L94 tail CAS (enqueue step 3) |
+//! | `bind_sentinel` | before the L129–134 stage-0 descriptor CAS |
+//! | `lock_sentinel` | before the L135 `deqTid` CAS (dequeue step 1) |
+//! | `clear_pending.deq` | after observing a locked sentinel, before the L148–149 CAS (dequeue step 2) |
+//! | `clear_pending.deq_empty` | before the L118–120 empty-result CAS |
+//! | `swing_head` | before the L150 head CAS (dequeue step 3) |
+
+#[cfg(feature = "chaos")]
+macro_rules! inject {
+    ($site:expr) => {
+        ::chaos::hit($site)
+    };
+}
+
+#[cfg(not(feature = "chaos"))]
+macro_rules! inject {
+    ($site:expr) => {};
+}
+
+pub(crate) use inject;
+
+/// Watchdog: the calling thread is entering a queue operation.
+#[cfg(feature = "chaos")]
+pub(crate) fn op_begin() {
+    ::chaos::op_begin();
+}
+
+#[cfg(not(feature = "chaos"))]
+#[inline(always)]
+pub(crate) fn op_begin() {}
+
+/// Watchdog: the operation entered via [`op_begin`] completed normally.
+/// Deliberately not a drop guard: a killed operation never completes,
+/// so its partial step count must not be reported.
+#[cfg(feature = "chaos")]
+pub(crate) fn op_end() {
+    ::chaos::op_end();
+}
+
+#[cfg(not(feature = "chaos"))]
+#[inline(always)]
+pub(crate) fn op_end() {}

@@ -7,6 +7,7 @@ use crossbeam_epoch::{self as epoch, Guard};
 use idpool::IdGuard;
 use queue_traits::QueueHandle;
 
+use crate::chaos_hooks::{self, inject};
 use crate::config::HelpPolicy;
 use crate::desc::OpDesc;
 use crate::node::Node;
@@ -19,7 +20,16 @@ use crate::stats::Stats;
 /// handle's lifetime; dropping the handle returns the ID to the pool.
 /// Operations take `&mut self` because a handle embodies *one* thread of
 /// the algorithm — the queue itself may be shared freely.
-pub struct WfHandle<'q, T> {
+///
+/// Dropping a handle whose operation is still pending (a panic unwound
+/// out of `enqueue`/`dequeue` mid-protocol) first drives that operation
+/// to completion and then publishes a fresh idle descriptor — the
+/// paper's §3.3 "dummy descriptor on exit". Without this, releasing the
+/// virtual ID while the descriptor still references an un-appended node
+/// could wedge every other thread: a helper may append the orphaned
+/// node, after which `help_finish_enq`'s descriptor identity check
+/// (L91) can never pass and the tail never advances.
+pub struct WfHandle<'q, T: Send> {
     queue: &'q WfQueue<T>,
     id: IdGuard<'q>,
     /// Next state-array index to examine under `HelpPolicy::Cyclic`.
@@ -111,8 +121,13 @@ impl<'q, T: Send> WfHandle<'q, T> {
     pub fn enqueue(&mut self, value: T) {
         let q = self.queue;
         let tid = self.tid();
+        chaos_hooks::op_begin();
         let guard = epoch::pin();
         let phase = q.next_phase(&guard); // L62
+        // The injection point sits before the node allocation so a
+        // simulated crash here leaks nothing: the value is still a plain
+        // local, dropped by the unwind.
+        inject!("kp.publish");
         let node = Box::into_raw(Box::new(Node::new(Some(value), tid)));
         // L63: publish the operation descriptor.
         q.publish(
@@ -128,6 +143,7 @@ impl<'q, T: Send> WfHandle<'q, T> {
         self.run_help(phase, true, &guard); // L64
         q.help_finish_enq(&guard); // L65 (see the paper's L65 argument)
         Stats::bump(&q.stats.enqueues);
+        chaos_hooks::op_end();
     }
 
     /// `deq()`, Figure 6 L98–108. Returns `None` where the paper throws
@@ -139,8 +155,10 @@ impl<'q, T: Send> WfHandle<'q, T> {
         // until after the value is read: every node our descriptor can
         // reference is retired (if at all) during this pin, so the reads
         // below are safe.
+        chaos_hooks::op_begin();
         let guard = epoch::pin();
         let phase = q.next_phase(&guard); // L99
+        inject!("kp.publish");
         // L100: publish the operation descriptor.
         q.publish(
             tid,
@@ -156,7 +174,9 @@ impl<'q, T: Send> WfHandle<'q, T> {
         q.help_finish_deq(&guard); // L102
         Stats::bump(&q.stats.dequeues);
         // L103–107: read the result through our completed descriptor.
-        Self::read_deq_result(q, tid, &guard)
+        let result = Self::read_deq_result(q, tid, &guard);
+        chaos_hooks::op_end();
+        result
     }
 
     /// The L103–107 epilogue, shared with the test-hook path.
@@ -258,6 +278,55 @@ impl<T: Send> QueueHandle<T> for WfHandle<'_, T> {
     }
 }
 
+impl<T: Send> Drop for WfHandle<'_, T> {
+    fn drop(&mut self) {
+        // §3.3 "dummy descriptor on exit". The ID must not return to the
+        // pool while `state[tid]` still describes an unfinished
+        // operation: a successor thread reusing the slot would replace
+        // the descriptor, and if a helper had meanwhile appended the
+        // orphaned enqueue node, no descriptor matching it would ever
+        // exist again — `help_finish_enq` could then never swing the
+        // tail past it (a total wedge). So: finish our own operation
+        // exactly as the owner would, discard an unclaimed dequeue
+        // result, and leave a pristine descriptor behind.
+        let q = self.queue;
+        let tid = self.id.id();
+        let guard = epoch::pin();
+        let desc = q.state[tid].load(std::sync::atomic::Ordering::SeqCst, &guard);
+        // SAFETY: descriptor slots are never null; we are pinned.
+        let desc_ref = unsafe { desc.deref() };
+        if desc_ref.pending {
+            let phase = desc_ref.phase;
+            if desc_ref.enqueue {
+                q.help_enq(tid, phase, tid, &guard);
+                q.help_finish_enq(&guard);
+            } else {
+                q.help_deq(tid, phase, tid, &guard);
+                q.help_finish_deq(&guard);
+                // Nobody will ever read this dequeue's result; take the
+                // value out of the node so conservation stays exact (it
+                // counts as consumed-by-the-departed-thread).
+                drop(Self::read_deq_result(q, tid, &guard));
+            }
+        }
+        // Even when our op is no longer pending, the tail may still sit
+        // *before* our appended node (we died between enqueue steps 2
+        // and 3). Helpers only swing the tail while the owner's
+        // descriptor still references that node (the L91 identity
+        // check), so the dummy may be published only once the tail is
+        // past it — one help_finish_enq call guarantees that. The head
+        // needs no such gate (the L150 CAS is unconditional), but we
+        // drive it too so the slot is handed over fully quiescent.
+        q.help_finish_enq(&guard);
+        q.help_finish_deq(&guard);
+        // Fresh idle descriptor: the slot's next owner starts from the
+        // same state a brand-new queue slot has.
+        q.publish(tid, OpDesc::initial(), &guard);
+        // `self.id` drops after this body, releasing the virtual ID —
+        // only now that the state entry is helpable and self-contained.
+    }
+}
+
 /// An in-flight operation started by [`WfHandle::begin_enqueue_unhelped`]
 /// or [`WfHandle::begin_dequeue_unhelped`] — the owner is "stalled" and
 /// other threads' operations may complete it through helping.
@@ -311,6 +380,15 @@ impl<T: Send> PendingOp<'_, '_, T> {
     /// if this was a dequeue.
     pub fn finish(mut self) -> Option<T> {
         self.complete()
+    }
+
+    /// Walks away without completing: the descriptor stays pending, as
+    /// if the owning thread died mid-operation. The handle's exit
+    /// cleanup (its `Drop`) is then responsible for the abandoned
+    /// operation — this is the test hook for the §3.3 "dummy descriptor
+    /// on exit" path.
+    pub fn abandon(mut self) {
+        self.done = true;
     }
 }
 

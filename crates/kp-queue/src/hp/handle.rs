@@ -9,6 +9,7 @@ use hazard::Participant;
 use idpool::IdGuard;
 use queue_traits::QueueHandle;
 
+use crate::chaos_hooks::{self, inject};
 use crate::config::HelpPolicy;
 use crate::hp::queue::WfQueueHp;
 use crate::hp::types::{NodeHp, OpDescHp, H_DESC};
@@ -17,7 +18,12 @@ use crate::stats::Stats;
 /// A registered thread's handle to a [`WfQueueHp`].
 ///
 /// Owns the thread's virtual ID *and* its hazard-pointer record.
-pub struct WfHpHandle<'q, T> {
+///
+/// As with [`WfHandle`](crate::WfHandle), dropping the handle while its
+/// operation is still pending completes the operation and leaves a
+/// fresh idle descriptor behind (§3.3 "dummy descriptor on exit")
+/// before the ID and the hazard record are released.
+pub struct WfHpHandle<'q, T: Send> {
     queue: &'q WfQueueHp<T>,
     id: IdGuard<'q>,
     participant: Participant<'q>,
@@ -99,20 +105,27 @@ impl<'q, T: Send> WfHpHandle<'q, T> {
     pub fn enqueue(&mut self, value: T) {
         let q = self.queue;
         let tid = self.id.id();
+        chaos_hooks::op_begin();
         let phase = q.next_phase(&self.participant); // L62
+        // Before the allocations, so a simulated crash here leaks
+        // nothing (the value is dropped by the unwind).
+        inject!("kp_hp.publish");
         let node = NodeHp::boxed(Some(value), tid);
         let desc = OpDescHp::boxed(phase, true, true, node, None);
         q.publish(&mut self.participant, tid, desc); // L63
         self.run_help(phase, true); // L64
         q.help_finish_enq(&mut self.participant); // L65
         Stats::bump(&q.stats.enqueues);
+        chaos_hooks::op_end();
     }
 
     /// `deq()`, L98–108. `None` where the paper throws `EmptyException`.
     pub fn dequeue(&mut self) -> Option<T> {
         let q = self.queue;
         let tid = self.id.id();
+        chaos_hooks::op_begin();
         let phase = q.next_phase(&self.participant); // L99
+        inject!("kp_hp.publish");
         let desc = OpDescHp::boxed(phase, true, false, ptr::null(), None);
         q.publish(&mut self.participant, tid, desc); // L100
         self.run_help(phase, false); // L101
@@ -141,7 +154,58 @@ impl<'q, T: Send> WfHpHandle<'q, T> {
         if result.is_none() {
             Stats::bump(&q.stats.empty_dequeues);
         }
+        chaos_hooks::op_end();
         result
+    }
+}
+
+impl<T: Send> Drop for WfHpHandle<'_, T> {
+    fn drop(&mut self) {
+        // §3.3 "dummy descriptor on exit", hazard-pointer edition — same
+        // rationale as `WfHandle`'s Drop: the slot must describe no
+        // unfinished operation when the virtual ID is released.
+        let q = self.queue;
+        let tid = self.id.id();
+        let d = self.participant.protect(H_DESC, &q.state[tid]);
+        // SAFETY: protected by H_DESC; slots are never null.
+        let (pending, enqueue, phase) =
+            unsafe { ((*d).pending, (*d).enqueue, (*d).phase) };
+        self.participant.clear(H_DESC);
+        if pending {
+            if enqueue {
+                q.help_enq(&mut self.participant, tid, phase, tid);
+                q.help_finish_enq(&mut self.participant);
+            } else {
+                q.help_deq(&mut self.participant, tid, phase, tid);
+                q.help_finish_deq(&mut self.participant);
+                // Claim the §3.4 couriered value, if any, and drop it —
+                // we completed the operation ourselves, so the
+                // exactly-once ownership argument of `dequeue` applies.
+                let d = self.participant.protect(H_DESC, &q.state[tid]);
+                // SAFETY: protected by H_DESC; same take-once argument
+                // as the dequeue epilogue.
+                unsafe {
+                    if !(*d).node.is_null() {
+                        let v = ptr::read(&(*d).value);
+                        drop(ManuallyDrop::into_inner(v));
+                    }
+                }
+                self.participant.clear(H_DESC);
+            }
+        }
+        // As in `WfHandle::drop`: if we died between enqueue steps 2 and
+        // 3 the tail still sits before our node, and helpers' tail swing
+        // is gated on our descriptor still referencing it — the dummy
+        // would wedge the queue. Drive tail (and, for symmetry, head)
+        // past any node of ours first.
+        q.help_finish_enq(&mut self.participant);
+        q.help_finish_deq(&mut self.participant);
+        // Publish a fresh idle descriptor so the slot's next owner (and
+        // any helper scanning it) sees a self-contained idle state.
+        q.publish(&mut self.participant, tid, OpDescHp::initial());
+        // Field drops after this body release the ID and the hazard
+        // record (the participant clears its slots and parks leftover
+        // retirees for adoption).
     }
 }
 

@@ -18,6 +18,7 @@ use hazard::{Domain, Participant};
 use idpool::IdPool;
 use queue_traits::{ConcurrentQueue, RegistrationError};
 
+use crate::chaos_hooks::inject;
 use crate::config::{Config, PhasePolicy};
 use crate::hp::handle::WfHpHandle;
 use crate::hp::types::{NodeHp, OpDescHp, H_DESC, H_NEXT, H_NODE, NO_DEQUEUER};
@@ -269,6 +270,7 @@ impl<T: Send> WfQueueHp<T> {
                 };
                 let mut appended = false;
                 if c_pending && c_phase <= ph && c_enqueue {
+                    inject!("kp_hp.append");
                     p.set(H_NEXT, c_node as *mut NodeHp<T>);
                     if self.state[tid].load(Ordering::SeqCst) == cur {
                         // SAFETY: `last` is protected by H_NODE; `c_node`
@@ -327,11 +329,13 @@ impl<T: Send> WfQueueHp<T> {
             unsafe { ((*cur).phase, (*cur).pending, (*cur).node) };
         // L91
         if self.tail.load(Ordering::SeqCst) == last && ptr::eq(cur_node, next) {
+            inject!("kp_hp.clear_pending.enq");
             if !(self.config.validate_before_cas && !cur_pending) {
                 // L92–93: step 2.
                 let new = OpDescHp::boxed(cur_phase, false, true, next, None);
                 self.cas_state(p, tid, cur, new);
             }
+            inject!("kp_hp.swing_tail");
             // L94: step 3.
             let _ = self
                 .tail
@@ -369,6 +373,7 @@ impl<T: Send> WfQueueHp<T> {
                     let (cur_phase, cur_pending) = unsafe { ((*cur).phase, (*cur).pending) };
                     if self.tail.load(Ordering::SeqCst) == last && cur_pending && cur_phase <= ph
                     {
+                        inject!("kp_hp.clear_pending.deq_empty");
                         let new = OpDescHp::boxed(cur_phase, false, false, ptr::null(), None);
                         self.cas_state(p, tid, cur, new);
                     }
@@ -389,6 +394,7 @@ impl<T: Send> WfQueueHp<T> {
                 }
                 // L129–134: stage 0.
                 if self.head.load(Ordering::SeqCst) == first && !ptr::eq(cur_node, first) {
+                    inject!("kp_hp.bind_sentinel");
                     let new = OpDescHp::boxed(cur_phase, true, false, first, None);
                     let ok = self.cas_state(p, tid, cur, new);
                     p.clear(H_DESC);
@@ -398,6 +404,7 @@ impl<T: Send> WfQueueHp<T> {
                 } else {
                     p.clear(H_DESC);
                 }
+                inject!("kp_hp.lock_sentinel");
                 // L135: step 1 — lock the sentinel (linearization).
                 // SAFETY: `first` still protected by H_NODE.
                 let locked = unsafe {
@@ -437,6 +444,9 @@ impl<T: Send> WfQueueHp<T> {
         // SAFETY: `first` protected by H_NODE.
         let tid = unsafe { (*first).deq_tid.load(Ordering::SeqCst) }; // L144
         if tid != NO_DEQUEUER {
+            // A locked sentinel was observed: the window between dequeue
+            // steps 1 and 2.
+            inject!("kp_hp.clear_pending.deq");
             let tid = tid as usize;
             let cur = p.protect(H_DESC, &self.state[tid]); // L146
             // SAFETY: protected by H_DESC.
@@ -463,6 +473,7 @@ impl<T: Send> WfQueueHp<T> {
                     }));
                     self.cas_state(p, tid, cur, new);
                 }
+                inject!("kp_hp.swing_head");
                 // L150: step 3. The winner retires the removed sentinel
                 // — this is the §3.4 "call RetireNode right at the end
                 // of help_deq" point.

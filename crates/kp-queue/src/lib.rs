@@ -98,6 +98,7 @@
 
 #![warn(missing_docs)]
 
+mod chaos_hooks;
 mod config;
 mod desc;
 mod handle;

@@ -12,6 +12,7 @@ use crossbeam_utils::CachePadded;
 use idpool::IdPool;
 use queue_traits::{ConcurrentQueue, RegistrationError};
 
+use crate::chaos_hooks::inject;
 use crate::config::{Config, PhasePolicy};
 use crate::desc::OpDesc;
 use crate::handle::WfHandle;
@@ -255,6 +256,7 @@ impl<T: Send> WfQueue<T> {
                     // SAFETY: as in `max_phase`.
                     let desc_ref = unsafe { desc.deref() };
                     if desc_ref.pending && desc_ref.phase <= ph && desc_ref.enqueue {
+                        inject!("kp.append");
                         let node = Shared::from(desc_ref.node);
                         if last_ref
                             .next
@@ -310,6 +312,7 @@ impl<T: Send> WfQueue<T> {
             if last == self.tail.load(Ordering::SeqCst, guard)
                 && ptr::eq(cur_ref.node, next.as_raw())
             {
+                inject!("kp.clear_pending.enq");
                 // §3.3 enhancement: skip the descriptor CAS when the flag
                 // is already off (a racing helper beat us to step 2).
                 if !(self.config.validate_before_cas && !cur_ref.pending) {
@@ -322,6 +325,7 @@ impl<T: Send> WfQueue<T> {
                     };
                     self.cas_state(tid, cur, new, guard);
                 }
+                inject!("kp.swing_tail");
                 // L94: step 3 — fix tail. At most one of the racing CASes
                 // succeeds; the others observe tail already advanced.
                 let _ = self.tail.compare_exchange(
@@ -364,6 +368,7 @@ impl<T: Send> WfQueue<T> {
                         && cur_ref.pending
                         && cur_ref.phase <= ph
                     {
+                        inject!("kp.clear_pending.deq_empty");
                         // L118–120: record the empty result (node = null)
                         // and clear pending. Descriptor-CAS failure means
                         // another helper resolved the operation.
@@ -395,6 +400,7 @@ impl<T: Send> WfQueue<T> {
                 if first == self.head.load(Ordering::SeqCst, guard)
                     && !ptr::eq(node, first.as_raw())
                 {
+                    inject!("kp.bind_sentinel");
                     let new = OpDesc {
                         phase: cur_ref.phase,
                         pending: true,
@@ -405,6 +411,7 @@ impl<T: Send> WfQueue<T> {
                         continue; // L132: descriptor changed; restart
                     }
                 }
+                inject!("kp.lock_sentinel");
                 // L135: step 1 — lock the sentinel with the owner's tid
                 // (linearization point of a successful dequeue).
                 let locked = first_ref
@@ -437,6 +444,9 @@ impl<T: Send> WfQueue<T> {
         let next = first_ref.next.load(Ordering::SeqCst, guard); // L143
         let tid = first_ref.deq_tid.load(Ordering::SeqCst); // L144
         if tid != NO_DEQUEUER {
+            // A locked sentinel was observed: the window between dequeue
+            // steps 1 and 2.
+            inject!("kp.clear_pending.deq");
             let tid = tid as usize;
             let cur = self.state[tid].load(Ordering::SeqCst, guard); // L146
             // SAFETY: as in `max_phase`.
@@ -455,6 +465,7 @@ impl<T: Send> WfQueue<T> {
                     };
                     self.cas_state(tid, cur, new, guard);
                 }
+                inject!("kp.swing_head");
                 // L150: step 3 — fix head. The winner retires the old
                 // sentinel; threads still reading it are pinned.
                 if self

@@ -308,6 +308,62 @@ fn lemma_1_and_2_exactly_once() {
 }
 
 #[test]
+fn exit_with_pending_enqueue_publishes_dummy_descriptor() {
+    // §3.3 "dummy descriptor on exit": a handle dropped while its enqueue
+    // is still pending must complete the operation and leave the state
+    // slot idle, so the value lands and the slot is immediately reusable.
+    for cfg in [Config::base(), Config::opt_both()] {
+        let q: WfQueue<u64> = WfQueue::with_config(2, cfg);
+        {
+            let mut h = q.register().unwrap();
+            h.enqueue(1);
+            // Walk away mid-operation: descriptor left pending, as if the
+            // thread died right after the paper's L63 publish.
+            h.begin_enqueue_unhelped(2).abandon();
+        } // handle Drop runs the exit cleanup here
+        let mut h = q.register().unwrap();
+        assert_eq!(h.dequeue(), Some(1));
+        assert_eq!(h.dequeue(), Some(2), "abandoned enqueue must land");
+        assert_eq!(h.dequeue(), None);
+    }
+}
+
+#[test]
+fn exit_with_pending_dequeue_publishes_dummy_descriptor() {
+    let q: WfQueue<u64> = WfQueue::new(2);
+    {
+        let mut h = q.register().unwrap();
+        for i in 0..3 {
+            h.enqueue(i);
+        }
+        h.begin_dequeue_unhelped().abandon();
+    } // Drop completes the dequeue; value 0 is consumed-and-discarded
+    let mut h = q.register().unwrap();
+    assert_eq!(h.dequeue(), Some(1), "FIFO intact after exit cleanup");
+    assert_eq!(h.dequeue(), Some(2));
+    assert_eq!(h.dequeue(), None);
+}
+
+#[test]
+fn slot_reused_after_mid_operation_exit_does_not_wedge() {
+    // The wedge this guards against: with capacity 1, the departing
+    // thread's slot is *guaranteed* to be reused. If its pending
+    // descriptor were still in place (or an orphaned node appended with
+    // no matching descriptor), every subsequent operation would spin in
+    // help_finish_enq forever.
+    let q: WfQueue<u64> = WfQueue::new(1);
+    for round in 0..10u64 {
+        let mut h = q.register().expect("slot must be reclaimable");
+        assert_eq!(h.tid(), 0, "capacity-1 pool always hands out slot 0");
+        h.begin_enqueue_unhelped(round).abandon();
+        drop(h);
+        let mut h = q.register().unwrap();
+        assert_eq!(h.dequeue(), Some(round), "no wedge, value present");
+        assert_eq!(h.dequeue(), None);
+    }
+}
+
+#[test]
 fn queue_debug_format_mentions_config() {
     let q: WfQueue<u64> = WfQueue::new(2);
     let s = format!("{q:?}");

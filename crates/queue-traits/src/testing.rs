@@ -126,6 +126,50 @@ pub fn check_mpmc_conservation<Q: ConcurrentQueue<u64> + Sync>(
     }
 }
 
+/// Verifies consumer batches against the producer-tagged ledger used by
+/// [`check_mpmc_conservation`] (values are `producer * per_producer +
+/// seq`), tolerating up to `missing_allowance` absent values — a crashed
+/// consumer may have taken a value to its grave. Duplicated or invented
+/// values are never tolerated, and per-producer FIFO must hold within
+/// each batch. Returns the number of missing values.
+pub fn verify_ledger(
+    batches: &[Vec<u64>],
+    producers: usize,
+    per_producer: usize,
+    missing_allowance: usize,
+) -> usize {
+    let total = producers * per_producer;
+    let mut seen = vec![false; total];
+    for batch in batches {
+        for &v in batch {
+            let v = v as usize;
+            assert!(v < total, "invented value {v}");
+            assert!(!seen[v], "value {v} dequeued twice");
+            seen[v] = true;
+        }
+    }
+    let missing = seen.iter().filter(|&&b| !b).count();
+    assert!(
+        missing <= missing_allowance,
+        "{missing} values lost, but at most {missing_allowance} may be \
+         unaccounted for"
+    );
+    for batch in batches {
+        let mut last = vec![None::<u64>; producers];
+        for &v in batch {
+            let p = (v as usize) / per_producer;
+            if let Some(prev) = last[p] {
+                assert!(
+                    v > prev,
+                    "per-producer FIFO violated: {prev} before {v} from producer {p}"
+                );
+            }
+            last[p] = Some(v);
+        }
+    }
+    missing
+}
+
 /// Values must never be duplicated or lost when the element type owns heap
 /// memory — exercises the take-once semantics of node payloads.
 pub fn check_owned_payloads<Q: ConcurrentQueue<Box<u64>> + Sync>(queue: &Q, threads: usize) {
