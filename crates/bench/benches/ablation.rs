@@ -12,7 +12,7 @@ use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use harness::{workload, SchedPolicy};
-use kp_queue::{Config, HelpPolicy, PhasePolicy, WfQueue};
+use kp_queue::{Config, HelpPolicy, PhasePolicy, WfQueue, WfQueueHp};
 
 const ITERS: usize = 2_000;
 const THREADS: usize = 4;
@@ -94,11 +94,66 @@ fn bench_phase_policy(c: &mut Criterion) {
     g.finish();
 }
 
+fn run_config_hp(cfg: Config, threads: usize) -> Duration {
+    let q: WfQueueHp<u64> = WfQueueHp::with_config(threads, cfg);
+    workload::run_pairs(&q, threads, ITERS, SchedPolicy::Unpinned)
+}
+
+/// The descriptor/node-reuse ablation: the allocation-free hot path
+/// (packed state-slot words + recycled nodes) against the same
+/// algorithm with node reuse disabled, i.e. a fresh heap node per
+/// enqueue — the alloc-per-transition baseline. Alongside the timing,
+/// each leg prints its measured allocation rate once (`node_allocs` /
+/// `node_reuses` stats over one probe run) so the throughput numbers
+/// can be read next to the allocation behaviour they come from.
+fn bench_reuse_vs_alloc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_reuse_vs_alloc");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(3));
+    for (name, cfg) in [
+        ("epoch/reuse", Config::opt_both()),
+        ("epoch/alloc", Config::opt_both().with_reuse(false)),
+    ] {
+        {
+            let q: WfQueue<u64> = WfQueue::with_config(THREADS, cfg);
+            workload::run_pairs(&q, THREADS, ITERS, SchedPolicy::Unpinned);
+            let s = q.stats();
+            println!(
+                "{name}: probe run {} fresh node allocs, {} reuses over {} enqueues",
+                s.node_allocs, s.node_reuses, s.enqueues
+            );
+        }
+        g.bench_function(name, |b| {
+            b.iter_custom(|n| (0..n).map(|_| run_config(cfg, THREADS)).sum());
+        });
+    }
+    for (name, cfg) in [
+        ("hp/reuse", Config::opt_both()),
+        ("hp/alloc", Config::opt_both().with_reuse(false)),
+    ] {
+        {
+            let q: WfQueueHp<u64> = WfQueueHp::with_config(THREADS, cfg);
+            workload::run_pairs(&q, THREADS, ITERS, SchedPolicy::Unpinned);
+            let s = q.stats();
+            println!(
+                "{name}: probe run {} fresh node allocs, {} reuses over {} enqueues",
+                s.node_allocs, s.node_reuses, s.enqueues
+            );
+        }
+        g.bench_function(name, |b| {
+            b.iter_custom(|n| (0..n).map(|_| run_config_hp(cfg, THREADS)).sum());
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     ablation,
     bench_validation,
     bench_chunk_size,
     bench_cyclic_vs_random,
-    bench_phase_policy
+    bench_phase_policy,
+    bench_reuse_vs_alloc
 );
 criterion_main!(ablation);

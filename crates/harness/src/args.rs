@@ -68,6 +68,8 @@ impl Args {
     }
 
     /// Parses from an explicit token stream (testable).
+    // Not `FromIterator`: parsing is fallible, the trait is not.
+    #[allow(clippy::should_implement_trait)]
     pub fn from_iter(tokens: impl IntoIterator<Item = String>) -> Result<Self, ArgsError> {
         let mut values = HashMap::new();
         let mut iter = tokens.into_iter();

@@ -1,0 +1,205 @@
+//! Records the PR's perf baseline: throughput *and* allocation rate for
+//! the descriptor-reuse hot path against its alloc-per-op baseline,
+//! written as machine-readable JSON (default `BENCH_PR2.json`).
+//!
+//! Grid: {epoch, HP} × {base, opt(1+2)} × {reuse, alloc} ×
+//! {pairs, 50-50} × a small thread sweep. The binary installs the
+//! counting allocator from `alloc-track`, so `allocs_per_op` is the
+//! process-wide truth (thread spawn + registration included — amortized
+//! by the iteration count) rather than an inference from queue stats.
+//!
+//! ```text
+//! cargo run -p harness --release --bin bench_record
+//! cargo run -p harness --release --bin bench_record -- \
+//!     --iters 100000 --reps 5 --out BENCH_PR2.json
+//! ```
+//!
+//! `scripts/bench_record.sh` wraps this with the build step.
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use harness::args::Args;
+use harness::{workload, SchedPolicy};
+use kp_queue::{Config, WfQueue, WfQueueHp};
+
+#[global_allocator]
+static ALLOC: alloc_track::TrackingAlloc = alloc_track::TrackingAlloc;
+
+struct Row {
+    queue: &'static str,
+    config: &'static str,
+    reuse: bool,
+    workload: &'static str,
+    threads: usize,
+    median_secs: f64,
+    mops_per_sec: f64,
+    allocs_per_op: f64,
+}
+
+/// One timed rep: returns (duration, heap allocations during the run).
+fn rep<F: FnOnce() -> Duration>(f: F) -> (Duration, usize) {
+    let a0 = alloc_track::total_allocs();
+    let d = f();
+    (d, alloc_track::total_allocs() - a0)
+}
+
+fn median(durs: &mut [Duration]) -> Duration {
+    durs.sort();
+    durs[durs.len() / 2]
+}
+
+fn main() {
+    let args = Args::from_env();
+    let iters: usize = args.get_or("iters", 50_000);
+    let reps: usize = args.get_or("reps", 3);
+    let out = args.get("out").unwrap_or("BENCH_PR2.json").to_string();
+    let thread_counts: Vec<usize> = match args.get("threads") {
+        Some(t) => vec![t.parse().expect("--threads N")],
+        None => vec![1, 4],
+    };
+
+    let configs: [(&str, bool, Config); 4] = [
+        ("base", true, Config::base()),
+        ("opt_both", true, Config::opt_both()),
+        ("base", false, Config::base().with_reuse(false)),
+        ("opt_both", false, Config::opt_both().with_reuse(false)),
+    ];
+
+    println!(
+        "bench_record: iters/thread = {iters}, reps = {reps}, cores = {}",
+        harness::sched::num_cores()
+    );
+
+    let mut rows: Vec<Row> = Vec::new();
+    for &threads in &thread_counts {
+        for (config, reuse, cfg) in configs {
+            for wl in ["pairs", "fifty_fifty"] {
+                for queue in ["wf-epoch", "wf-hp"] {
+                    let mut durs = Vec::with_capacity(reps);
+                    let mut allocs = Vec::with_capacity(reps);
+                    for _ in 0..reps {
+                        let (d, a) = match (queue, wl) {
+                            ("wf-epoch", "pairs") => rep(|| {
+                                let q: WfQueue<u64> = WfQueue::with_config(threads, cfg);
+                                workload::run_pairs(&q, threads, iters, SchedPolicy::Unpinned)
+                            }),
+                            ("wf-epoch", _) => rep(|| {
+                                let q: WfQueue<u64> = WfQueue::with_config(threads + 1, cfg);
+                                workload::run_fifty_fifty(
+                                    &q,
+                                    threads,
+                                    iters,
+                                    1_000,
+                                    SchedPolicy::Unpinned,
+                                )
+                            }),
+                            (_, "pairs") => rep(|| {
+                                let q: WfQueueHp<u64> = WfQueueHp::with_config(threads, cfg);
+                                workload::run_pairs(&q, threads, iters, SchedPolicy::Unpinned)
+                            }),
+                            _ => rep(|| {
+                                let q: WfQueueHp<u64> = WfQueueHp::with_config(threads + 1, cfg);
+                                workload::run_fifty_fifty(
+                                    &q,
+                                    threads,
+                                    iters,
+                                    1_000,
+                                    SchedPolicy::Unpinned,
+                                )
+                            }),
+                        };
+                        durs.push(d);
+                        allocs.push(a);
+                    }
+                    let med = median(&mut durs);
+                    // Pairs = 2 ops per iteration; 50-50 = 1.
+                    let ops = (threads * iters * if wl == "pairs" { 2 } else { 1 }) as f64;
+                    allocs.sort();
+                    let med_allocs = allocs[allocs.len() / 2] as f64;
+                    let row = Row {
+                        queue,
+                        config,
+                        reuse,
+                        workload: wl,
+                        threads,
+                        median_secs: med.as_secs_f64(),
+                        mops_per_sec: ops / med.as_secs_f64() / 1e6,
+                        allocs_per_op: med_allocs / ops,
+                    };
+                    println!(
+                        "{:8} {:8} reuse={:5} {:11} t={}: {:>8.3} Mops/s, {:.4} allocs/op",
+                        row.queue,
+                        row.config,
+                        row.reuse,
+                        row.workload,
+                        row.threads,
+                        row.mops_per_sec,
+                        row.allocs_per_op
+                    );
+                    rows.push(row);
+                }
+            }
+        }
+    }
+
+    // Headline comparison the acceptance criterion asks for: on pairs,
+    // reuse must not be slower than the alloc baseline (same queue,
+    // same config, same thread count).
+    let mut comparisons = String::new();
+    for r in rows.iter().filter(|r| r.reuse && r.workload == "pairs") {
+        if let Some(b) = rows.iter().find(|b| {
+            !b.reuse
+                && b.workload == "pairs"
+                && b.queue == r.queue
+                && b.config == r.config
+                && b.threads == r.threads
+        }) {
+            let speedup = r.mops_per_sec / b.mops_per_sec;
+            let _ = write!(
+                comparisons,
+                "{}    {{\"queue\": \"{}\", \"config\": \"{}\", \"threads\": {}, \
+                 \"reuse_over_alloc_speedup\": {:.4}}}",
+                if comparisons.is_empty() { "" } else { ",\n" },
+                r.queue,
+                r.config,
+                r.threads,
+                speedup
+            );
+            println!(
+                "pairs speedup reuse/alloc {} {} t={}: {:.3}x",
+                r.queue, r.config, r.threads, speedup
+            );
+        }
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n  \"pr\": 2,\n");
+    let _ = writeln!(json, "  \"iters_per_thread\": {iters},");
+    let _ = writeln!(json, "  \"reps\": {reps},");
+    let _ = writeln!(json, "  \"cores\": {},", harness::sched::num_cores());
+    json.push_str("  \"benches\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"queue\": \"{}\", \"config\": \"{}\", \"reuse\": {}, \
+             \"workload\": \"{}\", \"threads\": {}, \"median_secs\": {:.6}, \
+             \"mops_per_sec\": {:.4}, \"allocs_per_op\": {:.6}}}{}",
+            r.queue,
+            r.config,
+            r.reuse,
+            r.workload,
+            r.threads,
+            r.median_secs,
+            r.mops_per_sec,
+            r.allocs_per_op,
+            if i + 1 == rows.len() { "" } else { "," }
+        );
+    }
+    json.push_str("  ],\n  \"pairs_reuse_vs_alloc\": [\n");
+    json.push_str(&comparisons);
+    json.push_str("\n  ]\n}\n");
+
+    std::fs::write(&out, json).expect("write JSON report");
+    println!("-> {out}");
+}

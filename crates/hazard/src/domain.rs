@@ -122,11 +122,14 @@ impl Domain {
         Participant::new(self, rec)
     }
 
-    /// Snapshot of every non-null hazard pointer in the domain, sorted for
-    /// binary search. SeqCst loads pair with the SeqCst hazard publishes
-    /// in `Participant::protect`.
-    pub(crate) fn collect_hazards(&self) -> Vec<*mut u8> {
-        let mut out = Vec::with_capacity(self.total_slots());
+    /// Snapshot of every non-null hazard pointer in the domain, sorted
+    /// (and deduplicated) for binary search, written into a caller-owned
+    /// buffer so a steady-state scan allocates nothing — the buffer
+    /// amortizes to the domain's slot count and is reused across scans
+    /// by `Participant`. SeqCst loads pair with the SeqCst hazard
+    /// publishes in `Participant::protect`.
+    pub(crate) fn collect_hazards_into(&self, out: &mut Vec<*mut u8>) {
+        out.clear();
         let mut cur = self.records.load(Ordering::SeqCst);
         while !cur.is_null() {
             // SAFETY: records live as long as the domain.
@@ -141,7 +144,6 @@ impl Domain {
         }
         out.sort_unstable();
         out.dedup();
-        out
     }
 
     /// Pops the entire orphan stack; the caller adopts the contents.

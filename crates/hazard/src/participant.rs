@@ -29,6 +29,9 @@ pub struct Participant<'d> {
     domain: &'d Domain,
     record: *mut Record,
     retired: Vec<Retired>,
+    /// Scratch buffer for the hazard snapshot, reused across scans so
+    /// steady-state reclamation allocates nothing.
+    hazard_scratch: Vec<*mut u8>,
     /// Number of successful reclamations, for tests/diagnostics.
     reclaimed: usize,
 }
@@ -43,7 +46,11 @@ impl<'d> Participant<'d> {
         Participant {
             domain,
             record,
-            retired: Vec::new(),
+            // Pre-size past the scan threshold (plus headroom for a few
+            // adopted orphans) so pushes never grow the Vec in steady
+            // state.
+            retired: Vec::with_capacity(domain.scan_threshold() + 64),
+            hazard_scratch: Vec::with_capacity(domain.total_slots() + 16),
             reclaimed: 0,
         }
     }
@@ -129,23 +136,56 @@ impl<'d> Participant<'d> {
         }
     }
 
+    /// [`retire`](Self::retire) with a custom disposal function instead
+    /// of `Box::from_raw`: once no hazard pointer covers `ptr`, the
+    /// scan calls `drop_fn(ptr, ctx)`. This is how kp-queue routes
+    /// reclaimed nodes into its reuse pool rather than the allocator.
+    ///
+    /// # Safety
+    ///
+    /// * The object has been unlinked: no thread can create a *new*
+    ///   reference to it after this call.
+    /// * `drop_fn(ptr, ctx)` fully disposes of the object exactly once;
+    ///   at most one `retire_with`/`retire` call per object.
+    /// * `ptr` and `ctx` must remain valid until `drop_fn` runs, on
+    ///   whatever thread runs it (orphan adoption may move the retiree
+    ///   to another participant, or to `Domain::drop`).
+    pub unsafe fn retire_with(
+        &mut self,
+        ptr: *mut u8,
+        ctx: *mut u8,
+        drop_fn: unsafe fn(*mut u8, *mut u8),
+    ) {
+        inject!("hazard.retire");
+        debug_assert!(!ptr.is_null(), "retiring a null pointer");
+        // SAFETY: forwarded from the caller.
+        self.retired.push(unsafe { Retired::with_fn(ptr, ctx, drop_fn) });
+        if self.retired.len() >= self.domain.scan_threshold() {
+            self.scan();
+        }
+    }
+
     /// Reclaims every retired object not covered by a hazard pointer.
     ///
     /// Also adopts orphaned retired lists left behind by departed
     /// participants. Bounded work: one pass over the domain's hazard
-    /// slots plus one pass over the retired list — wait-free.
+    /// slots plus one pass over the retired list — wait-free. And
+    /// allocation-free in steady state: the hazard snapshot lands in a
+    /// reused scratch buffer and survivors are compacted in place with
+    /// `swap_remove` (order is irrelevant to correctness).
     pub fn scan(&mut self) {
         inject!("hazard.scan");
         self.retired.extend(self.domain.take_orphans());
         if self.retired.is_empty() {
             return;
         }
-        let hazards = self.domain.collect_hazards();
-        let mut kept = Vec::with_capacity(self.retired.len());
-        for r in self.retired.drain(..) {
-            if hazards.binary_search(&r.ptr).is_ok() {
-                kept.push(r);
+        self.domain.collect_hazards_into(&mut self.hazard_scratch);
+        let mut i = 0;
+        while i < self.retired.len() {
+            if self.hazard_scratch.binary_search(&self.retired[i].ptr).is_ok() {
+                i += 1;
             } else {
+                let r = self.retired.swap_remove(i);
                 // SAFETY: object unlinked (retire contract) and no hazard
                 // covers it at a point after it was unlinked, so no thread
                 // can still acquire a reference.
@@ -153,7 +193,6 @@ impl<'d> Participant<'d> {
                 self.reclaimed += 1;
             }
         }
-        self.retired = kept;
     }
 }
 

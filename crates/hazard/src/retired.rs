@@ -6,8 +6,13 @@ pub(crate) struct Retired {
     /// Address of the object (also the value hazard slots are compared
     /// against).
     pub(crate) ptr: *mut u8,
-    /// Deallocates and drops the object. Captures the concrete type.
-    pub(crate) drop_fn: unsafe fn(*mut u8),
+    /// Opaque context forwarded to `drop_fn` (null for plain
+    /// [`Retired::new`] retirees). Lets data structures route reclaimed
+    /// objects somewhere other than the allocator — e.g. kp-queue's
+    /// node pool.
+    pub(crate) ctx: *mut u8,
+    /// Disposes of the object. Captures the concrete type.
+    pub(crate) drop_fn: unsafe fn(*mut u8, *mut u8),
 }
 
 impl Retired {
@@ -17,31 +22,46 @@ impl Retired {
     ///
     /// `ptr` must be a valid, uniquely owned `Box<T>` allocation.
     pub(crate) unsafe fn new<T>(ptr: *mut T) -> Self {
-        unsafe fn drop_box<T>(p: *mut u8) {
+        unsafe fn drop_box<T>(p: *mut u8, _ctx: *mut u8) {
             // SAFETY: `p` was produced by `Box::into_raw::<T>` in
             // `Retired::new` and is reclaimed exactly once.
             unsafe { drop(Box::from_raw(p.cast::<T>())) }
         }
         Retired {
             ptr: ptr.cast(),
+            ctx: std::ptr::null_mut(),
             drop_fn: drop_box::<T>,
         }
     }
 
-    /// Drops and frees the object.
+    /// A retiree with a custom disposal function and context.
+    ///
+    /// # Safety
+    ///
+    /// `drop_fn(ptr, ctx)` must fully dispose of the object exactly
+    /// once, and `ctx` must stay valid until then (including across
+    /// orphan adoption by another thread — both pointers may cross
+    /// threads, which is why `Retired: Send` is asserted below and
+    /// guarded by the `Send` bounds on the public retire entry points).
+    pub(crate) unsafe fn with_fn(ptr: *mut u8, ctx: *mut u8, drop_fn: unsafe fn(*mut u8, *mut u8)) -> Self {
+        Retired { ptr, ctx, drop_fn }
+    }
+
+    /// Disposes of the object.
     ///
     /// # Safety
     ///
     /// No thread may hold a hazard pointer to `self.ptr`, and `reclaim`
     /// must be called at most once.
     pub(crate) unsafe fn reclaim(self) {
-        unsafe { (self.drop_fn)(self.ptr) }
+        unsafe { (self.drop_fn)(self.ptr, self.ctx) }
     }
 }
 
 // Retired objects are moved between threads (orphan adoption). The
-// underlying objects are required to be `Send` by `Participant::retire`'s
-// bound.
+// underlying objects are required to be `Send` by the retire entry
+// points' bounds; custom drop_fns take the same obligation via
+// `with_fn`'s safety contract.
 unsafe impl Send for Retired {}
 
 #[cfg(test)]
@@ -64,5 +84,24 @@ mod tests {
         let r = unsafe { Retired::new(Box::into_raw(Box::new(Counting))) };
         unsafe { r.reclaim() };
         assert_eq!(DROPS.load(Ordering::SeqCst), before + 1);
+    }
+
+    #[test]
+    fn with_fn_forwards_the_context() {
+        unsafe fn record(p: *mut u8, ctx: *mut u8) {
+            // SAFETY: test wiring — ctx is the AtomicUsize below.
+            unsafe { (*ctx.cast::<AtomicUsize>()).store(p as usize, Ordering::SeqCst) };
+        }
+        let seen = AtomicUsize::new(0);
+        let obj = 0xC0u8;
+        let r = unsafe {
+            Retired::with_fn(
+                &obj as *const u8 as *mut u8,
+                &seen as *const AtomicUsize as *mut u8,
+                record,
+            )
+        };
+        unsafe { r.reclaim() };
+        assert_eq!(seen.load(Ordering::SeqCst), &obj as *const u8 as usize);
     }
 }

@@ -74,7 +74,7 @@ fn threshold_triggers_automatic_scan() {
         unsafe { p.retire(counting(&drops)) };
     }
     assert_eq!(
-        drops.load(Ordering::SeqCst) as usize,
+        drops.load(Ordering::SeqCst),
         threshold,
         "hitting the threshold must reclaim everything unprotected"
     );

@@ -46,6 +46,13 @@ pub struct Config {
     /// §3.3 enhancement #3: read the `pending` flag before attempting
     /// the (costly) descriptor CAS in the two `help_finish_*` methods.
     pub validate_before_cas: bool,
+    /// §3.3 "reuse the descriptor objects", applied at the node level:
+    /// recycle unlinked sentinels through per-handle caches instead of
+    /// freeing and reallocating them. On by default; turning it off
+    /// restores the alloc-per-node behaviour (the ablation baseline —
+    /// descriptors are reused either way, as they are no longer heap
+    /// objects at all).
+    pub reuse_nodes: bool,
 }
 
 impl Config {
@@ -55,6 +62,7 @@ impl Config {
             help: HelpPolicy::ScanAll,
             phase: PhasePolicy::MaxScan,
             validate_before_cas: false,
+            reuse_nodes: true,
         }
     }
 
@@ -64,6 +72,7 @@ impl Config {
             help: HelpPolicy::Cyclic { chunk: 1 },
             phase: PhasePolicy::MaxScan,
             validate_before_cas: false,
+            reuse_nodes: true,
         }
     }
 
@@ -73,6 +82,7 @@ impl Config {
             help: HelpPolicy::ScanAll,
             phase: PhasePolicy::AtomicCounter,
             validate_before_cas: false,
+            reuse_nodes: true,
         }
     }
 
@@ -82,12 +92,20 @@ impl Config {
             help: HelpPolicy::Cyclic { chunk: 1 },
             phase: PhasePolicy::AtomicCounter,
             validate_before_cas: false,
+            reuse_nodes: true,
         }
     }
 
     /// Enables the validation-before-CAS enhancement (§3.3 #3).
     pub const fn with_validation(mut self) -> Self {
         self.validate_before_cas = true;
+        self
+    }
+
+    /// Enables or disables node recycling (ablation knob; on by
+    /// default).
+    pub const fn with_reuse(mut self, reuse: bool) -> Self {
+        self.reuse_nodes = reuse;
         self
     }
 
@@ -145,6 +163,17 @@ mod tests {
         assert_eq!(c.help, HelpPolicy::RandomChunk { chunk: 2 });
         assert_eq!(c.phase, PhasePolicy::AtomicCounter);
         assert_eq!(c.label(), "opt WF (rand+2)");
+    }
+
+    #[test]
+    fn reuse_defaults_on_and_toggles() {
+        assert!(Config::default().reuse_nodes);
+        assert!(!Config::opt_both().with_reuse(false).reuse_nodes);
+        assert_eq!(
+            Config::opt_both().with_reuse(false).label(),
+            "opt WF (1+2)",
+            "reuse is orthogonal to the paper-series label"
+        );
     }
 
     #[test]

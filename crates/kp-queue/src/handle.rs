@@ -1,17 +1,15 @@
 //! The per-thread handle: operation entry points (paper Figure 4 `enq`,
 //! Figure 6 `deq`) and the §3.3 helping-policy dispatch.
 
-use std::ptr;
-
 use crossbeam_epoch::{self as epoch, Guard};
 use idpool::IdGuard;
 use queue_traits::QueueHandle;
 
 use crate::chaos_hooks::{self, inject};
 use crate::config::HelpPolicy;
-use crate::desc::OpDesc;
-use crate::node::Node;
+use crate::node::{Node, NO_DEQUEUER};
 use crate::queue::WfQueue;
+use crate::recycle::RetireCache;
 use crate::stats::Stats;
 
 /// A registered thread's handle to a [`WfQueue`].
@@ -20,6 +18,12 @@ use crate::stats::Stats;
 /// handle's lifetime; dropping the handle returns the ID to the pool.
 /// Operations take `&mut self` because a handle embodies *one* thread of
 /// the algorithm — the queue itself may be shared freely.
+///
+/// The handle also owns the thread's node-reuse cache (§3.3 "reuse the
+/// descriptor objects" taken to the node level): sentinels unlinked by
+/// this thread's head swings are recycled into its future enqueues once
+/// the epoch rule proves no reader can still hold them, making the
+/// steady-state operation path allocation-free.
 ///
 /// Dropping a handle whose operation is still pending (a panic unwound
 /// out of `enqueue`/`dequeue` mid-protocol) first drives that operation
@@ -36,6 +40,8 @@ pub struct WfHandle<'q, T: Send> {
     cursor: usize,
     /// xorshift64* state for `HelpPolicy::RandomChunk`.
     rng: u64,
+    /// Retired sentinels awaiting reuse (see `crate::recycle`).
+    cache: RetireCache<T>,
 }
 
 impl<'q, T: Send> WfHandle<'q, T> {
@@ -47,6 +53,7 @@ impl<'q, T: Send> WfHandle<'q, T> {
             cursor: (tid + 1) % queue.max_threads(),
             // Any nonzero seed works; derive from the slot for variety.
             rng: 0x9E37_79B9_7F4A_7C15 ^ ((tid as u64 + 1) << 17),
+            cache: RetireCache::new(queue.config().reuse_nodes),
         }
     }
 
@@ -71,18 +78,41 @@ impl<'q, T: Send> WfHandle<'q, T> {
         x.wrapping_mul(0x2545_F491_4F6C_DD1D)
     }
 
+    /// A node ready to carry `value`: recycled from this handle's cache
+    /// when a mature one exists, freshly allocated otherwise.
+    fn alloc_node(&mut self, value: T, tid: usize) -> *mut Node<T> {
+        if let Some(node) = self.cache.pop_mature() {
+            Stats::bump(&self.queue.stats.node_reuses);
+            // SAFETY: maturity (`RetireCache::pop_mature`) makes us the
+            // unique owner — no pin that could still observe the node
+            // remains. The publish that follows in the caller is a
+            // SeqCst store, releasing these plain/Relaxed writes to any
+            // helper that reads the node through the descriptor.
+            unsafe {
+                (*node).next.store(epoch::Shared::null(), std::sync::atomic::Ordering::Relaxed);
+                (*node).deq_tid.store(NO_DEQUEUER, std::sync::atomic::Ordering::Relaxed);
+                (*node).enq_tid = tid;
+                *(*node).value.get() = Some(value);
+            }
+            node
+        } else {
+            Stats::bump(&self.queue.stats.node_allocs);
+            Box::into_raw(Box::new(Node::new(Some(value), tid)))
+        }
+    }
+
     /// Applies the configured helping policy for an operation running at
     /// `phase`, then drives the handle's *own* operation to completion.
     fn run_help(&mut self, phase: i64, enqueue: bool, guard: &Guard) {
         let q = self.queue;
-        let tid = self.tid();
+        let tid = self.id.id();
         let n = q.max_threads();
         match q.config.help {
             HelpPolicy::ScanAll => {
                 // Base algorithm: the L64/L101 `help(phase)` call. The
                 // scan includes our own entry, so the operation is
                 // complete when it returns.
-                q.help_all(phase, tid, guard);
+                q.help_all(phase, tid, guard, &mut self.cache);
             }
             HelpPolicy::Cyclic { chunk } => {
                 // §3.3 optimization 1: examine `chunk` entries starting
@@ -90,7 +120,7 @@ impl<'q, T: Send> WfHandle<'q, T> {
                 for j in 0..chunk.min(n) {
                     let i = (self.cursor + j) % n;
                     if i != tid {
-                        q.help_index(i, phase, tid, guard);
+                        q.help_index(i, phase, tid, guard, &mut self.cache);
                     }
                 }
                 self.cursor = (self.cursor + chunk) % n;
@@ -102,7 +132,7 @@ impl<'q, T: Send> WfHandle<'q, T> {
                 for j in 0..chunk.min(n) {
                     let i = (start + j) % n;
                     if i != tid {
-                        q.help_index(i, phase, tid, guard);
+                        q.help_index(i, phase, tid, guard, &mut self.cache);
                     }
                 }
             }
@@ -113,33 +143,25 @@ impl<'q, T: Send> WfHandle<'q, T> {
         if enqueue {
             q.help_enq(tid, phase, tid, guard);
         } else {
-            q.help_deq(tid, phase, tid, guard);
+            q.help_deq(tid, phase, tid, guard, &mut self.cache);
         }
     }
 
     /// `enq(value)`, Figure 4 L61–66.
     pub fn enqueue(&mut self, value: T) {
         let q = self.queue;
-        let tid = self.tid();
+        let tid = self.id.id();
         chaos_hooks::op_begin();
         let guard = epoch::pin();
-        let phase = q.next_phase(&guard); // L62
-        // The injection point sits before the node allocation so a
+        let phase = q.next_phase(); // L62
+        // The injection point sits before the node is prepared so a
         // simulated crash here leaks nothing: the value is still a plain
         // local, dropped by the unwind.
         inject!("kp.publish");
-        let node = Box::into_raw(Box::new(Node::new(Some(value), tid)));
-        // L63: publish the operation descriptor.
-        q.publish(
-            tid,
-            OpDesc {
-                phase,
-                pending: true,
-                enqueue: true,
-                node,
-            },
-            &guard,
-        );
+        let node = self.alloc_node(value, tid);
+        // L63: publish the operation descriptor — an in-place slot
+        // store, not an allocation (see `StateSlot::publish`).
+        q.state[tid].publish(phase, node as usize, true);
         self.run_help(phase, true, &guard); // L64
         q.help_finish_enq(&guard); // L65 (see the paper's L65 argument)
         Stats::bump(&q.stats.enqueues);
@@ -150,28 +172,20 @@ impl<'q, T: Send> WfHandle<'q, T> {
     /// `EmptyException`.
     pub fn dequeue(&mut self) -> Option<T> {
         let q = self.queue;
-        let tid = self.tid();
+        let tid = self.id.id();
         // The guard is held from before the descriptor is published
         // until after the value is read: every node our descriptor can
         // reference is retired (if at all) during this pin, so the reads
-        // below are safe.
+        // below are safe — including against recycling, which obeys the
+        // same maturity rule as freeing.
         chaos_hooks::op_begin();
         let guard = epoch::pin();
-        let phase = q.next_phase(&guard); // L99
+        let phase = q.next_phase(); // L99
         inject!("kp.publish");
-        // L100: publish the operation descriptor.
-        q.publish(
-            tid,
-            OpDesc {
-                phase,
-                pending: true,
-                enqueue: false,
-                node: ptr::null(),
-            },
-            &guard,
-        );
+        // L100: publish the operation descriptor (node = null).
+        q.state[tid].publish(phase, 0, false);
         self.run_help(phase, false, &guard); // L101
-        q.help_finish_deq(&guard); // L102
+        q.help_finish_deq(&guard, &mut self.cache); // L102
         Stats::bump(&q.stats.dequeues);
         // L103–107: read the result through our completed descriptor.
         let result = Self::read_deq_result(q, tid, &guard);
@@ -180,30 +194,38 @@ impl<'q, T: Send> WfHandle<'q, T> {
     }
 
     /// The L103–107 epilogue, shared with the test-hook path.
+    ///
+    /// Ordering relaxation: Acquire, not SeqCst. This reads our *own*
+    /// slot after our operation completed; the completing transition
+    /// (ours or a helper's SeqCst CAS that our `is_still_pending` loop
+    /// already observed) happens-before this load via the SeqCst loop
+    /// exit, and coherence forbids reading anything older. No helping
+    /// decision hangs off this read.
     fn read_deq_result(q: &WfQueue<T>, tid: usize, guard: &Guard) -> Option<T> {
-        let desc = q.state[tid].load(std::sync::atomic::Ordering::SeqCst, guard);
-        // SAFETY: descriptor slots are never null; we are pinned.
-        let desc_ref = unsafe { desc.deref() };
-        debug_assert!(!desc_ref.pending, "operation must be complete");
-        debug_assert!(!desc_ref.enqueue, "descriptor must be ours (dequeue)");
-        let node = desc_ref.node;
-        if node.is_null() {
+        let (w, _) = q.state[tid].view(std::sync::atomic::Ordering::Acquire);
+        debug_assert!(!w.pending(), "operation must be complete");
+        debug_assert!(!w.enqueue(), "descriptor must be ours (dequeue)");
+        if w.node_is_null() {
             Stats::bump(&q.stats.empty_dequeues);
             return None; // L104–105: linearized on an empty queue
         }
+        let node = w.node_ptr::<Node<T>>();
         // L107: the value lives in the node *after* the sentinel our
         // operation locked.
         // SAFETY: `node` is the sentinel this dequeue locked; it was
         // retired no earlier than the L150 head-CAS, which happened
-        // during our pin, so it is still live. Same for `next`.
-        let next = unsafe { &*node }.next.load(std::sync::atomic::Ordering::SeqCst, guard);
+        // during our pin, so it is still live (and not recycled: reuse
+        // obeys the same maturity rule). Same for `next`.
+        let next = unsafe { &*node }.next.load(std::sync::atomic::Ordering::Acquire, guard);
         debug_assert!(!next.is_null(), "locked sentinel must have a successor");
         // SAFETY (uniqueness of the take): `node.deq_tid == tid` was set
-        // by a successful CAS from −1, so exactly one operation ever
-        // locks `node`, and only that operation's owner executes this
-        // line for `node` — each value is taken exactly once, with the
-        // enqueuer's write ordered before by the release/acquire chain
-        // through the list links.
+        // by a successful CAS from −1 *in this generation of the node* —
+        // a recycled node is republished only after its reset, which no
+        // still-running dequeue can have locked (maturity again) — so
+        // exactly one operation ever locks `node`, and only that
+        // operation's owner executes this line for `node`. Each value is
+        // taken exactly once, with the enqueuer's write ordered before
+        // by the release/acquire chain through the list links.
         let value = unsafe { (*next.deref().value.get()).take() };
         Some(value.expect("value already taken: deq_tid uniqueness violated"))
     }
@@ -216,20 +238,11 @@ impl<'q, T: Send> WfHandle<'q, T> {
     #[doc(hidden)]
     pub fn begin_enqueue_unhelped(&mut self, value: T) -> PendingOp<'_, 'q, T> {
         let q = self.queue;
-        let tid = self.tid();
+        let tid = self.id.id();
         let guard = epoch::pin();
-        let phase = q.next_phase(&guard);
-        let node = Box::into_raw(Box::new(Node::new(Some(value), tid)));
-        q.publish(
-            tid,
-            OpDesc {
-                phase,
-                pending: true,
-                enqueue: true,
-                node,
-            },
-            &guard,
-        );
+        let phase = q.next_phase();
+        let node = self.alloc_node(value, tid);
+        q.state[tid].publish(phase, node as usize, true);
         PendingOp {
             handle: self,
             guard,
@@ -245,19 +258,10 @@ impl<'q, T: Send> WfHandle<'q, T> {
     #[doc(hidden)]
     pub fn begin_dequeue_unhelped(&mut self) -> PendingOp<'_, 'q, T> {
         let q = self.queue;
-        let tid = self.tid();
+        let tid = self.id.id();
         let guard = epoch::pin();
-        let phase = q.next_phase(&guard);
-        q.publish(
-            tid,
-            OpDesc {
-                phase,
-                pending: true,
-                enqueue: false,
-                node: ptr::null(),
-            },
-            &guard,
-        );
+        let phase = q.next_phase();
+        q.state[tid].publish(phase, 0, false);
         PendingOp {
             handle: self,
             guard,
@@ -292,17 +296,14 @@ impl<T: Send> Drop for WfHandle<'_, T> {
         let q = self.queue;
         let tid = self.id.id();
         let guard = epoch::pin();
-        let desc = q.state[tid].load(std::sync::atomic::Ordering::SeqCst, &guard);
-        // SAFETY: descriptor slots are never null; we are pinned.
-        let desc_ref = unsafe { desc.deref() };
-        if desc_ref.pending {
-            let phase = desc_ref.phase;
-            if desc_ref.enqueue {
+        let (w, phase) = q.state[tid].view(std::sync::atomic::Ordering::SeqCst);
+        if w.pending() {
+            if w.enqueue() {
                 q.help_enq(tid, phase, tid, &guard);
                 q.help_finish_enq(&guard);
             } else {
-                q.help_deq(tid, phase, tid, &guard);
-                q.help_finish_deq(&guard);
+                q.help_deq(tid, phase, tid, &guard, &mut self.cache);
+                q.help_finish_deq(&guard, &mut self.cache);
                 // Nobody will ever read this dequeue's result; take the
                 // value out of the node so conservation stays exact (it
                 // counts as consumed-by-the-departed-thread).
@@ -318,10 +319,14 @@ impl<T: Send> Drop for WfHandle<'_, T> {
         // needs no such gate (the L150 CAS is unconditional), but we
         // drive it too so the slot is handed over fully quiescent.
         q.help_finish_enq(&guard);
-        q.help_finish_deq(&guard);
-        // Fresh idle descriptor: the slot's next owner starts from the
-        // same state a brand-new queue slot has.
-        q.publish(tid, OpDesc::initial(), &guard);
+        q.help_finish_deq(&guard, &mut self.cache);
+        // Fresh idle descriptor (version-bumped in place): the slot's
+        // next owner starts from the same state a brand-new slot has,
+        // and stale helper CASes against our old words keep failing.
+        q.state[tid].reset();
+        // Reuse ends with the handle: give the cached nodes back to the
+        // epoch collector.
+        self.cache.drain(&guard);
         // `self.id` drops after this body, releasing the virtual ID —
         // only now that the state entry is helpable and self-contained.
     }
@@ -349,7 +354,7 @@ impl<T: Send> PendingOp<'_, '_, T> {
     pub fn is_pending(&self) -> bool {
         self.handle
             .queue
-            .is_still_pending(self.handle.tid(), self.phase, &self.guard)
+            .is_still_pending(self.handle.tid(), self.phase)
     }
 
     /// The phase number the operation was published with.
@@ -361,15 +366,15 @@ impl<T: Send> PendingOp<'_, '_, T> {
         debug_assert!(!self.done);
         self.done = true;
         let q = self.handle.queue;
-        let tid = self.handle.tid();
+        let tid = self.handle.id.id();
         if self.enqueue {
             q.help_enq(tid, self.phase, tid, &self.guard);
             q.help_finish_enq(&self.guard);
             Stats::bump(&q.stats.enqueues);
             None
         } else {
-            q.help_deq(tid, self.phase, tid, &self.guard);
-            q.help_finish_deq(&self.guard);
+            q.help_deq(tid, self.phase, tid, &self.guard, &mut self.handle.cache);
+            q.help_finish_deq(&self.guard, &mut self.handle.cache);
             Stats::bump(&q.stats.dequeues);
             WfHandle::read_deq_result(q, tid, &self.guard)
         }

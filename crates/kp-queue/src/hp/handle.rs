@@ -2,8 +2,8 @@
 //! points (Figure 4 `enq` / Figure 6 `deq`) and the §3.3 helping-policy
 //! dispatch, mirroring `crate::handle`.
 
-use std::mem::ManuallyDrop;
 use std::ptr;
+use std::sync::atomic::Ordering;
 
 use hazard::Participant;
 use idpool::IdGuard;
@@ -12,12 +12,20 @@ use queue_traits::QueueHandle;
 use crate::chaos_hooks::{self, inject};
 use crate::config::HelpPolicy;
 use crate::hp::queue::WfQueueHp;
-use crate::hp::types::{NodeHp, OpDescHp, H_DESC};
+use crate::hp::types::{NodeHp, NO_DEQUEUER, TOKEN_CONSUMED, TOKEN_RECLAIM_READY};
 use crate::stats::Stats;
+
+/// Nodes kept in the handle's private cache; surplus from a freelist
+/// steal goes back to the shared pool.
+const LOCAL_CAP: usize = 32;
 
 /// A registered thread's handle to a [`WfQueueHp`].
 ///
-/// Owns the thread's virtual ID *and* its hazard-pointer record.
+/// Owns the thread's virtual ID, its hazard-pointer record, *and* a
+/// private node cache: enqueues allocate from it, refilling by stealing
+/// the queue's shared freelist, so the steady-state operation path
+/// performs zero heap allocations — the HP counterpart of the epoch
+/// handle's `RetireCache`.
 ///
 /// As with [`WfHandle`](crate::WfHandle), dropping the handle while its
 /// operation is still pending completes the operation and leaves a
@@ -29,7 +37,23 @@ pub struct WfHpHandle<'q, T: Send> {
     participant: Participant<'q>,
     cursor: usize,
     rng: u64,
+    /// Private node cache (see `hp::pool`). Pre-sized so pushes never
+    /// allocate.
+    local: Vec<*mut NodeHp<T>>,
+    /// True from a dequeue's publish until its epilogue claimed the
+    /// result. Lets `Drop` (after a panic unwound out of `dequeue`)
+    /// distinguish a completed-but-unclaimed word — whose value node
+    /// must still be consumed to finish its token gate — from an old
+    /// word whose result was already taken (re-claiming that one could
+    /// steal a *recycled* node's fresh value).
+    deq_in_flight: bool,
 }
+
+// SAFETY: the raw pointers in `local` are nodes exclusively owned by
+// this handle (released through the token gate before they entered a
+// pool, stolen/popped from there); moving the handle moves that
+// ownership. Everything else is `Send` on its own.
+unsafe impl<T: Send> Send for WfHpHandle<'_, T> {}
 
 impl<'q, T: Send> WfHpHandle<'q, T> {
     pub(crate) fn new(queue: &'q WfQueueHp<T>, id: IdGuard<'q>, participant: Participant<'q>) -> Self {
@@ -40,6 +64,8 @@ impl<'q, T: Send> WfHpHandle<'q, T> {
             participant,
             cursor: (tid + 1) % queue.max_threads(),
             rng: 0x9E37_79B9_7F4A_7C15 ^ ((tid as u64 + 1) << 17),
+            local: Vec::with_capacity(LOCAL_CAP),
+            deq_in_flight: false,
         }
     }
 
@@ -66,6 +92,59 @@ impl<'q, T: Send> WfHpHandle<'q, T> {
         x ^= x >> 27;
         self.rng = x;
         x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// A node ready to carry `value`: recycled from the private cache or
+    /// the shared freelist when possible, freshly allocated otherwise.
+    fn alloc_node(&mut self, value: T, tid: usize) -> *mut NodeHp<T> {
+        let node = match self.local.pop() {
+            Some(n) => n,
+            None => match self.steal_batch() {
+                Some(n) => n,
+                None => {
+                    Stats::bump(&self.queue.stats.node_allocs);
+                    return NodeHp::boxed(Some(value), tid);
+                }
+            },
+        };
+        Stats::bump(&self.queue.stats.node_reuses);
+        // SAFETY: pooled nodes are exclusively owned (both disposal
+        // tokens were observed before release — see `hp::pool`). The
+        // SeqCst publish that follows in the caller releases these
+        // plain/Relaxed writes to any helper reading the node through
+        // the descriptor word.
+        unsafe {
+            (*node).next.store(ptr::null_mut(), Ordering::Relaxed);
+            (*node).deq_tid.store(NO_DEQUEUER, Ordering::Relaxed);
+            (*node).tokens.store(0, Ordering::Relaxed);
+            (*node).enq_tid = tid;
+            *(*node).value.get() = Some(value);
+        }
+        node
+    }
+
+    /// Steals the shared freelist; keeps up to [`LOCAL_CAP`] nodes,
+    /// returns one, and gives any surplus back to the pool.
+    fn steal_batch(&mut self) -> Option<*mut NodeHp<T>> {
+        let first = self.queue.pool().steal();
+        if first.is_null() {
+            return None;
+        }
+        // SAFETY: a stolen list is exclusively ours (see `NodePool`).
+        let mut cur = unsafe { (*first).free_next.load(Ordering::Relaxed) };
+        while !cur.is_null() {
+            // SAFETY: as above.
+            let nxt = unsafe { (*cur).free_next.load(Ordering::Relaxed) };
+            if self.local.len() < LOCAL_CAP {
+                self.local.push(cur);
+            } else {
+                // SAFETY: exclusively ours; hand it back for other
+                // threads' refills.
+                unsafe { self.queue.pool().release(cur) };
+            }
+            cur = nxt;
+        }
+        Some(first)
     }
 
     /// §3.3 helping-policy dispatch followed by driving our own op.
@@ -106,13 +185,14 @@ impl<'q, T: Send> WfHpHandle<'q, T> {
         let q = self.queue;
         let tid = self.id.id();
         chaos_hooks::op_begin();
-        let phase = q.next_phase(&self.participant); // L62
-        // Before the allocations, so a simulated crash here leaks
+        let phase = q.next_phase(); // L62
+        // Before the node is prepared, so a simulated crash here leaks
         // nothing (the value is dropped by the unwind).
         inject!("kp_hp.publish");
-        let node = NodeHp::boxed(Some(value), tid);
-        let desc = OpDescHp::boxed(phase, true, true, node, None);
-        q.publish(&mut self.participant, tid, desc); // L63
+        let node = self.alloc_node(value, tid);
+        // L63: publish the operation descriptor — an in-place slot
+        // store, not an allocation.
+        q.state[tid].publish(phase, node as usize, true);
         self.run_help(phase, true); // L64
         q.help_finish_enq(&mut self.participant); // L65
         Stats::bump(&q.stats.enqueues);
@@ -124,85 +204,95 @@ impl<'q, T: Send> WfHpHandle<'q, T> {
         let q = self.queue;
         let tid = self.id.id();
         chaos_hooks::op_begin();
-        let phase = q.next_phase(&self.participant); // L99
+        let phase = q.next_phase(); // L99
         inject!("kp_hp.publish");
-        let desc = OpDescHp::boxed(phase, true, false, ptr::null(), None);
-        q.publish(&mut self.participant, tid, desc); // L100
+        // L100: publish the operation descriptor (node = null).
+        q.state[tid].publish(phase, 0, false);
+        self.deq_in_flight = true;
         self.run_help(phase, false); // L101
         q.help_finish_deq(&mut self.participant); // L102
         Stats::bump(&q.stats.dequeues);
-        // L103–107, §3.4 edition: the result travels in our descriptor,
-        // so no queue node is touched here.
-        let d = self.participant.protect(H_DESC, &q.state[tid]);
-        // SAFETY: protected by H_DESC; slots are never null.
-        let result = unsafe {
-            debug_assert!(!(*d).pending, "own op must be complete");
-            debug_assert!(!(*d).enqueue, "descriptor must be our dequeue");
-            if (*d).node.is_null() {
-                None // empty-queue result
-            } else {
-                // Take the §3.4 value. Exactly-once: only the owner
-                // executes this, once per operation, and the descriptor
-                // cannot be replaced concurrently (only the owner starts
-                // operations for `tid`, and completion transitions
-                // require `pending == true`).
-                let v = ptr::read(&(*d).value);
-                Some(ManuallyDrop::into_inner(v).expect("completed dequeue carries a value"))
-            }
-        };
-        self.participant.clear(H_DESC);
-        if result.is_none() {
-            Stats::bump(&q.stats.empty_dequeues);
-        }
+        // L103–107: read the result through our completed word.
+        let result = Self::read_deq_result(q, tid);
+        self.deq_in_flight = false;
         chaos_hooks::op_end();
         result
+    }
+
+    /// The L103–107 epilogue, node-hand-off edition: our completed word
+    /// points at the *value node* (the sentinel that replaced the one
+    /// our dequeue locked). Acquire suffices for the view — the same
+    /// own-slot coherence argument as the epoch version — and the
+    /// dereference needs no hazard slot: the token gate keeps the node
+    /// allocated until *we* set [`TOKEN_CONSUMED`], however long ago the
+    /// operation completed and the node was retired.
+    fn read_deq_result(q: &WfQueueHp<T>, tid: usize) -> Option<T> {
+        let (w, _) = q.state[tid].view(Ordering::Acquire);
+        debug_assert!(!w.pending(), "own op must be complete");
+        debug_assert!(!w.enqueue(), "descriptor must be our dequeue");
+        if w.node_is_null() {
+            Stats::bump(&q.stats.empty_dequeues);
+            return None; // L104–105: linearized on an empty queue
+        }
+        let node = w.node_ptr::<NodeHp<T>>();
+        // SAFETY (liveness): `node` cannot be freed or recycled before
+        // both tokens are observed, and CONSUMED is set only on the line
+        // below — by us, the unique owner of this completed dequeue.
+        // SAFETY (value uniqueness): the step-2 CAS wrote `node` into
+        // exactly one completed dequeue word (version tags make racing
+        // step-2 writers idempotent, not duplicating), and only that
+        // word's owner takes the value. The enqueuer's value write
+        // happens-before via the SeqCst publish/append/step-2 chain and
+        // our Acquire view.
+        unsafe {
+            let v = (*(*node).value.get()).take();
+            let prev = (*node).tokens.fetch_or(TOKEN_CONSUMED, Ordering::AcqRel);
+            if prev & TOKEN_RECLAIM_READY != 0 {
+                // The hazard scan already cleared the node; disposal is
+                // ours (see `hp::pool::reclaim_into_pool`).
+                q.pool().release(node);
+            }
+            Some(v.expect("completed dequeue carries a value"))
+        }
     }
 }
 
 impl<T: Send> Drop for WfHpHandle<'_, T> {
     fn drop(&mut self) {
-        // §3.3 "dummy descriptor on exit", hazard-pointer edition — same
-        // rationale as `WfHandle`'s Drop: the slot must describe no
-        // unfinished operation when the virtual ID is released.
+        // §3.3 "dummy descriptor on exit" — same rationale and order as
+        // `WfHandle`'s Drop.
         let q = self.queue;
         let tid = self.id.id();
-        let d = self.participant.protect(H_DESC, &q.state[tid]);
-        // SAFETY: protected by H_DESC; slots are never null.
-        let (pending, enqueue, phase) =
-            unsafe { ((*d).pending, (*d).enqueue, (*d).phase) };
-        self.participant.clear(H_DESC);
-        if pending {
-            if enqueue {
+        let (w, phase) = q.state[tid].view(Ordering::SeqCst);
+        if w.pending() {
+            if w.enqueue() {
                 q.help_enq(&mut self.participant, tid, phase, tid);
                 q.help_finish_enq(&mut self.participant);
             } else {
                 q.help_deq(&mut self.participant, tid, phase, tid);
                 q.help_finish_deq(&mut self.participant);
-                // Claim the §3.4 couriered value, if any, and drop it —
-                // we completed the operation ourselves, so the
-                // exactly-once ownership argument of `dequeue` applies.
-                let d = self.participant.protect(H_DESC, &q.state[tid]);
-                // SAFETY: protected by H_DESC; same take-once argument
-                // as the dequeue epilogue.
-                unsafe {
-                    if !(*d).node.is_null() {
-                        let v = ptr::read(&(*d).value);
-                        drop(ManuallyDrop::into_inner(v));
-                    }
-                }
-                self.participant.clear(H_DESC);
+                // Claim (and discard) the result so the node's token
+                // gate completes and conservation stays exact.
+                drop(Self::read_deq_result(q, tid));
             }
+        } else if self.deq_in_flight {
+            // A panic unwound out of `dequeue` after the operation
+            // completed but before the epilogue: the word is ours and
+            // unclaimed. Claim it so the value node's token gate
+            // completes (otherwise the node would sit in limbo forever).
+            drop(Self::read_deq_result(q, tid));
         }
-        // As in `WfHandle::drop`: if we died between enqueue steps 2 and
-        // 3 the tail still sits before our node, and helpers' tail swing
-        // is gated on our descriptor still referencing it — the dummy
-        // would wedge the queue. Drive tail (and, for symmetry, head)
-        // past any node of ours first.
+        // Drive tail (and, for symmetry, head) past any node of ours —
+        // see `WfHandle::drop` for why the dummy must wait for this.
         q.help_finish_enq(&mut self.participant);
         q.help_finish_deq(&mut self.participant);
-        // Publish a fresh idle descriptor so the slot's next owner (and
-        // any helper scanning it) sees a self-contained idle state.
-        q.publish(&mut self.participant, tid, OpDescHp::initial());
+        // Fresh idle descriptor (version-bumped in place).
+        q.state[tid].reset();
+        // Hand the private node cache back to the shared pool.
+        for node in self.local.drain(..) {
+            // SAFETY: cached nodes are exclusively ours.
+            unsafe { q.pool().release(node) };
+        }
         // Field drops after this body release the ID and the hazard
         // record (the participant clears its slots and parks leftover
         // retirees for adoption).

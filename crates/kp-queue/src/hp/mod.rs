@@ -5,48 +5,58 @@
 //! presentation (which leans on the GC), but epoch reclamation is only
 //! lock-free: one stalled thread can stall *all* reclamation. §3.4
 //! prescribes Michael's hazard pointers to make memory management
-//! wait-free too, and sketches the one algorithmic change required:
+//! wait-free too. [`WfQueueHp`] keeps nodes retired as soon as `head`
+//! passes them (end of `help_finish_deq`), exactly as §3.4 wants.
 //!
-//! > "we need to add a field into the operation descriptor records to
-//! > hold a value removed from the queue (and not just a reference to
-//! > the sentinel through which this value can be located)"
+//! ## Descriptors are words, not objects
 //!
-//! [`WfQueueHp`] implements exactly that: when a helper completes a
-//! dequeue (the `pending → false` descriptor transition, paper L148–149),
-//! it copies the dequeued value *into the new descriptor*, so the
-//! operation's owner reads its result from its own (hazard-protected)
-//! descriptor and never touches queue nodes after they may have been
-//! retired. Nodes are retired as soon as `head` passes them (end of
-//! `help_finish_deq`), exactly as §3.4 wants.
-//!
-//! ## Hazard discipline
-//!
-//! Three slots per thread:
+//! Like the epoch variant, `state[tid]` is an in-place packed
+//! [`StateSlot`](crate::desc::StateSlot) — a version-tagged control
+//! word plus a phase word — instead of a pointer to a heap `OpDesc`.
+//! For the HP variant this is a double win: the hot path stops
+//! allocating *and* the descriptor hazard slot (with its
+//! protect/validate dance on every descriptor read) disappears, because
+//! a one-word atomic load has no lifetime to protect. Only two hazard
+//! slots per thread remain:
 //!
 //! | slot | protects |
 //! |---|---|
 //! | 0 | the `head`/`tail` node an operation is working on |
 //! | 1 | that node's successor (validated via a `head`/`tail` re-read: while the anchor is still in place, the successor cannot have been retired) |
-//! | 2 | the operation descriptor currently being read |
 //!
-//! ## Value-ownership protocol
+//! ## The node hand-off (replacing §3.4's value field)
 //!
-//! Values never *move out of* nodes (no node field is ever mutated after
-//! publication, so helper reads race with nothing). Instead, ownership
-//! is transferred by `ptr::read` copies along a chain with exactly one
-//! live end: node → the unique winning completion descriptor → the
-//! owner's return value. Every other bitwise copy sits in a
-//! `ManuallyDrop` and is deliberately never dropped:
+//! §3.4 suggests couriering the dequeued *value* inside the descriptor
+//! so the owner never touches retired nodes. A packed word cannot carry
+//! a `T`, so the completed dequeue word instead points at the **value
+//! node** (the new sentinel, `first.next`), and the owner dereferences
+//! it *without* a hazard slot, made safe by a two-token disposal gate
+//! on every node (`tokens`): a node is released — to the reuse pool or
+//! the allocator — only after (a) the hazard scan found it uncovered
+//! ([`TOKEN_RECLAIM_READY`](types::TOKEN_RECLAIM_READY)) *and* (b) its
+//! dequeue owner took the value ([`TOKEN_CONSUMED`](types::TOKEN_CONSUMED)).
+//! Each side sets its token with an `AcqRel` `fetch_or`; whichever
+//! observes the other's bit performs the release, exactly once. Since
+//! (b) is executed by the owner itself, the owner's epilogue dereference
+//! can never race with the node's disposal.
 //!
-//! * node drops never drop the value of a node that became a sentinel
-//!   (its value's ownership moved to a descriptor when its predecessor
-//!   was dequeued);
-//! * descriptor drops never drop values (the owner's `deq()` has taken
-//!   it — our API guarantees every operation's epilogue runs);
-//! * the queue's `Drop` manually drops the values of resident
-//!   non-sentinel nodes, the only copies still owned by the structure.
+//! If a thread dies between its dequeue's completion and its epilogue,
+//! the value node stays in limbo: one node + one value leak per killed
+//! thread, the same bounded kill-window loss the torture suite's
+//! conservation check already budgets for (`allowed_missing`). A panic
+//! that unwinds through `dequeue` does *not* leak — the handle's `Drop`
+//! claims the unclaimed result (see `deq_in_flight`).
+//!
+//! ## Node reuse
+//!
+//! Disposal feeds `hp::pool`: a shared steal-all freelist plus a
+//! per-handle cache, making steady-state HP operations allocation-free
+//! just like the epoch variant's `RetireCache`. With
+//! `Config::reuse_nodes` off, disposal falls through to the allocator —
+//! the ablation baseline.
 
 mod handle;
+mod pool;
 mod queue;
 mod types;
 

@@ -1,0 +1,208 @@
+//! Node recycling for the hazard-pointer variant.
+//!
+//! The epoch variant recycles through per-handle caches gated by the
+//! global epoch. Hazard pointers have no epochs, so the HP variant uses
+//! a **token gate** plus a shared freelist:
+//!
+//! * a node may be disposed of only once *both* of two events happened,
+//!   in either order — the owner of the dequeue that received the node
+//!   consumed its value ([`TOKEN_CONSUMED`]), and the hazard scan
+//!   established that no hazard pointer covers the node
+//!   ([`TOKEN_RECLAIM_READY`]). Each event sets its token with an
+//!   `AcqRel` `fetch_or`; whichever `fetch_or` observes the other's bit
+//!   already set performs the disposal — exactly once, with the
+//!   loser-to-winner happens-before edge the RMW provides.
+//! * disposal = [`NodePool::release`]: push onto a shared lock-free
+//!   freelist (or free, on overflow / with reuse disabled). Handles
+//!   allocate by popping their small local cache, refilled by stealing
+//!   the *entire* shared list at once.
+//!
+//! The steal-all shape is what makes the freelist sound without tags:
+//! `release` pushes a node it exclusively owns (write `free_next`, then
+//! CAS the head — the classic ABA-immune Treiber *push*), and `steal`
+//! detaches the whole list with one swap and walks it privately. No
+//! operation ever dereferences a node still reachable from the shared
+//! head, so the Treiber *pop* ABA/use-after-free hazard never arises.
+
+use std::ptr;
+use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
+
+use crate::hp::types::{NodeHp, TOKEN_CONSUMED, TOKEN_RECLAIM_READY};
+
+/// Shared-freelist size bound; beyond it released nodes are freed.
+const POOL_CAP: usize = 256;
+
+/// Push retries before giving up and freeing the node instead. The
+/// bound keeps `release` wait-free (it runs inside queue operations via
+/// the hazard scan); losing the race this many times just means other
+/// threads are filling the pool, so dropping our node costs little.
+const PUSH_ATTEMPTS: usize = 8;
+
+/// The shared node freelist (one per queue).
+pub(crate) struct NodePool<T> {
+    /// Treiber head, linked through `NodeHp::free_next`.
+    head: AtomicPtr<NodeHp<T>>,
+    /// Approximate population (maintained racily; only bounds growth).
+    len: AtomicUsize,
+    reuse: bool,
+}
+
+impl<T> NodePool<T> {
+    pub(crate) fn new(reuse: bool) -> Self {
+        NodePool {
+            head: AtomicPtr::new(ptr::null_mut()),
+            len: AtomicUsize::new(0),
+            reuse,
+        }
+    }
+
+    /// Takes ownership of a fully disposed node (both tokens observed).
+    ///
+    /// # Safety
+    ///
+    /// The caller must hold the node exclusively: unlinked from the
+    /// queue, no hazard covering it (or provably unreachable to hazard
+    /// publishers), and never released twice per lifetime generation.
+    pub(crate) unsafe fn release(&self, node: *mut NodeHp<T>) {
+        if self.reuse && self.len.load(Ordering::Relaxed) < POOL_CAP {
+            let mut head = self.head.load(Ordering::Relaxed);
+            for _ in 0..PUSH_ATTEMPTS {
+                // SAFETY: exclusive ownership (caller contract); the
+                // Release CAS below orders this write before the node
+                // becomes reachable from the shared head.
+                unsafe { (*node).free_next.store(head, Ordering::Relaxed) };
+                match self.head.compare_exchange_weak(
+                    head,
+                    node,
+                    Ordering::Release,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        self.len.fetch_add(1, Ordering::Relaxed);
+                        return;
+                    }
+                    Err(h) => head = h,
+                }
+            }
+        }
+        // Overflow, contention bound hit, or reuse disabled: free. Safe
+        // precisely because no popper ever dereferences shared nodes —
+        // this node was never published, or we own it again.
+        // SAFETY: exclusive ownership (caller contract).
+        unsafe { drop(Box::from_raw(node)) };
+    }
+
+    /// Detaches the entire freelist and returns its head; the caller
+    /// owns every node on it (linked via `free_next`).
+    pub(crate) fn steal(&self) -> *mut NodeHp<T> {
+        if !self.reuse {
+            return ptr::null_mut();
+        }
+        // Acquire pairs with release()'s Release CAS: the private walk
+        // that follows sees every `free_next` written before publish.
+        let head = self.head.swap(ptr::null_mut(), Ordering::Acquire);
+        if !head.is_null() {
+            // Racy vs concurrent pushes — at worst the pool briefly
+            // over-counts toward POOL_CAP. Growth stays bounded.
+            self.len.store(0, Ordering::Relaxed);
+        }
+        head
+    }
+}
+
+impl<T> Drop for NodePool<T> {
+    fn drop(&mut self) {
+        let mut cur = *self.head.get_mut();
+        while !cur.is_null() {
+            // SAFETY: exclusive access in Drop; freelist nodes are owned
+            // by the pool and appear nowhere else.
+            let node = unsafe { Box::from_raw(cur) };
+            cur = node.free_next.load(Ordering::Relaxed);
+        }
+    }
+}
+
+/// The disposal half of the token gate, handed to
+/// `Participant::retire_with` when a sentinel is unlinked: called by
+/// whichever scan finds the node uncovered by hazards.
+///
+/// # Safety
+///
+/// `ptr` is the retired `NodeHp<T>`, `ctx` the queue's [`NodePool<T>`];
+/// both outlive the call (the pool is dropped after the hazard domain —
+/// field order in `WfQueueHp`).
+pub(crate) unsafe fn reclaim_into_pool<T>(ptr: *mut u8, ctx: *mut u8) {
+    let node = ptr.cast::<NodeHp<T>>();
+    // SAFETY: caller contract.
+    let pool = unsafe { &*ctx.cast::<NodePool<T>>() };
+    // SAFETY: node is retired, so it stays allocated until both tokens
+    // are observed; the fetch_or is the observation.
+    let prev = unsafe { (*node).tokens.fetch_or(TOKEN_RECLAIM_READY, Ordering::AcqRel) };
+    if prev & TOKEN_CONSUMED != 0 {
+        // SAFETY: both tokens set — nobody else can touch the node: the
+        // scan cleared it of hazards and the owner is done with the
+        // value (its fetch_or happened-before ours).
+        unsafe { pool.release(node) };
+    }
+    // else: the dequeue owner has not consumed the value yet; its
+    // CONSUMED fetch_or will observe our bit and release. If the owner
+    // died mid-operation the node stays in limbo — the bounded
+    // kill-window leak documented in DESIGN.md.
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn release_steal_roundtrip() {
+        let pool: NodePool<u32> = NodePool::new(true);
+        let a = NodeHp::boxed(None, 0);
+        let b = NodeHp::boxed(None, 1);
+        unsafe {
+            pool.release(a);
+            pool.release(b);
+        }
+        let mut got = Vec::new();
+        let mut cur = pool.steal();
+        while !cur.is_null() {
+            got.push(cur);
+            cur = unsafe { (*cur).free_next.load(Ordering::Relaxed) };
+        }
+        assert_eq!(got.len(), 2, "both nodes stolen");
+        assert!(got.contains(&a) && got.contains(&b));
+        assert!(pool.steal().is_null(), "list is empty after steal");
+        for n in got {
+            unsafe { drop(Box::from_raw(n)) };
+        }
+    }
+
+    #[test]
+    fn reuse_disabled_frees_immediately() {
+        let pool: NodePool<u32> = NodePool::new(false);
+        let a = NodeHp::boxed(None, 0);
+        unsafe { pool.release(a) };
+        assert!(pool.steal().is_null());
+    }
+
+    #[test]
+    fn token_gate_disposes_exactly_once() {
+        use std::sync::atomic::Ordering;
+        let pool: NodePool<u32> = NodePool::new(true);
+        let ctx = &pool as *const NodePool<u32> as *mut u8;
+        // Order 1: scan first (READY), then owner consumes. The scan
+        // must NOT release; the owner's fetch_or sees READY and does.
+        let n = NodeHp::boxed(Some(7), 0);
+        unsafe { reclaim_into_pool::<u32>(n.cast(), ctx) };
+        assert!(pool.head.load(Ordering::Relaxed).is_null(), "not yet");
+        let prev = unsafe { (*n).tokens.fetch_or(TOKEN_CONSUMED, Ordering::AcqRel) };
+        assert_eq!(prev, TOKEN_RECLAIM_READY);
+        unsafe { pool.release(n) }; // what the owner's epilogue does
+        assert_eq!(pool.steal(), n);
+        // Order 2: owner first, then scan releases.
+        unsafe { (*n).tokens.store(TOKEN_CONSUMED, Ordering::Relaxed) };
+        unsafe { reclaim_into_pool::<u32>(n.cast(), ctx) };
+        assert_eq!(pool.steal(), n, "scan observed CONSUMED and released");
+        unsafe { drop(Box::from_raw(n)) };
+    }
+}

@@ -1,15 +1,26 @@
 //! Shared structure and helping machinery of the hazard-pointer queue.
 //!
 //! The control flow mirrors `crate::queue` (the epoch version) line for
-//! line — the same paper line references apply — with two differences:
+//! line — the same paper line references and memory-ordering audit
+//! apply — with two differences:
 //!
-//! 1. every shared dereference is covered by a hazard slot, validated
-//!    by re-reading the pointer's source (see the table in the module
-//!    docs);
-//! 2. completed dequeues carry their value in the descriptor (§3.4), so
-//!    the owner's epilogue reads no queue nodes.
+//! 1. every shared *node* dereference is covered by a hazard slot,
+//!    validated by re-reading the pointer's source. Descriptors need no
+//!    hazard at all: `state[tid]` is an in-place packed [`StateSlot`]
+//!    word (`crate::desc`), read with one atomic load. This dissolves
+//!    the seed's `H_DESC` re-protect/validate dance — and with it a
+//!    whole class of descriptor lifetime bugs — because there is no
+//!    descriptor object whose lifetime could end mid-read.
+//! 2. a completed non-empty dequeue's word points at the *value node*
+//!    (the new sentinel) rather than couriering the value through a
+//!    descriptor (§3.4's copy). The owner's epilogue dereferences that
+//!    node hazard-free, protected by the two-token disposal gate on the
+//!    node (`hp::pool`): the node cannot be freed or recycled before
+//!    the owner's `TOKEN_CONSUMED` fetch_or, which the owner itself
+//!    performs after taking the value.
+//!
+//! [`StateSlot`]: crate::desc::StateSlot
 
-use std::mem::ManuallyDrop;
 use std::ptr;
 use std::sync::atomic::{AtomicI64, AtomicPtr, Ordering};
 
@@ -20,23 +31,11 @@ use queue_traits::{ConcurrentQueue, RegistrationError};
 
 use crate::chaos_hooks::inject;
 use crate::config::{Config, PhasePolicy};
+use crate::desc::StateSlot;
 use crate::hp::handle::WfHpHandle;
-use crate::hp::types::{NodeHp, OpDescHp, H_DESC, H_NEXT, H_NODE, NO_DEQUEUER};
+use crate::hp::pool::{reclaim_into_pool, NodePool};
+use crate::hp::types::{NodeHp, H_NEXT, H_NODE, H_SLOTS, NO_DEQUEUER};
 use crate::stats::{Stats, StatsSnapshot};
-
-/// Fields of a descriptor, copied out while it was hazard-protected so
-/// no reference outlives the protection window.
-#[derive(Clone, Copy)]
-pub(crate) struct DescView<T> {
-    pub(crate) phase: i64,
-    pub(crate) pending: bool,
-    pub(crate) enqueue: bool,
-    /// Retained for symmetry with the epoch version's descriptor view;
-    /// the HP helpers re-read the node pointer under fresh protection
-    /// (see `help_enq`) instead of using this copy.
-    #[allow(dead_code)]
-    pub(crate) node: *const NodeHp<T>,
-}
 
 /// The Kogan–Petrank wait-free queue with hazard-pointer reclamation
 /// (paper §3.4): both the queue operations *and* memory management are
@@ -46,16 +45,25 @@ pub(crate) struct DescView<T> {
 pub struct WfQueueHp<T> {
     pub(crate) head: CachePadded<AtomicPtr<NodeHp<T>>>,
     pub(crate) tail: CachePadded<AtomicPtr<NodeHp<T>>>,
-    pub(crate) state: Box<[AtomicPtr<OpDescHp<T>>]>,
+    /// One reusable descriptor slot per virtual thread ID, padded to its
+    /// own cache line — same representation as the epoch variant.
+    pub(crate) state: Box<[CachePadded<StateSlot>]>,
     phase_counter: CachePadded<AtomicI64>,
     pub(crate) domain: Domain,
+    /// Node freelist. Boxed so `ctx` pointers held by retired nodes stay
+    /// valid if the queue value moves, and declared *after* `domain` so
+    /// it drops later: `Domain::drop` reclaims leftover orphans, and
+    /// those reclaims release into this pool.
+    pool: Box<NodePool<T>>,
     ids: IdPool,
     pub(crate) config: Config,
     pub(crate) stats: Stats,
 }
 
-// SAFETY: same protocol as the epoch version; see module docs for the
-// value-ownership argument.
+// SAFETY: same protocol as the epoch version — all cross-thread traffic
+// is atomics except node payloads (written while exclusively owned,
+// taken exactly once by the unique dequeue owner under the token gate)
+// and `enq_tid` (rewritten only while exclusively owned).
 unsafe impl<T: Send> Send for WfQueueHp<T> {}
 unsafe impl<T: Send> Sync for WfQueueHp<T> {}
 
@@ -84,11 +92,12 @@ impl<T: Send> WfQueueHp<T> {
             head: CachePadded::new(AtomicPtr::new(sentinel)),
             tail: CachePadded::new(AtomicPtr::new(sentinel)),
             state: (0..max_threads)
-                .map(|_| AtomicPtr::new(OpDescHp::initial()))
+                .map(|_| CachePadded::new(StateSlot::initial()))
                 .collect::<Vec<_>>()
                 .into_boxed_slice(),
             phase_counter: CachePadded::new(AtomicI64::new(0)),
-            domain: Domain::new(crate::hp::types::H_SLOTS),
+            domain: Domain::new(H_SLOTS),
+            pool: Box::new(NodePool::new(config.reuse_nodes)),
             ids: IdPool::new(max_threads),
             config,
             stats: Stats::default(),
@@ -108,6 +117,11 @@ impl<T: Send> WfQueueHp<T> {
     /// A copy of the helping statistics.
     pub fn stats(&self) -> StatsSnapshot {
         self.stats.snapshot()
+    }
+
+    /// The queue's node freelist (dequeue epilogues release through it).
+    pub(crate) fn pool(&self) -> &NodePool<T> {
+        &self.pool
     }
 
     /// Approximate length (O(n); callers must be externally quiesced —
@@ -131,87 +145,40 @@ impl<T: Send> WfQueueHp<T> {
     // Auxiliary methods (Figure 2)
     // ------------------------------------------------------------------
 
-    /// Protects and copies `state[tid]`'s fields (slot `H_DESC` is
-    /// released before returning; only POD fields are copied out).
-    pub(crate) fn read_desc(&self, p: &Participant<'_>, tid: usize) -> DescView<T> {
-        let d = p.protect(H_DESC, &self.state[tid]);
-        // SAFETY: protected by H_DESC; descriptors are never null.
-        let view = unsafe {
-            DescView {
-                phase: (*d).phase,
-                pending: (*d).pending,
-                enqueue: (*d).enqueue,
-                node: (*d).node,
-            }
-        };
-        p.clear(H_DESC);
-        view
-    }
-
-    /// `maxPhase()`, L48–57.
-    pub(crate) fn max_phase(&self, p: &Participant<'_>) -> i64 {
+    /// `maxPhase()`, L48–57. SeqCst: the Bakery-doorway argument, see
+    /// the epoch version.
+    pub(crate) fn max_phase(&self) -> i64 {
         Stats::bump(&self.stats.phase_scans);
         let mut max = -1;
-        for tid in 0..self.state.len() {
-            max = max.max(self.read_desc(p, tid).phase);
+        for slot in self.state.iter() {
+            max = max.max(slot.load_phase(Ordering::SeqCst));
         }
         max
     }
 
     /// Phase selection (L62/L99 or the §3.3 counter).
-    pub(crate) fn next_phase(&self, p: &Participant<'_>) -> i64 {
+    pub(crate) fn next_phase(&self) -> i64 {
         match self.config.phase {
-            PhasePolicy::MaxScan => self.max_phase(p) + 1,
+            PhasePolicy::MaxScan => self.max_phase() + 1,
             PhasePolicy::AtomicCounter => self.phase_counter.fetch_add(1, Ordering::SeqCst) + 1,
         }
     }
 
-    /// `isStillPending(tid, ph)`, L58–60, folded into the helper loops
-    /// as a fresh `read_desc` copy per iteration (the descriptor fields
-    /// must be re-read anyway, so a separate method would double the
-    /// protected reads).
-
-    /// Publishes a fresh descriptor in `state[tid]` (L63/L100), retiring
-    /// the displaced one.
-    pub(crate) fn publish(&self, p: &mut Participant<'_>, tid: usize, desc: *mut OpDescHp<T>) {
-        let old = self.state[tid].swap(desc, Ordering::SeqCst);
-        // SAFETY: `old` was just unlinked from the slot; readers hold
-        // hazard protection, which retire/scan respects.
-        unsafe { p.retire(old) };
-    }
-
-    /// CAS `state[tid]`: `cur → new`, retiring `cur` on success and
-    /// freeing the unused `new` allocation on failure (descriptor drops
-    /// never touch the value — see `OpDescHp`).
-    pub(crate) fn cas_state(
-        &self,
-        p: &mut Participant<'_>,
-        tid: usize,
-        cur: *mut OpDescHp<T>,
-        new: *mut OpDescHp<T>,
-    ) -> bool {
-        if self.state[tid]
-            .compare_exchange(cur, new, Ordering::SeqCst, Ordering::SeqCst)
-            .is_ok()
-        {
-            // SAFETY: `cur` unlinked by our CAS.
-            unsafe { p.retire(cur) };
-            true
-        } else {
-            // SAFETY: `new` never escaped.
-            unsafe { drop(Box::from_raw(new)) };
-            false
-        }
+    /// `isStillPending(tid, ph)`, L58–60. SeqCst: gates the helping
+    /// obligation (see the epoch version's Lemma 2 note).
+    pub(crate) fn is_still_pending(&self, tid: usize, ph: i64) -> bool {
+        let (w, phase) = self.state[tid].view(Ordering::SeqCst);
+        w.pending() && phase <= ph
     }
 
     /// One `help()` scan step (L38–45).
     pub(crate) fn help_index(&self, p: &mut Participant<'_>, i: usize, ph: i64, helper: usize) {
-        let d = self.read_desc(p, i);
-        if d.pending && d.phase <= ph {
+        let (w, phase) = self.state[i].view(Ordering::SeqCst);
+        if w.pending() && phase <= ph {
             if i != helper {
                 Stats::bump(&self.stats.help_calls);
             }
-            if d.enqueue {
+            if w.enqueue() {
                 self.help_enq(p, i, ph, helper);
             } else {
                 self.help_deq(p, i, ph, helper);
@@ -226,77 +193,66 @@ impl<T: Send> WfQueueHp<T> {
         }
     }
 
+    /// Hands an unlinked sentinel to reclamation. The disposal runs
+    /// through the node's token gate so the dequeue owner's hazard-free
+    /// epilogue dereference stays safe (see `hp::pool`).
+    fn retire_node(&self, p: &mut Participant<'_>, node: *mut NodeHp<T>) {
+        let ctx = (&*self.pool as *const NodePool<T> as *mut NodePool<T>).cast();
+        // SAFETY: `node` was unlinked by the unique head-CAS winner and
+        // is retired once; `ctx` outlives every reclaim (the pool Box
+        // drops after the domain — field order above).
+        unsafe { p.retire_with(node.cast(), ctx, reclaim_into_pool::<T>) };
+    }
+
     // ------------------------------------------------------------------
     // enqueue machinery (Figure 4)
     // ------------------------------------------------------------------
 
     /// `help_enq`, L67–84.
     pub(crate) fn help_enq(&self, p: &mut Participant<'_>, tid: usize, ph: i64, helper: usize) {
-        loop {
-            // L68 + L73 in one protected read: copy the descriptor's
-            // fields fresh each iteration.
-            let d = self.read_desc(p, tid);
-            if !(d.pending && d.phase <= ph) {
-                return;
-            }
+        while self.is_still_pending(tid, ph) {
             let last = p.protect(H_NODE, &*self.tail); // L69
-            // SAFETY: protected; the tail node is never retired while
-            // tail can still point at it (head never overtakes tail).
+            // SAFETY: protected; a node is retired only after head moves
+            // off it, which cannot happen while it is still the tail.
             let next = unsafe { (*last).next.load(Ordering::SeqCst) }; // L70
             if self.tail.load(Ordering::SeqCst) != last {
                 continue; // L71 failed
             }
             if next.is_null() {
-                // L72–74: append the owner's node.
-                //
-                // Without a GC this is the one step where a pointer read
-                // *out of a descriptor* is published into the structure,
-                // so it needs its own protection: re-read the descriptor
-                // under H_DESC, hazard its node in H_NEXT, and validate
-                // the slot still holds the same descriptor. Descriptor
-                // unchanged ⇒ the operation is still pending ⇒ its node
-                // has not been appended yet, let alone dequeued/retired
-                // (retire is ordered after the pending→false CAS), so
-                // the hazard covers a live node from a point where it
-                // was still reachable. Trusting the earlier copy `d`
-                // instead is a real use-after-free: the op can complete
-                // and its node be freed — or recycled as another
-                // thread's fresh node, which a stale CAS would then
-                // double-insert.
-                let cur = p.protect(H_DESC, &self.state[tid]);
-                // SAFETY: protected by H_DESC.
-                let (c_pending, c_phase, c_enqueue, c_node) = unsafe {
-                    ((*cur).pending, (*cur).phase, (*cur).enqueue, (*cur).node)
-                };
-                let mut appended = false;
-                if c_pending && c_phase <= ph && c_enqueue {
+                // L72–74: append the owner's node. One SeqCst slot read
+                // replaces the seed's protect-H_DESC/validate dance —
+                // the descriptor is a word, not an object. The node it
+                // names is safe to *publish* (never dereferenced here)
+                // by the CAS-success argument of the epoch version,
+                // which recycling does not weaken: success proves
+                // `last.next` was null, and while we hold the H_NODE
+                // hazard `last` cannot be reclaimed and reused, so its
+                // `next` is write-once during the window — null at CAS
+                // time means no append happened since our slot read,
+                // hence the owner's operation is still the one we read
+                // and its node was never appended, retired, or recycled.
+                let (w, phase) = self.state[tid].view(Ordering::SeqCst);
+                if w.pending() && phase <= ph && w.enqueue() {
                     inject!("kp_hp.append");
-                    p.set(H_NEXT, c_node as *mut NodeHp<T>);
-                    if self.state[tid].load(Ordering::SeqCst) == cur {
-                        // SAFETY: `last` is protected by H_NODE; `c_node`
-                        // is validated-live as argued above (the CAS does
-                        // not dereference it, but it must not publish a
-                        // dangling pointer).
-                        appended = unsafe {
-                            (*last).next.compare_exchange(
-                                ptr::null_mut(),
-                                c_node as *mut _,
-                                Ordering::SeqCst,
-                                Ordering::SeqCst,
-                            )
+                    let node = w.node_ptr::<NodeHp<T>>();
+                    // SAFETY: `last` is protected by H_NODE.
+                    let appended = unsafe {
+                        (*last).next.compare_exchange(
+                            ptr::null_mut(),
+                            node,
+                            Ordering::SeqCst,
+                            Ordering::SeqCst,
+                        )
+                    }
+                    .is_ok();
+                    if appended {
+                        Stats::bump(&self.stats.appends_total);
+                        if helper != tid {
+                            Stats::bump(&self.stats.helped_appends);
                         }
-                        .is_ok();
+                        self.help_finish_enq(p); // L75
+                        return;
                     }
-                    p.clear(H_NEXT);
-                }
-                p.clear(H_DESC);
-                if appended {
-                    Stats::bump(&self.stats.appends_total);
-                    if helper != tid {
-                        Stats::bump(&self.stats.helped_appends);
-                    }
-                    self.help_finish_enq(p); // L75
-                    return;
                 }
             } else {
                 // L79–80: finish the in-progress enqueue first.
@@ -323,17 +279,19 @@ impl<T: Send> WfQueueHp<T> {
         // SAFETY: H_NEXT hazard validated above.
         let tid = unsafe { (*next).enq_tid }; // L89
         debug_assert!(tid < self.state.len());
-        let cur = p.protect(H_DESC, &self.state[tid]); // L90
-        // SAFETY: protected by H_DESC.
-        let (cur_phase, cur_pending, cur_node) =
-            unsafe { ((*cur).phase, (*cur).pending, (*cur).node) };
-        // L91
-        if self.tail.load(Ordering::SeqCst) == last && ptr::eq(cur_node, next) {
+        // L90: SeqCst, not Acquire — same recycling counterexample as
+        // the epoch version: an Acquire-stale completed word of an older
+        // operation that reused the same node has fields equal to the
+        // transition target, and the no-op skip would swing the tail
+        // with the current operation still pending.
+        let cur = self.state[tid].load_ctrl(Ordering::SeqCst);
+        // L91: `last` still tail and the owner's descriptor still refers
+        // to the dangling node.
+        if self.tail.load(Ordering::SeqCst) == last && cur.node_addr() == next as usize {
             inject!("kp_hp.clear_pending.enq");
-            if !(self.config.validate_before_cas && !cur_pending) {
-                // L92–93: step 2.
-                let new = OpDescHp::boxed(cur_phase, false, true, next, None);
-                self.cas_state(p, tid, cur, new);
+            if !self.config.validate_before_cas || cur.pending() {
+                // L92–93: step 2 (version-tagged in-place transition).
+                self.state[tid].cas_ctrl(cur, next as usize, false, true);
             }
             inject!("kp_hp.swing_tail");
             // L94: step 3.
@@ -341,7 +299,6 @@ impl<T: Send> WfQueueHp<T> {
                 .tail
                 .compare_exchange(last, next, Ordering::SeqCst, Ordering::SeqCst);
         }
-        p.clear(H_DESC);
         p.clear(H_NEXT);
     }
 
@@ -351,11 +308,7 @@ impl<T: Send> WfQueueHp<T> {
 
     /// `help_deq`, L109–140.
     pub(crate) fn help_deq(&self, p: &mut Participant<'_>, tid: usize, ph: i64, helper: usize) {
-        loop {
-            let d0 = self.read_desc(p, tid); // L110
-            if !(d0.pending && d0.phase <= ph) {
-                return;
-            }
+        while self.is_still_pending(tid, ph) {
             let first = p.protect(H_NODE, &*self.head); // L111
             let last = self.tail.load(Ordering::SeqCst); // L112
             // SAFETY: `first` protected; sentinels are retired only
@@ -367,42 +320,31 @@ impl<T: Send> WfQueueHp<T> {
             if first == last {
                 // L115: queue might be empty.
                 if next.is_null() {
-                    // L116–121: record the empty result.
-                    let cur = p.protect(H_DESC, &self.state[tid]); // L117
-                    // SAFETY: protected by H_DESC.
-                    let (cur_phase, cur_pending) = unsafe { ((*cur).phase, (*cur).pending) };
-                    if self.tail.load(Ordering::SeqCst) == last && cur_pending && cur_phase <= ph
-                    {
+                    // L116–121: record the empty result. L117 SeqCst:
+                    // the doorway guard (see the epoch version).
+                    let (cur, phase) = self.state[tid].view(Ordering::SeqCst);
+                    if self.tail.load(Ordering::SeqCst) == last && cur.pending() && phase <= ph {
                         inject!("kp_hp.clear_pending.deq_empty");
-                        let new = OpDescHp::boxed(cur_phase, false, false, ptr::null(), None);
-                        self.cas_state(p, tid, cur, new);
+                        self.state[tid].cas_ctrl(cur, 0, false, false);
                     }
-                    p.clear(H_DESC);
                 } else {
                     // L122–123.
                     self.help_finish_enq(p);
                 }
             } else {
-                // L125–137: queue is not empty.
-                let cur = p.protect(H_DESC, &self.state[tid]); // L126
-                // SAFETY: protected by H_DESC.
-                let (cur_phase, cur_pending, cur_node) =
-                    unsafe { ((*cur).phase, (*cur).pending, (*cur).node) };
-                if !(cur_pending && cur_phase <= ph) {
-                    p.clear(H_DESC);
-                    return; // L128
+                // L125–137: queue is not empty. L126 SeqCst as L117/L146.
+                let (cur, phase) = self.state[tid].view(Ordering::SeqCst);
+                if !(cur.pending() && phase <= ph) {
+                    break; // L128
                 }
-                // L129–134: stage 0.
-                if self.head.load(Ordering::SeqCst) == first && !ptr::eq(cur_node, first) {
+                // L129–134: stage 0 — bind the current sentinel.
+                if self.head.load(Ordering::SeqCst) == first
+                    && cur.node_addr() != first as usize
+                {
                     inject!("kp_hp.bind_sentinel");
-                    let new = OpDescHp::boxed(cur_phase, true, false, first, None);
-                    let ok = self.cas_state(p, tid, cur, new);
-                    p.clear(H_DESC);
-                    if !ok {
-                        continue; // L132
+                    if !self.state[tid].cas_ctrl(cur, first as usize, true, false) {
+                        continue; // L132: descriptor changed; restart
                     }
-                } else {
-                    p.clear(H_DESC);
                 }
                 inject!("kp_hp.lock_sentinel");
                 // L135: step 1 — lock the sentinel (linearization).
@@ -428,14 +370,18 @@ impl<T: Send> WfQueueHp<T> {
         }
     }
 
-    /// `help_finish_deq`, L141–153, with the §3.4 value hand-off.
+    /// `help_finish_deq`, L141–153, with the node hand-off that replaces
+    /// the seed's §3.4 value courier: step 2 completes the owner's word
+    /// pointing at `next` — the *value node* — instead of couriering a
+    /// copy of the value through a descriptor. The owner's epilogue
+    /// takes the value out of that node under the token gate.
     pub(crate) fn help_finish_deq(&self, p: &mut Participant<'_>) {
         let first = p.protect(H_NODE, &*self.head); // L142
         // SAFETY: protected.
         let next = unsafe { (*first).next.load(Ordering::SeqCst) }; // L143
-        // Protect `next` before any use: while `first` is still the
-        // head, `next` cannot have been retired (head must pass `first`
-        // before it can pass `next`).
+        // Protect `next` before the head swing: while `first` is still
+        // the head, `next` cannot have been retired (head must pass
+        // `first` before it can pass `next`).
         p.set(H_NEXT, next);
         if self.head.load(Ordering::SeqCst) != first {
             p.clear(H_NEXT);
@@ -448,48 +394,29 @@ impl<T: Send> WfQueueHp<T> {
             // steps 1 and 2.
             inject!("kp_hp.clear_pending.deq");
             let tid = tid as usize;
-            let cur = p.protect(H_DESC, &self.state[tid]); // L146
-            // SAFETY: protected by H_DESC.
-            let (cur_phase, cur_pending, cur_node) =
-                unsafe { ((*cur).phase, (*cur).pending, (*cur).node) };
-            // L147.
+            // L146: SeqCst — the L90 recycling argument, mirrored.
+            let cur = self.state[tid].load_ctrl(Ordering::SeqCst);
             if self.head.load(Ordering::SeqCst) == first && !next.is_null() {
-                if !(self.config.validate_before_cas && !cur_pending) {
-                    // L148–149: step 2, carrying the value (§3.4). The
-                    // copy is a plain read: node values are never
-                    // written after publication, and exactly one
-                    // descriptor (the CAS winner) becomes the value's
-                    // owner — losers free their box without dropping
-                    // (ManuallyDrop).
-                    // SAFETY: `next` covered by H_NEXT, validated above.
-                    let value: ManuallyDrop<Option<T>> =
-                        unsafe { ptr::read(&(*next).value) };
-                    let new = Box::into_raw(Box::new(OpDescHp {
-                        phase: cur_phase,
-                        pending: false,
-                        enqueue: false,
-                        node: cur_node,
-                        value,
-                    }));
-                    self.cas_state(p, tid, cur, new);
+                // L147. All step-2 racers compute the same `next`: they
+                // all validated `first` as head while holding a hazard
+                // on it, and a hazarded node's `next` is write-once.
+                if !self.config.validate_before_cas || cur.pending() {
+                    // L148–149: step 2 — acknowledge linearization and
+                    // hand the owner its value node.
+                    self.state[tid].cas_ctrl(cur, next as usize, false, false);
                 }
                 inject!("kp_hp.swing_head");
-                // L150: step 3. The winner retires the removed sentinel
-                // — this is the §3.4 "call RetireNode right at the end
-                // of help_deq" point.
+                // L150: step 3 — fix head. The winner retires the
+                // removed sentinel (§3.4's "RetireNode at the end of
+                // help_deq" point).
                 if self
                     .head
                     .compare_exchange(first, next, Ordering::SeqCst, Ordering::SeqCst)
                     .is_ok()
                 {
-                    // SAFETY: `first` is unlinked; its value ownership
-                    // moved out when *it* became the sentinel (or never
-                    // existed), and NodeHp's drop glue never drops
-                    // values.
-                    unsafe { p.retire(first) };
+                    self.retire_node(p, first);
                 }
             }
-            p.clear(H_DESC);
         }
         p.clear(H_NEXT);
     }
@@ -517,33 +444,19 @@ impl<T: Send> ConcurrentQueue<T> for WfQueueHp<T> {
 
 impl<T> Drop for WfQueueHp<T> {
     fn drop(&mut self) {
-        // Exclusive access. Descriptors: plain frees (values, if any,
-        // were taken by their owners; ManuallyDrop keeps this sound).
-        for slot in self.state.iter() {
-            let d = slot.load(Ordering::Relaxed);
-            // SAFETY: exclusive; each slot owns its descriptor.
-            unsafe { drop(Box::from_raw(d)) };
-        }
-        // Nodes: the sentinel's value ownership already left (or never
-        // existed); every later node still owns its value.
+        // Exclusive access. Descriptors are in-place slot words —
+        // nothing to free. Nodes still in the list drop normally,
+        // values included (value ownership is an `Option` in the node
+        // now; consumed ones are `None`).
         let mut cur = *self.head.get_mut();
-        let mut is_sentinel = true;
         while !cur.is_null() {
             // SAFETY: exclusive access; list nodes are owned by the list
-            // (retired nodes are owned by the hazard domain, dropped
-            // next).
-            unsafe {
-                let mut node = Box::from_raw(cur);
-                cur = node.next.load(Ordering::Relaxed);
-                if !is_sentinel {
-                    ManuallyDrop::drop(&mut node.value);
-                }
-                is_sentinel = false;
-            }
+            // (retired nodes are owned by the hazard domain, freelist
+            // nodes by the pool — both dropped after this body, in that
+            // order).
+            let node = unsafe { Box::from_raw(cur) };
+            cur = node.next.load(Ordering::Relaxed);
         }
-        // `self.domain` drops after this body, freeing retired nodes and
-        // descriptors (whose drop glue leaves values alone — correct,
-        // since everything retired had its value moved out).
     }
 }
 

@@ -1,8 +1,18 @@
-//! Node and descriptor types for the hazard-pointer variant.
+//! Node layout and hazard-slot assignments for the HP variant.
+//!
+//! Per-thread operation state lives in the shared packed `StateSlot`
+//! words (`crate::desc`) — descriptors are no longer heap objects, so
+//! there is no descriptor type here and no descriptor hazard slot. Only
+//! queue *nodes* need protection:
+//!
+//! | slot | protects |
+//! |------|----------|
+//! | [`H_NODE`] | the node loaded from `head`/`tail` |
+//! | [`H_NEXT`] | that node's successor, across the head swing |
 
-use std::mem::ManuallyDrop;
+use std::cell::UnsafeCell;
 use std::ptr;
-use std::sync::atomic::{AtomicIsize, AtomicPtr};
+use std::sync::atomic::{AtomicIsize, AtomicPtr, AtomicU8};
 
 pub(crate) use crate::node::NO_DEQUEUER;
 
@@ -10,86 +20,80 @@ pub(crate) use crate::node::NO_DEQUEUER;
 pub(crate) const H_NODE: usize = 0;
 /// Hazard slot index for the anchor's successor.
 pub(crate) const H_NEXT: usize = 1;
-/// Hazard slot index for descriptors.
-pub(crate) const H_DESC: usize = 2;
 /// Hazard slots per participant.
-pub(crate) const H_SLOTS: usize = 3;
+pub(crate) const H_SLOTS: usize = 2;
+
+/// Set by the dequeue owner once it has taken the node's value.
+pub(crate) const TOKEN_CONSUMED: u8 = 1;
+/// Set by the hazard scan once no hazard pointer covers the retired node.
+pub(crate) const TOKEN_RECLAIM_READY: u8 = 2;
 
 /// List node (paper Figure 1 `Node`, hazard-pointer edition).
+///
+/// 64-byte aligned for the same two reasons as the epoch variant's
+/// `Node`: the address must fit the control word's 42 address bits
+/// (`crate::desc` packs addresses shifted right by 6), and recycled
+/// nodes must not share cache lines.
+///
+/// Value ownership runs through `value` — an `UnsafeCell`, *not* the
+/// old `ManuallyDrop` courier: exactly one thread (the dequeue owner
+/// whose completed descriptor word points at this node) `take`s it, and
+/// the two-token disposal gate in `tokens` keeps the node allocated
+/// until that happened (see `hp::pool`). A node freed with its value
+/// still present (queue teardown) drops the `Option<T>` normally.
+#[repr(align(64))]
 pub(crate) struct NodeHp<T> {
-    /// Written once before publication; *never* mutated afterwards, so
-    /// helper reads are race-free. Wrapped in `ManuallyDrop` because
-    /// ownership of the value leaves the node by `ptr::read` copy when
-    /// the node's predecessor is dequeued (see module docs); the node
-    /// must then not drop it.
-    pub(crate) value: ManuallyDrop<Option<T>>,
+    /// The payload; `None` once consumed (and in sentinels).
+    pub(crate) value: UnsafeCell<Option<T>>,
+    /// FIFO link. Null until the node is appended.
     pub(crate) next: AtomicPtr<NodeHp<T>>,
-    /// Immutable; `usize::MAX` for the initial sentinel.
+    /// Id of the enqueuer, for `help_finish_enq` (paper L91). A plain
+    /// field: written only while the node is exclusively owned (fresh
+    /// allocation, or pool reuse before republication).
     pub(crate) enq_tid: usize,
+    /// Id of the dequeuer that bound this node as its sentinel, or
+    /// [`NO_DEQUEUER`]. The CAS on this field is the dequeue
+    /// linearization point (paper L135).
     pub(crate) deq_tid: AtomicIsize,
+    /// Two-token disposal gate: [`TOKEN_CONSUMED`] |
+    /// [`TOKEN_RECLAIM_READY`]. Whichever `fetch_or` observes the other
+    /// bit already set releases the node (see
+    /// `hp::pool::reclaim_into_pool` and the dequeue epilogue).
+    pub(crate) tokens: AtomicU8,
+    /// Freelist link; meaningful only while the pool owns the node.
+    pub(crate) free_next: AtomicPtr<NodeHp<T>>,
 }
 
 impl<T> NodeHp<T> {
     pub(crate) fn boxed(value: Option<T>, enq_tid: usize) -> *mut Self {
         Box::into_raw(Box::new(NodeHp {
-            value: ManuallyDrop::new(value),
+            value: UnsafeCell::new(value),
             next: AtomicPtr::new(ptr::null_mut()),
             enq_tid,
             deq_tid: AtomicIsize::new(NO_DEQUEUER),
+            tokens: AtomicU8::new(0),
+            free_next: AtomicPtr::new(ptr::null_mut()),
         }))
     }
 
+    /// The initial sentinel. Its `tokens` start with [`TOKEN_CONSUMED`]
+    /// pre-set: a sentinel that never was a value node has no owner to
+    /// consume it, so the hazard scan alone completes the gate and the
+    /// node goes straight to the pool.
     pub(crate) fn sentinel() -> *mut Self {
-        Self::boxed(None, usize::MAX)
+        let node = Self::boxed(None, usize::MAX);
+        // SAFETY: not yet shared.
+        unsafe { (*node).tokens = AtomicU8::new(TOKEN_CONSUMED) };
+        node
     }
 }
 
-// SAFETY: cross-thread access follows the protocol in the module docs;
-// the value is only read, and ownership transfers are unique.
+// SAFETY: cross-thread access follows the protocol in the module docs:
+// `value` is touched only by the node's exclusive owner (before
+// publication) and by the unique dequeue owner (token gate); everything
+// else is atomics or exclusively-owned plain writes.
 unsafe impl<T: Send> Send for NodeHp<T> {}
 unsafe impl<T: Send> Sync for NodeHp<T> {}
-
-/// Operation descriptor (paper Figure 1 `OpDesc` + the §3.4 `value`
-/// field).
-pub(crate) struct OpDescHp<T> {
-    pub(crate) phase: i64,
-    pub(crate) pending: bool,
-    pub(crate) enqueue: bool,
-    /// enqueue: node to insert; dequeue: the locked sentinel (stage 0+)
-    /// or null (initial / empty result). Compared, never dereferenced.
-    pub(crate) node: *const NodeHp<T>,
-    /// §3.4: a completed non-empty dequeue's result. `ManuallyDrop`
-    /// because the descriptor is a *courier*, not an owner: exactly one
-    /// copy (the one in the winning descriptor) is taken by the
-    /// operation's owner; all descriptor drops leave it alone.
-    pub(crate) value: ManuallyDrop<Option<T>>,
-}
-
-impl<T> OpDescHp<T> {
-    pub(crate) fn initial() -> *mut Self {
-        Self::boxed(-1, false, true, ptr::null(), None)
-    }
-
-    pub(crate) fn boxed(
-        phase: i64,
-        pending: bool,
-        enqueue: bool,
-        node: *const NodeHp<T>,
-        value: Option<T>,
-    ) -> *mut Self {
-        Box::into_raw(Box::new(OpDescHp {
-            phase,
-            pending,
-            enqueue,
-            node,
-            value: ManuallyDrop::new(value),
-        }))
-    }
-}
-
-// SAFETY: as for NodeHp.
-unsafe impl<T: Send> Send for OpDescHp<T> {}
-unsafe impl<T: Send> Sync for OpDescHp<T> {}
 
 #[cfg(test)]
 mod tests {
@@ -97,37 +101,33 @@ mod tests {
     use std::sync::atomic::Ordering;
 
     #[test]
-    fn node_construction() {
+    fn node_alignment_matches_the_packed_word() {
+        assert_eq!(std::mem::align_of::<NodeHp<u8>>(), crate::desc::NODE_ALIGN);
+        assert_eq!(
+            std::mem::align_of::<NodeHp<[u128; 9]>>(),
+            crate::desc::NODE_ALIGN
+        );
+    }
+
+    #[test]
+    fn fresh_nodes_start_ungated() {
         let n = NodeHp::boxed(Some(5u32), 2);
         unsafe {
-            assert_eq!(*(*n).value, Some(5));
+            assert_eq!(*(*n).value.get(), Some(5));
             assert_eq!((*n).enq_tid, 2);
             assert_eq!((*n).deq_tid.load(Ordering::Relaxed), NO_DEQUEUER);
-            // Manual cleanup with value drop (not a sentinel).
-            ManuallyDrop::drop(&mut (*n).value);
+            assert_eq!((*n).tokens.load(Ordering::Relaxed), 0);
             drop(Box::from_raw(n));
         }
     }
 
     #[test]
-    fn descriptor_drop_leaves_value_alone() {
-        use std::sync::atomic::AtomicUsize;
-        use std::sync::Arc;
-        struct D(Arc<AtomicUsize>);
-        impl Drop for D {
-            fn drop(&mut self) {
-                self.0.fetch_add(1, Ordering::SeqCst);
-            }
-        }
-        let drops = Arc::new(AtomicUsize::new(0));
-        let d = OpDescHp::boxed(1, false, false, ptr::null(), Some(D(drops.clone())));
+    fn sentinels_are_born_consumed() {
+        let s: *mut NodeHp<u32> = NodeHp::sentinel();
         unsafe {
-            // Take the value (the owner's read), then free the box.
-            let v = ptr::read(&(*d).value);
-            drop(Box::from_raw(d)); // must NOT drop the value again
-            assert_eq!(drops.load(Ordering::SeqCst), 0);
-            drop(ManuallyDrop::into_inner(v));
+            assert_eq!((*s).tokens.load(Ordering::Relaxed), TOKEN_CONSUMED);
+            assert!((*(*s).value.get()).is_none());
+            drop(Box::from_raw(s));
         }
-        assert_eq!(drops.load(Ordering::SeqCst), 1, "dropped exactly once");
     }
 }

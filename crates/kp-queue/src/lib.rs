@@ -44,14 +44,28 @@
 //! # Memory management
 //!
 //! The paper's base algorithm leans on the Java GC; §3.4 discusses
-//! non-GC runtimes. Here nodes *and* descriptors are reclaimed through
-//! [crossbeam-epoch] deferred destruction, which provides the same two
-//! guarantees the GC provided: no ABA (addresses are not reused while
-//! any thread can still hold them) and no use-after-free. Epoch
-//! reclamation is lock-free rather than wait-free; the paper's fully
-//! wait-free answer (hazard pointers) is implemented in this workspace's
-//! `hazard` crate and exercised by the `ms-queue` crate — see DESIGN.md
-//! for the substitution rationale.
+//! non-GC runtimes, and §3.3 recommends reusing descriptor objects
+//! rather than allocating per transition. This implementation follows
+//! both through to an **allocation-free steady state**:
+//!
+//! * **Descriptors are not heap objects.** Each `state[tid]` entry is a
+//!   cache-padded pair of atomic words (packed
+//!   pending/enqueue/node-address plus a version tag, and the phase) —
+//!   see `desc.rs`. Transitions are in-place CASes that bump the
+//!   version, so a helper CAS armed with a stale view fails even when
+//!   node recycling makes the *fields* reappear (the ABA the seed's
+//!   alloc-per-transition scheme dodged by address freshness).
+//! * **Nodes are recycled.** Sentinels unlinked by a thread's own head
+//!   swing enter a per-handle cache tagged with the retirement epoch
+//!   and are reused once `tag + 2 <= global_epoch()` — exactly the
+//!   maturity rule [crossbeam-epoch] applies before *freeing*, so
+//!   recycling is sound wherever freeing would have been. Overflow and
+//!   handle exit fall back to `defer_destroy`.
+//!
+//! Epoch reclamation is lock-free rather than wait-free; the paper's
+//! fully wait-free answer (hazard pointers) backs the [`hp`] variant in
+//! this crate and the `ms-queue` crate — see DESIGN.md for the
+//! substitution rationale and the full descriptor-memory discussion.
 //!
 //! # Thread identities
 //!
@@ -63,10 +77,25 @@
 //!
 //! # Memory ordering
 //!
-//! All shared-structure atomics use `SeqCst`, matching the semantics of
-//! the Java `volatile`/`AtomicReference` fields in the paper's listings.
-//! Relaxing orderings is a documented non-goal: the paper's performance
-//! story concerns algorithmic helping costs, not fence elision.
+//! The seed used blanket `SeqCst`, matching the Java `volatile`
+//! semantics of the paper's listings. The orderings have since been
+//! audited; the surprising outcome is that most hot loads must *stay*
+//! SeqCst once descriptors and nodes are reused:
+//!
+//! | Site | Ordering | Why |
+//! |---|---|---|
+//! | phase scan (`max_phase`) | SeqCst | Bakery doorway: every phase chosen before the scan must be visible to it (Lemma 1) |
+//! | `is_still_pending`, `help_index` gate | SeqCst | helping obligation: an Acquire-stale "not pending" would let helpers decline to help a pending op (Lemma 2) |
+//! | L73 descriptor read in `help_enq` | SeqCst | single-read append argument, extended to recycling (see `queue.rs`) |
+//! | L90/L146 reads in `help_finish_*` | SeqCst | with reuse, an Acquire-stale *completed* word can equal the transition target field-for-field and no-op-skip step 2, swinging tail/head while the real op is still pending |
+//! | slot publish/reset/transition | SeqCst | doorway visibility + the SC chains above terminate at these stores |
+//! | `len_approx` / `is_empty` walks | Acquire | advisory diagnostics; only need initialised-node visibility |
+//! | owner's dequeue epilogue (L103–107) | Acquire | reads the thread's own completed slot; freshness follows from the SeqCst loop exit plus coherence |
+//! | stats counters | Relaxed | monotone counters, no synchronisation role |
+//!
+//! Each relaxation (and each forced non-relaxation) is documented at
+//! its site in `queue.rs`/`desc.rs` with the counterexample that pins
+//! it down.
 //!
 //! # Example
 //!
@@ -105,6 +134,7 @@ mod handle;
 pub mod hp;
 mod node;
 mod queue;
+mod recycle;
 mod stats;
 
 pub use config::{Config, HelpPolicy, PhasePolicy};

@@ -19,14 +19,22 @@ pub(crate) const NO_DEQUEUER: isize = -1;
 /// * `deq_tid` — the ID of the thread whose dequeue removes this node
 ///   from the list, CASed from −1 exactly once (Figure 6, line 135);
 ///   this CAS is the linearization point of a successful dequeue.
+///
+/// The 64-byte alignment serves two masters: it lets the address pack
+/// into a [`StateSlot`](crate::desc) ctrl word (`addr >> 6` fits the
+/// 42-bit field), and it keeps recycled nodes from false-sharing.
+#[repr(align(64))]
 pub(crate) struct Node<T> {
     /// `None` only for sentinels whose payload was already taken (or the
     /// initial sentinel, which never had one). Taken exactly once, by the
     /// unique thread whose dequeue locked this node's predecessor.
     pub(crate) value: UnsafeCell<Option<T>>,
     pub(crate) next: Atomic<Node<T>>,
-    /// Immutable after construction. `usize::MAX` for the initial
-    /// sentinel (which is never a dangling node, so never read).
+    /// Plain (non-atomic) because it is written only while the node is
+    /// exclusively owned: at construction, or on reuse *before* the
+    /// owner republishes it (see `WfHandle::alloc_node` — the maturity
+    /// rule guarantees no helper still holds the node). `usize::MAX`
+    /// for the initial sentinel (never a dangling node, so never read).
     pub(crate) enq_tid: usize,
     pub(crate) deq_tid: AtomicIsize,
 }
@@ -64,5 +72,11 @@ mod tests {
         let s: Node<u32> = Node::sentinel();
         assert!(unsafe { (*s.value.get()).is_none() });
         assert_eq!(s.enq_tid, usize::MAX);
+    }
+
+    #[test]
+    fn node_alignment_matches_the_packed_word() {
+        assert_eq!(std::mem::align_of::<Node<u8>>(), crate::desc::NODE_ALIGN);
+        assert!(std::mem::align_of::<Node<[u64; 9]>>() >= crate::desc::NODE_ALIGN);
     }
 }

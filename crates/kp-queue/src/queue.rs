@@ -3,8 +3,32 @@
 //!
 //! Line references in comments (`L62`, `L74`, …) are to the paper's Java
 //! listings, so the transcription can be audited side by side.
+//!
+//! # Descriptor representation
+//!
+//! Unlike the paper's Java listing (and this crate's seed), `state[tid]`
+//! is not a pointer to a heap-allocated `OpDesc` but an in-place
+//! [`StateSlot`]: a packed control word plus a phase word, version-
+//! tagged so helper CASes holding stale views fail (see `crate::desc`
+//! for the packing and its invariants). Each slot is `CachePadded` so
+//! adjacent tids' owner stores and helper scans do not false-share.
+//! Every descriptor "allocation" and "retirement" of the seed becomes a
+//! store or CAS on the slot — the steady-state hot path performs zero
+//! heap allocations (nodes are recycled separately, see
+//! `crate::recycle`).
+//!
+//! # Memory-ordering audit
+//!
+//! The hot-path orderings were audited for this representation; the
+//! outcome (and why most loads *stay* SeqCst) is documented at each
+//! site and summarised in the crate docs. The short version: loads that
+//! gate helping decisions or descriptor transitions must not observe
+//! stale completed words — with node recycling, a stale completed word
+//! can carry the *same fields* as the current pending one and trigger
+//! the no-op skip, so those reads stay SeqCst; only diagnostics
+//! (`len_approx`/`is_empty`) and owner-private epilogues relax to
+//! Acquire.
 
-use std::ptr;
 use std::sync::atomic::{AtomicI64, Ordering};
 
 use crossbeam_epoch::{self as epoch, Atomic, Guard, Owned, Shared};
@@ -14,9 +38,10 @@ use queue_traits::{ConcurrentQueue, RegistrationError};
 
 use crate::chaos_hooks::inject;
 use crate::config::{Config, PhasePolicy};
-use crate::desc::OpDesc;
+use crate::desc::StateSlot;
 use crate::handle::WfHandle;
 use crate::node::{Node, NO_DEQUEUER};
+use crate::recycle::RetireCache;
 use crate::stats::{Stats, StatsSnapshot};
 
 /// The Kogan–Petrank wait-free MPMC FIFO queue.
@@ -29,8 +54,9 @@ use crate::stats::{Stats, StatsSnapshot};
 pub struct WfQueue<T> {
     pub(crate) head: CachePadded<Atomic<Node<T>>>,
     pub(crate) tail: CachePadded<Atomic<Node<T>>>,
-    /// One descriptor slot per virtual thread ID (`state` in Figure 1).
-    pub(crate) state: Box<[Atomic<OpDesc<T>>]>,
+    /// One reusable descriptor slot per virtual thread ID (`state` in
+    /// Figure 1), padded to its own cache line.
+    pub(crate) state: Box<[CachePadded<StateSlot>]>,
     /// Monotone phase source under `PhasePolicy::AtomicCounter` (§3.3).
     phase_counter: CachePadded<AtomicI64>,
     /// Virtual thread IDs (§3.3 long-lived renaming).
@@ -40,10 +66,11 @@ pub struct WfQueue<T> {
 }
 
 // SAFETY: all cross-thread traffic goes through atomics. The only
-// non-atomic shared data is each node's payload, which is written before
-// the node is published (release CAS) and taken exactly once by the
-// unique thread whose dequeue locked the node's predecessor (see
-// `WfHandle::dequeue` for the full argument).
+// non-atomic shared data is each node's payload (written before the
+// node is published and taken exactly once by the unique thread whose
+// dequeue locked the node's predecessor — see `WfHandle::dequeue`) and
+// each node's `enq_tid` (rewritten only while the node is exclusively
+// owned, before republication — see `WfHandle::alloc_node`).
 unsafe impl<T: Send> Send for WfQueue<T> {}
 unsafe impl<T: Send> Sync for WfQueue<T> {}
 
@@ -77,7 +104,7 @@ impl<T: Send> WfQueue<T> {
             head: CachePadded::new(Atomic::null()),
             tail: CachePadded::new(Atomic::null()),
             state: (0..max_threads)
-                .map(|_| Atomic::new(OpDesc::initial()))
+                .map(|_| CachePadded::new(StateSlot::initial()))
                 .collect::<Vec<_>>()
                 .into_boxed_slice(),
             phase_counter: CachePadded::new(AtomicI64::new(0)),
@@ -110,27 +137,36 @@ impl<T: Send> WfQueue<T> {
     }
 
     /// Approximate number of elements (O(n) walk; diagnostics only).
+    ///
+    /// Ordering relaxation: Acquire, not SeqCst. The result is advisory
+    /// — it participates in no helping decision and no proof obligation
+    /// — so all it needs is that a non-null `next` dereferences a fully
+    /// initialised node, which Acquire (paired with the release append
+    /// CAS) provides.
     pub fn len_approx(&self) -> usize {
         let guard = epoch::pin();
         let mut n = 0;
-        let head = self.head.load(Ordering::SeqCst, &guard);
+        let head = self.head.load(Ordering::Acquire, &guard);
         // SAFETY: head is never null and reachable nodes live under pin.
-        let mut cur = unsafe { head.deref() }.next.load(Ordering::SeqCst, &guard);
+        let mut cur = unsafe { head.deref() }.next.load(Ordering::Acquire, &guard);
         while !cur.is_null() {
             n += 1;
-            cur = unsafe { cur.deref() }.next.load(Ordering::SeqCst, &guard);
+            cur = unsafe { cur.deref() }.next.load(Ordering::Acquire, &guard);
         }
         n
     }
 
     /// True if the queue is observed empty.
+    ///
+    /// Ordering relaxation: Acquire — same advisory-only argument as
+    /// [`len_approx`](Self::len_approx).
     pub fn is_empty(&self) -> bool {
         let guard = epoch::pin();
-        let head = self.head.load(Ordering::SeqCst, &guard);
+        let head = self.head.load(Ordering::Acquire, &guard);
         // SAFETY: as in `len_approx`.
         unsafe { head.deref() }
             .next
-            .load(Ordering::SeqCst, &guard)
+            .load(Ordering::Acquire, &guard)
             .is_null()
     }
 
@@ -139,89 +175,80 @@ impl<T: Send> WfQueue<T> {
     // ------------------------------------------------------------------
 
     /// `maxPhase()`, L48–57.
-    pub(crate) fn max_phase(&self, guard: &Guard) -> i64 {
+    ///
+    /// The phase loads stay SeqCst: this scan is the doorway of the
+    /// Bakery-style phase protocol. Its wait-freedom argument (Lemma 1)
+    /// needs every phase chosen before our scan started to be visible
+    /// to the scan, which the SC total order gives and Acquire would
+    /// not (an Acquire load may return any value not older than the
+    /// last one *this* thread saw).
+    pub(crate) fn max_phase(&self) -> i64 {
         Stats::bump(&self.stats.phase_scans);
         let mut max = -1;
         for slot in self.state.iter() {
-            // SAFETY: descriptor slots are never null; displaced
-            // descriptors are epoch-retired, and we are pinned.
-            let d = unsafe { slot.load(Ordering::SeqCst, guard).deref() };
-            max = max.max(d.phase);
+            max = max.max(slot.load_phase(Ordering::SeqCst));
         }
         max
     }
 
     /// Phase selection: `maxPhase() + 1` (L62/L99) or the §3.3 atomic
     /// counter.
-    pub(crate) fn next_phase(&self, guard: &Guard) -> i64 {
+    pub(crate) fn next_phase(&self) -> i64 {
         match self.config.phase {
-            PhasePolicy::MaxScan => self.max_phase(guard) + 1,
+            PhasePolicy::MaxScan => self.max_phase() + 1,
             PhasePolicy::AtomicCounter => self.phase_counter.fetch_add(1, Ordering::SeqCst) + 1,
         }
     }
 
     /// `isStillPending(tid, ph)`, L58–60.
-    pub(crate) fn is_still_pending(&self, tid: usize, ph: i64, guard: &Guard) -> bool {
-        // SAFETY: as in `max_phase`.
-        let d = unsafe { self.state[tid].load(Ordering::SeqCst, guard).deref() };
-        d.pending && d.phase <= ph
-    }
-
-    /// Publishes a new descriptor in `state[tid]` (L63/L100) and retires
-    /// the displaced one.
-    pub(crate) fn publish(&self, tid: usize, desc: OpDesc<T>, guard: &Guard) {
-        let old = self.state[tid].swap(Owned::new(desc), Ordering::SeqCst, guard);
-        // SAFETY: `old` was just unlinked from the slot; concurrent
-        // readers are pinned, so destruction is deferred past them.
-        unsafe { guard.defer_destroy(old) };
-    }
-
-    /// CAS `state[tid]` from `cur` to `new`, retiring `cur` on success.
-    /// On failure the freshly allocated `new` is simply dropped.
-    pub(crate) fn cas_state(
-        &self,
-        tid: usize,
-        cur: Shared<'_, OpDesc<T>>,
-        new: OpDesc<T>,
-        guard: &Guard,
-    ) -> bool {
-        match self.state[tid].compare_exchange(
-            cur,
-            Owned::new(new),
-            Ordering::SeqCst,
-            Ordering::SeqCst,
-            guard,
-        ) {
-            Ok(_) => {
-                // SAFETY: `cur` was unlinked by our successful CAS.
-                unsafe { guard.defer_destroy(cur) };
-                true
-            }
-            Err(_) => false,
-        }
+    ///
+    /// SeqCst on the ctrl load: this read gates the helping obligation.
+    /// Under Acquire a helper could keep reading a stale pre-publish
+    /// word for an operation that is pending in the SC order and
+    /// decline to help it, undermining the bounded-helping argument
+    /// (Lemma 2's "every pending op with a small enough phase gets
+    /// helped").
+    pub(crate) fn is_still_pending(&self, tid: usize, ph: i64) -> bool {
+        let (w, phase) = self.state[tid].view(Ordering::SeqCst);
+        w.pending() && phase <= ph
     }
 
     /// `help(phase)`, L36–47: scan the whole state array and help every
     /// pending operation no younger than `ph`.
-    pub(crate) fn help_all(&self, ph: i64, helper: usize, guard: &Guard) {
+    pub(crate) fn help_all(
+        &self,
+        ph: i64,
+        helper: usize,
+        guard: &Guard,
+        cache: &mut RetireCache<T>,
+    ) {
         for i in 0..self.state.len() {
-            self.help_index(i, ph, helper, guard);
+            self.help_index(i, ph, helper, guard, cache);
         }
     }
 
     /// One iteration of the `help()` scan body (L38–45), also used by
     /// the chunked §3.3 policies.
-    pub(crate) fn help_index(&self, i: usize, ph: i64, helper: usize, guard: &Guard) {
-        // SAFETY: as in `max_phase`.
-        let d = unsafe { self.state[i].load(Ordering::SeqCst, guard).deref() };
-        if d.pending && d.phase <= ph {
+    ///
+    /// The ctrl load is SeqCst for the same helping-obligation reason
+    /// as [`is_still_pending`](Self::is_still_pending).
+    pub(crate) fn help_index(
+        &self,
+        i: usize,
+        ph: i64,
+        helper: usize,
+        guard: &Guard,
+        cache: &mut RetireCache<T>,
+    ) {
+        let (w, phase) = self.state[i].view(Ordering::SeqCst);
+        if w.pending() && phase <= ph {
             if i != helper {
                 Stats::bump(&self.stats.help_calls);
             }
-            if d.enqueue {
+            if w.enqueue() {
                 self.help_enq(i, ph, helper, guard);
             } else {
-                self.help_deq(i, ph, helper, guard);
+                self.help_deq(i, ph, helper, guard, cache);
             }
         }
     }
@@ -234,11 +261,13 @@ impl<T: Send> WfQueue<T> {
     /// enqueue until it is linearized (step 1 of the scheme: append the
     /// node at the end of the list).
     pub(crate) fn help_enq(&self, tid: usize, ph: i64, helper: usize, guard: &Guard) {
-        while self.is_still_pending(tid, ph, guard) {
+        while self.is_still_pending(tid, ph) {
             let last = self.tail.load(Ordering::SeqCst, guard); // L69
             // SAFETY: tail is never null; the node it references is not
             // retired before head passes it, which cannot happen while it
-            // is still the tail; we are pinned throughout.
+            // is still the tail; we are pinned throughout (and recycled
+            // nodes obey the same maturity rule as freed ones, so our pin
+            // also keeps `last` out of any reuse cache hand-out).
             let last_ref = unsafe { last.deref() };
             let next = last_ref.next.load(Ordering::SeqCst, guard); // L70
             if last == self.tail.load(Ordering::SeqCst, guard) {
@@ -246,18 +275,22 @@ impl<T: Send> WfQueue<T> {
                 if next.is_null() {
                     // L72: enqueue can be applied.
                     // L73: re-check, then read the node from the owner's
-                    // descriptor. Reading the descriptor once and using
-                    // its own fields is equivalent to the paper's
-                    // repeated `state.get(tid)` reads: if the descriptor
-                    // changed, the owner's node was already appended,
-                    // which makes `last.next` non-null and the CAS below
-                    // fail (see the dangling-node invariant, §3.1).
-                    let desc = self.state[tid].load(Ordering::SeqCst, guard);
-                    // SAFETY: as in `max_phase`.
-                    let desc_ref = unsafe { desc.deref() };
-                    if desc_ref.pending && desc_ref.phase <= ph && desc_ref.enqueue {
+                    // descriptor. Reading the slot once and using its own
+                    // fields is equivalent to the paper's repeated
+                    // `state.get(tid)` reads: if the descriptor changed,
+                    // the owner's node was already appended, which makes
+                    // `last.next` non-null and the CAS below fail (the
+                    // dangling-node invariant, §3.1). Node recycling does
+                    // not weaken this: CAS success proves `last.next` was
+                    // null, i.e. the node we read was never appended, so
+                    // the owner's operation cannot have completed and the
+                    // node cannot have been retired, let alone reused.
+                    // SeqCst keeps the read coherent with the pending
+                    // check inside `is_still_pending` above.
+                    let (w, phase) = self.state[tid].view(Ordering::SeqCst);
+                    if w.pending() && phase <= ph && w.enqueue() {
                         inject!("kp.append");
-                        let node = Shared::from(desc_ref.node);
+                        let node = Shared::from(w.node_ptr::<Node<T>>() as *const Node<T>);
                         if last_ref
                             .next
                             .compare_exchange(
@@ -302,28 +335,31 @@ impl<T: Send> WfQueue<T> {
                 tid < self.state.len(),
                 "dangling node must carry a valid enqueuer tid"
             );
-            let cur = self.state[tid].load(Ordering::SeqCst, guard); // L90
-            // SAFETY: as in `max_phase`.
-            let cur_ref = unsafe { cur.deref() };
+            // L90. SeqCst is required here, not Acquire: with node
+            // recycling an Acquire load may return an *old* completed
+            // word of a previous operation that reused the same node —
+            // its fields ({pending: false, enqueue, node == next}) equal
+            // the transition target, so `cas_ctrl`'s no-op skip would
+            // report step 2 done and we would swing the tail while the
+            // real current word is still pending, wedging the owner.
+            // SeqCst excludes this: this load is SC-after our `next`
+            // read, which is SC-after the append CAS, which is SC-after
+            // the owner's publish of the *current* word.
+            let cur = self.state[tid].load_ctrl(Ordering::SeqCst);
             // L91: `last` still tail and the owner's descriptor still
             // refers to the dangling node (guards against a racing
             // help_finish_enq having already completed a *different*
             // operation of the same thread).
             if last == self.tail.load(Ordering::SeqCst, guard)
-                && ptr::eq(cur_ref.node, next.as_raw())
+                && cur.node_addr() == next.as_raw() as usize
             {
                 inject!("kp.clear_pending.enq");
                 // §3.3 enhancement: skip the descriptor CAS when the flag
                 // is already off (a racing helper beat us to step 2).
-                if !(self.config.validate_before_cas && !cur_ref.pending) {
-                    // L92–93: step 2 — acknowledge linearization.
-                    let new = OpDesc {
-                        phase: cur_ref.phase,
-                        pending: false,
-                        enqueue: true,
-                        node: next.as_raw(),
-                    };
-                    self.cas_state(tid, cur, new, guard);
+                if !self.config.validate_before_cas || cur.pending() {
+                    // L92–93: step 2 — acknowledge linearization (a
+                    // version-tagged in-place transition; phase kept).
+                    self.state[tid].cas_ctrl(cur, next.as_raw() as usize, false, true);
                 }
                 inject!("kp.swing_tail");
                 // L94: step 3 — fix tail. At most one of the racing CASes
@@ -346,12 +382,21 @@ impl<T: Send> WfQueue<T> {
     /// `help_deq(tid, phase)`, L109–140: drive thread `tid`'s pending
     /// dequeue until it is linearized (either the sentinel is locked
     /// with `tid`, or the queue is observed empty).
-    pub(crate) fn help_deq(&self, tid: usize, ph: i64, helper: usize, guard: &Guard) {
-        while self.is_still_pending(tid, ph, guard) {
+    pub(crate) fn help_deq(
+        &self,
+        tid: usize,
+        ph: i64,
+        helper: usize,
+        guard: &Guard,
+        cache: &mut RetireCache<T>,
+    ) {
+        while self.is_still_pending(tid, ph) {
             let first = self.head.load(Ordering::SeqCst, guard); // L111
             let last = self.tail.load(Ordering::SeqCst, guard); // L112
             // SAFETY: head is never null; a sentinel is only retired
-            // after head moves off it, which our pin then defers.
+            // after head moves off it, which our pin then defers (the
+            // reuse cache applies the same maturity rule before handing
+            // a node out, so the pin covers recycling too).
             let first_ref = unsafe { first.deref() };
             let next = first_ref.next.load(Ordering::SeqCst, guard); // L113
             if first != self.head.load(Ordering::SeqCst, guard) {
@@ -361,24 +406,22 @@ impl<T: Send> WfQueue<T> {
                 // L115: queue might be empty.
                 if next.is_null() {
                     // L116: queue is empty.
-                    let cur = self.state[tid].load(Ordering::SeqCst, guard); // L117
-                    // SAFETY: as in `max_phase`.
-                    let cur_ref = unsafe { cur.deref() };
+                    // L117: SeqCst — this read must be SC-after the
+                    // emptiness observation; combined with the
+                    // phase-before-ctrl publish order it guarantees we
+                    // never complete a dequeue as "empty" using an
+                    // emptiness observation that predates the dequeue's
+                    // phase selection (the L117–119 doorway guard).
+                    let (cur, phase) = self.state[tid].view(Ordering::SeqCst);
                     if last == self.tail.load(Ordering::SeqCst, guard)
-                        && cur_ref.pending
-                        && cur_ref.phase <= ph
+                        && cur.pending()
+                        && phase <= ph
                     {
                         inject!("kp.clear_pending.deq_empty");
                         // L118–120: record the empty result (node = null)
-                        // and clear pending. Descriptor-CAS failure means
+                        // and clear pending. Transition failure means
                         // another helper resolved the operation.
-                        let new = OpDesc {
-                            phase: cur_ref.phase,
-                            pending: false,
-                            enqueue: false,
-                            node: ptr::null(),
-                        };
-                        self.cas_state(tid, cur, new, guard);
+                        self.state[tid].cas_ctrl(cur, 0, false, false);
                     }
                 } else {
                     // L122: an enqueue is in progress; help it first.
@@ -386,28 +429,22 @@ impl<T: Send> WfQueue<T> {
                 }
             } else {
                 // L125: queue is not empty.
-                let cur = self.state[tid].load(Ordering::SeqCst, guard); // L126
-                // SAFETY: as in `max_phase`.
-                let cur_ref = unsafe { cur.deref() };
-                let node = cur_ref.node; // L127
-                if !(cur_ref.pending && cur_ref.phase <= ph) {
+                // L126: SeqCst for the same helping-correctness reasons
+                // as L117/L146.
+                let (cur, phase) = self.state[tid].view(Ordering::SeqCst);
+                if !(cur.pending() && phase <= ph) {
                     break; // L128
                 }
+                let node = cur.node_addr(); // L127
                 // L129–134: stage 0 — point the owner's descriptor at the
                 // current sentinel, so helpers racing between the empty
                 // and non-empty paths agree on which node the operation
                 // is about to remove.
                 if first == self.head.load(Ordering::SeqCst, guard)
-                    && !ptr::eq(node, first.as_raw())
+                    && node != first.as_raw() as usize
                 {
                     inject!("kp.bind_sentinel");
-                    let new = OpDesc {
-                        phase: cur_ref.phase,
-                        pending: true,
-                        enqueue: false,
-                        node: first.as_raw(),
-                    };
-                    if !self.cas_state(tid, cur, new, guard) {
+                    if !self.state[tid].cas_ctrl(cur, first.as_raw() as usize, true, false) {
                         continue; // L132: descriptor changed; restart
                     }
                 }
@@ -430,14 +467,14 @@ impl<T: Send> WfQueue<T> {
                     }
                 }
                 // L136: complete whichever dequeue locked the sentinel.
-                self.help_finish_deq(guard);
+                self.help_finish_deq(guard, cache);
             }
         }
     }
 
     /// `help_finish_deq()`, L141–153: steps 2 and 3 — clear the locking
     /// owner's `pending` flag, then swing `head` past the sentinel.
-    pub(crate) fn help_finish_deq(&self, guard: &Guard) {
+    pub(crate) fn help_finish_deq(&self, guard: &Guard, cache: &mut RetireCache<T>) {
         let first = self.head.load(Ordering::SeqCst, guard); // L142
         // SAFETY: as in `help_deq`.
         let first_ref = unsafe { first.deref() };
@@ -448,33 +485,33 @@ impl<T: Send> WfQueue<T> {
             // steps 1 and 2.
             inject!("kp.clear_pending.deq");
             let tid = tid as usize;
-            let cur = self.state[tid].load(Ordering::SeqCst, guard); // L146
-            // SAFETY: as in `max_phase`.
-            let cur_ref = unsafe { cur.deref() };
+            // L146: SeqCst — symmetric to the L90 argument: an
+            // Acquire-stale completed word of an *older* dequeue that
+            // bound the same recycled sentinel would no-op-skip step 2
+            // and let us swing head with the current operation still
+            // pending.
+            let cur = self.state[tid].load_ctrl(Ordering::SeqCst);
             if first == self.head.load(Ordering::SeqCst, guard) && !next.is_null() {
                 // L147
-                if !(self.config.validate_before_cas && !cur_ref.pending) {
+                if !self.config.validate_before_cas || cur.pending() {
                     // L148–149: step 2 — acknowledge linearization,
                     // keeping the descriptor's sentinel reference (the
                     // owner reads the value through it, L103–107).
-                    let new = OpDesc {
-                        phase: cur_ref.phase,
-                        pending: false,
-                        enqueue: false,
-                        node: cur_ref.node,
-                    };
-                    self.cas_state(tid, cur, new, guard);
+                    self.state[tid].cas_ctrl(cur, cur.node_addr(), false, false);
                 }
                 inject!("kp.swing_head");
-                // L150: step 3 — fix head. The winner retires the old
-                // sentinel; threads still reading it are pinned.
+                // L150: step 3 — fix head. The winner owns the unlinked
+                // sentinel's retirement: it goes to the winner's reuse
+                // cache (or the epoch collector), which holds it until
+                // no pin that could observe it remains.
                 if self
                     .head
                     .compare_exchange(first, next, Ordering::SeqCst, Ordering::SeqCst, guard)
                     .is_ok()
                 {
-                    // SAFETY: `first` is now unreachable from the queue.
-                    unsafe { guard.defer_destroy(first) };
+                    // SAFETY: `first` is now unreachable from the queue
+                    // and retired exactly once (by the unique CAS winner).
+                    unsafe { cache.push(first.as_raw() as *mut Node<T>, guard) };
                 }
             }
         }
@@ -503,17 +540,10 @@ impl<T: Send> ConcurrentQueue<T> for WfQueue<T> {
 
 impl<T> Drop for WfQueue<T> {
     fn drop(&mut self) {
-        // Exclusive access: free the descriptors, then the node list
-        // (values still resident are dropped with their nodes).
+        // Exclusive access: free the node list (values still resident
+        // are dropped with their nodes). Descriptors are in-place slot
+        // words now — nothing to free.
         let guard = unsafe { epoch::unprotected() };
-        for slot in self.state.iter() {
-            let d = slot.load(Ordering::Relaxed, guard);
-            if !d.is_null() {
-                // SAFETY: exclusive access; slot descriptors are owned by
-                // the slot.
-                drop(unsafe { d.into_owned() });
-            }
-        }
         let mut cur = self.head.load(Ordering::Relaxed, guard);
         while !cur.is_null() {
             // SAFETY: exclusive access; list nodes are owned by the list.

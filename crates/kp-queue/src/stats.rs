@@ -6,44 +6,68 @@
 //! contention, a nonzero fraction of operations is completed by
 //! helpers"). All increments are relaxed — the numbers are statistics,
 //! not synchronization.
+//!
+//! Even relaxed, the shared `help_calls`/`appends_total` bumps are RMWs
+//! on contended cache lines and perturb the very benchmarks that
+//! measure helping cost. The counters are therefore behind the `stats`
+//! cargo feature (on by default): with it off, each counter is a ZST,
+//! `bump` compiles away, and `snapshot` returns zeros — the API shape
+//! is unchanged so callers need no cfgs.
 
+#[cfg(feature = "stats")]
 use std::sync::atomic::{AtomicU64, Ordering};
 
+#[cfg(feature = "stats")]
 use crossbeam_utils::CachePadded;
+
+/// One statistic cell: a padded atomic with the feature on, a ZST with
+/// it off.
+#[cfg(feature = "stats")]
+pub(crate) type Counter = CachePadded<AtomicU64>;
+#[cfg(not(feature = "stats"))]
+#[derive(Default)]
+pub(crate) struct Counter;
 
 #[derive(Default)]
 pub(crate) struct Stats {
     /// Completed enqueue operations (counted by the invoking thread).
-    pub(crate) enqueues: CachePadded<AtomicU64>,
+    pub(crate) enqueues: Counter,
     /// Completed dequeue operations, including empty ones.
-    pub(crate) dequeues: CachePadded<AtomicU64>,
+    pub(crate) dequeues: Counter,
     /// Dequeue operations that linearized on an empty queue.
-    pub(crate) empty_dequeues: CachePadded<AtomicU64>,
+    pub(crate) empty_dequeues: Counter,
     /// Every successful step-1 append (Figure 4 line 74) — Lemma 1 says
     /// exactly one per enqueue operation.
-    pub(crate) appends_total: CachePadded<AtomicU64>,
+    pub(crate) appends_total: Counter,
     /// Every successful sentinel lock (Figure 6 line 135) — Lemma 2 says
     /// exactly one per successful dequeue operation.
-    pub(crate) locks_total: CachePadded<AtomicU64>,
+    pub(crate) locks_total: Counter,
     /// Successful step-1 appends (Figure 4 line 74) performed by a thread
     /// other than the operation's owner.
-    pub(crate) helped_appends: CachePadded<AtomicU64>,
+    pub(crate) helped_appends: Counter,
     /// Successful sentinel locks (Figure 6 line 135) performed by a
     /// thread other than the operation's owner.
-    pub(crate) helped_locks: CachePadded<AtomicU64>,
+    pub(crate) helped_locks: Counter,
     /// `maxPhase()` scans performed (only under `PhasePolicy::MaxScan`).
-    pub(crate) phase_scans: CachePadded<AtomicU64>,
+    pub(crate) phase_scans: Counter,
     /// Iterations of the `help()` scan that actually called into
     /// `help_enq`/`help_deq` for a peer.
-    pub(crate) help_calls: CachePadded<AtomicU64>,
+    pub(crate) help_calls: Counter,
+    /// Nodes taken from the heap because no recycled node was available
+    /// (see `RetireCache` / `NodePool`). Zero in steady state.
+    pub(crate) node_allocs: Counter,
+    /// Nodes served from a recycle cache instead of the heap.
+    pub(crate) node_reuses: Counter,
 }
 
 impl Stats {
     #[inline]
-    pub(crate) fn bump(counter: &CachePadded<AtomicU64>) {
-        counter.fetch_add(1, Ordering::Relaxed);
+    pub(crate) fn bump(_counter: &Counter) {
+        #[cfg(feature = "stats")]
+        _counter.fetch_add(1, Ordering::Relaxed);
     }
 
+    #[cfg(feature = "stats")]
     pub(crate) fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
             enqueues: self.enqueues.load(Ordering::Relaxed),
@@ -55,11 +79,20 @@ impl Stats {
             helped_locks: self.helped_locks.load(Ordering::Relaxed),
             phase_scans: self.phase_scans.load(Ordering::Relaxed),
             help_calls: self.help_calls.load(Ordering::Relaxed),
+            node_allocs: self.node_allocs.load(Ordering::Relaxed),
+            node_reuses: self.node_reuses.load(Ordering::Relaxed),
         }
+    }
+
+    #[cfg(not(feature = "stats"))]
+    pub(crate) fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot::default()
     }
 }
 
 /// A point-in-time copy of a queue's helping statistics.
+///
+/// All-zero when the crate is built without the `stats` feature.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StatsSnapshot {
     /// Completed enqueue operations.
@@ -87,6 +120,11 @@ pub struct StatsSnapshot {
     pub phase_scans: u64,
     /// Times a thread entered `help_enq`/`help_deq` on behalf of a peer.
     pub help_calls: u64,
+    /// Nodes freshly heap-allocated because no recycled node was
+    /// available. Zero per op in steady state with `reuse_nodes` on.
+    pub node_allocs: u64,
+    /// Nodes served from a recycle cache instead of the heap.
+    pub node_reuses: u64,
 }
 
 impl StatsSnapshot {
@@ -110,6 +148,7 @@ impl StatsSnapshot {
 mod tests {
     use super::*;
 
+    #[cfg(feature = "stats")]
     #[test]
     fn snapshot_reflects_bumps() {
         let s = Stats::default();
@@ -121,6 +160,15 @@ mod tests {
         assert_eq!(snap.helped_locks, 1);
         assert_eq!(snap.ops(), 2);
         assert!((snap.helped_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[cfg(not(feature = "stats"))]
+    #[test]
+    fn bumps_are_noops_without_the_feature() {
+        let s = Stats::default();
+        Stats::bump(&s.enqueues);
+        assert_eq!(s.snapshot(), StatsSnapshot::default());
+        assert_eq!(std::mem::size_of::<Stats>(), 0);
     }
 
     #[test]

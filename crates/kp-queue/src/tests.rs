@@ -233,21 +233,30 @@ fn abandoned_pending_op_is_driven_to_completion() {
 fn helping_occurs_under_contention() {
     // Statistical version of the stalled-thread tests: with many threads
     // hammering a base-config queue, some linearization steps are
-    // executed by helpers.
+    // executed by helpers. The allocation-free hot path made single
+    // rounds short enough that, under an unlucky scheduler, no two ops
+    // overlap — so hammer in bounded rounds until helping shows up.
     let q: WfQueue<u64> = WfQueue::with_config(8, Config::base());
-    std::thread::scope(|s| {
-        for _ in 0..8 {
-            s.spawn(|| {
-                let mut h = q.register().unwrap();
-                for i in 0..testing::scaled(20_000) as u64 {
-                    h.enqueue(i);
-                    h.dequeue();
-                }
-            });
+    let mut rounds = 0u64;
+    while rounds < 10 {
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    let mut h = q.register().unwrap();
+                    for i in 0..testing::scaled(20_000) as u64 {
+                        h.enqueue(i);
+                        h.dequeue();
+                    }
+                });
+            }
+        });
+        rounds += 1;
+        if q.stats().helped_appends + q.stats().helped_locks > 0 {
+            break;
         }
-    });
+    }
     let stats = q.stats();
-    assert_eq!(stats.ops(), 8 * 2 * testing::scaled(20_000) as u64);
+    assert_eq!(stats.ops(), rounds * 8 * 2 * testing::scaled(20_000) as u64);
     assert!(
         stats.helped_appends + stats.helped_locks > 0,
         "contention must produce at least some helped operations: {stats:?}"

@@ -103,9 +103,8 @@ proptest! {
     #[test]
     fn swapped_sequential_dequeues_are_rejected(n in 2usize..12) {
         // enq 0..n, then deq all in order, then swap two dequeue results.
-        let script: Vec<bool> = std::iter::repeat(true)
-            .take(n)
-            .chain(std::iter::repeat(false).take(n))
+        let script: Vec<bool> = std::iter::repeat_n(true, n)
+            .chain(std::iter::repeat_n(false, n))
             .collect();
         let h = sequential_history(&script);
         let mut records: Vec<OpRecord<QueueOp>> = h.ops().to_vec();

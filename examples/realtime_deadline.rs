@@ -68,8 +68,8 @@ fn run<Q: ConcurrentQueue<u64> + Sync>(queue: &Q) -> (u64, u64, u64) {
 fn main() {
     println!("per-operation latency under {THREADS}-way oversubscription ({ITERS} pairs/thread)");
     println!(
-        "{:>14} {:>12} {:>12} {:>12}  {}",
-        "queue", "p50 ns", "p99.9 ns", "max ns", "deadline check"
+        "{:>14} {:>12} {:>12} {:>12}  deadline check",
+        "queue", "p50 ns", "p99.9 ns", "max ns"
     );
 
     let lf = MsQueue::new();

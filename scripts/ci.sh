@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# The repo's tier-1 gate plus lint and a chaos smoke, in one command:
+#
+#   1. release build + full workspace test suite (tier-1, see ROADMAP.md)
+#   2. clippy with warnings denied, all targets
+#   3. a short seeded chaos-torture smoke (fault-injection suite with a
+#      reduced seed matrix; scripts/torture.sh runs the full sweep)
+#   4. a no-default-features build (stats feature off) to keep the
+#      feature matrix honest
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "=== tier-1: release build + workspace tests ==="
+cargo build --release
+cargo test -q
+
+echo "=== clippy (warnings denied) ==="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "=== chaos smoke (seeded fault injection) ==="
+cargo test --features chaos --release -q --test torture
+
+echo "=== feature matrix: stats off ==="
+cargo build -p kp-queue --no-default-features
+
+echo "ci: all gates green"

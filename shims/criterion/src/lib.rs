@@ -270,7 +270,7 @@ mod tests {
             measurement_time: Duration::ZERO,
             sample_size: 7,
         };
-        b.iter_custom(|n| Duration::from_nanos(n));
+        b.iter_custom(Duration::from_nanos);
         assert_eq!(b.iters, 7);
         assert_eq!(b.total, Duration::from_nanos(7));
     }

@@ -72,9 +72,20 @@ fn global() -> &'static Global {
 
 /// Tries to advance the global epoch once, then frees every piece of
 /// garbage whose tag is at least two epochs old.
+///
+/// Best-effort by design: if another thread is already collecting, this
+/// call returns immediately instead of queueing on the lock. Blocking
+/// here would turn the hot-path "nudge" callers (`RetireCache`'s
+/// maturity check calls [`advance`] once per failed pop) into a lock
+/// convoy whenever the collector is descheduled mid-scan — on an
+/// oversubscribed host that costs more than the allocations the nudge
+/// exists to avoid. Skipping is always safe: garbage just waits for the
+/// next call.
 fn collect() {
     let g = global();
-    let mut garbage = g.garbage.lock().unwrap();
+    let Ok(mut garbage) = g.garbage.try_lock() else {
+        return;
+    };
     let epoch = g.epoch.load(Ordering::SeqCst);
     let can_advance = {
         let mut registry = g.registry.lock().unwrap();
@@ -85,9 +96,11 @@ fn collect() {
         })
     };
     let epoch = if can_advance {
-        // Racing advancers may both store; the store is idempotent
-        // because both observed the same `epoch` under the garbage lock.
-        g.epoch.store(epoch + 1, Ordering::SeqCst);
+        // CAS, not a store: a racing [`advance`] (which does not take
+        // the garbage lock) may already have moved the epoch further; a
+        // blind store would roll it back. On failure, free against the
+        // older epoch we validated — strictly conservative.
+        let _ = g.epoch.compare_exchange(epoch, epoch + 1, Ordering::SeqCst, Ordering::SeqCst);
         epoch + 1
     } else {
         epoch
@@ -102,6 +115,46 @@ fn collect() {
         } else {
             i += 1;
         }
+    }
+}
+
+/// The current global epoch (starts at 2; see [`advance`]).
+///
+/// Exposed so callers running their own retire caches (e.g. kp-queue's
+/// node recycling) can apply the *same* maturity rule `collect` uses
+/// before freeing: an object retired at epoch `e` is unreachable by
+/// every pinned thread once `e + 2 <= global_epoch()`.
+pub fn global_epoch() -> usize {
+    global().epoch.load(Ordering::SeqCst)
+}
+
+/// Tries to advance the global epoch by one step (it advances only if
+/// every currently pinned thread is pinned at the current epoch).
+/// Alloc-free; safe to call while pinned — a thread pinned at epoch `p`
+/// only ever blocks advancement beyond `p + 1`, never the step this
+/// call attempts.
+///
+/// Deliberately does NOT sweep the garbage list: callers like
+/// `RetireCache::pop_mature` nudge this on their hot path purely to
+/// ripen their own caches, and paying an O(garbage) sweep per nudge
+/// turned the reuse fast path into the slowest configuration on an
+/// oversubscribed host. Sweeping stays with [`collect`] (guard drop
+/// every `LOCAL_BAG_FLUSH` retirements, explicit `flush`, thread exit).
+/// Best-effort: if the registry is contended, returns without
+/// advancing.
+pub fn advance() {
+    let g = global();
+    let Ok(registry) = g.registry.try_lock() else {
+        return;
+    };
+    let epoch = g.epoch.load(Ordering::SeqCst);
+    let can_advance = registry.iter().all(|slot| {
+        let s = slot.state.load(Ordering::SeqCst);
+        s & 1 == 0 || s >> 1 == epoch
+    });
+    if can_advance {
+        // CAS so racing advancers cannot double-bump or roll back.
+        let _ = g.epoch.compare_exchange(epoch, epoch + 1, Ordering::SeqCst, Ordering::SeqCst);
     }
 }
 
@@ -597,10 +650,10 @@ mod tests {
                     let guard = pin();
                     let cur = a.load(Ordering::SeqCst, &guard);
                     let next = Owned::new(t * 1_000_000 + i);
-                    if let Ok(_) = a.compare_exchange(cur, next, Ordering::SeqCst, Ordering::SeqCst, &guard) {
-                        if !cur.is_null() {
-                            unsafe { guard.defer_destroy(cur) };
-                        }
+                    if a.compare_exchange(cur, next, Ordering::SeqCst, Ordering::SeqCst, &guard).is_ok()
+                        && !cur.is_null()
+                    {
+                        unsafe { guard.defer_destroy(cur) };
                     }
                 }
             }));

@@ -392,6 +392,109 @@ fn stalled_hazard_reader_keeps_memory_bounded() {
     drop(unsafe { Box::from_raw(last) });
 }
 
+/// One descriptor-reuse ABA round: thread 0 is parked for a long window
+/// exactly between reading a descriptor word and attempting the step
+/// CAS on it (the `append`/`lock_sentinel` sites sit in that window).
+/// While it sleeps, the other threads churn through operations, so the
+/// slot it read from is completed, reset, and republished many times —
+/// its version tag climbing with every recycle. When the helper wakes,
+/// its CAS carries the *old* version: with alloc-per-transition
+/// descriptors the stale pointer could never be confused with a fresh
+/// one (fresh allocation ⇒ fresh address), but with in-place slot reuse
+/// only the packed version tag stands between the stale CAS and
+/// replaying a completed step onto a brand-new operation. A replayed
+/// append/lock shows up as a duplicated or lost value, which the WGL
+/// linearizability check rejects.
+macro_rules! reuse_aba_round {
+    ($mk_queue:expr, $append_site:literal, $lock_site:literal) => {{
+        quiet_chaos_kills();
+        const THREADS: usize = 3;
+        for (hit, yields) in [(2u64, 150u32), (5, 400)] {
+            let session = chaos::install(
+                FaultPlan::new()
+                    .stall($append_site, ThreadSel::Id(0), hit, yields)
+                    .stall($lock_site, ThreadSel::Id(0), hit + 1, yields)
+                    .with_storm(7, 1),
+            );
+            for round in 0..4u64 {
+                let q = $mk_queue;
+                let recorder = Recorder::new();
+                let mut logs = Vec::new();
+                std::thread::scope(|s| {
+                    let handles: Vec<_> = (0..THREADS)
+                        .map(|t| {
+                            let recorder = &recorder;
+                            let q = &q;
+                            s.spawn(move || {
+                                let mut h = q.register().expect("register");
+                                let _token = chaos::register_thread(h.tid());
+                                let mut log = recorder.log::<QueueOp>(t);
+                                let mut x = (round + 1) ^ (t as u64 + 1) * 0x9E37;
+                                for i in 0..16 {
+                                    x ^= x << 13;
+                                    x ^= x >> 7;
+                                    x ^= x << 17;
+                                    if x % 100 < 50 {
+                                        let v = ((t as u64) << 32) | i as u64;
+                                        log.record(|| h.enqueue(v), |_| QueueOp::Enqueue(v));
+                                    } else {
+                                        log.record(|| h.dequeue(), |r| QueueOp::Dequeue(*r));
+                                    }
+                                }
+                                log
+                            })
+                        })
+                        .collect();
+                    for h in handles {
+                        logs.push(h.join().unwrap());
+                    }
+                });
+                let history = History::from_logs(logs);
+                assert!(history.validate_stamps());
+                match check(&QueueModel, &history) {
+                    Outcome::Linearizable => {}
+                    Outcome::NotLinearizable => panic!(
+                        "stale descriptor CAS replayed a step (round {round}):\n{:#?}",
+                        history.ops()
+                    ),
+                    Outcome::Unknown => panic!("checker budget exhausted"),
+                }
+            }
+            let report = session.report();
+            assert!(
+                report.stalls > 0,
+                "the descriptor-window stall must actually fire"
+            );
+        }
+    }};
+}
+
+/// Epoch variant: stalled helper vs recycled descriptor cell. Uses the
+/// `ScanAll` base config so thread 0 passes the instrumented window
+/// while helping peers, not only while driving its own op.
+#[test]
+fn epoch_stale_helper_cas_defeated_by_version_tag() {
+    reuse_aba_round!(
+        WfQueue::<u64>::with_config(3, Config::base()),
+        "kp.append",
+        "kp.lock_sentinel"
+    );
+}
+
+/// Hazard-pointer variant of the same ABA window. Node recycling adds a
+/// second hazard here: the node address packed into the stale word may
+/// have been pooled and republished under a *different* operation, so a
+/// successful stale CAS would graft an old node onto a new op. The
+/// version tag must reject it identically.
+#[test]
+fn hp_stale_helper_cas_defeated_by_version_tag() {
+    reuse_aba_round!(
+        WfQueueHp::<u64>::with_config(3, Config::base()),
+        "kp_hp.append",
+        "kp_hp.lock_sentinel"
+    );
+}
+
 /// Deterministic replay: the same plan against the same workload gives
 /// the same kill site and ledger shape. (The schedule itself is still
 /// OS-dependent; what must be stable is which rule fires and that every
