@@ -1,0 +1,120 @@
+//! CI gate: `cargo run -p atomics-audit [-- --root DIR --manifest FILE]`.
+//!
+//! Exit codes: 0 clean, 1 unsuppressed findings, 2 operational error
+//! (unreadable manifest, bad scope, parse failure).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = default_root();
+    let mut manifest: Option<PathBuf> = None;
+    let mut dump = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(v) => root = PathBuf::from(v),
+                None => return usage("--root needs a value"),
+            },
+            "--manifest" => match args.next() {
+                Some(v) => manifest = Some(PathBuf::from(v)),
+                None => return usage("--manifest needs a value"),
+            },
+            "--dump" => dump = true,
+            "--help" | "-h" => {
+                print!("{HELP}");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+    let manifest = manifest.unwrap_or_else(|| root.join("ATOMICS.toml"));
+
+    if dump {
+        // Bootstrap mode: scope comes from the manifest when present,
+        // else the default audited crates.
+        let scope = match std::fs::read_to_string(&manifest)
+            .ok()
+            .and_then(|t| atomics_audit::manifest::parse(&t).ok())
+            .map(|m| m.audit.scope)
+        {
+            Some(s) if !s.is_empty() => s,
+            _ => vec![
+                "crates/kp-queue".to_string(),
+                "crates/hazard".to_string(),
+                "crates/idpool".to_string(),
+            ],
+        };
+        return match atomics_audit::dump_skeleton(&root, &scope) {
+            Ok(text) => {
+                print!("{text}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("atomics-audit: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
+
+    match atomics_audit::audit(&root, &manifest) {
+        Ok(outcome) => {
+            for f in &outcome.findings {
+                println!("{f}");
+            }
+            let s = &outcome.stats;
+            println!(
+                "atomics-audit: {} files, {} atomic sites ({} in manifest), {} unsafe occurrences, \
+                 {} finding(s), {} suppressed",
+                s.files,
+                s.sites,
+                s.manifest_sites,
+                s.unsafes,
+                outcome.findings.len(),
+                outcome.suppressed
+            );
+            if outcome.findings.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(e) => {
+            eprintln!("atomics-audit: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// The workspace root: two levels up from this crate's manifest dir
+/// when run via `cargo run -p atomics-audit`, else the cwd.
+fn default_root() -> PathBuf {
+    if let Ok(dir) = std::env::var("CARGO_MANIFEST_DIR") {
+        let p = PathBuf::from(dir);
+        if let Some(root) = p.ancestors().nth(2) {
+            return root.to_path_buf();
+        }
+    }
+    PathBuf::from(".")
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("atomics-audit: {msg}\n{HELP}");
+    ExitCode::from(2)
+}
+
+const HELP: &str = "\
+Usage: cargo run -p atomics-audit [-- OPTIONS]
+
+Audits every atomic call site and unsafe occurrence in the scoped
+crates against ATOMICS.toml. Exit 0 = clean, 1 = findings, 2 = error.
+
+Options:
+  --root DIR        workspace root (default: autodetected)
+  --manifest FILE   manifest path (default: ROOT/ATOMICS.toml)
+  --dump            print a TOML skeleton for every atomic site found
+                    (bootstrap / refactor-recovery aid) and exit
+  -h, --help        this text
+";

@@ -1,0 +1,496 @@
+//! The `ATOMICS.toml` manifest: parser and data model.
+//!
+//! The container has no `toml` crate, so this module implements the
+//! small TOML subset the manifest needs: top-level tables (`[audit]`),
+//! arrays of tables (`[[site]]`, `[[suppress]]`), and string / integer
+//! / boolean / string-array values. Unknown keys are an error — the
+//! manifest is a reviewed artifact and silent typos (`rol = "stats"`)
+//! must not weaken the audit.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Role tags a site may carry. Order here is the order `--dump` lists
+/// them in for humans.
+pub const ROLES: &[&str] = &["linearization", "doorway", "helper-guard", "reclamation", "stats"];
+
+/// One `[[site]]` entry.
+#[derive(Debug, Clone)]
+pub struct ManifestSite {
+    /// Root-relative file path.
+    pub file: String,
+    /// Enclosing fn name (`(top)` for module scope).
+    pub symbol: String,
+    /// Atomic method name.
+    pub op: String,
+    /// Ordinal within (file, symbol, op).
+    pub index: usize,
+    /// Claimed orderings, in call order (`"?"` = parameterized).
+    pub order: Vec<String>,
+    /// Role tag (one of [`ROLES`]).
+    pub role: String,
+    /// One-line justification.
+    pub why: String,
+    /// Extra justification required when any ordering is `SeqCst`.
+    pub sc: Option<String>,
+    /// For `linearization` sites: the kp-model step names this site
+    /// implements (checked by the cross-reference test).
+    pub model_steps: Vec<String>,
+    /// Manifest line, for error messages.
+    pub decl_line: usize,
+}
+
+impl ManifestSite {
+    /// The anchor key matching [`crate::scan::Site::anchor`].
+    pub fn key(&self) -> (String, String, String, usize) {
+        (self.file.clone(), self.symbol.clone(), self.op.clone(), self.index)
+    }
+}
+
+/// One `[[suppress]]` entry: disables `rule` at (file, symbol).
+#[derive(Debug, Clone)]
+pub struct Suppression {
+    /// Rule id being suppressed.
+    pub rule: String,
+    /// Root-relative file path the suppression applies to.
+    pub file: String,
+    /// Fn name, or `*` for the whole file.
+    pub symbol: String,
+    /// Required human rationale.
+    pub reason: String,
+}
+
+/// The `[audit]` scope configuration.
+#[derive(Debug, Clone, Default)]
+pub struct AuditConfig {
+    /// Directories (root-relative) to scan.
+    pub scope: Vec<String>,
+}
+
+/// Parsed manifest.
+#[derive(Debug, Default)]
+pub struct Manifest {
+    /// Scope config.
+    pub audit: AuditConfig,
+    /// Documented sites.
+    pub sites: Vec<ManifestSite>,
+    /// Rule suppressions.
+    pub suppressions: Vec<Suppression>,
+}
+
+impl Manifest {
+    /// Index of sites by anchor key; duplicate anchors are an error and
+    /// reported by the caller via [`Manifest::duplicate_keys`].
+    pub fn site_index(&self) -> HashMap<(String, String, String, usize), &ManifestSite> {
+        let mut map = HashMap::new();
+        for s in &self.sites {
+            map.insert(s.key(), s);
+        }
+        map
+    }
+
+    /// Anchor keys declared more than once.
+    pub fn duplicate_keys(&self) -> Vec<String> {
+        let mut seen = HashMap::new();
+        let mut dups = Vec::new();
+        for s in &self.sites {
+            if seen.insert(s.key(), ()).is_some() {
+                dups.push(format!("{} {}/{}#{}", s.file, s.symbol, s.op, s.index));
+            }
+        }
+        dups
+    }
+
+    /// Whether `rule` is suppressed at (file, symbol).
+    pub fn is_suppressed(&self, rule: &str, file: &str, symbol: &str) -> bool {
+        self.suppressions
+            .iter()
+            .any(|s| s.rule == rule && s.file == file && (s.symbol == "*" || s.symbol == symbol))
+    }
+}
+
+/// Parse error with line context.
+#[derive(Debug)]
+pub struct ParseError {
+    /// 1-based manifest line.
+    pub line: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ATOMICS.toml:{}: {}", self.line, self.msg)
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    Str(String),
+    Int(i64),
+    Bool(bool),
+    StrArray(Vec<String>),
+}
+
+/// Parses manifest text.
+pub fn parse(text: &str) -> Result<Manifest, ParseError> {
+    enum Section {
+        None,
+        Audit,
+        Site(RawTable),
+        Suppress(RawTable),
+    }
+    struct RawTable {
+        line: usize,
+        kv: HashMap<String, (Value, usize)>,
+    }
+
+    let mut manifest = Manifest::default();
+    let mut section = Section::None;
+
+    let flush = |section: &mut Section, manifest: &mut Manifest| -> Result<(), ParseError> {
+        match std::mem::replace(section, Section::None) {
+            Section::Site(t) => manifest.sites.push(site_from(t.kv, t.line)?),
+            Section::Suppress(t) => manifest.suppressions.push(suppress_from(t.kv, t.line)?),
+            _ => {}
+        }
+        Ok(())
+    };
+
+    for (i, raw_line) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let line = strip_line_comment(raw_line).trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix("[[").and_then(|s| s.strip_suffix("]]")) {
+            flush(&mut section, &mut manifest)?;
+            section = match header.trim() {
+                "site" => Section::Site(RawTable { line: lineno, kv: HashMap::new() }),
+                "suppress" => Section::Suppress(RawTable { line: lineno, kv: HashMap::new() }),
+                other => {
+                    return Err(ParseError {
+                        line: lineno,
+                        msg: format!("unknown array-of-tables `[[{other}]]` (expected site or suppress)"),
+                    })
+                }
+            };
+            continue;
+        }
+        if let Some(header) = line.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+            flush(&mut section, &mut manifest)?;
+            section = match header.trim() {
+                "audit" => Section::Audit,
+                other => {
+                    return Err(ParseError {
+                        line: lineno,
+                        msg: format!("unknown table `[{other}]` (expected audit)"),
+                    })
+                }
+            };
+            continue;
+        }
+        let (key, value) = parse_kv(&line, lineno)?;
+        match &mut section {
+            Section::None => {
+                return Err(ParseError { line: lineno, msg: "key outside any table".into() })
+            }
+            Section::Audit => match (key.as_str(), &value) {
+                ("scope", Value::StrArray(dirs)) => manifest.audit.scope = dirs.clone(),
+                ("scope", _) => {
+                    return Err(ParseError { line: lineno, msg: "audit.scope must be a string array".into() })
+                }
+                (k, _) => {
+                    return Err(ParseError { line: lineno, msg: format!("unknown [audit] key `{k}`") })
+                }
+            },
+            Section::Site(t) | Section::Suppress(t) => {
+                if t.kv.insert(key.clone(), (value, lineno)).is_some() {
+                    return Err(ParseError { line: lineno, msg: format!("duplicate key `{key}`") });
+                }
+            }
+        }
+    }
+    flush(&mut section, &mut manifest)?;
+    Ok(manifest)
+}
+
+fn site_from(mut kv: HashMap<String, (Value, usize)>, line: usize) -> Result<ManifestSite, ParseError> {
+    let file = take_str(&mut kv, "file", line)?;
+    let symbol = take_str(&mut kv, "fn", line)?;
+    let op = take_str(&mut kv, "op", line)?;
+    let index = take_int(&mut kv, "index", line)? as usize;
+    let order = take_str_array(&mut kv, "order", line)?;
+    let role = take_str(&mut kv, "role", line)?;
+    let why = take_str(&mut kv, "why", line)?;
+    let sc = take_opt_str(&mut kv, "sc");
+    let model_steps = take_opt_str_array(&mut kv, "model_steps", line)?.unwrap_or_default();
+    if let Some((_, (_, l))) = kv.into_iter().next() {
+        return Err(ParseError { line: l, msg: "unknown [[site]] key".into() });
+    }
+    if why.trim().is_empty() {
+        return Err(ParseError { line, msg: "site `why` must be non-empty".into() });
+    }
+    Ok(ManifestSite { file, symbol, op, index, order, role, why, sc, model_steps, decl_line: line })
+}
+
+fn suppress_from(mut kv: HashMap<String, (Value, usize)>, line: usize) -> Result<Suppression, ParseError> {
+    let rule = take_str(&mut kv, "rule", line)?;
+    let file = take_str(&mut kv, "file", line)?;
+    let symbol = take_opt_str(&mut kv, "fn").unwrap_or_else(|| "*".to_string());
+    let reason = take_str(&mut kv, "reason", line)?;
+    if let Some((_, (_, l))) = kv.into_iter().next() {
+        return Err(ParseError { line: l, msg: "unknown [[suppress]] key".into() });
+    }
+    if reason.trim().is_empty() {
+        return Err(ParseError { line, msg: "suppress `reason` must be non-empty".into() });
+    }
+    Ok(Suppression { rule, file, symbol, reason })
+}
+
+fn take_str(kv: &mut HashMap<String, (Value, usize)>, key: &str, line: usize) -> Result<String, ParseError> {
+    match kv.remove(key) {
+        Some((Value::Str(s), _)) => Ok(s),
+        Some((_, l)) => Err(ParseError { line: l, msg: format!("`{key}` must be a string") }),
+        None => Err(ParseError { line, msg: format!("missing required key `{key}`") }),
+    }
+}
+
+fn take_opt_str(kv: &mut HashMap<String, (Value, usize)>, key: &str) -> Option<String> {
+    match kv.remove(key) {
+        Some((Value::Str(s), _)) => Some(s),
+        Some((v, l)) => {
+            // Re-insert so the unknown-key check reports it; type errors
+            // on optional keys surface as "unknown key" at that line.
+            kv.insert(key.to_string(), (v, l));
+            None
+        }
+        None => None,
+    }
+}
+
+fn take_int(kv: &mut HashMap<String, (Value, usize)>, key: &str, line: usize) -> Result<i64, ParseError> {
+    match kv.remove(key) {
+        Some((Value::Int(n), _)) => Ok(n),
+        Some((_, l)) => Err(ParseError { line: l, msg: format!("`{key}` must be an integer") }),
+        None => Err(ParseError { line, msg: format!("missing required key `{key}`") }),
+    }
+}
+
+fn take_str_array(
+    kv: &mut HashMap<String, (Value, usize)>,
+    key: &str,
+    line: usize,
+) -> Result<Vec<String>, ParseError> {
+    match kv.remove(key) {
+        Some((Value::StrArray(v), _)) => Ok(v),
+        Some((_, l)) => Err(ParseError { line: l, msg: format!("`{key}` must be a string array") }),
+        None => Err(ParseError { line, msg: format!("missing required key `{key}`") }),
+    }
+}
+
+fn take_opt_str_array(
+    kv: &mut HashMap<String, (Value, usize)>,
+    key: &str,
+    _line: usize,
+) -> Result<Option<Vec<String>>, ParseError> {
+    match kv.remove(key) {
+        Some((Value::StrArray(v), _)) => Ok(Some(v)),
+        Some((_, l)) => Err(ParseError { line: l, msg: format!("`{key}` must be a string array") }),
+        None => Ok(None),
+    }
+}
+
+/// Strips a `#` comment, respecting `"…"` strings.
+fn strip_line_comment(line: &str) -> &str {
+    let b = line.as_bytes();
+    let mut in_str = false;
+    let mut i = 0;
+    while i < b.len() {
+        match b[i] {
+            b'"' => in_str = !in_str,
+            b'\\' if in_str => i += 1,
+            b'#' if !in_str => return &line[..i],
+            _ => {}
+        }
+        i += 1;
+    }
+    line
+}
+
+fn parse_kv(line: &str, lineno: usize) -> Result<(String, Value), ParseError> {
+    let eq = line
+        .find('=')
+        .ok_or_else(|| ParseError { line: lineno, msg: format!("expected `key = value`, got `{line}`") })?;
+    let key = line[..eq].trim().to_string();
+    if key.is_empty() || !key.bytes().all(|c| c == b'_' || c.is_ascii_alphanumeric()) {
+        return Err(ParseError { line: lineno, msg: format!("bad key `{key}`") });
+    }
+    let value = parse_value(line[eq + 1..].trim(), lineno)?;
+    Ok((key, value))
+}
+
+fn parse_value(s: &str, lineno: usize) -> Result<Value, ParseError> {
+    if let Some(body) = s.strip_prefix('"') {
+        let end = unescaped_quote(body)
+            .ok_or_else(|| ParseError { line: lineno, msg: "unterminated string".into() })?;
+        if !body[end + 1..].trim().is_empty() {
+            return Err(ParseError { line: lineno, msg: "trailing junk after string".into() });
+        }
+        return Ok(Value::Str(unescape(&body[..end])));
+    }
+    if s == "true" {
+        return Ok(Value::Bool(true));
+    }
+    if s == "false" {
+        return Ok(Value::Bool(false));
+    }
+    if let Some(body) = s.strip_prefix('[') {
+        let body = body
+            .strip_suffix(']')
+            .ok_or_else(|| ParseError { line: lineno, msg: "unterminated array (arrays must be single-line)".into() })?;
+        let mut items = Vec::new();
+        let mut rest = body.trim();
+        while !rest.is_empty() {
+            let inner = rest
+                .strip_prefix('"')
+                .ok_or_else(|| ParseError { line: lineno, msg: "array items must be strings".into() })?;
+            let end = unescaped_quote(inner)
+                .ok_or_else(|| ParseError { line: lineno, msg: "unterminated string in array".into() })?;
+            items.push(unescape(&inner[..end]));
+            rest = inner[end + 1..].trim();
+            if let Some(r) = rest.strip_prefix(',') {
+                rest = r.trim();
+            } else if !rest.is_empty() {
+                return Err(ParseError { line: lineno, msg: "expected `,` between array items".into() });
+            }
+        }
+        return Ok(Value::StrArray(items));
+    }
+    if let Ok(n) = s.parse::<i64>() {
+        return Ok(Value::Int(n));
+    }
+    Err(ParseError { line: lineno, msg: format!("cannot parse value `{s}`") })
+}
+
+/// Index of the first unescaped `"` in `s`.
+fn unescaped_quote(s: &str) -> Option<usize> {
+    let b = s.as_bytes();
+    let mut i = 0;
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'"' => return Some(i),
+            _ => i += 1,
+        }
+    }
+    None
+}
+
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('n') => out.push('\n'),
+                Some('t') => out.push('\t'),
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                Some(other) => {
+                    out.push('\\');
+                    out.push(other);
+                }
+                None => out.push('\\'),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+# The manifest.
+[audit]
+scope = ["crates/kp-queue", "crates/hazard"]
+
+[[site]]
+file = "crates/kp-queue/src/queue.rs"   # trailing comment
+fn = "help_enq"
+op = "compare_exchange"
+index = 0
+order = ["SeqCst", "SeqCst"]
+role = "linearization"
+why = "appends the node; the linearization point of enqueue"
+sc = "doorway counterexample: see DESIGN.md section 7"
+model_steps = ["Append"]
+
+[[site]]
+file = "crates/kp-queue/src/stats.rs"
+fn = "bump"
+op = "fetch_add"
+index = 0
+order = ["Relaxed"]
+role = "stats"
+why = "monotonic counter, no synchronization intent"
+
+[[suppress]]
+rule = "sc-justification"
+file = "crates/kp-queue/src/tests.rs"
+reason = "test scaffolding uses SeqCst for simplicity"
+"#;
+
+    #[test]
+    fn parses_sample() {
+        let m = parse(SAMPLE).expect("parse");
+        assert_eq!(m.audit.scope, vec!["crates/kp-queue", "crates/hazard"]);
+        assert_eq!(m.sites.len(), 2);
+        let s = &m.sites[0];
+        assert_eq!(s.symbol, "help_enq");
+        assert_eq!(s.order, vec!["SeqCst", "SeqCst"]);
+        assert_eq!(s.model_steps, vec!["Append"]);
+        assert!(s.sc.is_some());
+        assert!(m.sites[1].sc.is_none());
+        assert_eq!(m.suppressions.len(), 1);
+        assert_eq!(m.suppressions[0].symbol, "*");
+        assert!(m.is_suppressed("sc-justification", "crates/kp-queue/src/tests.rs", "anything"));
+        assert!(!m.is_suppressed("sc-justification", "crates/kp-queue/src/queue.rs", "anything"));
+    }
+
+    #[test]
+    fn missing_required_key_is_error() {
+        let bad = "[[site]]\nfile = \"a.rs\"\nfn = \"f\"\nop = \"load\"\nindex = 0\norder = [\"SeqCst\"]\nrole = \"stats\"\n";
+        let err = parse(bad).unwrap_err();
+        assert!(err.msg.contains("why"), "{}", err);
+    }
+
+    #[test]
+    fn unknown_key_is_error() {
+        let bad = "[[site]]\nfile = \"a.rs\"\nfn = \"f\"\nop = \"load\"\nindex = 0\norder = [\"SeqCst\"]\nrole = \"stats\"\nwhy = \"x\"\nrol = \"oops\"\n";
+        assert!(parse(bad).is_err());
+    }
+
+    #[test]
+    fn empty_why_is_error() {
+        let bad = "[[site]]\nfile = \"a.rs\"\nfn = \"f\"\nop = \"load\"\nindex = 0\norder = [\"SeqCst\"]\nrole = \"stats\"\nwhy = \"  \"\n";
+        assert!(parse(bad).is_err());
+    }
+
+    #[test]
+    fn duplicate_anchor_detection() {
+        let two = "[[site]]\nfile = \"a.rs\"\nfn = \"f\"\nop = \"load\"\nindex = 0\norder = [\"?\"]\nrole = \"stats\"\nwhy = \"x\"\n[[site]]\nfile = \"a.rs\"\nfn = \"f\"\nop = \"load\"\nindex = 0\norder = [\"?\"]\nrole = \"stats\"\nwhy = \"y\"\n";
+        let m = parse(two).expect("parse");
+        assert_eq!(m.duplicate_keys().len(), 1);
+    }
+
+    #[test]
+    fn hash_inside_string_is_not_comment() {
+        let m = parse("[audit]\nscope = [\"a#b\"]\n").expect("parse");
+        assert_eq!(m.audit.scope, vec!["a#b"]);
+    }
+}

@@ -1,0 +1,452 @@
+//! Lint rules run over the scan report against the manifest.
+//!
+//! Every rule has a stable id and every finding names it, so a
+//! reviewer-approved exception is one `[[suppress]]` entry away — the
+//! audit is strict by default but never a dead end.
+
+use crate::manifest::{Manifest, ManifestSite, ROLES};
+use crate::scan::{ScanReport, Site};
+use std::collections::HashSet;
+use std::fmt;
+
+/// Rule identifiers, kept in one place so `--explain`-style help and
+/// suppressions can't drift from the implementation.
+pub mod rule {
+    /// Atomic call site with no `[[site]]` manifest entry.
+    pub const UNDOCUMENTED: &str = "undocumented-atomic";
+    /// Manifest entry whose anchor no longer matches any code site.
+    pub const STALE: &str = "stale-manifest";
+    /// Manifest entry declared twice for the same anchor.
+    pub const DUPLICATE: &str = "duplicate-site";
+    /// Code orderings differ from the manifest's `order` claim.
+    pub const ORDER_DRIFT: &str = "order-drift";
+    /// SeqCst ordering used without an `sc = "…"` justification.
+    pub const SC_JUSTIFICATION: &str = "sc-justification";
+    /// CAS failure ordering stronger than the success ordering's
+    /// load half.
+    pub const CAS_FAILURE: &str = "cas-failure-order";
+    /// `linearization`-tagged site weaker than its op class requires.
+    pub const LIN_STRENGTH: &str = "linearization-strength";
+    /// `unsafe` occurrence without an attached `SAFETY:` comment.
+    pub const SAFETY: &str = "safety-comment";
+    /// Direct `std::sync::atomic` / `crossbeam_utils` reference outside
+    /// the `kp-sync` facade.
+    pub const FACADE: &str = "facade";
+    /// Unknown role tag, or `model_steps` misuse.
+    pub const BAD_ROLE: &str = "bad-role";
+}
+
+/// All rule ids, for validating `[[suppress]]` entries.
+pub const ALL_RULES: &[&str] = &[
+    rule::UNDOCUMENTED,
+    rule::STALE,
+    rule::DUPLICATE,
+    rule::ORDER_DRIFT,
+    rule::SC_JUSTIFICATION,
+    rule::CAS_FAILURE,
+    rule::LIN_STRENGTH,
+    rule::SAFETY,
+    rule::FACADE,
+    rule::BAD_ROLE,
+];
+
+/// One lint finding.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Rule id.
+    pub rule: &'static str,
+    /// Root-relative file.
+    pub file: String,
+    /// 1-based line (0 = manifest-side finding with no code location).
+    pub line: usize,
+    /// Enclosing symbol, when known.
+    pub symbol: String,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line > 0 {
+            write!(f, "[{}] {}:{} ({}): {}", self.rule, self.file, self.line, self.symbol, self.msg)
+        } else {
+            write!(f, "[{}] {} ({}): {}", self.rule, self.file, self.symbol, self.msg)
+        }
+    }
+}
+
+/// Synchronization strength rank for whole orderings.
+/// `Release` and `Acquire` are incomparable in the memory model; for
+/// lint purposes both rank as "half" (1) below `AcqRel` (2) below
+/// `SeqCst` (3) — the rules below only ever compare within one
+/// direction class, where the rank order is sound.
+fn rank(ord: &str) -> Option<u8> {
+    match ord {
+        "Relaxed" => Some(0),
+        "Acquire" | "Release" => Some(1),
+        "AcqRel" => Some(2),
+        "SeqCst" => Some(3),
+        _ => None, // "?" or unknown
+    }
+}
+
+/// The *load half* of an ordering, for the CAS failure-vs-success
+/// comparison: a CAS failure performs only a load, so its ordering must
+/// not promise more acquire strength than the success ordering's load
+/// side already does.
+fn load_half(ord: &str) -> Option<u8> {
+    match ord {
+        "Relaxed" | "Release" => Some(0),
+        "Acquire" | "AcqRel" => Some(1),
+        "SeqCst" => Some(2),
+        _ => None,
+    }
+}
+
+fn is_cas(op: &str) -> bool {
+    matches!(op, "compare_exchange" | "compare_exchange_weak" | "fetch_update")
+}
+
+fn is_rmw(op: &str) -> bool {
+    op != "load" && op != "store"
+}
+
+/// Runs every rule; returns findings not covered by a suppression,
+/// plus the count of suppressed findings (reported for transparency).
+pub fn run(report: &ScanReport, manifest: &Manifest) -> (Vec<Finding>, usize) {
+    let mut findings = Vec::new();
+
+    for dup in manifest.duplicate_keys() {
+        findings.push(Finding {
+            rule: rule::DUPLICATE,
+            file: "ATOMICS.toml".into(),
+            line: 0,
+            symbol: dup,
+            msg: "same anchor declared by two [[site]] entries".into(),
+        });
+    }
+    for s in &manifest.suppressions {
+        if !ALL_RULES.contains(&s.rule.as_str()) {
+            findings.push(Finding {
+                rule: rule::BAD_ROLE,
+                file: "ATOMICS.toml".into(),
+                line: 0,
+                symbol: s.file.clone(),
+                msg: format!("suppression names unknown rule `{}`", s.rule),
+            });
+        }
+    }
+
+    let index = manifest.site_index();
+    let mut matched: HashSet<(String, String, String, usize)> = HashSet::new();
+
+    for site in &report.sites {
+        match index.get(&(site.file.clone(), site.symbol.clone(), site.op.clone(), site.index)) {
+            None => findings.push(Finding {
+                rule: rule::UNDOCUMENTED,
+                file: site.file.clone(),
+                line: site.line,
+                symbol: site.symbol.clone(),
+                msg: format!(
+                    "atomic `{}.{}({})` has no ATOMICS.toml entry (anchor: {})",
+                    site.recv,
+                    site.op,
+                    site.orderings.join(", "),
+                    site.anchor()
+                ),
+            }),
+            Some(entry) => {
+                matched.insert(entry.key());
+                check_site(site, entry, &mut findings);
+            }
+        }
+    }
+
+    for entry in &manifest.sites {
+        if !matched.contains(&entry.key()) {
+            findings.push(Finding {
+                rule: rule::STALE,
+                file: entry.file.clone(),
+                line: 0,
+                symbol: entry.symbol.clone(),
+                msg: format!(
+                    "manifest entry {}/{}#{} (ATOMICS.toml:{}) matches no code site — \
+                     update or remove it",
+                    entry.symbol, entry.op, entry.index, entry.decl_line
+                ),
+            });
+        }
+        check_manifest_entry(entry, &mut findings);
+    }
+
+    for u in &report.unsafes {
+        if !u.documented {
+            findings.push(Finding {
+                rule: rule::SAFETY,
+                file: u.file.clone(),
+                line: u.line,
+                symbol: u.symbol.clone(),
+                msg: format!("{} without an attached `// SAFETY:` comment", u.kind),
+            });
+        }
+    }
+
+    for v in &report.facade {
+        findings.push(Finding {
+            rule: rule::FACADE,
+            file: v.file.clone(),
+            line: v.line,
+            symbol: "(import)".into(),
+            msg: format!("direct `{}` reference — import via `kp_sync` instead", v.what),
+        });
+    }
+
+    let (kept, suppressed): (Vec<_>, Vec<_>) = findings
+        .into_iter()
+        .partition(|f| !manifest.is_suppressed(f.rule, &f.file, &f.symbol));
+    (kept, suppressed.len())
+}
+
+/// Rules that need both the code site and its manifest entry.
+fn check_site(site: &Site, entry: &ManifestSite, findings: &mut Vec<Finding>) {
+    // order-drift: exact match, element-wise. This is also what stops a
+    // site from being *stronger* than the manifest claims — any change
+    // in either direction must be re-justified in review.
+    if site.orderings != entry.order {
+        findings.push(Finding {
+            rule: rule::ORDER_DRIFT,
+            file: site.file.clone(),
+            line: site.line,
+            symbol: site.symbol.clone(),
+            msg: format!(
+                "code orderings [{}] != manifest claim [{}] (ATOMICS.toml:{})",
+                site.orderings.join(", "),
+                entry.order.join(", "),
+                entry.decl_line
+            ),
+        });
+    }
+
+    if site.orderings.iter().any(|o| o == "SeqCst")
+        && entry.sc.as_deref().is_none_or(|s| s.trim().is_empty())
+    {
+        findings.push(Finding {
+            rule: rule::SC_JUSTIFICATION,
+            file: site.file.clone(),
+            line: site.line,
+            symbol: site.symbol.clone(),
+            msg: format!(
+                "SeqCst at {} needs an `sc = \"…\"` justification in its manifest entry",
+                site.anchor()
+            ),
+        });
+    }
+
+    if is_cas(&site.op) && site.orderings.len() == 2 {
+        let (succ, fail) = (&site.orderings[0], &site.orderings[1]);
+        if let (Some(s), Some(f)) = (load_half(succ), load_half(fail)) {
+            if f > s {
+                findings.push(Finding {
+                    rule: rule::CAS_FAILURE,
+                    file: site.file.clone(),
+                    line: site.line,
+                    symbol: site.symbol.clone(),
+                    msg: format!(
+                        "CAS failure ordering {fail} is stronger than the load half of \
+                         success ordering {succ} — relax the failure ordering"
+                    ),
+                });
+            }
+        }
+    }
+
+    if entry.role == "linearization" {
+        // A linearization point must synchronize: RMW ops need both
+        // halves (>= AcqRel), a load needs Acquire, a store Release.
+        let needed = if is_rmw(&site.op) { 2 } else { 1 };
+        let actual = site.orderings.first().and_then(|o| rank(o));
+        if let Some(a) = actual {
+            if a < needed {
+                findings.push(Finding {
+                    rule: rule::LIN_STRENGTH,
+                    file: site.file.clone(),
+                    line: site.line,
+                    symbol: site.symbol.clone(),
+                    msg: format!(
+                        "linearization site uses {} but its op class requires at least {}",
+                        site.orderings[0],
+                        if needed == 2 { "AcqRel" } else { "Acquire/Release" }
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Manifest-side validity rules (run even for stale entries, so a bad
+/// role never hides behind a rename).
+fn check_manifest_entry(entry: &ManifestSite, findings: &mut Vec<Finding>) {
+    if !ROLES.contains(&entry.role.as_str()) {
+        findings.push(Finding {
+            rule: rule::BAD_ROLE,
+            file: entry.file.clone(),
+            line: 0,
+            symbol: entry.symbol.clone(),
+            msg: format!(
+                "unknown role `{}` (ATOMICS.toml:{}); expected one of: {}",
+                entry.role,
+                entry.decl_line,
+                ROLES.join(", ")
+            ),
+        });
+    }
+    if entry.role == "linearization" && entry.model_steps.is_empty() {
+        findings.push(Finding {
+            rule: rule::BAD_ROLE,
+            file: entry.file.clone(),
+            line: 0,
+            symbol: entry.symbol.clone(),
+            msg: format!(
+                "linearization site (ATOMICS.toml:{}) must name its kp-model `model_steps`",
+                entry.decl_line
+            ),
+        });
+    }
+    if entry.role != "linearization" && !entry.model_steps.is_empty() {
+        findings.push(Finding {
+            rule: rule::BAD_ROLE,
+            file: entry.file.clone(),
+            line: 0,
+            symbol: entry.symbol.clone(),
+            msg: format!(
+                "`model_steps` is only meaningful for role=linearization (ATOMICS.toml:{})",
+                entry.decl_line
+            ),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manifest;
+    use crate::scan;
+
+    fn report_for(src: &str) -> ScanReport {
+        let mut r = ScanReport::default();
+        scan::scan_file("lib.rs", src, &mut r);
+        r
+    }
+
+    fn manifest_for(toml: &str) -> Manifest {
+        manifest::parse(toml).expect("manifest parses")
+    }
+
+    const DOCUMENTED: &str = "[[site]]\nfile = \"lib.rs\"\nfn = \"f\"\nop = \"load\"\nindex = 0\norder = [\"Acquire\"]\nrole = \"helper-guard\"\nwhy = \"x\"\n";
+
+    #[test]
+    fn undocumented_site_is_flagged() {
+        let r = report_for("fn f() { X.load(Ordering::Acquire); }");
+        let (f, _) = run(&r, &manifest_for(""));
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, rule::UNDOCUMENTED);
+    }
+
+    #[test]
+    fn documented_site_is_clean() {
+        let r = report_for("fn f() { X.load(Ordering::Acquire); }");
+        let (f, _) = run(&r, &manifest_for(DOCUMENTED));
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn order_drift_is_flagged() {
+        let r = report_for("fn f() { X.load(Ordering::SeqCst); }");
+        let (f, _) = run(&r, &manifest_for(DOCUMENTED));
+        assert!(f.iter().any(|f| f.rule == rule::ORDER_DRIFT));
+    }
+
+    #[test]
+    fn stale_entry_is_flagged() {
+        let r = report_for("fn g() {}");
+        let (f, _) = run(&r, &manifest_for(DOCUMENTED));
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, rule::STALE);
+    }
+
+    #[test]
+    fn seqcst_needs_sc_field() {
+        let m = "[[site]]\nfile = \"lib.rs\"\nfn = \"f\"\nop = \"load\"\nindex = 0\norder = [\"SeqCst\"]\nrole = \"doorway\"\nwhy = \"x\"\n";
+        let r = report_for("fn f() { X.load(Ordering::SeqCst); }");
+        let (f, _) = run(&r, &manifest_for(m));
+        assert!(f.iter().any(|f| f.rule == rule::SC_JUSTIFICATION), "{f:?}");
+        let with_sc = format!("{m}sc = \"paper requires TSO-like total order here\"\n");
+        let (f2, _) = run(&r, &manifest_for(&with_sc));
+        assert!(f2.is_empty(), "{f2:?}");
+    }
+
+    #[test]
+    fn cas_failure_stronger_than_success_is_flagged() {
+        let m = "[[site]]\nfile = \"lib.rs\"\nfn = \"f\"\nop = \"compare_exchange\"\nindex = 0\norder = [\"Release\", \"Acquire\"]\nrole = \"reclamation\"\nwhy = \"x\"\n";
+        let r = report_for("fn f() { X.compare_exchange(a, b, Ordering::Release, Ordering::Acquire); }");
+        let (f, _) = run(&r, &manifest_for(m));
+        assert!(f.iter().any(|f| f.rule == rule::CAS_FAILURE), "{f:?}");
+    }
+
+    #[test]
+    fn cas_acqrel_acquire_is_fine() {
+        let m = "[[site]]\nfile = \"lib.rs\"\nfn = \"f\"\nop = \"compare_exchange\"\nindex = 0\norder = [\"AcqRel\", \"Acquire\"]\nrole = \"reclamation\"\nwhy = \"x\"\n";
+        let r = report_for("fn f() { X.compare_exchange(a, b, Ordering::AcqRel, Ordering::Acquire); }");
+        let (f, _) = run(&r, &manifest_for(m));
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn weak_linearization_site_is_flagged() {
+        let m = "[[site]]\nfile = \"lib.rs\"\nfn = \"f\"\nop = \"compare_exchange\"\nindex = 0\norder = [\"Acquire\", \"Relaxed\"]\nrole = \"linearization\"\nwhy = \"x\"\nmodel_steps = [\"Append\"]\n";
+        let r = report_for("fn f() { X.compare_exchange(a, b, Ordering::Acquire, Ordering::Relaxed); }");
+        let (f, _) = run(&r, &manifest_for(m));
+        assert!(f.iter().any(|f| f.rule == rule::LIN_STRENGTH), "{f:?}");
+    }
+
+    #[test]
+    fn linearization_load_needs_only_acquire() {
+        let m = "[[site]]\nfile = \"lib.rs\"\nfn = \"f\"\nop = \"load\"\nindex = 0\norder = [\"Acquire\"]\nrole = \"linearization\"\nwhy = \"x\"\nmodel_steps = [\"Stage0Empty\"]\n";
+        let r = report_for("fn f() { X.load(Ordering::Acquire); }");
+        let (f, _) = run(&r, &manifest_for(m));
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn undocumented_unsafe_is_flagged_and_suppressible() {
+        let r = report_for("fn f() { unsafe { g() } }");
+        let (f, _) = run(&r, &manifest_for(""));
+        assert!(f.iter().any(|f| f.rule == rule::SAFETY));
+        let sup = "[[suppress]]\nrule = \"safety-comment\"\nfile = \"lib.rs\"\nfn = \"f\"\nreason = \"test scaffolding\"\n";
+        let (f2, n) = run(&r, &manifest_for(sup));
+        assert!(f2.is_empty(), "{f2:?}");
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn facade_violation_is_flagged() {
+        let r = report_for("use std::sync::atomic::AtomicUsize;\n");
+        let (f, _) = run(&r, &manifest_for(""));
+        assert!(f.iter().any(|f| f.rule == rule::FACADE));
+    }
+
+    #[test]
+    fn linearization_without_model_steps_is_flagged() {
+        let m = "[[site]]\nfile = \"lib.rs\"\nfn = \"f\"\nop = \"load\"\nindex = 0\norder = [\"Acquire\"]\nrole = \"linearization\"\nwhy = \"x\"\n";
+        let r = report_for("fn f() { X.load(Ordering::Acquire); }");
+        let (f, _) = run(&r, &manifest_for(m));
+        assert!(f.iter().any(|f| f.rule == rule::BAD_ROLE));
+    }
+
+    #[test]
+    fn unknown_suppression_rule_is_flagged() {
+        let sup = "[[suppress]]\nrule = \"no-such-rule\"\nfile = \"lib.rs\"\nreason = \"x\"\n";
+        let (f, _) = run(&ScanReport::default(), &manifest_for(sup));
+        assert!(f.iter().any(|f| f.rule == rule::BAD_ROLE));
+    }
+}

@@ -2,7 +2,7 @@
 //! orphaned-retired stack.
 
 use std::ptr;
-use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicUsize, Ordering};
+use kp_sync::atomic::{AtomicBool, AtomicPtr, AtomicUsize, Ordering};
 
 use crate::participant::Participant;
 use crate::retired::Retired;
@@ -44,6 +44,7 @@ pub struct Domain {
 // SAFETY: all shared state is atomics; raw pointers are only dereferenced
 // under the protocol documented on each method.
 unsafe impl Send for Domain {}
+// SAFETY: as for Send — all shared access is through atomics.
 unsafe impl Sync for Domain {}
 
 impl Domain {

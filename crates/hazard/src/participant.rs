@@ -1,7 +1,7 @@
 //! Per-thread hazard-pointer state: protection slots and the retired list.
 
 use std::ptr;
-use std::sync::atomic::{AtomicPtr, Ordering};
+use kp_sync::atomic::{AtomicPtr, Ordering};
 
 use crate::domain::{Domain, Record};
 use crate::retired::Retired;

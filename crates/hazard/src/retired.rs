@@ -22,6 +22,8 @@ impl Retired {
     ///
     /// `ptr` must be a valid, uniquely owned `Box<T>` allocation.
     pub(crate) unsafe fn new<T>(ptr: *mut T) -> Self {
+        // SAFETY contract: `p` must be the `Box::into_raw::<T>` pointer this
+        // `Retired` was built from (guaranteed by `new` below).
         unsafe fn drop_box<T>(p: *mut u8, _ctx: *mut u8) {
             // SAFETY: `p` was produced by `Box::into_raw::<T>` in
             // `Retired::new` and is reclaimed exactly once.
@@ -54,11 +56,13 @@ impl Retired {
     /// No thread may hold a hazard pointer to `self.ptr`, and `reclaim`
     /// must be called at most once.
     pub(crate) unsafe fn reclaim(self) {
+        // SAFETY: the caller upholds this fn's contract (no live hazard to
+        // `ptr`, called at most once), which is exactly `drop_fn`'s contract.
         unsafe { (self.drop_fn)(self.ptr, self.ctx) }
     }
 }
 
-// Retired objects are moved between threads (orphan adoption). The
+// SAFETY: Retired objects are moved between threads (orphan adoption). The
 // underlying objects are required to be `Send` by the retire entry
 // points' bounds; custom drop_fns take the same obligation via
 // `with_fn`'s safety contract.
@@ -67,7 +71,7 @@ unsafe impl Send for Retired {}
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::{AtomicUsize, Ordering};
+    use kp_sync::atomic::{AtomicUsize, Ordering};
 
     static DROPS: AtomicUsize = AtomicUsize::new(0);
 
@@ -81,19 +85,24 @@ mod tests {
     #[test]
     fn reclaim_runs_drop() {
         let before = DROPS.load(Ordering::SeqCst);
+        // SAFETY: the Box is freshly leaked and uniquely owned.
         let r = unsafe { Retired::new(Box::into_raw(Box::new(Counting))) };
+        // SAFETY: no hazard pointers exist; reclaimed exactly once.
         unsafe { r.reclaim() };
         assert_eq!(DROPS.load(Ordering::SeqCst), before + 1);
     }
 
     #[test]
     fn with_fn_forwards_the_context() {
+        // SAFETY: unsafe only to match `drop_fn`'s signature; requires `ctx`
+        // to point at a live AtomicUsize.
         unsafe fn record(p: *mut u8, ctx: *mut u8) {
             // SAFETY: test wiring — ctx is the AtomicUsize below.
             unsafe { (*ctx.cast::<AtomicUsize>()).store(p as usize, Ordering::SeqCst) };
         }
         let seen = AtomicUsize::new(0);
         let obj = 0xC0u8;
+        // SAFETY: `obj` and `seen` outlive `r`; `record` upholds with_fn's contract.
         let r = unsafe {
             Retired::with_fn(
                 &obj as *const u8 as *mut u8,
@@ -101,6 +110,7 @@ mod tests {
                 record,
             )
         };
+        // SAFETY: called once; `record` only stores to `seen`.
         unsafe { r.reclaim() };
         assert_eq!(seen.load(Ordering::SeqCst), &obj as *const u8 as usize);
     }

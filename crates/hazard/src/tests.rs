@@ -1,6 +1,6 @@
 //! Unit tests for the hazard-pointer domain.
 
-use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
+use kp_sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
 use std::sync::{Arc, Barrier};
 
 use crate::Domain;
@@ -31,6 +31,7 @@ fn retire_without_hazard_reclaims_on_scan() {
     let domain = Domain::new(2);
     let mut p = domain.enter();
     for _ in 0..10 {
+        // SAFETY: counting() leaks a fresh Box; each is retired exactly once.
         unsafe { p.retire(counting(&drops)) };
     }
     assert_eq!(drops.load(Ordering::SeqCst), 0, "below threshold: parked");
@@ -54,6 +55,7 @@ fn protected_object_survives_scan() {
 
     // Unlink and retire while the other participant holds protection.
     let old = shared.swap(std::ptr::null_mut(), Ordering::AcqRel);
+    // SAFETY: `old` was unlinked from `shared`; retired exactly once.
     unsafe { retirer.retire(old) };
     retirer.scan();
     assert_eq!(drops.load(Ordering::SeqCst), 0, "hazard must block reclaim");
@@ -71,6 +73,7 @@ fn threshold_triggers_automatic_scan() {
     let mut p = domain.enter();
     let threshold = domain.scan_threshold();
     for _ in 0..threshold {
+        // SAFETY: counting() leaks a fresh Box; each is retired exactly once.
         unsafe { p.retire(counting(&drops)) };
     }
     assert_eq!(
@@ -93,6 +96,7 @@ fn domain_drop_frees_orphans() {
 
         {
             let mut retirer = domain.enter();
+            // SAFETY: the swapped-out pointer is unlinked; retired exactly once.
             unsafe { retirer.retire(shared.swap(std::ptr::null_mut(), Ordering::AcqRel)) };
             // retirer drops here; the protected object becomes an orphan.
         }
@@ -127,6 +131,7 @@ fn orphans_adopted_by_next_scan() {
     holder.protect(0, &shared);
     {
         let mut retirer = domain.enter();
+        // SAFETY: the swapped-out pointer is unlinked; retired exactly once.
         unsafe { retirer.retire(shared.swap(std::ptr::null_mut(), Ordering::AcqRel)) };
     } // orphaned, still protected
     holder.clear(0);
@@ -145,6 +150,7 @@ fn protect_follows_moving_pointer() {
     let p = domain.enter();
     let got = p.protect(0, &shared);
     assert_eq!(got, a);
+    // SAFETY: single-threaded test; `a` is unlinked and dropped exactly once.
     unsafe { drop(Box::from_raw(a)) };
 }
 
@@ -173,6 +179,7 @@ fn concurrent_stress_no_use_after_free() {
                     let fresh = counting(&drops);
                     created.fetch_add(1, Ordering::Relaxed);
                     let old = shared.swap(fresh, Ordering::AcqRel);
+                    // SAFETY: `old` was just unlinked by the swap; retired exactly once.
                     unsafe { p.retire(old) };
                 }
             });
@@ -194,6 +201,7 @@ fn concurrent_stress_no_use_after_free() {
 
     // Free the final resident object.
     let last = shared.swap(std::ptr::null_mut(), Ordering::AcqRel);
+    // SAFETY: all threads joined; `last` is the only remaining object.
     unsafe { drop(Box::from_raw(last)) };
     drop(domain);
     assert_eq!(
@@ -216,6 +224,7 @@ fn two_domains_are_isolated() {
     pa.protect(0, &shared); // protected in A only
 
     let mut pb = db.enter();
+    // SAFETY: swapped out of `shared`; retired exactly once.
     unsafe { pb.retire(shared.swap(std::ptr::null_mut(), Ordering::AcqRel)) };
     pb.scan();
     assert_eq!(

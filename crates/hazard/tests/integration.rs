@@ -3,7 +3,7 @@
 //! the classical validation workload from Michael's paper — plus
 //! lifecycle edge cases that unit tests don't reach.
 
-use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
+use kp_sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
 use std::sync::{Arc, Barrier};
 
 use hazard::Domain;
@@ -19,7 +19,10 @@ struct StackNode<T> {
     next: *mut StackNode<T>,
 }
 
+// SAFETY: the stack shares only its atomic head across threads; payloads
+// are bounded by `T: Send` and move with node ownership.
 unsafe impl<T: Send> Send for Stack<T> {}
+// SAFETY: as for Send.
 unsafe impl<T: Send> Sync for Stack<T> {}
 // SAFETY: the raw `next` pointer is only dereferenced under the hazard
 // protocol; the node owns its T.

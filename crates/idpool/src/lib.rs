@@ -27,9 +27,9 @@
 #![warn(missing_docs)]
 
 use std::fmt;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use kp_sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
-use crossbeam_utils::CachePadded;
+use kp_sync::CachePadded;
 
 // Fault-injection sites (`idpool.acquire` / `idpool.release`), compiled
 // away unless the `chaos` feature is on — see the `chaos` crate.
@@ -100,7 +100,7 @@ impl IdPool {
         for probe in 0..n {
             let i = (start + probe) % n;
             if self.slots[i]
-                .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+                .compare_exchange(false, true, Ordering::AcqRel, Ordering::Relaxed)
                 .is_ok()
             {
                 return Some(IdGuard { pool: self, id: i });
@@ -115,7 +115,7 @@ impl IdPool {
             return None;
         }
         self.slots[id]
-            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Relaxed)
             .ok()
             .map(|_| IdGuard { pool: self, id })
     }
@@ -162,7 +162,7 @@ impl fmt::Debug for IdGuard<'_> {
     }
 }
 
-// An IdGuard can be moved to (and dropped on) another thread; the pool it
+// SAFETY: An IdGuard can be moved to (and dropped on) another thread; the pool it
 // references is Sync.
 unsafe impl Send for IdGuard<'_> {}
 

@@ -74,6 +74,25 @@ enum StepKind {
     FixHead,
 }
 
+/// The names of every step the explorer enumerates, in `StepKind`
+/// declaration order. This is the model-side vocabulary the
+/// `ATOMICS.toml` manifest's `model_steps` fields must draw from — the
+/// atomics-audit cross-reference test ties each `linearization`-tagged
+/// call site in the implementation to one of these steps, so the two
+/// artifacts cannot drift apart silently.
+pub const STEP_NAMES: &[&str] = &[
+    "Publish",
+    "Append",
+    "AckEnq",
+    "FixTail",
+    "Stage0Empty",
+    "Stage0NonEmpty",
+    "Restage",
+    "Lock",
+    "AckDeq",
+    "FixHead",
+];
+
 impl Step {
     fn label(&self) -> String {
         format!("t{}op{}:{:?}", self.thread, self.op, self.kind)
@@ -340,4 +359,31 @@ fn apply(s: &State, step: Step, schedule: &[String]) -> Result<State, ModelError
         }
     }
     Ok(n)
+}
+
+#[cfg(test)]
+mod step_names_tests {
+    use super::{StepKind, STEP_NAMES};
+
+    #[test]
+    fn step_names_match_the_enum() {
+        // Exhaustive: listing every variant here means adding a variant
+        // without extending STEP_NAMES fails to compile.
+        let all = [
+            StepKind::Publish,
+            StepKind::Append,
+            StepKind::AckEnq,
+            StepKind::FixTail,
+            StepKind::Stage0Empty,
+            StepKind::Stage0NonEmpty,
+            StepKind::Restage,
+            StepKind::Lock,
+            StepKind::AckDeq,
+            StepKind::FixHead,
+        ];
+        assert_eq!(all.len(), STEP_NAMES.len());
+        for (kind, name) in all.iter().zip(STEP_NAMES) {
+            assert_eq!(format!("{kind:?}"), *name);
+        }
+    }
 }

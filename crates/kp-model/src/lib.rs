@@ -39,7 +39,7 @@
 mod explore;
 mod state;
 
-pub use explore::{explore, ExploreResult, ModelError};
+pub use explore::{explore, ExploreResult, ModelError, STEP_NAMES};
 pub use state::{OpKind, Scenario};
 
 #[cfg(test)]

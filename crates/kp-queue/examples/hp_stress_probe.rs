@@ -4,7 +4,7 @@
 //! counters stop moving. Exits nonzero on stall. (Kept as an example so
 //! the probe ships with the crate; it doubles as a soak test.)
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use kp_sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 use kp_queue::{Config, ConcurrentQueue, WfQueueHp};

@@ -48,7 +48,7 @@
 //!    stalled read-to-CAS window of the helper — accepted as
 //!    unreachable, like every bounded-tag scheme.
 
-use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use kp_sync::atomic::{AtomicI64, AtomicU64, Ordering};
 
 /// Queue nodes are 64-byte aligned (`#[repr(align(64))]`) so their
 /// addresses fit the ctrl word's 42-bit address field.
@@ -230,7 +230,7 @@ impl StateSlot {
                 cur.0,
                 fields | cur.next_version(),
                 Ordering::SeqCst,
-                Ordering::SeqCst,
+                Ordering::Relaxed,
             )
             .is_ok()
     }
@@ -335,5 +335,71 @@ mod tests {
         assert_eq!(bumped.version(), 0, "wraps to zero");
         assert_eq!(bumped.node_addr(), 0x4000, "without spilling into the address");
         assert!(bumped.pending());
+    }
+
+    mod proptests {
+        use super::super::*;
+        use proptest::prelude::*;
+
+        /// A 64-byte-aligned address inside the packable 48-bit range.
+        fn aligned_addr() -> impl Strategy<Value = usize> {
+            (0u64..(1 << 42)).prop_map(|blocks| (blocks << 6) as usize)
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(512))]
+
+            #[test]
+            fn pack_roundtrips_every_field(
+                addr in aligned_addr(),
+                pending in any::<bool>(),
+                enqueue in any::<bool>(),
+                version in 0u64..(1 << VERSION_BITS),
+            ) {
+                let w = CtrlWord(CtrlWord::pack(addr, pending, enqueue) | (version << VERSION_SHIFT));
+                prop_assert_eq!(w.node_addr(), addr);
+                prop_assert_eq!(w.pending(), pending);
+                prop_assert_eq!(w.enqueue(), enqueue);
+                prop_assert_eq!(w.version(), version);
+                prop_assert_eq!(w.node_is_null(), addr == 0);
+            }
+
+            #[test]
+            fn version_bump_wraps_mod_2_pow_20_and_never_leaks(
+                addr in aligned_addr(),
+                pending in any::<bool>(),
+                enqueue in any::<bool>(),
+                version in 0u64..(1 << VERSION_BITS),
+                bumps in 1u64..2048,
+            ) {
+                let mut w = CtrlWord(
+                    CtrlWord::pack(addr, pending, enqueue) | (version << VERSION_SHIFT),
+                );
+                for _ in 0..bumps {
+                    w = CtrlWord(w.fields() | w.next_version());
+                }
+                prop_assert_eq!(
+                    w.version(),
+                    (version + bumps) & ((1 << VERSION_BITS) - 1),
+                    "version advances mod 2^20"
+                );
+                // The tag never spills into neighbouring fields: even
+                // across wraparound the address and flag bits are intact.
+                prop_assert_eq!(w.node_addr(), addr);
+                prop_assert_eq!(w.pending(), pending);
+                prop_assert_eq!(w.enqueue(), enqueue);
+            }
+
+            #[test]
+            fn unpacked_addresses_are_always_node_aligned(
+                raw in 0u64..u64::MAX,
+            ) {
+                // Whatever bit pattern a load observes, the decoded
+                // address is a multiple of NODE_ALIGN — the decoder
+                // cannot fabricate a misaligned node pointer.
+                let w = CtrlWord(raw);
+                prop_assert_eq!(w.node_addr() % NODE_ALIGN, 0);
+            }
+        }
     }
 }

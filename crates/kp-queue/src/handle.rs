@@ -89,8 +89,8 @@ impl<'q, T: Send> WfHandle<'q, T> {
             // SeqCst store, releasing these plain/Relaxed writes to any
             // helper that reads the node through the descriptor.
             unsafe {
-                (*node).next.store(epoch::Shared::null(), std::sync::atomic::Ordering::Relaxed);
-                (*node).deq_tid.store(NO_DEQUEUER, std::sync::atomic::Ordering::Relaxed);
+                (*node).next.store(epoch::Shared::null(), kp_sync::atomic::Ordering::Relaxed);
+                (*node).deq_tid.store(NO_DEQUEUER, kp_sync::atomic::Ordering::Relaxed);
                 (*node).enq_tid = tid;
                 *(*node).value.get() = Some(value);
             }
@@ -202,7 +202,7 @@ impl<'q, T: Send> WfHandle<'q, T> {
     /// exit, and coherence forbids reading anything older. No helping
     /// decision hangs off this read.
     fn read_deq_result(q: &WfQueue<T>, tid: usize, guard: &Guard) -> Option<T> {
-        let (w, _) = q.state[tid].view(std::sync::atomic::Ordering::Acquire);
+        let (w, _) = q.state[tid].view(kp_sync::atomic::Ordering::Acquire);
         debug_assert!(!w.pending(), "operation must be complete");
         debug_assert!(!w.enqueue(), "descriptor must be ours (dequeue)");
         if w.node_is_null() {
@@ -216,7 +216,7 @@ impl<'q, T: Send> WfHandle<'q, T> {
         // retired no earlier than the L150 head-CAS, which happened
         // during our pin, so it is still live (and not recycled: reuse
         // obeys the same maturity rule). Same for `next`.
-        let next = unsafe { &*node }.next.load(std::sync::atomic::Ordering::Acquire, guard);
+        let next = unsafe { &*node }.next.load(kp_sync::atomic::Ordering::Acquire, guard);
         debug_assert!(!next.is_null(), "locked sentinel must have a successor");
         // SAFETY (uniqueness of the take): `node.deq_tid == tid` was set
         // by a successful CAS from −1 *in this generation of the node* —
@@ -296,7 +296,7 @@ impl<T: Send> Drop for WfHandle<'_, T> {
         let q = self.queue;
         let tid = self.id.id();
         let guard = epoch::pin();
-        let (w, phase) = q.state[tid].view(std::sync::atomic::Ordering::SeqCst);
+        let (w, phase) = q.state[tid].view(kp_sync::atomic::Ordering::SeqCst);
         if w.pending() {
             if w.enqueue() {
                 q.help_enq(tid, phase, tid, &guard);

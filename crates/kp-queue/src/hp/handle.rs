@@ -3,7 +3,7 @@
 //! dispatch, mirroring `crate::handle`.
 
 use std::ptr;
-use std::sync::atomic::Ordering;
+use kp_sync::atomic::Ordering;
 
 use hazard::Participant;
 use idpool::IdGuard;

@@ -25,7 +25,7 @@
 //! head, so the Treiber *pop* ABA/use-after-free hazard never arises.
 
 use std::ptr;
-use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
+use kp_sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
 
 use crate::hp::types::{NodeHp, TOKEN_CONSUMED, TOKEN_RECLAIM_READY};
 
@@ -159,6 +159,7 @@ mod tests {
         let pool: NodePool<u32> = NodePool::new(true);
         let a = NodeHp::boxed(None, 0);
         let b = NodeHp::boxed(None, 1);
+        // SAFETY: `a` and `b` are freshly leaked, uniquely owned nodes.
         unsafe {
             pool.release(a);
             pool.release(b);
@@ -167,12 +168,14 @@ mod tests {
         let mut cur = pool.steal();
         while !cur.is_null() {
             got.push(cur);
+            // SAFETY: freelist nodes stay live until the Box::from_raw below.
             cur = unsafe { (*cur).free_next.load(Ordering::Relaxed) };
         }
         assert_eq!(got.len(), 2, "both nodes stolen");
         assert!(got.contains(&a) && got.contains(&b));
         assert!(pool.steal().is_null(), "list is empty after steal");
         for n in got {
+            // SAFETY: each node left the freelist exactly once; freed exactly once.
             unsafe { drop(Box::from_raw(n)) };
         }
     }
@@ -181,28 +184,35 @@ mod tests {
     fn reuse_disabled_frees_immediately() {
         let pool: NodePool<u32> = NodePool::new(false);
         let a = NodeHp::boxed(None, 0);
+        // SAFETY: `a` is freshly leaked; with reuse off, release frees it.
         unsafe { pool.release(a) };
         assert!(pool.steal().is_null());
     }
 
     #[test]
     fn token_gate_disposes_exactly_once() {
-        use std::sync::atomic::Ordering;
+        use kp_sync::atomic::Ordering;
         let pool: NodePool<u32> = NodePool::new(true);
         let ctx = &pool as *const NodePool<u32> as *mut u8;
         // Order 1: scan first (READY), then owner consumes. The scan
         // must NOT release; the owner's fetch_or sees READY and does.
         let n = NodeHp::boxed(Some(7), 0);
+        // SAFETY: `n` is live; this simulates the scan's disposal call.
         unsafe { reclaim_into_pool::<u32>(n.cast(), ctx) };
         assert!(pool.head.load(Ordering::Relaxed).is_null(), "not yet");
+        // SAFETY: `n` is still live — the two-token gate is not yet complete.
         let prev = unsafe { (*n).tokens.fetch_or(TOKEN_CONSUMED, Ordering::AcqRel) };
         assert_eq!(prev, TOKEN_RECLAIM_READY);
+        // SAFETY: owner epilogue — `n` carries both tokens; the pool takes ownership.
         unsafe { pool.release(n) }; // what the owner's epilogue does
         assert_eq!(pool.steal(), n);
         // Order 2: owner first, then scan releases.
+        // SAFETY: `n` was stolen back above; the test owns it exclusively.
         unsafe { (*n).tokens.store(TOKEN_CONSUMED, Ordering::Relaxed) };
+        // SAFETY: reverse order — the scan's disposal runs after the owner's token.
         unsafe { reclaim_into_pool::<u32>(n.cast(), ctx) };
         assert_eq!(pool.steal(), n, "scan observed CONSUMED and released");
+        // SAFETY: `n` left the pool via steal; freed exactly once.
         unsafe { drop(Box::from_raw(n)) };
     }
 }

@@ -22,9 +22,9 @@
 //! [`StateSlot`]: crate::desc::StateSlot
 
 use std::ptr;
-use std::sync::atomic::{AtomicI64, AtomicPtr, Ordering};
+use kp_sync::atomic::{AtomicI64, AtomicPtr, Ordering};
 
-use crossbeam_utils::CachePadded;
+use kp_sync::CachePadded;
 use hazard::{Domain, Participant};
 use idpool::IdPool;
 use queue_traits::{ConcurrentQueue, RegistrationError};
@@ -65,6 +65,7 @@ pub struct WfQueueHp<T> {
 // taken exactly once by the unique dequeue owner under the token gate)
 // and `enq_tid` (rewritten only while exclusively owned).
 unsafe impl<T: Send> Send for WfQueueHp<T> {}
+// SAFETY: as for Send.
 unsafe impl<T: Send> Sync for WfQueueHp<T> {}
 
 impl<T: Send> WfQueueHp<T> {
@@ -241,7 +242,7 @@ impl<T: Send> WfQueueHp<T> {
                             ptr::null_mut(),
                             node,
                             Ordering::SeqCst,
-                            Ordering::SeqCst,
+                            Ordering::Relaxed,
                         )
                     }
                     .is_ok();
@@ -297,7 +298,7 @@ impl<T: Send> WfQueueHp<T> {
             // L94: step 3.
             let _ = self
                 .tail
-                .compare_exchange(last, next, Ordering::SeqCst, Ordering::SeqCst);
+                .compare_exchange(last, next, Ordering::SeqCst, Ordering::Relaxed);
         }
         p.clear(H_NEXT);
     }
@@ -354,7 +355,7 @@ impl<T: Send> WfQueueHp<T> {
                         NO_DEQUEUER,
                         tid as isize,
                         Ordering::SeqCst,
-                        Ordering::SeqCst,
+                        Ordering::Relaxed,
                     )
                 }
                 .is_ok();
@@ -411,7 +412,7 @@ impl<T: Send> WfQueueHp<T> {
                 // help_deq" point).
                 if self
                     .head
-                    .compare_exchange(first, next, Ordering::SeqCst, Ordering::SeqCst)
+                    .compare_exchange(first, next, Ordering::SeqCst, Ordering::Relaxed)
                     .is_ok()
                 {
                     self.retire_node(p, first);

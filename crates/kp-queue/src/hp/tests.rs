@@ -64,7 +64,7 @@ fn empty_dequeues() {
 
 #[test]
 fn values_dropped_exactly_once() {
-    use std::sync::atomic::{AtomicUsize, Ordering};
+    use kp_sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Arc;
     struct CountDrop(Arc<AtomicUsize>);
     impl Drop for CountDrop {

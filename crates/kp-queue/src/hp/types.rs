@@ -12,7 +12,7 @@
 
 use std::cell::UnsafeCell;
 use std::ptr;
-use std::sync::atomic::{AtomicIsize, AtomicPtr, AtomicU8};
+use kp_sync::atomic::{AtomicIsize, AtomicPtr, AtomicU8};
 
 pub(crate) use crate::node::NO_DEQUEUER;
 
@@ -93,12 +93,13 @@ impl<T> NodeHp<T> {
 // publication) and by the unique dequeue owner (token gate); everything
 // else is atomics or exclusively-owned plain writes.
 unsafe impl<T: Send> Send for NodeHp<T> {}
+// SAFETY: as for Send.
 unsafe impl<T: Send> Sync for NodeHp<T> {}
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::Ordering;
+    use kp_sync::atomic::Ordering;
 
     #[test]
     fn node_alignment_matches_the_packed_word() {
@@ -112,6 +113,7 @@ mod tests {
     #[test]
     fn fresh_nodes_start_ungated() {
         let n = NodeHp::boxed(Some(5u32), 2);
+        // SAFETY: `n` is freshly leaked and exclusively owned by the test.
         unsafe {
             assert_eq!(*(*n).value.get(), Some(5));
             assert_eq!((*n).enq_tid, 2);
@@ -124,6 +126,7 @@ mod tests {
     #[test]
     fn sentinels_are_born_consumed() {
         let s: *mut NodeHp<u32> = NodeHp::sentinel();
+        // SAFETY: `s` is freshly leaked and exclusively owned by the test.
         unsafe {
             assert_eq!((*s).tokens.load(Ordering::Relaxed), TOKEN_CONSUMED);
             assert!((*(*s).value.get()).is_none());

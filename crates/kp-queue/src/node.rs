@@ -1,7 +1,7 @@
 //! The linked-list node (paper Figure 1, `class Node`).
 
 use std::cell::UnsafeCell;
-use std::sync::atomic::AtomicIsize;
+use kp_sync::atomic::AtomicIsize;
 
 use crossbeam_epoch::Atomic;
 
@@ -57,19 +57,21 @@ impl<T> Node<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::Ordering;
+    use kp_sync::atomic::Ordering;
 
     #[test]
     fn fresh_node_is_unlocked() {
         let n: Node<u32> = Node::new(Some(5), 3);
         assert_eq!(n.deq_tid.load(Ordering::Relaxed), NO_DEQUEUER);
         assert_eq!(n.enq_tid, 3);
+        // SAFETY: `n` is owned by the test; no concurrent access to the cell.
         assert_eq!(unsafe { (*n.value.get()).take() }, Some(5));
     }
 
     #[test]
     fn sentinel_has_no_value() {
         let s: Node<u32> = Node::sentinel();
+        // SAFETY: `s` is owned by the test; no concurrent access to the cell.
         assert!(unsafe { (*s.value.get()).is_none() });
         assert_eq!(s.enq_tid, usize::MAX);
     }

@@ -29,10 +29,10 @@
 //! (`len_approx`/`is_empty`) and owner-private epilogues relax to
 //! Acquire.
 
-use std::sync::atomic::{AtomicI64, Ordering};
+use kp_sync::atomic::{AtomicI64, Ordering};
 
 use crossbeam_epoch::{self as epoch, Atomic, Guard, Owned, Shared};
-use crossbeam_utils::CachePadded;
+use kp_sync::CachePadded;
 use idpool::IdPool;
 use queue_traits::{ConcurrentQueue, RegistrationError};
 
@@ -72,6 +72,7 @@ pub struct WfQueue<T> {
 // each node's `enq_tid` (rewritten only while the node is exclusively
 // owned, before republication — see `WfHandle::alloc_node`).
 unsafe impl<T: Send> Send for WfQueue<T> {}
+// SAFETY: as for Send.
 unsafe impl<T: Send> Sync for WfQueue<T> {}
 
 impl<T: Send> WfQueue<T> {
@@ -151,6 +152,8 @@ impl<T: Send> WfQueue<T> {
         let mut cur = unsafe { head.deref() }.next.load(Ordering::Acquire, &guard);
         while !cur.is_null() {
             n += 1;
+            // SAFETY: a non-null `next` reaches an initialised node kept live by
+            // the pin — same argument as for `head` above.
             cur = unsafe { cur.deref() }.next.load(Ordering::Acquire, &guard);
         }
         n
@@ -297,7 +300,7 @@ impl<T: Send> WfQueue<T> {
                                 Shared::null(),
                                 node,
                                 Ordering::SeqCst,
-                                Ordering::SeqCst,
+                                Ordering::Relaxed,
                                 guard,
                             )
                             .is_ok()
@@ -368,7 +371,7 @@ impl<T: Send> WfQueue<T> {
                     last,
                     next,
                     Ordering::SeqCst,
-                    Ordering::SeqCst,
+                    Ordering::Relaxed,
                     guard,
                 );
             }
@@ -457,7 +460,7 @@ impl<T: Send> WfQueue<T> {
                         NO_DEQUEUER,
                         tid as isize,
                         Ordering::SeqCst,
-                        Ordering::SeqCst,
+                        Ordering::Relaxed,
                     )
                     .is_ok();
                 if locked {
@@ -506,7 +509,7 @@ impl<T: Send> WfQueue<T> {
                 // no pin that could observe it remains.
                 if self
                     .head
-                    .compare_exchange(first, next, Ordering::SeqCst, Ordering::SeqCst, guard)
+                    .compare_exchange(first, next, Ordering::SeqCst, Ordering::Relaxed, guard)
                     .is_ok()
                 {
                     // SAFETY: `first` is now unreachable from the queue
@@ -543,6 +546,7 @@ impl<T> Drop for WfQueue<T> {
         // Exclusive access: free the node list (values still resident
         // are dropped with their nodes). Descriptors are in-place slot
         // words now — nothing to free.
+        // SAFETY: `&mut self` — no thread can still be pinned in this queue.
         let guard = unsafe { epoch::unprotected() };
         let mut cur = self.head.load(Ordering::Relaxed, guard);
         while !cur.is_null() {

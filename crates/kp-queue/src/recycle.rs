@@ -107,6 +107,7 @@ mod tests {
         let mut cache: RetireCache<u32> = RetireCache::new(true);
         let node = Box::into_raw(Box::new(Node::new(Some(1), 0)));
         let guard = epoch::pin();
+        // SAFETY: `node` is freshly leaked and unreachable from any queue.
         unsafe { cache.push(node, &guard) };
         drop(guard);
         // pop_mature itself nudges the collector; with no other pins it
@@ -121,6 +122,7 @@ mod tests {
         let n = got.expect("node must ripen once no pin remains");
         assert_eq!(n, node);
         assert_eq!(cache.len(), 0);
+        // SAFETY: popped from the cache; the test now owns it exclusively.
         unsafe { drop(Box::from_raw(n)) };
     }
 
@@ -129,6 +131,7 @@ mod tests {
         let mut cache: RetireCache<u32> = RetireCache::new(false);
         let node = Box::into_raw(Box::new(Node::new(Some(2), 0)));
         let guard = epoch::pin();
+        // SAFETY: as in the test above; the collector takes ownership.
         unsafe { cache.push(node, &guard) };
         assert_eq!(cache.len(), 0, "nothing cached with reuse disabled");
         assert!(cache.pop_mature().is_none());

@@ -15,10 +15,10 @@
 //! is unchanged so callers need no cfgs.
 
 #[cfg(feature = "stats")]
-use std::sync::atomic::{AtomicU64, Ordering};
+use kp_sync::atomic::{AtomicU64, Ordering};
 
 #[cfg(feature = "stats")]
-use crossbeam_utils::CachePadded;
+use kp_sync::CachePadded;
 
 /// One statistic cell: a padded atomic with the feature on, a ZST with
 /// it off.

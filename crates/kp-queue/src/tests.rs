@@ -102,7 +102,7 @@ fn len_and_is_empty() {
 
 #[test]
 fn drop_releases_resident_values() {
-    use std::sync::atomic::{AtomicUsize, Ordering};
+    use kp_sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Arc;
     struct CountDrop(Arc<AtomicUsize>);
     impl Drop for CountDrop {

@@ -142,7 +142,7 @@ where
     use kp_queue::QueueHandle;
     for round in 0..2 {
         if round == 1 {
-            ALLOC_MARK.store(alloc_track::total_allocs(), std::sync::atomic::Ordering::Relaxed);
+            ALLOC_MARK.store(alloc_track::total_allocs(), kp_sync::atomic::Ordering::Relaxed);
         }
         std::thread::scope(|s| {
             for _ in 0..threads {
@@ -156,7 +156,7 @@ where
             }
         });
     }
-    (alloc_track::total_allocs() - ALLOC_MARK.load(std::sync::atomic::Ordering::Relaxed)) as u64
+    (alloc_track::total_allocs() - ALLOC_MARK.load(kp_sync::atomic::Ordering::Relaxed)) as u64
 }
 
-static ALLOC_MARK: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+static ALLOC_MARK: kp_sync::atomic::AtomicUsize = kp_sync::atomic::AtomicUsize::new(0);

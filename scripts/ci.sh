@@ -3,10 +3,15 @@
 #
 #   1. release build + full workspace test suite (tier-1, see ROADMAP.md)
 #   2. clippy with warnings denied, all targets
-#   3. a short seeded chaos-torture smoke (fault-injection suite with a
+#   3. atomics audit: every atomic call site and unsafe occurrence must
+#      match ATOMICS.toml (see DESIGN.md SS11), plus a self-test that the
+#      gate actually fails on an undocumented atomic
+#   4. a short seeded chaos-torture smoke (fault-injection suite with a
 #      reduced seed matrix; scripts/torture.sh runs the full sweep)
-#   4. a no-default-features build (stats feature off) to keep the
+#   5. a no-default-features build (stats feature off) to keep the
 #      feature matrix honest
+#   6. best-effort sanitizer stages: Miri and ThreadSanitizer run when
+#      the toolchain supports them, skip loudly when it does not
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -17,10 +22,39 @@ cargo test -q
 echo "=== clippy (warnings denied) ==="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "=== atomics audit (ATOMICS.toml manifest) ==="
+cargo run -q -p atomics-audit
+
+echo "=== atomics audit self-test (gate must fail on an undocumented atomic) ==="
+# Inject an unlisted atomic into a scratch copy of the audited tree and
+# assert the gate goes red. Guards against the failure mode where the
+# scanner silently matches nothing and "passes" an empty audit.
+selftest_dir="$(mktemp -d)"
+trap 'rm -rf "$selftest_dir"' EXIT
+mkdir -p "$selftest_dir/crates"
+cp -r crates/kp-queue crates/hazard crates/idpool "$selftest_dir/crates/"
+cat >> "$selftest_dir/crates/idpool/src/lib.rs" <<'EOF'
+
+fn _audit_selftest_undocumented(x: &kp_sync::atomic::AtomicUsize) -> usize {
+    x.load(kp_sync::atomic::Ordering::SeqCst)
+}
+EOF
+if cargo run -q -p atomics-audit -- --root "$selftest_dir" --manifest ATOMICS.toml >/dev/null 2>&1; then
+    echo "ci: FAIL — audit passed despite an injected undocumented atomic" >&2
+    exit 1
+fi
+echo "self-test ok: injected atomic was caught"
+
 echo "=== chaos smoke (seeded fault injection) ==="
 cargo test --features chaos --release -q --test torture
 
 echo "=== feature matrix: stats off ==="
 cargo build -p kp-queue --no-default-features
+
+echo "=== miri (best-effort) ==="
+scripts/miri.sh || { echo "ci: miri stage failed" >&2; exit 1; }
+
+echo "=== thread sanitizer (best-effort) ==="
+scripts/tsan.sh || { echo "ci: tsan stage failed" >&2; exit 1; }
 
 echo "ci: all gates green"

@@ -1,0 +1,376 @@
+#!/usr/bin/env python3
+"""Regenerates ATOMICS.toml from `cargo run -p atomics-audit -- --dump`.
+
+The audit manifest is a *reviewed* artifact: the `role`, `why`, `sc`,
+and `model_steps` fields below are the human-maintained content, and
+this script is how they survive a refactor that moves call sites. Run:
+
+    cargo run -p atomics-audit -- --dump > /tmp/skeleton.toml
+    python3 scripts/gen_atomics_manifest.py /tmp/skeleton.toml > ATOMICS.toml
+    cargo run -p atomics-audit        # must be clean
+
+A site the table below does not know is a hard error — new atomics must
+be annotated here (or directly in ATOMICS.toml) before the gate passes.
+"""
+import re
+import sys
+
+# ---------------------------------------------------------------------
+# Shared justification strings
+# ---------------------------------------------------------------------
+
+SC_HELP = (
+    "helping coherence: this read participates in the Lemma 1/2 argument and "
+    "must agree with the descriptors' SeqCst pending checks in the single total "
+    "order; the DESIGN.md SS11 counterexamples show Acquire losing operations"
+)
+SC_DOORWAY = (
+    "bakery doorway: the phase announcement must be totally ordered with peers' "
+    "maxPhase scans or a helper can overlook an older pending operation, "
+    "breaking the wait-freedom bound (DESIGN.md SS11)"
+)
+SC_RESET = (
+    "no-op-skip recycling counterexample (DESIGN.md SS11): a helper still "
+    "scanning must not act on a stale pending descriptor after the owner "
+    "recycled the node; the idle transition must enter the total order"
+)
+SC_APPEND = (
+    "linearization point of enqueue (L74): total order with the SeqCst pending "
+    "checks gives Lemma 1's exactly-once append; failure ordering is Relaxed "
+    "because the loaded value is discarded and helpers re-read with SeqCst"
+)
+SC_LOCK = (
+    "linearization point of a successful dequeue (L135): the deq_tid lock must "
+    "be totally ordered with the helpers' pending checks (Lemma 2 exactly-once); "
+    "failure value discarded, re-read with SeqCst"
+)
+SC_CTRL = (
+    "the exactly-once descriptor transition (step 2 of Figures 5-6) must be "
+    "coherent with helpers' SeqCst pending checks (Lemmas 1-2); failure value "
+    "unused (.is_ok()) so the failure ordering is Relaxed"
+)
+SC_SWING = (
+    "tail/head swing races with the same CAS from every helper; SeqCst keeps "
+    "the swing ordered with the pending checks so a helper never operates on a "
+    "retired sentinel; failure discarded"
+)
+SC_HAZARD_SCAN = (
+    "hazard-pointer scan requirement: the scan's reads must follow the "
+    "retiree's unlink in the total order (store-load), or the scan can miss a "
+    "hazard a racing protect() already validated"
+)
+SC_HAZARD_PUB = (
+    "Dekker-style store-load: the hazard publication must precede the "
+    "validating re-read in the total order; Release is insufficient"
+)
+SC_QUIESCENT = (
+    "quiescent-only diagnostic off every hot path; SeqCst chosen for "
+    "simplicity over a caller-trusted Relaxed walk"
+)
+
+WHY_TEST = "test scaffolding"
+WHY_INIT = "single-threaded initialisation before the structure is shared"
+WHY_TEARDOWN = "exclusive (&mut) teardown; no concurrent access remains"
+WHY_RECYCLE = "re-initialises a recycled node while exclusively owned, before republication"
+
+# ---------------------------------------------------------------------
+# Annotation table
+# ---------------------------------------------------------------------
+# Key: (file, fn) -> either a single spec or {(op, index): spec}.
+# Spec: dict(role=..., why=..., sc=..., steps=[...]); sc/steps optional.
+
+
+def spec(role, why, sc=None, steps=None):
+    return {"role": role, "why": why, "sc": sc, "steps": steps or []}
+
+
+D = "crates/hazard/src/domain.rs"
+P = "crates/hazard/src/participant.rs"
+R = "crates/hazard/src/retired.rs"
+HT = "crates/hazard/src/tests.rs"
+HI = "crates/hazard/tests/integration.rs"
+ID = "crates/idpool/src/lib.rs"
+DESC = "crates/kp-queue/src/desc.rs"
+HA = "crates/kp-queue/src/handle.rs"
+Q = "crates/kp-queue/src/queue.rs"
+ST = "crates/kp-queue/src/stats.rs"
+QT = "crates/kp-queue/src/tests.rs"
+NO = "crates/kp-queue/src/node.rs"
+AR = "crates/kp-queue/tests/alloc_regression.rs"
+EX = "crates/kp-queue/examples/hp_stress_probe.rs"
+HH = "crates/kp-queue/src/hp/handle.rs"
+HP = "crates/kp-queue/src/hp/pool.rs"
+HQ = "crates/kp-queue/src/hp/queue.rs"
+HTY = "crates/kp-queue/src/hp/types.rs"
+HTE = "crates/kp-queue/src/hp/tests.rs"
+
+TABLE = {
+    # ----- hazard/domain.rs ------------------------------------------
+    (D, "total_slots"): spec(
+        "reclamation",
+        "sizes the hazard snapshot; Acquire pairs with enter's record-publishing AcqRel fetch_add",
+    ),
+    (D, "enter"): {
+        ("load", 0): spec("reclamation", "record-list head read; Acquire makes each record's fields visible before the reuse probe"),
+        ("load", 1): spec("reclamation", "speculative availability probe; the claim itself is the CAS below"),
+        ("compare_exchange", 0): spec("reclamation", "claims a retired record: AcqRel acquires the previous owner's slot clears and publishes the claim; a failed probe carries no data dependency"),
+        ("load", 2): spec("reclamation", "re-reads the list head for the publish CAS"),
+        ("compare_exchange", 1): spec("reclamation", "publishes a new record; the failure Acquire is load-bearing: the retry writes the observed head into the record's plain `next`, which later traversers dereference, so the pointee's initialisation must be visible"),
+        ("fetch_add", 0): spec("reclamation", "publishes the enlarged slot count; AcqRel orders it with the record push"),
+    },
+    (D, "collect_hazards_into"): spec("reclamation", "the scan's hazard snapshot", sc=SC_HAZARD_SCAN),
+    (D, "take_orphans"): spec("reclamation", "adopts the orphan list: acquires the exiting thread's retirements, releases the emptied head"),
+    (D, "push_orphans"): {
+        ("load", 0): spec("reclamation", "orphan head read for the push CAS"),
+        ("compare_exchange", 0): spec("reclamation", "publishes orphaned retirements; failure Acquire is load-bearing for the same plain-`next` republish reason as enter's record push"),
+    },
+    (D, "drop"): spec("reclamation", WHY_TEARDOWN),
+    (D, "fmt"): spec("stats", "Debug formatting; approximate values are fine"),
+    # ----- hazard/participant.rs -------------------------------------
+    (P, "set"): spec("reclamation", "publishes a hazard pointer", sc=SC_HAZARD_PUB),
+    (P, "clear"): spec("reclamation", "un-publishes after the protected access; Release keeps the access before the clear"),
+    (P, "protect"): {
+        ("load", 0): spec("reclamation", "first read of the target pointer; Acquire so a non-null result dereferences an initialised object"),
+        ("load", 1): spec("reclamation", "validation re-read ordered after the hazard store", sc=SC_HAZARD_PUB),
+    },
+    (P, "drop"): {
+        ("store", 0): spec("reclamation", "clears remaining hazards before the record is recycled"),
+        ("store", 1): spec("reclamation", "returns the record; Release publishes the slot clears to the next claimant (pairs with enter's claim CAS)"),
+    },
+    # ----- hazard/retired.rs (tests module) --------------------------
+    (R, "drop"): spec("stats", WHY_TEST),
+    (R, "reclaim_runs_drop"): spec("stats", WHY_TEST),
+    (R, "record"): spec("stats", WHY_TEST),
+    (R, "with_fn_forwards_the_context"): spec("stats", WHY_TEST),
+    # ----- idpool ----------------------------------------------------
+    (ID, "in_use"): spec("stats", "diagnostic count; Acquire gives a conservative snapshot"),
+    (ID, "acquire"): {
+        ("fetch_add", 0): spec("stats", "probe-start rotation hint; pure performance, no synchronization intent"),
+        ("compare_exchange", 0): spec("doorway", "claims a virtual tid (SS3.3 long-lived renaming): success Acquire pairs with release's AcqRel swap so tid-associated state is visible to the new owner; a failed probe acquires nothing"),
+    },
+    (ID, "acquire_exact"): spec("doorway", "deterministic-tid variant of acquire; same pairing argument"),
+    (ID, "release"): spec("doorway", "returns the tid; AcqRel publishes the owner's final writes to the next claimant"),
+    (ID, "oversubscribed_acquire_never_duplicates"): spec("stats", WHY_TEST),
+    # ----- kp-queue/desc.rs ------------------------------------------
+    (DESC, "load_ctrl"): spec("helper-guard", "caller-chosen ordering: SeqCst on help paths (pending-check coherence), Acquire in epilogues"),
+    (DESC, "load_phase"): spec("doorway", "phase read for the Lemma-1 helping decision; callers pass SeqCst on hot paths"),
+    (DESC, "view"): {
+        ("load", 0): spec("helper-guard", "ctrl half of the (ctrl, phase) snapshot, caller-chosen ordering"),
+        ("load", 1): spec("helper-guard", "phase half; publish stores phase before ctrl, so Acquire here sees the phase that belongs to the observed ctrl"),
+    },
+    (DESC, "publish"): {
+        ("load", 0): spec("helper-guard", "own slot's version bits; the owner is the only writer between publishes"),
+        ("store", 0): spec("doorway", "announces the operation's phase", sc=SC_DOORWAY),
+        ("store", 1): spec("doorway", "descriptor becomes pending; must follow its phase in the total order", sc=SC_DOORWAY),
+    },
+    (DESC, "reset"): {
+        ("load", 0): spec("helper-guard", "own slot's version bits; owner-only write window"),
+        ("store", 0): spec("doorway", "idle-transition phase store", sc=SC_RESET),
+        ("store", 1): spec("doorway", "idle-transition ctrl store", sc=SC_RESET),
+    },
+    (DESC, "cas_ctrl"): spec(
+        "linearization",
+        "the version-tagged exactly-once descriptor transition (step 2 of Figures 5-6)",
+        sc=SC_CTRL,
+        steps=["AckEnq", "AckDeq", "Stage0Empty", "Stage0NonEmpty", "Restage"],
+    ),
+    # ----- kp-queue/handle.rs ----------------------------------------
+    (HA, "alloc_node"): spec("reclamation", WHY_RECYCLE),
+    (HA, "read_deq_result"): spec("helper-guard", "reads the locked sentinel's next for the result; Acquire pairs with the append CAS so the payload is visible"),
+    # ----- kp-queue/queue.rs -----------------------------------------
+    (Q, "with_config"): spec("helper-guard", WHY_INIT),
+    (Q, "len_approx"): spec("stats", "advisory O(n) walk; Acquire (release half of the append CAS) suffices to dereference initialised nodes"),
+    (Q, "is_empty"): spec("stats", "advisory emptiness probe; same argument as len_approx"),
+    (Q, "next_phase"): spec("doorway", "monotone phase ticket (SS3.3 AtomicCounter policy)", sc=SC_DOORWAY),
+    (Q, "help_enq"): {
+        ("load", 0): spec("helper-guard", "tail read opening the help loop", sc=SC_HELP),
+        ("load", 1): spec("helper-guard", "tail-lag check (L72)", sc=SC_HELP),
+        ("load", 2): spec("helper-guard", "tail re-validation before the append (L73)", sc=SC_HELP),
+        ("compare_exchange", 0): spec("linearization", "the append CAS (L74)", sc=SC_APPEND, steps=["Append"]),
+    },
+    (Q, "help_finish_enq"): {
+        ("load", 0): spec("helper-guard", "tail read (L90)", sc=SC_HELP),
+        ("load", 1): spec("helper-guard", "appended-node read (L91)", sc=SC_HELP),
+        ("load", 2): spec("helper-guard", "tail re-validation (L92)", sc=SC_HELP),
+        ("compare_exchange", 0): spec("helper-guard", "tail swing (L94, model FixTail)", sc=SC_SWING),
+    },
+    (Q, "help_deq"): {
+        ("load", 0): spec("helper-guard", "head read opening the dequeue help loop (L110)", sc=SC_HELP),
+        ("load", 1): spec("helper-guard", "tail read for the empty/lag classification (L110)", sc=SC_HELP),
+        ("load", 2): spec("helper-guard", "sentinel next read (L110)", sc=SC_HELP),
+        ("load", 3): spec("helper-guard", "head re-validation (L112)", sc=SC_HELP),
+        ("load", 4): spec("helper-guard", "tail-lag re-check (L122)", sc=SC_HELP),
+        ("load", 5): spec("helper-guard", "head consistency check before the lock (L132)", sc=SC_HELP),
+        ("compare_exchange", 0): spec("linearization", "the deq_tid lock CAS (L135)", sc=SC_LOCK, steps=["Lock"]),
+    },
+    (Q, "help_finish_deq"): {
+        ("load", 0): spec("helper-guard", "head read (L145)", sc=SC_HELP),
+        ("load", 1): spec("helper-guard", "locked sentinel's next read (L146)", sc=SC_HELP),
+        ("load", 2): spec("helper-guard", "deq_tid read identifying the lock owner (L146)", sc=SC_HELP),
+        ("load", 3): spec("helper-guard", "head re-validation (L148)", sc=SC_HELP),
+        ("compare_exchange", 0): spec("helper-guard", "head swing (L150, model FixHead); winner owns sentinel retirement", sc=SC_SWING),
+    },
+    (Q, "drop"): spec("reclamation", WHY_TEARDOWN),
+    # ----- kp-queue/stats.rs -----------------------------------------
+    (ST, "bump"): spec("stats", "monotonic helping counter; no synchronization intent"),
+    (ST, "snapshot"): spec("stats", "counter snapshot; Relaxed per-counter reads, no cross-counter consistency promised"),
+    # ----- kp-queue tests / examples ---------------------------------
+    (QT, "drop"): spec("stats", WHY_TEST),
+    (QT, "drop_releases_resident_values"): spec("stats", WHY_TEST),
+    (NO, "fresh_node_is_unlocked"): spec("stats", WHY_TEST),
+    (AR, "contended_window_allocs"): spec("stats", "test marker delimiting the measured allocation window"),
+    (EX, "main"): spec("stats", "stress-probe progress reporting"),
+    # ----- kp-queue/hp/handle.rs -------------------------------------
+    (HH, "alloc_node"): spec("reclamation", WHY_RECYCLE),
+    (HH, "steal_batch"): spec("reclamation", "walks a privately stolen freelist; Relaxed after steal's Acquire swap"),
+    (HH, "read_deq_result"): spec("reclamation", "owner's half of the two-token disposal gate; AcqRel makes exactly one side observe both tokens and free the node"),
+    # ----- kp-queue/hp/pool.rs ---------------------------------------
+    (HP, "release"): {
+        ("load", 0): spec("reclamation", "bounded-cache size check; advisory"),
+        ("load", 1): spec("reclamation", "head read for the push loop"),
+        ("store", 0): spec("reclamation", "links the node; exclusively owned until the CAS publishes it"),
+        ("compare_exchange_weak", 0): spec("reclamation", "publishes the node to the Treiber freelist; Release orders the free_next link before publication; failed pushes retry with a fresh head read"),
+        ("fetch_add", 0): spec("reclamation", "approximate freelist length"),
+    },
+    (HP, "steal"): {
+        ("swap", 0): spec("reclamation", "takes the whole freelist; Acquire pairs with release's Release so the links are visible"),
+        ("store", 0): spec("reclamation", "approximate length reset"),
+    },
+    (HP, "drop"): spec("reclamation", WHY_TEARDOWN),
+    (HP, "reclaim_into_pool"): spec("reclamation", "scan's half of the two-token disposal gate; AcqRel mirrors read_deq_result"),
+    (HP, "release_steal_roundtrip"): spec("stats", WHY_TEST),
+    (HP, "token_gate_disposes_exactly_once"): spec("stats", "test drives the two-token gate directly"),
+    # ----- kp-queue/hp/queue.rs --------------------------------------
+    (HQ, "len_approx_quiescent"): spec("stats", "quiescent-only O(n) walk", sc=SC_QUIESCENT),
+    (HQ, "next_phase"): spec("doorway", "monotone phase ticket (SS3.3 AtomicCounter policy)", sc=SC_DOORWAY),
+    (HQ, "help_enq"): {
+        ("load", 0): spec("helper-guard", "tail-lag check (L72)", sc=SC_HELP),
+        ("load", 1): spec("helper-guard", "tail re-validation before the append (L73)", sc=SC_HELP),
+        ("compare_exchange", 0): spec("linearization", "the append CAS (L74)", sc=SC_APPEND, steps=["Append"]),
+    },
+    (HQ, "help_finish_enq"): {
+        ("load", 0): spec("helper-guard", "appended-node read (L91)", sc=SC_HELP),
+        ("load", 1): spec("helper-guard", "tail read (L90)", sc=SC_HELP),
+        ("load", 2): spec("helper-guard", "tail re-validation (L92)", sc=SC_HELP),
+        ("compare_exchange", 0): spec("helper-guard", "tail swing (L94, model FixTail)", sc=SC_SWING),
+    },
+    (HQ, "help_deq"): {
+        ("load", 0): spec("helper-guard", "tail read for the empty/lag classification (L110)", sc=SC_HELP),
+        ("load", 1): spec("helper-guard", "sentinel next read (L110)", sc=SC_HELP),
+        ("load", 2): spec("helper-guard", "head re-validation (L112)", sc=SC_HELP),
+        ("load", 3): spec("helper-guard", "tail-lag re-check (L122)", sc=SC_HELP),
+        ("load", 4): spec("helper-guard", "head consistency check before the lock (L132)", sc=SC_HELP),
+        ("compare_exchange", 0): spec("linearization", "the deq_tid lock CAS (L135)", sc=SC_LOCK, steps=["Lock"]),
+    },
+    (HQ, "help_finish_deq"): {
+        ("load", 0): spec("helper-guard", "locked sentinel's next read (L146)", sc=SC_HELP),
+        ("load", 1): spec("helper-guard", "head read (L145)", sc=SC_HELP),
+        ("load", 2): spec("helper-guard", "deq_tid read identifying the lock owner (L146)", sc=SC_HELP),
+        ("load", 3): spec("helper-guard", "head re-validation (L148)", sc=SC_HELP),
+        ("compare_exchange", 0): spec("helper-guard", "head swing (L150, model FixHead); winner retires the sentinel", sc=SC_SWING),
+    },
+    (HQ, "drop"): spec("reclamation", WHY_TEARDOWN),
+    # ----- kp-queue/hp tests -----------------------------------------
+    (HTY, "fresh_nodes_start_ungated"): spec("stats", WHY_TEST),
+    (HTY, "sentinels_are_born_consumed"): spec("stats", WHY_TEST),
+    (HTE, "drop"): spec("stats", WHY_TEST),
+    (HTE, "values_dropped_exactly_once"): spec("stats", WHY_TEST),
+    # ----- hazard tests ----------------------------------------------
+    (HT, "drop"): spec("stats", WHY_TEST),
+    (HT, "retire_without_hazard_reclaims_on_scan"): spec("stats", WHY_TEST),
+    (HT, "protected_object_survives_scan"): spec("stats", WHY_TEST),
+    (HT, "threshold_triggers_automatic_scan"): spec("stats", WHY_TEST),
+    (HT, "domain_drop_frees_orphans"): spec("stats", WHY_TEST),
+    (HT, "orphans_adopted_by_next_scan"): spec("stats", WHY_TEST),
+    (HT, "concurrent_stress_no_use_after_free"): spec("stats", WHY_TEST),
+    (HT, "two_domains_are_isolated"): spec("stats", WHY_TEST),
+    (HI, "push"): spec("reclamation", "test fixture: Treiber push publishing nodes whose reclamation is under test"),
+    (HI, "pop"): spec("reclamation", "test fixture: Treiber pop; failure Acquire re-reads the head it will traverse from"),
+    (HI, "treiber_stack_conservation_under_contention"): spec("stats", WHY_TEST),
+    (HI, "drop"): spec("stats", WHY_TEST),
+    (HI, "retired_under_protection_survives_until_release_across_threads"): spec("stats", WHY_TEST),
+}
+
+HEADER = """\
+# ATOMICS.toml -- the workspace's memory-ordering manifest.
+#
+# Every atomic call site in the scoped crates must have a [[site]] entry
+# here; `cargo run -p atomics-audit` diffs this file against the code on
+# every CI run (see DESIGN.md SS11). Anchors are (file, fn, op, index) --
+# the index is the ordinal of that op within the enclosing fn -- so line
+# churn never invalidates an entry, but adding/removing/reordering the
+# same op inside one fn does (rerun with --dump to re-derive anchors).
+#
+# Maintained via scripts/gen_atomics_manifest.py (the annotation source
+# of truth); small edits can also be made here directly -- the generator
+# and the checked-in file must then be kept in sync by the editor.
+#
+# role taxonomy:
+#   linearization - implements a linearization step (names kp-model steps)
+#   doorway       - bakery/phase announcement protocol (wait-freedom)
+#   helper-guard  - exactly-once helping guards and validations
+#   reclamation   - memory reclamation, recycling, hazard machinery
+#   stats         - counters/diagnostics with no synchronization intent
+
+[audit]
+scope = ["crates/kp-queue", "crates/hazard", "crates/idpool"]
+"""
+
+SUPPRESSIONS = [
+    ("sc-justification", "crates/hazard/src/tests.rs", None, "test scaffolding uses SeqCst counters for simplicity"),
+    ("sc-justification", "crates/hazard/src/retired.rs", None, "only the tests module uses SeqCst; production fns in this file have none"),
+    ("sc-justification", "crates/hazard/tests/integration.rs", None, "test scaffolding uses SeqCst counters for simplicity"),
+    ("sc-justification", "crates/kp-queue/src/tests.rs", None, "test scaffolding uses SeqCst counters for simplicity"),
+    ("sc-justification", "crates/kp-queue/src/hp/tests.rs", None, "test scaffolding uses SeqCst counters for simplicity"),
+    ("sc-justification", "crates/idpool/src/lib.rs", "oversubscribed_acquire_never_duplicates", "test scaffolding uses SeqCst for simplicity"),
+]
+
+
+def main():
+    skeleton = open(sys.argv[1]).read()
+    out = [HEADER]
+    unknown = []
+    n = 0
+    for block in skeleton.strip().split("\n\n"):
+        kv = dict(re.findall(r'^(\w+) = (.+)$', block, re.M))
+        file, fn = kv["file"].strip('"'), kv["fn"].strip('"')
+        op, index = kv["op"].strip('"'), int(kv["index"])
+        order = kv["order"]
+        entry = TABLE.get((file, fn))
+        if isinstance(entry, dict) and "role" not in entry:
+            entry = entry.get((op, index))
+        if entry is None:
+            unknown.append(f"{file} {fn}/{op}#{index}")
+            continue
+        n += 1
+        lines = [
+            "[[site]]",
+            f'file = "{file}"',
+            f'fn = "{fn}"',
+            f'op = "{op}"',
+            f"index = {index}",
+            f"order = {order}",
+            f'role = "{entry["role"]}"',
+            f'why = "{entry["why"]}"',
+        ]
+        if entry["sc"]:
+            lines.append(f'sc = "{entry["sc"]}"')
+        if entry["steps"]:
+            steps = ", ".join(f'"{s}"' for s in entry["steps"])
+            lines.append(f"model_steps = [{steps}]")
+        out.append("\n".join(lines))
+    for rule, file, fn, reason in SUPPRESSIONS:
+        lines = ["[[suppress]]", f'rule = "{rule}"', f'file = "{file}"']
+        if fn:
+            lines.append(f'fn = "{fn}"')
+        lines.append(f'reason = "{reason}"')
+        out.append("\n".join(lines))
+    if unknown:
+        sys.stderr.write("unannotated sites:\n" + "\n".join(unknown) + "\n")
+        sys.exit(1)
+    sys.stdout.write("\n\n".join(out) + "\n")
+    sys.stderr.write(f"{n} sites annotated\n")
+
+
+if __name__ == "__main__":
+    main()
