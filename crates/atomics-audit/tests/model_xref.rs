@@ -69,7 +69,10 @@ fn paper_linearization_steps_are_claimed_in_both_variants() {
             .filter(|s| s.file == variant || s.file == "crates/kp-queue/src/desc.rs")
             .flat_map(|s| s.model_steps.iter().map(String::as_str))
             .collect();
-        for required in ["Append", "Lock", "Stage0Empty"] {
+        // The fast path reuses the same three linearization points
+        // without a descriptor (DESIGN.md §12); each must be claimed by
+        // a site in both variants too.
+        for required in ["Append", "Lock", "Stage0Empty", "FastAppend", "FastLock", "FastEmpty"] {
             assert!(
                 claimed.contains(required),
                 "{variant}: no linearization site claims model step `{required}` \

@@ -1,17 +1,27 @@
 //! Records the PR's perf baseline: throughput *and* allocation rate for
-//! the descriptor-reuse hot path against its alloc-per-op baseline,
-//! written as machine-readable JSON (default `BENCH_PR2.json`).
+//! the fast-path/slow-path execution split against its slow-path-only
+//! baseline, written as machine-readable JSON (default `BENCH_PR4.json`).
 //!
-//! Grid: {epoch, HP} × {base, opt(1+2)} × {reuse, alloc} ×
-//! {pairs, 50-50} × a small thread sweep. The binary installs the
-//! counting allocator from `alloc-track`, so `allocs_per_op` is the
-//! process-wide truth (thread spawn + registration included — amortized
-//! by the iteration count) rather than an inference from queue stats.
+//! Two grids:
+//! 1. the PR2/PR3 slow-path grid — {epoch, HP} × {base, opt(1+2)} ×
+//!    {reuse, alloc} × {pairs, 50-50} × a small thread sweep — kept
+//!    verbatim so slow-path drift vs the previous baseline is a
+//!    row-by-row diff;
+//! 2. the PR4 fast-path ablation — each fast variant against its
+//!    slow-path-only base (same memory management), with the merged
+//!    per-handle fallback counters recorded per cell.
+//!
+//! The binary installs the counting allocator from `alloc-track`, so
+//! `allocs_per_op` is the process-wide truth. Every row carries an
+//! `oversubscribed` flag: when a cell runs more worker threads than the
+//! machine has cores, its timing measures scheduler interleaving as
+//! much as queue throughput, and comparisons against uncontended cells
+//! are not apples-to-apples.
 //!
 //! ```text
 //! cargo run -p harness --release --bin bench_record
 //! cargo run -p harness --release --bin bench_record -- \
-//!     --iters 100000 --reps 5 --out BENCH_PR2.json
+//!     --iters 100000 --reps 5 --out BENCH_PR4.json
 //! ```
 //!
 //! `scripts/bench_record.sh` wraps this with the build step.
@@ -20,8 +30,9 @@ use std::fmt::Write as _;
 use std::time::Duration;
 
 use harness::args::Args;
-use harness::{workload, SchedPolicy};
+use harness::{workload, SchedPolicy, Variant};
 use kp_queue::{Config, WfQueue, WfQueueHp};
+use queue_traits::FastPathStats;
 
 #[global_allocator]
 static ALLOC: alloc_track::TrackingAlloc = alloc_track::TrackingAlloc;
@@ -35,6 +46,10 @@ struct Row {
     median_secs: f64,
     mops_per_sec: f64,
     allocs_per_op: f64,
+    oversubscribed: bool,
+    /// Merged fast-path counters across all reps; `None` for cells
+    /// without a fast path.
+    fast: Option<FastPathStats>,
 }
 
 /// One timed rep: returns (duration, heap allocations during the run).
@@ -53,11 +68,23 @@ fn main() {
     let args = Args::from_env();
     let iters: usize = args.get_or("iters", 50_000);
     let reps: usize = args.get_or("reps", 3);
-    let out = args.get("out").unwrap_or("BENCH_PR2.json").to_string();
+    let out = args.get("out").unwrap_or("BENCH_PR4.json").to_string();
     let thread_counts: Vec<usize> = match args.get("threads") {
         Some(t) => vec![t.parse().expect("--threads N")],
         None => vec![1, 4],
     };
+
+    let cores = harness::sched::num_cores();
+    println!("bench_record: iters/thread = {iters}, reps = {reps}, cores = {cores}");
+    for &threads in &thread_counts {
+        if threads > cores {
+            eprintln!(
+                "WARNING: {threads}-thread cells run on {cores} core(s): they are \
+                 oversubscribed, so timings measure scheduler interleaving as much \
+                 as queue throughput. Rows carry \"oversubscribed\": true."
+            );
+        }
+    }
 
     let configs: [(&str, bool, Config); 4] = [
         ("base", true, Config::base()),
@@ -66,12 +93,10 @@ fn main() {
         ("opt_both", false, Config::opt_both().with_reuse(false)),
     ];
 
-    println!(
-        "bench_record: iters/thread = {iters}, reps = {reps}, cores = {}",
-        harness::sched::num_cores()
-    );
-
     let mut rows: Vec<Row> = Vec::new();
+
+    // Grid 1: the slow-path grid, unchanged from the PR2/PR3 baseline
+    // so drift is a row-by-row diff against BENCH_PR3.json.
     for &threads in &thread_counts {
         for (config, reuse, cfg) in configs {
             for wl in ["pairs", "fifty_fifty"] {
@@ -112,42 +137,61 @@ fn main() {
                         durs.push(d);
                         allocs.push(a);
                     }
-                    let med = median(&mut durs);
-                    // Pairs = 2 ops per iteration; 50-50 = 1.
-                    let ops = (threads * iters * if wl == "pairs" { 2 } else { 1 }) as f64;
-                    allocs.sort();
-                    let med_allocs = allocs[allocs.len() / 2] as f64;
-                    let row = Row {
-                        queue,
-                        config,
-                        reuse,
-                        workload: wl,
-                        threads,
-                        median_secs: med.as_secs_f64(),
-                        mops_per_sec: ops / med.as_secs_f64() / 1e6,
-                        allocs_per_op: med_allocs / ops,
-                    };
-                    println!(
-                        "{:8} {:8} reuse={:5} {:11} t={}: {:>8.3} Mops/s, {:.4} allocs/op",
-                        row.queue,
-                        row.config,
-                        row.reuse,
-                        row.workload,
-                        row.threads,
-                        row.mops_per_sec,
-                        row.allocs_per_op
-                    );
-                    rows.push(row);
+                    rows.push(finish_row(
+                        queue, config, reuse, wl, threads, iters, cores, durs, allocs, None,
+                    ));
                 }
             }
         }
     }
 
-    // Headline comparison the acceptance criterion asks for: on pairs,
-    // reuse must not be slower than the alloc baseline (same queue,
-    // same config, same thread count).
-    let mut comparisons = String::new();
-    for r in rows.iter().filter(|r| r.reuse && r.workload == "pairs") {
+    // Grid 2: the fast-path ablation cells (reuse=true throughout; the
+    // fast path is an execution-mode knob, not a memory-management one).
+    for &threads in &thread_counts {
+        for wl in ["pairs", "fifty_fifty"] {
+            for (fast, _base) in Variant::FAST_ABLATION {
+                let queue = match fast {
+                    Variant::WfFast => "wf-fast",
+                    _ => "wf-fast-hp",
+                };
+                let mut durs = Vec::with_capacity(reps);
+                let mut allocs = Vec::with_capacity(reps);
+                let mut fp = FastPathStats::default();
+                for _ in 0..reps {
+                    let a0 = alloc_track::total_allocs();
+                    let (d, stats) = match wl {
+                        "pairs" => fast.run_pairs_stats(threads, iters, SchedPolicy::Unpinned),
+                        _ => fast.run_fifty_fifty_stats(
+                            threads,
+                            iters,
+                            1_000,
+                            SchedPolicy::Unpinned,
+                        ),
+                    };
+                    allocs.push(alloc_track::total_allocs() - a0);
+                    durs.push(d);
+                    fp.merge(&stats);
+                }
+                rows.push(finish_row(
+                    queue,
+                    "fast",
+                    true,
+                    wl,
+                    threads,
+                    iters,
+                    cores,
+                    durs,
+                    allocs,
+                    Some(fp),
+                ));
+            }
+        }
+    }
+
+    // Headline comparison from PR2: on pairs, reuse must not be slower
+    // than the alloc baseline (same queue, config, thread count).
+    let mut reuse_cmps = String::new();
+    for r in rows.iter().filter(|r| r.reuse && r.workload == "pairs" && r.fast.is_none()) {
         if let Some(b) = rows.iter().find(|b| {
             !b.reuse
                 && b.workload == "pairs"
@@ -157,10 +201,10 @@ fn main() {
         }) {
             let speedup = r.mops_per_sec / b.mops_per_sec;
             let _ = write!(
-                comparisons,
+                reuse_cmps,
                 "{}    {{\"queue\": \"{}\", \"config\": \"{}\", \"threads\": {}, \
                  \"reuse_over_alloc_speedup\": {:.4}}}",
-                if comparisons.is_empty() { "" } else { ",\n" },
+                if reuse_cmps.is_empty() { "" } else { ",\n" },
                 r.queue,
                 r.config,
                 r.threads,
@@ -173,33 +217,159 @@ fn main() {
         }
     }
 
+    // Headline comparison for this PR: each fast cell against its
+    // slow-path-only base (same memory management, opt_both, reuse).
+    let mut fast_cmps = String::new();
+    let mut log_sum = 0.0f64;
+    let mut n_cmps = 0usize;
+    for (fast, _) in Variant::FAST_ABLATION {
+        let (fast_name, base_name) = match fast {
+            Variant::WfFast => ("wf-fast", "wf-epoch"),
+            _ => ("wf-fast-hp", "wf-hp"),
+        };
+        for &threads in &thread_counts {
+            for wl in ["pairs", "fifty_fifty"] {
+                let f = rows
+                    .iter()
+                    .find(|r| r.queue == fast_name && r.workload == wl && r.threads == threads)
+                    .expect("fast row");
+                let b = rows
+                    .iter()
+                    .find(|r| {
+                        r.queue == base_name
+                            && r.config == "opt_both"
+                            && r.reuse
+                            && r.workload == wl
+                            && r.threads == threads
+                    })
+                    .expect("base row");
+                let speedup = f.mops_per_sec / b.mops_per_sec;
+                log_sum += speedup.ln();
+                n_cmps += 1;
+                let fp = f.fast.as_ref().expect("fast row has stats");
+                let _ = write!(
+                    fast_cmps,
+                    "{}    {{\"fast\": \"{}\", \"base\": \"{}\", \"workload\": \"{}\", \
+                     \"threads\": {}, \"fast_over_base_speedup\": {:.4}, \
+                     \"fallback_rate\": {:.6}}}",
+                    if fast_cmps.is_empty() { "" } else { ",\n" },
+                    fast_name,
+                    base_name,
+                    wl,
+                    threads,
+                    speedup,
+                    fp.fallback_rate()
+                );
+                println!(
+                    "fast/base {} vs {} {} t={}: {:.3}x (fallback rate {:.4})",
+                    fast_name,
+                    base_name,
+                    wl,
+                    threads,
+                    speedup,
+                    fp.fallback_rate()
+                );
+            }
+        }
+    }
+    let geomean = (log_sum / n_cmps as f64).exp();
+    println!("fast-over-base geomean across {n_cmps} cells: {geomean:.4}x");
+
     let mut json = String::new();
-    json.push_str("{\n  \"pr\": 2,\n");
+    json.push_str("{\n  \"pr\": 4,\n");
     let _ = writeln!(json, "  \"iters_per_thread\": {iters},");
     let _ = writeln!(json, "  \"reps\": {reps},");
-    let _ = writeln!(json, "  \"cores\": {},", harness::sched::num_cores());
+    let _ = writeln!(json, "  \"cores\": {cores},");
     json.push_str("  \"benches\": [\n");
     for (i, r) in rows.iter().enumerate() {
+        let fast_fields = match &r.fast {
+            Some(fp) => format!(
+                ", \"fallback_rate\": {:.6}, \"fast_completions\": {}, \
+                 \"fast_exhaustions\": {}, \"fast_starvation_demotions\": {}, \
+                 \"slow_ops\": {}",
+                fp.fallback_rate(),
+                fp.fast_completions,
+                fp.fast_exhaustions,
+                fp.fast_starvation_demotions,
+                fp.slow_ops
+            ),
+            None => String::new(),
+        };
         let _ = writeln!(
             json,
             "    {{\"queue\": \"{}\", \"config\": \"{}\", \"reuse\": {}, \
-             \"workload\": \"{}\", \"threads\": {}, \"median_secs\": {:.6}, \
-             \"mops_per_sec\": {:.4}, \"allocs_per_op\": {:.6}}}{}",
+             \"workload\": \"{}\", \"threads\": {}, \"oversubscribed\": {}, \
+             \"median_secs\": {:.6}, \"mops_per_sec\": {:.4}, \
+             \"allocs_per_op\": {:.6}{}}}{}",
             r.queue,
             r.config,
             r.reuse,
             r.workload,
             r.threads,
+            r.oversubscribed,
             r.median_secs,
             r.mops_per_sec,
             r.allocs_per_op,
+            fast_fields,
             if i + 1 == rows.len() { "" } else { "," }
         );
     }
     json.push_str("  ],\n  \"pairs_reuse_vs_alloc\": [\n");
-    json.push_str(&comparisons);
-    json.push_str("\n  ]\n}\n");
+    json.push_str(&reuse_cmps);
+    json.push_str("\n  ],\n  \"fast_vs_base\": [\n");
+    json.push_str(&fast_cmps);
+    json.push_str("\n  ],\n");
+    let _ = writeln!(json, "  \"fast_vs_base_geomean\": {geomean:.4}");
+    json.push_str("}\n");
 
     std::fs::write(&out, json).expect("write JSON report");
     println!("-> {out}");
+}
+
+#[allow(clippy::too_many_arguments)]
+fn finish_row(
+    queue: &'static str,
+    config: &'static str,
+    reuse: bool,
+    wl: &'static str,
+    threads: usize,
+    iters: usize,
+    cores: usize,
+    mut durs: Vec<Duration>,
+    mut allocs: Vec<usize>,
+    fast: Option<FastPathStats>,
+) -> Row {
+    let med = median(&mut durs);
+    // Pairs = 2 ops per iteration; 50-50 = 1.
+    let ops = (threads * iters * if wl == "pairs" { 2 } else { 1 }) as f64;
+    allocs.sort();
+    let med_allocs = allocs[allocs.len() / 2] as f64;
+    let row = Row {
+        queue,
+        config,
+        reuse,
+        workload: wl,
+        threads,
+        median_secs: med.as_secs_f64(),
+        mops_per_sec: ops / med.as_secs_f64() / 1e6,
+        allocs_per_op: med_allocs / ops,
+        oversubscribed: threads > cores,
+        fast,
+    };
+    println!(
+        "{:10} {:8} reuse={:5} {:11} t={}{}: {:>8.3} Mops/s, {:.4} allocs/op{}",
+        row.queue,
+        row.config,
+        row.reuse,
+        row.workload,
+        row.threads,
+        if row.oversubscribed { " (oversub)" } else { "" },
+        row.mops_per_sec,
+        row.allocs_per_op,
+        match &row.fast {
+            Some(fp) => format!(", fallback rate {:.4}", fp.fallback_rate()),
+            None => String::new(),
+        }
+    );
+    row
 }

@@ -5,6 +5,7 @@ use std::time::Duration;
 
 use kp_queue::{Config, WfQueue, WfQueueHp};
 use ms_queue::{MsQueue, MsQueueHp, MutexQueue};
+use queue_traits::FastPathStats;
 
 use crate::sched::SchedPolicy;
 use crate::workload;
@@ -30,6 +31,11 @@ pub enum Variant {
     /// wait-free including memory management (reclamation ablation; not
     /// a paper series).
     WfHp,
+    /// Kogan–Petrank opt (1+2) with the bounded lock-free fast path
+    /// (DESIGN.md §12; the KP 2012 fast-path/slow-path methodology).
+    WfFast,
+    /// The fast path on the hazard-pointer variant.
+    WfFastHp,
     /// Coarse mutex around a `VecDeque` (context baseline).
     Mutex,
 }
@@ -47,7 +53,7 @@ impl Variant {
     ];
 
     /// Everything, for exhaustive sweeps.
-    pub const ALL: [Variant; 8] = [
+    pub const ALL: [Variant; 10] = [
         Variant::Lf,
         Variant::LfHp,
         Variant::WfBase,
@@ -55,7 +61,16 @@ impl Variant {
         Variant::WfOpt2,
         Variant::WfOptBoth,
         Variant::WfHp,
+        Variant::WfFast,
+        Variant::WfFastHp,
         Variant::Mutex,
+    ];
+
+    /// The fast-path ablation cells of BENCH_PR4: each fast variant
+    /// paired with its slow-path-only base (same memory management).
+    pub const FAST_ABLATION: [(Variant, Variant); 2] = [
+        (Variant::WfFast, Variant::WfOptBoth),
+        (Variant::WfFastHp, Variant::WfHp),
     ];
 
     /// Series label, matching the paper's legends where applicable.
@@ -68,6 +83,8 @@ impl Variant {
             Variant::WfOpt2 => "opt WF (2)",
             Variant::WfOptBoth => "opt WF (1+2)",
             Variant::WfHp => "WF (hazard)",
+            Variant::WfFast => "fast WF (1+2)",
+            Variant::WfFastHp => "fast WF (hazard)",
             Variant::Mutex => "mutex",
         }
     }
@@ -82,6 +99,8 @@ impl Variant {
             "wf-opt2" | "opt WF (2)" | "opt2" => Some(Variant::WfOpt2),
             "wf-opt" | "opt WF (1+2)" | "opt" => Some(Variant::WfOptBoth),
             "wf-hp" | "WF (hazard)" => Some(Variant::WfHp),
+            "wf-fast" | "fast WF (1+2)" | "fast" => Some(Variant::WfFast),
+            "wf-fast-hp" | "fast WF (hazard)" | "fast-hp" => Some(Variant::WfFastHp),
             "mutex" => Some(Variant::Mutex),
             _ => None,
         }
@@ -94,24 +113,44 @@ impl Variant {
             Variant::WfOpt1 => Some(Config::opt1()),
             Variant::WfOpt2 => Some(Config::opt2()),
             Variant::WfOptBoth => Some(Config::opt_both()),
+            Variant::WfFast => Some(Config::fast()),
             _ => None,
         }
     }
 
     /// Runs the pairs benchmark (Figures 7/9) on a fresh queue.
     pub fn run_pairs(&self, threads: usize, iters: usize, sched: SchedPolicy) -> Duration {
+        self.run_pairs_stats(threads, iters, sched).0
+    }
+
+    /// [`run_pairs`](Self::run_pairs) plus the merged per-handle
+    /// fast-path counters (all zero for variants without a fast path).
+    pub fn run_pairs_stats(
+        &self,
+        threads: usize,
+        iters: usize,
+        sched: SchedPolicy,
+    ) -> (Duration, FastPathStats) {
         match self {
-            Variant::Lf => workload::run_pairs(&MsQueue::new(), threads, iters, sched),
-            Variant::LfHp => workload::run_pairs(&MsQueueHp::new(), threads, iters, sched),
+            Variant::Lf => workload::run_pairs_with_stats(&MsQueue::new(), threads, iters, sched),
+            Variant::LfHp => {
+                workload::run_pairs_with_stats(&MsQueueHp::new(), threads, iters, sched)
+            }
             Variant::WfHp => {
                 let q: WfQueueHp<u64> = WfQueueHp::with_config(threads, Config::opt_both());
-                workload::run_pairs(&q, threads, iters, sched)
+                workload::run_pairs_with_stats(&q, threads, iters, sched)
             }
-            Variant::Mutex => workload::run_pairs(&MutexQueue::new(), threads, iters, sched),
+            Variant::WfFastHp => {
+                let q: WfQueueHp<u64> = WfQueueHp::with_config(threads, Config::fast());
+                workload::run_pairs_with_stats(&q, threads, iters, sched)
+            }
+            Variant::Mutex => {
+                workload::run_pairs_with_stats(&MutexQueue::new(), threads, iters, sched)
+            }
             wf => {
                 let cfg = wf.wf_config().expect("wait-free variant");
                 let q: WfQueue<u64> = WfQueue::with_config(threads, cfg);
-                workload::run_pairs(&q, threads, iters, sched)
+                workload::run_pairs_with_stats(&q, threads, iters, sched)
             }
         }
     }
@@ -124,27 +163,51 @@ impl Variant {
         prefill: usize,
         sched: SchedPolicy,
     ) -> Duration {
+        self.run_fifty_fifty_stats(threads, iters, prefill, sched).0
+    }
+
+    /// [`run_fifty_fifty`](Self::run_fifty_fifty) plus the merged
+    /// per-handle fast-path counters.
+    pub fn run_fifty_fifty_stats(
+        &self,
+        threads: usize,
+        iters: usize,
+        prefill: usize,
+        sched: SchedPolicy,
+    ) -> (Duration, FastPathStats) {
         match self {
             Variant::Lf => {
-                workload::run_fifty_fifty(&MsQueue::new(), threads, iters, prefill, sched)
+                workload::run_fifty_fifty_with_stats(&MsQueue::new(), threads, iters, prefill, sched)
             }
-            Variant::LfHp => {
-                workload::run_fifty_fifty(&MsQueueHp::new(), threads, iters, prefill, sched)
-            }
+            Variant::LfHp => workload::run_fifty_fifty_with_stats(
+                &MsQueueHp::new(),
+                threads,
+                iters,
+                prefill,
+                sched,
+            ),
             Variant::WfHp => {
                 let q: WfQueueHp<u64> = WfQueueHp::with_config(threads + 1, Config::opt_both());
-                workload::run_fifty_fifty(&q, threads, iters, prefill, sched)
+                workload::run_fifty_fifty_with_stats(&q, threads, iters, prefill, sched)
             }
-            Variant::Mutex => {
-                workload::run_fifty_fifty(&MutexQueue::new(), threads, iters, prefill, sched)
+            Variant::WfFastHp => {
+                let q: WfQueueHp<u64> = WfQueueHp::with_config(threads + 1, Config::fast());
+                workload::run_fifty_fifty_with_stats(&q, threads, iters, prefill, sched)
             }
+            Variant::Mutex => workload::run_fifty_fifty_with_stats(
+                &MutexQueue::new(),
+                threads,
+                iters,
+                prefill,
+                sched,
+            ),
             wf => {
                 let cfg = wf.wf_config().expect("wait-free variant");
                 // +1 slot: the prefill handle coexists conceptually; it
                 // is dropped before workers start, but sizing generously
                 // costs one array entry.
                 let q: WfQueue<u64> = WfQueue::with_config(threads + 1, cfg);
-                workload::run_fifty_fifty(&q, threads, iters, prefill, sched)
+                workload::run_fifty_fifty_with_stats(&q, threads, iters, prefill, sched)
             }
         }
     }
@@ -189,6 +252,31 @@ mod tests {
         for v in Variant::ALL {
             let d = v.run_fifty_fifty(2, 300, 50, SchedPolicy::Unpinned);
             assert!(d > Duration::ZERO, "{v}");
+        }
+    }
+
+    #[test]
+    fn fast_variants_report_fast_path_stats() {
+        for v in [Variant::WfFast, Variant::WfFastHp] {
+            let (_, fp) = v.run_pairs_stats(2, 300, SchedPolicy::Unpinned);
+            assert!(fp.fast_completions > 0, "{v}: fast path must run: {fp:?}");
+            assert!(
+                fp.fast_completions + fp.slow_ops >= 2 * 2 * 300,
+                "{v}: every op is counted somewhere: {fp:?}"
+            );
+        }
+        // Slow-path and baseline variants report all-zero counters.
+        for v in [Variant::WfOptBoth, Variant::Lf, Variant::Mutex] {
+            let (_, fp) = v.run_pairs_stats(2, 300, SchedPolicy::Unpinned);
+            assert_eq!(fp.fast_completions, 0, "{v}");
+        }
+    }
+
+    #[test]
+    fn fast_ablation_pairs_fast_with_its_base() {
+        for (fast, base) in Variant::FAST_ABLATION {
+            assert!(fast.label().contains("fast"), "{fast}");
+            assert!(!base.label().contains("fast"), "{base}");
         }
     }
 }

@@ -72,6 +72,13 @@ enum StepKind {
     Lock,
     AckDeq,
     FixHead,
+    FastAppend,
+    FastFixTail,
+    FastEmpty,
+    FastStage0,
+    FastRestage,
+    FastLock,
+    FastFixHead,
 }
 
 /// The names of every step the explorer enumerates, in `StepKind`
@@ -91,6 +98,13 @@ pub const STEP_NAMES: &[&str] = &[
     "Lock",
     "AckDeq",
     "FixHead",
+    "FastAppend",
+    "FastFixTail",
+    "FastEmpty",
+    "FastStage0",
+    "FastRestage",
+    "FastLock",
+    "FastFixHead",
 ];
 
 impl Step {
@@ -176,7 +190,7 @@ fn check_terminal(s: &State, schedule: &[String]) -> Result<(), ModelError> {
                     schedule: schedule.to_vec(),
                 });
             }
-            if matches!(op.kind, OpKind::Dequeue) && op.result.is_none() {
+            if matches!(op.kind, OpKind::Dequeue | OpKind::FastDequeue) && op.result.is_none() {
                 return Err(ModelError::SpecDivergence {
                     op: (t, k),
                     observed: None,
@@ -237,6 +251,42 @@ fn enabled_steps(s: &State) -> Vec<Step> {
             }
             (OpKind::Dequeue, Pc::AckDeq) => out.push(mk(StepKind::AckDeq)),
             (OpKind::Dequeue, Pc::FixHead) => out.push(mk(StepKind::FixHead)),
+            (OpKind::FastEnqueue(_), Pc::FastAppend) => {
+                // Same append CAS as the slow path's L74, hence the same
+                // §3.1 guard: only at a settled tail. With a dangling
+                // node the implementation's fast loop helps FixTail and
+                // retries — modelled by the dangling op's own FixTail
+                // step being the enabled one (global progress).
+                if s.dangling().is_none() {
+                    out.push(mk(StepKind::FastAppend));
+                }
+            }
+            (OpKind::FastEnqueue(_), Pc::FastFixTail) => out.push(mk(StepKind::FastFixTail)),
+            (OpKind::FastDequeue, Pc::FastStage0) => {
+                if s.head == s.tail {
+                    if s.nodes[s.tail].next.is_none() {
+                        out.push(mk(StepKind::FastEmpty));
+                    }
+                    // else: dangling node — wait for its FixTail, as in
+                    // the slow stage 0 (the fast loop helps and retries).
+                } else {
+                    out.push(mk(StepKind::FastStage0));
+                }
+            }
+            (OpKind::FastDequeue, Pc::FastLock) => {
+                let staged = op.node.expect("fast stage 0 read a sentinel");
+                if s.head != staged {
+                    // Head moved between the read and the CAS: the CAS
+                    // would fail (nodes behind head are always locked),
+                    // and the fast loop retries from a fresh head read.
+                    out.push(mk(StepKind::FastRestage));
+                } else if s.nodes[staged].deq_by.is_none() {
+                    out.push(mk(StepKind::FastLock));
+                }
+                // else: locked by a concurrent (fast or slow) dequeue;
+                // that op's completion steps are enabled instead.
+            }
+            (OpKind::FastDequeue, Pc::FastFixHead) => out.push(mk(StepKind::FastFixHead)),
             (_, Pc::Done) => unreachable!("cur advances when an op completes"),
             _ => unreachable!("kind/pc mismatch"),
         }
@@ -259,6 +309,9 @@ fn apply(s: &State, step: Step, schedule: &[String]) -> Result<State, ModelError
             op!().pc = match op!().kind {
                 OpKind::Enqueue(_) => Pc::Append,
                 OpKind::Dequeue => Pc::Stage0,
+                OpKind::FastEnqueue(_) | OpKind::FastDequeue => {
+                    unreachable!("fast ops have no publish step")
+                }
             };
         }
         StepKind::Append => {
@@ -357,6 +410,100 @@ fn apply(s: &State, step: Step, schedule: &[String]) -> Result<State, ModelError
             op!().pc = Pc::Done;
             n.cur[t] += 1;
         }
+        StepKind::FastAppend => {
+            // Identical shared-state effect to Append (same CAS); the
+            // fast op just has no descriptor to acknowledge afterwards.
+            let OpKind::FastEnqueue(v) = op!().kind else {
+                unreachable!()
+            };
+            let idx = n.nodes.len();
+            n.nodes.push(crate::state::Node {
+                value: Some(v),
+                next: None,
+                deq_by: None,
+            });
+            debug_assert!(n.nodes[n.tail].next.is_none());
+            let tail = n.tail;
+            n.nodes[tail].next = Some(idx);
+            op!().node = Some(idx);
+            // Linearization of the fast enqueue.
+            n.spec.push_back(v);
+            op!().linearized_count += 1;
+            if op!().linearized_count > 1 {
+                return Err(ModelError::DoubleLinearization {
+                    op: (t, k),
+                    schedule: schedule.to_vec(),
+                });
+            }
+            op!().pc = Pc::FastFixTail;
+        }
+        StepKind::FastFixTail => {
+            let next = n.nodes[n.tail].next.expect("our appended node");
+            debug_assert_eq!(Some(next), op!().node);
+            n.tail = next;
+            op!().pc = Pc::Done;
+            n.cur[t] += 1;
+        }
+        StepKind::FastEmpty => {
+            // Linearized as an empty dequeue at the validated `next`
+            // load (no descriptor CAS needed on the fast path).
+            let expected = n.spec.front().copied();
+            if expected.is_some() {
+                return Err(ModelError::SpecDivergence {
+                    op: (t, k),
+                    observed: None,
+                    expected,
+                    schedule: schedule.to_vec(),
+                });
+            }
+            op!().result = Some(None);
+            op!().linearized_count += 1;
+            op!().pc = Pc::Done;
+            n.cur[t] += 1;
+        }
+        StepKind::FastStage0 => {
+            op!().node = Some(n.head);
+            op!().pc = Pc::FastLock;
+        }
+        StepKind::FastRestage => {
+            op!().node = None;
+            op!().pc = Pc::FastStage0;
+        }
+        StepKind::FastLock => {
+            // Identical to Lock (same `deqTid` CAS, marker value aside).
+            let sentinel = op!().node.expect("staged");
+            debug_assert_eq!(sentinel, n.head);
+            debug_assert!(n.nodes[sentinel].deq_by.is_none());
+            n.nodes[sentinel].deq_by = Some((t, k));
+            let first = n.nodes[sentinel].next.expect("non-empty branch");
+            let observed = n.nodes[first].value;
+            // Linearization of the successful fast dequeue.
+            let expected = n.spec.pop_front();
+            if observed != expected {
+                return Err(ModelError::SpecDivergence {
+                    op: (t, k),
+                    observed,
+                    expected,
+                    schedule: schedule.to_vec(),
+                });
+            }
+            op!().result = Some(observed);
+            op!().linearized_count += 1;
+            if op!().linearized_count > 1 {
+                return Err(ModelError::DoubleLinearization {
+                    op: (t, k),
+                    schedule: schedule.to_vec(),
+                });
+            }
+            op!().pc = Pc::FastFixHead;
+        }
+        StepKind::FastFixHead => {
+            let sentinel = op!().node.expect("locked");
+            debug_assert_eq!(sentinel, n.head);
+            n.head = n.nodes[sentinel].next.expect("locked sentinel has next");
+            op!().pc = Pc::Done;
+            n.cur[t] += 1;
+        }
     }
     Ok(n)
 }
@@ -380,6 +527,13 @@ mod step_names_tests {
             StepKind::Lock,
             StepKind::AckDeq,
             StepKind::FixHead,
+            StepKind::FastAppend,
+            StepKind::FastFixTail,
+            StepKind::FastEmpty,
+            StepKind::FastStage0,
+            StepKind::FastRestage,
+            StepKind::FastLock,
+            StepKind::FastFixHead,
         ];
         assert_eq!(all.len(), STEP_NAMES.len());
         for (kind, name) in all.iter().zip(STEP_NAMES) {

@@ -10,6 +10,15 @@ pub enum OpKind {
     Enqueue(u64),
     /// `dequeue()`.
     Dequeue,
+    /// `enqueue(value)` executed on the bounded lock-free fast path
+    /// (DESIGN.md §12): no descriptor publish, the append CAS is the
+    /// whole operation plus a best-effort tail swing. Demotion to the
+    /// slow path is not modelled — a demoted op *is* an [`Enqueue`].
+    FastEnqueue(u64),
+    /// `dequeue()` executed on the fast path: no descriptor, the
+    /// sentinel's `deqTid` CAS (with the `FAST_DEQUEUER` marker) is the
+    /// linearization, then a best-effort head swing.
+    FastDequeue,
 }
 
 /// A bounded configuration to explore: each inner vector is one
@@ -27,6 +36,12 @@ pub struct Scenario {
 ///   FixTail (L94) → Done`
 /// * dequeue: `Publish → Stage0 (L131) → Lock (L135, linearizes) /
 ///   ObserveEmpty (L112+L120) → Ack (L149) → FixHead (L150) → Done`
+/// * fast enqueue: `FastAppend (same CAS as L74, linearizes) →
+///   FastFixTail → Done` — no publish, no ack (there is no descriptor)
+/// * fast dequeue: `FastStage0 → FastLock (same CAS as L135,
+///   linearizes) / FastEmpty → FastFixHead → Done` — the stage split
+///   over-approximates the implementation's load-validate-CAS, which
+///   only adds interleavings, never hides one
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub(crate) enum Pc {
     Publish,
@@ -45,6 +60,19 @@ pub(crate) enum Pc {
     AckDeq,
     /// Dequeue: acknowledged; head still behind.
     FixHead,
+    /// Fast enqueue: waiting to append (needs `tail.next == null`).
+    FastAppend,
+    /// Fast enqueue: appended; tail still behind (best-effort swing —
+    /// in the implementation a helper's `FAST_ENQUEUER` branch may run
+    /// it instead, with identical shared-state effect).
+    FastFixTail,
+    /// Fast dequeue: read head (or observe empty). No descriptor bind.
+    FastStage0,
+    /// Fast dequeue: CAS the read sentinel's `deqTid` to the
+    /// `FAST_DEQUEUER` marker.
+    FastLock,
+    /// Fast dequeue: locked; head still behind (best-effort swing).
+    FastFixHead,
     /// Operation complete (result recorded for dequeues).
     Done,
 }
@@ -96,7 +124,12 @@ impl State {
                 prog.iter()
                     .map(|&kind| OpState {
                         kind,
-                        pc: Pc::Publish,
+                        // Fast ops skip the descriptor publish entirely.
+                        pc: match kind {
+                            OpKind::Enqueue(_) | OpKind::Dequeue => Pc::Publish,
+                            OpKind::FastEnqueue(_) => Pc::FastAppend,
+                            OpKind::FastDequeue => Pc::FastStage0,
+                        },
                         node: None,
                         result: None,
                         linearized_count: 0,

@@ -1,7 +1,7 @@
 //! Exhaustive-exploration tests of the operation scheme.
 
 use crate::{explore, ModelError, OpKind, Scenario};
-use OpKind::{Dequeue, Enqueue};
+use OpKind::{Dequeue, Enqueue, FastDequeue, FastEnqueue};
 
 fn scenario(programs: &[&[OpKind]]) -> Scenario {
     Scenario {
@@ -81,6 +81,82 @@ fn model_error_is_descriptive() {
     };
     let s = format!("{e:?}");
     assert!(s.contains("SpecDivergence") && s.contains("t0op0"));
+}
+
+#[test]
+fn fast_ops_alone_are_spec_conformant() {
+    let r = explore(&scenario(&[
+        &[FastEnqueue(1), FastDequeue],
+        &[FastEnqueue(2), FastDequeue],
+    ]))
+    .unwrap();
+    assert!(r.terminals >= 2, "racing fast ops reach distinct outcomes");
+}
+
+#[test]
+fn fast_enqueue_races_slow_enqueue() {
+    // The tentpole interleaving: a descriptor-driven enqueue (whose
+    // append any helper may execute) racing a no-descriptor fast
+    // enqueue on the same tail. Every schedule must linearize both
+    // exactly once, in some order — the FAST_ENQUEUER branch in
+    // help_finish_enq is what makes the helper side of this safe.
+    let r = explore(&scenario(&[
+        &[Enqueue(1), Dequeue, Dequeue],
+        &[FastEnqueue(2)],
+    ]))
+    .unwrap();
+    assert!(r.terminals >= 2, "both append orders reachable");
+}
+
+#[test]
+fn fast_dequeue_races_slow_dequeue_over_one_element() {
+    // A slow dequeue's stage-0/lock sequence vs a fast dequeue's
+    // read/lock on a single-element queue: exactly one wins the value,
+    // the other observes empty or the successor — never a duplicate,
+    // never a lost value (exactly-once is checked at every terminal).
+    explore(&scenario(&[
+        &[Enqueue(1), Dequeue],
+        &[FastDequeue],
+    ]))
+    .unwrap();
+}
+
+#[test]
+fn fast_dequeue_respects_slow_lock() {
+    // A slow dequeuer that has locked the sentinel but not yet swung
+    // the head (between its Lock and FixHead) must block the fast
+    // dequeuer's lock CAS — the fast path helps and retries instead of
+    // double-taking.
+    explore(&scenario(&[
+        &[Enqueue(1), Enqueue(2), Dequeue],
+        &[FastDequeue, FastDequeue],
+    ]))
+    .unwrap();
+}
+
+#[test]
+fn mixed_fast_slow_empty_race() {
+    // Empty-queue race with one fast and one slow dequeuer against the
+    // first enqueue: empty observations must stay consistent with the
+    // spec at their linearization instant.
+    let r = explore(&scenario(&[
+        &[FastEnqueue(7)],
+        &[Dequeue],
+        &[FastDequeue],
+    ]))
+    .unwrap();
+    assert!(r.terminals >= 3, "win/lose/empty outcomes all reachable");
+}
+
+#[test]
+fn fifo_order_forced_across_paths() {
+    // Same-thread program order: a fast enqueue after a slow enqueue
+    // must linearize after it (1 then 2), whichever path dequeues.
+    explore(&scenario(&[
+        &[Enqueue(1), FastEnqueue(2)],
+        &[FastDequeue, Dequeue],
+    ]))
+    .unwrap();
 }
 
 #[test]

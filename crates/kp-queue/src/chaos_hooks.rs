@@ -23,6 +23,11 @@
 //! | `clear_pending.deq` | after observing a locked sentinel, before the L148–149 CAS (dequeue step 2) |
 //! | `clear_pending.deq_empty` | before the L118–120 empty-result CAS |
 //! | `swing_head` | before the L150 head CAS (dequeue step 3) |
+//! | `fast.enq` | top of each fast-path enqueue iteration, before its append CAS attempt (so a plan can hit every retry) |
+//! | `fast.swing_tail` | after a fast append won, before its best-effort tail CAS |
+//! | `fast.deq` | top of each fast-path dequeue iteration, before its `deqTid` CAS attempt |
+//! | `fast.swing_head` | after a fast lock won (value already taken), before its best-effort head CAS |
+//! | `fast.demote` | after fast-path exhaustion, before the slow-path descriptor publish (enqueue: the private node is already rebranded with the real tid) |
 
 #[cfg(feature = "chaos")]
 macro_rules! inject {

@@ -36,6 +36,16 @@ pub enum PhasePolicy {
     AtomicCounter,
 }
 
+/// Default bound on fast-path CAS-loop iterations when the fast path is
+/// enabled via [`Config::fast`]. Small on purpose: each failed iteration
+/// already proves a concurrent operation succeeded, so a long fast loop
+/// only delays the (helping) slow path under sustained contention.
+pub const DEFAULT_FAST_FAILURES: usize = 8;
+
+/// Default number of consecutive fast-path operations a handle completes
+/// before it peeks one `state` slot for a starving slow-path peer.
+pub const DEFAULT_STARVATION_PATIENCE: usize = 64;
+
 /// Variant selection for a [`WfQueue`](crate::WfQueue).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Config {
@@ -53,6 +63,22 @@ pub struct Config {
     /// descriptors are reused either way, as they are no longer heap
     /// objects at all).
     pub reuse_nodes: bool,
+    /// Fast-path/slow-path execution (Kogan–Petrank 2012 methodology):
+    /// each operation first runs up to this many iterations of the raw
+    /// Michael–Scott CAS loop — no descriptor publish, no phase, no
+    /// helping — and falls back to the paper's wait-free slow path on
+    /// exhaustion. `0` (the default) disables the fast path entirely;
+    /// wait-freedom holds for any value because every failed fast
+    /// iteration implies a contending operation succeeded, so the
+    /// fallback is reached after bounded global progress.
+    pub max_fast_failures: usize,
+    /// Every this-many consecutive fast-path operations, a handle peeks
+    /// one `state`-array slot (cyclically) and demotes its own operation
+    /// to the slow path if that peer is pending — bounding how long a
+    /// slow-path operation can starve while peers keep winning the fast
+    /// path. `0` disables the peek (fast ops then only help when they
+    /// themselves fall back).
+    pub starvation_patience: usize,
 }
 
 impl Config {
@@ -63,6 +89,8 @@ impl Config {
             phase: PhasePolicy::MaxScan,
             validate_before_cas: false,
             reuse_nodes: true,
+            max_fast_failures: 0,
+            starvation_patience: DEFAULT_STARVATION_PATIENCE,
         }
     }
 
@@ -73,6 +101,8 @@ impl Config {
             phase: PhasePolicy::MaxScan,
             validate_before_cas: false,
             reuse_nodes: true,
+            max_fast_failures: 0,
+            starvation_patience: DEFAULT_STARVATION_PATIENCE,
         }
     }
 
@@ -83,6 +113,8 @@ impl Config {
             phase: PhasePolicy::AtomicCounter,
             validate_before_cas: false,
             reuse_nodes: true,
+            max_fast_failures: 0,
+            starvation_patience: DEFAULT_STARVATION_PATIENCE,
         }
     }
 
@@ -93,6 +125,8 @@ impl Config {
             phase: PhasePolicy::AtomicCounter,
             validate_before_cas: false,
             reuse_nodes: true,
+            max_fast_failures: 0,
+            starvation_patience: DEFAULT_STARVATION_PATIENCE,
         }
     }
 
@@ -119,6 +153,31 @@ impl Config {
     pub const fn with_phase(mut self, phase: PhasePolicy) -> Self {
         self.phase = phase;
         self
+    }
+
+    /// Fast-path/slow-path execution on top of `opt WF (1+2)`: the
+    /// lock-free Michael–Scott CAS loop first, the paper's helping
+    /// machinery as the wait-free fallback.
+    pub const fn fast() -> Self {
+        Config::opt_both().with_fast_path(DEFAULT_FAST_FAILURES)
+    }
+
+    /// Sets the fast-path CAS-failure bound (`0` disables the fast
+    /// path).
+    pub const fn with_fast_path(mut self, max_fast_failures: usize) -> Self {
+        self.max_fast_failures = max_fast_failures;
+        self
+    }
+
+    /// Sets the starvation-peek period (`0` disables the peek).
+    pub const fn with_starvation_patience(mut self, patience: usize) -> Self {
+        self.starvation_patience = patience;
+        self
+    }
+
+    /// Whether operations attempt the descriptor-free fast path first.
+    pub const fn fast_path_enabled(&self) -> bool {
+        self.max_fast_failures > 0
     }
 
     /// Short label used by the harness and benches ("base", "opt1", …).
@@ -179,5 +238,25 @@ mod tests {
     #[test]
     fn default_is_opt_both() {
         assert_eq!(Config::default(), Config::opt_both());
+    }
+
+    #[test]
+    fn fast_path_defaults_off_and_toggles() {
+        assert!(!Config::default().fast_path_enabled());
+        assert!(!Config::base().fast_path_enabled());
+        let f = Config::fast();
+        assert!(f.fast_path_enabled());
+        assert_eq!(f.max_fast_failures, DEFAULT_FAST_FAILURES);
+        assert_eq!(
+            f.label(),
+            "opt WF (1+2)",
+            "fast path is orthogonal to the paper-series label"
+        );
+        let c = Config::opt_both()
+            .with_fast_path(3)
+            .with_starvation_patience(7);
+        assert_eq!(c.max_fast_failures, 3);
+        assert_eq!(c.starvation_patience, 7);
+        assert!(!Config::opt_both().with_fast_path(0).fast_path_enabled());
     }
 }

@@ -3,12 +3,12 @@
 
 use crossbeam_epoch::{self as epoch, Guard};
 use idpool::IdGuard;
-use queue_traits::QueueHandle;
+use queue_traits::{FastPathStats, QueueHandle};
 
 use crate::chaos_hooks::{self, inject};
 use crate::config::HelpPolicy;
-use crate::node::{Node, NO_DEQUEUER};
-use crate::queue::WfQueue;
+use crate::node::{Node, FAST_ENQUEUER, NO_DEQUEUER};
+use crate::queue::{FastDeq, WfQueue};
 use crate::recycle::RetireCache;
 use crate::stats::Stats;
 
@@ -42,6 +42,18 @@ pub struct WfHandle<'q, T: Send> {
     rng: u64,
     /// Retired sentinels awaiting reuse (see `crate::recycle`).
     cache: RetireCache<T>,
+    /// Fast-path CAS-failure budget; copied from the queue config,
+    /// overridable per handle (see [`set_fast_path`]). `0` = slow only.
+    ///
+    /// [`set_fast_path`]: Self::set_fast_path
+    max_fast_failures: usize,
+    /// Consecutive fast-path completions since the last starvation
+    /// peek (see `Config::starvation_patience`).
+    fast_streak: usize,
+    /// Plain (non-atomic, handle-local) fast/slow counters — always
+    /// collected, unlike the feature-gated shared `Stats`, so benches
+    /// can report fallback rates without perturbing the hot path.
+    local_stats: FastPathStats,
 }
 
 impl<'q, T: Send> WfHandle<'q, T> {
@@ -54,7 +66,24 @@ impl<'q, T: Send> WfHandle<'q, T> {
             // Any nonzero seed works; derive from the slot for variety.
             rng: 0x9E37_79B9_7F4A_7C15 ^ ((tid as u64 + 1) << 17),
             cache: RetireCache::new(queue.config().reuse_nodes),
+            max_fast_failures: queue.config().max_fast_failures,
+            fast_streak: 0,
+            local_stats: FastPathStats::default(),
         }
+    }
+
+    /// Overrides this handle's fast-path CAS-failure budget (the queue
+    /// config's `max_fast_failures` is every handle's default). `0`
+    /// pins the handle to the wait-free slow path. Lets tests and
+    /// benches mix fast-path and slow-only handles on one queue.
+    pub fn set_fast_path(&mut self, max_fast_failures: usize) {
+        self.max_fast_failures = max_fast_failures;
+    }
+
+    /// This handle's fast/slow execution counters (always collected,
+    /// independent of the `stats` cargo feature).
+    pub fn fast_path_stats(&self) -> FastPathStats {
+        self.local_stats
     }
 
     /// This handle's virtual thread ID (index into the `state` array).
@@ -147,32 +176,125 @@ impl<'q, T: Send> WfHandle<'q, T> {
         }
     }
 
-    /// `enq(value)`, Figure 4 L61–66.
-    pub fn enqueue(&mut self, value: T) {
+    /// True when this operation must skip the fast path because a
+    /// peer's descriptor has been pending while we kept winning it.
+    /// Peeks one `state` slot (at the cyclic help cursor) every
+    /// `starvation_patience` consecutive fast completions; on a hit the
+    /// caller demotes to the slow path, whose `Cyclic` help chunk
+    /// starts at that very cursor — the demotion directly helps the
+    /// starved peer.
+    fn starvation_peek(&mut self) -> bool {
         let q = self.queue;
-        let tid = self.id.id();
+        let patience = q.config.starvation_patience;
+        if patience == 0 || self.fast_streak < patience {
+            return false;
+        }
+        self.fast_streak = 0;
+        let n = q.max_threads();
+        if self.cursor == self.id.id() {
+            // Our own slot cannot starve us; rotate and stay fast.
+            self.cursor = (self.cursor + 1) % n;
+            return false;
+        }
+        // SeqCst: this read gates a helping obligation, exactly like
+        // `is_still_pending` — an Acquire-stale idle word would let a
+        // fast handle overlook a peer pending in the SC order.
+        let (w, _) = q.state[self.cursor].view(kp_sync::atomic::Ordering::SeqCst);
+        if w.pending() {
+            true
+        } else {
+            self.cursor = (self.cursor + 1) % n;
+            false
+        }
+    }
+
+    /// `enq(value)`, Figure 4 L61–66, preceded by the bounded fast path
+    /// when enabled (DESIGN.md §12).
+    pub fn enqueue(&mut self, value: T) {
         chaos_hooks::op_begin();
         let guard = epoch::pin();
+        if self.max_fast_failures > 0 {
+            self.enqueue_fast_first(value, &guard);
+        } else {
+            self.slow_enqueue(value, &guard);
+        }
+        chaos_hooks::op_end();
+    }
+
+    /// The fast prologue and its demotion edges, kept out of line
+    /// (`#[inline(never)]`) so a `max_fast_failures == 0` build path
+    /// keeps the pre-fast-path code shape of `enqueue` — inlining this
+    /// into the entry point measurably perturbed slow-only codegen.
+    #[inline(never)]
+    fn enqueue_fast_first(&mut self, value: T, guard: &Guard) {
+        let q = self.queue;
+        let tid = self.id.id();
+        if !self.starvation_peek() {
+            let node = self.alloc_node(value, FAST_ENQUEUER);
+            if q.try_fast_enqueue(node, self.max_fast_failures, guard) {
+                self.fast_streak += 1;
+                self.local_stats.fast_completions += 1;
+                Stats::bump(&q.stats.fast_completions);
+                Stats::bump(&q.stats.enqueues);
+                return;
+            }
+            // Exhausted: every append CAS failed, so the node was
+            // never published — it is still exclusively ours.
+            // Rebrand it with our real tid and fall back to the
+            // wait-free slow path.
+            self.fast_streak = 0;
+            self.local_stats.fast_exhaustions += 1;
+            Stats::bump(&q.stats.fast_exhaustions);
+            // SAFETY: exclusive ownership (see above); helpers only
+            // read `enq_tid` after the descriptor publish below,
+            // whose SeqCst store releases this write.
+            unsafe { (*node).enq_tid = tid };
+            inject!("kp.fast.demote");
+            self.local_stats.slow_ops += 1;
+            let phase = q.next_phase(); // L62
+            self.slow_enqueue_publish(phase, node, guard);
+            return;
+        }
+        self.local_stats.fast_starvation_demotions += 1;
+        Stats::bump(&q.stats.fast_starvation_demotions);
+        // Demote to the slow path, which helps the starved peer (its
+        // slot is at our help cursor).
+        self.slow_enqueue(value, guard);
+    }
+
+    /// The slow path proper: Figure 4 L61–66 with a freshly prepared
+    /// node.
+    fn slow_enqueue(&mut self, value: T, guard: &Guard) {
+        let q = self.queue;
+        let tid = self.id.id();
+        self.local_stats.slow_ops += 1;
         let phase = q.next_phase(); // L62
         // The injection point sits before the node is prepared so a
         // simulated crash here leaks nothing: the value is still a plain
         // local, dropped by the unwind.
         inject!("kp.publish");
         let node = self.alloc_node(value, tid);
+        self.slow_enqueue_publish(phase, node, guard);
+    }
+
+    /// L63–65: publish the prepared node's descriptor and drive the
+    /// enqueue to completion (shared by the slow path proper and the
+    /// fast-path demotion).
+    fn slow_enqueue_publish(&mut self, phase: i64, node: *mut Node<T>, guard: &Guard) {
+        let q = self.queue;
+        let tid = self.id.id();
         // L63: publish the operation descriptor — an in-place slot
         // store, not an allocation (see `StateSlot::publish`).
         q.state[tid].publish(phase, node as usize, true);
-        self.run_help(phase, true, &guard); // L64
-        q.help_finish_enq(&guard); // L65 (see the paper's L65 argument)
+        self.run_help(phase, true, guard); // L64
+        q.help_finish_enq(guard); // L65 (see the paper's L65 argument)
         Stats::bump(&q.stats.enqueues);
-        chaos_hooks::op_end();
     }
 
-    /// `deq()`, Figure 6 L98–108. Returns `None` where the paper throws
-    /// `EmptyException`.
+    /// `deq()`, Figure 6 L98–108, preceded by the bounded fast path
+    /// when enabled (DESIGN.md §12). Returns `None` where the paper
+    /// throws `EmptyException`.
     pub fn dequeue(&mut self) -> Option<T> {
-        let q = self.queue;
-        let tid = self.id.id();
         // The guard is held from before the descriptor is published
         // until after the value is read: every node our descriptor can
         // reference is retired (if at all) during this pin, so the reads
@@ -180,17 +302,59 @@ impl<'q, T: Send> WfHandle<'q, T> {
         // same maturity rule as freeing.
         chaos_hooks::op_begin();
         let guard = epoch::pin();
+        let result = if self.max_fast_failures > 0 {
+            self.dequeue_fast_first(&guard)
+        } else {
+            self.slow_dequeue(&guard)
+        };
+        chaos_hooks::op_end();
+        result
+    }
+
+    /// The fast prologue and its demotion edges; out of line for the
+    /// same codegen reason as [`enqueue_fast_first`].
+    ///
+    /// [`enqueue_fast_first`]: Self::enqueue_fast_first
+    #[inline(never)]
+    fn dequeue_fast_first(&mut self, guard: &Guard) -> Option<T> {
+        let q = self.queue;
+        if !self.starvation_peek() {
+            match q.try_fast_dequeue(self.max_fast_failures, &mut self.cache, guard) {
+                FastDeq::Done(result) => {
+                    self.fast_streak += 1;
+                    self.local_stats.fast_completions += 1;
+                    Stats::bump(&q.stats.fast_completions);
+                    Stats::bump(&q.stats.dequeues);
+                    return result;
+                }
+                FastDeq::Exhausted => {
+                    self.fast_streak = 0;
+                    self.local_stats.fast_exhaustions += 1;
+                    Stats::bump(&q.stats.fast_exhaustions);
+                    inject!("kp.fast.demote");
+                }
+            }
+        } else {
+            self.local_stats.fast_starvation_demotions += 1;
+            Stats::bump(&q.stats.fast_starvation_demotions);
+        }
+        self.slow_dequeue(guard)
+    }
+
+    /// The slow path proper: Figure 6 L98–108.
+    fn slow_dequeue(&mut self, guard: &Guard) -> Option<T> {
+        let q = self.queue;
+        let tid = self.id.id();
+        self.local_stats.slow_ops += 1;
         let phase = q.next_phase(); // L99
         inject!("kp.publish");
         // L100: publish the operation descriptor (node = null).
         q.state[tid].publish(phase, 0, false);
-        self.run_help(phase, false, &guard); // L101
-        q.help_finish_deq(&guard, &mut self.cache); // L102
+        self.run_help(phase, false, guard); // L101
+        q.help_finish_deq(guard, &mut self.cache); // L102
         Stats::bump(&q.stats.dequeues);
         // L103–107: read the result through our completed descriptor.
-        let result = Self::read_deq_result(q, tid, &guard);
-        chaos_hooks::op_end();
-        result
+        Self::read_deq_result(q, tid, guard)
     }
 
     /// The L103–107 epilogue, shared with the test-hook path.
@@ -279,6 +443,10 @@ impl<T: Send> QueueHandle<T> for WfHandle<'_, T> {
 
     fn dequeue(&mut self) -> Option<T> {
         WfHandle::dequeue(self)
+    }
+
+    fn fast_path_stats(&self) -> Option<FastPathStats> {
+        Some(self.local_stats)
     }
 }
 

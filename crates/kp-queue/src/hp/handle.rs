@@ -7,12 +7,13 @@ use kp_sync::atomic::Ordering;
 
 use hazard::Participant;
 use idpool::IdGuard;
-use queue_traits::QueueHandle;
+use queue_traits::{FastPathStats, QueueHandle};
 
 use crate::chaos_hooks::{self, inject};
 use crate::config::HelpPolicy;
 use crate::hp::queue::WfQueueHp;
-use crate::hp::types::{NodeHp, NO_DEQUEUER, TOKEN_CONSUMED, TOKEN_RECLAIM_READY};
+use crate::hp::types::{NodeHp, FAST_ENQUEUER, NO_DEQUEUER, TOKEN_CONSUMED, TOKEN_RECLAIM_READY};
+use crate::queue::FastDeq;
 use crate::stats::Stats;
 
 /// Nodes kept in the handle's private cache; surplus from a freelist
@@ -47,6 +48,17 @@ pub struct WfHpHandle<'q, T: Send> {
     /// word whose result was already taken (re-claiming that one could
     /// steal a *recycled* node's fresh value).
     deq_in_flight: bool,
+    /// Fast-path CAS-failure budget; copied from the queue config,
+    /// overridable per handle (see [`set_fast_path`]). `0` = slow only.
+    ///
+    /// [`set_fast_path`]: Self::set_fast_path
+    max_fast_failures: usize,
+    /// Consecutive fast-path completions since the last starvation
+    /// peek (see `Config::starvation_patience`).
+    fast_streak: usize,
+    /// Plain (non-atomic, handle-local) fast/slow counters — always
+    /// collected, unlike the feature-gated shared `Stats`.
+    local_stats: FastPathStats,
 }
 
 // SAFETY: the raw pointers in `local` are nodes exclusively owned by
@@ -66,7 +78,24 @@ impl<'q, T: Send> WfHpHandle<'q, T> {
             rng: 0x9E37_79B9_7F4A_7C15 ^ ((tid as u64 + 1) << 17),
             local: Vec::with_capacity(LOCAL_CAP),
             deq_in_flight: false,
+            max_fast_failures: queue.config().max_fast_failures,
+            fast_streak: 0,
+            local_stats: FastPathStats::default(),
         }
+    }
+
+    /// Overrides this handle's fast-path CAS-failure budget (the queue
+    /// config's `max_fast_failures` is every handle's default). `0`
+    /// pins the handle to the wait-free slow path. Lets tests and
+    /// benches mix fast-path and slow-only handles on one queue.
+    pub fn set_fast_path(&mut self, max_fast_failures: usize) {
+        self.max_fast_failures = max_fast_failures;
+    }
+
+    /// This handle's fast/slow execution counters (always collected,
+    /// independent of the `stats` cargo feature).
+    pub fn fast_path_stats(&self) -> FastPathStats {
+        self.local_stats
     }
 
     /// This handle's virtual thread ID.
@@ -180,30 +209,162 @@ impl<'q, T: Send> WfHpHandle<'q, T> {
         }
     }
 
-    /// `enq(value)`, L61–66.
+    /// True when this operation must skip the fast path because a
+    /// peer's descriptor has been pending while we kept winning it.
+    /// Mirrors `WfHandle::starvation_peek` — see there for the rationale
+    /// and the SeqCst justification.
+    fn starvation_peek(&mut self) -> bool {
+        let q = self.queue;
+        let patience = q.config().starvation_patience;
+        if patience == 0 || self.fast_streak < patience {
+            return false;
+        }
+        self.fast_streak = 0;
+        let n = q.max_threads();
+        if self.cursor == self.id.id() {
+            // Our own slot cannot starve us; rotate and stay fast.
+            self.cursor = (self.cursor + 1) % n;
+            return false;
+        }
+        // SeqCst: gates a helping obligation, like `is_still_pending`.
+        let (w, _) = q.state[self.cursor].view(Ordering::SeqCst);
+        if w.pending() {
+            true
+        } else {
+            self.cursor = (self.cursor + 1) % n;
+            false
+        }
+    }
+
+    /// `enq(value)`, L61–66, preceded by the bounded fast path when
+    /// enabled (DESIGN.md §12).
     pub fn enqueue(&mut self, value: T) {
+        chaos_hooks::op_begin();
+        if self.max_fast_failures > 0 {
+            self.enqueue_fast_first(value);
+        } else {
+            self.slow_enqueue(value);
+        }
+        chaos_hooks::op_end();
+    }
+
+    /// The fast prologue and its demotion edges, out of line
+    /// (`#[inline(never)]`) for the same codegen reason as
+    /// `WfHandle::enqueue_fast_first`: inlining it into the entry point
+    /// perturbed slow-only codegen.
+    #[inline(never)]
+    fn enqueue_fast_first(&mut self, value: T) {
         let q = self.queue;
         let tid = self.id.id();
-        chaos_hooks::op_begin();
+        if !self.starvation_peek() {
+            let node = self.alloc_node(value, FAST_ENQUEUER);
+            let budget = self.max_fast_failures;
+            if q.try_fast_enqueue(&mut self.participant, node, budget) {
+                self.fast_streak += 1;
+                self.local_stats.fast_completions += 1;
+                Stats::bump(&q.stats.fast_completions);
+                Stats::bump(&q.stats.enqueues);
+                return;
+            }
+            // Exhausted: every append CAS failed, so the node was
+            // never published — still exclusively ours. Rebrand it
+            // with our real tid and fall back to the slow path.
+            self.fast_streak = 0;
+            self.local_stats.fast_exhaustions += 1;
+            Stats::bump(&q.stats.fast_exhaustions);
+            // SAFETY: exclusive ownership (see above); helpers only
+            // read `enq_tid` after the descriptor publish below,
+            // whose SeqCst store releases this write.
+            unsafe { (*node).enq_tid = tid };
+            inject!("kp_hp.fast.demote");
+            self.local_stats.slow_ops += 1;
+            let phase = q.next_phase(); // L62
+            self.slow_enqueue_publish(phase, node);
+            return;
+        }
+        self.local_stats.fast_starvation_demotions += 1;
+        Stats::bump(&q.stats.fast_starvation_demotions);
+        // Demote to the slow path, which helps the starved peer (its
+        // slot is at our help cursor).
+        self.slow_enqueue(value);
+    }
+
+    /// The slow path proper: L61–66 with a freshly prepared node.
+    fn slow_enqueue(&mut self, value: T) {
+        let q = self.queue;
+        let tid = self.id.id();
+        self.local_stats.slow_ops += 1;
         let phase = q.next_phase(); // L62
         // Before the node is prepared, so a simulated crash here leaks
         // nothing (the value is dropped by the unwind).
         inject!("kp_hp.publish");
         let node = self.alloc_node(value, tid);
+        self.slow_enqueue_publish(phase, node);
+    }
+
+    /// L63–65: publish the prepared node's descriptor and drive the
+    /// enqueue to completion (shared by the slow path proper and the
+    /// fast-path demotion).
+    fn slow_enqueue_publish(&mut self, phase: i64, node: *mut NodeHp<T>) {
+        let q = self.queue;
+        let tid = self.id.id();
         // L63: publish the operation descriptor — an in-place slot
         // store, not an allocation.
         q.state[tid].publish(phase, node as usize, true);
         self.run_help(phase, true); // L64
         q.help_finish_enq(&mut self.participant); // L65
         Stats::bump(&q.stats.enqueues);
-        chaos_hooks::op_end();
     }
 
-    /// `deq()`, L98–108. `None` where the paper throws `EmptyException`.
+    /// `deq()`, L98–108, preceded by the bounded fast path when enabled
+    /// (DESIGN.md §12). `None` where the paper throws `EmptyException`.
     pub fn dequeue(&mut self) -> Option<T> {
+        chaos_hooks::op_begin();
+        let result = if self.max_fast_failures > 0 {
+            self.dequeue_fast_first()
+        } else {
+            self.slow_dequeue()
+        };
+        chaos_hooks::op_end();
+        result
+    }
+
+    /// The fast prologue and its demotion edges; out of line for the
+    /// same codegen reason as [`enqueue_fast_first`].
+    ///
+    /// [`enqueue_fast_first`]: Self::enqueue_fast_first
+    #[inline(never)]
+    fn dequeue_fast_first(&mut self) -> Option<T> {
+        let q = self.queue;
+        if !self.starvation_peek() {
+            let budget = self.max_fast_failures;
+            match q.try_fast_dequeue(&mut self.participant, budget) {
+                FastDeq::Done(result) => {
+                    self.fast_streak += 1;
+                    self.local_stats.fast_completions += 1;
+                    Stats::bump(&q.stats.fast_completions);
+                    Stats::bump(&q.stats.dequeues);
+                    return result;
+                }
+                FastDeq::Exhausted => {
+                    self.fast_streak = 0;
+                    self.local_stats.fast_exhaustions += 1;
+                    Stats::bump(&q.stats.fast_exhaustions);
+                    inject!("kp_hp.fast.demote");
+                }
+            }
+        } else {
+            self.local_stats.fast_starvation_demotions += 1;
+            Stats::bump(&q.stats.fast_starvation_demotions);
+        }
+        self.slow_dequeue()
+    }
+
+    /// The slow path proper: L98–108.
+    fn slow_dequeue(&mut self) -> Option<T> {
         let q = self.queue;
         let tid = self.id.id();
-        chaos_hooks::op_begin();
+        self.local_stats.slow_ops += 1;
         let phase = q.next_phase(); // L99
         inject!("kp_hp.publish");
         // L100: publish the operation descriptor (node = null).
@@ -215,7 +376,6 @@ impl<'q, T: Send> WfHpHandle<'q, T> {
         // L103–107: read the result through our completed word.
         let result = Self::read_deq_result(q, tid);
         self.deq_in_flight = false;
-        chaos_hooks::op_end();
         result
     }
 
@@ -306,5 +466,9 @@ impl<T: Send> QueueHandle<T> for WfHpHandle<'_, T> {
 
     fn dequeue(&mut self) -> Option<T> {
         WfHpHandle::dequeue(self)
+    }
+
+    fn fast_path_stats(&self) -> Option<FastPathStats> {
+        Some(self.local_stats)
     }
 }

@@ -34,7 +34,11 @@ use crate::config::{Config, PhasePolicy};
 use crate::desc::StateSlot;
 use crate::hp::handle::WfHpHandle;
 use crate::hp::pool::{reclaim_into_pool, NodePool};
-use crate::hp::types::{NodeHp, H_NEXT, H_NODE, H_SLOTS, NO_DEQUEUER};
+use crate::hp::types::{
+    NodeHp, FAST_DEQUEUER, FAST_ENQUEUER, H_NEXT, H_NODE, H_SLOTS, NO_DEQUEUER, TOKEN_CONSUMED,
+    TOKEN_RECLAIM_READY,
+};
+use crate::queue::FastDeq;
 use crate::stats::{Stats, StatsSnapshot};
 
 /// The Kogan–Petrank wait-free queue with hazard-pointer reclamation
@@ -279,6 +283,18 @@ impl<T: Send> WfQueueHp<T> {
         }
         // SAFETY: H_NEXT hazard validated above.
         let tid = unsafe { (*next).enq_tid }; // L89
+        if tid == FAST_ENQUEUER {
+            // Fast-path node: no descriptor to complete (the append CAS
+            // both linearized and acknowledged the operation), so step
+            // 2 — and the L91 identity check, which could never pass —
+            // is skipped. The tail CAS re-validates by itself.
+            inject!("kp_hp.swing_tail");
+            let _ = self
+                .tail
+                .compare_exchange(last, next, Ordering::SeqCst, Ordering::Relaxed);
+            p.clear(H_NEXT);
+            return;
+        }
         debug_assert!(tid < self.state.len());
         // L90: SeqCst, not Acquire — same recycling counterexample as
         // the epoch version: an Acquire-stale completed word of an older
@@ -390,6 +406,24 @@ impl<T: Send> WfQueueHp<T> {
         }
         // SAFETY: `first` protected by H_NODE.
         let tid = unsafe { (*first).deq_tid.load(Ordering::SeqCst) }; // L144
+        if tid == FAST_DEQUEUER {
+            // Fast-locked sentinel: the `deqTid` CAS both linearized
+            // the dequeue and made the fast dequeuer the unique value
+            // taker (it reads through its own hazard, no courier), so
+            // step 2 is skipped. Step 3 and winner-retires unchanged.
+            inject!("kp_hp.swing_head");
+            if self.head.load(Ordering::SeqCst) == first
+                && !next.is_null()
+                && self
+                    .head
+                    .compare_exchange(first, next, Ordering::SeqCst, Ordering::Relaxed)
+                    .is_ok()
+            {
+                self.retire_node(p, first);
+            }
+            p.clear(H_NEXT);
+            return;
+        }
         if tid != NO_DEQUEUER {
             // A locked sentinel was observed: the window between dequeue
             // steps 1 and 2.
@@ -420,6 +454,162 @@ impl<T: Send> WfQueueHp<T> {
             }
         }
         p.clear(H_NEXT);
+    }
+
+    // ------------------------------------------------------------------
+    // fast path (bounded lock-free MS loop; see the epoch version and
+    // DESIGN.md §12 — only the hazard discipline differs here)
+    // ------------------------------------------------------------------
+
+    /// Bounded lock-free enqueue attempt; the HP mirror of
+    /// `WfQueue::try_fast_enqueue`. `node` is private to the caller
+    /// with `enq_tid == FAST_ENQUEUER`; returns `true` once the append
+    /// CAS (the shared L74 linearization point) succeeds, `false` on
+    /// budget exhaustion with `node` still private.
+    pub(crate) fn try_fast_enqueue(
+        &self,
+        p: &mut Participant<'_>,
+        node: *mut NodeHp<T>,
+        budget: usize,
+    ) -> bool {
+        // SAFETY: the caller owns `node` exclusively until the append
+        // CAS publishes it.
+        debug_assert_eq!(unsafe { &*node }.enq_tid, FAST_ENQUEUER);
+        for _ in 0..budget {
+            inject!("kp_hp.fast.enq");
+            let last = p.protect(H_NODE, &*self.tail);
+            // SAFETY: protected — as in `help_enq`, a node still
+            // reachable as tail cannot be retired or recycled while
+            // H_NODE covers it, so its `next` is write-once during the
+            // window below.
+            let next = unsafe { (*last).next.load(Ordering::SeqCst) };
+            if self.tail.load(Ordering::SeqCst) != last {
+                continue;
+            }
+            if next.is_null() {
+                // SAFETY: `last` is protected by H_NODE.
+                if unsafe {
+                    (*last).next.compare_exchange(
+                        ptr::null_mut(),
+                        node,
+                        Ordering::SeqCst,
+                        Ordering::Relaxed,
+                    )
+                }
+                .is_ok()
+                {
+                    // Linearized (the shared L74 append point).
+                    Stats::bump(&self.stats.appends_total);
+                    inject!("kp_hp.fast.swing_tail");
+                    // Step 3, best effort; helpers' help_finish_enq
+                    // (FAST_ENQUEUER branch) also swings.
+                    let _ = self.tail.compare_exchange(
+                        last,
+                        node,
+                        Ordering::SeqCst,
+                        Ordering::Relaxed,
+                    );
+                    return true;
+                }
+            } else {
+                // Tail lags behind a dangling node: finish that enqueue
+                // first (L79–80), preserving a slow append's
+                // step-2-before-step-3 order.
+                self.help_finish_enq(p);
+            }
+        }
+        false
+    }
+
+    /// Bounded lock-free dequeue attempt; the HP mirror of
+    /// `WfQueue::try_fast_dequeue`. Locks the sentinel's `deqTid` with
+    /// `FAST_DEQUEUER` (the shared L135 linearization point); the value
+    /// is taken under the H_NEXT hazard and the value node's token gate
+    /// is half-completed here (`TOKEN_CONSUMED`), exactly as the slow
+    /// path's owner epilogue would.
+    pub(crate) fn try_fast_dequeue(&self, p: &mut Participant<'_>, budget: usize) -> FastDeq<T> {
+        for _ in 0..budget {
+            inject!("kp_hp.fast.deq");
+            let first = p.protect(H_NODE, &*self.head);
+            let last = self.tail.load(Ordering::SeqCst);
+            // SAFETY: `first` protected; sentinels are retired only
+            // after head moves off them, which protect() rules out.
+            let next = unsafe { (*first).next.load(Ordering::SeqCst) };
+            // Protect `next` before any dereference: while `first` is
+            // still the head, `next` cannot have been retired.
+            p.set(H_NEXT, next);
+            if self.head.load(Ordering::SeqCst) != first {
+                p.clear(H_NEXT);
+                continue;
+            }
+            if first == last {
+                p.clear(H_NEXT);
+                if next.is_null() {
+                    // Empty: linearizes at the `next` load above, head-
+                    // validated (the L115–120 shape, no descriptor).
+                    Stats::bump(&self.stats.empty_dequeues);
+                    return FastDeq::Done(None);
+                }
+                // An enqueue is mid-flight; help it land (L122–123).
+                self.help_finish_enq(p);
+                continue;
+            }
+            // SAFETY: `first` is protected by H_NODE.
+            let locked = unsafe {
+                (*first).deq_tid.compare_exchange(
+                    NO_DEQUEUER,
+                    FAST_DEQUEUER,
+                    Ordering::SeqCst,
+                    Ordering::Relaxed,
+                )
+            }
+            .is_ok();
+            if locked {
+                // Step 1 won: the dequeue is linearized and we are the
+                // unique taker of the successor's value.
+                Stats::bump(&self.stats.locks_total);
+                // SAFETY: `next` is covered by H_NEXT, validated while
+                // `first` was still the head; the lock's uniqueness
+                // gives the value take exclusivity (a node's value is
+                // taken exactly once, by whoever locks its
+                // predecessor).
+                let value = unsafe { (*(*next).value.get()).take() }
+                    .expect("fast-locked sentinel's successor must hold a value");
+                // Complete our half of the value node's token gate:
+                // when `next` (now the sentinel) is eventually retired,
+                // reclamation waits for this CONSUMED bit — the same
+                // contract the slow owner's epilogue fulfils.
+                // SAFETY: `next` still covered by H_NEXT.
+                let prev =
+                    unsafe { (*next).tokens.fetch_or(TOKEN_CONSUMED, Ordering::AcqRel) };
+                if prev & TOKEN_RECLAIM_READY != 0 {
+                    // Unreachable while our hazard stands (the scan
+                    // never clears a hazarded node), but the gate's
+                    // contract is "whoever observes both bits
+                    // releases" — keep it total.
+                    // SAFETY: both tokens observed; disposal is ours.
+                    unsafe { self.pool().release(next) };
+                }
+                inject!("kp_hp.fast.swing_head");
+                // Step 3, best effort; the winner retires the unlinked
+                // sentinel (helpers' FAST_DEQUEUER branch mirrors
+                // this).
+                if self
+                    .head
+                    .compare_exchange(first, next, Ordering::SeqCst, Ordering::Relaxed)
+                    .is_ok()
+                {
+                    self.retire_node(p, first);
+                }
+                p.clear(H_NEXT);
+                return FastDeq::Done(Some(value));
+            }
+            // Lost the lock to a concurrent dequeue (fast or slow):
+            // complete it so head advances, then retry.
+            p.clear(H_NEXT);
+            self.help_finish_deq(p);
+        }
+        FastDeq::Exhausted
     }
 }
 

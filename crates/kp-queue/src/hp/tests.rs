@@ -14,6 +14,8 @@ fn all_configs() -> Vec<Config> {
         Config::base().with_validation(),
         Config::opt_both().with_validation(),
         Config::opt_both().with_help(HelpPolicy::RandomChunk { chunk: 2 }),
+        Config::fast(),
+        Config::fast().with_fast_path(1),
     ]
 }
 
@@ -179,6 +181,117 @@ fn helping_occurs_under_contention() {
     assert!(
         stats.help_calls > 0,
         "base policy must help peers under contention: {stats:?}"
+    );
+}
+
+#[test]
+fn fast_path_uncontended_ops_never_fall_back() {
+    // Mirror of the epoch test: single-threaded, no contention, so the
+    // hazard-pointer fast path completes every op and reclamation (the
+    // token gate + hazard scan) still runs.
+    let q: WfQueueHp<u64> = WfQueueHp::with_config(4, Config::fast());
+    let mut h = q.register().unwrap();
+    for i in 0..500 {
+        h.enqueue(i);
+        assert_eq!(h.dequeue(), Some(i), "fast path must preserve FIFO");
+    }
+    assert_eq!(h.dequeue(), None);
+    let fp = h.fast_path_stats();
+    assert_eq!(fp.fast_completions, 1001, "500 enq + 500 deq + 1 empty deq");
+    assert_eq!(fp.slow_ops, 0);
+    let stats = q.stats();
+    assert_eq!(stats.appends_total, stats.enqueues);
+    assert_eq!(stats.locks_total, stats.dequeues - stats.empty_dequeues);
+}
+
+#[test]
+fn fast_path_values_dropped_exactly_once() {
+    // The fast dequeue takes the value and half-completes the token
+    // gate itself; nothing may be dropped twice or leaked.
+    use kp_sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+    struct CountDrop(Arc<AtomicUsize>);
+    impl Drop for CountDrop {
+        fn drop(&mut self) {
+            self.0.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+    let drops = Arc::new(AtomicUsize::new(0));
+    {
+        let q: WfQueueHp<CountDrop> = WfQueueHp::with_config(2, Config::fast());
+        let mut h = q.register().unwrap();
+        for _ in 0..300 {
+            h.enqueue(CountDrop(drops.clone()));
+        }
+        for _ in 0..120 {
+            drop(h.dequeue());
+        }
+        assert_eq!(drops.load(Ordering::SeqCst), 120);
+        drop(h);
+    }
+    assert_eq!(drops.load(Ordering::SeqCst), 300, "no double drop, no leak");
+}
+
+#[test]
+fn mixed_fast_and_slow_handles_conserve_values() {
+    let q: WfQueueHp<u64> = WfQueueHp::with_config(8, Config::fast().with_fast_path(2));
+    let per = testing::scaled(3_000) as u64;
+    let total = std::sync::Mutex::new(0u64);
+    std::thread::scope(|s| {
+        for t in 0..8u64 {
+            let q = &q;
+            let total = &total;
+            s.spawn(move || {
+                let mut h = q.register().unwrap();
+                if t % 2 == 0 {
+                    h.set_fast_path(0); // slow-only
+                }
+                let mut sum = 0u64;
+                for i in 0..per {
+                    h.enqueue(t * per + i);
+                    if let Some(v) = h.dequeue() {
+                        sum += v;
+                    }
+                }
+                if t % 2 == 0 {
+                    assert_eq!(h.fast_path_stats().fast_completions, 0);
+                }
+                *total.lock().unwrap() += sum;
+            });
+        }
+    });
+    let mut rest = 0u64;
+    let mut h = q.register().unwrap();
+    while let Some(v) = h.dequeue() {
+        rest += v;
+    }
+    let expect: u64 = (0..8 * per).sum();
+    assert_eq!(*total.lock().unwrap() + rest, expect, "values conserved");
+    let stats = q.stats();
+    assert_eq!(stats.appends_total, stats.enqueues, "Lemma 1 (mixed)");
+    assert_eq!(
+        stats.locks_total,
+        stats.dequeues - stats.empty_dequeues,
+        "Lemma 2 (mixed)"
+    );
+}
+
+#[test]
+fn fast_path_nodes_still_reclaimed() {
+    // The fast dequeue's retire path must feed the same pool as the
+    // slow one: long runs stay allocation-bounded.
+    let q: WfQueueHp<u64> = WfQueueHp::with_config(2, Config::fast());
+    let mut h = q.register().unwrap();
+    let n = testing::scaled(20_000) as u64;
+    for i in 0..n {
+        h.enqueue(i);
+        assert_eq!(h.dequeue(), Some(i));
+    }
+    let s = q.stats();
+    assert!(
+        s.node_allocs < 200,
+        "fast path must recycle nodes, not allocate per op (allocs={})",
+        s.node_allocs
     );
 }
 

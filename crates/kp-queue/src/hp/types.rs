@@ -14,7 +14,7 @@ use std::cell::UnsafeCell;
 use std::ptr;
 use kp_sync::atomic::{AtomicIsize, AtomicPtr, AtomicU8};
 
-pub(crate) use crate::node::NO_DEQUEUER;
+pub(crate) use crate::node::{FAST_DEQUEUER, FAST_ENQUEUER, NO_DEQUEUER};
 
 /// Hazard slot index for the head/tail anchor node.
 pub(crate) const H_NODE: usize = 0;

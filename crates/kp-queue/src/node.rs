@@ -8,6 +8,19 @@ use crossbeam_epoch::Atomic;
 /// `deqTid`'s "unlocked" value.
 pub(crate) const NO_DEQUEUER: isize = -1;
 
+/// `enq_tid` sentinel marking a node appended by the descriptor-free
+/// fast path. Helpers reaching such a node in `help_finish_enq` must not
+/// look for an owner descriptor (there is none): step 2 is skipped and
+/// the tail is swung unconditionally. Distinct from `usize::MAX` (the
+/// initial sentinel) so the two cases cannot be confused in debugging.
+pub(crate) const FAST_ENQUEUER: usize = usize::MAX - 1;
+
+/// `deq_tid` value a fast-path dequeue locks the sentinel with. Like
+/// `FAST_ENQUEUER`, it tells `help_finish_deq` there is no descriptor to
+/// complete (step 2 skipped); the head swing and sentinel retirement
+/// proceed exactly as for a slow-path lock.
+pub(crate) const FAST_DEQUEUER: isize = -2;
+
 /// A node of the queue's underlying singly-linked list.
 ///
 /// Compared with the Michael–Scott node, the paper adds two fields that

@@ -40,7 +40,7 @@ use crate::chaos_hooks::inject;
 use crate::config::{Config, PhasePolicy};
 use crate::desc::StateSlot;
 use crate::handle::WfHandle;
-use crate::node::{Node, NO_DEQUEUER};
+use crate::node::{Node, FAST_DEQUEUER, FAST_ENQUEUER, NO_DEQUEUER};
 use crate::recycle::RetireCache;
 use crate::stats::{Stats, StatsSnapshot};
 
@@ -334,6 +334,23 @@ impl<T: Send> WfQueue<T> {
             // SAFETY: `next` was reachable from the pinned tail.
             let next_ref = unsafe { next.deref() };
             let tid = next_ref.enq_tid; // L89: owner of the dangling node
+            if tid == FAST_ENQUEUER {
+                // Fast-path node: there is no descriptor to complete
+                // (the append CAS both linearized and acknowledged the
+                // operation), so step 2 — and the L91 descriptor
+                // identity check, which could never pass — is skipped.
+                // The tail CAS from `last` re-validates by itself: if
+                // tail already advanced, it fails harmlessly.
+                inject!("kp.swing_tail");
+                let _ = self.tail.compare_exchange(
+                    last,
+                    next,
+                    Ordering::SeqCst,
+                    Ordering::Relaxed,
+                    guard,
+                );
+                return;
+            }
             debug_assert!(
                 tid < self.state.len(),
                 "dangling node must carry a valid enqueuer tid"
@@ -483,6 +500,25 @@ impl<T: Send> WfQueue<T> {
         let first_ref = unsafe { first.deref() };
         let next = first_ref.next.load(Ordering::SeqCst, guard); // L143
         let tid = first_ref.deq_tid.load(Ordering::SeqCst); // L144
+        if tid == FAST_DEQUEUER {
+            // Fast-locked sentinel: the `deqTid` CAS both linearized
+            // the dequeue and granted the fast dequeuer unique value
+            // ownership (no descriptor courier), so step 2 is skipped.
+            // Step 3 and the winner-retires rule are unchanged.
+            inject!("kp.swing_head");
+            if first == self.head.load(Ordering::SeqCst, guard)
+                && !next.is_null()
+                && self
+                    .head
+                    .compare_exchange(first, next, Ordering::SeqCst, Ordering::Relaxed, guard)
+                    .is_ok()
+            {
+                // SAFETY: `first` is now unreachable from the queue and
+                // retired exactly once (by the unique CAS winner).
+                unsafe { cache.push(first.as_raw() as *mut Node<T>, guard) };
+            }
+            return;
+        }
         if tid != NO_DEQUEUER {
             // A locked sentinel was observed: the window between dequeue
             // steps 1 and 2.
@@ -519,6 +555,165 @@ impl<T: Send> WfQueue<T> {
             }
         }
     }
+    // ------------------------------------------------------------------
+    // fast path (no descriptor, no phase, no helping obligation —
+    // the bounded lock-free Michael–Scott loop of the 2012
+    // fast-path/slow-path methodology; see DESIGN.md §12)
+    // ------------------------------------------------------------------
+
+    /// Bounded lock-free enqueue attempt. `node` is still private to
+    /// the caller and carries `enq_tid == FAST_ENQUEUER`; at most
+    /// `budget` loop iterations run (the handle's — possibly
+    /// per-handle-overridden — `max_fast_failures`). Returns `true` once the
+    /// append CAS — the same linearization point as the slow path's
+    /// L74 — succeeds. `false` means every iteration lost to a
+    /// concurrent operation (each failure proves one succeeded, which
+    /// bounds the loop by global progress), leaving `node` private so
+    /// the caller can demote it to the slow path.
+    pub(crate) fn try_fast_enqueue(&self, node: *mut Node<T>, budget: usize, guard: &Guard) -> bool {
+        // SAFETY: the caller owns `node` exclusively until the append
+        // CAS publishes it.
+        debug_assert_eq!(unsafe { &*node }.enq_tid, FAST_ENQUEUER);
+        let new = Shared::from(node as *const Node<T>);
+        for _ in 0..budget {
+            inject!("kp.fast.enq");
+            let last = self.tail.load(Ordering::SeqCst, guard);
+            // SAFETY: as in `help_enq` — tail is never null and our pin
+            // defers retirement/reuse of any node it reaches.
+            let last_ref = unsafe { last.deref() };
+            let next = last_ref.next.load(Ordering::SeqCst, guard);
+            if last != self.tail.load(Ordering::SeqCst, guard) {
+                continue;
+            }
+            if next.is_null() {
+                if last_ref
+                    .next
+                    .compare_exchange(
+                        Shared::null(),
+                        new,
+                        Ordering::SeqCst,
+                        Ordering::Relaxed,
+                        guard,
+                    )
+                    .is_ok()
+                {
+                    // Linearized (the shared L74 append point).
+                    Stats::bump(&self.stats.appends_total);
+                    inject!("kp.fast.swing_tail");
+                    // Step 3, best effort: any helper's
+                    // help_finish_enq (FAST_ENQUEUER branch) also
+                    // swings the tail past our node.
+                    let _ = self.tail.compare_exchange(
+                        last,
+                        new,
+                        Ordering::SeqCst,
+                        Ordering::Relaxed,
+                        guard,
+                    );
+                    return true;
+                }
+            } else {
+                // Tail lags behind a dangling node (fast or slow):
+                // finish that enqueue first, exactly like L79–80 — this
+                // is what keeps a slow-path append's step-2-before-
+                // step-3 order intact when fast ops race it.
+                self.help_finish_enq(guard);
+            }
+        }
+        false
+    }
+
+    /// Bounded lock-free dequeue attempt. Linearizes either empty (the
+    /// Michael–Scott `head == tail && next == null` check, head-
+    /// validated) or by CASing the sentinel's `deqTid` from
+    /// `NO_DEQUEUER` to `FAST_DEQUEUER` — the same lock word slow-path
+    /// dequeues use (L135), so the two paths serialize on the
+    /// sentinel: a slow-path stage-1 lock blocks the fast path and
+    /// vice versa. Lock success proves the sentinel was never dequeued
+    /// and hence is still the head, making the value transfer uniquely
+    /// ours.
+    pub(crate) fn try_fast_dequeue(
+        &self,
+        budget: usize,
+        cache: &mut RetireCache<T>,
+        guard: &Guard,
+    ) -> FastDeq<T> {
+        for _ in 0..budget {
+            inject!("kp.fast.deq");
+            let first = self.head.load(Ordering::SeqCst, guard);
+            let last = self.tail.load(Ordering::SeqCst, guard);
+            // SAFETY: as in `help_deq` — head is never null; sentinel
+            // retirement is deferred past our pin.
+            let first_ref = unsafe { first.deref() };
+            let next = first_ref.next.load(Ordering::SeqCst, guard);
+            if first != self.head.load(Ordering::SeqCst, guard) {
+                continue;
+            }
+            if first == last {
+                if next.is_null() {
+                    // Empty: linearizes at the `next` load above (the
+                    // L115–120 shape without a descriptor record).
+                    Stats::bump(&self.stats.empty_dequeues);
+                    return FastDeq::Done(None);
+                }
+                // An enqueue is mid-flight; help it land first
+                // (L122–123).
+                self.help_finish_enq(guard);
+                continue;
+            }
+            if first_ref
+                .deq_tid
+                .compare_exchange(
+                    NO_DEQUEUER,
+                    FAST_DEQUEUER,
+                    Ordering::SeqCst,
+                    Ordering::Relaxed,
+                )
+                .is_ok()
+            {
+                // Step 1 won: the dequeue is linearized.
+                Stats::bump(&self.stats.locks_total);
+                // SAFETY: a locked sentinel's `next` is immutable and
+                // kept live by our pin; the lock made us the unique
+                // taker of its successor's value (a node's value is
+                // taken exactly once, by whoever locks its
+                // predecessor).
+                let next_ref = unsafe { next.deref() };
+                // SAFETY: value uniqueness — see the lock argument
+                // above; the enqueuer's write is released by its append
+                // CAS and acquired by our SeqCst next load.
+                let value = unsafe { (*next_ref.value.get()).take() }
+                    .expect("fast-locked sentinel's successor must hold a value");
+                inject!("kp.fast.swing_head");
+                // Step 3, best effort: a helper's help_finish_deq
+                // (FAST_DEQUEUER branch) also swings; the CAS winner
+                // owns the sentinel's retirement.
+                if self
+                    .head
+                    .compare_exchange(first, next, Ordering::SeqCst, Ordering::Relaxed, guard)
+                    .is_ok()
+                {
+                    // SAFETY: `first` is now unreachable and retired
+                    // exactly once (by the unique CAS winner).
+                    unsafe { cache.push(first.as_raw() as *mut Node<T>, guard) };
+                }
+                return FastDeq::Done(Some(value));
+            }
+            // Lost the lock to a concurrent dequeue (fast or slow):
+            // complete it so head advances, then retry.
+            self.help_finish_deq(guard, cache);
+        }
+        FastDeq::Exhausted
+    }
+}
+
+/// Outcome of a bounded fast-path dequeue attempt.
+pub(crate) enum FastDeq<T> {
+    /// The dequeue linearized on the fast path.
+    Done(Option<T>),
+    /// The CAS-failure budget is exhausted; the caller falls back to
+    /// the wait-free slow path.
+    Exhausted,
 }
 
 impl<T: Send> ConcurrentQueue<T> for WfQueue<T> {

@@ -67,14 +67,34 @@ impl<T> RetireCache<T> {
     /// proves the global epoch moved past every pin taken at `tag` or
     /// earlier — including one of our own taken before the retirement.
     pub(crate) fn pop_mature(&mut self) -> Option<*mut Node<T>> {
-        let &(tag, node) = self.nodes.front()?;
-        if tag + 2 <= epoch::global_epoch() {
-            self.nodes.pop_front();
-            return Some(node);
+        // Up to two collector nudges: a freshly retired node is tagged
+        // with the current epoch and ripens once the global epoch is
+        // two steps past it, so two successful `advance` calls take a
+        // just-pushed front node from unripe to reusable within a
+        // single pop. `advance` is safe (and cheap) while pinned.
+        //
+        // The nudges cannot help when a *peer* thread sits preempted
+        // inside a pin: `advance` refuses to move past an active pin at
+        // an older epoch, by design — that pin may still hold a
+        // `Shared` into a cached node. On an oversubscribed host
+        // (threads > cores) peers are routinely descheduled mid-pin for
+        // a whole timeslice, the cache reports nothing mature, and
+        // enqueues correctly fall back to fresh heap nodes rather than
+        // block: reclamation is lock-free, not wait-free (§3.4). That
+        // cost is visible as `allocs_per_op` on the oversubscribed
+        // epoch rows of BENCH_PR*.json (up to ~0.5/op on balanced
+        // pairs: at most one node per enqueue) and is bounded by
+        // `alloc_regression.rs`; the HP variant pins only ≤2 nodes per
+        // stalled thread, which is why its contended rows stay
+        // allocation-free.
+        for _ in 0..2 {
+            let &(tag, node) = self.nodes.front()?;
+            if tag + 2 <= epoch::global_epoch() {
+                self.nodes.pop_front();
+                return Some(node);
+            }
+            epoch::advance();
         }
-        // Nudge the collector: an epoch advance is exactly what ripens
-        // the cache, and `advance` is safe (and cheap) while pinned.
-        epoch::advance();
         let &(tag, node) = self.nodes.front()?;
         if tag + 2 <= epoch::global_epoch() {
             self.nodes.pop_front();

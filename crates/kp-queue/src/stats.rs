@@ -58,6 +58,16 @@ pub(crate) struct Stats {
     pub(crate) node_allocs: Counter,
     /// Nodes served from a recycle cache instead of the heap.
     pub(crate) node_reuses: Counter,
+    /// Operations completed entirely on the descriptor-free fast path
+    /// (enqueues whose append CAS won, dequeues whose `deqTid` lock won
+    /// or that linearized empty, all within the CAS-failure budget).
+    pub(crate) fast_completions: Counter,
+    /// Fast-path attempts that exhausted `max_fast_failures` CAS-loop
+    /// iterations and fell back to the wait-free slow path.
+    pub(crate) fast_exhaustions: Counter,
+    /// Fast-path attempts demoted to the slow path because the periodic
+    /// starvation peek observed a pending peer descriptor.
+    pub(crate) fast_starvation_demotions: Counter,
 }
 
 impl Stats {
@@ -81,6 +91,9 @@ impl Stats {
             help_calls: self.help_calls.load(Ordering::Relaxed),
             node_allocs: self.node_allocs.load(Ordering::Relaxed),
             node_reuses: self.node_reuses.load(Ordering::Relaxed),
+            fast_completions: self.fast_completions.load(Ordering::Relaxed),
+            fast_exhaustions: self.fast_exhaustions.load(Ordering::Relaxed),
+            fast_starvation_demotions: self.fast_starvation_demotions.load(Ordering::Relaxed),
         }
     }
 
@@ -125,12 +138,33 @@ pub struct StatsSnapshot {
     pub node_allocs: u64,
     /// Nodes served from a recycle cache instead of the heap.
     pub node_reuses: u64,
+    /// Operations completed entirely on the descriptor-free fast path.
+    pub fast_completions: u64,
+    /// Fast-path attempts that exhausted the CAS-failure budget and fell
+    /// back to the slow path.
+    pub fast_exhaustions: u64,
+    /// Fast-path attempts demoted to the slow path by the starvation
+    /// peek.
+    pub fast_starvation_demotions: u64,
 }
 
 impl StatsSnapshot {
     /// Total completed operations.
     pub fn ops(&self) -> u64 {
         self.enqueues + self.dequeues
+    }
+
+    /// Fraction of fast-path *attempts* that fell back to the slow path
+    /// (exhaustion or starvation demotion); 0.0 when the fast path never
+    /// ran. An attempt is a completion or a fallback — slow-only
+    /// operations (fast path disabled) are not attempts.
+    pub fn fallback_rate(&self) -> f64 {
+        let fallbacks = self.fast_exhaustions + self.fast_starvation_demotions;
+        let attempts = self.fast_completions + fallbacks;
+        if attempts == 0 {
+            return 0.0;
+        }
+        fallbacks as f64 / attempts as f64
     }
 
     /// Fraction of operations whose linearization step was executed by a
@@ -174,5 +208,17 @@ mod tests {
     #[test]
     fn helped_fraction_empty() {
         assert_eq!(StatsSnapshot::default().helped_fraction(), 0.0);
+    }
+
+    #[test]
+    fn fallback_rate_counts_both_demotion_kinds() {
+        assert_eq!(StatsSnapshot::default().fallback_rate(), 0.0);
+        let snap = StatsSnapshot {
+            fast_completions: 6,
+            fast_exhaustions: 1,
+            fast_starvation_demotions: 1,
+            ..StatsSnapshot::default()
+        };
+        assert!((snap.fallback_rate() - 0.25).abs() < 1e-12);
     }
 }

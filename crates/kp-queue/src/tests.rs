@@ -15,6 +15,9 @@ fn all_configs() -> Vec<Config> {
         Config::opt_both().with_validation(),
         Config::base().with_help(HelpPolicy::RandomChunk { chunk: 1 }),
         Config::opt_both().with_help(HelpPolicy::Cyclic { chunk: 3 }),
+        Config::fast(),
+        Config::fast().with_starvation_patience(4),
+        Config::fast().with_fast_path(1),
     ]
 }
 
@@ -370,6 +373,141 @@ fn slot_reused_after_mid_operation_exit_does_not_wedge() {
         assert_eq!(h.dequeue(), Some(round), "no wedge, value present");
         assert_eq!(h.dequeue(), None);
     }
+}
+
+#[test]
+fn fast_path_uncontended_ops_never_fall_back() {
+    // Single-threaded, fast path on: every CAS wins first try, so every
+    // operation completes fast and the slow path never runs.
+    let q: WfQueue<u64> = WfQueue::with_config(4, Config::fast());
+    let mut h = q.register().unwrap();
+    for i in 0..500 {
+        h.enqueue(i);
+        assert_eq!(h.dequeue(), Some(i), "fast path must preserve FIFO");
+    }
+    assert_eq!(h.dequeue(), None);
+    let fp = h.fast_path_stats();
+    assert_eq!(fp.fast_completions, 1001, "500 enq + 500 deq + 1 empty deq");
+    assert_eq!(fp.slow_ops, 0);
+    assert_eq!(fp.fallbacks(), 0);
+    assert_eq!(fp.fallback_rate(), 0.0);
+    // The fast append/lock CASes feed the same Lemma 1/2 counters as
+    // the slow path's steps.
+    let stats = q.stats();
+    assert_eq!(stats.appends_total, stats.enqueues);
+    assert_eq!(stats.locks_total, stats.dequeues - stats.empty_dequeues);
+}
+
+#[test]
+fn set_fast_path_zero_pins_handle_to_slow_path() {
+    let q: WfQueue<u64> = WfQueue::with_config(4, Config::fast());
+    let mut h = q.register().unwrap();
+    h.set_fast_path(0);
+    for i in 0..100 {
+        h.enqueue(i);
+        assert_eq!(h.dequeue(), Some(i));
+    }
+    let fp = h.fast_path_stats();
+    assert_eq!(fp.fast_completions, 0, "pinned handle must never go fast");
+    assert_eq!(fp.slow_ops, 200);
+}
+
+#[test]
+fn fast_path_stats_exposed_through_trait() {
+    let q: WfQueue<u64> = WfQueue::with_config(2, Config::fast());
+    let mut h = q.register().unwrap();
+    h.enqueue(1);
+    let fp = queue_traits::QueueHandle::fast_path_stats(&h)
+        .expect("kp handles report fast-path stats");
+    assert_eq!(fp.fast_completions + fp.slow_ops, 1);
+}
+
+#[test]
+fn mixed_fast_and_slow_handles_conserve_values() {
+    // Half the threads run fast-path-first, half are pinned slow-only;
+    // the descriptor protocol must linearize both kinds together.
+    let q: WfQueue<u64> = WfQueue::with_config(8, Config::fast().with_fast_path(2));
+    let per = testing::scaled(4_000) as u64;
+    let total = std::sync::Mutex::new(0u64);
+    std::thread::scope(|s| {
+        for t in 0..8u64 {
+            let q = &q;
+            let total = &total;
+            s.spawn(move || {
+                let mut h = q.register().unwrap();
+                if t % 2 == 0 {
+                    h.set_fast_path(0); // slow-only
+                }
+                let mut sum = 0u64;
+                for i in 0..per {
+                    h.enqueue(t * per + i);
+                    if let Some(v) = h.dequeue() {
+                        sum += v;
+                    }
+                }
+                let fp = h.fast_path_stats();
+                if t % 2 == 0 {
+                    assert_eq!(fp.fast_completions, 0);
+                    assert_eq!(fp.slow_ops, 2 * per);
+                } else {
+                    assert_eq!(
+                        fp.fast_completions + fp.fallbacks(),
+                        fp.fast_completions + fp.fast_exhaustions + fp.fast_starvation_demotions
+                    );
+                }
+                *total.lock().unwrap() += sum;
+            });
+        }
+    });
+    // Drain what's left and check conservation of the value sum.
+    let mut rest = 0u64;
+    let mut h = q.register().unwrap();
+    while let Some(v) = h.dequeue() {
+        rest += v;
+    }
+    let expect: u64 = (0..8 * per).sum();
+    assert_eq!(*total.lock().unwrap() + rest, expect, "values conserved");
+    let stats = q.stats();
+    assert_eq!(stats.appends_total, stats.enqueues, "Lemma 1 (mixed)");
+    assert_eq!(
+        stats.locks_total,
+        stats.dequeues - stats.empty_dequeues,
+        "Lemma 2 (mixed)"
+    );
+}
+
+#[test]
+fn starvation_patience_demotes_into_helping() {
+    // A peer publishes a descriptor and stalls; a fast handle with tiny
+    // patience must notice it within `patience` completions, demote
+    // itself, and complete the stalled op via the slow path's helping.
+    let q: WfQueue<u64> =
+        WfQueue::with_config(4, Config::fast().with_starvation_patience(2));
+    let mut stalled = q.register().unwrap();
+    let mut fast = q.register().unwrap();
+    let pending = stalled.begin_enqueue_unhelped(42);
+    assert!(pending.is_pending());
+    // Worst case: patience completions per peeked slot, over all slots.
+    for i in 0..100 {
+        fast.enqueue(1_000 + i);
+        if !pending.is_pending() {
+            break;
+        }
+    }
+    assert!(
+        !pending.is_pending(),
+        "starvation peek must demote the fast handle into helping"
+    );
+    assert!(fast.fast_path_stats().fast_starvation_demotions >= 1);
+    pending.finish();
+    // Fast ops that completed before the demotion legitimately overtook
+    // the (then-unlinearized) stalled enqueue; 42 must still be present
+    // exactly once.
+    let mut drained = Vec::new();
+    while let Some(v) = fast.dequeue() {
+        drained.push(v);
+    }
+    assert_eq!(drained.iter().filter(|&&v| v == 42).count(), 1);
 }
 
 #[test]

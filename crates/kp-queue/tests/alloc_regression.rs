@@ -108,9 +108,12 @@ fn steady_state_is_allocation_free() {
     //    epoch for its whole timeslice; `pop_mature` then refuses to
     //    recycle and enqueues *correctly* fall back to fresh heap nodes
     //    rather than block (reclamation is lock-free, not wait-free).
-    //    On an oversubscribed host that can approach one allocation per
-    //    enqueue, so the sound bound is only "never worse than the
-    //    reuse-off baseline by more than the epoch-bag overhead".
+    //    On an oversubscribed host the worst case is one allocation per
+    //    enqueue — 0.5 allocs/op on balanced pairs, which is exactly
+    //    the plateau the BENCH_PR3 contended epoch rows sit at (~0.44).
+    //    The bound below is that ceiling plus 50% headroom for epoch-
+    //    bag and scope bookkeeping: 0.75 allocs/op. Tightening it
+    //    further would make the test hostage to scheduler luck.
     let threads = 4;
     let per = 10_000u64;
 
@@ -125,9 +128,31 @@ fn steady_state_is_allocation_free() {
     let q: WfQueue<u64> = WfQueue::with_config(threads, Config::opt_both());
     let epoch_allocs = contended_window_allocs(&q, threads, per);
     assert!(
-        epoch_allocs < total_ops,
-        "epoch variant under contention allocated more than the \
-         no-reuse baseline could: {epoch_allocs} across {total_ops} ops"
+        epoch_allocs < total_ops * 3 / 4,
+        "epoch variant under contention exceeded the one-node-per-enqueue \
+         ceiling plus headroom: {epoch_allocs} across {total_ops} ops"
+    );
+
+    // --- Post-contention recovery -----------------------------------
+    // The contended fallback must be transient, not a ratchet: once the
+    // preempted pins are gone, `pop_mature`'s advance nudges ripen the
+    // cache again and the very same queue returns to the zero-alloc
+    // steady state on a single thread.
+    let mut h = q.register().unwrap();
+    for i in 0..WARMUP as u64 {
+        h.enqueue(i);
+        assert!(h.dequeue().is_some());
+    }
+    let mut i = 0u64;
+    let allocs = measure(|| {
+        h.enqueue(i);
+        assert!(h.dequeue().is_some());
+        i += 1;
+    });
+    assert_eq!(
+        allocs, 0,
+        "epoch variant did not recover the allocation-free steady state \
+         after contention: {allocs} allocations in {WINDOW} pairs"
     );
 }
 

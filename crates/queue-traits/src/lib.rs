@@ -43,6 +43,50 @@ impl fmt::Display for RegistrationError {
 
 impl std::error::Error for RegistrationError {}
 
+/// Per-handle fast-path/slow-path execution counters, for queues that
+/// run a bounded lock-free fast path before their wait-free fallback
+/// (the Kogan–Petrank 2012 methodology). Plain (non-atomic) because a
+/// handle is single-threaded; the harness merges them after a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FastPathStats {
+    /// Operations completed entirely on the fast path.
+    pub fast_completions: u64,
+    /// Fast-path attempts that exhausted their CAS-failure budget and
+    /// fell back to the slow path.
+    pub fast_exhaustions: u64,
+    /// Fast-path attempts demoted to the slow path because a starving
+    /// peer was observed.
+    pub fast_starvation_demotions: u64,
+    /// Operations that ran the slow path (demoted ones included; for a
+    /// slow-only handle this is every operation).
+    pub slow_ops: u64,
+}
+
+impl FastPathStats {
+    /// Fast-path attempts that ended in a fallback of either kind.
+    pub fn fallbacks(&self) -> u64 {
+        self.fast_exhaustions + self.fast_starvation_demotions
+    }
+
+    /// Fraction of fast-path attempts (completions + fallbacks) that
+    /// fell back to the slow path; 0.0 when the fast path never ran.
+    pub fn fallback_rate(&self) -> f64 {
+        let attempts = self.fast_completions + self.fallbacks();
+        if attempts == 0 {
+            return 0.0;
+        }
+        self.fallbacks() as f64 / attempts as f64
+    }
+
+    /// Accumulates another handle's counters into this one.
+    pub fn merge(&mut self, other: &FastPathStats) {
+        self.fast_completions += other.fast_completions;
+        self.fast_exhaustions += other.fast_exhaustions;
+        self.fast_starvation_demotions += other.fast_starvation_demotions;
+        self.slow_ops += other.slow_ops;
+    }
+}
+
 /// A per-thread handle through which queue operations are performed.
 ///
 /// Dropping the handle releases the underlying thread slot (if any), so
@@ -55,6 +99,12 @@ pub trait QueueHandle<T>: Send {
     /// Removes and returns the value at the head of the queue, or `None`
     /// if the queue is observed empty (the paper's `EmptyException`).
     fn dequeue(&mut self) -> Option<T>;
+
+    /// Fast-path execution counters for this handle, or `None` for
+    /// queues without a fast-path/slow-path split (the default).
+    fn fast_path_stats(&self) -> Option<FastPathStats> {
+        None
+    }
 }
 
 /// A multi-producer multi-consumer FIFO queue.
@@ -101,5 +151,27 @@ mod tests {
     fn registration_error_is_error() {
         fn takes_error<E: std::error::Error>(_: E) {}
         takes_error(RegistrationError { capacity: 1 });
+    }
+
+    #[test]
+    fn fast_path_stats_merge_and_rate() {
+        assert_eq!(FastPathStats::default().fallback_rate(), 0.0);
+        let mut a = FastPathStats {
+            fast_completions: 3,
+            fast_exhaustions: 1,
+            fast_starvation_demotions: 0,
+            slow_ops: 1,
+        };
+        let b = FastPathStats {
+            fast_completions: 3,
+            fast_exhaustions: 0,
+            fast_starvation_demotions: 1,
+            slow_ops: 1,
+        };
+        a.merge(&b);
+        assert_eq!(a.fast_completions, 6);
+        assert_eq!(a.fallbacks(), 2);
+        assert_eq!(a.slow_ops, 2);
+        assert!((a.fallback_rate() - 0.25).abs() < 1e-12);
     }
 }

@@ -48,6 +48,15 @@ echo "self-test ok: injected atomic was caught"
 echo "=== chaos smoke (seeded fault injection) ==="
 cargo test --features chaos --release -q --test torture
 
+echo "=== fast-path matrix (DESIGN.md SS12) ==="
+# The fast-path/slow-path split, end to end: unit suites in both
+# variants, the harness fast variants, mixed fast/slow linearizability
+# rounds, and the mid-demotion crash cases from the chaos suite.
+cargo test -p kp-queue --release -q fast
+cargo test -p harness --release -q --lib fast
+cargo test --release -q --test linearizability wf_fast
+cargo test --features chaos --release -q --test torture demotion
+
 echo "=== feature matrix: stats off ==="
 cargo build -p kp-queue --no-default-features
 

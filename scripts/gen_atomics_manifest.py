@@ -191,8 +191,9 @@ TABLE = {
     (Q, "help_finish_enq"): {
         ("load", 0): spec("helper-guard", "tail read (L90)", sc=SC_HELP),
         ("load", 1): spec("helper-guard", "appended-node read (L91)", sc=SC_HELP),
+        ("compare_exchange", 0): spec("helper-guard", "FAST_ENQUEUER branch: unconditional tail swing past a fast-appended node (no descriptor to ack; model FastFixTail)", sc=SC_SWING),
         ("load", 2): spec("helper-guard", "tail re-validation (L92)", sc=SC_HELP),
-        ("compare_exchange", 0): spec("helper-guard", "tail swing (L94, model FixTail)", sc=SC_SWING),
+        ("compare_exchange", 1): spec("helper-guard", "tail swing (L94, model FixTail)", sc=SC_SWING),
     },
     (Q, "help_deq"): {
         ("load", 0): spec("helper-guard", "head read opening the dequeue help loop (L110)", sc=SC_HELP),
@@ -207,8 +208,25 @@ TABLE = {
         ("load", 0): spec("helper-guard", "head read (L145)", sc=SC_HELP),
         ("load", 1): spec("helper-guard", "locked sentinel's next read (L146)", sc=SC_HELP),
         ("load", 2): spec("helper-guard", "deq_tid read identifying the lock owner (L146)", sc=SC_HELP),
-        ("load", 3): spec("helper-guard", "head re-validation (L148)", sc=SC_HELP),
-        ("compare_exchange", 0): spec("helper-guard", "head swing (L150, model FixHead); winner owns sentinel retirement", sc=SC_SWING),
+        ("load", 3): spec("helper-guard", "FAST_DEQUEUER branch: head re-validation before the helper-side swing (no descriptor to ack)", sc=SC_HELP),
+        ("compare_exchange", 0): spec("helper-guard", "FAST_DEQUEUER branch: head swing past a fast-locked sentinel (model FastFixHead); winner owns its retirement", sc=SC_SWING),
+        ("load", 4): spec("helper-guard", "head re-validation (L148)", sc=SC_HELP),
+        ("compare_exchange", 1): spec("helper-guard", "head swing (L150, model FixHead); winner owns sentinel retirement", sc=SC_SWING),
+    },
+    (Q, "try_fast_enqueue"): {
+        ("load", 0): spec("helper-guard", "fast-path tail read opening the bounded MS loop", sc=SC_HELP),
+        ("load", 1): spec("helper-guard", "fast-path tail.next read classifying settled vs dangling", sc=SC_HELP),
+        ("load", 2): spec("helper-guard", "fast-path tail re-validation before acting on the next read", sc=SC_HELP),
+        ("compare_exchange", 0): spec("linearization", "the fast append CAS -- same L74 linearization point as the slow path, reached without a descriptor", sc=SC_APPEND, steps=["FastAppend"]),
+        ("compare_exchange", 1): spec("helper-guard", "owner's best-effort tail swing (model FastFixTail); helpers' FAST_ENQUEUER branch races the same CAS", sc=SC_SWING),
+    },
+    (Q, "try_fast_dequeue"): {
+        ("load", 0): spec("helper-guard", "fast-path head read opening the bounded MS loop", sc=SC_HELP),
+        ("load", 1): spec("helper-guard", "fast-path tail read for the empty/lag classification", sc=SC_HELP),
+        ("load", 2): spec("linearization", "fast-path sentinel next read; with the head validated and first == last, observing null here is the empty-dequeue linearization (no descriptor CAS needed)", sc=SC_HELP, steps=["FastEmpty"]),
+        ("load", 3): spec("helper-guard", "fast-path head re-validation before acting on the next read", sc=SC_HELP),
+        ("compare_exchange", 0): spec("linearization", "the fast deq_tid lock CAS (FAST_DEQUEUER marker) -- same L135 linearization point as the slow path", sc=SC_LOCK, steps=["FastLock"]),
+        ("compare_exchange", 1): spec("helper-guard", "owner's best-effort head swing (model FastFixHead); winner recycles the unlinked sentinel", sc=SC_SWING),
     },
     (Q, "drop"): spec("reclamation", WHY_TEARDOWN),
     # ----- kp-queue/stats.rs -----------------------------------------
@@ -252,7 +270,8 @@ TABLE = {
         ("load", 0): spec("helper-guard", "appended-node read (L91)", sc=SC_HELP),
         ("load", 1): spec("helper-guard", "tail read (L90)", sc=SC_HELP),
         ("load", 2): spec("helper-guard", "tail re-validation (L92)", sc=SC_HELP),
-        ("compare_exchange", 0): spec("helper-guard", "tail swing (L94, model FixTail)", sc=SC_SWING),
+        ("compare_exchange", 0): spec("helper-guard", "FAST_ENQUEUER branch: unconditional tail swing past a fast-appended node (model FastFixTail)", sc=SC_SWING),
+        ("compare_exchange", 1): spec("helper-guard", "tail swing (L94, model FixTail)", sc=SC_SWING),
     },
     (HQ, "help_deq"): {
         ("load", 0): spec("helper-guard", "tail read for the empty/lag classification (L110)", sc=SC_HELP),
@@ -266,8 +285,24 @@ TABLE = {
         ("load", 0): spec("helper-guard", "locked sentinel's next read (L146)", sc=SC_HELP),
         ("load", 1): spec("helper-guard", "head read (L145)", sc=SC_HELP),
         ("load", 2): spec("helper-guard", "deq_tid read identifying the lock owner (L146)", sc=SC_HELP),
-        ("load", 3): spec("helper-guard", "head re-validation (L148)", sc=SC_HELP),
-        ("compare_exchange", 0): spec("helper-guard", "head swing (L150, model FixHead); winner retires the sentinel", sc=SC_SWING),
+        ("load", 3): spec("helper-guard", "FAST_DEQUEUER branch: head re-validation before the helper-side swing", sc=SC_HELP),
+        ("compare_exchange", 0): spec("helper-guard", "FAST_DEQUEUER branch: head swing past a fast-locked sentinel (model FastFixHead); winner retires it", sc=SC_SWING),
+        ("load", 4): spec("helper-guard", "head re-validation (L148)", sc=SC_HELP),
+        ("compare_exchange", 1): spec("helper-guard", "head swing (L150, model FixHead); winner retires the sentinel", sc=SC_SWING),
+    },
+    (HQ, "try_fast_enqueue"): {
+        ("load", 0): spec("helper-guard", "fast-path tail.next read classifying settled vs dangling (tail itself read via protect)", sc=SC_HELP),
+        ("load", 1): spec("helper-guard", "fast-path tail re-validation before acting on the next read", sc=SC_HELP),
+        ("compare_exchange", 0): spec("linearization", "the fast append CAS -- same L74 linearization point as the slow path, reached without a descriptor", sc=SC_APPEND, steps=["FastAppend"]),
+        ("compare_exchange", 1): spec("helper-guard", "owner's best-effort tail swing (model FastFixTail); helpers' FAST_ENQUEUER branch races the same CAS", sc=SC_SWING),
+    },
+    (HQ, "try_fast_dequeue"): {
+        ("load", 0): spec("helper-guard", "fast-path tail read for the empty/lag classification (head read via protect)", sc=SC_HELP),
+        ("load", 1): spec("linearization", "fast-path sentinel next read; with the head validated and first == last, observing null here is the empty-dequeue linearization", sc=SC_HELP, steps=["FastEmpty"]),
+        ("load", 2): spec("helper-guard", "fast-path head re-validation before acting on the next read", sc=SC_HELP),
+        ("compare_exchange", 0): spec("linearization", "the fast deq_tid lock CAS (FAST_DEQUEUER marker) -- same L135 linearization point as the slow path", sc=SC_LOCK, steps=["FastLock"]),
+        ("fetch_or", 0): spec("reclamation", "fast owner's half of the two-token disposal gate on the new sentinel; AcqRel mirrors read_deq_result"),
+        ("compare_exchange", 1): spec("helper-guard", "owner's best-effort head swing (model FastFixHead); winner retires the unlinked sentinel", sc=SC_SWING),
     },
     (HQ, "drop"): spec("reclamation", WHY_TEARDOWN),
     # ----- kp-queue/hp tests -----------------------------------------
@@ -275,6 +310,7 @@ TABLE = {
     (HTY, "sentinels_are_born_consumed"): spec("stats", WHY_TEST),
     (HTE, "drop"): spec("stats", WHY_TEST),
     (HTE, "values_dropped_exactly_once"): spec("stats", WHY_TEST),
+    (HTE, "fast_path_values_dropped_exactly_once"): spec("stats", WHY_TEST),
     # ----- hazard tests ----------------------------------------------
     (HT, "drop"): spec("stats", WHY_TEST),
     (HT, "retire_without_hazard_reclaims_on_scan"): spec("stats", WHY_TEST),

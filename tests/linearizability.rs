@@ -171,6 +171,112 @@ fn wf_reuse_churn_is_linearizable() {
     }
 }
 
+/// Fast-path/slow-path interleaving (DESIGN.md §12): half the handles
+/// run the bounded lock-free fast path (odd tids), half are pinned to
+/// the descriptor slow path (`set_fast_path(0)`, even tids), so every
+/// checked history mixes raw MS CASes with helped descriptor-driven
+/// ops on the same queue. A fast append the helpers fail to linearize
+/// consistently, or a fast `deqTid` lock racing a helper's staged
+/// dequeue, shows up here as a value duplicated, invented, or
+/// reordered past the FIFO spec. A macro rather than a generic helper:
+/// `set_fast_path` lives on the concrete handle types, not the trait.
+macro_rules! record_mixed_round {
+    ($queue:expr, $threads:expr, $ops:expr, $seed:expr) => {{
+        let queue = $queue;
+        let (threads, ops_per_thread, seed) = ($threads, $ops, $seed);
+        let recorder = Recorder::new();
+        let mut logs = Vec::new();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let recorder = &recorder;
+                    let queue = &queue;
+                    s.spawn(move || {
+                        let mut h = queue.register().expect("register");
+                        if t % 2 == 0 {
+                            h.set_fast_path(0); // slow-path-only handle
+                        }
+                        let mut log = recorder.log::<QueueOp>(t);
+                        let mut x = seed ^ (t as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15);
+                        for i in 0..ops_per_thread {
+                            x ^= x << 13;
+                            x ^= x >> 7;
+                            x ^= x << 17;
+                            if x % 100 < 55 {
+                                let v = ((t as u64) << 32) | i as u64;
+                                log.record(|| h.enqueue(v), |_| QueueOp::Enqueue(v));
+                            } else {
+                                log.record(|| h.dequeue(), |r| QueueOp::Dequeue(*r));
+                            }
+                        }
+                        log
+                    })
+                })
+                .collect();
+            for h in handles {
+                logs.push(h.join().unwrap());
+            }
+        });
+        History::from_logs(logs)
+    }};
+}
+
+#[test]
+fn wf_fast_path_mixed_handles_are_linearizable() {
+    const ROUNDS: usize = 12;
+    const THREADS: usize = 4;
+    const OPS: usize = 10;
+    for round in 0..ROUNDS {
+        let seed = round as u64 * 6151 + 3;
+        let history = record_mixed_round!(
+            WfQueue::<u64>::with_config(THREADS, Config::fast()),
+            THREADS,
+            OPS,
+            seed
+        );
+        assert!(history.validate_stamps());
+        assert_eq!(
+            check(&QueueModel, &history),
+            Outcome::Linearizable,
+            "WfQueue(fast, mixed handles) round {round}"
+        );
+        let history = record_mixed_round!(
+            WfQueueHp::<u64>::with_config(THREADS, Config::fast()),
+            THREADS,
+            OPS,
+            seed
+        );
+        assert!(history.validate_stamps());
+        assert_eq!(
+            check(&QueueModel, &history),
+            Outcome::Linearizable,
+            "WfQueueHp(fast, mixed handles) round {round}"
+        );
+    }
+}
+
+/// A starvation-prone mix: one fast handle with patience 1 against
+/// slow-path peers, so the demotion paths (budget exhaustion *and*
+/// starvation peek) both fire inside checked histories.
+#[test]
+fn wf_fast_path_low_patience_is_linearizable() {
+    const ROUNDS: usize = 8;
+    const THREADS: usize = 3;
+    const OPS: usize = 10;
+    for round in 0..ROUNDS {
+        let seed = round as u64 * 31_337 + 11;
+        let cfg = Config::fast().with_fast_path(1).with_starvation_patience(1);
+        let history =
+            record_mixed_round!(WfQueue::<u64>::with_config(THREADS, cfg), THREADS, OPS, seed);
+        assert!(history.validate_stamps());
+        assert_eq!(
+            check(&QueueModel, &history),
+            Outcome::Linearizable,
+            "WfQueue(fast, patience 1) round {round}"
+        );
+    }
+}
+
 #[test]
 fn wf_with_validation_is_linearizable() {
     assert_linearizable(

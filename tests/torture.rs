@@ -252,6 +252,37 @@ fn hp_enqueuer_killed_at_swing_tail_loses_nothing() {
     );
 }
 
+/// A producer dies **mid-demotion**: its fast-path budget is exhausted
+/// (budget 1 makes any interference — a lagging tail, a lost append
+/// race — demote), the private node has just been rebranded from
+/// `FAST_ENQUEUER` to the real tid, and the `kp.fast.demote` site fires
+/// *before* the descriptor publish. Killing there leaves a value that
+/// was recorded as attempted but never entered the queue — the one
+/// legal loss — while the shared structures hold no trace of the op, so
+/// survivors must be completely unaffected.
+#[test]
+fn epoch_enqueuer_killed_mid_demotion() {
+    kill_torture_round!(
+        WfQueue::<u64>::with_config(4, Config::fast().with_fast_path(1)),
+        "kp.fast.demote",
+        1, // tid 1 is a producer
+        1  // its rebranded-but-unpublished value may vanish
+    );
+}
+
+/// The same window on the hazard-pointer variant: the rebranded node
+/// came from the node pool and dies with the victim (leaked, never
+/// published), so beyond that one value the ledger must balance.
+#[test]
+fn hp_enqueuer_killed_mid_demotion() {
+    kill_torture_round!(
+        WfQueueHp::<u64>::with_config(4, Config::fast().with_fast_path(1)),
+        "kp_hp.fast.demote",
+        1,
+        1
+    );
+}
+
 /// Every instrumented epoch-variant site, for seeded plans.
 const EPOCH_SITES: &[&str] = &[
     "kp.publish",
@@ -263,6 +294,27 @@ const EPOCH_SITES: &[&str] = &[
     "kp.clear_pending.deq",
     "kp.clear_pending.deq_empty",
     "kp.swing_head",
+    "idpool.acquire",
+    "idpool.release",
+];
+
+/// The epoch sites plus the five fast-path sites (DESIGN.md §12), for
+/// seeded plans against a fast-path config.
+const EPOCH_FAST_SITES: &[&str] = &[
+    "kp.publish",
+    "kp.append",
+    "kp.clear_pending.enq",
+    "kp.swing_tail",
+    "kp.bind_sentinel",
+    "kp.lock_sentinel",
+    "kp.clear_pending.deq",
+    "kp.clear_pending.deq_empty",
+    "kp.swing_head",
+    "kp.fast.enq",
+    "kp.fast.swing_tail",
+    "kp.fast.deq",
+    "kp.fast.swing_head",
+    "kp.fast.demote",
     "idpool.acquire",
     "idpool.release",
 ];
@@ -326,6 +378,28 @@ fn linearizable_under_seeded_adversarial_stalls() {
             // Fresh queue per round: each checked history must be
             // self-contained (no values left over from a previous round).
             let q: WfQueue<u64> = WfQueue::with_config(THREADS, Config::opt_both());
+            record_and_check(&q, THREADS, 12, seed.wrapping_mul(6364136223846793005).wrapping_add(round));
+        }
+        let report = session.report();
+        assert!(report.stalls > 0, "seeded plan must actually stall (seed {seed})");
+        report.assert_linear_bound(THREADS, 400, 200);
+    }
+}
+
+/// The same seeded adversarial stalls against the fast-path config: the
+/// plans may now park threads inside the fast windows too (between the
+/// fast append and its tail swing, between the fast `deqTid` lock and
+/// its head swing, mid-demotion), and every history must still
+/// linearize with fast and helped ops interleaved on one queue.
+#[test]
+fn linearizable_under_seeded_adversarial_stalls_fast_path() {
+    quiet_chaos_kills();
+    const THREADS: usize = 3;
+    for seed in [3u64, 23, 4242, 0xFA57] {
+        let session = chaos::install(FaultPlan::seeded(seed, EPOCH_FAST_SITES, THREADS, 10));
+        for round in 0..6 {
+            let q: WfQueue<u64> =
+                WfQueue::with_config(THREADS, Config::fast().with_fast_path(2));
             record_and_check(&q, THREADS, 12, seed.wrapping_mul(6364136223846793005).wrapping_add(round));
         }
         let report = session.report();
