@@ -52,6 +52,18 @@ fn usage_exit(err: &ArgsError) -> ! {
     std::process::exit(2);
 }
 
+/// Reports a bad value for `--key` on stderr and exits with status 2 —
+/// for flags whose parsing lives outside [`Args`] (enum-like flags such
+/// as `--sched`). Keeps every malformed command line on the same
+/// graceful exit-2 path instead of a panic backtrace.
+pub fn bad_value_exit(key: &str, value: &str, expected: &str) -> ! {
+    usage_exit(&ArgsError::BadValue {
+        key: key.to_string(),
+        value: value.to_string(),
+        message: expected.to_string(),
+    })
+}
+
 /// Parsed command-line options.
 #[derive(Debug, Default)]
 pub struct Args {

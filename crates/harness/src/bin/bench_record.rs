@@ -1,15 +1,21 @@
 //! Records the PR's perf baseline: throughput *and* allocation rate for
 //! the fast-path/slow-path execution split against its slow-path-only
-//! baseline, written as machine-readable JSON (default `BENCH_PR4.json`).
+//! baseline, written as machine-readable JSON (default `BENCH_PR5.json`).
 //!
-//! Two grids:
+//! Three grids:
 //! 1. the PR2/PR3 slow-path grid — {epoch, HP} × {base, opt(1+2)} ×
 //!    {reuse, alloc} × {pairs, 50-50} × a small thread sweep — kept
 //!    verbatim so slow-path drift vs the previous baseline is a
 //!    row-by-row diff;
 //! 2. the PR4 fast-path ablation — each fast variant against its
 //!    slow-path-only base (same memory management), with the merged
-//!    per-handle fallback counters recorded per cell.
+//!    per-handle fallback counters recorded per cell;
+//! 3. the PR5 reaper ablation (DESIGN.md §13) — the same opt_both cells
+//!    with `Config::with_reaper()` on, no faults injected, so the
+//!    on/off ratio is the pure protocol overhead (acceptance: geomean
+//!    ≤1.03×); rows carry the reap/quarantine counters (all zero in a
+//!    fault-free run). A separate seeded probe abandons a handle and
+//!    measures the observed reap latency plus quarantine count.
 //!
 //! The binary installs the counting allocator from `alloc-track`, so
 //! `allocs_per_op` is the process-wide truth. Every row carries an
@@ -32,7 +38,7 @@ use std::time::Duration;
 use harness::args::Args;
 use harness::{workload, SchedPolicy, Variant};
 use kp_queue::{Config, WfQueue, WfQueueHp};
-use queue_traits::FastPathStats;
+use queue_traits::{ConcurrentQueue, FastPathStats, QueueHandle};
 
 #[global_allocator]
 static ALLOC: alloc_track::TrackingAlloc = alloc_track::TrackingAlloc;
@@ -50,6 +56,9 @@ struct Row {
     /// Merged fast-path counters across all reps; `None` for cells
     /// without a fast path.
     fast: Option<FastPathStats>,
+    /// Summed (reaps, quarantines) across all reps; `Some` only for
+    /// reaper-enabled cells (expected (0, 0) in a fault-free run).
+    reap: Option<(u64, u64)>,
 }
 
 /// One timed rep: returns (duration, heap allocations during the run).
@@ -64,13 +73,40 @@ fn median(durs: &mut [Duration]) -> Duration {
     durs[durs.len() / 2]
 }
 
+/// Runs `abandon` on its own (immediately dead) thread — the handle it
+/// leaks is the sudden-death victim — then drives pairs on a freshly
+/// registered survivor until `reaps()` reports the slot was reclaimed.
+/// Returns (wall-clock latency, survivor ops executed).
+fn run_reap_probe<H: QueueHandle<u64>>(
+    abandon: impl FnOnce() + Send,
+    register: impl FnOnce() -> H,
+    reaps: impl Fn() -> u64,
+) -> (Duration, usize) {
+    std::thread::scope(|s| {
+        s.spawn(abandon);
+    });
+    let mut h = register();
+    let start = std::time::Instant::now();
+    let mut ops = 0usize;
+    // The cap only guards against a wedged reaper turning the probe
+    // into an infinite loop; a healthy reap lands after ~patience ops.
+    while reaps() == 0 && ops < 50_000_000 {
+        h.enqueue(0);
+        let _ = h.dequeue();
+        ops += 2;
+    }
+    (start.elapsed(), ops)
+}
+
 fn main() {
     let args = Args::from_env();
     let iters: usize = args.get_or("iters", 50_000);
     let reps: usize = args.get_or("reps", 3);
-    let out = args.get("out").unwrap_or("BENCH_PR4.json").to_string();
+    let out = args.get("out").unwrap_or("BENCH_PR5.json").to_string();
     let thread_counts: Vec<usize> = match args.get("threads") {
-        Some(t) => vec![t.parse().expect("--threads N")],
+        Some(t) => vec![t.parse().unwrap_or_else(|_| {
+            harness::args::bad_value_exit("threads", t, "expected a thread count")
+        })],
         None => vec![1, 4],
     };
 
@@ -139,6 +175,7 @@ fn main() {
                     }
                     rows.push(finish_row(
                         queue, config, reuse, wl, threads, iters, cores, durs, allocs, None,
+                        None,
                     ));
                 }
             }
@@ -183,6 +220,82 @@ fn main() {
                     durs,
                     allocs,
                     Some(fp),
+                    None,
+                ));
+            }
+        }
+    }
+
+    // Grid 3: the reaper ablation — the grid-1 opt_both/reuse cells
+    // with the reaper on and no faults injected, so the on/off ratio is
+    // pure `reap_tick` overhead. Reap/quarantine counters recorded to
+    // prove fault-free runs reap nothing.
+    //
+    // Patience is deliberately huge: it is a deployment contract on the
+    // worst-case descheduling window (DESIGN.md §13.3), and oversubscribed
+    // cells park live workers long enough that the default would reap
+    // them mid-benchmark. `reap_tick`'s per-op scan cost — the thing this
+    // grid measures — does not depend on the patience value.
+    let reap_cfg = Config::opt_both().with_reap_patience(usize::MAX >> 1);
+    for &threads in &thread_counts {
+        for wl in ["pairs", "fifty_fifty"] {
+            for queue in ["wf-epoch", "wf-hp"] {
+                let mut durs = Vec::with_capacity(reps);
+                let mut allocs = Vec::with_capacity(reps);
+                let mut reap_counts = (0u64, 0u64);
+                for _ in 0..reps {
+                    let a0 = alloc_track::total_allocs();
+                    let (d, stats) = match (queue, wl) {
+                        ("wf-epoch", "pairs") => {
+                            let q: WfQueue<u64> = WfQueue::with_config(threads, reap_cfg);
+                            let d = workload::run_pairs(&q, threads, iters, SchedPolicy::Unpinned);
+                            (d, q.stats())
+                        }
+                        ("wf-epoch", _) => {
+                            let q: WfQueue<u64> = WfQueue::with_config(threads + 1, reap_cfg);
+                            let d = workload::run_fifty_fifty(
+                                &q,
+                                threads,
+                                iters,
+                                1_000,
+                                SchedPolicy::Unpinned,
+                            );
+                            (d, q.stats())
+                        }
+                        (_, "pairs") => {
+                            let q: WfQueueHp<u64> = WfQueueHp::with_config(threads, reap_cfg);
+                            let d = workload::run_pairs(&q, threads, iters, SchedPolicy::Unpinned);
+                            (d, q.stats())
+                        }
+                        _ => {
+                            let q: WfQueueHp<u64> = WfQueueHp::with_config(threads + 1, reap_cfg);
+                            let d = workload::run_fifty_fifty(
+                                &q,
+                                threads,
+                                iters,
+                                1_000,
+                                SchedPolicy::Unpinned,
+                            );
+                            (d, q.stats())
+                        }
+                    };
+                    durs.push(d);
+                    allocs.push(alloc_track::total_allocs() - a0);
+                    reap_counts.0 += stats.reaps;
+                    reap_counts.1 += stats.quarantines;
+                }
+                rows.push(finish_row(
+                    queue,
+                    "opt_both+reap",
+                    true,
+                    wl,
+                    threads,
+                    iters,
+                    cores,
+                    durs,
+                    allocs,
+                    None,
+                    Some(reap_counts),
                 ));
             }
         }
@@ -275,8 +388,110 @@ fn main() {
     let geomean = (log_sum / n_cmps as f64).exp();
     println!("fast-over-base geomean across {n_cmps} cells: {geomean:.4}x");
 
+    // Headline comparison for this PR: each reaper-on cell against the
+    // identical reaper-off cell (acceptance: overhead geomean ≤1.03×,
+    // i.e. on/off speedup geomean ≥0.9709).
+    let mut reap_cmps = String::new();
+    let mut reap_log_sum = 0.0f64;
+    let mut reap_n = 0usize;
+    for r in rows.iter().filter(|r| r.config == "opt_both+reap") {
+        let b = rows
+            .iter()
+            .find(|b| {
+                b.queue == r.queue
+                    && b.config == "opt_both"
+                    && b.reuse
+                    && b.workload == r.workload
+                    && b.threads == r.threads
+            })
+            .expect("reaper-off twin row");
+        let speedup = r.mops_per_sec / b.mops_per_sec;
+        reap_log_sum += speedup.ln();
+        reap_n += 1;
+        let (reaps, quarantines) = r.reap.expect("reaper cell has counters");
+        let _ = write!(
+            reap_cmps,
+            "{}    {{\"queue\": \"{}\", \"workload\": \"{}\", \"threads\": {}, \
+             \"reap_on_over_off_speedup\": {:.4}, \"reaps\": {}, \"quarantines\": {}}}",
+            if reap_cmps.is_empty() { "" } else { ",\n" },
+            r.queue,
+            r.workload,
+            r.threads,
+            speedup,
+            reaps,
+            quarantines
+        );
+        println!(
+            "reaper on/off {} {} t={}: {:.3}x (reaps {}, quarantines {})",
+            r.queue, r.workload, r.threads, speedup, reaps, quarantines
+        );
+    }
+    let reap_geomean = (reap_log_sum / reap_n as f64).exp();
+    println!("reaper-on-over-off geomean across {reap_n} cells: {reap_geomean:.4}x");
+
+    // Reap-latency probe: abandon a handle for real (mem::forget — the
+    // sudden-death half of the fault model) and measure how long a lone
+    // survivor takes to revoke the lease and finish the reap, in
+    // wall-clock time and in survivor operations. Patience is shrunk so
+    // the probe measures the reap machinery, not the (configurable)
+    // patience window itself.
+    const PROBE_PATIENCE: usize = 64;
+    let probe_cfg = Config::opt_both().with_reap_patience(PROBE_PATIENCE);
+    let mut probes = String::new();
+    for queue in ["wf-epoch", "wf-hp"] {
+        let (latency, ops, reaps, quarantines) = if queue == "wf-epoch" {
+            let q: WfQueue<u64> = WfQueue::with_config(2, probe_cfg);
+            let probe = run_reap_probe(
+                || {
+                    let mut h = q.register().expect("probe victim slot");
+                    for i in 0..16 {
+                        h.enqueue(i);
+                    }
+                    std::mem::forget(h);
+                },
+                || q.register().expect("probe survivor slot"),
+                || q.stats().reaps,
+            );
+            let s = q.stats();
+            (probe.0, probe.1, s.reaps, s.quarantines)
+        } else {
+            let q: WfQueueHp<u64> = WfQueueHp::with_config(2, probe_cfg);
+            let probe = run_reap_probe(
+                || {
+                    let mut h = q.register().expect("probe victim slot");
+                    for i in 0..16 {
+                        h.enqueue(i);
+                    }
+                    std::mem::forget(h);
+                },
+                || q.register().expect("probe survivor slot"),
+                || q.stats().reaps,
+            );
+            let s = q.stats();
+            (probe.0, probe.1, s.reaps, s.quarantines)
+        };
+        let _ = write!(
+            probes,
+            "{}    {{\"queue\": \"{}\", \"reap_patience\": {}, \
+             \"reap_latency_secs\": {:.6}, \"survivor_ops_until_reap\": {}, \
+             \"reaps\": {}, \"quarantines\": {}}}",
+            if probes.is_empty() { "" } else { ",\n" },
+            queue,
+            PROBE_PATIENCE,
+            latency.as_secs_f64(),
+            ops,
+            reaps,
+            quarantines
+        );
+        println!(
+            "reap probe {queue}: {:.2?} / {ops} survivor ops until reap \
+             (patience {PROBE_PATIENCE}, reaps {reaps}, quarantines {quarantines})",
+            latency
+        );
+    }
+
     let mut json = String::new();
-    json.push_str("{\n  \"pr\": 4,\n");
+    json.push_str("{\n  \"pr\": 5,\n");
     let _ = writeln!(json, "  \"iters_per_thread\": {iters},");
     let _ = writeln!(json, "  \"reps\": {reps},");
     let _ = writeln!(json, "  \"cores\": {cores},");
@@ -295,12 +510,18 @@ fn main() {
             ),
             None => String::new(),
         };
+        let reap_fields = match &r.reap {
+            Some((reaps, quarantines)) => {
+                format!(", \"reaps\": {reaps}, \"quarantines\": {quarantines}")
+            }
+            None => String::new(),
+        };
         let _ = writeln!(
             json,
             "    {{\"queue\": \"{}\", \"config\": \"{}\", \"reuse\": {}, \
              \"workload\": \"{}\", \"threads\": {}, \"oversubscribed\": {}, \
              \"median_secs\": {:.6}, \"mops_per_sec\": {:.4}, \
-             \"allocs_per_op\": {:.6}{}}}{}",
+             \"allocs_per_op\": {:.6}{}{}}}{}",
             r.queue,
             r.config,
             r.reuse,
@@ -311,6 +532,7 @@ fn main() {
             r.mops_per_sec,
             r.allocs_per_op,
             fast_fields,
+            reap_fields,
             if i + 1 == rows.len() { "" } else { "," }
         );
     }
@@ -319,7 +541,14 @@ fn main() {
     json.push_str("\n  ],\n  \"fast_vs_base\": [\n");
     json.push_str(&fast_cmps);
     json.push_str("\n  ],\n");
-    let _ = writeln!(json, "  \"fast_vs_base_geomean\": {geomean:.4}");
+    let _ = writeln!(json, "  \"fast_vs_base_geomean\": {geomean:.4},");
+    json.push_str("  \"reap_on_vs_off\": [\n");
+    json.push_str(&reap_cmps);
+    json.push_str("\n  ],\n");
+    let _ = writeln!(json, "  \"reap_on_vs_off_geomean\": {reap_geomean:.4},");
+    json.push_str("  \"reap_probe\": [\n");
+    json.push_str(&probes);
+    json.push_str("\n  ]\n");
     json.push_str("}\n");
 
     std::fs::write(&out, json).expect("write JSON report");
@@ -338,6 +567,7 @@ fn finish_row(
     mut durs: Vec<Duration>,
     mut allocs: Vec<usize>,
     fast: Option<FastPathStats>,
+    reap: Option<(u64, u64)>,
 ) -> Row {
     let med = median(&mut durs);
     // Pairs = 2 ops per iteration; 50-50 = 1.
@@ -355,6 +585,7 @@ fn finish_row(
         allocs_per_op: med_allocs / ops,
         oversubscribed: threads > cores,
         fast,
+        reap,
     };
     println!(
         "{:10} {:8} reuse={:5} {:11} t={}{}: {:>8.3} Mops/s, {:.4} allocs/op{}",

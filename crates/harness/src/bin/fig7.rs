@@ -21,7 +21,9 @@ fn main() {
     let args = Args::from_env();
     let bench = BenchArgs::parse(&args);
     let scheds: Vec<SchedPolicy> = match args.get("sched") {
-        Some(s) => vec![SchedPolicy::parse(s).expect("--sched pinned|unpinned|yielding")],
+        Some(s) => vec![SchedPolicy::parse(s).unwrap_or_else(|| {
+            harness::args::bad_value_exit("sched", s, "expected pinned|unpinned|yielding")
+        })],
         None => SchedPolicy::ALL.to_vec(),
     };
 

@@ -18,7 +18,9 @@ fn main() {
     let bench = BenchArgs::parse(&args);
     // Paper sub-figures: (a) CentOS ≈ yielding, (b) RedHat ≈ pinned.
     let scheds: Vec<SchedPolicy> = match args.get("sched") {
-        Some(s) => vec![SchedPolicy::parse(s).expect("--sched pinned|unpinned|yielding")],
+        Some(s) => vec![SchedPolicy::parse(s).unwrap_or_else(|| {
+            harness::args::bad_value_exit("sched", s, "expected pinned|unpinned|yielding")
+        })],
         None => vec![SchedPolicy::Yielding, SchedPolicy::Pinned],
     };
 

@@ -22,7 +22,11 @@ fn main() {
     let bench = BenchArgs::parse(&args);
     let sched = args
         .get("sched")
-        .map(|s| SchedPolicy::parse(s).expect("--sched pinned|unpinned|yielding"))
+        .map(|s| {
+            SchedPolicy::parse(s).unwrap_or_else(|| {
+                harness::args::bad_value_exit("sched", s, "expected pinned|unpinned|yielding")
+            })
+        })
         .unwrap_or(SchedPolicy::Yielding);
     let threads: usize = args.get_or("threads", 2 * harness::sched::num_cores().max(4));
     let iters = bench.iters;

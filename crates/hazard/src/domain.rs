@@ -183,6 +183,59 @@ impl Domain {
         }
     }
 
+    /// Forcibly clears the hazard slots of an abandoned participant's
+    /// record and returns the record to the domain for adoption.
+    /// `token` is the value [`Participant::record_token`] returned for
+    /// the abandoned participant. Returns `true` when a matching active
+    /// record was found.
+    ///
+    /// A leaked [`Participant`] never runs its destructor: its published
+    /// hazards pin retired objects forever and its record stays claimed.
+    /// Quarantine replicates the destructor's record cleanup (null every
+    /// slot, deactivate) — but *not* the private retired-list handoff,
+    /// which is unreachable from the record. Those retirees leak,
+    /// bounded by the scan threshold (`Domain::scan_threshold`), the
+    /// documented cost of an abandoned participant.
+    ///
+    /// [`Participant::record_token`]: crate::Participant::record_token
+    ///
+    /// # Safety
+    ///
+    /// The participant behind `token` must never be used again (its
+    /// owner leaked it and will never call methods on it, or its thread
+    /// has exited). Clearing the hazards of a participant still in use
+    /// lets the scan reclaim objects it is actively dereferencing —
+    /// use-after-free; and deactivating its record lets a new
+    /// participant share the slots — both UB.
+    pub unsafe fn quarantine(&self, token: usize) -> bool {
+        if token == 0 {
+            return false;
+        }
+        let mut cur = self.records.load(Ordering::Acquire);
+        while !cur.is_null() {
+            if cur as usize == token {
+                // SAFETY: records are never freed while the domain lives.
+                let rec = unsafe { &*cur };
+                if !rec.active.load(Ordering::Acquire) {
+                    // Already quarantined (or the leak was cleaned up
+                    // some other way); don't disturb a possible adopter.
+                    return false;
+                }
+                // Mirror Participant::drop's record half: SeqCst clears
+                // so in-flight scans (SeqCst hazard snapshot) observe
+                // the nulls, then hand the record back for adoption.
+                for slot in rec.hazards.iter() {
+                    slot.store(ptr::null_mut(), Ordering::SeqCst);
+                }
+                rec.active.store(false, Ordering::Release);
+                return true;
+            }
+            // SAFETY: as above — the list is grow-only and immortal.
+            cur = unsafe { (*cur).next };
+        }
+        false
+    }
+
     /// Retire threshold: scan when a local retired list reaches this size.
     /// Michael's analysis wants `R = H + Θ(H)`; we use `max(2H, 64)` so
     /// small domains still batch enough to amortize the scan.

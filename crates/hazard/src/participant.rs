@@ -65,6 +65,14 @@ impl<'d> Participant<'d> {
         self.domain
     }
 
+    /// An opaque token identifying this participant's hazard record
+    /// (stable for the life of the domain; never `0`). An external
+    /// liveness layer can pass it to [`Domain::quarantine`] if this
+    /// participant is abandoned without running its destructor.
+    pub fn record_token(&self) -> usize {
+        self.record as usize
+    }
+
     /// Number of objects this participant has reclaimed so far.
     pub fn reclaimed(&self) -> usize {
         self.reclaimed

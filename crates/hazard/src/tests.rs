@@ -212,6 +212,51 @@ fn concurrent_stress_no_use_after_free() {
 }
 
 #[test]
+fn quarantine_clears_abandoned_hazards_and_recycles_the_record() {
+    // A participant publishes a hazard and is then leaked (its
+    // destructor never runs): the hazard pins the retired object and
+    // the record stays claimed forever. Quarantine must undo both.
+    let drops = Arc::new(AtomicUsize::new(0));
+    let domain = Domain::new(1);
+
+    let obj = counting(&drops);
+    let shared = AtomicPtr::new(obj);
+    let abandoned = domain.enter();
+    abandoned.protect(0, &shared);
+    let token = abandoned.record_token();
+    assert!(token != 0);
+    std::mem::forget(abandoned); // leaked: Drop never clears the slot
+
+    let mut retirer = domain.enter();
+    // SAFETY: swapped out of `shared`; retired exactly once.
+    unsafe { retirer.retire(shared.swap(std::ptr::null_mut(), Ordering::AcqRel)) };
+    retirer.scan();
+    assert_eq!(drops.load(Ordering::SeqCst), 0, "leaked hazard still pins");
+
+    // SAFETY: the leaked participant is unreachable — forget() consumed
+    // the only handle to it; no code can ever use its record again.
+    assert!(unsafe { domain.quarantine(token) });
+    retirer.scan();
+    assert_eq!(drops.load(Ordering::SeqCst), 1, "quarantine unpins");
+
+    // SAFETY: same leaked participant as above; still unreachable.
+    assert!(
+        !unsafe { domain.quarantine(token) },
+        "second quarantine is a no-op (record already returned)"
+    );
+    // SAFETY: 0 never names a participant; the call must refuse it.
+    assert!(!unsafe { domain.quarantine(0) }, "token 0 is never valid");
+
+    // The quarantined record is adoptable: re-entering must not grow
+    // the record list.
+    let slots_before = domain.total_slots();
+    let adopter = domain.enter();
+    assert_eq!(domain.total_slots(), slots_before, "record recycled");
+    drop(adopter);
+    drop(retirer);
+}
+
+#[test]
 fn two_domains_are_isolated() {
     // A hazard in domain A must not block reclamation in domain B.
     let drops = Arc::new(AtomicUsize::new(0));

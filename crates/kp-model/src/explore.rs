@@ -79,6 +79,16 @@ enum StepKind {
     FastRestage,
     FastLock,
     FastFixHead,
+    /// A mortal thread dies (DESIGN.md §13 sudden death): enabled at
+    /// every point of its execution, so the explorer covers all death
+    /// positions. An op that has touched no shared state vanishes with
+    /// the thread; published descriptor work freezes until adopted.
+    Abandon,
+    /// The reaper adopts a dead thread's orphaned descriptor work
+    /// (`reap_slot`'s help-then-retire sequence, collapsed to its
+    /// enabling effect): the orphan's remaining steps become ordinary
+    /// helper steps and must drive it to completion exactly once.
+    ReapClaim,
 }
 
 /// The names of every step the explorer enumerates, in `StepKind`
@@ -105,6 +115,8 @@ pub const STEP_NAMES: &[&str] = &[
     "FastRestage",
     "FastLock",
     "FastFixHead",
+    "Abandon",
+    "ReapClaim",
 ];
 
 impl Step {
@@ -183,7 +195,25 @@ fn check_structure(s: &State, schedule: &[String]) -> Result<(), ModelError> {
 fn check_terminal(s: &State, schedule: &[String]) -> Result<(), ModelError> {
     for (t, ops) in s.ops.iter().enumerate() {
         for (k, op) in ops.iter().enumerate() {
-            debug_assert_eq!(op.pc, Pc::Done);
+            if op.vanished {
+                // Died before touching shared state: the op never
+                // happened — any linearization of it is a double-apply.
+                if op.linearized_count != 0 {
+                    return Err(ModelError::DoubleLinearization {
+                        op: (t, k),
+                        schedule: schedule.to_vec(),
+                    });
+                }
+                continue;
+            }
+            if op.pc != Pc::Done {
+                // Only a dead thread leaves work unfinished at a
+                // terminal state, and only ops it never started —
+                // in-flight orphans keep the state non-terminal until
+                // adoption completes them (or wedge into Stuck).
+                debug_assert!(s.dead[t]);
+                continue;
+            }
             if op.linearized_count != 1 {
                 return Err(ModelError::DoubleLinearization {
                     op: (t, k),
@@ -215,6 +245,31 @@ fn enabled_steps(s: &State) -> Vec<Step> {
             op: cur,
             kind,
         };
+        // A mortal thread may die at any point; the explorer branches
+        // on every death position.
+        if s.mortal[t] && !s.dead[t] {
+            out.push(mk(StepKind::Abandon));
+        }
+        if s.dead[t] {
+            if matches!(op.pc, Pc::Publish | Pc::FastAppend | Pc::FastStage0) {
+                // A dead thread starts nothing new (these are the
+                // initial pcs of ops that never touched shared state;
+                // an op *abandoned* at one of them vanished instead).
+                continue;
+            }
+            if matches!(op.pc, Pc::Append | Pc::Stage0 | Pc::Lock) && !s.reaped[t] {
+                // Orphaned descriptor-driven stages (help_enq's append,
+                // help_deq's stage 0 / sentinel lock) wait for the
+                // reaper's adoption — in the no-helping worst case
+                // nobody else drives a peer's descriptor. The remaining
+                // pcs are help_finish_* work any thread runs
+                // unconditionally, so they stay enabled below.
+                if s.reaping {
+                    out.push(mk(StepKind::ReapClaim));
+                }
+                continue;
+            }
+        }
         match (op.kind, op.pc) {
             (_, Pc::Publish) => out.push(mk(StepKind::Publish)),
             (OpKind::Enqueue(_), Pc::Append) => {
@@ -504,6 +559,30 @@ fn apply(s: &State, step: Step, schedule: &[String]) -> Result<State, ModelError
             op!().pc = Pc::Done;
             n.cur[t] += 1;
         }
+        StepKind::Abandon => {
+            n.dead[t] = true;
+            match op!().pc {
+                // Nothing shared yet (descriptor unpublished / node
+                // private / lock CAS not executed): the op vanishes
+                // with the thread. Its value, if any, is lost — the
+                // bounded per-death loss the torture suite budgets as
+                // `allowed_missing` — and the spec never saw it.
+                Pc::Publish | Pc::FastAppend | Pc::FastStage0 | Pc::FastLock => {
+                    op!().vanished = true;
+                    op!().pc = Pc::Done;
+                    n.cur[t] += 1;
+                }
+                // Published / mid-protocol: the orphan freezes where it
+                // is. enabled_steps decides what may still run (the
+                // help_finish_* pcs immediately, descriptor stages only
+                // after ReapClaim).
+                _ => {}
+            }
+        }
+        StepKind::ReapClaim => {
+            debug_assert!(n.dead[t] && !n.reaped[t]);
+            n.reaped[t] = true;
+        }
     }
     Ok(n)
 }
@@ -534,6 +613,8 @@ mod step_names_tests {
             StepKind::FastRestage,
             StepKind::FastLock,
             StepKind::FastFixHead,
+            StepKind::Abandon,
+            StepKind::ReapClaim,
         ];
         assert_eq!(all.len(), STEP_NAMES.len());
         for (kind, name) in all.iter().zip(STEP_NAMES) {

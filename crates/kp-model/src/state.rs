@@ -27,6 +27,42 @@ pub enum OpKind {
 pub struct Scenario {
     /// Per-thread operation sequences.
     pub programs: Vec<Vec<OpKind>>,
+    /// Threads that may die (DESIGN.md §13 sudden death: no
+    /// destructors, no unwind recovery). The explorer branches on an
+    /// `Abandon` step at *every* point of a mortal thread's execution,
+    /// so every death position is covered.
+    pub mortal: Vec<bool>,
+    /// Whether the abandoned-handle reaper is modelled: `ReapClaim`
+    /// steps adopt a dead thread's orphaned descriptor work, after
+    /// which the orphan's remaining steps run as helper steps. With
+    /// reaping off, an orphaned *published* operation never completes —
+    /// the explorer reports that liveness loss as [`Stuck`].
+    ///
+    /// [`Stuck`]: crate::ModelError::Stuck
+    pub reaping: bool,
+}
+
+impl Scenario {
+    /// A scenario of immortal threads (the pre-§13 model).
+    pub fn new(programs: Vec<Vec<OpKind>>) -> Self {
+        let n = programs.len();
+        Scenario {
+            programs,
+            mortal: vec![false; n],
+            reaping: false,
+        }
+    }
+
+    /// A scenario where the listed threads are mortal; `reaping`
+    /// selects whether orphan adoption is modelled.
+    pub fn with_mortal(programs: Vec<Vec<OpKind>>, mortal_threads: &[usize], reaping: bool) -> Self {
+        let mut s = Scenario::new(programs);
+        for &t in mortal_threads {
+            s.mortal[t] = true;
+        }
+        s.reaping = reaping;
+        s
+    }
 }
 
 /// Control location of an in-flight operation. Steps correspond to the
@@ -99,6 +135,11 @@ pub(crate) struct OpState {
     pub(crate) result: Option<Option<u64>>,
     /// Lemma instrumentation: how many times the linearization step ran.
     pub(crate) linearized_count: u8,
+    /// The owning thread died before the op touched shared state: the
+    /// op never happened (its value, if any, is lost with the thread,
+    /// never duplicated). Terminal checks expect `linearized_count == 0`
+    /// for these.
+    pub(crate) vanished: bool,
 }
 
 /// The abstract shared state: list + per-thread programs + spec queue.
@@ -113,6 +154,17 @@ pub(crate) struct State {
     pub(crate) cur: Vec<usize>,
     /// The sequential specification the linearization points drive.
     pub(crate) spec: VecDeque<u64>,
+    /// Threads that have died (`Abandon` executed). Dead threads start
+    /// no new operations; their in-flight descriptor work freezes until
+    /// a `ReapClaim` adopts it.
+    pub(crate) dead: Vec<bool>,
+    /// Dead threads whose orphan has been adopted by the reaper.
+    pub(crate) reaped: Vec<bool>,
+    /// Copied from [`Scenario`]: which threads may die, and whether
+    /// adoption is modelled (constant across a run; carried here so the
+    /// step relation is a function of `State` alone).
+    pub(crate) mortal: Vec<bool>,
+    pub(crate) reaping: bool,
 }
 
 impl State {
@@ -133,10 +185,12 @@ impl State {
                         node: None,
                         result: None,
                         linearized_count: 0,
+                        vanished: false,
                     })
                     .collect()
             })
             .collect();
+        let n = scenario.programs.len();
         State {
             nodes: vec![Node {
                 value: None,
@@ -146,8 +200,12 @@ impl State {
             head: 0,
             tail: 0,
             ops,
-            cur: vec![0; scenario.programs.len()],
+            cur: vec![0; n],
             spec: VecDeque::new(),
+            dead: vec![false; n],
+            reaped: vec![false; n],
+            mortal: scenario.mortal.clone(),
+            reaping: scenario.reaping,
         }
     }
 
@@ -156,12 +214,22 @@ impl State {
         self.nodes[self.tail].next
     }
 
-    /// True when every thread has finished its program.
+    /// True when every thread is settled: its program finished, or it
+    /// died with nothing in flight (a dead thread's never-started
+    /// operations are abandoned, not awaited). A dead thread whose
+    /// orphan is still mid-protocol is *not* settled — with reaping on
+    /// the adoption steps drive it to completion; with reaping off the
+    /// orphan wedges and the explorer reports `Stuck`, which is exactly
+    /// the liveness loss the reaper exists to prevent.
     pub(crate) fn terminal(&self) -> bool {
-        self.cur
-            .iter()
-            .zip(self.ops.iter())
-            .all(|(&c, ops)| c == ops.len())
+        self.cur.iter().zip(self.ops.iter()).enumerate().all(|(t, (&c, ops))| {
+            c == ops.len()
+                || (self.dead[t]
+                    && matches!(
+                        ops[c].pc,
+                        Pc::Publish | Pc::FastAppend | Pc::FastStage0
+                    ))
+        })
     }
 
     /// The values currently in the abstract list, head to tail.

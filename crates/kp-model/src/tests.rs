@@ -4,9 +4,15 @@ use crate::{explore, ModelError, OpKind, Scenario};
 use OpKind::{Dequeue, Enqueue, FastDequeue, FastEnqueue};
 
 fn scenario(programs: &[&[OpKind]]) -> Scenario {
-    Scenario {
-        programs: programs.iter().map(|p| p.to_vec()).collect(),
-    }
+    Scenario::new(programs.iter().map(|p| p.to_vec()).collect())
+}
+
+fn mortal_scenario(programs: &[&[OpKind]], mortal: &[usize], reaping: bool) -> Scenario {
+    Scenario::with_mortal(
+        programs.iter().map(|p| p.to_vec()).collect(),
+        mortal,
+        reaping,
+    )
 }
 
 #[test]
@@ -166,4 +172,100 @@ fn fifo_order_is_forced_for_sequential_enqueues() {
     // values, they must be (1, 2) — never (2, 1). The exploration
     // would flag a SpecDivergence otherwise; reaching Ok is the proof.
     explore(&scenario(&[&[Enqueue(1), Enqueue(2)], &[Dequeue, Dequeue]])).unwrap();
+}
+
+// -----------------------------------------------------------------
+// mortal threads and the reaper (DESIGN.md §13)
+// -----------------------------------------------------------------
+
+#[test]
+fn abandoned_enqueue_wedges_without_reaping() {
+    // Thread 0 may die at any point of its enqueue. In the no-helping
+    // worst case its published descriptor's append is driven by nobody,
+    // so some death position leaves an orphan that never completes —
+    // the explorer must find that liveness loss (Stuck).
+    let r = explore(&mortal_scenario(
+        &[&[Enqueue(1)], &[Enqueue(2), Dequeue, Dequeue]],
+        &[0],
+        false,
+    ));
+    assert!(
+        matches!(r, Err(ModelError::Stuck { .. })),
+        "an unadopted orphan must wedge: {r:?}"
+    );
+}
+
+#[test]
+fn abandoned_enqueue_is_adopted_with_reaping() {
+    // Same scenario with the reaper on: every death position converges —
+    // ReapClaim adopts the orphan, its append/ack/fix steps run as
+    // helper steps, and every terminal state shows the orphan
+    // linearized exactly once (or vanished, if it died unpublished).
+    let r = explore(&mortal_scenario(
+        &[&[Enqueue(1)], &[Enqueue(2), Dequeue, Dequeue]],
+        &[0],
+        true,
+    ))
+    .unwrap();
+    assert!(r.terminals >= 2, "died/vanished/survived outcomes: {r:?}");
+}
+
+#[test]
+fn abandoned_dequeue_is_adopted_with_reaping() {
+    // Death anywhere inside a slow dequeue — including between its
+    // sentinel lock and head swing. The lock's completion steps are
+    // helper-runnable (help_finish_deq), the stage-0/lock steps need
+    // adoption; either way the value is dequeued exactly once and the
+    // concurrent dequeuer never double-takes it.
+    explore(&mortal_scenario(
+        &[&[Enqueue(1), Dequeue], &[Dequeue]],
+        &[0],
+        true,
+    ))
+    .unwrap();
+}
+
+#[test]
+fn abandoned_dequeue_wedges_without_reaping() {
+    let r = explore(&mortal_scenario(
+        &[&[Enqueue(1), Dequeue], &[Dequeue]],
+        &[0],
+        false,
+    ));
+    assert!(
+        matches!(r, Err(ModelError::Stuck { .. })),
+        "an unadopted orphaned dequeue must wedge: {r:?}"
+    );
+}
+
+#[test]
+fn mortal_fast_ops_lose_only_their_own_value() {
+    // Fast ops have no descriptor: death before the append/lock CAS
+    // vanishes the op (value lost with the thread, never duplicated);
+    // death after it leaves only help_finish work, which any thread
+    // runs without adoption. Both variants must stay spec-conformant
+    // at every death position.
+    explore(&mortal_scenario(
+        &[
+            &[FastEnqueue(1), FastDequeue],
+            &[FastEnqueue(2), FastDequeue],
+        ],
+        &[0],
+        true,
+    ))
+    .unwrap();
+}
+
+#[test]
+fn two_mortal_threads_with_reaping_converge() {
+    // Even with every thread mortal, all death combinations converge
+    // under reaping (the model's reaper is the system, not a thread —
+    // matching the implementation, where any live handle or a future
+    // `register` can finish a stranded reap via takeover).
+    explore(&mortal_scenario(
+        &[&[Enqueue(1), Dequeue], &[FastEnqueue(2), FastDequeue]],
+        &[0, 1],
+        true,
+    ))
+    .unwrap();
 }

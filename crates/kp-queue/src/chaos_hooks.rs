@@ -28,6 +28,9 @@
 //! | `fast.deq` | top of each fast-path dequeue iteration, before its `deqTid` CAS attempt |
 //! | `fast.swing_head` | after a fast lock won (value already taken), before its best-effort head CAS |
 //! | `fast.demote` | after fast-path exhaustion, before the slow-path descriptor publish (enqueue: the private node is already rebranded with the real tid) |
+//! | `reap.adopt` | reap rights won (`begin_reap`/`takeover_reap` done), before the victim's descriptor is read for adoption |
+//! | `reap.retire` | victim's op adopted and tail/head driven, before the `try_retire` election CAS |
+//! | `reap.finish` | destructive steps done (or election lost), before `finish_reap` returns the lease — a kill here strands the slot in `Reaping` for the takeover path |
 
 #[cfg(feature = "chaos")]
 macro_rules! inject {

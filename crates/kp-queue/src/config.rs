@@ -46,6 +46,16 @@ pub const DEFAULT_FAST_FAILURES: usize = 8;
 /// before it peeks one `state` slot for a starving slow-path peer.
 pub const DEFAULT_STARVATION_PATIENCE: usize = 64;
 
+/// Default reap patience when the reaper is enabled via
+/// [`Config::with_reaper`]: how many of a live handle's *own* completed
+/// operations a peer slot must sit frozen (heartbeat, descriptor word,
+/// and phase all unchanged) before the observer revokes its lease and
+/// reaps it. Large on purpose — a reap of a live-but-idle handle that
+/// neither operates nor calls `keepalive()` is a lease-contract
+/// violation (DESIGN.md §13), so the default trades reap latency for a
+/// wide safety margin.
+pub const DEFAULT_REAP_PATIENCE: usize = 1024;
+
 /// Variant selection for a [`WfQueue`](crate::WfQueue).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Config {
@@ -79,6 +89,19 @@ pub struct Config {
     /// path. `0` disables the peek (fast ops then only help when they
     /// themselves fall back).
     pub starvation_patience: usize,
+    /// Abandoned-handle reaper (DESIGN.md §13): `0` (the default)
+    /// disables it — handles then bear no heartbeat or scan cost and the
+    /// paper-series configurations behave exactly as before. When
+    /// non-zero, every `TICK_STRIDE`-th (16th) completed operation
+    /// examines one peer slot (cyclically, bounded steps); a slot whose
+    /// heartbeat, descriptor word, and phase stay frozen across this
+    /// many of the observer's own *inspections* (so
+    /// `TICK_STRIDE * reap_patience` of its operations) is declared
+    /// abandoned: its lease is revoked, its
+    /// pending operation adopted through the ordinary helping machinery,
+    /// its ID retired for reuse, and its epoch/hazard participation
+    /// quarantined so reclamation advances again.
+    pub reap_patience: usize,
 }
 
 impl Config {
@@ -91,6 +114,7 @@ impl Config {
             reuse_nodes: true,
             max_fast_failures: 0,
             starvation_patience: DEFAULT_STARVATION_PATIENCE,
+            reap_patience: 0,
         }
     }
 
@@ -103,6 +127,7 @@ impl Config {
             reuse_nodes: true,
             max_fast_failures: 0,
             starvation_patience: DEFAULT_STARVATION_PATIENCE,
+            reap_patience: 0,
         }
     }
 
@@ -115,6 +140,7 @@ impl Config {
             reuse_nodes: true,
             max_fast_failures: 0,
             starvation_patience: DEFAULT_STARVATION_PATIENCE,
+            reap_patience: 0,
         }
     }
 
@@ -127,6 +153,7 @@ impl Config {
             reuse_nodes: true,
             max_fast_failures: 0,
             starvation_patience: DEFAULT_STARVATION_PATIENCE,
+            reap_patience: 0,
         }
     }
 
@@ -173,6 +200,23 @@ impl Config {
     pub const fn with_starvation_patience(mut self, patience: usize) -> Self {
         self.starvation_patience = patience;
         self
+    }
+
+    /// Enables the abandoned-handle reaper with
+    /// [`DEFAULT_REAP_PATIENCE`]. See [`Config::reap_patience`].
+    pub const fn with_reaper(self) -> Self {
+        self.with_reap_patience(DEFAULT_REAP_PATIENCE)
+    }
+
+    /// Sets the reap patience directly (`0` disables the reaper).
+    pub const fn with_reap_patience(mut self, patience: usize) -> Self {
+        self.reap_patience = patience;
+        self
+    }
+
+    /// Whether handles run the lease/heartbeat/reap protocol.
+    pub const fn reaper_enabled(&self) -> bool {
+        self.reap_patience > 0
     }
 
     /// Whether operations attempt the descriptor-free fast path first.
@@ -238,6 +282,23 @@ mod tests {
     #[test]
     fn default_is_opt_both() {
         assert_eq!(Config::default(), Config::opt_both());
+    }
+
+    #[test]
+    fn reaper_defaults_off_and_toggles() {
+        assert!(!Config::default().reaper_enabled());
+        assert!(!Config::base().reaper_enabled());
+        assert!(!Config::fast().reaper_enabled());
+        let r = Config::opt_both().with_reaper();
+        assert!(r.reaper_enabled());
+        assert_eq!(r.reap_patience, DEFAULT_REAP_PATIENCE);
+        assert_eq!(
+            r.label(),
+            "opt WF (1+2)",
+            "the reaper is orthogonal to the paper-series label"
+        );
+        assert_eq!(Config::base().with_reap_patience(3).reap_patience, 3);
+        assert!(!Config::base().with_reap_patience(0).reaper_enabled());
     }
 
     #[test]

@@ -29,7 +29,10 @@
 //!    always a no-op (the desired fields already hold) and skips the
 //!    CAS entirely (see [`StateSlot::cas_ctrl`]). Hence the owner may
 //!    *store* — not CAS — over a completed word when publishing its
-//!    next operation, without racing any helper CAS.
+//!    next operation, without racing any helper CAS. (The abandoned-
+//!    handle reaper's [`StateSlot::try_retire`] is the one audited
+//!    exception; it runs only after the owner's idpool lease has been
+//!    revoked, so no owner store exists to race.)
 //! 2. **Phase before ctrl; ctrl before phase.** The owner stores
 //!    `phase` before `ctrl` ([`StateSlot::publish`]); readers load
 //!    `ctrl` before `phase` ([`StateSlot::view`]). A mixed-generation
@@ -138,6 +141,15 @@ impl CtrlWord {
 pub(crate) struct StateSlot {
     ctrl: AtomicU64,
     phase: AtomicI64,
+    /// Liveness heartbeat for the abandoned-handle reaper (DESIGN.md
+    /// §13): the slot's owner bumps it once per operation (and on
+    /// explicit keepalives). It lives beside the ctrl word rather than
+    /// inside it because the packed word has zero free bits
+    /// (1 pending + 1 enqueue + 20 version + 42 address = 64); the ctrl
+    /// version tag already witnesses descriptor transitions, so the
+    /// beat's job is covering fast-path operations and keepalives,
+    /// which never touch `ctrl`.
+    beat: AtomicU64,
 }
 
 impl StateSlot {
@@ -147,7 +159,26 @@ impl StateSlot {
         StateSlot {
             ctrl: AtomicU64::new(CtrlWord::pack(0, false, true)),
             phase: AtomicI64::new(-1),
+            beat: AtomicU64::new(0),
         }
+    }
+
+    /// The slot's heartbeat counter. Relaxed: the reaper only compares
+    /// successive reads for *equality* across a patience window; no
+    /// ordering with other memory is implied or needed.
+    pub(crate) fn load_beat(&self) -> u64 {
+        self.beat.load(Ordering::Relaxed)
+    }
+
+    /// Owner-only: advances the heartbeat. Single-writer counter, so a
+    /// load + store (no RMW) suffices; Relaxed as for [`load_beat`].
+    ///
+    /// [`load_beat`]: StateSlot::load_beat
+    pub(crate) fn bump_beat(&self) {
+        self.beat.store(
+            self.beat.load(Ordering::Relaxed).wrapping_add(1),
+            Ordering::Relaxed,
+        );
     }
 
     pub(crate) fn load_ctrl(&self, ord: Ordering) -> CtrlWord {
@@ -229,6 +260,41 @@ impl StateSlot {
             .compare_exchange(
                 cur.0,
                 fields | cur.next_version(),
+                Ordering::SeqCst,
+                Ordering::Relaxed,
+            )
+            .is_ok()
+    }
+
+    /// Reaper-only: conditionally retires the descriptor, CASing the
+    /// exact word `cur` (version included) to the idle word with a
+    /// bumped version. Unlike [`cas_ctrl`](StateSlot::cas_ctrl) there is
+    /// no no-op skip and the word need not be pending: the CAS is the
+    /// *election* — among racing reapers of the same abandoned slot (a
+    /// stalled reaper plus its takeover successor), exactly one wins,
+    /// and only the winner may perform the destructive claim of the
+    /// victim's dequeue result.
+    ///
+    /// The slot's `phase` is deliberately left untouched: a stale-phase
+    /// idle word is harmless (helpers ignore non-pending descriptors
+    /// and `maxPhase` stays monotone), whereas a late `phase` store by
+    /// a stalled reaper could land under a successor lease's freshly
+    /// published operation and break the phase-before-ctrl invariant.
+    ///
+    /// This is the one exception to invariant 1 (helpers never CAS
+    /// completed words): it is sound because the reap protocol
+    /// (`idpool::begin_reap`) has revoked the owner's lease first, so no
+    /// owner store can race it — an owner publishing after its lease
+    /// was revoked is a lease-contract violation (DESIGN.md §13).
+    pub(crate) fn try_retire(&self, cur: CtrlWord) -> bool {
+        debug_assert!(
+            !cur.pending(),
+            "reap must complete the pending op before retiring the slot"
+        );
+        self.ctrl
+            .compare_exchange(
+                cur.0,
+                CtrlWord::pack(0, false, true) | cur.next_version(),
                 Ordering::SeqCst,
                 Ordering::Relaxed,
             )
@@ -326,6 +392,35 @@ mod tests {
         assert!(after.enqueue());
         assert!(after.node_is_null());
         assert_ne!(after, before, "reset must bump the version");
+    }
+
+    #[test]
+    fn try_retire_is_an_exclusive_election() {
+        let s = StateSlot::initial();
+        s.publish(3, 320, true);
+        let w = s.load_ctrl(Ordering::SeqCst);
+        assert!(s.cas_ctrl(w, 320, false, true), "complete the op first");
+        let completed = s.load_ctrl(Ordering::SeqCst);
+        assert!(s.try_retire(completed), "first reaper wins");
+        let idle = s.load_ctrl(Ordering::SeqCst);
+        assert!(!idle.pending() && idle.node_is_null());
+        assert_ne!(idle, completed, "retire bumps the version");
+        assert!(
+            !s.try_retire(completed),
+            "a stalled co-reaper's retire must lose the election"
+        );
+        // Even on an already-idle word the CAS elects exactly one winner.
+        assert!(s.try_retire(idle), "idle slots are still retireable once");
+        assert!(!s.try_retire(idle));
+    }
+
+    #[test]
+    fn heartbeat_is_owner_monotonic() {
+        let s = StateSlot::initial();
+        assert_eq!(s.load_beat(), 0);
+        s.bump_beat();
+        s.bump_beat();
+        assert_eq!(s.load_beat(), 2);
     }
 
     #[test]

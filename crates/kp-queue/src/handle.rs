@@ -1,14 +1,18 @@
 //! The per-thread handle: operation entry points (paper Figure 4 `enq`,
 //! Figure 6 `deq`) and the §3.3 helping-policy dispatch.
 
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::ptr;
+
 use crossbeam_epoch::{self as epoch, Guard};
-use idpool::IdGuard;
+use idpool::{IdGuard, SlotState};
 use queue_traits::{FastPathStats, QueueHandle};
 
 use crate::chaos_hooks::{self, inject};
 use crate::config::HelpPolicy;
 use crate::node::{Node, FAST_ENQUEUER, NO_DEQUEUER};
 use crate::queue::{FastDeq, WfQueue};
+use crate::reap::{Observation, ReapScan};
 use crate::recycle::RetireCache;
 use crate::stats::Stats;
 
@@ -54,7 +58,30 @@ pub struct WfHandle<'q, T: Send> {
     /// collected, unlike the feature-gated shared `Stats`, so benches
     /// can report fallback rates without perturbing the hot path.
     local_stats: FastPathStats,
+    /// Panic-recovery tracker: a node allocated for the fast path that
+    /// is still *private* (never published by an append CAS or a
+    /// descriptor publish). If an unwind escapes the operation while
+    /// this is non-null, `recover_after_unwind` reclaims it; it is
+    /// nulled the instant the node becomes public.
+    inflight: *mut Node<T>,
+    /// True from a slow dequeue's publish until its epilogue claimed
+    /// the result; lets recovery distinguish a completed-but-unclaimed
+    /// word (whose value must still be taken and discarded) from an old
+    /// word whose sentinel may be long freed.
+    deq_in_flight: bool,
+    /// Cached `crossbeam_epoch::participant_token()` of the OS thread
+    /// that last ran an operation; mirrored into
+    /// `WfQueue::epoch_tokens[tid]` on change (reaper enabled only).
+    epoch_token: usize,
+    /// Reaper scan state (cursor + freeze detector, DESIGN.md §13).
+    reap: ReapScan,
 }
+
+// SAFETY: the only non-`Send` field is `inflight`, a node that is by
+// invariant *private* to this handle whenever it is non-null (it is
+// cleared the instant the node is published); moving the handle moves
+// that exclusive ownership with it. Everything else is `Send`.
+unsafe impl<T: Send> Send for WfHandle<'_, T> {}
 
 impl<'q, T: Send> WfHandle<'q, T> {
     pub(crate) fn new(queue: &'q WfQueue<T>, id: IdGuard<'q>) -> Self {
@@ -69,6 +96,10 @@ impl<'q, T: Send> WfHandle<'q, T> {
             max_fast_failures: queue.config().max_fast_failures,
             fast_streak: 0,
             local_stats: FastPathStats::default(),
+            inflight: ptr::null_mut(),
+            deq_in_flight: false,
+            epoch_token: 0,
+            reap: ReapScan::new((tid + 1) % queue.max_threads()),
         }
     }
 
@@ -208,17 +239,83 @@ impl<'q, T: Send> WfHandle<'q, T> {
         }
     }
 
+    /// Operation prologue shared by `enqueue` and `dequeue`: the
+    /// reaper-protocol obligations of a live owner (DESIGN.md §13).
+    /// One predictable branch when the reaper is disabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this handle's lease was revoked by a reaper — the
+    /// handle was presumed dead after staying silent for a peer's whole
+    /// patience window (the lease contract). The handle is poisoned;
+    /// the queue itself is unharmed and the virtual ID has already been
+    /// (or is being) recycled.
+    #[inline]
+    fn op_prologue(&mut self) {
+        let q = self.queue;
+        if q.config.reap_patience == 0 {
+            return;
+        }
+        assert!(
+            self.id.lease_holds(),
+            "kp-queue handle reaped: the handle stayed silent past the lease \
+             patience window and its virtual ID was revoked (DESIGN.md §13)"
+        );
+        let tid = self.id.id();
+        q.state[tid].bump_beat();
+        let token = epoch::participant_token();
+        if token != self.epoch_token {
+            self.epoch_token = token;
+            q.epoch_tokens[tid].store(token, kp_sync::atomic::Ordering::SeqCst);
+        }
+    }
+
+    /// Signals liveness without performing an operation. A handle that
+    /// can go quiet for long stretches (while other threads keep
+    /// operating) must call this — or complete an operation — at least
+    /// once per peer patience window when the queue runs with
+    /// [`Config::with_reaper`](crate::Config::with_reaper), or it will
+    /// be presumed dead and reaped. No-op when the reaper is disabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lease was already revoked (see `enqueue`).
+    pub fn keepalive(&mut self) {
+        self.op_prologue();
+    }
+
     /// `enq(value)`, Figure 4 L61–66, preceded by the bounded fast path
     /// when enabled (DESIGN.md §12).
+    ///
+    /// # Panic safety
+    ///
+    /// The body runs under an unwind guard: if a panic escapes from
+    /// anywhere inside the protocol (including the fast path and the
+    /// fast→slow demotion window), the guard completes the published
+    /// operation, reclaims any still-private node, and leaves both the
+    /// descriptor and the handle reusable before the panic resumes.
     pub fn enqueue(&mut self, value: T) {
         chaos_hooks::op_begin();
         let guard = epoch::pin();
-        if self.max_fast_failures > 0 {
-            self.enqueue_fast_first(value, &guard);
-        } else {
-            self.slow_enqueue(value, &guard);
+        self.op_prologue();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            if self.max_fast_failures > 0 {
+                self.enqueue_fast_first(value, &guard);
+            } else {
+                self.slow_enqueue(value, &guard);
+            }
+            self.reap_tick(&guard);
+        }));
+        match result {
+            Ok(()) => chaos_hooks::op_end(),
+            // A killed operation never completes: recover, then let the
+            // panic continue (op_end deliberately not called — the
+            // partial step count must not be reported).
+            Err(payload) => {
+                self.recover_after_unwind(&guard);
+                resume_unwind(payload);
+            }
         }
-        chaos_hooks::op_end();
     }
 
     /// The fast prologue and its demotion edges, kept out of line
@@ -231,7 +328,13 @@ impl<'q, T: Send> WfHandle<'q, T> {
         let tid = self.id.id();
         if !self.starvation_peek() {
             let node = self.alloc_node(value, FAST_ENQUEUER);
-            if q.try_fast_enqueue(node, self.max_fast_failures, guard) {
+            // Track the private node for panic recovery until it is
+            // published (append CAS or descriptor publish). The tracker
+            // itself is passed down so the clear is not lost if an
+            // unwind escapes after the publishing CAS.
+            self.inflight = node;
+            let budget = self.max_fast_failures;
+            if q.try_fast_enqueue(node, budget, &mut self.inflight, guard) {
                 self.fast_streak += 1;
                 self.local_stats.fast_completions += 1;
                 Stats::bump(&q.stats.fast_completions);
@@ -286,6 +389,9 @@ impl<'q, T: Send> WfHandle<'q, T> {
         // L63: publish the operation descriptor — an in-place slot
         // store, not an allocation (see `StateSlot::publish`).
         q.state[tid].publish(phase, node as usize, true);
+        // Published: from here unwind recovery completes the operation
+        // through the descriptor instead of reclaiming the node.
+        self.inflight = ptr::null_mut();
         self.run_help(phase, true, guard); // L64
         q.help_finish_enq(guard); // L65 (see the paper's L65 argument)
         Stats::bump(&q.stats.enqueues);
@@ -294,21 +400,44 @@ impl<'q, T: Send> WfHandle<'q, T> {
     /// `deq()`, Figure 6 L98–108, preceded by the bounded fast path
     /// when enabled (DESIGN.md §12). Returns `None` where the paper
     /// throws `EmptyException`.
+    ///
+    /// # Panic safety
+    ///
+    /// Unwind-guarded exactly like [`enqueue`]: a panic escaping from
+    /// inside the protocol completes (and discards the result of) the
+    /// published operation before resuming, leaving the handle usable.
+    ///
+    /// [`enqueue`]: Self::enqueue
     pub fn dequeue(&mut self) -> Option<T> {
         // The guard is held from before the descriptor is published
         // until after the value is read: every node our descriptor can
         // reference is retired (if at all) during this pin, so the reads
         // below are safe — including against recycling, which obeys the
-        // same maturity rule as freeing.
+        // same maturity rule as freeing. It is pinned *outside* the
+        // unwind guard for the same reason: recovery walks those very
+        // nodes and must run under the original pin.
         chaos_hooks::op_begin();
         let guard = epoch::pin();
-        let result = if self.max_fast_failures > 0 {
-            self.dequeue_fast_first(&guard)
-        } else {
-            self.slow_dequeue(&guard)
-        };
-        chaos_hooks::op_end();
-        result
+        self.op_prologue();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let result = if self.max_fast_failures > 0 {
+                self.dequeue_fast_first(&guard)
+            } else {
+                self.slow_dequeue(&guard)
+            };
+            self.reap_tick(&guard);
+            result
+        }));
+        match result {
+            Ok(result) => {
+                chaos_hooks::op_end();
+                result
+            }
+            Err(payload) => {
+                self.recover_after_unwind(&guard);
+                resume_unwind(payload);
+            }
+        }
     }
 
     /// The fast prologue and its demotion edges; out of line for the
@@ -350,11 +479,16 @@ impl<'q, T: Send> WfHandle<'q, T> {
         inject!("kp.publish");
         // L100: publish the operation descriptor (node = null).
         q.state[tid].publish(phase, 0, false);
+        // From publish until the epilogue claims the result, an unwind
+        // leaves a dequeue whose value must still be taken-and-dropped.
+        self.deq_in_flight = true;
         self.run_help(phase, false, guard); // L101
         q.help_finish_deq(guard, &mut self.cache); // L102
         Stats::bump(&q.stats.dequeues);
         // L103–107: read the result through our completed descriptor.
-        Self::read_deq_result(q, tid, guard)
+        let result = Self::read_deq_result(q, tid, guard);
+        self.deq_in_flight = false;
+        result
     }
 
     /// The L103–107 epilogue, shared with the test-hook path.
@@ -391,7 +525,132 @@ impl<'q, T: Send> WfHandle<'q, T> {
         // taken exactly once, with the enqueuer's write ordered before
         // by the release/acquire chain through the list links.
         let value = unsafe { (*next.deref().value.get()).take() };
-        Some(value.expect("value already taken: deq_tid uniqueness violated"))
+        debug_assert!(
+            value.is_some(),
+            "value already taken: deq_tid uniqueness violated"
+        );
+        // SAFETY: invariant debug-asserted above and argued in the
+        // uniqueness comment — no release-mode panic branch on the
+        // dequeue hot path.
+        Some(unsafe { value.unwrap_unchecked() })
+    }
+
+    /// One step of the abandoned-handle reaper (DESIGN.md §13), run
+    /// after every [`TICK_STRIDE`](crate::reap::TICK_STRIDE)-th
+    /// completed operation when `Config::reap_patience > 0`.
+    /// Examines exactly one peer slot; bounded work, so the enclosing
+    /// operation stays wait-free.
+    fn reap_tick(&mut self, guard: &Guard) {
+        let q = self.queue;
+        let patience = q.config.reap_patience;
+        if patience == 0 || !self.reap.tick_due() {
+            return;
+        }
+        let tid = self.id.id();
+        let n = q.max_threads();
+        let v = self.reap.cursor();
+        if v == tid {
+            self.reap.advance(n);
+            return;
+        }
+        let Some(view) = q.ids.inspect(v) else {
+            self.reap.advance(n);
+            return;
+        };
+        match view.state {
+            SlotState::Free => self.reap.advance(n),
+            SlotState::Claimed => {
+                // The full liveness snapshot: lease generation (slot
+                // churn), heartbeat (owner-side progress), ctrl word
+                // with its version tag (helper-side progress) and
+                // phase. SeqCst view: the post-freeze `reap_slot`
+                // re-reads authoritatively, so Acquire would do, but
+                // this is off the hot path and SeqCst keeps the audit
+                // uniform with the other descriptor reads.
+                let (ctrl, phase) = q.state[v].view(kp_sync::atomic::Ordering::SeqCst);
+                let obs = Observation::Claimed {
+                    generation: view.generation,
+                    beat: q.state[v].load_beat(),
+                    ctrl,
+                    phase,
+                };
+                if self.reap.observe(obs) >= patience {
+                    // Frozen for our whole patience window: revoke the
+                    // lease. The CAS fails iff the owner (or another
+                    // reaper) moved the slot since our snapshot — then
+                    // it was not frozen after all and we just move on.
+                    if q.ids.begin_reap(v, view.generation) {
+                        q.reap_slot(v, view.generation, tid, guard, &mut self.cache);
+                    }
+                    self.reap.advance(n);
+                }
+            }
+            SlotState::Reaping => {
+                // Watch the reaper itself; its only progress signal is
+                // the lease generation (see `Observation::Reaping`).
+                let obs = Observation::Reaping {
+                    generation: view.generation,
+                };
+                if self.reap.observe(obs) >= patience {
+                    if let Some(next_generation) = q.ids.takeover_reap(v, view.generation) {
+                        Stats::bump(&q.stats.reap_takeovers);
+                        q.reap_slot(v, next_generation, tid, guard, &mut self.cache);
+                    }
+                    self.reap.advance(n);
+                }
+            }
+        }
+    }
+
+    /// Restores the handle's invariants after a panic escaped from
+    /// inside `enqueue`/`dequeue`. On return the descriptor is idle,
+    /// no node is leaked or double-owned, and the handle is usable.
+    ///
+    /// Must run under the pin the operation itself was running under
+    /// (`guard` is the one `enqueue`/`dequeue` created before entering
+    /// the unwind guard): completing a pending dequeue reads nodes
+    /// whose liveness argument is "retired during this pin".
+    #[cold]
+    fn recover_after_unwind(&mut self, guard: &Guard) {
+        let q = self.queue;
+        let tid = self.id.id();
+        // A still-private fast-path node: never published (the append
+        // CAS clears the tracker the instant it succeeds, the slow
+        // publish right after the descriptor store), so we are its
+        // unique owner and nothing in the queue references it.
+        let inflight = std::mem::replace(&mut self.inflight, ptr::null_mut());
+        if !inflight.is_null() {
+            // SAFETY: unique ownership per the tracker invariant above;
+            // the node came from `alloc_node` (a `Box` either way —
+            // recycled nodes were `Box`es originally) and its value
+            // drops with it.
+            drop(unsafe { Box::from_raw(inflight) });
+        }
+        let (w, phase) = q.state[tid].view(kp_sync::atomic::Ordering::SeqCst);
+        if w.pending() {
+            // Died mid-protocol with a published descriptor: finish the
+            // operation the same way `Drop` would.
+            if w.enqueue() {
+                q.help_enq(tid, phase, tid, guard);
+            } else {
+                q.help_deq(tid, phase, tid, guard, &mut self.cache);
+                q.help_finish_deq(guard, &mut self.cache);
+                // The caller will never see the result; claim and
+                // discard it so conservation stays exact.
+                drop(Self::read_deq_result(q, tid, guard));
+            }
+        } else if !w.enqueue() && self.deq_in_flight {
+            // The dequeue completed (possibly via helpers) but the
+            // unwind hit before the epilogue claimed the value.
+            drop(Self::read_deq_result(q, tid, guard));
+        }
+        self.deq_in_flight = false;
+        // Leave head and tail fully advanced — the next operation (ours
+        // or anyone's) starts from a quiescent queue, and an enqueue
+        // that died between steps 2 and 3 gets its tail swing now.
+        q.help_finish_enq(guard);
+        q.help_finish_deq(guard, &mut self.cache);
+        self.fast_streak = 0;
     }
 
     /// Begins an operation but performs **no helping**, leaving the
@@ -434,6 +693,25 @@ impl<'q, T: Send> WfHandle<'q, T> {
             done: false,
         }
     }
+
+    /// Performs a fast-path append and **skips the tail swing**: the
+    /// shared state a thread killed at `kp.fast.swing_tail` leaves
+    /// behind when nothing runs its unwind recovery (sudden death).
+    /// The value is linearized — the append CAS is the linearization
+    /// point — but the tail lags until someone's `help_finish_enq`
+    /// fixes it, which makes the *next* budget-1 fast enqueue demote
+    /// deterministically. Test infrastructure, like
+    /// [`begin_enqueue_unhelped`].
+    ///
+    /// [`begin_enqueue_unhelped`]: Self::begin_enqueue_unhelped
+    #[doc(hidden)]
+    pub fn fast_append_unswung(&mut self, value: T) {
+        let q = self.queue;
+        let guard = epoch::pin();
+        self.op_prologue();
+        let node = self.alloc_node(value, FAST_ENQUEUER);
+        q.append_no_swing(node, &guard);
+    }
 }
 
 impl<T: Send> QueueHandle<T> for WfHandle<'_, T> {
@@ -464,6 +742,29 @@ impl<T: Send> Drop for WfHandle<'_, T> {
         let q = self.queue;
         let tid = self.id.id();
         let guard = epoch::pin();
+        // Exit counts as an operation under the lease protocol: signal
+        // liveness first, so a reaper part-way through accumulating
+        // silence against this slot restarts its patience window and
+        // cannot revoke the lease from under the cleanup below. (A bump
+        // on an already-reaped slot is benign — the beat is pure
+        // liveness signal, and at worst delays a successor's reap.)
+        if q.config.reap_patience != 0 {
+            q.state[tid].bump_beat();
+        }
+        if !self.id.lease_holds() {
+            // Reaped out from under us (lease-contract violation on our
+            // side): the reaper already drove the descriptor idle and
+            // the slot may belong to a successor — touching `state[tid]`
+            // or `epoch_tokens[tid]` now would corrupt *their* state.
+            // `IdGuard::drop`'s release CAS fails silently on the stale
+            // generation. Only our private cache is still ours to free.
+            self.cache.drain(&guard);
+            return;
+        }
+        // Retract the published epoch token before the ID can be
+        // recycled: a later reap of this slot must not quarantine the
+        // (live, unrelated) OS thread we happened to run on.
+        q.epoch_tokens[tid].store(0, kp_sync::atomic::Ordering::SeqCst);
         let (w, phase) = q.state[tid].view(kp_sync::atomic::Ordering::SeqCst);
         if w.pending() {
             if w.enqueue() {

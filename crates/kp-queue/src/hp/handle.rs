@@ -2,18 +2,23 @@
 //! points (Figure 4 `enq` / Figure 6 `deq`) and the §3.3 helping-policy
 //! dispatch, mirroring `crate::handle`.
 
+use std::mem::ManuallyDrop;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::ptr;
 use kp_sync::atomic::Ordering;
 
 use hazard::Participant;
-use idpool::IdGuard;
+use idpool::{IdGuard, SlotState};
 use queue_traits::{FastPathStats, QueueHandle};
 
 use crate::chaos_hooks::{self, inject};
 use crate::config::HelpPolicy;
 use crate::hp::queue::WfQueueHp;
-use crate::hp::types::{NodeHp, FAST_ENQUEUER, NO_DEQUEUER, TOKEN_CONSUMED, TOKEN_RECLAIM_READY};
+use crate::hp::types::{
+    NodeHp, FAST_ENQUEUER, H_NEXT, H_NODE, NO_DEQUEUER, TOKEN_CONSUMED, TOKEN_RECLAIM_READY,
+};
 use crate::queue::FastDeq;
+use crate::reap::{Observation, ReapScan};
 use crate::stats::Stats;
 
 /// Nodes kept in the handle's private cache; surplus from a freelist
@@ -35,7 +40,12 @@ const LOCAL_CAP: usize = 32;
 pub struct WfHpHandle<'q, T: Send> {
     queue: &'q WfQueueHp<T>,
     id: IdGuard<'q>,
-    participant: Participant<'q>,
+    /// Manually dropped so `Drop` can *leak* the record when the handle
+    /// was reaped: the reaper already quarantined it (slots nulled,
+    /// parked for adoption), and a successor may have adopted it —
+    /// running `Participant::drop` then would clobber the adopter's
+    /// live hazards.
+    participant: ManuallyDrop<Participant<'q>>,
     cursor: usize,
     rng: u64,
     /// Private node cache (see `hp::pool`). Pre-sized so pushes never
@@ -59,6 +69,12 @@ pub struct WfHpHandle<'q, T: Send> {
     /// Plain (non-atomic, handle-local) fast/slow counters — always
     /// collected, unlike the feature-gated shared `Stats`.
     local_stats: FastPathStats,
+    /// Panic-recovery tracker for a still-private fast-path node — the
+    /// HP twin of `WfHandle::inflight`; nulled the instant the node is
+    /// published.
+    inflight: *mut NodeHp<T>,
+    /// Reaper scan state (cursor + freeze detector, DESIGN.md §13).
+    reap: ReapScan,
 }
 
 // SAFETY: the raw pointers in `local` are nodes exclusively owned by
@@ -73,7 +89,7 @@ impl<'q, T: Send> WfHpHandle<'q, T> {
         WfHpHandle {
             queue,
             id,
-            participant,
+            participant: ManuallyDrop::new(participant),
             cursor: (tid + 1) % queue.max_threads(),
             rng: 0x9E37_79B9_7F4A_7C15 ^ ((tid as u64 + 1) << 17),
             local: Vec::with_capacity(LOCAL_CAP),
@@ -81,6 +97,8 @@ impl<'q, T: Send> WfHpHandle<'q, T> {
             max_fast_failures: queue.config().max_fast_failures,
             fast_streak: 0,
             local_stats: FastPathStats::default(),
+            inflight: ptr::null_mut(),
+            reap: ReapScan::new((tid + 1) % queue.max_threads()),
         }
     }
 
@@ -236,16 +254,67 @@ impl<'q, T: Send> WfHpHandle<'q, T> {
         }
     }
 
+    /// Operation prologue: the reaper-protocol obligations of a live
+    /// owner (DESIGN.md §13) — mirrors `WfHandle::op_prologue`, minus
+    /// the token publication (the hazard record's token was published
+    /// at registration and never changes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if this handle's lease was revoked by a reaper.
+    #[inline]
+    fn op_prologue(&mut self) {
+        let q = self.queue;
+        if q.config.reap_patience == 0 {
+            return;
+        }
+        assert!(
+            self.id.lease_holds(),
+            "kp-queue handle reaped: the handle stayed silent past the lease \
+             patience window and its virtual ID was revoked (DESIGN.md §13)"
+        );
+        q.state[self.id.id()].bump_beat();
+    }
+
+    /// Signals liveness without performing an operation — see
+    /// [`WfHandle::keepalive`](crate::WfHandle::keepalive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lease was already revoked.
+    pub fn keepalive(&mut self) {
+        self.op_prologue();
+    }
+
     /// `enq(value)`, L61–66, preceded by the bounded fast path when
     /// enabled (DESIGN.md §12).
+    ///
+    /// # Panic safety
+    ///
+    /// Unwind-guarded like `WfHandle::enqueue`: a panic escaping the
+    /// protocol completes the published operation, reclaims any
+    /// still-private node, clears the hazard slots, and leaves the
+    /// handle usable before resuming.
     pub fn enqueue(&mut self, value: T) {
         chaos_hooks::op_begin();
-        if self.max_fast_failures > 0 {
-            self.enqueue_fast_first(value);
-        } else {
-            self.slow_enqueue(value);
+        self.op_prologue();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            if self.max_fast_failures > 0 {
+                self.enqueue_fast_first(value);
+            } else {
+                self.slow_enqueue(value);
+            }
+            self.reap_tick();
+        }));
+        match result {
+            Ok(()) => chaos_hooks::op_end(),
+            // op_end deliberately not called: a killed operation's
+            // partial step count must not be reported.
+            Err(payload) => {
+                self.recover_after_unwind();
+                resume_unwind(payload);
+            }
         }
-        chaos_hooks::op_end();
     }
 
     /// The fast prologue and its demotion edges, out of line
@@ -258,8 +327,14 @@ impl<'q, T: Send> WfHpHandle<'q, T> {
         let tid = self.id.id();
         if !self.starvation_peek() {
             let node = self.alloc_node(value, FAST_ENQUEUER);
+            // Track the private node for panic recovery until it is
+            // published; the tracker itself is passed down so the
+            // clear is not lost if an unwind escapes after the
+            // publishing CAS.
+            self.inflight = node;
             let budget = self.max_fast_failures;
-            if q.try_fast_enqueue(&mut self.participant, node, budget) {
+            let (participant, inflight) = (&mut self.participant, &mut self.inflight);
+            if q.try_fast_enqueue(participant, node, budget, inflight) {
                 self.fast_streak += 1;
                 self.local_stats.fast_completions += 1;
                 Stats::bump(&q.stats.fast_completions);
@@ -311,6 +386,9 @@ impl<'q, T: Send> WfHpHandle<'q, T> {
         // L63: publish the operation descriptor — an in-place slot
         // store, not an allocation.
         q.state[tid].publish(phase, node as usize, true);
+        // Published: recovery now completes the operation through the
+        // descriptor instead of reclaiming the node.
+        self.inflight = ptr::null_mut();
         self.run_help(phase, true); // L64
         q.help_finish_enq(&mut self.participant); // L65
         Stats::bump(&q.stats.enqueues);
@@ -318,15 +396,32 @@ impl<'q, T: Send> WfHpHandle<'q, T> {
 
     /// `deq()`, L98–108, preceded by the bounded fast path when enabled
     /// (DESIGN.md §12). `None` where the paper throws `EmptyException`.
+    ///
+    /// # Panic safety
+    ///
+    /// Unwind-guarded exactly like [`enqueue`](Self::enqueue).
     pub fn dequeue(&mut self) -> Option<T> {
         chaos_hooks::op_begin();
-        let result = if self.max_fast_failures > 0 {
-            self.dequeue_fast_first()
-        } else {
-            self.slow_dequeue()
-        };
-        chaos_hooks::op_end();
-        result
+        self.op_prologue();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let result = if self.max_fast_failures > 0 {
+                self.dequeue_fast_first()
+            } else {
+                self.slow_dequeue()
+            };
+            self.reap_tick();
+            result
+        }));
+        match result {
+            Ok(result) => {
+                chaos_hooks::op_end();
+                result
+            }
+            Err(payload) => {
+                self.recover_after_unwind();
+                resume_unwind(payload);
+            }
+        }
     }
 
     /// The fast prologue and its demotion edges; out of line for the
@@ -412,7 +507,226 @@ impl<'q, T: Send> WfHpHandle<'q, T> {
                 // ours (see `hp::pool::reclaim_into_pool`).
                 q.pool().release(node);
             }
-            Some(v.expect("completed dequeue carries a value"))
+            debug_assert!(v.is_some(), "completed dequeue carries a value");
+            // SAFETY: invariant debug-asserted above and argued in the
+            // uniqueness comment — no release-mode panic branch on the
+            // dequeue hot path.
+            Some(v.unwrap_unchecked())
+        }
+    }
+
+    /// One step of the abandoned-handle reaper (DESIGN.md §13), run
+    /// after every [`TICK_STRIDE`](crate::reap::TICK_STRIDE)-th
+    /// completed operation when `Config::reap_patience > 0`.
+    /// Mirrors `WfHandle::reap_tick`; bounded work, so the enclosing
+    /// operation stays wait-free.
+    fn reap_tick(&mut self) {
+        let q = self.queue;
+        let patience = q.config.reap_patience;
+        if patience == 0 || !self.reap.tick_due() {
+            return;
+        }
+        let tid = self.id.id();
+        let n = q.max_threads();
+        let v = self.reap.cursor();
+        if v == tid {
+            self.reap.advance(n);
+            return;
+        }
+        let Some(view) = q.ids.inspect(v) else {
+            self.reap.advance(n);
+            return;
+        };
+        match view.state {
+            SlotState::Free => self.reap.advance(n),
+            SlotState::Claimed => {
+                let (ctrl, phase) = q.state[v].view(Ordering::SeqCst);
+                let obs = Observation::Claimed {
+                    generation: view.generation,
+                    beat: q.state[v].load_beat(),
+                    ctrl,
+                    phase,
+                };
+                if self.reap.observe(obs) >= patience {
+                    if q.ids.begin_reap(v, view.generation) {
+                        q.reap_slot(&mut self.participant, v, view.generation, tid);
+                    }
+                    self.reap.advance(n);
+                }
+            }
+            SlotState::Reaping => {
+                let obs = Observation::Reaping {
+                    generation: view.generation,
+                };
+                if self.reap.observe(obs) >= patience {
+                    if let Some(next_generation) = q.ids.takeover_reap(v, view.generation) {
+                        Stats::bump(&q.stats.reap_takeovers);
+                        q.reap_slot(&mut self.participant, v, next_generation, tid);
+                    }
+                    self.reap.advance(n);
+                }
+            }
+        }
+    }
+
+    /// Restores the handle's invariants after a panic escaped from
+    /// inside `enqueue`/`dequeue` — the HP twin of
+    /// `WfHandle::recover_after_unwind`, plus clearing the hazard
+    /// slots an unwind may have left set (a stale hazard would exclude
+    /// its node from reclamation forever).
+    #[cold]
+    fn recover_after_unwind(&mut self) {
+        let q = self.queue;
+        let tid = self.id.id();
+        let inflight = std::mem::replace(&mut self.inflight, ptr::null_mut());
+        if !inflight.is_null() {
+            // SAFETY: non-null tracker ⇒ the node was never published
+            // (append CAS and descriptor publish both clear it), so we
+            // are its unique owner; nodes are boxed at birth
+            // (`NodeHp::boxed`) and its value drops with it.
+            drop(unsafe { Box::from_raw(inflight) });
+        }
+        let (w, phase) = q.state[tid].view(Ordering::SeqCst);
+        if w.pending() {
+            if w.enqueue() {
+                q.help_enq(&mut self.participant, tid, phase, tid);
+            } else {
+                q.help_deq(&mut self.participant, tid, phase, tid);
+                q.help_finish_deq(&mut self.participant);
+                // Claim and discard: completes the value node's token
+                // gate, which would otherwise never close.
+                drop(Self::read_deq_result(q, tid));
+            }
+        } else if !w.enqueue() && self.deq_in_flight {
+            drop(Self::read_deq_result(q, tid));
+        }
+        self.deq_in_flight = false;
+        q.help_finish_enq(&mut self.participant);
+        q.help_finish_deq(&mut self.participant);
+        self.participant.clear(H_NODE);
+        self.participant.clear(H_NEXT);
+        self.fast_streak = 0;
+    }
+
+    /// Begins an operation but performs **no helping**, leaving the
+    /// published descriptor pending — the HP twin of
+    /// [`WfHandle::begin_enqueue_unhelped`]. Test infrastructure for
+    /// exercising helping and reaping deterministically.
+    ///
+    /// [`WfHandle::begin_enqueue_unhelped`]:
+    ///     crate::WfHandle::begin_enqueue_unhelped
+    #[doc(hidden)]
+    pub fn begin_enqueue_unhelped(&mut self, value: T) -> PendingOpHp<'_, 'q, T> {
+        let q = self.queue;
+        let tid = self.id.id();
+        let phase = q.next_phase();
+        let node = self.alloc_node(value, tid);
+        q.state[tid].publish(phase, node as usize, true);
+        PendingOpHp {
+            handle: self,
+            phase,
+            enqueue: true,
+            done: false,
+        }
+    }
+
+    /// Dequeue counterpart of [`begin_enqueue_unhelped`].
+    ///
+    /// [`begin_enqueue_unhelped`]: Self::begin_enqueue_unhelped
+    #[doc(hidden)]
+    pub fn begin_dequeue_unhelped(&mut self) -> PendingOpHp<'_, 'q, T> {
+        let q = self.queue;
+        let tid = self.id.id();
+        let phase = q.next_phase();
+        q.state[tid].publish(phase, 0, false);
+        PendingOpHp {
+            handle: self,
+            phase,
+            enqueue: false,
+            done: false,
+        }
+    }
+
+    /// Performs a fast-path append and **skips the tail swing** — the
+    /// HP twin of `WfHandle::fast_append_unswung`: the shared state a
+    /// sudden death at `kp_hp.fast.swing_tail` leaves behind. The value
+    /// is linearized; the lagging tail makes the next budget-1 fast
+    /// enqueue demote deterministically. Test infrastructure, like
+    /// [`begin_enqueue_unhelped`].
+    ///
+    /// [`begin_enqueue_unhelped`]: Self::begin_enqueue_unhelped
+    #[doc(hidden)]
+    pub fn fast_append_unswung(&mut self, value: T) {
+        let q = self.queue;
+        self.op_prologue();
+        let node = self.alloc_node(value, FAST_ENQUEUER);
+        q.append_no_swing(&mut self.participant, node);
+    }
+}
+
+/// An in-flight operation started by
+/// [`WfHpHandle::begin_enqueue_unhelped`] or
+/// [`WfHpHandle::begin_dequeue_unhelped`] — the HP twin of
+/// [`PendingOp`](crate::PendingOp). No guard field: hazard pointers
+/// protect per-dereference, not per-scope.
+#[doc(hidden)]
+pub struct PendingOpHp<'h, 'q, T: Send> {
+    handle: &'h mut WfHpHandle<'q, T>,
+    phase: i64,
+    enqueue: bool,
+    done: bool,
+}
+
+impl<T: Send> PendingOpHp<'_, '_, T> {
+    /// True while the operation has not been linearized-and-acknowledged
+    /// by anyone (owner or helper).
+    pub fn is_pending(&self) -> bool {
+        self.handle
+            .queue
+            .is_still_pending(self.handle.tid(), self.phase)
+    }
+
+    /// The phase number the operation was published with.
+    pub fn phase(&self) -> i64 {
+        self.phase
+    }
+
+    fn complete(&mut self) -> Option<T> {
+        debug_assert!(!self.done);
+        self.done = true;
+        let q = self.handle.queue;
+        let tid = self.handle.id.id();
+        if self.enqueue {
+            q.help_enq(&mut self.handle.participant, tid, self.phase, tid);
+            q.help_finish_enq(&mut self.handle.participant);
+            Stats::bump(&q.stats.enqueues);
+            None
+        } else {
+            q.help_deq(&mut self.handle.participant, tid, self.phase, tid);
+            q.help_finish_deq(&mut self.handle.participant);
+            Stats::bump(&q.stats.dequeues);
+            WfHpHandle::read_deq_result(q, tid)
+        }
+    }
+
+    /// Resumes the stalled owner: completes the operation (help may
+    /// already have done all the work) and returns the dequeued value,
+    /// if this was a dequeue.
+    pub fn finish(mut self) -> Option<T> {
+        self.complete()
+    }
+
+    /// Walks away without completing — see
+    /// [`PendingOp::abandon`](crate::PendingOp::abandon).
+    pub fn abandon(mut self) {
+        self.done = true;
+    }
+}
+
+impl<T: Send> Drop for PendingOpHp<'_, '_, T> {
+    fn drop(&mut self) {
+        if !self.done {
+            drop(self.complete());
         }
     }
 }
@@ -423,6 +737,27 @@ impl<T: Send> Drop for WfHpHandle<'_, T> {
         // `WfHandle`'s Drop.
         let q = self.queue;
         let tid = self.id.id();
+        // Exit counts as an operation under the lease protocol — see
+        // `WfHandle::drop` for why the liveness bump precedes the check.
+        if q.config.reap_patience != 0 {
+            q.state[tid].bump_beat();
+        }
+        if !self.id.lease_holds() {
+            // Reaped out from under us: the reaper drove the descriptor
+            // idle, quarantined our hazard record (now adoptable — we
+            // must NOT run `Participant::drop` on it, see the field
+            // doc), and the slot may belong to a successor. Only the
+            // private node cache is still ours.
+            for node in self.local.drain(..) {
+                // SAFETY: cached nodes are exclusively ours.
+                unsafe { q.pool().release(node) };
+            }
+            return;
+        }
+        // Retract the published record token before the ID can be
+        // recycled: a later reap of this slot must not quarantine our
+        // (dropped, possibly re-adopted) record.
+        q.hp_tokens[tid].store(0, Ordering::SeqCst);
         let (w, phase) = q.state[tid].view(Ordering::SeqCst);
         if w.pending() {
             if w.enqueue() {
@@ -453,9 +788,12 @@ impl<T: Send> Drop for WfHpHandle<'_, T> {
             // SAFETY: cached nodes are exclusively ours.
             unsafe { q.pool().release(node) };
         }
-        // Field drops after this body release the ID and the hazard
-        // record (the participant clears its slots and parks leftover
-        // retirees for adoption).
+        // SAFETY: dropped exactly once — the reaped path above returns
+        // early (leaking the quarantined record on purpose) and nothing
+        // else touches the `ManuallyDrop`. The participant clears its
+        // slots and parks leftover retirees for adoption; `self.id`
+        // then drops after this body, releasing the virtual ID.
+        unsafe { ManuallyDrop::drop(&mut self.participant) };
     }
 }
 

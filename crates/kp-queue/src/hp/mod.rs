@@ -60,7 +60,7 @@ mod pool;
 mod queue;
 mod types;
 
-pub use handle::WfHpHandle;
+pub use handle::{PendingOpHp, WfHpHandle};
 pub use queue::WfQueueHp;
 
 #[cfg(test)]

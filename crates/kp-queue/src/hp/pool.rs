@@ -44,6 +44,13 @@ pub(crate) struct NodePool<T> {
     head: AtomicPtr<NodeHp<T>>,
     /// Approximate population (maintained racily; only bounds growth).
     len: AtomicUsize,
+    /// Nodes freed instead of pooled while reuse was *on* — the pool
+    /// was at [`POOL_CAP`] or the push-contention bound tripped. The
+    /// memory-pressure backpressure signal (DESIGN.md §13); folded into
+    /// `StatsSnapshot::cache_overflows` by `WfQueueHp::stats`. Kept
+    /// unconditional (not `stats`-gated) because `release` runs from
+    /// reclaim callbacks that have no access to the queue's `Stats`.
+    overflows: AtomicUsize,
     reuse: bool,
 }
 
@@ -52,8 +59,15 @@ impl<T> NodePool<T> {
         NodePool {
             head: AtomicPtr::new(ptr::null_mut()),
             len: AtomicUsize::new(0),
+            overflows: AtomicUsize::new(0),
             reuse,
         }
+    }
+
+    /// Nodes freed past the cap so far (see the `overflows` field).
+    #[cfg_attr(not(feature = "stats"), allow(dead_code))]
+    pub(crate) fn overflows(&self) -> u64 {
+        self.overflows.load(Ordering::Relaxed) as u64
     }
 
     /// Takes ownership of a fully disposed node (both tokens observed).
@@ -87,7 +101,11 @@ impl<T> NodePool<T> {
         }
         // Overflow, contention bound hit, or reuse disabled: free. Safe
         // precisely because no popper ever dereferences shared nodes —
-        // this node was never published, or we own it again.
+        // this node was never published, or we own it again. With reuse
+        // on this is the backpressure path — count it.
+        if self.reuse {
+            self.overflows.fetch_add(1, Ordering::Relaxed);
+        }
         // SAFETY: exclusive ownership (caller contract).
         unsafe { drop(Box::from_raw(node)) };
     }

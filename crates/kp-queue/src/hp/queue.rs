@@ -22,7 +22,7 @@
 //! [`StateSlot`]: crate::desc::StateSlot
 
 use std::ptr;
-use kp_sync::atomic::{AtomicI64, AtomicPtr, Ordering};
+use kp_sync::atomic::{AtomicI64, AtomicPtr, AtomicUsize, Ordering};
 
 use kp_sync::CachePadded;
 use hazard::{Domain, Participant};
@@ -59,7 +59,12 @@ pub struct WfQueueHp<T> {
     /// it drops later: `Domain::drop` reclaims leftover orphans, and
     /// those reclaims release into this pool.
     pool: Box<NodePool<T>>,
-    ids: IdPool,
+    pub(crate) ids: IdPool,
+    /// `hazard::Participant::record_token` of each slot's current
+    /// handle, written at registration, cleared by handle drop or by
+    /// the reaper (which quarantines it) — the HP analogue of
+    /// `WfQueue::epoch_tokens`. `0` = none.
+    pub(crate) hp_tokens: Box<[CachePadded<AtomicUsize>]>,
     pub(crate) config: Config,
     pub(crate) stats: Stats,
 }
@@ -104,6 +109,10 @@ impl<T: Send> WfQueueHp<T> {
             domain: Domain::new(H_SLOTS),
             pool: Box::new(NodePool::new(config.reuse_nodes)),
             ids: IdPool::new(max_threads),
+            hp_tokens: (0..max_threads)
+                .map(|_| CachePadded::new(AtomicUsize::new(0)))
+                .collect::<Vec<_>>()
+                .into_boxed_slice(),
             config,
             stats: Stats::default(),
         }
@@ -119,9 +128,17 @@ impl<T: Send> WfQueueHp<T> {
         self.state.len()
     }
 
-    /// A copy of the helping statistics.
+    /// A copy of the helping statistics. `cache_overflows` includes the
+    /// shared pool's over-cap frees (counted pool-side because reclaim
+    /// callbacks cannot reach the queue's feature-gated `Stats`).
     pub fn stats(&self) -> StatsSnapshot {
-        self.stats.snapshot()
+        #[allow(unused_mut)]
+        let mut snapshot = self.stats.snapshot();
+        #[cfg(feature = "stats")]
+        {
+            snapshot.cache_overflows += self.pool.overflows();
+        }
+        snapshot
     }
 
     /// The queue's node freelist (dequeue epilogues release through it).
@@ -457,6 +474,104 @@ impl<T: Send> WfQueueHp<T> {
     }
 
     // ------------------------------------------------------------------
+    // abandoned-handle reaping (DESIGN.md §13)
+    // ------------------------------------------------------------------
+
+    /// Executes a reap of `victim`'s slot; the HP mirror of
+    /// [`WfQueue::reap_slot`](crate::WfQueue) — see there for the full
+    /// sequence (adopt → drive past the L91 wedge → `try_retire`
+    /// election → winner-only destructive steps → `finish_reap`). The
+    /// two HP-specific differences:
+    ///
+    /// * the claim of an adopted dequeue's result reads the *value
+    ///   node* the step-2 CAS handed the victim and completes its
+    ///   token gate (`TOKEN_CONSUMED`), exactly as the owner's
+    ///   epilogue would. Liveness: the word went pending→completed
+    ///   during this reap (we saw it pending at entry), so nobody has
+    ///   set CONSUMED yet — the gate holds the node allocated however
+    ///   long ago its predecessor's retirement was scanned.
+    /// * quarantining goes through [`Domain::quarantine`]: the
+    ///   victim's leaked hazard record gets its slots nulled and is
+    ///   parked for adoption, so its stale hazards stop excluding
+    ///   nodes from reclamation. No pinned-check is needed — a record
+    ///   is per-handle, not per-OS-thread, so a revoked lease means no
+    ///   legitimate user remains.
+    ///
+    /// [`Domain::quarantine`]: hazard::Domain::quarantine
+    pub(crate) fn reap_slot(
+        &self,
+        p: &mut Participant<'_>,
+        victim: usize,
+        generation: u64,
+        helper: usize,
+    ) {
+        inject!("kp_hp.reap.adopt");
+        let (w0, phase0) = self.state[victim].view(Ordering::SeqCst);
+        let was_pending = w0.pending();
+        if was_pending {
+            Stats::bump(&self.stats.reap_adoptions);
+            if w0.enqueue() {
+                self.help_enq(p, victim, phase0, helper);
+            } else {
+                self.help_deq(p, victim, phase0, helper);
+            }
+        }
+        // The L91 wedge (see `WfHpHandle::drop`): tail past any node of
+        // the victim's before the descriptor may be blanked.
+        self.help_finish_enq(p);
+        self.help_finish_deq(p);
+        inject!("kp_hp.reap.retire");
+        let w1 = self.state[victim].load_ctrl(Ordering::SeqCst);
+        if w1.pending() {
+            // Lease-contract violation (the "dead" owner republished);
+            // leave the slot wedged in `Reaping` — see the epoch twin.
+            debug_assert!(false, "victim republished after lease revocation");
+            return;
+        }
+        if self.state[victim].try_retire(w1) {
+            // Election won: we alone own the destructive steps.
+            if was_pending && !w1.enqueue() && !w1.node_is_null() {
+                // Adopted dequeue completed non-empty during this reap;
+                // nobody will ever run the owner's epilogue. Claim and
+                // discard the value and complete the token gate.
+                let node = w1.node_ptr::<NodeHp<T>>();
+                // SAFETY (liveness): pending-at-entry means the step-2
+                // CAS handed `node` over during this reap, so its
+                // CONSUMED token — set only by the completed word's
+                // unique owner — is still clear and the gate keeps the
+                // node allocated. SAFETY (uniqueness): the try_retire
+                // election makes us that unique owner.
+                unsafe {
+                    let value = (*(*node).value.get()).take();
+                    debug_assert!(value.is_some(), "reaped dequeue result already taken");
+                    drop(value);
+                    let prev = (*node).tokens.fetch_or(TOKEN_CONSUMED, Ordering::AcqRel);
+                    if prev & TOKEN_RECLAIM_READY != 0 {
+                        // SAFETY: both tokens observed; disposal ours.
+                        self.pool().release(node);
+                    }
+                }
+            }
+            // The swap prevents a later reap of this slot's next lease
+            // from acting on a stale token.
+            let token = self.hp_tokens[victim].swap(0, Ordering::SeqCst);
+            if token != 0 {
+                // SAFETY: the lease revocation poisons the handle (its
+                // next op panics in `op_prologue`), and a reaped
+                // handle's Drop leaks its record instead of touching
+                // it, so no legitimate user of the record remains.
+                if unsafe { self.domain.quarantine(token) } {
+                    Stats::bump(&self.stats.quarantines);
+                }
+            }
+        }
+        inject!("kp_hp.reap.finish");
+        if self.ids.finish_reap(victim, generation) {
+            Stats::bump(&self.stats.reaps);
+        }
+    }
+
+    // ------------------------------------------------------------------
     // fast path (bounded lock-free MS loop; see the epoch version and
     // DESIGN.md §12 — only the hazard discipline differs here)
     // ------------------------------------------------------------------
@@ -466,11 +581,16 @@ impl<T: Send> WfQueueHp<T> {
     /// with `enq_tid == FAST_ENQUEUER`; returns `true` once the append
     /// CAS (the shared L74 linearization point) succeeds, `false` on
     /// budget exhaustion with `node` still private.
+    /// `inflight` is the caller's panic-recovery tracker for `node`; it
+    /// is cleared here, by the success CAS itself, so an unwind from
+    /// the post-publication injection site cannot double-free a node
+    /// the queue now owns.
     pub(crate) fn try_fast_enqueue(
         &self,
         p: &mut Participant<'_>,
         node: *mut NodeHp<T>,
         budget: usize,
+        inflight: &mut *mut NodeHp<T>,
     ) -> bool {
         // SAFETY: the caller owns `node` exclusively until the append
         // CAS publishes it.
@@ -498,7 +618,9 @@ impl<T: Send> WfQueueHp<T> {
                 }
                 .is_ok()
                 {
-                    // Linearized (the shared L74 append point).
+                    // Linearized (the shared L74 append point); the
+                    // node is public — stop tracking it for recovery.
+                    *inflight = ptr::null_mut();
                     Stats::bump(&self.stats.appends_total);
                     inject!("kp_hp.fast.swing_tail");
                     // Step 3, best effort; helpers' help_finish_enq
@@ -519,6 +641,45 @@ impl<T: Send> WfQueueHp<T> {
             }
         }
         false
+    }
+
+    /// Test infrastructure — the HP mirror of `WfQueue::append_no_swing`
+    /// (see the `#[doc(hidden)]` `WfHpHandle::fast_append_unswung`):
+    /// the fast-path append CAS without the step-3 tail swing, the
+    /// shared state a sudden death at `kp_hp.fast.swing_tail` leaves
+    /// behind. The value is linearized; the lagging tail persists until
+    /// someone's `help_finish_enq` fixes it.
+    pub(crate) fn append_no_swing(&self, p: &mut Participant<'_>, node: *mut NodeHp<T>) {
+        // SAFETY: the caller owns `node` exclusively until the append
+        // CAS publishes it.
+        debug_assert_eq!(unsafe { &*node }.enq_tid, FAST_ENQUEUER);
+        loop {
+            let last = p.protect(H_NODE, &*self.tail);
+            // SAFETY: protected — as in `try_fast_enqueue`.
+            let next = unsafe { (*last).next.load(Ordering::SeqCst) };
+            if self.tail.load(Ordering::SeqCst) != last {
+                continue;
+            }
+            if next.is_null() {
+                // SAFETY: `last` is protected by H_NODE.
+                if unsafe {
+                    (*last).next.compare_exchange(
+                        ptr::null_mut(),
+                        node,
+                        Ordering::SeqCst,
+                        Ordering::Relaxed,
+                    )
+                }
+                .is_ok()
+                {
+                    Stats::bump(&self.stats.appends_total);
+                    p.clear(H_NODE);
+                    return;
+                }
+            } else {
+                self.help_finish_enq(p);
+            }
+        }
     }
 
     /// Bounded lock-free dequeue attempt; the HP mirror of
@@ -573,8 +734,15 @@ impl<T: Send> WfQueueHp<T> {
                 // gives the value take exclusivity (a node's value is
                 // taken exactly once, by whoever locks its
                 // predecessor).
-                let value = unsafe { (*(*next).value.get()).take() }
-                    .expect("fast-locked sentinel's successor must hold a value");
+                let taken = unsafe { (*(*next).value.get()).take() };
+                debug_assert!(
+                    taken.is_some(),
+                    "fast-locked sentinel's successor must hold a value"
+                );
+                // SAFETY: invariant debug-asserted above and argued in
+                // the uniqueness comment — no release-mode panic branch
+                // on the fast dequeue hot path.
+                let value = unsafe { taken.unwrap_unchecked() };
                 // Complete our half of the value node's token gate:
                 // when `next` (now the sentinel) is eventually retired,
                 // reclamation waits for this CONSUMED bit — the same
@@ -621,7 +789,15 @@ impl<T: Send> ConcurrentQueue<T> for WfQueueHp<T> {
 
     fn register(&self) -> Result<Self::Handle<'_>, RegistrationError> {
         match self.ids.acquire() {
-            Some(id) => Ok(WfHpHandle::new(self, id, self.domain.enter())),
+            Some(id) => {
+                let participant = self.domain.enter();
+                // Published before the handle can operate: if this
+                // handle dies, a reaper quarantines the record through
+                // this token so its hazards stop blocking reclamation.
+                self.hp_tokens[id.id()]
+                    .store(participant.record_token(), Ordering::SeqCst);
+                Ok(WfHpHandle::new(self, id, participant))
+            }
             None => Err(RegistrationError {
                 capacity: self.max_threads(),
             }),

@@ -134,11 +134,12 @@ mod handle;
 pub mod hp;
 mod node;
 mod queue;
+mod reap;
 mod recycle;
 mod stats;
 
 pub use config::{Config, HelpPolicy, PhasePolicy};
-pub use hp::{WfHpHandle, WfQueueHp};
+pub use hp::{PendingOpHp, WfHpHandle, WfQueueHp};
 #[doc(hidden)]
 pub use handle::PendingOp;
 pub use handle::WfHandle;

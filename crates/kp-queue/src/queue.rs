@@ -29,7 +29,7 @@
 //! (`len_approx`/`is_empty`) and owner-private epilogues relax to
 //! Acquire.
 
-use kp_sync::atomic::{AtomicI64, Ordering};
+use kp_sync::atomic::{AtomicI64, AtomicUsize, Ordering};
 
 use crossbeam_epoch::{self as epoch, Atomic, Guard, Owned, Shared};
 use kp_sync::CachePadded;
@@ -60,7 +60,13 @@ pub struct WfQueue<T> {
     /// Monotone phase source under `PhasePolicy::AtomicCounter` (§3.3).
     phase_counter: CachePadded<AtomicI64>,
     /// Virtual thread IDs (§3.3 long-lived renaming).
-    ids: IdPool,
+    pub(crate) ids: IdPool,
+    /// Per-tid epoch-participant token of the handle's current OS
+    /// thread (`crossbeam_epoch::participant_token`), published lazily
+    /// by the owner at operation start when the reaper is enabled and 0
+    /// otherwise. A reap uses it to quarantine a dead owner's wedged
+    /// pin so the epoch can advance again (DESIGN.md §13).
+    pub(crate) epoch_tokens: Box<[CachePadded<AtomicUsize>]>,
     pub(crate) config: Config,
     pub(crate) stats: Stats,
 }
@@ -110,6 +116,10 @@ impl<T: Send> WfQueue<T> {
                 .into_boxed_slice(),
             phase_counter: CachePadded::new(AtomicI64::new(0)),
             ids: IdPool::new(max_threads),
+            epoch_tokens: (0..max_threads)
+                .map(|_| CachePadded::new(AtomicUsize::new(0)))
+                .collect::<Vec<_>>()
+                .into_boxed_slice(),
             config,
             stats: Stats::default(),
         };
@@ -515,7 +525,9 @@ impl<T: Send> WfQueue<T> {
             {
                 // SAFETY: `first` is now unreachable from the queue and
                 // retired exactly once (by the unique CAS winner).
-                unsafe { cache.push(first.as_raw() as *mut Node<T>, guard) };
+                if unsafe { cache.push(first.as_raw() as *mut Node<T>, guard) } {
+                    Stats::bump(&self.stats.cache_overflows);
+                }
             }
             return;
         }
@@ -550,11 +562,136 @@ impl<T: Send> WfQueue<T> {
                 {
                     // SAFETY: `first` is now unreachable from the queue
                     // and retired exactly once (by the unique CAS winner).
-                    unsafe { cache.push(first.as_raw() as *mut Node<T>, guard) };
+                    if unsafe { cache.push(first.as_raw() as *mut Node<T>, guard) } {
+                        Stats::bump(&self.stats.cache_overflows);
+                    }
                 }
             }
         }
     }
+
+    // ------------------------------------------------------------------
+    // abandoned-handle reaping (DESIGN.md §13)
+    // ------------------------------------------------------------------
+
+    /// Executes a reap of `victim`'s slot. The caller has already won
+    /// reap rights at lease `generation` — via `IdPool::begin_reap`
+    /// (fresh reap) or `IdPool::takeover_reap` (adopting a reap whose
+    /// reaper itself went silent). Wait-free: every phase below is a
+    /// bounded helping call or a single CAS.
+    ///
+    /// The sequence is: adopt the victim's pending operation through
+    /// the ordinary helping machinery, drive tail/head past any node of
+    /// the victim's (the L91 wedge — helpers can only swing the tail
+    /// while the owner's descriptor still references the dangling node,
+    /// so the slot must not be retired before the tail passed it), win
+    /// the [`StateSlot::try_retire`] election, and only as the election
+    /// winner perform the two destructive steps: claim-and-discard an
+    /// unclaimed dequeue result, and quarantine the victim's wedged
+    /// epoch pin. Finally the lease is returned to the pool
+    /// (`finish_reap`), making the virtual ID acquirable again.
+    ///
+    /// [`StateSlot::try_retire`]: crate::desc::StateSlot::try_retire
+    pub(crate) fn reap_slot(
+        &self,
+        victim: usize,
+        generation: u64,
+        helper: usize,
+        guard: &Guard,
+        cache: &mut RetireCache<T>,
+    ) {
+        inject!("kp.reap.adopt");
+        let (w0, phase0) = self.state[victim].view(Ordering::SeqCst);
+        let was_pending = w0.pending();
+        if was_pending {
+            Stats::bump(&self.stats.reap_adoptions);
+            if w0.enqueue() {
+                self.help_enq(victim, phase0, helper, guard);
+            } else {
+                self.help_deq(victim, phase0, helper, guard, cache);
+            }
+        }
+        // The L91 wedge: the tail must move past any node the victim's
+        // descriptor references before the descriptor may be blanked
+        // (same argument as `WfHandle::drop`). Head driven for symmetry.
+        self.help_finish_enq(guard);
+        self.help_finish_deq(guard, cache);
+        inject!("kp.reap.retire");
+        let w1 = self.state[victim].load_ctrl(Ordering::SeqCst);
+        if w1.pending() {
+            // Only reachable if the "dead" owner published a new
+            // operation after its lease was revoked — a lease-contract
+            // violation (DESIGN.md §13). Leave the slot alone; the
+            // lease stays in `Reaping` so the id is at least not
+            // handed out while the violator still uses the descriptor.
+            debug_assert!(false, "victim republished after lease revocation");
+            return;
+        }
+        if self.state[victim].try_retire(w1) {
+            // Election won: we alone own the destructive steps. A
+            // stalled co-reaper that read the same word loses the CAS
+            // and skips both.
+            if was_pending && !w1.enqueue() && !w1.node_is_null() {
+                // The victim died mid-dequeue and the operation
+                // completed non-empty during *this* reap (we observed
+                // it pending under `guard`). Nobody will ever run the
+                // owner's epilogue: claim and discard the value so
+                // conservation stays exact.
+                //
+                // SAFETY: `w1` names the sentinel the adopted dequeue
+                // locked. We observed the op pending under our pin, so
+                // its step-3 head swing — the retirement point — is
+                // ordered after our pin began and the node (and its
+                // successor) outlives `guard`. The try_retire election
+                // makes us the unique claimant, re-establishing the
+                // deq_tid-uniqueness take argument of
+                // `WfHandle::read_deq_result`.
+                let node = w1.node_ptr::<Node<T>>();
+                // SAFETY: liveness per the block comment above — the
+                // node outlives `guard`.
+                let next = unsafe { &*node }.next.load(Ordering::Acquire, guard);
+                debug_assert!(!next.is_null(), "locked sentinel must have a successor");
+                // SAFETY: as above; each value is taken exactly once.
+                let value = unsafe { (*next.deref().value.get()).take() };
+                debug_assert!(value.is_some(), "reaped dequeue result already taken");
+                drop(value);
+            }
+            // Quarantine the victim's epoch participation, but only
+            // when it is actually wedged (a pin leaked at death). An
+            // unpinned participant needs nothing: a live pin() re-reads
+            // the global epoch, and a dead thread's TLS destructor
+            // already deregistered it. The swap also prevents a later
+            // reap of this slot's next lease from acting on a stale
+            // token.
+            let token = self.epoch_tokens[victim].swap(0, Ordering::SeqCst);
+            // `token == participant_token()`: the victim handle last ran
+            // on *this* OS thread (epoch participation is per-thread,
+            // and several virtual ids can share a thread). Our own
+            // participant is pinned right now — by us, the reaper — not
+            // wedged by the dead handle; quarantining it would erase our
+            // live pin. Skip: nothing is wedged in that case.
+            if token != 0
+                && token != epoch::participant_token()
+                && epoch::participant_is_pinned(token)
+            {
+                // SAFETY: the lease revocation (begin_reap/takeover)
+                // poisons the handle — a surviving owner's next op
+                // panics before touching the queue — so the
+                // participant is never used for this queue again;
+                // using it from *another* queue on the same (dead by
+                // contract) thread is the documented lease-contract
+                // violation (DESIGN.md §13).
+                if unsafe { epoch::quarantine_participant(token) } {
+                    Stats::bump(&self.stats.quarantines);
+                }
+            }
+        }
+        inject!("kp.reap.finish");
+        if self.ids.finish_reap(victim, generation) {
+            Stats::bump(&self.stats.reaps);
+        }
+    }
+
     // ------------------------------------------------------------------
     // fast path (no descriptor, no phase, no helping obligation —
     // the bounded lock-free Michael–Scott loop of the 2012
@@ -570,7 +707,18 @@ impl<T: Send> WfQueue<T> {
     /// concurrent operation (each failure proves one succeeded, which
     /// bounds the loop by global progress), leaving `node` private so
     /// the caller can demote it to the slow path.
-    pub(crate) fn try_fast_enqueue(&self, node: *mut Node<T>, budget: usize, guard: &Guard) -> bool {
+    ///
+    /// `inflight` is the caller's panic-recovery tracker for the
+    /// private node: it is cleared the instant the append CAS publishes
+    /// the node, so an unwind landing after publication (e.g. at the
+    /// `fast.swing_tail` chaos site) cannot double-free it.
+    pub(crate) fn try_fast_enqueue(
+        &self,
+        node: *mut Node<T>,
+        budget: usize,
+        inflight: &mut *mut Node<T>,
+        guard: &Guard,
+    ) -> bool {
         // SAFETY: the caller owns `node` exclusively until the append
         // CAS publishes it.
         debug_assert_eq!(unsafe { &*node }.enq_tid, FAST_ENQUEUER);
@@ -597,7 +745,9 @@ impl<T: Send> WfQueue<T> {
                     )
                     .is_ok()
                 {
-                    // Linearized (the shared L74 append point).
+                    // Linearized (the shared L74 append point); the
+                    // node is public now — recovery must not free it.
+                    *inflight = std::ptr::null_mut();
                     Stats::bump(&self.stats.appends_total);
                     inject!("kp.fast.swing_tail");
                     // Step 3, best effort: any helper's
@@ -621,6 +771,49 @@ impl<T: Send> WfQueue<T> {
             }
         }
         false
+    }
+
+    /// Test infrastructure (reached through the `#[doc(hidden)]`
+    /// `WfHandle::fast_append_unswung`): performs the fast-path append
+    /// CAS and then deliberately **skips** the step-3 tail swing,
+    /// leaving the tail lagging — the exact shared state a thread
+    /// killed at `kp.fast.swing_tail` leaves behind when nothing runs
+    /// its unwind recovery (sudden death). The value *is* linearized
+    /// (the append CAS is the linearization point). Loops until the
+    /// append lands so the resulting wedge is deterministic.
+    pub(crate) fn append_no_swing(&self, node: *mut Node<T>, guard: &Guard) {
+        // SAFETY: the caller owns `node` exclusively until the append
+        // CAS publishes it.
+        debug_assert_eq!(unsafe { &*node }.enq_tid, FAST_ENQUEUER);
+        let new = Shared::from(node as *const Node<T>);
+        loop {
+            let last = self.tail.load(Ordering::SeqCst, guard);
+            // SAFETY: as in `try_fast_enqueue` — tail is never null and
+            // our pin defers retirement/reuse of any node it reaches.
+            let last_ref = unsafe { last.deref() };
+            let next = last_ref.next.load(Ordering::SeqCst, guard);
+            if last != self.tail.load(Ordering::SeqCst, guard) {
+                continue;
+            }
+            if next.is_null() {
+                if last_ref
+                    .next
+                    .compare_exchange(
+                        Shared::null(),
+                        new,
+                        Ordering::SeqCst,
+                        Ordering::Relaxed,
+                        guard,
+                    )
+                    .is_ok()
+                {
+                    Stats::bump(&self.stats.appends_total);
+                    return;
+                }
+            } else {
+                self.help_finish_enq(guard);
+            }
+        }
     }
 
     /// Bounded lock-free dequeue attempt. Linearizes either empty (the
@@ -682,8 +875,15 @@ impl<T: Send> WfQueue<T> {
                 // SAFETY: value uniqueness — see the lock argument
                 // above; the enqueuer's write is released by its append
                 // CAS and acquired by our SeqCst next load.
-                let value = unsafe { (*next_ref.value.get()).take() }
-                    .expect("fast-locked sentinel's successor must hold a value");
+                let taken = unsafe { (*next_ref.value.get()).take() };
+                debug_assert!(
+                    taken.is_some(),
+                    "fast-locked sentinel's successor must hold a value"
+                );
+                // SAFETY: invariant debug-asserted above and argued in
+                // the uniqueness comment — no release-mode panic branch
+                // on the fast dequeue hot path.
+                let value = unsafe { taken.unwrap_unchecked() };
                 inject!("kp.fast.swing_head");
                 // Step 3, best effort: a helper's help_finish_deq
                 // (FAST_DEQUEUER branch) also swings; the CAS winner
@@ -695,7 +895,9 @@ impl<T: Send> WfQueue<T> {
                 {
                     // SAFETY: `first` is now unreachable and retired
                     // exactly once (by the unique CAS winner).
-                    unsafe { cache.push(first.as_raw() as *mut Node<T>, guard) };
+                    if unsafe { cache.push(first.as_raw() as *mut Node<T>, guard) } {
+                        Stats::bump(&self.stats.cache_overflows);
+                    }
                 }
                 return FastDeq::Done(Some(value));
             }

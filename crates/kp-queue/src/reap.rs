@@ -1,0 +1,171 @@
+//! Per-handle scan state for the abandoned-handle reaper (DESIGN.md
+//! §13).
+//!
+//! A handle with `Config::reap_patience > 0` examines one peer slot
+//! after every [`TICK_STRIDE`]-th of its own completed operations (the
+//! inspection reads several shared cache lines, so running it on every
+//! operation costs a measurable fraction of queue throughput; striding
+//! amortizes it to noise and only multiplies detection latency by the
+//! same constant, which the patience contract already absorbs). A peer
+//! is *frozen* when `reap_patience` consecutive examinations observe an
+//! identical liveness snapshot — idpool lease generation, heartbeat, ctrl word
+//! and phase for a claimed slot; lease generation alone for a slot
+//! stuck mid-reap. Freezing is the reaper's only liveness oracle: a
+//! live handle bumps its heartbeat on every operation (and on
+//! [`keepalive`]), so it can only be declared frozen by staying silent
+//! for the observer's whole patience window — the lease contract
+//! (DESIGN.md §13) makes that the owner's fault, not the reaper's.
+//!
+//! The struct is deliberately dumb state: the decision of *what to do*
+//! with a frozen slot (begin a reap, take over a stalled one) lives in
+//! the handles, next to the queue-variant-specific reap execution.
+//!
+//! [`keepalive`]: crate::WfHandle::keepalive
+
+use crate::desc::CtrlWord;
+
+/// One liveness snapshot of a peer slot. Two equal consecutive
+/// snapshots across a patience window mean the peer made no observable
+/// progress of any kind.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum Observation {
+    /// The slot is leased (`SlotState::Claimed`): freezing requires the
+    /// lease generation, the heartbeat, the descriptor word (version
+    /// tag included, so helper-driven transitions count as progress)
+    /// and the phase all to hold still.
+    Claimed {
+        generation: u64,
+        beat: u64,
+        ctrl: CtrlWord,
+        phase: i64,
+    },
+    /// The slot is mid-reap (`SlotState::Reaping`): the reaper itself
+    /// is the one being watched. Its only progress signal is the lease
+    /// generation (a finished reap frees the slot; a takeover bumps the
+    /// generation), so a frozen `Reaping` observation after the
+    /// patience window triggers `IdPool::takeover_reap`.
+    Reaping { generation: u64 },
+}
+
+/// Operations between peer-slot inspections. The freeze oracle's
+/// wall-clock detection latency is `TICK_STRIDE * reap_patience`
+/// observer operations; deployments pick `reap_patience` against that
+/// product (DESIGN.md §13.3).
+pub(crate) const TICK_STRIDE: u32 = 16;
+
+/// Cursor + freeze detector. One per handle; not shared.
+pub(crate) struct ReapScan {
+    /// Peer slot currently under observation.
+    cursor: usize,
+    /// Last snapshot of `cursor`'s slot, if any.
+    obs: Option<Observation>,
+    /// Consecutive re-observations that matched `obs`.
+    streak: usize,
+    /// Countdown until the next inspection is due.
+    until_due: u32,
+}
+
+impl ReapScan {
+    pub(crate) fn new(start: usize) -> Self {
+        ReapScan {
+            cursor: start,
+            obs: None,
+            streak: 0,
+            until_due: TICK_STRIDE,
+        }
+    }
+
+    /// Cheap per-operation gate: returns `true` (and re-arms) on every
+    /// [`TICK_STRIDE`]-th call; the handle skips the whole inspection
+    /// otherwise. Keeps the hot path at one decrement-and-branch on
+    /// handle-private state.
+    #[inline]
+    pub(crate) fn tick_due(&mut self) -> bool {
+        self.until_due -= 1;
+        if self.until_due == 0 {
+            self.until_due = TICK_STRIDE;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The slot this handle is currently watching.
+    pub(crate) fn cursor(&self) -> usize {
+        self.cursor
+    }
+
+    /// Moves on to the next slot, forgetting the current observation.
+    pub(crate) fn advance(&mut self, n: usize) {
+        self.cursor = (self.cursor + 1) % n;
+        self.obs = None;
+        self.streak = 0;
+    }
+
+    /// Folds in a fresh snapshot of the watched slot and returns the
+    /// number of consecutive *unchanged* re-observations so far (0 for
+    /// a first or changed snapshot). The caller reaps once this reaches
+    /// its configured patience.
+    pub(crate) fn observe(&mut self, cur: Observation) -> usize {
+        if self.obs == Some(cur) {
+            self.streak += 1;
+        } else {
+            self.obs = Some(cur);
+            self.streak = 0;
+        }
+        self.streak
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn claimed(generation: u64, beat: u64) -> Observation {
+        Observation::Claimed {
+            generation,
+            beat,
+            ctrl: crate::desc::StateSlot::initial().load_ctrl(kp_sync::atomic::Ordering::Relaxed),
+            phase: -1,
+        }
+    }
+
+    #[test]
+    fn streak_counts_only_identical_snapshots() {
+        let mut scan = ReapScan::new(0);
+        assert_eq!(scan.observe(claimed(0, 1)), 0, "first look never counts");
+        assert_eq!(scan.observe(claimed(0, 1)), 1);
+        assert_eq!(scan.observe(claimed(0, 1)), 2);
+        assert_eq!(scan.observe(claimed(0, 2)), 0, "heartbeat progress resets");
+        assert_eq!(scan.observe(claimed(1, 2)), 0, "new lease resets");
+        assert_eq!(scan.observe(claimed(1, 2)), 1);
+        assert_eq!(
+            scan.observe(Observation::Reaping { generation: 1 }),
+            0,
+            "a state change is progress too"
+        );
+        assert_eq!(scan.observe(Observation::Reaping { generation: 1 }), 1);
+    }
+
+    #[test]
+    fn tick_gate_fires_every_stride_calls() {
+        let mut scan = ReapScan::new(0);
+        let mut fired = 0;
+        for _ in 0..(3 * TICK_STRIDE) {
+            if scan.tick_due() {
+                fired += 1;
+            }
+        }
+        assert_eq!(fired, 3, "exactly one inspection per stride");
+    }
+
+    #[test]
+    fn advance_wraps_and_forgets() {
+        let mut scan = ReapScan::new(2);
+        scan.observe(claimed(0, 0));
+        scan.observe(claimed(0, 0));
+        scan.advance(3);
+        assert_eq!(scan.cursor(), 0, "wraps modulo n");
+        assert_eq!(scan.observe(claimed(0, 0)), 0, "observation forgotten");
+    }
+}

@@ -46,18 +46,31 @@ impl<T> RetireCache<T> {
 
     /// Takes ownership of a node just unlinked by the L150 head CAS.
     ///
+    /// Returns `true` when the node **overflowed**: reuse is on but the
+    /// cache is at [`CACHE_CAP`], so the node was pushed out to the
+    /// epoch collector instead of cached. This is the memory-pressure
+    /// backpressure signal (DESIGN.md §13) — callers count it in
+    /// `Stats::cache_overflows`. A deferral with reuse disabled is the
+    /// configured behaviour, not pressure, and returns `false`.
+    ///
     /// # Safety
     ///
     /// Caller must own the retirement: the node is unlinked from the
     /// queue and will never be retired again (here, the winner of the
     /// L150 head CAS — exactly one thread per node).
-    pub(crate) unsafe fn push(&mut self, node: *mut Node<T>, guard: &Guard) {
-        if !self.reuse || self.nodes.len() == CACHE_CAP {
+    pub(crate) unsafe fn push(&mut self, node: *mut Node<T>, guard: &Guard) -> bool {
+        if !self.reuse {
             // SAFETY: forwarded from the caller.
             unsafe { guard.defer_destroy(Shared::from(node as *const Node<T>)) };
-            return;
+            return false;
+        }
+        if self.nodes.len() == CACHE_CAP {
+            // SAFETY: forwarded from the caller.
+            unsafe { guard.defer_destroy(Shared::from(node as *const Node<T>)) };
+            return true;
         }
         self.nodes.push_back((epoch::global_epoch(), node));
+        false
     }
 
     /// A node no pinned thread can still observe, if one has matured.

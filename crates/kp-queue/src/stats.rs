@@ -68,6 +68,21 @@ pub(crate) struct Stats {
     /// Fast-path attempts demoted to the slow path because the periodic
     /// starvation peek observed a pending peer descriptor.
     pub(crate) fast_starvation_demotions: Counter,
+    /// Abandoned-handle reaps completed (lease revoked, slot retired,
+    /// participation quarantined). See DESIGN.md §13.
+    pub(crate) reaps: Counter,
+    /// Reaps whose victim had a pending descriptor that the reaper
+    /// adopted and completed through the helping machinery.
+    pub(crate) reap_adoptions: Counter,
+    /// Reaps taken over from a reaper that itself went silent mid-reap.
+    pub(crate) reap_takeovers: Counter,
+    /// Epoch participants / hazard records force-quarantined by reaps.
+    pub(crate) quarantines: Counter,
+    /// Memory-pressure backpressure: nodes pushed out of a full
+    /// `RetireCache` to the shared epoch collector, or released past a
+    /// full HP `NodePool` to the allocator. Growth beyond the caps is
+    /// degraded to reclamation work instead of unbounded caching.
+    pub(crate) cache_overflows: Counter,
 }
 
 impl Stats {
@@ -94,6 +109,11 @@ impl Stats {
             fast_completions: self.fast_completions.load(Ordering::Relaxed),
             fast_exhaustions: self.fast_exhaustions.load(Ordering::Relaxed),
             fast_starvation_demotions: self.fast_starvation_demotions.load(Ordering::Relaxed),
+            reaps: self.reaps.load(Ordering::Relaxed),
+            reap_adoptions: self.reap_adoptions.load(Ordering::Relaxed),
+            reap_takeovers: self.reap_takeovers.load(Ordering::Relaxed),
+            quarantines: self.quarantines.load(Ordering::Relaxed),
+            cache_overflows: self.cache_overflows.load(Ordering::Relaxed),
         }
     }
 
@@ -146,6 +166,18 @@ pub struct StatsSnapshot {
     /// Fast-path attempts demoted to the slow path by the starvation
     /// peek.
     pub fast_starvation_demotions: u64,
+    /// Abandoned-handle reaps completed (zero unless
+    /// `Config::reap_patience` is non-zero and a handle went silent).
+    pub reaps: u64,
+    /// Reaps that adopted and completed a victim's pending operation.
+    pub reap_adoptions: u64,
+    /// Reaps taken over from a reaper that itself went silent mid-reap.
+    pub reap_takeovers: u64,
+    /// Epoch participants / hazard records force-quarantined by reaps.
+    pub quarantines: u64,
+    /// Nodes that bypassed a full recycle cache/pool (memory-pressure
+    /// backpressure; see DESIGN.md §13 degradation bounds).
+    pub cache_overflows: u64,
 }
 
 impl StatsSnapshot {

@@ -1,20 +1,22 @@
 #!/usr/bin/env bash
 # Records the perf baseline: builds the harness in release mode and runs
 # the `bench_record` binary, which sweeps the slow-path grid
-# ({epoch, HP} x {base, opt(1+2)} x {reuse, alloc} x {pairs, 50-50})
-# plus the fast-path ablation cells (wf-fast vs wf-epoch opt_both,
-# wf-fast-hp vs wf-hp opt_both) and writes throughput, allocs/op, and
-# fast-path fallback rates to BENCH_PR4.json at the repo root.
+# ({epoch, HP} x {base, opt(1+2)} x {reuse, alloc} x {pairs, 50-50}),
+# the fast-path ablation cells (wf-fast vs wf-epoch opt_both,
+# wf-fast-hp vs wf-hp opt_both), and the reaper ablation
+# (opt_both+reap vs opt_both, plus an abandoned-handle reap-latency
+# probe) and writes throughput, allocs/op, fallback rates, and
+# reap/quarantine counts to BENCH_PR5.json at the repo root.
 # Scale knobs:
 #   ITERS    iterations per thread per rep   (default: 50000)
 #   REPS     reps per cell (median reported) (default: 5)
-#   OUT      output path                     (default: BENCH_PR4.json)
+#   OUT      output path                     (default: BENCH_PR5.json)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 ITERS="${ITERS:-50000}"
 REPS="${REPS:-5}"
-OUT="${OUT:-BENCH_PR4.json}"
+OUT="${OUT:-BENCH_PR5.json}"
 
 cargo build -p harness --release --bin bench_record
 cargo run -p harness --release -q --bin bench_record -- \

@@ -8,9 +8,11 @@
 #      gate actually fails on an undocumented atomic
 #   4. a short seeded chaos-torture smoke (fault-injection suite with a
 #      reduced seed matrix; scripts/torture.sh runs the full sweep)
-#   5. a no-default-features build (stats feature off) to keep the
+#   5. a time-capped kill/restart soak of the reaper rounds
+#      (SOAK_SECS, default 120)
+#   6. a no-default-features build (stats feature off) to keep the
 #      feature matrix honest
-#   6. best-effort sanitizer stages: Miri and ThreadSanitizer run when
+#   7. best-effort sanitizer stages: Miri and ThreadSanitizer run when
 #      the toolchain supports them, skip loudly when it does not
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -56,6 +58,22 @@ cargo test -p kp-queue --release -q fast
 cargo test -p harness --release -q --lib fast
 cargo test --release -q --test linearizability wf_fast
 cargo test --features chaos --release -q --test torture demotion
+
+echo "=== soak: kill/restart with the reaper on (DESIGN.md SS13) ==="
+# Time-capped repetition of the abandoned-handle rounds: sudden-death
+# kills at enqueue/dequeue/demotion sites with reaping, adoption,
+# takeover and quarantine asserted by the tests themselves. The seeded
+# storms are fixed per test; the soak value is re-running the whole
+# matrix under fresh OS scheduling until the cap. scripts/torture.sh
+# runs the full (non-reap) site sweep.
+soak_deadline=$(( $(date +%s) + ${SOAK_SECS:-120} ))
+soak_rounds=0
+while [ "$(date +%s)" -lt "$soak_deadline" ]; do
+    cargo test --features chaos --release -q --test torture reap \
+        || { echo "ci: FAIL — soak round $soak_rounds" >&2; exit 1; }
+    soak_rounds=$((soak_rounds + 1))
+done
+echo "soak ok: $soak_rounds round(s) within ${SOAK_SECS:-120}s"
 
 echo "=== feature matrix: stats off ==="
 cargo build -p kp-queue --no-default-features

@@ -54,6 +54,13 @@ SC_SWING = (
     "the swing ordered with the pending checks so a helper never operates on a "
     "retired sentinel; failure discarded"
 )
+SC_TOKEN = (
+    "reap token handoff (DESIGN.md SS13.4): token publication, retraction and "
+    "the reaper's swap must share the single total order with the lease "
+    "transitions, or a reaper could quarantine a token published after "
+    "revocation (erasing a live pin, a use-after-free) or miss a retraction "
+    "and quarantine the recycled slot's live successor thread"
+)
 SC_HAZARD_SCAN = (
     "hazard-pointer scan requirement: the scan's reads must follow the "
     "retiree's unlink in the total order (store-load), or the scan can miss a "
@@ -124,6 +131,12 @@ TABLE = {
         ("load", 0): spec("reclamation", "orphan head read for the push CAS"),
         ("compare_exchange", 0): spec("reclamation", "publishes orphaned retirements; failure Acquire is load-bearing for the same plain-`next` republish reason as enter's record push"),
     },
+    (D, "quarantine"): {
+        ("load", 0): spec("reclamation", "record-list head read; Acquire makes each record's fields visible before the token match"),
+        ("load", 1): spec("reclamation", "confirms the record is still active before clearing; the reaper's exclusivity comes from the lease election, not this load"),
+        ("store", 0): spec("reclamation", "clears an abandoned hazard slot; SeqCst so the clear enters the total order before the next scan's snapshot (store-load, SS11.3) -- a weaker clear could let a dead record protect a node forever", sc=SC_HAZARD_SCAN),
+        ("store", 1): spec("reclamation", "returns the quarantined record to the free pool; Release publishes the slot clears to the next claimant (pairs with enter's claim CAS)"),
+    },
     (D, "drop"): spec("reclamation", WHY_TEARDOWN),
     (D, "fmt"): spec("stats", "Debug formatting; approximate values are fine"),
     # ----- hazard/participant.rs -------------------------------------
@@ -149,8 +162,17 @@ TABLE = {
         ("compare_exchange", 0): spec("doorway", "claims a virtual tid (SS3.3 long-lived renaming): success Acquire pairs with release's AcqRel swap so tid-associated state is visible to the new owner; a failed probe acquires nothing"),
     },
     (ID, "acquire_exact"): spec("doorway", "deterministic-tid variant of acquire; same pairing argument"),
-    (ID, "release"): spec("doorway", "returns the tid; AcqRel publishes the owner's final writes to the next claimant"),
+    (ID, "release"): spec("doorway", "returns the tid (Claimed -> Free at the owner's generation); AcqRel publishes the owner's final writes to the next claimant and fails silently on a revoked lease -- the idpool double-release protection"),
+    (ID, "inspect"): spec("doorway", "reaper-side lease snapshot; Acquire pairs with the claim/reap CASes so the observed state and generation travel together"),
+    (ID, "try_claim"): {
+        ("load", 0): spec("doorway", "speculative free-slot probe; the claim itself is the CAS below"),
+        ("compare_exchange", 0): spec("doorway", "claims a virtual tid with a bumped generation (SS3.3 long-lived renaming made lease-based, DESIGN.md SS13.2): success Acquire pairs with release/finish_reap so tid-associated state is visible to the new owner; a failed probe acquires nothing"),
+    },
+    (ID, "begin_reap"): spec("doorway", "lease revocation CAS (Claimed -> Reaping at the observed generation, DESIGN.md SS13.2); AcqRel acquires the owner's published state and releases reap exclusivity to finish/takeover"),
+    (ID, "finish_reap"): spec("doorway", "reap completion CAS (Reaping -> Free, bumped generation); the Release half publishes the reaper's cleanup to the slot's next claimant"),
+    (ID, "takeover_reap"): spec("doorway", "reap adoption CAS (Reaping -> Reaping, bumped generation) invalidating a dead reaper's claim so a revived reaper cannot finish twice; same pairing as begin_reap"),
     (ID, "oversubscribed_acquire_never_duplicates"): spec("stats", WHY_TEST),
+    (ID, "concurrent_reap_race_single_winner"): spec("stats", WHY_TEST),
     # ----- kp-queue/desc.rs ------------------------------------------
     (DESC, "load_ctrl"): spec("helper-guard", "caller-chosen ordering: SeqCst on help paths (pending-check coherence), Acquire in epilogues"),
     (DESC, "load_phase"): spec("doorway", "phase read for the Lemma-1 helping decision; callers pass SeqCst on hot paths"),
@@ -174,8 +196,18 @@ TABLE = {
         sc=SC_CTRL,
         steps=["AckEnq", "AckDeq", "Stage0Empty", "Stage0NonEmpty", "Restage"],
     ),
+    (DESC, "load_beat"): spec("stats", "heartbeat read for the freeze oracle (DESIGN.md SS13.3); Relaxed -- liveness detection needs recency, not ordering, and a missed bump only delays a reap by one patience window"),
+    (DESC, "bump_beat"): spec("stats", "heartbeat bump (owner is the only writer); Relaxed for the same reason as load_beat"),
+    (DESC, "try_retire"): spec(
+        "linearization",
+        "the reap election CAS: blanks the victim's observed descriptor word exactly once, and the unique winner owns the destructive reap steps (orphaned result claim, quarantine) -- the claim-safety rule of DESIGN.md SS13.4",
+        sc="the retirement must enter the single total order with helpers' SeqCst pending checks, or a helper could act on a blanked descriptor (and two stale-word reapers could both win the election)",
+        steps=["ReapClaim"],
+    ),
     # ----- kp-queue/handle.rs ----------------------------------------
     (HA, "alloc_node"): spec("reclamation", WHY_RECYCLE),
+    (HA, "op_prologue"): spec("reclamation", "publishes the handle's epoch-participant token for a future reap (DESIGN.md SS13.4)", sc=SC_TOKEN),
+    (HA, "drop"): spec("reclamation", "retracts the epoch token before the id can recycle; mirrors op_prologue's publication", sc=SC_TOKEN),
     (HA, "read_deq_result"): spec("helper-guard", "reads the locked sentinel's next for the result; Acquire pairs with the append CAS so the payload is visible"),
     # ----- kp-queue/queue.rs -----------------------------------------
     (Q, "with_config"): spec("helper-guard", WHY_INIT),
@@ -228,6 +260,16 @@ TABLE = {
         ("compare_exchange", 0): spec("linearization", "the fast deq_tid lock CAS (FAST_DEQUEUER marker) -- same L135 linearization point as the slow path", sc=SC_LOCK, steps=["FastLock"]),
         ("compare_exchange", 1): spec("helper-guard", "owner's best-effort head swing (model FastFixHead); winner recycles the unlinked sentinel", sc=SC_SWING),
     },
+    (Q, "reap_slot"): {
+        ("load", 0): spec("helper-guard", "adopted dequeue's locked-sentinel next read; Acquire pairs with the append CAS so the claimed-and-discarded value is visible (DESIGN.md SS13.4)"),
+        ("swap", 0): spec("reclamation", "takes the victim's epoch-participant token exactly once (zeroing the slot) so a later reap of the slot's next lease cannot quarantine a stale token", sc=SC_TOKEN),
+    },
+    (Q, "append_no_swing"): {
+        ("load", 0): spec("helper-guard", "test-only lagging-tail fixture (sudden-death wedge, DESIGN.md SS13.1): tail read opening the MS loop", sc=SC_HELP),
+        ("load", 1): spec("helper-guard", "test-only fixture: tail.next read classifying settled vs dangling", sc=SC_HELP),
+        ("load", 2): spec("helper-guard", "test-only fixture: tail re-validation before acting on the next read", sc=SC_HELP),
+        ("compare_exchange", 0): spec("linearization", "test-only fixture: the fast append CAS without the step-3 tail swing -- same L74 linearization point as try_fast_enqueue", sc=SC_APPEND, steps=["FastAppend"]),
+    },
     (Q, "drop"): spec("reclamation", WHY_TEARDOWN),
     # ----- kp-queue/stats.rs -----------------------------------------
     (ST, "bump"): spec("stats", "monotonic helping counter; no synchronization intent"),
@@ -242,6 +284,7 @@ TABLE = {
     (HH, "alloc_node"): spec("reclamation", WHY_RECYCLE),
     (HH, "steal_batch"): spec("reclamation", "walks a privately stolen freelist; Relaxed after steal's Acquire swap"),
     (HH, "read_deq_result"): spec("reclamation", "owner's half of the two-token disposal gate; AcqRel makes exactly one side observe both tokens and free the node"),
+    (HH, "drop"): spec("reclamation", "retracts the hazard-record token before the id can recycle; mirrors register's publication", sc=SC_TOKEN),
     # ----- kp-queue/hp/pool.rs ---------------------------------------
     (HP, "release"): {
         ("load", 0): spec("reclamation", "bounded-cache size check; advisory"),
@@ -249,7 +292,9 @@ TABLE = {
         ("store", 0): spec("reclamation", "links the node; exclusively owned until the CAS publishes it"),
         ("compare_exchange_weak", 0): spec("reclamation", "publishes the node to the Treiber freelist; Release orders the free_next link before publication; failed pushes retry with a fresh head read"),
         ("fetch_add", 0): spec("reclamation", "approximate freelist length"),
+        ("fetch_add", 1): spec("stats", "memory-pressure backpressure counter (DESIGN.md SS13.5): nodes freed past the pool cap"),
     },
+    (HP, "overflows"): spec("stats", "backpressure counter snapshot"),
     (HP, "steal"): {
         ("swap", 0): spec("reclamation", "takes the whole freelist; Acquire pairs with release's Release so the links are visible"),
         ("store", 0): spec("reclamation", "approximate length reset"),
@@ -304,6 +349,16 @@ TABLE = {
         ("fetch_or", 0): spec("reclamation", "fast owner's half of the two-token disposal gate on the new sentinel; AcqRel mirrors read_deq_result"),
         ("compare_exchange", 1): spec("helper-guard", "owner's best-effort head swing (model FastFixHead); winner retires the unlinked sentinel", sc=SC_SWING),
     },
+    (HQ, "reap_slot"): {
+        ("fetch_or", 0): spec("reclamation", "reaper's half of the adopted dequeue's two-token disposal gate (DESIGN.md SS13.4); AcqRel mirrors read_deq_result"),
+        ("swap", 0): spec("reclamation", "takes the victim's hazard-record token exactly once (zeroing the slot) so a later reap of the slot's next lease cannot quarantine a stale token", sc=SC_TOKEN),
+    },
+    (HQ, "append_no_swing"): {
+        ("load", 0): spec("helper-guard", "test-only lagging-tail fixture (sudden-death wedge, DESIGN.md SS13.1): tail.next read classifying settled vs dangling (tail itself read via protect)", sc=SC_HELP),
+        ("load", 1): spec("helper-guard", "test-only fixture: tail re-validation before acting on the next read", sc=SC_HELP),
+        ("compare_exchange", 0): spec("linearization", "test-only fixture: the fast append CAS without the step-3 tail swing -- same L74 linearization point as try_fast_enqueue", sc=SC_APPEND, steps=["FastAppend"]),
+    },
+    (HQ, "register"): spec("reclamation", "publishes the new participant's hazard-record token for a future reap (DESIGN.md SS13.4)", sc=SC_TOKEN),
     (HQ, "drop"): spec("reclamation", WHY_TEARDOWN),
     # ----- kp-queue/hp tests -----------------------------------------
     (HTY, "fresh_nodes_start_ungated"): spec("stats", WHY_TEST),
@@ -320,6 +375,7 @@ TABLE = {
     (HT, "orphans_adopted_by_next_scan"): spec("stats", WHY_TEST),
     (HT, "concurrent_stress_no_use_after_free"): spec("stats", WHY_TEST),
     (HT, "two_domains_are_isolated"): spec("stats", WHY_TEST),
+    (HT, "quarantine_clears_abandoned_hazards_and_recycles_the_record"): spec("stats", WHY_TEST),
     (HI, "push"): spec("reclamation", "test fixture: Treiber push publishing nodes whose reclamation is under test"),
     (HI, "pop"): spec("reclamation", "test fixture: Treiber pop; failure Acquire re-reads the head it will traverse from"),
     (HI, "treiber_stack_conservation_under_contention"): spec("stats", WHY_TEST),
@@ -359,6 +415,7 @@ SUPPRESSIONS = [
     ("sc-justification", "crates/kp-queue/src/tests.rs", None, "test scaffolding uses SeqCst counters for simplicity"),
     ("sc-justification", "crates/kp-queue/src/hp/tests.rs", None, "test scaffolding uses SeqCst counters for simplicity"),
     ("sc-justification", "crates/idpool/src/lib.rs", "oversubscribed_acquire_never_duplicates", "test scaffolding uses SeqCst for simplicity"),
+    ("sc-justification", "crates/idpool/src/lib.rs", "concurrent_reap_race_single_winner", "test scaffolding uses SeqCst for simplicity"),
 ]
 
 

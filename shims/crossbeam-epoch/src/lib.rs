@@ -199,6 +199,87 @@ thread_local! {
 }
 
 // ---------------------------------------------------------------------
+// Participant introspection and quarantine
+// ---------------------------------------------------------------------
+
+/// An opaque token identifying the calling thread's epoch participant
+/// (its registry slot). Stable for the lifetime of the thread; `0` is
+/// never a valid token. Returns `0` when thread-local storage is being
+/// torn down.
+///
+/// Tokens exist so an external liveness layer (kp-queue's handle
+/// reaper) can later pass a dead thread's token to
+/// [`quarantine_participant`].
+pub fn participant_token() -> usize {
+    LOCAL
+        .try_with(|local| Arc::as_ptr(&local.slot) as usize)
+        .unwrap_or(0)
+}
+
+/// True when the participant behind `token` is currently registered and
+/// pinned. Advisory (the state may change immediately after the load);
+/// used to decide whether a suspected-dead participant is actually
+/// wedging epoch advancement before resorting to
+/// [`quarantine_participant`].
+pub fn participant_is_pinned(token: usize) -> bool {
+    if token == 0 {
+        return false;
+    }
+    let g = global();
+    let registry = match g.registry.lock() {
+        Ok(r) => r,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    registry.iter().any(|slot| {
+        Arc::as_ptr(slot) as usize == token && slot.state.load(Ordering::SeqCst) & 1 == 1
+    })
+}
+
+/// Forcibly marks the participant behind `token` unpinned and dead, so
+/// the global epoch can advance past it and its wedged garbage becomes
+/// collectible. Returns `true` when a matching participant was found.
+///
+/// This exists for *abandoned* participants: a thread that leaked a
+/// [`Guard`] and then died (or is permanently wedged) stays pinned at a
+/// stale epoch forever, blocking reclamation globally. Normal thread
+/// exit self-cleans (the thread-local participant's drop does exactly
+/// what this function does); quarantine is the escape hatch for threads
+/// that never run destructors.
+///
+/// # Safety
+///
+/// The thread behind `token` must never again create, drop, or use an
+/// epoch [`Guard`] (it has exited, or is permanently wedged and will
+/// never resume). If it is alive and pinned, erasing its pin lets the
+/// collector free memory it may still dereference — use-after-free.
+pub unsafe fn quarantine_participant(token: usize) -> bool {
+    if token == 0 {
+        return false;
+    }
+    let g = global();
+    let found = {
+        let registry = match g.registry.lock() {
+            Ok(r) => r,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        let mut found = false;
+        for slot in registry.iter() {
+            if Arc::as_ptr(slot) as usize == token {
+                slot.state.store(0, Ordering::SeqCst);
+                slot.dead.store(1, Ordering::SeqCst);
+                found = true;
+                break;
+            }
+        }
+        found
+    };
+    if found {
+        collect();
+    }
+    found
+}
+
+// ---------------------------------------------------------------------
 // Guard and pinning
 // ---------------------------------------------------------------------
 
@@ -610,11 +691,61 @@ mod tests {
             a.store(Shared::null(), Ordering::SeqCst);
         }
         // Repeated pin+flush cycles let the epoch advance and the
-        // garbage drain.
-        for _ in 0..8 {
+        // garbage drain. Generously bounded: a concurrent test may hold
+        // the epoch back transiently.
+        for _ in 0..10_000 {
+            if drops.load(Ordering::SeqCst) == 1 {
+                break;
+            }
             pin().flush();
         }
         assert_eq!(drops.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn quarantine_unwedges_a_leaked_pin() {
+        // A thread leaks a Guard and parks forever: it stays pinned at
+        // its entry epoch, so the global epoch can never advance more
+        // than one step past it. Quarantining the participant removes
+        // the wedge.
+        let (tx, rx) = std::sync::mpsc::channel();
+        let (park_tx, park_rx) = std::sync::mpsc::channel::<()>();
+        // Detached on purpose: the thread models one that never exits
+        // (its TLS destructors never run while the test observes it).
+        std::thread::spawn(move || {
+            std::mem::forget(pin()); // leaked guard: pinned forever
+            tx.send(participant_token()).unwrap();
+            let _ = park_rx.recv(); // blocks until the test ends
+        });
+        let token = rx.recv().unwrap();
+        assert!(token != 0);
+        assert!(participant_is_pinned(token));
+        let wedge_epoch = global_epoch();
+        for _ in 0..64 {
+            advance();
+        }
+        assert!(
+            global_epoch() <= wedge_epoch + 1,
+            "a participant pinned at epoch e blocks advancement beyond e+1"
+        );
+        // SAFETY: the victim thread is parked on a channel the test
+        // never signals; it will never touch an epoch guard again.
+        assert!(unsafe { quarantine_participant(token) });
+        assert!(!participant_is_pinned(token));
+        let mut unwedged = false;
+        for _ in 0..10_000 {
+            advance();
+            if global_epoch() > wedge_epoch + 1 {
+                unwedged = true;
+                break;
+            }
+        }
+        assert!(unwedged, "epoch advances once the wedge is quarantined");
+        assert!(
+            !unsafe { quarantine_participant(0) },
+            "token 0 is never valid"
+        );
+        drop(park_tx);
     }
 
     #[test]

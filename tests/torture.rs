@@ -25,6 +25,7 @@
 #![cfg(feature = "chaos")]
 
 use std::collections::HashSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, Ordering};
 use std::sync::{Barrier, Mutex, Once};
 
@@ -581,6 +582,527 @@ fn kill_plans_replay_across_runs() {
             "kp.clear_pending.deq",
             0,
             1
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// panic-unwind safety (DESIGN.md §13): after a kill unwinds out of an
+// operation, the SAME handle must keep working
+// ---------------------------------------------------------------------
+
+/// One unwind-reuse round: every thread runs a mixed workload with each
+/// operation wrapped in `catch_unwind`, and the plan kills **every**
+/// thread once at `$site` (per-thread occurrence counting makes
+/// `ThreadSel::Any` fire per thread). A caught kill is not a death
+/// here: the thread keeps using the handle it was killed with, so this
+/// checks the operation guards restore every handle invariant — the
+/// ledger must balance minus at most one value per kill (an enqueue
+/// killed before its publish, or a dequeue whose claimed value unwound
+/// away), with nothing invented, duplicated, or reordered.
+macro_rules! unwind_reuse_round {
+    ($queue:expr, $site:expr) => {{
+        quiet_chaos_kills();
+        const N: usize = 3;
+        let per = testing::scaled(1_200);
+        let session = chaos::install(
+            FaultPlan::new()
+                .kill($site, ThreadSel::Any, 2)
+                .with_storm(11, 1),
+        );
+        let q = $queue;
+        let sinks: Vec<Mutex<Vec<u64>>> = (0..N).map(|_| Mutex::new(Vec::new())).collect();
+        let attempted: Vec<Mutex<Vec<u64>>> = (0..N).map(|_| Mutex::new(Vec::new())).collect();
+        let kills = AtomicU64::new(0);
+        let barrier = Barrier::new(N);
+        std::thread::scope(|s| {
+            for _ in 0..N {
+                let q = &q;
+                let sinks = &sinks;
+                let attempted = &attempted;
+                let barrier = &barrier;
+                let kills = &kills;
+                s.spawn(move || {
+                    let mut h = q.register().expect("register");
+                    let tid = h.tid();
+                    let _token = chaos::register_thread(tid);
+                    barrier.wait();
+                    for i in 0..per {
+                        let v = (tid * per + i) as u64;
+                        attempted[tid].lock().unwrap().push(v);
+                        if let Err(e) = catch_unwind(AssertUnwindSafe(|| h.enqueue(v))) {
+                            assert!(
+                                e.downcast_ref::<ChaosKill>().is_some(),
+                                "only planned kills may escape an operation"
+                            );
+                            kills.fetch_add(1, Ordering::Relaxed);
+                        }
+                        // Two dequeues per enqueue keep the queue near
+                        // empty, so the empty-dequeue sites fire too.
+                        for _ in 0..2 {
+                            match catch_unwind(AssertUnwindSafe(|| h.dequeue())) {
+                                Ok(Some(v)) => sinks[tid].lock().unwrap().push(v),
+                                Ok(None) => {}
+                                Err(e) => {
+                                    assert!(
+                                        e.downcast_ref::<ChaosKill>().is_some(),
+                                        "only planned kills may escape an operation"
+                                    );
+                                    kills.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        let report = session.report();
+        let kills = kills.load(Ordering::Relaxed) as usize;
+        assert_eq!(report.kills as usize, kills, "every planned kill was caught");
+        assert!(
+            kills >= 1,
+            "site {} never fired — the round tested nothing",
+            $site
+        );
+
+        // All slots must be re-acquirable (no handle died, so this is
+        // the weaker invariant; the kill rounds above cover crashes).
+        let mut survivors: Vec<_> = (0..N)
+            .map(|_| q.register().expect("slot acquirable after unwind recovery"))
+            .collect();
+        let mut drain = Vec::new();
+        while let Some(v) = survivors[0].dequeue() {
+            drain.push(v);
+        }
+        drop(survivors);
+        let mut batches: Vec<Vec<u64>> = sinks
+            .into_iter()
+            .map(|m| m.into_inner().unwrap())
+            .collect();
+        batches.push(drain);
+        let attempted: Vec<Vec<u64>> = attempted
+            .into_iter()
+            .map(|m| m.into_inner().unwrap())
+            .collect();
+        verify_consumed(&batches, &attempted, per, kills);
+    }};
+}
+
+/// The slow-path protocol steps, site-name suffixes shared by both
+/// variants (`kp.` / `kp_hp.` prefixes).
+const SLOW_STEPS: &[&str] = &[
+    "publish",
+    "append",
+    "clear_pending.enq",
+    "swing_tail",
+    "bind_sentinel",
+    "lock_sentinel",
+    "clear_pending.deq",
+    "clear_pending.deq_empty",
+    "swing_head",
+];
+
+/// The fast-path steps (DESIGN.md §12), same convention.
+const FAST_STEPS: &[&str] = &[
+    "fast.enq",
+    "fast.swing_tail",
+    "fast.deq",
+    "fast.swing_head",
+    "fast.demote",
+];
+
+#[test]
+fn epoch_handles_stay_usable_after_kills_at_every_slow_site() {
+    for step in SLOW_STEPS {
+        let site = format!("kp.{step}");
+        unwind_reuse_round!(
+            WfQueue::<u64>::with_config(3, Config::opt_both()),
+            site.as_str()
+        );
+    }
+}
+
+/// The slow sites are covered by the round above; a fast-path config
+/// reaches them only through demotion (which skips `publish`), so this
+/// round covers the five fast-path sites, with budget 1 so every lost
+/// race demotes and `fast.demote` fires reliably.
+#[test]
+fn epoch_handles_stay_usable_after_kills_at_every_fast_site() {
+    for step in FAST_STEPS {
+        let site = format!("kp.{step}");
+        unwind_reuse_round!(
+            WfQueue::<u64>::with_config(3, Config::fast().with_fast_path(1)),
+            site.as_str()
+        );
+    }
+}
+
+#[test]
+fn hp_handles_stay_usable_after_kills_at_every_slow_site() {
+    for step in SLOW_STEPS {
+        let site = format!("kp_hp.{step}");
+        unwind_reuse_round!(
+            WfQueueHp::<u64>::with_config(3, Config::opt_both()),
+            site.as_str()
+        );
+    }
+}
+
+#[test]
+fn hp_handles_stay_usable_after_kills_at_every_fast_site() {
+    for step in FAST_STEPS {
+        let site = format!("kp_hp.{step}");
+        unwind_reuse_round!(
+            WfQueueHp::<u64>::with_config(3, Config::fast().with_fast_path(1)),
+            site.as_str()
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// abandoned-handle reaping under chaos (DESIGN.md §13)
+// ---------------------------------------------------------------------
+
+/// One kill-then-reap round (the ISSUE acceptance scenario), in three
+/// strictly sequential phases so that **at most one live handle exists
+/// at any moment** — the lease freeze oracle cannot tell a dead handle
+/// from a live-but-descheduled one, so a tiny reap patience is only
+/// safe when no live handle can be observed frozen by another:
+///
+/// 1. A *wedge* thread dies suddenly (no destructors) right after a
+///    fast append's linearizing CAS, before the tail swing — the
+///    `fast.swing_tail` death state: two linearized values, a claimed
+///    slot, and a lagging tail.
+/// 2. The *victim*, now the only live handle, runs a mixed workload
+///    until the planned kill at `$site` unwinds out of an operation,
+///    then forgets its handle — sudden death number two. The wedge's
+///    lagging tail is what makes `fast.demote` reachable solo: the
+///    victim's first budget-1 fast enqueue spends its one iteration on
+///    `help_finish_enq` and demotes.
+/// 3. A lone *survivor* operates until both dead slots are reaped;
+///    then all three slots must be acquirable at once and the ledger
+///    must balance minus at most one value (the killed operation's
+///    in-flight value).
+///
+/// `$storm` seeds the victim's yield-storm period for schedule
+/// diversity; `$min_quarantines` is 2 for the HP variant (every
+/// forgotten handle leaks its active hazard record) and 0 for epoch
+/// (both dead threads exited, so their pins self-cleaned).
+macro_rules! reap_after_kill_round {
+    ($queue:expr, $site:expr, $hit:expr, $storm:expr, $min_quarantines:expr) => {{
+        quiet_chaos_kills();
+        const N: usize = 3;
+        let per = testing::scaled(2_000);
+        let spin = 200_000usize;
+        let session = chaos::install(
+            FaultPlan::new()
+                .kill($site, ThreadSel::Id(0), $hit)
+                .with_storm($storm, 1),
+        );
+        let q = $queue;
+
+        // Phase 1 — the wedge (not chaos-registered: its steps run
+        // clean, so the wedge state is deterministic).
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let mut h = q.register().expect("wedge registers");
+                h.enqueue(0);
+                h.fast_append_unswung(1);
+                std::mem::forget(h);
+            });
+        });
+
+        // Phase 2 — the victim, the only live handle.
+        let mut victim_attempted = Vec::new();
+        let mut victim_sink = Vec::new();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let h = q.register().expect("victim registers");
+                let _token = chaos::register_thread(0);
+                let mut h = Some(h);
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    let h = h.as_mut().unwrap();
+                    for i in 0..per {
+                        let v = (per + i) as u64;
+                        victim_attempted.push(v);
+                        h.enqueue(v);
+                        if let Some(v) = h.dequeue() {
+                            victim_sink.push(v);
+                        }
+                    }
+                }));
+                let e = result.expect_err("the planned kill must fire");
+                assert!(e.downcast_ref::<ChaosKill>().is_some());
+                // Sudden death: neither the handle nor its id guard
+                // runs a destructor.
+                std::mem::forget(h.take());
+            });
+        });
+
+        // Phase 3 — a lone survivor on the test thread (its epoch
+        // participant may reuse a dead thread's registry slot, which is
+        // exactly what the reaper's self-token guard must tolerate).
+        let mut survivor_attempted = Vec::new();
+        let mut survivor_sink = Vec::new();
+        {
+            let mut h = q.register().expect("survivor registers");
+            let mut reaped = false;
+            for i in 0..spin {
+                let v = (2 * per + i) as u64;
+                survivor_attempted.push(v);
+                h.enqueue(v);
+                if let Some(v) = h.dequeue() {
+                    survivor_sink.push(v);
+                }
+                if q.stats().reaps >= 2 {
+                    reaped = true;
+                    break;
+                }
+            }
+            assert!(reaped, "dead slots never reaped: {:?}", q.stats());
+        }
+        let report = session.report();
+        assert_eq!(report.kills, 1, "exactly one planned death: {report:?}");
+        let stats = q.stats();
+        let min_quarantines: u64 = $min_quarantines;
+        assert!(
+            stats.quarantines >= min_quarantines,
+            "expected {min_quarantines} quarantines: {stats:?}"
+        );
+
+        // The reaped slots (and the survivor's) must be acquirable at
+        // once.
+        let mut survivors: Vec<_> = (0..N)
+            .map(|_| q.register().expect("every slot reclaimable after a reap"))
+            .collect();
+        let mut drain = Vec::new();
+        while let Some(v) = survivors[0].dequeue() {
+            drain.push(v);
+        }
+        drop(survivors);
+
+        // Ledger: wedge values 0 and 1 (both linearized — the unswung
+        // append's CAS is its linearization point), victim band per..,
+        // survivor band 2*per.. (bucketed by v/per, so each
+        // verify_consumed producer bucket is ascending and the FIFO
+        // check holds).
+        let batches = vec![victim_sink, survivor_sink, drain];
+        let mut attempted: Vec<Vec<u64>> = vec![Vec::new(); (2 * per + spin) / per + 2];
+        attempted[0].extend([0, 1]);
+        for v in victim_attempted.into_iter().chain(survivor_attempted) {
+            attempted[v as usize / per].push(v);
+        }
+        verify_consumed(&batches, &attempted, per, 1);
+    }};
+}
+
+/// Reap patience small enough that a few dozen survivor operations
+/// revoke a dead lease. Safe *only* because the rounds above never let
+/// two live handles coexist: the freeze oracle cannot distinguish dead
+/// from descheduled, so a live peer under a yield storm could be
+/// falsely frozen at this patience (production sizing is
+/// `DEFAULT_REAP_PATIENCE`, see DESIGN.md §13).
+const REAP_CFG_PATIENCE: usize = 8;
+
+#[test]
+fn epoch_reaper_reclaims_slot_after_kill_seed_matrix() {
+    for &storm in &[7u64, 13] {
+        // Mid-enqueue: before the step-1 append CAS (descriptor already
+        // published — recovery lands the value).
+        reap_after_kill_round!(
+            WfQueue::<u64>::with_config(
+                3,
+                Config::opt_both().with_reap_patience(REAP_CFG_PATIENCE)
+            ),
+            "kp.append",
+            20,
+            storm,
+            0
+        );
+        // Mid-dequeue: the step-1 deqTid CAS.
+        reap_after_kill_round!(
+            WfQueue::<u64>::with_config(
+                3,
+                Config::opt_both().with_reap_patience(REAP_CFG_PATIENCE)
+            ),
+            "kp.lock_sentinel",
+            20,
+            storm,
+            0
+        );
+        // Mid-demotion: rebranded private node, descriptor not yet
+        // published. The wedge's lagging tail makes the victim's first
+        // budget-1 fast enqueue demote, so occurrence 0 fires solo.
+        reap_after_kill_round!(
+            WfQueue::<u64>::with_config(
+                3,
+                Config::fast()
+                    .with_fast_path(1)
+                    .with_reap_patience(REAP_CFG_PATIENCE)
+            ),
+            "kp.fast.demote",
+            0,
+            storm,
+            0
+        );
+    }
+}
+
+#[test]
+fn hp_reaper_reclaims_slot_after_kill_seed_matrix() {
+    for &storm in &[7u64, 13] {
+        reap_after_kill_round!(
+            WfQueueHp::<u64>::with_config(
+                3,
+                Config::opt_both().with_reap_patience(REAP_CFG_PATIENCE)
+            ),
+            "kp_hp.append",
+            20,
+            storm,
+            2
+        );
+        reap_after_kill_round!(
+            WfQueueHp::<u64>::with_config(
+                3,
+                Config::opt_both().with_reap_patience(REAP_CFG_PATIENCE)
+            ),
+            "kp_hp.lock_sentinel",
+            20,
+            storm,
+            2
+        );
+        reap_after_kill_round!(
+            WfQueueHp::<u64>::with_config(
+                3,
+                Config::fast()
+                    .with_fast_path(1)
+                    .with_reap_patience(REAP_CFG_PATIENCE)
+            ),
+            "kp_hp.fast.demote",
+            0,
+            storm,
+            2
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// reaper-dies-mid-reap: the takeover path
+// ---------------------------------------------------------------------
+
+/// One takeover round: a victim abandons a pending enqueue (sudden
+/// death via `begin_enqueue_unhelped` + forget), and the single
+/// survivor — whose fast-only config helps nobody, so the pending op
+/// waits for the reaper — is killed at reap site `$site` during its
+/// first reap attempt, stranding the slot in `Reaping`. The survivor
+/// catches the kill, keeps operating (a killed thread's chaos is
+/// permanently disarmed), and must then **take over** the stranded
+/// reap: `reap_takeovers >= 1`, the victim's value surfaces, and the
+/// slot is acquirable again.
+macro_rules! reap_takeover_round {
+    ($queue:expr, $site:expr) => {{
+        quiet_chaos_kills();
+        let spin = 200_000usize;
+        let session = chaos::install(FaultPlan::new().kill($site, ThreadSel::Any, 0));
+        let q = $queue;
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let mut h = q.register().expect("victim registers");
+                h.enqueue(7);
+                let pending = h.begin_enqueue_unhelped(42);
+                std::mem::forget(pending);
+                std::mem::forget(h);
+            })
+            .join()
+            .expect("victim thread exits cleanly");
+
+            let mut h = q.register().expect("survivor registers");
+            let tid = h.tid();
+            let _token = chaos::register_thread(tid);
+            let mut kills = 0usize;
+            let mut done = false;
+            let mut drained = Vec::new();
+            // The reap tick (and with it the planned kill) can fire
+            // inside either operation — which one depends on the tick
+            // stride's parity against the drive loop — so both are
+            // unwind-guarded.
+            for i in 0..spin {
+                let v = 1_000 + i as u64;
+                if let Err(e) = catch_unwind(AssertUnwindSafe(|| h.enqueue(v))) {
+                    assert!(
+                        e.downcast_ref::<ChaosKill>().is_some(),
+                        "only the planned reap-site kill may escape"
+                    );
+                    kills += 1;
+                }
+                match catch_unwind(AssertUnwindSafe(|| h.dequeue())) {
+                    Ok(Some(v)) => drained.push(v),
+                    Ok(None) => {}
+                    Err(e) => {
+                        assert!(
+                            e.downcast_ref::<ChaosKill>().is_some(),
+                            "only the planned reap-site kill may escape"
+                        );
+                        kills += 1;
+                    }
+                }
+                let stats = q.stats();
+                if stats.reap_takeovers >= 1 && stats.reaps >= 1 {
+                    done = true;
+                    break;
+                }
+            }
+            let stats = q.stats();
+            assert!(done, "stranded reap never taken over: {stats:?}");
+            assert_eq!(kills, 1, "the reap-site kill fires exactly once");
+            while let Some(v) = h.dequeue() {
+                drained.push(v);
+            }
+            assert!(drained.contains(&7), "victim's completed enqueue lost");
+            assert!(
+                drained.contains(&42),
+                "victim's pending enqueue lost across the takeover"
+            );
+            drop(h);
+            let all: Vec<_> = (0..2)
+                .map(|_| q.register().expect("reaped slot reclaimable"))
+                .collect();
+            drop(all);
+        });
+        assert_eq!(session.report().kills, 1);
+    }};
+}
+
+/// A reaper killed before adoption, before the retire election, and
+/// before the lease hand-back — each strands the slot differently
+/// (still-pending descriptor / retired-but-leased / fully reaped but
+/// leased), and the takeover path must converge from all three.
+#[test]
+fn epoch_reap_takeover_after_reaper_killed_at_each_reap_site() {
+    for site in ["kp.reap.adopt", "kp.reap.retire", "kp.reap.finish"] {
+        reap_takeover_round!(
+            WfQueue::<u64>::with_config(
+                2,
+                Config::fast()
+                    .with_starvation_patience(usize::MAX)
+                    .with_reap_patience(REAP_CFG_PATIENCE)
+            ),
+            site
+        );
+    }
+}
+
+#[test]
+fn hp_reap_takeover_after_reaper_killed_at_each_reap_site() {
+    for site in ["kp_hp.reap.adopt", "kp_hp.reap.retire", "kp_hp.reap.finish"] {
+        reap_takeover_round!(
+            WfQueueHp::<u64>::with_config(
+                2,
+                Config::fast()
+                    .with_starvation_patience(usize::MAX)
+                    .with_reap_patience(REAP_CFG_PATIENCE)
+            ),
+            site
         );
     }
 }
