@@ -436,7 +436,11 @@ fn main() {
     // the probe measures the reap machinery, not the (configurable)
     // patience window itself.
     const PROBE_PATIENCE: usize = 64;
-    let probe_cfg = Config::opt_both().with_reap_patience(PROBE_PATIENCE);
+    // Floor 0 for the same reason as the shrunk patience: the probe
+    // reports reap latency, which a 1 s wall floor would dominate.
+    let probe_cfg = Config::opt_both()
+        .with_reap_patience(PROBE_PATIENCE)
+        .with_reap_min_silence_ms(0);
     let mut probes = String::new();
     for queue in ["wf-epoch", "wf-hp"] {
         let (latency, ops, reaps, quarantines) = if queue == "wf-epoch" {

@@ -56,6 +56,12 @@ pub const DEFAULT_STARVATION_PATIENCE: usize = 64;
 /// wide safety margin.
 pub const DEFAULT_REAP_PATIENCE: usize = 1024;
 
+/// Default wall-clock silence floor (milliseconds) for declaring a slot
+/// frozen — see [`Config::reap_min_silence_ms`]. One second: orders of
+/// magnitude above routine scheduler preemption and page-fault stalls,
+/// yet short enough that an abandoned slot is still reclaimed promptly.
+pub const DEFAULT_REAP_MIN_SILENCE_MS: u64 = 1000;
+
 /// Variant selection for a [`WfQueue`](crate::WfQueue).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Config {
@@ -102,6 +108,17 @@ pub struct Config {
     /// its ID retired for reuse, and its epoch/hazard participation
     /// quarantined so reclamation advances again.
     pub reap_patience: usize,
+    /// Wall-clock floor on the freeze declaration, in milliseconds.
+    /// `reap_patience` counts the *observer's* operations, and on a
+    /// fast queue the whole window elapses in low milliseconds — well
+    /// inside a routine OS preemption of the observed handle. A slot is
+    /// therefore only declared frozen once its snapshot has *also* held
+    /// still for this much wall time after the op-count patience ran
+    /// out. `0` disables the floor (tests and latency probes only: it
+    /// shrinks the window in which a merely-descheduled live handle is
+    /// indistinguishable from a dead one to the op-count patience
+    /// alone).
+    pub reap_min_silence_ms: u64,
 }
 
 impl Config {
@@ -115,6 +132,7 @@ impl Config {
             max_fast_failures: 0,
             starvation_patience: DEFAULT_STARVATION_PATIENCE,
             reap_patience: 0,
+            reap_min_silence_ms: DEFAULT_REAP_MIN_SILENCE_MS,
         }
     }
 
@@ -128,6 +146,7 @@ impl Config {
             max_fast_failures: 0,
             starvation_patience: DEFAULT_STARVATION_PATIENCE,
             reap_patience: 0,
+            reap_min_silence_ms: DEFAULT_REAP_MIN_SILENCE_MS,
         }
     }
 
@@ -141,6 +160,7 @@ impl Config {
             max_fast_failures: 0,
             starvation_patience: DEFAULT_STARVATION_PATIENCE,
             reap_patience: 0,
+            reap_min_silence_ms: DEFAULT_REAP_MIN_SILENCE_MS,
         }
     }
 
@@ -154,6 +174,7 @@ impl Config {
             max_fast_failures: 0,
             starvation_patience: DEFAULT_STARVATION_PATIENCE,
             reap_patience: 0,
+            reap_min_silence_ms: DEFAULT_REAP_MIN_SILENCE_MS,
         }
     }
 
@@ -211,6 +232,14 @@ impl Config {
     /// Sets the reap patience directly (`0` disables the reaper).
     pub const fn with_reap_patience(mut self, patience: usize) -> Self {
         self.reap_patience = patience;
+        self
+    }
+
+    /// Sets the wall-clock silence floor on the freeze declaration
+    /// (`0` disables it — tests and latency probes only; see
+    /// [`Config::reap_min_silence_ms`]).
+    pub const fn with_reap_min_silence_ms(mut self, ms: u64) -> Self {
+        self.reap_min_silence_ms = ms;
         self
     }
 
@@ -299,6 +328,25 @@ mod tests {
         );
         assert_eq!(Config::base().with_reap_patience(3).reap_patience, 3);
         assert!(!Config::base().with_reap_patience(0).reaper_enabled());
+    }
+
+    #[test]
+    fn reap_wall_floor_defaults_on_and_toggles() {
+        assert_eq!(
+            Config::default().reap_min_silence_ms,
+            DEFAULT_REAP_MIN_SILENCE_MS,
+            "the floor guards even explicitly-enabled reapers by default"
+        );
+        assert_eq!(
+            Config::opt_both().with_reaper().reap_min_silence_ms,
+            DEFAULT_REAP_MIN_SILENCE_MS
+        );
+        let c = Config::fast().with_reaper().with_reap_min_silence_ms(0);
+        assert_eq!(c.reap_min_silence_ms, 0);
+        assert_eq!(
+            Config::base().with_reap_min_silence_ms(250).reap_min_silence_ms,
+            250
+        );
     }
 
     #[test]

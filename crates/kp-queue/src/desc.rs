@@ -181,6 +181,21 @@ impl StateSlot {
         );
     }
 
+    /// Advances the heartbeat from a context that may no longer own the
+    /// slot: handle `Drop` bumps *before* checking whether its lease
+    /// still holds (so a reaper mid-window restarts its patience), and
+    /// by then the slot may already belong to a successor. A real RMW,
+    /// unlike [`bump_beat`]'s load + store, cannot swallow the
+    /// successor's concurrent increment — a stale dropper's fetch_add
+    /// at worst delays the next reap by one observation. Relaxed as for
+    /// [`load_beat`].
+    ///
+    /// [`bump_beat`]: StateSlot::bump_beat
+    /// [`load_beat`]: StateSlot::load_beat
+    pub(crate) fn bump_beat_shared(&self) {
+        self.beat.fetch_add(1, Ordering::Relaxed);
+    }
+
     pub(crate) fn load_ctrl(&self, ord: Ordering) -> CtrlWord {
         CtrlWord(self.ctrl.load(ord))
     }

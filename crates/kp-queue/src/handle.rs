@@ -99,7 +99,10 @@ impl<'q, T: Send> WfHandle<'q, T> {
             inflight: ptr::null_mut(),
             deq_in_flight: false,
             epoch_token: 0,
-            reap: ReapScan::new((tid + 1) % queue.max_threads()),
+            reap: ReapScan::new(
+                (tid + 1) % queue.max_threads(),
+                queue.config.reap_min_silence_ms,
+            ),
         }
     }
 
@@ -296,8 +299,13 @@ impl<'q, T: Send> WfHandle<'q, T> {
     /// descriptor and the handle reusable before the panic resumes.
     pub fn enqueue(&mut self, value: T) {
         chaos_hooks::op_begin();
-        let guard = epoch::pin();
+        // Prologue strictly before pin: the reaper's publisher scan
+        // (`WfQueue::reap_slot`) relies on every pinned handle having
+        // its epoch token visible in `epoch_tokens` first, so a live
+        // pin on a thread shared with a reaped handle is never
+        // quarantined (DESIGN.md §13.4).
         self.op_prologue();
+        let guard = epoch::pin();
         let result = catch_unwind(AssertUnwindSafe(|| {
             if self.max_fast_failures > 0 {
                 self.enqueue_fast_first(value, &guard);
@@ -417,8 +425,9 @@ impl<'q, T: Send> WfHandle<'q, T> {
         // unwind guard for the same reason: recovery walks those very
         // nodes and must run under the original pin.
         chaos_hooks::op_begin();
-        let guard = epoch::pin();
+        // Prologue before pin, as in `enqueue` (publisher-scan order).
         self.op_prologue();
+        let guard = epoch::pin();
         let result = catch_unwind(AssertUnwindSafe(|| {
             let result = if self.max_fast_failures > 0 {
                 self.dequeue_fast_first(&guard)
@@ -525,14 +534,12 @@ impl<'q, T: Send> WfHandle<'q, T> {
         // taken exactly once, with the enqueuer's write ordered before
         // by the release/acquire chain through the list links.
         let value = unsafe { (*next.deref().value.get()).take() };
-        debug_assert!(
-            value.is_some(),
-            "value already taken: deq_tid uniqueness violated"
-        );
-        // SAFETY: invariant debug-asserted above and argued in the
-        // uniqueness comment — no release-mode panic branch on the
-        // dequeue hot path.
-        Some(unsafe { value.unwrap_unchecked() })
+        // Checked in release builds on purpose: with the reaper in the
+        // picture, a claim-and-discard by `WfQueue::reap_slot` racing a
+        // falsely-reaped (preempted, not dead) owner's epilogue would
+        // make this second take() return None — that must surface as a
+        // panic, never as UB. The branch is perfectly predicted.
+        Some(value.expect("value already taken: deq_tid uniqueness violated"))
     }
 
     /// One step of the abandoned-handle reaper (DESIGN.md §13), run
@@ -574,7 +581,7 @@ impl<'q, T: Send> WfHandle<'q, T> {
                     ctrl,
                     phase,
                 };
-                if self.reap.observe(obs) >= patience {
+                if self.reap.frozen(obs, patience) {
                     // Frozen for our whole patience window: revoke the
                     // lease. The CAS fails iff the owner (or another
                     // reaper) moved the slot since our snapshot — then
@@ -591,7 +598,7 @@ impl<'q, T: Send> WfHandle<'q, T> {
                 let obs = Observation::Reaping {
                     generation: view.generation,
                 };
-                if self.reap.observe(obs) >= patience {
+                if self.reap.frozen(obs, patience) {
                     if let Some(next_generation) = q.ids.takeover_reap(v, view.generation) {
                         Stats::bump(&q.stats.reap_takeovers);
                         q.reap_slot(v, next_generation, tid, guard, &mut self.cache);
@@ -707,8 +714,9 @@ impl<'q, T: Send> WfHandle<'q, T> {
     #[doc(hidden)]
     pub fn fast_append_unswung(&mut self, value: T) {
         let q = self.queue;
-        let guard = epoch::pin();
+        // Prologue before pin, as in `enqueue` (publisher-scan order).
         self.op_prologue();
+        let guard = epoch::pin();
         let node = self.alloc_node(value, FAST_ENQUEUER);
         q.append_no_swing(node, &guard);
     }
@@ -745,11 +753,15 @@ impl<T: Send> Drop for WfHandle<'_, T> {
         // Exit counts as an operation under the lease protocol: signal
         // liveness first, so a reaper part-way through accumulating
         // silence against this slot restarts its patience window and
-        // cannot revoke the lease from under the cleanup below. (A bump
-        // on an already-reaped slot is benign — the beat is pure
-        // liveness signal, and at worst delays a successor's reap.)
+        // cannot revoke the lease from under the cleanup below. The
+        // shared (RMW) bump is required here: the slot may already have
+        // been reaped and re-acquired, and the owner-only load+store
+        // variant could swallow the successor's concurrent increment. A
+        // stale bump itself is benign — the beat is pure liveness
+        // signal, and at worst delays the successor's next reap by one
+        // observation.
         if q.config.reap_patience != 0 {
-            q.state[tid].bump_beat();
+            q.state[tid].bump_beat_shared();
         }
         if !self.id.lease_holds() {
             // Reaped out from under us (lease-contract violation on our
@@ -761,10 +773,6 @@ impl<T: Send> Drop for WfHandle<'_, T> {
             self.cache.drain(&guard);
             return;
         }
-        // Retract the published epoch token before the ID can be
-        // recycled: a later reap of this slot must not quarantine the
-        // (live, unrelated) OS thread we happened to run on.
-        q.epoch_tokens[tid].store(0, kp_sync::atomic::Ordering::SeqCst);
         let (w, phase) = q.state[tid].view(kp_sync::atomic::Ordering::SeqCst);
         if w.pending() {
             if w.enqueue() {
@@ -796,6 +804,15 @@ impl<T: Send> Drop for WfHandle<'_, T> {
         // Reuse ends with the handle: give the cached nodes back to the
         // epoch collector.
         self.cache.drain(&guard);
+        // Retract the published epoch token only after unpinning, and
+        // before the ID can be recycled: while we were pinned above, a
+        // reaper quarantining another abandoned slot with the same
+        // token had to see our publication (publisher scan, DESIGN.md
+        // §13.4) and spare our live pin; once unpinned there is nothing
+        // of ours left to protect, and clearing the slot stops a later
+        // reap of this ID's next lease from acting on a stale token.
+        drop(guard);
+        q.epoch_tokens[tid].store(0, kp_sync::atomic::Ordering::SeqCst);
         // `self.id` drops after this body, releasing the virtual ID —
         // only now that the state entry is helpable and self-contained.
     }

@@ -98,7 +98,10 @@ impl<'q, T: Send> WfHpHandle<'q, T> {
             fast_streak: 0,
             local_stats: FastPathStats::default(),
             inflight: ptr::null_mut(),
-            reap: ReapScan::new((tid + 1) % queue.max_threads()),
+            reap: ReapScan::new(
+                (tid + 1) % queue.max_threads(),
+                queue.config.reap_min_silence_ms,
+            ),
         }
     }
 
@@ -507,11 +510,11 @@ impl<'q, T: Send> WfHpHandle<'q, T> {
                 // ours (see `hp::pool::reclaim_into_pool`).
                 q.pool().release(node);
             }
-            debug_assert!(v.is_some(), "completed dequeue carries a value");
-            // SAFETY: invariant debug-asserted above and argued in the
-            // uniqueness comment — no release-mode panic branch on the
-            // dequeue hot path.
-            Some(v.unwrap_unchecked())
+            // Checked in release builds on purpose: a reap-path
+            // claim-and-discard racing a falsely-reaped owner's
+            // epilogue must panic here, never become UB. The branch is
+            // perfectly predicted.
+            Some(v.expect("completed dequeue carries a value"))
         }
     }
 
@@ -547,7 +550,7 @@ impl<'q, T: Send> WfHpHandle<'q, T> {
                     ctrl,
                     phase,
                 };
-                if self.reap.observe(obs) >= patience {
+                if self.reap.frozen(obs, patience) {
                     if q.ids.begin_reap(v, view.generation) {
                         q.reap_slot(&mut self.participant, v, view.generation, tid);
                     }
@@ -558,7 +561,7 @@ impl<'q, T: Send> WfHpHandle<'q, T> {
                 let obs = Observation::Reaping {
                     generation: view.generation,
                 };
-                if self.reap.observe(obs) >= patience {
+                if self.reap.frozen(obs, patience) {
                     if let Some(next_generation) = q.ids.takeover_reap(v, view.generation) {
                         Stats::bump(&q.stats.reap_takeovers);
                         q.reap_slot(&mut self.participant, v, next_generation, tid);
@@ -740,7 +743,7 @@ impl<T: Send> Drop for WfHpHandle<'_, T> {
         // Exit counts as an operation under the lease protocol — see
         // `WfHandle::drop` for why the liveness bump precedes the check.
         if q.config.reap_patience != 0 {
-            q.state[tid].bump_beat();
+            q.state[tid].bump_beat_shared();
         }
         if !self.id.lease_holds() {
             // Reaped out from under us: the reaper drove the descriptor

@@ -735,14 +735,11 @@ impl<T: Send> WfQueueHp<T> {
                 // taken exactly once, by whoever locks its
                 // predecessor).
                 let taken = unsafe { (*(*next).value.get()).take() };
-                debug_assert!(
-                    taken.is_some(),
-                    "fast-locked sentinel's successor must hold a value"
-                );
-                // SAFETY: invariant debug-asserted above and argued in
-                // the uniqueness comment — no release-mode panic branch
-                // on the fast dequeue hot path.
-                let value = unsafe { taken.unwrap_unchecked() };
+                // Checked in release builds on purpose: an invariant
+                // break here (e.g. a reap-path double-take) must panic,
+                // never become UB. The branch is perfectly predicted.
+                let value =
+                    taken.expect("fast-locked sentinel's successor must hold a value");
                 // Complete our half of the value node's token gate:
                 // when `next` (now the sentinel) is eventually retired,
                 // reclamation waits for this CONSUMED bit — the same

@@ -670,8 +670,31 @@ impl<T: Send> WfQueue<T> {
             // participant is pinned right now — by us, the reaper — not
             // wedged by the dead handle; quarantining it would erase our
             // live pin. Skip: nothing is wedged in that case.
+            //
+            // The publisher scan generalizes that to *any* live handle
+            // sharing the victim's OS thread: a handle publishes its
+            // token (op_prologue) before it pins, so a handle currently
+            // inside an operation on that thread is visible in some
+            // other `epoch_tokens` slot — its pin is live, not wedged,
+            // and must not be erased. Two reapers racing on two
+            // abandoned slots that share a token cannot *both* skip:
+            // each swaps its victim's slot to 0 before scanning
+            // (SeqCst), so at least one scan runs after both swaps and
+            // finds no publisher. A double quarantine is idempotent.
+            // Residual window: a brand-new handle's first publish on
+            // the victim's thread racing this scan — see DESIGN.md
+            // §13.4 (the wall-clock reap floor makes it require a
+            // patience-window-long preemption inside a few-instruction
+            // prologue).
+            let shared_by_live_handle = || {
+                self.epoch_tokens
+                    .iter()
+                    .enumerate()
+                    .any(|(i, t)| i != victim && t.load(Ordering::SeqCst) == token)
+            };
             if token != 0
                 && token != epoch::participant_token()
+                && !shared_by_live_handle()
                 && epoch::participant_is_pinned(token)
             {
                 // SAFETY: the lease revocation (begin_reap/takeover)
@@ -876,14 +899,11 @@ impl<T: Send> WfQueue<T> {
                 // above; the enqueuer's write is released by its append
                 // CAS and acquired by our SeqCst next load.
                 let taken = unsafe { (*next_ref.value.get()).take() };
-                debug_assert!(
-                    taken.is_some(),
-                    "fast-locked sentinel's successor must hold a value"
-                );
-                // SAFETY: invariant debug-asserted above and argued in
-                // the uniqueness comment — no release-mode panic branch
-                // on the fast dequeue hot path.
-                let value = unsafe { taken.unwrap_unchecked() };
+                // Checked in release builds on purpose: an invariant
+                // break here (e.g. a reap-path double-take) must panic,
+                // never become UB. The branch is perfectly predicted.
+                let value =
+                    taken.expect("fast-locked sentinel's successor must hold a value");
                 inject!("kp.fast.swing_head");
                 // Step 3, best effort: a helper's help_finish_deq
                 // (FAST_DEQUEUER branch) also swings; the CAS winner

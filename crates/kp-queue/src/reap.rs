@@ -10,7 +10,10 @@
 //! is *frozen* when `reap_patience` consecutive examinations observe an
 //! identical liveness snapshot — idpool lease generation, heartbeat, ctrl word
 //! and phase for a claimed slot; lease generation alone for a slot
-//! stuck mid-reap. Freezing is the reaper's only liveness oracle: a
+//! stuck mid-reap — and, on top of that, the snapshot stays unchanged
+//! for `Config::reap_min_silence_ms` of wall-clock time (the op-count
+//! patience alone can elapse within one routine OS preemption; see
+//! [`ReapScan::frozen`]). Freezing is the reaper's only liveness oracle: a
 //! live handle bumps its heartbeat on every operation (and on
 //! [`keepalive`]), so it can only be declared frozen by staying silent
 //! for the observer's whole patience window — the lease contract
@@ -23,6 +26,7 @@
 //! [`keepalive`]: crate::WfHandle::keepalive
 
 use crate::desc::CtrlWord;
+use std::time::{Duration, Instant};
 
 /// One liveness snapshot of a peer slot. Two equal consecutive
 /// snapshots across a patience window mean the peer made no observable
@@ -61,16 +65,26 @@ pub(crate) struct ReapScan {
     obs: Option<Observation>,
     /// Consecutive re-observations that matched `obs`.
     streak: usize,
+    /// When the op-count patience was first exhausted for the current
+    /// observation — start of the wall-clock silence floor. `None`
+    /// until the streak reaches patience, so the hot inspection path
+    /// never reads the clock.
+    floor_start: Option<Instant>,
+    /// Minimum wall-clock silence required *in addition to* the
+    /// op-count patience before a slot may be declared frozen.
+    min_silence: Duration,
     /// Countdown until the next inspection is due.
     until_due: u32,
 }
 
 impl ReapScan {
-    pub(crate) fn new(start: usize) -> Self {
+    pub(crate) fn new(start: usize, min_silence_ms: u64) -> Self {
         ReapScan {
             cursor: start,
             obs: None,
             streak: 0,
+            floor_start: None,
+            min_silence: Duration::from_millis(min_silence_ms),
             until_due: TICK_STRIDE,
         }
     }
@@ -100,20 +114,41 @@ impl ReapScan {
         self.cursor = (self.cursor + 1) % n;
         self.obs = None;
         self.streak = 0;
+        self.floor_start = None;
     }
 
-    /// Folds in a fresh snapshot of the watched slot and returns the
-    /// number of consecutive *unchanged* re-observations so far (0 for
-    /// a first or changed snapshot). The caller reaps once this reaches
-    /// its configured patience.
-    pub(crate) fn observe(&mut self, cur: Observation) -> usize {
+    /// Folds in a fresh snapshot of the watched slot and decides
+    /// whether the slot is frozen: `patience` consecutive *unchanged*
+    /// re-observations AND at least `min_silence` of wall-clock time on
+    /// top of them. The wall floor exists because op-count patience
+    /// alone elapses in low milliseconds on a fast queue — well inside
+    /// routine OS preemption — and a falsely-reaped live handle is a
+    /// soundness hazard, not just a liveness one (REVIEW: config.rs).
+    /// The clock starts when the streak first *reaches* patience (not
+    /// at streak start), which is strictly conservative and keeps the
+    /// pre-patience inspection path free of clock reads; any observed
+    /// progress resets both the streak and the clock.
+    pub(crate) fn frozen(&mut self, cur: Observation, patience: usize) -> bool {
         if self.obs == Some(cur) {
             self.streak += 1;
         } else {
             self.obs = Some(cur);
             self.streak = 0;
+            self.floor_start = None;
         }
-        self.streak
+        if self.streak < patience {
+            return false;
+        }
+        if self.min_silence.is_zero() {
+            return true;
+        }
+        match self.floor_start {
+            None => {
+                self.floor_start = Some(Instant::now());
+                false
+            }
+            Some(start) => start.elapsed() >= self.min_silence,
+        }
     }
 }
 
@@ -132,24 +167,42 @@ mod tests {
 
     #[test]
     fn streak_counts_only_identical_snapshots() {
-        let mut scan = ReapScan::new(0);
-        assert_eq!(scan.observe(claimed(0, 1)), 0, "first look never counts");
-        assert_eq!(scan.observe(claimed(0, 1)), 1);
-        assert_eq!(scan.observe(claimed(0, 1)), 2);
-        assert_eq!(scan.observe(claimed(0, 2)), 0, "heartbeat progress resets");
-        assert_eq!(scan.observe(claimed(1, 2)), 0, "new lease resets");
-        assert_eq!(scan.observe(claimed(1, 2)), 1);
-        assert_eq!(
-            scan.observe(Observation::Reaping { generation: 1 }),
-            0,
+        let mut scan = ReapScan::new(0, 0);
+        assert!(!scan.frozen(claimed(0, 1), 2), "first look never counts");
+        assert!(!scan.frozen(claimed(0, 1), 2));
+        assert!(scan.frozen(claimed(0, 1), 2));
+        assert!(!scan.frozen(claimed(0, 2), 2), "heartbeat progress resets");
+        assert!(!scan.frozen(claimed(1, 2), 2), "new lease resets");
+        assert!(!scan.frozen(claimed(1, 2), 2));
+        assert!(
+            !scan.frozen(Observation::Reaping { generation: 1 }, 1),
             "a state change is progress too"
         );
-        assert_eq!(scan.observe(Observation::Reaping { generation: 1 }), 1);
+        assert!(scan.frozen(Observation::Reaping { generation: 1 }, 1));
+    }
+
+    #[test]
+    fn wall_floor_gates_freeze_beyond_op_patience() {
+        let mut scan = ReapScan::new(0, 40);
+        // Op-count patience exhausted immediately…
+        assert!(!scan.frozen(claimed(0, 1), 1));
+        assert!(!scan.frozen(claimed(0, 1), 1), "floor clock just started");
+        // …but the freeze only lands once wall time has also passed.
+        for _ in 0..200 {
+            std::thread::sleep(Duration::from_millis(1));
+            if scan.frozen(claimed(0, 1), 1) {
+                break;
+            }
+        }
+        assert!(scan.frozen(claimed(0, 1), 1), "floor elapsed, still frozen");
+        // Any progress resets the wall clock along with the streak.
+        assert!(!scan.frozen(claimed(0, 2), 1));
+        assert!(!scan.frozen(claimed(0, 2), 1), "clock restarted by progress");
     }
 
     #[test]
     fn tick_gate_fires_every_stride_calls() {
-        let mut scan = ReapScan::new(0);
+        let mut scan = ReapScan::new(0, 0);
         let mut fired = 0;
         for _ in 0..(3 * TICK_STRIDE) {
             if scan.tick_due() {
@@ -161,11 +214,11 @@ mod tests {
 
     #[test]
     fn advance_wraps_and_forgets() {
-        let mut scan = ReapScan::new(2);
-        scan.observe(claimed(0, 0));
-        scan.observe(claimed(0, 0));
+        let mut scan = ReapScan::new(2, 0);
+        assert!(!scan.frozen(claimed(0, 0), 1));
+        assert!(scan.frozen(claimed(0, 0), 1));
         scan.advance(3);
         assert_eq!(scan.cursor(), 0, "wraps modulo n");
-        assert_eq!(scan.observe(claimed(0, 0)), 0, "observation forgotten");
+        assert!(!scan.frozen(claimed(0, 0), 1), "observation forgotten");
     }
 }

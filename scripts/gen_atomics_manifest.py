@@ -198,6 +198,7 @@ TABLE = {
     ),
     (DESC, "load_beat"): spec("stats", "heartbeat read for the freeze oracle (DESIGN.md SS13.3); Relaxed -- liveness detection needs recency, not ordering, and a missed bump only delays a reap by one patience window"),
     (DESC, "bump_beat"): spec("stats", "heartbeat bump (owner is the only writer); Relaxed for the same reason as load_beat"),
+    (DESC, "bump_beat_shared"): spec("stats", "heartbeat bump from handle Drop, which may race a successor owner after a reap; a real RMW (unlike bump_beat's load+store) cannot swallow the successor's increment, and Relaxed suffices as for load_beat"),
     (DESC, "try_retire"): spec(
         "linearization",
         "the reap election CAS: blanks the victim's observed descriptor word exactly once, and the unique winner owns the destructive reap steps (orphaned result claim, quarantine) -- the claim-safety rule of DESIGN.md SS13.4",
@@ -263,6 +264,7 @@ TABLE = {
     (Q, "reap_slot"): {
         ("load", 0): spec("helper-guard", "adopted dequeue's locked-sentinel next read; Acquire pairs with the append CAS so the claimed-and-discarded value is visible (DESIGN.md SS13.4)"),
         ("swap", 0): spec("reclamation", "takes the victim's epoch-participant token exactly once (zeroing the slot) so a later reap of the slot's next lease cannot quarantine a stale token", sc=SC_TOKEN),
+        ("load", 1): spec("reclamation", "publisher scan (DESIGN.md SS13.4): spares the quarantine when any live handle still publishes the victim's token", sc="the scan must be ordered after this reaper's own token swap in the single total order with every other reaper's swap+scan and every handle's publish-before-pin, or two racing reapers could both see the other's not-yet-swapped victim entry and both skip a genuinely wedged quarantine"),
     },
     (Q, "append_no_swing"): {
         ("load", 0): spec("helper-guard", "test-only lagging-tail fixture (sudden-death wedge, DESIGN.md SS13.1): tail read opening the MS loop", sc=SC_HELP),

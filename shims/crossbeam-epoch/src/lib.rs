@@ -50,9 +50,21 @@ unsafe fn drop_box<T>(ptr: *mut u8) {
 /// Per-thread pin status: `(epoch << 1) | pinned`, plus a liveness flag
 /// so exited threads do not block epoch advancement forever.
 struct Slot {
+    /// Forgery-proof participant identity: a monotonically increasing
+    /// registration sequence number, never reused. Tokens handed out by
+    /// [`participant_token`] are this id — NOT the slot's address — so a
+    /// token taken from a thread that has since exited (its slot freed,
+    /// the allocation possibly recycled for a new participant) can never
+    /// match a different live participant in
+    /// [`participant_is_pinned`] / [`quarantine_participant`].
+    id: usize,
     state: AtomicUsize,
     dead: AtomicUsize,
 }
+
+/// Source of [`Slot::id`]s. Starts at 1 so `0` stays the permanent
+/// "no participant" sentinel.
+static NEXT_PARTICIPANT_ID: AtomicUsize = AtomicUsize::new(1);
 
 struct Global {
     epoch: AtomicUsize,
@@ -172,7 +184,11 @@ struct Local {
 
 impl Local {
     fn new() -> Local {
-        let slot = Arc::new(Slot { state: AtomicUsize::new(0), dead: AtomicUsize::new(0) });
+        let slot = Arc::new(Slot {
+            id: NEXT_PARTICIPANT_ID.fetch_add(1, Ordering::Relaxed),
+            state: AtomicUsize::new(0),
+            dead: AtomicUsize::new(0),
+        });
         global().registry.lock().unwrap().push(slot.clone());
         Local { slot, guard_count: Cell::new(0), bag: RefCell::new(Vec::new()) }
     }
@@ -203,17 +219,18 @@ thread_local! {
 // ---------------------------------------------------------------------
 
 /// An opaque token identifying the calling thread's epoch participant
-/// (its registry slot). Stable for the lifetime of the thread; `0` is
-/// never a valid token. Returns `0` when thread-local storage is being
-/// torn down.
+/// (its registry slot's registration sequence id). Stable for the
+/// lifetime of the thread; `0` is never a valid token. Returns `0` when
+/// thread-local storage is being torn down.
 ///
 /// Tokens exist so an external liveness layer (kp-queue's handle
 /// reaper) can later pass a dead thread's token to
-/// [`quarantine_participant`].
+/// [`quarantine_participant`]. Ids are never reused, so a token that
+/// outlives its thread can only ever fail to match — it cannot be
+/// forged onto an unrelated participant the way a recycled slot
+/// address could.
 pub fn participant_token() -> usize {
-    LOCAL
-        .try_with(|local| Arc::as_ptr(&local.slot) as usize)
-        .unwrap_or(0)
+    LOCAL.try_with(|local| local.slot.id).unwrap_or(0)
 }
 
 /// True when the participant behind `token` is currently registered and
@@ -230,9 +247,9 @@ pub fn participant_is_pinned(token: usize) -> bool {
         Ok(r) => r,
         Err(poisoned) => poisoned.into_inner(),
     };
-    registry.iter().any(|slot| {
-        Arc::as_ptr(slot) as usize == token && slot.state.load(Ordering::SeqCst) & 1 == 1
-    })
+    registry
+        .iter()
+        .any(|slot| slot.id == token && slot.state.load(Ordering::SeqCst) & 1 == 1)
 }
 
 /// Forcibly marks the participant behind `token` unpinned and dead, so
@@ -264,7 +281,7 @@ pub unsafe fn quarantine_participant(token: usize) -> bool {
         };
         let mut found = false;
         for slot in registry.iter() {
-            if Arc::as_ptr(slot) as usize == token {
+            if slot.id == token {
                 slot.state.store(0, Ordering::SeqCst);
                 slot.dead.store(1, Ordering::SeqCst);
                 found = true;
@@ -746,6 +763,46 @@ mod tests {
             "token 0 is never valid"
         );
         drop(park_tx);
+    }
+
+    #[test]
+    fn stale_token_never_matches_a_new_participant() {
+        // Regression: tokens used to be raw Arc addresses of registry
+        // slots, so a dead thread's freed slot could be reallocated at
+        // the same address for a new thread and the stale token would
+        // then name — and quarantine — a live participant. With ids the
+        // stale token must simply stop matching anything.
+        let stale = std::thread::spawn(|| {
+            pin(); // register, then exit cleanly (slot marked dead)
+            participant_token()
+        })
+        .join()
+        .unwrap();
+        assert!(stale != 0);
+        // Churn new participants so a freed slot allocation would get
+        // recycled if addresses were still the identity.
+        for _ in 0..64 {
+            let fresh = std::thread::spawn(move || {
+                std::mem::forget(pin()); // stays registered and pinned
+                let token = participant_token();
+                assert!(token != stale, "participant ids are never reused");
+                token
+            })
+            .join()
+            .unwrap();
+            assert!(
+                !participant_is_pinned(stale),
+                "a dead thread's token matches a live pinned participant"
+            );
+            // SAFETY: the fresh thread has exited; its leaked pin is
+            // exactly what quarantine exists to clear.
+            unsafe { quarantine_participant(fresh) };
+        }
+        // Quarantining the stale token is harmless whether or not the
+        // dead slot is still registered — it can only re-mark a slot
+        // that is already dead, never a live participant.
+        unsafe { quarantine_participant(stale) };
+        assert!(!participant_is_pinned(stale));
     }
 
     #[test]

@@ -44,11 +44,18 @@ fn no_help_config() -> Config {
     Config::fast()
         .with_starvation_patience(usize::MAX)
         .with_reap_patience(PATIENCE)
+        // No wall floor: the tests drive reaps with tiny op-count
+        // patience on purpose; the production-default 1 s floor would
+        // only stretch each round by a second without changing what is
+        // exercised.
+        .with_reap_min_silence_ms(0)
 }
 
 /// A helping (slow-path-only) configuration with the reaper on.
 fn helping_config() -> Config {
-    Config::opt_both().with_reap_patience(PATIENCE)
+    Config::opt_both()
+        .with_reap_patience(PATIENCE)
+        .with_reap_min_silence_ms(0) // as in `no_help_config`
 }
 
 // ---------------------------------------------------------------------
@@ -450,6 +457,67 @@ fn hp_reaped_handle_is_poisoned_and_drops_safely() {
     c.enqueue(77);
     drained.extend(std::iter::from_fn(|| c.dequeue()));
     assert!(drained.contains(&5), "victim's completed enqueue lost");
+    assert!(drained.contains(&77), "queue unusable after reap");
+    drop((a, b, c));
+}
+
+/// Publisher-scan guard: a *live* handle sharing the abandoned
+/// handle's OS thread publishes the same epoch token, and the reaper
+/// runs on a different thread (so the self-token guard alone cannot
+/// save it). The reap must complete but skip the quarantine — erasing
+/// the shared participant would strip the live handle's pins and let
+/// the collector free nodes it still reads.
+#[test]
+fn epoch_reap_spares_live_handle_sharing_victims_thread() {
+    let q: WfQueue<u64> = WfQueue::with_config(3, helping_config());
+    let (tx, rx) = mpsc::channel();
+    let (stop_tx, stop_rx) = mpsc::channel::<()>();
+    let q = &q;
+    std::thread::scope(|s| {
+        s.spawn(move || {
+            let mut abandoned = q.register().expect("abandoned registers");
+            abandoned.enqueue(5); // publishes this thread's epoch token
+            std::mem::forget(abandoned);
+            let mut live = q.register().expect("live registers");
+            live.enqueue(6); // publishes the *same* token in its slot
+            tx.send(()).expect("main thread waits");
+            // Keep operating (and epoch-pinning) through the reap; a
+            // quarantined participant here turns these dereferences
+            // into use-after-free under the collector.
+            let mut i = 0u64;
+            while stop_rx.try_recv().is_err() {
+                live.enqueue(1_000_000 + i);
+                live.dequeue();
+                i += 1;
+            }
+            drop(live);
+        });
+        rx.recv().expect("peer thread started");
+        let mut survivor = q.register().expect("survivor registers");
+        for i in 0..SPIN_OPS {
+            survivor.enqueue(2_000_000 + i as u64);
+            survivor.dequeue();
+            if q.stats().reaps >= 1 {
+                break;
+            }
+        }
+        stop_tx.send(()).expect("peer thread still looping");
+        let stats = q.stats();
+        assert!(stats.reaps >= 1, "abandoned slot never reaped: {stats:?}");
+        assert_eq!(
+            stats.quarantines, 0,
+            "quarantined a token still published by a live handle: {stats:?}"
+        );
+        drop(survivor);
+    });
+    // The reaped slot (and the live handle's, after its clean drop) is
+    // reclaimable, and the queue still works.
+    let a = q.register().expect("slot 1");
+    let b = q.register().expect("slot 2");
+    let mut c = q.register().expect("reaped slot reclaimable");
+    c.enqueue(77);
+    let mut drained = BTreeSet::new();
+    drained.extend(std::iter::from_fn(|| c.dequeue()));
     assert!(drained.contains(&77), "queue unusable after reap");
     drop((a, b, c));
 }

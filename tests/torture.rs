@@ -96,10 +96,20 @@ fn verify_consumed(
 /// value the victim's exit cleanup discarded), the victim's virtual ID
 /// must be re-acquirable, and the watchdog budget must hold.
 macro_rules! kill_torture_round {
-    ($queue:expr, $kill_site:literal, $kill_victim:expr, $allow_missing_per_kill:expr) => {{
+    ($queue:expr, $kill_site:literal, $kill_victim:expr, $allow_missing_per_kill:expr) => {
+        kill_torture_round!(
+            $queue,
+            $kill_site,
+            $kill_victim,
+            $allow_missing_per_kill,
+            per = testing::scaled(3_000)
+        )
+    };
+    ($queue:expr, $kill_site:literal, $kill_victim:expr, $allow_missing_per_kill:expr,
+     per = $per:expr) => {{
         quiet_chaos_kills();
         const N: usize = 4;
-        let per = testing::scaled(3_000);
+        let per = $per;
         let session = chaos::install(
             FaultPlan::new()
                 .kill($kill_site, ThreadSel::Id($kill_victim), 2)
@@ -263,11 +273,16 @@ fn hp_enqueuer_killed_at_swing_tail_loses_nothing() {
 /// survivors must be completely unaffected.
 #[test]
 fn epoch_enqueuer_killed_mid_demotion() {
+    // The demote site only fires on genuine fast-path interference; on a
+    // single-core box the debug-scaled op count can see it fewer than
+    // the plan's skip+1 times, so the kill never lands. Pin the count at
+    // the unscaled 3k ops (validated to fire plenty in both profiles).
     kill_torture_round!(
         WfQueue::<u64>::with_config(4, Config::fast().with_fast_path(1)),
         "kp.fast.demote",
         1, // tid 1 is a producer
-        1  // its rebranded-but-unpublished value may vanish
+        1, // its rebranded-but-unpublished value may vanish
+        per = 3_000
     );
 }
 
@@ -276,11 +291,13 @@ fn epoch_enqueuer_killed_mid_demotion() {
 /// published), so beyond that one value the ledger must balance.
 #[test]
 fn hp_enqueuer_killed_mid_demotion() {
+    // Unscaled op count for the same reason as the epoch variant above.
     kill_torture_round!(
         WfQueueHp::<u64>::with_config(4, Config::fast().with_fast_path(1)),
         "kp_hp.fast.demote",
         1,
-        1
+        1,
+        per = 3_000
     );
 }
 
@@ -913,6 +930,7 @@ fn epoch_reaper_reclaims_slot_after_kill_seed_matrix() {
             WfQueue::<u64>::with_config(
                 3,
                 Config::opt_both().with_reap_patience(REAP_CFG_PATIENCE)
+                    .with_reap_min_silence_ms(0)
             ),
             "kp.append",
             20,
@@ -924,6 +942,7 @@ fn epoch_reaper_reclaims_slot_after_kill_seed_matrix() {
             WfQueue::<u64>::with_config(
                 3,
                 Config::opt_both().with_reap_patience(REAP_CFG_PATIENCE)
+                    .with_reap_min_silence_ms(0)
             ),
             "kp.lock_sentinel",
             20,
@@ -939,6 +958,7 @@ fn epoch_reaper_reclaims_slot_after_kill_seed_matrix() {
                 Config::fast()
                     .with_fast_path(1)
                     .with_reap_patience(REAP_CFG_PATIENCE)
+                    .with_reap_min_silence_ms(0)
             ),
             "kp.fast.demote",
             0,
@@ -955,6 +975,7 @@ fn hp_reaper_reclaims_slot_after_kill_seed_matrix() {
             WfQueueHp::<u64>::with_config(
                 3,
                 Config::opt_both().with_reap_patience(REAP_CFG_PATIENCE)
+                    .with_reap_min_silence_ms(0)
             ),
             "kp_hp.append",
             20,
@@ -965,6 +986,7 @@ fn hp_reaper_reclaims_slot_after_kill_seed_matrix() {
             WfQueueHp::<u64>::with_config(
                 3,
                 Config::opt_both().with_reap_patience(REAP_CFG_PATIENCE)
+                    .with_reap_min_silence_ms(0)
             ),
             "kp_hp.lock_sentinel",
             20,
@@ -977,6 +999,7 @@ fn hp_reaper_reclaims_slot_after_kill_seed_matrix() {
                 Config::fast()
                     .with_fast_path(1)
                     .with_reap_patience(REAP_CFG_PATIENCE)
+                    .with_reap_min_silence_ms(0)
             ),
             "kp_hp.fast.demote",
             0,
@@ -1086,6 +1109,7 @@ fn epoch_reap_takeover_after_reaper_killed_at_each_reap_site() {
                 Config::fast()
                     .with_starvation_patience(usize::MAX)
                     .with_reap_patience(REAP_CFG_PATIENCE)
+                    .with_reap_min_silence_ms(0)
             ),
             site
         );
@@ -1101,6 +1125,7 @@ fn hp_reap_takeover_after_reaper_killed_at_each_reap_site() {
                 Config::fast()
                     .with_starvation_patience(usize::MAX)
                     .with_reap_patience(REAP_CFG_PATIENCE)
+                    .with_reap_min_silence_ms(0)
             ),
             site
         );
