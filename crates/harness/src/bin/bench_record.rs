@@ -1,8 +1,12 @@
 //! Records the PR's perf baseline: throughput *and* allocation rate for
 //! the fast-path/slow-path execution split against its slow-path-only
-//! baseline, written as machine-readable JSON (default `BENCH_PR5.json`).
+//! baseline, written as machine-readable JSON (default `BENCH_PR6.json`).
 //!
-//! Three grids:
+//! Every row carries a self-describing `engine` field ("kogan-petrank",
+//! "wcq", ...) and a `capacity` column (`null` for unbounded engines),
+//! so consumers no longer have to decode variant names.
+//!
+//! Four grids:
 //! 1. the PR2/PR3 slow-path grid — {epoch, HP} × {base, opt(1+2)} ×
 //!    {reuse, alloc} × {pairs, 50-50} × a small thread sweep — kept
 //!    verbatim so slow-path drift vs the previous baseline is a
@@ -15,7 +19,18 @@
 //!    on/off ratio is the pure protocol overhead (acceptance: geomean
 //!    ≤1.03×); rows carry the reap/quarantine counters (all zero in a
 //!    fault-free run). A separate seeded probe abandons a handle and
-//!    measures the observed reap latency plus quarantine count.
+//!    measures the observed reap latency plus quarantine count;
+//! 4. the PR6 three-way shootout — KP slow path (opt_both), KP fast
+//!    path, and the wCQ ring engine on the same cells, with wCQ rows
+//!    carrying fallback and threshold-reset columns. The headline is
+//!    wCQ's geomean over the KP slow path at ≥4 threads (DESIGN.md §14:
+//!    array + FAA vs pointer-chased CAS nodes).
+//!
+//! A separate stalled-reader probe pins the bounded-memory claim: with
+//! a registered consumer that never consumes while producers keep
+//! feeding the queue, the KP engines grow their live heap per enqueue
+//! while wCQ's live bytes stay exactly flat (everything is preallocated
+//! at construction; a full ring rejects instead of allocating).
 //!
 //! The binary installs the counting allocator from `alloc-track`, so
 //! `allocs_per_op` is the process-wide truth. Every row carries an
@@ -39,12 +54,17 @@ use harness::args::Args;
 use harness::{workload, SchedPolicy, Variant};
 use kp_queue::{Config, WfQueue, WfQueueHp};
 use queue_traits::{ConcurrentQueue, FastPathStats, QueueHandle};
+use wcq::WcQueue;
 
 #[global_allocator]
 static ALLOC: alloc_track::TrackingAlloc = alloc_track::TrackingAlloc;
 
 struct Row {
     queue: &'static str,
+    /// Engine family implementing the cell ("kogan-petrank", "wcq").
+    engine: &'static str,
+    /// Fixed element capacity; `None` (JSON `null`) for unbounded engines.
+    capacity: Option<usize>,
     config: &'static str,
     reuse: bool,
     workload: &'static str,
@@ -59,6 +79,17 @@ struct Row {
     /// Summed (reaps, quarantines) across all reps; `Some` only for
     /// reaper-enabled cells (expected (0, 0) in a fault-free run).
     reap: Option<(u64, u64)>,
+    /// Summed SCQ threshold-counter resets across all reps; `Some` only
+    /// for wCQ cells.
+    threshold_resets: Option<u64>,
+}
+
+/// Engine family for the legacy grid-1..3 queue names.
+fn engine_of(queue: &str) -> &'static str {
+    match queue {
+        "wcq" | "wcq-bounded" => "wcq",
+        _ => "kogan-petrank",
+    }
 }
 
 /// One timed rep: returns (duration, heap allocations during the run).
@@ -102,7 +133,7 @@ fn main() {
     let args = Args::from_env();
     let iters: usize = args.get_or("iters", 50_000);
     let reps: usize = args.get_or("reps", 3);
-    let out = args.get("out").unwrap_or("BENCH_PR5.json").to_string();
+    let out = args.get("out").unwrap_or("BENCH_PR6.json").to_string();
     let thread_counts: Vec<usize> = match args.get("threads") {
         Some(t) => vec![t.parse().unwrap_or_else(|_| {
             harness::args::bad_value_exit("threads", t, "expected a thread count")
@@ -301,6 +332,67 @@ fn main() {
         }
     }
 
+    // Grid 4: the wCQ ring engine on the same cells. Rows carry the
+    // engine's fallback counters plus the SCQ threshold-reset count.
+    for &threads in &thread_counts {
+        for wl in ["pairs", "fifty_fifty"] {
+            for variant in [Variant::Wcq, Variant::WcqBounded] {
+                let queue = match variant {
+                    Variant::Wcq => "wcq",
+                    _ => "wcq-bounded",
+                };
+                let cap = variant.capacity().expect("wcq variants are bounded");
+                let mut durs = Vec::with_capacity(reps);
+                let mut allocs = Vec::with_capacity(reps);
+                let mut fp = FastPathStats::default();
+                let mut resets = 0u64;
+                for _ in 0..reps {
+                    let a0 = alloc_track::total_allocs();
+                    // +1 handle slot for the 50-50 prefill, as in grid 1.
+                    let q: WcQueue<u64> = WcQueue::with_config(
+                        threads + 1,
+                        wcq::Config::new().with_capacity(cap),
+                    );
+                    let (d, stats) = match wl {
+                        "pairs" => workload::run_pairs_with_stats(
+                            &q,
+                            threads,
+                            iters,
+                            SchedPolicy::Unpinned,
+                        ),
+                        _ => workload::run_fifty_fifty_with_stats(
+                            &q,
+                            threads,
+                            iters,
+                            1_000,
+                            SchedPolicy::Unpinned,
+                        ),
+                    };
+                    allocs.push(alloc_track::total_allocs() - a0);
+                    durs.push(d);
+                    fp.merge(&stats);
+                    resets += q.threshold_resets();
+                }
+                rows.push(finish_row_full(
+                    queue,
+                    "wcq",
+                    Some(cap),
+                    "default",
+                    true,
+                    wl,
+                    threads,
+                    iters,
+                    cores,
+                    durs,
+                    allocs,
+                    Some(fp),
+                    None,
+                    Some(resets),
+                ));
+            }
+        }
+    }
+
     // Headline comparison from PR2: on pairs, reuse must not be slower
     // than the alloc baseline (same queue, config, thread count).
     let mut reuse_cmps = String::new();
@@ -494,8 +586,135 @@ fn main() {
         );
     }
 
+    // Headline comparison for this PR: the three-way shootout — each
+    // wCQ cell against the KP slow path (wf-epoch opt_both, reuse) and
+    // the KP fast path (wf-fast) on the identical workload cell. The
+    // acceptance geomean counts unbounded-wcq-vs-KP-slow at ≥4 threads.
+    let mut shootout = String::new();
+    let mut wcq_log_sum = 0.0f64;
+    let mut wcq_n = 0usize;
+    for r in rows.iter().filter(|r| r.engine == "wcq") {
+        let slow = rows
+            .iter()
+            .find(|b| {
+                b.queue == "wf-epoch"
+                    && b.config == "opt_both"
+                    && b.reuse
+                    && b.workload == r.workload
+                    && b.threads == r.threads
+            })
+            .expect("KP slow-path twin row");
+        let fast = rows
+            .iter()
+            .find(|b| b.queue == "wf-fast" && b.workload == r.workload && b.threads == r.threads)
+            .expect("KP fast-path twin row");
+        let vs_slow = r.mops_per_sec / slow.mops_per_sec;
+        let vs_fast = r.mops_per_sec / fast.mops_per_sec;
+        if r.queue == "wcq" && r.threads >= 4 {
+            wcq_log_sum += vs_slow.ln();
+            wcq_n += 1;
+        }
+        let fp = r.fast.as_ref().expect("wcq row has stats");
+        let _ = write!(
+            shootout,
+            "{}    {{\"queue\": \"{}\", \"capacity\": {}, \"workload\": \"{}\", \
+             \"threads\": {}, \"wcq_over_kp_slow\": {:.4}, \"wcq_over_kp_fast\": {:.4}, \
+             \"fallback_rate\": {:.6}, \"threshold_resets\": {}}}",
+            if shootout.is_empty() { "" } else { ",\n" },
+            r.queue,
+            r.capacity.expect("wcq rows are bounded"),
+            r.workload,
+            r.threads,
+            vs_slow,
+            vs_fast,
+            fp.fallback_rate(),
+            r.threshold_resets.expect("wcq rows count resets"),
+        );
+        println!(
+            "shootout {} {} t={}: {:.3}x vs KP slow, {:.3}x vs KP fast",
+            r.queue, r.workload, r.threads, vs_slow, vs_fast
+        );
+    }
+    let wcq_geomean = if wcq_n > 0 {
+        (wcq_log_sum / wcq_n as f64).exp()
+    } else {
+        f64::NAN
+    };
+    println!("wcq-over-kp-slow geomean across {wcq_n} cells at >=4 threads: {wcq_geomean:.4}x");
+
+    // Stalled-reader memory probe: a registered consumer goes silent
+    // while a producer keeps feeding the queue. The KP engines allocate
+    // a node per enqueue, so live heap grows with the backlog; wCQ
+    // preallocated everything at construction and rejects on a full
+    // ring, so its live-byte growth is exactly zero.
+    const STALLED_FEED: usize = 50_000;
+    let mut stalled = String::new();
+    {
+        let q: WfQueue<u64> = WfQueue::with_config(2, Config::opt_both());
+        let _reader = q.register().expect("stalled reader slot");
+        let mut h = q.register().expect("producer slot");
+        let mark = alloc_track::live_bytes();
+        for i in 0..STALLED_FEED {
+            h.enqueue(i as u64);
+        }
+        let growth = alloc_track::live_bytes().saturating_sub(mark);
+        let _ = writeln!(
+            stalled,
+            "    {{\"queue\": \"wf-epoch\", \"engine\": \"kogan-petrank\", \"capacity\": null, \
+             \"items_offered\": {STALLED_FEED}, \"items_rejected\": 0, \
+             \"live_bytes_growth\": {growth}}},"
+        );
+        println!("stalled reader wf-epoch: +{growth} live bytes after {STALLED_FEED} enqueues");
+    }
+    {
+        let q: WfQueueHp<u64> = WfQueueHp::with_config(2, Config::opt_both());
+        let _reader = q.register().expect("stalled reader slot");
+        let mut h = q.register().expect("producer slot");
+        let mark = alloc_track::live_bytes();
+        for i in 0..STALLED_FEED {
+            h.enqueue(i as u64);
+        }
+        let growth = alloc_track::live_bytes().saturating_sub(mark);
+        let _ = writeln!(
+            stalled,
+            "    {{\"queue\": \"wf-hp\", \"engine\": \"kogan-petrank\", \"capacity\": null, \
+             \"items_offered\": {STALLED_FEED}, \"items_rejected\": 0, \
+             \"live_bytes_growth\": {growth}}},"
+        );
+        println!("stalled reader wf-hp: +{growth} live bytes after {STALLED_FEED} enqueues");
+    }
+    {
+        let cap = Variant::WcqBounded.capacity().expect("bounded");
+        let q: WcQueue<u64> =
+            WcQueue::with_config(2, wcq::Config::new().with_capacity(cap));
+        let _reader = q.register().expect("stalled reader slot");
+        let mut h = q.register().expect("producer slot");
+        let mark = alloc_track::live_bytes();
+        let mut rejected = 0usize;
+        for i in 0..STALLED_FEED {
+            if h.try_enqueue(i as u64).is_err() {
+                rejected += 1;
+            }
+        }
+        let growth = alloc_track::live_bytes().saturating_sub(mark);
+        let _ = writeln!(
+            stalled,
+            "    {{\"queue\": \"wcq-bounded\", \"engine\": \"wcq\", \"capacity\": {cap}, \
+             \"items_offered\": {STALLED_FEED}, \"items_rejected\": {rejected}, \
+             \"live_bytes_growth\": {growth}}}"
+        );
+        println!(
+            "stalled reader wcq-bounded: +{growth} live bytes after {STALLED_FEED} offers \
+             ({rejected} rejected at capacity {cap})"
+        );
+        assert_eq!(
+            growth, 0,
+            "wCQ must not allocate under a stalled reader (bounded-memory claim)"
+        );
+    }
+
     let mut json = String::new();
-    json.push_str("{\n  \"pr\": 5,\n");
+    json.push_str("{\n  \"pr\": 6,\n");
     let _ = writeln!(json, "  \"iters_per_thread\": {iters},");
     let _ = writeln!(json, "  \"reps\": {reps},");
     let _ = writeln!(json, "  \"cores\": {cores},");
@@ -520,13 +739,24 @@ fn main() {
             }
             None => String::new(),
         };
+        let reset_fields = match r.threshold_resets {
+            Some(n) => format!(", \"threshold_resets\": {n}"),
+            None => String::new(),
+        };
+        let capacity = match r.capacity {
+            Some(c) => c.to_string(),
+            None => "null".to_string(),
+        };
         let _ = writeln!(
             json,
-            "    {{\"queue\": \"{}\", \"config\": \"{}\", \"reuse\": {}, \
+            "    {{\"queue\": \"{}\", \"engine\": \"{}\", \"capacity\": {}, \
+             \"config\": \"{}\", \"reuse\": {}, \
              \"workload\": \"{}\", \"threads\": {}, \"oversubscribed\": {}, \
              \"median_secs\": {:.6}, \"mops_per_sec\": {:.4}, \
-             \"allocs_per_op\": {:.6}{}{}}}{}",
+             \"allocs_per_op\": {:.6}{}{}{}}}{}",
             r.queue,
+            r.engine,
+            capacity,
             r.config,
             r.reuse,
             r.workload,
@@ -537,6 +767,7 @@ fn main() {
             r.allocs_per_op,
             fast_fields,
             reap_fields,
+            reset_fields,
             if i + 1 == rows.len() { "" } else { "," }
         );
     }
@@ -552,7 +783,17 @@ fn main() {
     let _ = writeln!(json, "  \"reap_on_vs_off_geomean\": {reap_geomean:.4},");
     json.push_str("  \"reap_probe\": [\n");
     json.push_str(&probes);
-    json.push_str("\n  ]\n");
+    json.push_str("\n  ],\n");
+    json.push_str("  \"wcq_shootout\": [\n");
+    json.push_str(&shootout);
+    json.push_str("\n  ],\n");
+    let _ = writeln!(
+        json,
+        "  \"wcq_over_kp_slow_geomean_4t\": {wcq_geomean:.4},"
+    );
+    json.push_str("  \"stalled_reader\": [\n");
+    json.push_str(&stalled);
+    json.push_str("  ]\n");
     json.push_str("}\n");
 
     std::fs::write(&out, json).expect("write JSON report");
@@ -573,6 +814,41 @@ fn finish_row(
     fast: Option<FastPathStats>,
     reap: Option<(u64, u64)>,
 ) -> Row {
+    finish_row_full(
+        queue,
+        engine_of(queue),
+        None,
+        config,
+        reuse,
+        wl,
+        threads,
+        iters,
+        cores,
+        durs.split_off(0),
+        allocs.split_off(0),
+        fast,
+        reap,
+        None,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn finish_row_full(
+    queue: &'static str,
+    engine: &'static str,
+    capacity: Option<usize>,
+    config: &'static str,
+    reuse: bool,
+    wl: &'static str,
+    threads: usize,
+    iters: usize,
+    cores: usize,
+    mut durs: Vec<Duration>,
+    mut allocs: Vec<usize>,
+    fast: Option<FastPathStats>,
+    reap: Option<(u64, u64)>,
+    threshold_resets: Option<u64>,
+) -> Row {
     let med = median(&mut durs);
     // Pairs = 2 ops per iteration; 50-50 = 1.
     let ops = (threads * iters * if wl == "pairs" { 2 } else { 1 }) as f64;
@@ -580,6 +856,8 @@ fn finish_row(
     let med_allocs = allocs[allocs.len() / 2] as f64;
     let row = Row {
         queue,
+        engine,
+        capacity,
         config,
         reuse,
         workload: wl,
@@ -590,6 +868,7 @@ fn finish_row(
         oversubscribed: threads > cores,
         fast,
         reap,
+        threshold_resets,
     };
     println!(
         "{:10} {:8} reuse={:5} {:11} t={}{}: {:>8.3} Mops/s, {:.4} allocs/op{}",

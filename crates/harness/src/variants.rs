@@ -6,6 +6,7 @@ use std::time::Duration;
 use kp_queue::{Config, WfQueue, WfQueueHp};
 use ms_queue::{MsQueue, MsQueueHp, MutexQueue};
 use queue_traits::FastPathStats;
+use wcq::WcQueue;
 
 use crate::sched::SchedPolicy;
 use crate::workload;
@@ -36,9 +37,23 @@ pub enum Variant {
     WfFast,
     /// The fast path on the hazard-pointer variant.
     WfFastHp,
+    /// wCQ bounded ring-buffer engine (DESIGN.md §14), sized so the
+    /// benchmark workloads never hit the capacity wall.
+    Wcq,
+    /// wCQ with a deliberately small ring (2048 slots): the bounded
+    /// regime, where enqueues block on a full queue.
+    WcqBounded,
     /// Coarse mutex around a `VecDeque` (context baseline).
     Mutex,
 }
+
+/// Ring capacity for [`Variant::Wcq`] — large enough that the pairs and
+/// 50-50 workloads never fill it.
+pub const WCQ_CAPACITY: usize = 1 << 16;
+/// Ring capacity for [`Variant::WcqBounded`] — small enough that the
+/// workloads exercise the full-queue path (but above the 50-50 prefill
+/// of 1000).
+pub const WCQ_BOUNDED_CAPACITY: usize = 2048;
 
 impl Variant {
     /// The three series of Figures 7 and 8.
@@ -53,7 +68,7 @@ impl Variant {
     ];
 
     /// Everything, for exhaustive sweeps.
-    pub const ALL: [Variant; 10] = [
+    pub const ALL: [Variant; 12] = [
         Variant::Lf,
         Variant::LfHp,
         Variant::WfBase,
@@ -63,6 +78,8 @@ impl Variant {
         Variant::WfHp,
         Variant::WfFast,
         Variant::WfFastHp,
+        Variant::Wcq,
+        Variant::WcqBounded,
         Variant::Mutex,
     ];
 
@@ -85,6 +102,8 @@ impl Variant {
             Variant::WfHp => "WF (hazard)",
             Variant::WfFast => "fast WF (1+2)",
             Variant::WfFastHp => "fast WF (hazard)",
+            Variant::Wcq => "wCQ",
+            Variant::WcqBounded => "wCQ (bounded)",
             Variant::Mutex => "mutex",
         }
     }
@@ -101,6 +120,8 @@ impl Variant {
             "wf-hp" | "WF (hazard)" => Some(Variant::WfHp),
             "wf-fast" | "fast WF (1+2)" | "fast" => Some(Variant::WfFast),
             "wf-fast-hp" | "fast WF (hazard)" | "fast-hp" => Some(Variant::WfFastHp),
+            "wcq" | "wCQ" => Some(Variant::Wcq),
+            "wcq-bounded" | "wCQ (bounded)" => Some(Variant::WcqBounded),
             "mutex" => Some(Variant::Mutex),
             _ => None,
         }
@@ -116,6 +137,31 @@ impl Variant {
             Variant::WfFast => Some(Config::fast()),
             _ => None,
         }
+    }
+
+    /// The engine family implementing this variant — the bench JSON's
+    /// self-describing `engine` field.
+    pub fn engine(&self) -> &'static str {
+        match self {
+            Variant::Lf | Variant::LfHp => "michael-scott",
+            Variant::Wcq | Variant::WcqBounded => "wcq",
+            Variant::Mutex => "mutex",
+            _ => "kogan-petrank",
+        }
+    }
+
+    /// The fixed element capacity, `None` for unbounded engines.
+    pub fn capacity(&self) -> Option<usize> {
+        match self {
+            Variant::Wcq => Some(WCQ_CAPACITY),
+            Variant::WcqBounded => Some(WCQ_BOUNDED_CAPACITY),
+            _ => None,
+        }
+    }
+
+    fn wcq_queue(&self, threads: usize) -> WcQueue<u64> {
+        let cap = self.capacity().expect("wcq variant");
+        WcQueue::with_config(threads, wcq::Config::new().with_capacity(cap))
     }
 
     /// Runs the pairs benchmark (Figures 7/9) on a fresh queue.
@@ -142,6 +188,10 @@ impl Variant {
             }
             Variant::WfFastHp => {
                 let q: WfQueueHp<u64> = WfQueueHp::with_config(threads, Config::fast());
+                workload::run_pairs_with_stats(&q, threads, iters, sched)
+            }
+            Variant::Wcq | Variant::WcqBounded => {
+                let q = self.wcq_queue(threads);
                 workload::run_pairs_with_stats(&q, threads, iters, sched)
             }
             Variant::Mutex => {
@@ -192,6 +242,11 @@ impl Variant {
             }
             Variant::WfFastHp => {
                 let q: WfQueueHp<u64> = WfQueueHp::with_config(threads + 1, Config::fast());
+                workload::run_fifty_fifty_with_stats(&q, threads, iters, prefill, sched)
+            }
+            Variant::Wcq | Variant::WcqBounded => {
+                // +1 slot for the prefill handle, like the WF arms.
+                let q = self.wcq_queue(threads + 1);
                 workload::run_fifty_fifty_with_stats(&q, threads, iters, prefill, sched)
             }
             Variant::Mutex => workload::run_fifty_fifty_with_stats(
@@ -256,8 +311,23 @@ mod tests {
     }
 
     #[test]
+    fn engines_and_capacities_are_declared() {
+        assert_eq!(Variant::Wcq.engine(), "wcq");
+        assert_eq!(Variant::WcqBounded.capacity(), Some(WCQ_BOUNDED_CAPACITY));
+        assert_eq!(Variant::WfOptBoth.engine(), "kogan-petrank");
+        assert_eq!(Variant::WfOptBoth.capacity(), None);
+        assert_eq!(Variant::Lf.engine(), "michael-scott");
+        // Bounded variants must clear the 50-50 prefill of 1000.
+        for v in Variant::ALL {
+            if let Some(cap) = v.capacity() {
+                assert!(cap > 1_000, "{v}: capacity {cap} below 50-50 prefill");
+            }
+        }
+    }
+
+    #[test]
     fn fast_variants_report_fast_path_stats() {
-        for v in [Variant::WfFast, Variant::WfFastHp] {
+        for v in [Variant::WfFast, Variant::WfFastHp, Variant::Wcq] {
             let (_, fp) = v.run_pairs_stats(2, 300, SchedPolicy::Unpinned);
             assert!(fp.fast_completions > 0, "{v}: fast path must run: {fp:?}");
             assert!(

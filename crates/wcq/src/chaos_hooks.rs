@@ -1,0 +1,54 @@
+//! Fault-injection hooks for the wCQ engine, compiled away unless the
+//! `chaos` cargo feature is enabled.
+//!
+//! Same contract as `kp-queue/src/chaos_hooks.rs`: every labeled
+//! `inject!("site")` sits immediately *before* the atomic step it
+//! names, so a fault plan can stall or kill a thread in the window the
+//! helping scheme exists to survive. With the feature off the macro
+//! expands to nothing.
+//!
+//! Site names (`wcq.*`):
+//!
+//! | site | window it opens |
+//! |---|---|
+//! | `wcq.enq` | top of each fast-path ring-enqueue attempt, before its tail FAA |
+//! | `wcq.deq` | top of each fast-path ring-dequeue attempt, before its head FAA |
+//! | `wcq.help` | top of each helping iteration on an operation record, before the ctrl-word read |
+//! | `wcq.finalize` | before a ctrl-word DONE transition or a tentative-entry finalize/invalidate CAS |
+//! | `wcq.threshold` | before a threshold reset or decrement |
+
+#[cfg(feature = "chaos")]
+macro_rules! inject {
+    ($site:expr) => {
+        ::chaos::hit($site)
+    };
+}
+
+#[cfg(not(feature = "chaos"))]
+macro_rules! inject {
+    ($site:expr) => {};
+}
+
+pub(crate) use inject;
+
+/// Watchdog: the calling thread is entering a queue operation.
+#[cfg(feature = "chaos")]
+pub(crate) fn op_begin() {
+    ::chaos::op_begin();
+}
+
+#[cfg(not(feature = "chaos"))]
+#[inline(always)]
+pub(crate) fn op_begin() {}
+
+/// Watchdog: the operation entered via [`op_begin`] completed normally.
+/// Not a drop guard: a killed operation never completes, so its partial
+/// step count must not be reported.
+#[cfg(feature = "chaos")]
+pub(crate) fn op_end() {
+    ::chaos::op_end();
+}
+
+#[cfg(not(feature = "chaos"))]
+#[inline(always)]
+pub(crate) fn op_end() {}

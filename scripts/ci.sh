@@ -34,7 +34,7 @@ echo "=== atomics audit self-test (gate must fail on an undocumented atomic) ===
 selftest_dir="$(mktemp -d)"
 trap 'rm -rf "$selftest_dir"' EXIT
 mkdir -p "$selftest_dir/crates"
-cp -r crates/kp-queue crates/hazard crates/idpool "$selftest_dir/crates/"
+cp -r crates/kp-queue crates/hazard crates/idpool crates/wcq "$selftest_dir/crates/"
 cat >> "$selftest_dir/crates/idpool/src/lib.rs" <<'EOF'
 
 fn _audit_selftest_undocumented(x: &kp_sync::atomic::AtomicUsize) -> usize {
@@ -58,6 +58,17 @@ cargo test -p kp-queue --release -q fast
 cargo test -p harness --release -q --lib fast
 cargo test --release -q --test linearizability wf_fast
 cargo test --features chaos --release -q --test torture demotion
+
+echo "=== wCQ engine gate (DESIGN.md SS14) ==="
+# The bounded ring-buffer engine, end to end: its unit suite (SCQ
+# packing/wraparound proptests included), seeded linearizability churn
+# (fast, slow-only and tiny-ring rounds), the chaos kill matrix at every
+# wcq.* site, and the bounded-memory gate (zero allocation under a
+# stalled reader, where the KP engines' backlog grows).
+cargo test -p wcq --release -q
+cargo test --release -q --test linearizability wcq
+cargo test --features chaos --release -q --test torture wcq
+cargo test --release -q --test memory_bound
 
 echo "=== soak: kill/restart with the reaper on (DESIGN.md SS13) ==="
 # Time-capped repetition of the abandoned-handle rounds: sudden-death

@@ -75,6 +75,24 @@ SC_QUIESCENT = (
     "simplicity over a caller-trusted Relaxed walk"
 )
 
+SC_WCQ = (
+    "SCQ cross-variable agreement (DESIGN.md SS14): tail/head tickets, ring "
+    "entries and the threshold are separate atomics read in store-load pairs "
+    "(FAA ticket then entry, entry install then threshold, catchup then "
+    "decrement); SeqCst keeps every pair in the single total order -- "
+    "Acquire/Release admits the reordering that breaks the emptiness "
+    "argument. SeqCst loads are free on x86 and the RMWs are lock-prefixed "
+    "at any ordering"
+)
+SC_WCQ_REC = (
+    "wCQ record handshake (DESIGN.md SS14): the owner's arg/gauge/ctrl "
+    "publication and the helpers' gauge-probe/ctrl-scan/arg-dispatch reads "
+    "form a Dekker-style store-load pair, and the seq/ring echo that rejects "
+    "mixed-generation reads only works if both sides share the single total "
+    "order; CAS failure values are re-read, so failure orderings are Relaxed "
+    "unless the failure value itself is re-tested"
+)
+
 WHY_TEST = "test scaffolding"
 WHY_INIT = "single-threaded initialisation before the structure is shared"
 WHY_TEARDOWN = "exclusive (&mut) teardown; no concurrent access remains"
@@ -110,6 +128,9 @@ HP = "crates/kp-queue/src/hp/pool.rs"
 HQ = "crates/kp-queue/src/hp/queue.rs"
 HTY = "crates/kp-queue/src/hp/types.rs"
 HTE = "crates/kp-queue/src/hp/tests.rs"
+W = "crates/wcq/src/lib.rs"
+WR = "crates/wcq/src/ring.rs"
+WT = "crates/wcq/src/tests.rs"
 
 TABLE = {
     # ----- hazard/domain.rs ------------------------------------------
@@ -383,6 +404,108 @@ TABLE = {
     (HI, "treiber_stack_conservation_under_contention"): spec("stats", WHY_TEST),
     (HI, "drop"): spec("stats", WHY_TEST),
     (HI, "retired_under_protection_survives_until_release_across_threads"): spec("stats", WHY_TEST),
+    # ----- wcq/lib.rs (record publication and retirement) -------------
+    (W, "maybe_help"): {
+        ("load", 0): spec("helper-guard", "pending-record gauge probe; zero skips the scan entirely", sc=SC_WCQ_REC),
+        ("load", 1): spec("helper-guard", "ctrl scan read: is this record pending, and at which generation", sc=SC_WCQ_REC),
+        ("load", 2): spec("helper-guard", "arg read dispatching the pending op to its ring; the seq echo rejects mixed-generation reads", sc=SC_WCQ_REC),
+    },
+    (W, "publish"): {
+        ("load", 0): spec("helper-guard", "own ctrl read deriving the next generation number; the owner is the only writer between publishes", sc=SC_WCQ_REC),
+        ("store", 0): spec("doorway", "publishes the operation's argument word before the ctrl goes pending", sc=SC_WCQ_REC),
+        ("fetch_add", 0): spec("doorway", "pending-gauge increment: the announcement the helpers' gauge probe must observe", sc=SC_WCQ_REC),
+        ("store", 1): spec("doorway", "ctrl word goes PENDING; must follow the arg and gauge in the total order", sc=SC_WCQ_REC),
+    },
+    (W, "drive"): spec("helper-guard", "owner re-reads its ctrl word between self-help rounds", sc=SC_WCQ_REC),
+    (W, "retire"): {
+        ("load", 0): spec("helper-guard", "done-state read before the idle transition", sc=SC_WCQ_REC),
+        ("compare_exchange", 0): spec("doorway", "DONE -> IDLE transition; a CAS so the gauge decrement below happens exactly once even against a racing generation", sc=SC_WCQ_REC),
+        ("fetch_sub", 0): spec("doorway", "pending-gauge decrement, balancing publish's increment", sc=SC_WCQ_REC),
+    },
+    (W, "drop"): spec("reclamation", "handle-drop cleanup: finishes or retires the dying handle's pending record (and recycles a stranded index) before the tid lease can be re-acquired", sc=SC_WCQ_REC),
+    # ----- wcq/ring.rs (SCQ ring core + helping slow path) ------------
+    (WR, "new"): spec("helper-guard", WHY_INIT),
+    (WR, "reset_threshold"): {
+        ("load", 0): spec("helper-guard", "skip the reset store when the threshold already holds 3n-1", sc=SC_WCQ),
+        ("store", 0): spec("helper-guard", "threshold reset to 3n-1 after a completed enqueue (SCQ's emptiness credit)", sc=SC_WCQ),
+        ("fetch_add", 0): spec("stats", "reset-observability counter for tests and the shootout; no synchronization intent"),
+    },
+    (WR, "catchup"): spec("helper-guard", "drags tail up to head after a dequeuer outran the enqueuers (SCQ catchup); failure values re-read in the loop", sc=SC_WCQ),
+    (WR, "advance_tail_past"): spec("helper-guard", "slow path: tail must pass the record's ticket before its tentative install can count", sc=SC_WCQ),
+    (WR, "advance_head_past"): spec("helper-guard", "slow path: head must pass the record's ticket before its claim can stand", sc=SC_WCQ),
+    (WR, "enqueue_fast"): {
+        ("fetch_add", 0): spec("helper-guard", "tail FAA: takes the enqueue ticket", sc=SC_WCQ),
+        ("load", 0): spec("helper-guard", "entry read at the ticket's decoded slot", sc=SC_WCQ),
+        ("load", 1): spec("helper-guard", "head read for the unsafe-entry admission check", sc=SC_WCQ),
+        ("compare_exchange_weak", 0): spec("helper-guard", "the value-install CAS; the failure value re-enters the admission test, so both orderings are SeqCst", sc=SC_WCQ),
+    },
+    (WR, "dequeue_fast"): {
+        ("load", 0): spec("helper-guard", "threshold pre-check: negative means observably empty without burning a ticket", sc=SC_WCQ),
+        ("fetch_add", 0): spec("helper-guard", "head FAA: takes the dequeue ticket", sc=SC_WCQ),
+        ("load", 1): spec("helper-guard", "entry read at the ticket's decoded slot", sc=SC_WCQ),
+        ("compare_exchange_weak", 0): spec("helper-guard", "the value-take CAS (idx swapped out); failure re-enters the entry state machine, so both orderings are SeqCst", sc=SC_WCQ),
+        ("compare_exchange_weak", 1): spec("helper-guard", "advance-empty / unsafe-mark CAS on a not-yet-produced entry (SCQ's dequeue rule)", sc=SC_WCQ),
+        ("load", 2): spec("helper-guard", "tail read classifying a dead ticket as emptiness vs a lost race", sc=SC_WCQ),
+        ("fetch_sub", 0): spec("helper-guard", "threshold decrement on the caught-up-empty path", sc=SC_WCQ),
+        ("fetch_sub", 1): spec("helper-guard", "threshold decrement per dead ticket; reaching zero is the empty verdict", sc=SC_WCQ),
+    },
+    (WR, "help_record"): {
+        ("load", 0): spec("helper-guard", "ctrl read opening a help iteration", sc=SC_WCQ_REC),
+        ("load", 1): spec("helper-guard", "arg re-read; the seq+ring echo rejects stale dispatches", sc=SC_WCQ_REC),
+        ("load", 2): spec("helper-guard", "tail read seeding an unset enqueue ticket", sc=SC_WCQ),
+        ("compare_exchange", 0): spec("helper-guard", "installs the enqueue ticket into the ctrl word", sc=SC_WCQ_REC),
+        ("load", 3): spec("helper-guard", "threshold read: a negative value completes a ticketless dequeue as EMPTY", sc=SC_WCQ),
+        ("compare_exchange", 1): spec("helper-guard", "DONE_EMPTY transition for a ticketless dequeue under a negative threshold", sc=SC_WCQ_REC),
+        ("load", 4): spec("helper-guard", "head read seeding an unset dequeue ticket", sc=SC_WCQ),
+        ("compare_exchange", 2): spec("helper-guard", "installs the dequeue ticket into the ctrl word", sc=SC_WCQ_REC),
+    },
+    (WR, "help_enq_step"): {
+        ("load", 0): spec("helper-guard", "entry read at the record's ticket", sc=SC_WCQ),
+        ("compare_exchange", 0): spec("helper-guard", "DONE_OK transition for a parked tentative; the failure value is re-tested for the already-done echo, so both orderings are SeqCst", sc=SC_WCQ_REC),
+        ("compare_exchange", 1): spec("helper-guard", "finalize-or-invalidate of the parked tentative, decided by the ctrl race above", sc=SC_WCQ),
+        ("load", 1): spec("helper-guard", "head read for the installable admission check", sc=SC_WCQ),
+        ("compare_exchange", 2): spec("helper-guard", "parks the tentative entry at a reserved position", sc=SC_WCQ),
+        ("load", 2): spec("helper-guard", "tail read re-ticketing a dead position", sc=SC_WCQ),
+        ("compare_exchange", 3): spec("helper-guard", "moves the record to a fresh tail ticket", sc=SC_WCQ_REC),
+    },
+    (WR, "help_deq_step"): {
+        ("load", 0): spec("helper-guard", "entry read at the record's ticket", sc=SC_WCQ),
+        ("compare_exchange", 0): spec("helper-guard", "claims a live value for the record (tid-tagged entry)", sc=SC_WCQ),
+        ("compare_exchange", 1): spec("helper-guard", "our claim is parked here: the DONE_OK ctrl handshake", sc=SC_WCQ_REC),
+        ("compare_exchange", 2): spec("helper-guard", "advance-empty / unsafe-mark CAS, SCQ's dequeue rule on the slow path", sc=SC_WCQ),
+        ("load", 1): spec("helper-guard", "tail read classifying a dead ticket as emptiness vs a lost race", sc=SC_WCQ),
+        ("compare_exchange", 3): spec("helper-guard", "DONE_EMPTY transition on the caught-up-empty path; the winner owns the threshold decrement below", sc=SC_WCQ_REC),
+        ("fetch_sub", 0): spec("helper-guard", "threshold decrement charged to the ctrl-transition winner (exactly once per dead ticket)", sc=SC_WCQ),
+        ("load", 2): spec("helper-guard", "head read re-ticketing a dead position", sc=SC_WCQ),
+        ("compare_exchange", 4): spec("helper-guard", "moves the record to a fresh head ticket; the winner owns the decrement below", sc=SC_WCQ_REC),
+        ("fetch_sub", 1): spec("helper-guard", "threshold decrement per dead ticket; exhausting it completes the record as EMPTY", sc=SC_WCQ),
+        ("compare_exchange", 5): spec("helper-guard", "DONE_EMPTY transition when the decrement exhausted the threshold", sc=SC_WCQ_REC),
+    },
+    (WR, "resolve_tentative"): {
+        ("load", 0): spec("helper-guard", "ctrl read of the tentative's record", sc=SC_WCQ_REC),
+        ("load", 1): spec("helper-guard", "arg read; the full seq/ring/idx echo decides whether the tentative still belongs to the record", sc=SC_WCQ_REC),
+        ("compare_exchange", 0): spec("helper-guard", "DONE_OK transition on behalf of the parked record", sc=SC_WCQ_REC),
+        ("compare_exchange", 1): spec("helper-guard", "publishes the final bit of a won tentative", sc=SC_WCQ),
+        ("compare_exchange", 2): spec("helper-guard", "invalidates an orphaned tentative (its record moved on)", sc=SC_WCQ),
+    },
+    (WR, "resolve_claim"): {
+        ("load", 0): spec("helper-guard", "ctrl read of the claiming record", sc=SC_WCQ_REC),
+        ("load", 1): spec("helper-guard", "arg read; the seq/ring echo validates the claim's provenance", sc=SC_WCQ_REC),
+        ("compare_exchange", 0): spec("helper-guard", "DONE_OK transition finishing the claim for its record", sc=SC_WCQ_REC),
+        ("compare_exchange", 1): spec("helper-guard", "defensive value-restore for a claim with no record behind it (unreachable by the full-word-CAS argument; restoring is the safe direction)", sc=SC_WCQ),
+    },
+    (WR, "ensure_finalized"): spec("helper-guard", "owner-side: publishes the final bit if the DONE-transition winner died between the ctrl CAS and the entry CAS", sc=SC_WCQ),
+    (WR, "consume_claim"): {
+        ("load", 0): spec("helper-guard", "re-reads the claimed entry before consuming it", sc=SC_WCQ),
+        ("compare_exchange", 0): spec("helper-guard", "owner consumes its won claim (idx swapped out); the failure value is re-read in the loop, so both orderings are SeqCst", sc=SC_WCQ),
+    },
+    (WR, "live_indices"): spec("reclamation", "teardown walk under exclusive access (Drop); no concurrent access remains"),
+    (WR, "threshold_value"): spec("stats", "diagnostic threshold snapshot", sc=SC_QUIESCENT),
+    (WR, "resets"): spec("stats", "reset-counter snapshot; Relaxed pairs with the Relaxed bump"),
+    # ----- wcq tests --------------------------------------------------
+    (WT, "drop"): spec("stats", WHY_TEST),
+    (WT, "drop_releases_leftover_values"): spec("stats", WHY_TEST),
+    (WT, "full_and_empty_under_contention"): spec("stats", WHY_TEST),
 }
 
 HEADER = """\
@@ -407,7 +530,7 @@ HEADER = """\
 #   stats         - counters/diagnostics with no synchronization intent
 
 [audit]
-scope = ["crates/kp-queue", "crates/hazard", "crates/idpool"]
+scope = ["crates/kp-queue", "crates/hazard", "crates/idpool", "crates/wcq"]
 """
 
 SUPPRESSIONS = [
@@ -416,6 +539,7 @@ SUPPRESSIONS = [
     ("sc-justification", "crates/hazard/tests/integration.rs", None, "test scaffolding uses SeqCst counters for simplicity"),
     ("sc-justification", "crates/kp-queue/src/tests.rs", None, "test scaffolding uses SeqCst counters for simplicity"),
     ("sc-justification", "crates/kp-queue/src/hp/tests.rs", None, "test scaffolding uses SeqCst counters for simplicity"),
+    ("sc-justification", "crates/wcq/src/tests.rs", None, "test scaffolding uses SeqCst counters for simplicity"),
     ("sc-justification", "crates/idpool/src/lib.rs", "oversubscribed_acquire_never_duplicates", "test scaffolding uses SeqCst for simplicity"),
     ("sc-justification", "crates/idpool/src/lib.rs", "concurrent_reap_race_single_winner", "test scaffolding uses SeqCst for simplicity"),
 ]

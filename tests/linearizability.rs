@@ -11,6 +11,7 @@ use queue_traits::{ConcurrentQueue, QueueHandle};
 
 use kp_queue::{Config, WfQueue, WfQueueHp};
 use ms_queue::{MsQueue, MsQueueHp, MutexQueue};
+use wcq::{Config as WcqConfig, WcQueue};
 
 /// Records one round: `threads` workers each perform `ops_per_thread`
 /// operations (alternating enqueue-biased and dequeue-biased patterns),
@@ -274,6 +275,108 @@ fn wf_fast_path_low_patience_is_linearizable() {
             Outcome::Linearizable,
             "WfQueue(fast, patience 1) round {round}"
         );
+    }
+}
+
+/// The wCQ ring engine (DESIGN.md §14) against the same FIFO spec.
+/// Capacity 64 exceeds any possible backlog of these rounds, so the
+/// blocking `enqueue` never waits and histories cannot deadlock.
+#[test]
+fn wcq_is_linearizable() {
+    assert_linearizable(
+        || WcQueue::with_config(4, WcqConfig::new().with_capacity(64)),
+        "WcQueue",
+    );
+}
+
+/// Patience 0 pins every ring operation to the helping slow path, so
+/// each checked history is made of published records driven by
+/// whichever thread gets there first — the wait-free machinery with no
+/// fast-path ops diluting coverage.
+#[test]
+fn wcq_slow_path_is_linearizable() {
+    assert_linearizable(
+        || WcQueue::with_config(4, WcqConfig::slow_only().with_capacity(64)),
+        "WcQueue(slow-only)",
+    );
+}
+
+/// Ring-churn rounds: a 4-slot ring under op counts that lap it many
+/// times over, so entry cycle tags advance far within one checked
+/// history and the full-queue path fires constantly. `try_enqueue`
+/// rejections are no-ops on the queue state and are not recorded
+/// (recording a blocking `enqueue` could deadlock a full ring with
+/// every thread producing).
+#[test]
+fn wcq_tiny_ring_churn_is_linearizable() {
+    const ROUNDS: usize = 8;
+    const THREADS: usize = 3;
+    const OPS: usize = 30;
+    type MkConfig = fn() -> WcqConfig;
+    let configs: [(MkConfig, &str); 2] = [
+        (|| WcqConfig::new().with_capacity(4), "default"),
+        (|| WcqConfig::slow_only().with_capacity(4), "slow-only"),
+    ];
+    for (cfg, label) in configs {
+        for round in 0..ROUNDS {
+            let seed = round as u64 * 92_821 + 5;
+            let q = WcQueue::<u64>::with_config(THREADS, cfg());
+            let recorder = Recorder::new();
+            let mut records = Vec::new();
+            std::thread::scope(|s| {
+                let handles: Vec<_> = (0..THREADS)
+                    .map(|t| {
+                        let recorder = &recorder;
+                        let q = &q;
+                        s.spawn(move || {
+                            let mut h = q.register().expect("register");
+                            let mut recs = Vec::new();
+                            let mut x = seed ^ (t as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15);
+                            for i in 0..OPS {
+                                x ^= x << 13;
+                                x ^= x >> 7;
+                                x ^= x << 17;
+                                if x % 100 < 55 {
+                                    let v = ((t as u64) << 32) | i as u64;
+                                    let invoke = recorder.stamp();
+                                    let accepted = h.try_enqueue(v).is_ok();
+                                    let ret = recorder.stamp();
+                                    if accepted {
+                                        recs.push(linearize::OpRecord {
+                                            thread: t,
+                                            op: QueueOp::Enqueue(v),
+                                            invoke,
+                                            ret,
+                                        });
+                                    }
+                                } else {
+                                    let invoke = recorder.stamp();
+                                    let r = h.dequeue();
+                                    let ret = recorder.stamp();
+                                    recs.push(linearize::OpRecord {
+                                        thread: t,
+                                        op: QueueOp::Dequeue(r),
+                                        invoke,
+                                        ret,
+                                    });
+                                }
+                            }
+                            recs
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    records.extend(h.join().unwrap());
+                }
+            });
+            let history = History::from_records(records);
+            assert!(history.validate_stamps());
+            assert_eq!(
+                check(&QueueModel, &history),
+                Outcome::Linearizable,
+                "WcQueue({label}, tiny ring) round {round}"
+            );
+        }
     }
 }
 

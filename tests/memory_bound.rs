@@ -1,0 +1,108 @@
+//! The bounded-memory gate: wCQ under a stalled reader (ISSUE 7,
+//! DESIGN.md §14.4).
+//!
+//! The experiment the KP engines fundamentally cannot win: register a
+//! consumer, let it go silent, and keep producing. KP allocates a node
+//! per enqueue, so the backlog grows the live heap without bound (the
+//! reclamation schemes bound *garbage*, not *backlog*). wCQ allocated
+//! its data array and both index rings at construction; a producer that
+//! outruns the dead consumer hits `Full` and is rejected, so live heap
+//! growth is exactly zero and steady-state operation is allocation-free.
+//!
+//! One `#[test]` function: the `alloc-track` counters are
+//! process-global, so parallel tests in this binary would race them.
+
+use kp_queue::Config as KpConfig;
+use kp_queue::{ConcurrentQueue, QueueHandle, WfQueue, WfQueueHp};
+use wcq::{Config as WcqConfig, WcQueue};
+
+#[global_allocator]
+static ALLOC: alloc_track::TrackingAlloc = alloc_track::TrackingAlloc;
+
+/// Items offered while the reader stalls — far above the wCQ capacity,
+/// so the cap is what stops growth, not the workload size.
+const OFFERED: usize = 50_000;
+const WCQ_CAPACITY: usize = 1 << 11;
+
+#[test]
+fn stalled_reader_memory_is_bounded_for_wcq_not_for_kp() {
+    // --- wCQ: live heap must not grow at all --------------------------
+    let q: WcQueue<u64> = WcQueue::with_config(2, WcqConfig::new().with_capacity(WCQ_CAPACITY));
+    let _stalled_reader = q.register().unwrap();
+    let mut producer = q.register().unwrap();
+    // Warm: a few accepted enqueues before the mark, so lazy one-time
+    // initialization (if any ever appears) is not mistaken for growth.
+    for i in 0..16 {
+        producer.try_enqueue(i).unwrap();
+    }
+    let mark_bytes = alloc_track::live_bytes();
+    let mark_allocs = alloc_track::total_allocs();
+    let mut accepted = 0usize;
+    let mut rejected = 0usize;
+    for i in 0..OFFERED {
+        match producer.try_enqueue(16 + i as u64) {
+            Ok(()) => accepted += 1,
+            Err(_full) => rejected += 1,
+        }
+    }
+    assert_eq!(
+        alloc_track::live_bytes(),
+        mark_bytes,
+        "wCQ live heap grew under a stalled reader"
+    );
+    assert_eq!(
+        alloc_track::total_allocs(),
+        mark_allocs,
+        "wCQ allocated on the enqueue path"
+    );
+    // The ring really filled: everything beyond capacity was rejected,
+    // nothing was silently dropped.
+    assert_eq!(accepted, WCQ_CAPACITY - 16, "accepted up to capacity");
+    assert_eq!(accepted + rejected, OFFERED);
+    drop(producer);
+
+    // The stalled reader waking up drains every accepted item, in order.
+    let mut reader = q.register().unwrap();
+    for expect in 0..(16 + accepted) as u64 {
+        assert_eq!(reader.dequeue(), Some(expect));
+    }
+    assert_eq!(reader.dequeue(), None);
+    drop(reader);
+
+    // --- KP engines: the same workload grows the live heap ------------
+    // A node per enqueue is the design (that is what reclamation is
+    // for); under a stalled reader that becomes unbounded backlog. The
+    // floor asserted here is deliberately loose — one pointer-word per
+    // item — reality is several words per node.
+    let floor = (OFFERED * std::mem::size_of::<usize>()) as isize;
+
+    {
+        let q: WfQueue<u64> = WfQueue::with_config(2, KpConfig::opt_both());
+        let _stalled_reader = q.register().unwrap();
+        let mut producer = q.register().unwrap();
+        let mark = alloc_track::live_bytes() as isize;
+        for i in 0..OFFERED {
+            producer.enqueue(i as u64);
+        }
+        let growth = alloc_track::live_bytes() as isize - mark;
+        assert!(
+            growth >= floor,
+            "wf-epoch backlog should grow the heap (grew {growth}, floor {floor})"
+        );
+    }
+
+    {
+        let q: WfQueueHp<u64> = WfQueueHp::with_config(2, KpConfig::opt_both());
+        let _stalled_reader = q.register().unwrap();
+        let mut producer = q.register().unwrap();
+        let mark = alloc_track::live_bytes() as isize;
+        for i in 0..OFFERED {
+            producer.enqueue(i as u64);
+        }
+        let growth = alloc_track::live_bytes() as isize - mark;
+        assert!(
+            growth >= floor,
+            "wf-hp backlog should grow the heap (grew {growth}, floor {floor})"
+        );
+    }
+}

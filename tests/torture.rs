@@ -32,7 +32,8 @@ use std::sync::{Barrier, Mutex, Once};
 use chaos::{ChaosKill, FaultPlan, ThreadSel};
 use kp_queue::{Config, ConcurrentQueue, WfQueue, WfQueueHp};
 use linearize::{check, History, Outcome, QueueModel, QueueOp, Recorder};
-use queue_traits::testing;
+use queue_traits::{testing, QueueHandle};
+use wcq::{Config as WcqConfig, WcQueue};
 
 /// Planned kills unwind as panics; silence their default backtrace spam
 /// (real panics still print). Installed once per test binary.
@@ -338,48 +339,56 @@ const EPOCH_FAST_SITES: &[&str] = &[
 ];
 
 /// Records one small history on a chaos-registered thread group and
-/// checks it against the sequential FIFO model (WGL checker).
-fn record_and_check(q: &WfQueue<u64>, threads: usize, ops: usize, seed: u64) {
-    let recorder = Recorder::new();
-    let mut logs = Vec::new();
-    std::thread::scope(|s| {
-        let handles: Vec<_> = (0..threads)
-            .map(|t| {
-                let recorder = &recorder;
-                s.spawn(move || {
-                    let mut h = q.register().expect("register");
-                    let _token = chaos::register_thread(h.tid());
-                    let mut log = recorder.log::<QueueOp>(t);
-                    let mut x = seed ^ (t as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-                    for i in 0..ops {
-                        x ^= x << 13;
-                        x ^= x >> 7;
-                        x ^= x << 17;
-                        if x % 100 < 55 {
-                            let v = ((t as u64) << 32) | i as u64;
-                            log.record(|| h.enqueue(v), |_| QueueOp::Enqueue(v));
-                        } else {
-                            log.record(|| h.dequeue(), |r| QueueOp::Dequeue(*r));
+/// checks it against the sequential FIFO model (WGL checker). A macro
+/// rather than a fn so it works for every engine whose handle exposes
+/// an inherent `tid()` (KP epoch/HP and wCQ).
+macro_rules! record_and_check {
+    ($q:expr, $threads:expr, $ops:expr, $seed:expr) => {{
+        let q = $q;
+        let threads: usize = $threads;
+        let ops: usize = $ops;
+        let seed: u64 = $seed;
+        let recorder = Recorder::new();
+        let mut logs = Vec::new();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let recorder = &recorder;
+                    s.spawn(move || {
+                        let mut h = q.register().expect("register");
+                        let _token = chaos::register_thread(h.tid());
+                        let mut log = recorder.log::<QueueOp>(t);
+                        let mut x = seed ^ (t as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                        for i in 0..ops {
+                            x ^= x << 13;
+                            x ^= x >> 7;
+                            x ^= x << 17;
+                            if x % 100 < 55 {
+                                let v = ((t as u64) << 32) | i as u64;
+                                log.record(|| h.enqueue(v), |_| QueueOp::Enqueue(v));
+                            } else {
+                                log.record(|| h.dequeue(), |r| QueueOp::Dequeue(*r));
+                            }
                         }
-                    }
-                    log
+                        log
+                    })
                 })
-            })
-            .collect();
-        for h in handles {
-            logs.push(h.join().unwrap());
+                .collect();
+            for h in handles {
+                logs.push(h.join().unwrap());
+            }
+        });
+        let history = History::from_logs(logs);
+        assert!(history.validate_stamps());
+        match check(&QueueModel, &history) {
+            Outcome::Linearizable => {}
+            Outcome::NotLinearizable => panic!(
+                "seed {seed}: adversarial schedule produced a NON-LINEARIZABLE history:\n{:#?}",
+                history.ops()
+            ),
+            Outcome::Unknown => panic!("seed {seed}: checker budget exhausted"),
         }
-    });
-    let history = History::from_logs(logs);
-    assert!(history.validate_stamps());
-    match check(&QueueModel, &history) {
-        Outcome::Linearizable => {}
-        Outcome::NotLinearizable => panic!(
-            "seed {seed}: adversarial schedule produced a NON-LINEARIZABLE history:\n{:#?}",
-            history.ops()
-        ),
-        Outcome::Unknown => panic!("seed {seed}: checker budget exhausted"),
-    }
+    }};
 }
 
 /// Linearizability under seeded adversarial stall plans: the same seed
@@ -396,7 +405,7 @@ fn linearizable_under_seeded_adversarial_stalls() {
             // Fresh queue per round: each checked history must be
             // self-contained (no values left over from a previous round).
             let q: WfQueue<u64> = WfQueue::with_config(THREADS, Config::opt_both());
-            record_and_check(&q, THREADS, 12, seed.wrapping_mul(6364136223846793005).wrapping_add(round));
+            record_and_check!(&q, THREADS, 12, seed.wrapping_mul(6364136223846793005).wrapping_add(round));
         }
         let report = session.report();
         assert!(report.stalls > 0, "seeded plan must actually stall (seed {seed})");
@@ -418,7 +427,7 @@ fn linearizable_under_seeded_adversarial_stalls_fast_path() {
         for round in 0..6 {
             let q: WfQueue<u64> =
                 WfQueue::with_config(THREADS, Config::fast().with_fast_path(2));
-            record_and_check(&q, THREADS, 12, seed.wrapping_mul(6364136223846793005).wrapping_add(round));
+            record_and_check!(&q, THREADS, 12, seed.wrapping_mul(6364136223846793005).wrapping_add(round));
         }
         let report = session.report();
         assert!(report.stalls > 0, "seeded plan must actually stall (seed {seed})");
@@ -1130,4 +1139,156 @@ fn hp_reap_takeover_after_reaper_killed_at_each_reap_site() {
             site
         );
     }
+}
+
+// ---------------------------------------------------------------------
+// wCQ (SCQ ring + helping records) chaos coverage
+// ---------------------------------------------------------------------
+
+/// Every instrumented wCQ site (crates/wcq/src/chaos_hooks.rs), for
+/// seeded plans. Both index rings (`aq` and `fq`) share the site names,
+/// so a stall or kill at `wcq.enq` can land in a producer's value
+/// append *or* a consumer's index recycle.
+const WCQ_SITES: &[&str] = &[
+    "wcq.enq",
+    "wcq.deq",
+    "wcq.help",
+    "wcq.finalize",
+    "wcq.threshold",
+];
+
+/// Seeded adversarial stalls against the wCQ engine, alternating the
+/// default (fast path + helping fallback) and slow-only (every op
+/// through an operation record) configs so the plans can park threads
+/// inside the helping windows too: mid-help with a ctrl word read but
+/// not CASed, between a tentative install and its finalize, between a
+/// threshold read and its decrement. Capacity 64 exceeds the maximum
+/// backlog a round can build (3 threads x 12 ops), so the blocking
+/// `enqueue` never spins on `Full` and every history stays comparable
+/// to the unbounded engines'.
+#[test]
+fn wcq_linearizable_under_seeded_adversarial_stalls() {
+    quiet_chaos_kills();
+    const THREADS: usize = 3;
+    for seed in [2u64, 9, 141, 0xACE5] {
+        let session = chaos::install(FaultPlan::seeded(seed, WCQ_SITES, THREADS, 10));
+        for round in 0..8u64 {
+            let cfg = if round % 2 == 0 {
+                WcqConfig::new()
+            } else {
+                WcqConfig::slow_only()
+            };
+            let q: WcQueue<u64> = WcQueue::with_config(THREADS, cfg.with_capacity(64));
+            record_and_check!(
+                &q,
+                THREADS,
+                12,
+                seed.wrapping_mul(6364136223846793005).wrapping_add(round)
+            );
+        }
+        let report = session.report();
+        assert!(report.stalls > 0, "seeded plan must actually stall (seed {seed})");
+        report.assert_linear_bound(THREADS, 400, 200);
+    }
+}
+
+/// Capacity for the wCQ kill rounds: comfortably above the ~6k values
+/// two producers attempt, so the ring never reports `Full` and the
+/// blocking `enqueue` loop cannot spin forever after the consumers
+/// exhaust their attempt budgets. (A kill can also leak one data index
+/// per round — the victim held it in a local — which this headroom
+/// absorbs.)
+const WCQ_KILL_CAPACITY: usize = 1 << 14;
+
+/// A producer dies at the top of a ring-enqueue attempt, before its
+/// tail FAA: the value is already written to its data slot but the
+/// slot's index never enters `aq`, so exactly that one value (and its
+/// index) may vanish. Survivors must be unaffected and the victim's
+/// handle-drop cleanup must retire its state.
+#[test]
+fn wcq_enqueuer_killed_before_ring_append() {
+    kill_torture_round!(
+        WcQueue::<u64>::with_config(4, WcqConfig::new().with_capacity(WCQ_KILL_CAPACITY)),
+        "wcq.enq",
+        1, // tid 1 is a producer
+        1
+    );
+}
+
+/// A dequeuer dies in the recycle window: it has read the value out of
+/// the data slot but dies inside the `fq` enqueue returning the index.
+/// The value unwinds away with the stack frame (at most one missing);
+/// the index leaks, which the capacity headroom absorbs.
+#[test]
+fn wcq_dequeuer_killed_mid_index_recycle() {
+    kill_torture_round!(
+        WcQueue::<u64>::with_config(4, WcqConfig::new().with_capacity(WCQ_KILL_CAPACITY)),
+        "wcq.enq", // the recycle is an fq ring-enqueue; victim 0 is a consumer
+        0,
+        1
+    );
+}
+
+/// A dequeuer dies at the top of a ring-dequeue attempt, before its
+/// head FAA: nothing is claimed yet, so at most the handle-drop
+/// cleanup's consume-and-discard goes missing.
+#[test]
+fn wcq_dequeuer_killed_before_claim() {
+    kill_torture_round!(
+        WcQueue::<u64>::with_config(4, WcqConfig::new().with_capacity(WCQ_KILL_CAPACITY)),
+        "wcq.deq",
+        0,
+        1
+    );
+}
+
+/// A thread dies between reading the threshold and writing it (reset or
+/// decrement). The threshold is bookkeeping for emptiness detection —
+/// a lost update may cost a spurious extra scan but never a value; the
+/// ledger must balance minus the usual at-most-one in-flight value.
+#[test]
+fn wcq_thread_killed_at_threshold_update() {
+    kill_torture_round!(
+        WcQueue::<u64>::with_config(4, WcqConfig::new().with_capacity(WCQ_KILL_CAPACITY)),
+        "wcq.threshold",
+        0,
+        1
+    );
+}
+
+/// Slow-only config: a consumer dies mid-help, between reading a ctrl
+/// word and acting on it. Its own pending record is finished by its
+/// handle-drop cleanup (which may consume-and-discard one claimed
+/// value); any peer record it was helping must be finished by the
+/// survivors.
+#[test]
+fn wcq_helper_killed_mid_help() {
+    kill_torture_round!(
+        WcQueue::<u64>::with_config(
+            4,
+            WcqConfig::slow_only().with_capacity(WCQ_KILL_CAPACITY)
+        ),
+        "wcq.help",
+        0,
+        1
+    );
+}
+
+/// Slow-only config: a producer dies at a finalize step — after its
+/// tentative entry was installed (or its ctrl word moved to DONE) but
+/// before the entry's final bit was published. Helpers or the victim's
+/// own handle-drop cleanup must finalize-or-invalidate exactly once:
+/// the value either lands (and is dequeued) or is cleanly invalidated
+/// (one missing), never duplicated.
+#[test]
+fn wcq_enqueuer_killed_at_finalize() {
+    kill_torture_round!(
+        WcQueue::<u64>::with_config(
+            4,
+            WcqConfig::slow_only().with_capacity(WCQ_KILL_CAPACITY)
+        ),
+        "wcq.finalize",
+        1,
+        1
+    );
 }
