@@ -1,6 +1,6 @@
 //! Records the PR's perf baseline: throughput *and* allocation rate for
 //! the fast-path/slow-path execution split against its slow-path-only
-//! baseline, written as machine-readable JSON (default `BENCH_PR6.json`).
+//! baseline, written as machine-readable JSON (default `BENCH_PR7.json`).
 //!
 //! Every row carries a self-describing `engine` field ("kogan-petrank",
 //! "wcq", ...) and a `capacity` column (`null` for unbounded engines),
@@ -24,7 +24,18 @@
 //!    path, and the wCQ ring engine on the same cells, with wCQ rows
 //!    carrying fallback and threshold-reset columns. The headline is
 //!    wCQ's geomean over the KP slow path at ≥4 threads (DESIGN.md §14:
-//!    array + FAA vs pointer-chased CAS nodes).
+//!    array + FAA vs pointer-chased CAS nodes);
+//! 5. the PR7 channel sweep (DESIGN.md §15) — the sharded, batching
+//!    channel front-end over both shard engines, shards × batch at a
+//!    fixed 2-producer + 2-consumer cell. Each cell carries a
+//!    closed-loop throughput median *and* an open-loop bursty-arrival
+//!    latency probe at a fixed offered rate (0.4× the engine's
+//!    single-shard unbatched throughput, same rate for every cell of
+//!    that engine), reported as `p50_ns`/`p99_ns`/`p999_ns` against the
+//!    *scheduled* arrival time — coordination-omission-free, see
+//!    `harness::channel_load`. The headline is the per-engine speedup
+//!    of (shards=4, batch=64) over (shards=1, batch=1), geomean across
+//!    engines, acceptance ≥1.3×.
 //!
 //! A separate stalled-reader probe pins the bounded-memory claim: with
 //! a registered consumer that never consumes while producers keep
@@ -51,7 +62,10 @@ use std::fmt::Write as _;
 use std::time::Duration;
 
 use harness::args::Args;
+use harness::channel_load::{self, CellSpec, OpenLoopSpec};
+use harness::hist::LogHistogram;
 use harness::{workload, SchedPolicy, Variant};
+use kp_channel::{Channel, ChannelConfig};
 use kp_queue::{Config, WfQueue, WfQueueHp};
 use queue_traits::{ConcurrentQueue, FastPathStats, QueueHandle};
 use wcq::WcQueue;
@@ -89,6 +103,79 @@ fn engine_of(queue: &str) -> &'static str {
     match queue {
         "wcq" | "wcq-bounded" => "wcq",
         _ => "kogan-petrank",
+    }
+}
+
+/// Producers in every channel-sweep cell.
+const CHAN_PRODUCERS: usize = 2;
+/// Consumers in every channel-sweep cell.
+const CHAN_CONSUMERS: usize = 2;
+/// Per-shard ring capacity for the bounded (wCQ) channel cells.
+const CHAN_SHARD_CAPACITY: usize = 4096;
+/// Messages per scheduled burst in the open-loop latency probe.
+const CHAN_BURST: usize = 64;
+
+/// One channel-sweep cell: closed-loop throughput plus the open-loop
+/// latency columns filled in by the second pass.
+struct ChanRow {
+    /// Shard engine ("wcq" bounded ring, "kp" unbounded Kogan–Petrank).
+    engine: &'static str,
+    shards: usize,
+    batch: usize,
+    /// Per-shard capacity; `None` (JSON `null`) for the unbounded core.
+    capacity: Option<usize>,
+    median_secs: f64,
+    mops_per_sec: f64,
+    allocs_per_msg: f64,
+    oversubscribed: bool,
+    /// Offered rate of the latency probe, Mmsg/s.
+    offered_mops: f64,
+    /// Latency samples across all probe reps (histograms merged).
+    samples: u64,
+    p50_ns: u64,
+    p99_ns: u64,
+    p999_ns: u64,
+    max_ns: u64,
+    mean_ns: f64,
+}
+
+/// Self-describing engine name for the channel JSON rows.
+fn engine_label(engine: &str) -> &'static str {
+    if engine == "wcq" {
+        "wcq"
+    } else {
+        "kogan-petrank"
+    }
+}
+
+fn chan_config(shards: usize) -> ChannelConfig {
+    ChannelConfig::new()
+        .with_shards(shards)
+        .with_max_senders(CHAN_PRODUCERS)
+        .with_max_receivers(CHAN_CONSUMERS)
+}
+
+/// Runs one closed-loop channel cell on a fresh channel of `engine`.
+fn chan_closed(engine: &str, shards: usize, spec: &CellSpec) -> Duration {
+    if engine == "wcq" {
+        let c: Channel<u64, WcQueue<u64>> =
+            Channel::wcq(chan_config(shards), CHAN_SHARD_CAPACITY);
+        channel_load::run_closed_loop(&c, spec)
+    } else {
+        let c: Channel<u64, WfQueue<u64>> = Channel::kp(chan_config(shards));
+        channel_load::run_closed_loop(&c, spec)
+    }
+}
+
+/// Runs one open-loop latency probe on a fresh channel of `engine`.
+fn chan_open(engine: &str, shards: usize, spec: &OpenLoopSpec) -> LogHistogram {
+    if engine == "wcq" {
+        let c: Channel<u64, WcQueue<u64>> =
+            Channel::wcq(chan_config(shards), CHAN_SHARD_CAPACITY);
+        channel_load::run_open_loop(&c, spec)
+    } else {
+        let c: Channel<u64, WfQueue<u64>> = Channel::kp(chan_config(shards));
+        channel_load::run_open_loop(&c, spec)
     }
 }
 
@@ -133,7 +220,7 @@ fn main() {
     let args = Args::from_env();
     let iters: usize = args.get_or("iters", 50_000);
     let reps: usize = args.get_or("reps", 3);
-    let out = args.get("out").unwrap_or("BENCH_PR6.json").to_string();
+    let out = args.get("out").unwrap_or("BENCH_PR7.json").to_string();
     let thread_counts: Vec<usize> = match args.get("threads") {
         Some(t) => vec![t.parse().unwrap_or_else(|_| {
             harness::args::bad_value_exit("threads", t, "expected a thread count")
@@ -143,14 +230,10 @@ fn main() {
 
     let cores = harness::sched::num_cores();
     println!("bench_record: iters/thread = {iters}, reps = {reps}, cores = {cores}");
+    // One warning per run, not one per thread count (or per row): the
+    // helper is `Once`-guarded, and every grid funnels through it.
     for &threads in &thread_counts {
-        if threads > cores {
-            eprintln!(
-                "WARNING: {threads}-thread cells run on {cores} core(s): they are \
-                 oversubscribed, so timings measure scheduler interleaving as much \
-                 as queue throughput. Rows carry \"oversubscribed\": true."
-            );
-        }
+        harness::sched::warn_if_oversubscribed(threads, cores);
     }
 
     let configs: [(&str, bool, Config); 4] = [
@@ -392,6 +475,158 @@ fn main() {
             }
         }
     }
+
+    // Grid 5: the channel sweep — shards × batch over both shard
+    // engines at a fixed 2-producer + 2-consumer cell (4 worker
+    // threads, the acceptance point). First pass: closed-loop
+    // throughput, median of `reps`. Second pass: open-loop bursty
+    // latency at a fixed offered rate calibrated per engine to 0.4× its
+    // single-shard unbatched closed-loop throughput — the *same* rate
+    // for every cell of that engine, so the p50/p99/p999 columns
+    // compare configurations at equal load.
+    let chan_threads = CHAN_PRODUCERS + CHAN_CONSUMERS;
+    let chan_oversub = harness::sched::warn_if_oversubscribed(chan_threads, cores);
+    // Channel cells run 4x the global iteration count: with 4 worker
+    // threads oversubscribed onto few cores, a cell has to span many
+    // scheduler quanta (tens of ms) before its median is a measurement
+    // rather than a coin flip on which thread held the core.
+    let chan_iters = iters * 4;
+    let chan_engines: [&'static str; 2] = ["wcq", "kp"];
+    let shard_counts = [1usize, 2, 4];
+    let batch_sizes = [1usize, 8, 64];
+    let mut chan_rows: Vec<ChanRow> = Vec::new();
+    for &engine in &chan_engines {
+        for &shards in &shard_counts {
+            for &batch in &batch_sizes {
+                let spec = CellSpec {
+                    producers: CHAN_PRODUCERS,
+                    consumers: CHAN_CONSUMERS,
+                    iters: chan_iters,
+                    batch,
+                };
+                let mut durs = Vec::with_capacity(reps);
+                let mut allocs = Vec::with_capacity(reps);
+                for _ in 0..reps {
+                    let (d, a) = rep(|| chan_closed(engine, shards, &spec));
+                    durs.push(d);
+                    allocs.push(a);
+                }
+                let med = median(&mut durs);
+                allocs.sort();
+                let msgs = spec.messages() as f64;
+                let row = ChanRow {
+                    engine,
+                    shards,
+                    batch,
+                    capacity: (engine == "wcq").then_some(CHAN_SHARD_CAPACITY),
+                    median_secs: med.as_secs_f64(),
+                    mops_per_sec: msgs / med.as_secs_f64() / 1e6,
+                    allocs_per_msg: allocs[allocs.len() / 2] as f64 / msgs,
+                    oversubscribed: chan_oversub,
+                    offered_mops: 0.0,
+                    samples: 0,
+                    p50_ns: 0,
+                    p99_ns: 0,
+                    p999_ns: 0,
+                    max_ns: 0,
+                    mean_ns: 0.0,
+                };
+                println!(
+                    "channel {:4} shards={} batch={:2} t={}{}: {:>8.3} Mmsg/s, \
+                     {:.4} allocs/msg",
+                    row.engine,
+                    row.shards,
+                    row.batch,
+                    chan_threads,
+                    if row.oversubscribed { " (oversub)" } else { "" },
+                    row.mops_per_sec,
+                    row.allocs_per_msg
+                );
+                chan_rows.push(row);
+            }
+        }
+    }
+
+    // Latency pass. Bursts are sized from `iters` so a probe offers
+    // about as many messages as a closed-loop cell moves.
+    for &engine in &chan_engines {
+        let base_mops = chan_rows
+            .iter()
+            .find(|r| r.engine == engine && r.shards == 1 && r.batch == 1)
+            .expect("single-shard unbatched baseline row")
+            .mops_per_sec;
+        let offered_per_sec = 0.4 * base_mops * 1e6;
+        let gap = Duration::from_nanos(
+            ((CHAN_PRODUCERS * CHAN_BURST) as f64 / offered_per_sec * 1e9) as u64,
+        );
+        let bursts = (chan_iters / CHAN_BURST).max(8);
+        for row in chan_rows.iter_mut().filter(|r| r.engine == engine) {
+            let spec = OpenLoopSpec {
+                producers: CHAN_PRODUCERS,
+                consumers: CHAN_CONSUMERS,
+                batch: row.batch,
+                burst: CHAN_BURST,
+                bursts,
+                gap,
+            };
+            let mut hist = LogHistogram::new();
+            for _ in 0..reps {
+                hist.merge(&chan_open(engine, row.shards, &spec));
+            }
+            row.offered_mops = spec.offered_per_sec() / 1e6;
+            row.samples = hist.len();
+            row.p50_ns = hist.quantile(0.5);
+            row.p99_ns = hist.quantile(0.99);
+            row.p999_ns = hist.quantile(0.999);
+            row.max_ns = hist.max();
+            row.mean_ns = hist.mean();
+            println!(
+                "channel latency {:4} shards={} batch={:2}: p50 {:>7} ns, p99 {:>8} ns, \
+                 p999 {:>8} ns ({} samples at {:.3} Mmsg/s offered)",
+                row.engine, row.shards, row.batch, row.p50_ns, row.p99_ns, row.p999_ns,
+                row.samples, row.offered_mops
+            );
+        }
+    }
+
+    // Headline comparison for this PR: per engine, the fully batched +
+    // sharded cell over the single-shard unbatched one; geomean across
+    // engines, acceptance ≥1.3×.
+    let mut chan_cmps = String::new();
+    let mut chan_log_sum = 0.0f64;
+    let mut chan_n = 0usize;
+    for &engine in &chan_engines {
+        let pick = |shards: usize, batch: usize| {
+            chan_rows
+                .iter()
+                .find(|r| r.engine == engine && r.shards == shards && r.batch == batch)
+                .expect("channel sweep cell")
+        };
+        let best = pick(4, 64);
+        let base = pick(1, 1);
+        let speedup = best.mops_per_sec / base.mops_per_sec;
+        chan_log_sum += speedup.ln();
+        chan_n += 1;
+        let _ = write!(
+            chan_cmps,
+            "{}    {{\"engine\": \"{}\", \"batched_sharded_mops\": {:.4}, \
+             \"single_unbatched_mops\": {:.4}, \"speedup\": {:.4}}}",
+            if chan_cmps.is_empty() { "" } else { ",\n" },
+            engine_label(engine),
+            best.mops_per_sec,
+            base.mops_per_sec,
+            speedup
+        );
+        println!(
+            "channel {} (shards=4, batch=64) over (shards=1, batch=1): {:.3}x",
+            engine, speedup
+        );
+    }
+    let chan_geomean = (chan_log_sum / chan_n as f64).exp();
+    println!(
+        "channel batched+sharded over single-shard-unbatched geomean across \
+         {chan_n} engines: {chan_geomean:.4}x (acceptance >= 1.3)"
+    );
 
     // Headline comparison from PR2: on pairs, reuse must not be slower
     // than the alloc baseline (same queue, config, thread count).
@@ -714,7 +949,7 @@ fn main() {
     }
 
     let mut json = String::new();
-    json.push_str("{\n  \"pr\": 6,\n");
+    json.push_str("{\n  \"pr\": 7,\n");
     let _ = writeln!(json, "  \"iters_per_thread\": {iters},");
     let _ = writeln!(json, "  \"reps\": {reps},");
     let _ = writeln!(json, "  \"cores\": {cores},");
@@ -793,7 +1028,50 @@ fn main() {
     );
     json.push_str("  \"stalled_reader\": [\n");
     json.push_str(&stalled);
-    json.push_str("  ]\n");
+    json.push_str("  ],\n");
+    json.push_str("  \"channel_sweep\": [\n");
+    for (i, r) in chan_rows.iter().enumerate() {
+        let capacity = match r.capacity {
+            Some(c) => c.to_string(),
+            None => "null".to_string(),
+        };
+        let _ = writeln!(
+            json,
+            "    {{\"engine\": \"{}\", \"shards\": {}, \"batch\": {}, \
+             \"capacity\": {}, \"producers\": {}, \"consumers\": {}, \
+             \"threads\": {}, \"oversubscribed\": {}, \
+             \"median_secs\": {:.6}, \"mops_per_sec\": {:.4}, \
+             \"allocs_per_msg\": {:.6}, \"offered_mops\": {:.4}, \
+             \"latency_samples\": {}, \"p50_ns\": {}, \"p99_ns\": {}, \
+             \"p999_ns\": {}, \"max_ns\": {}, \"mean_ns\": {:.1}}}{}",
+            engine_label(r.engine),
+            r.shards,
+            r.batch,
+            capacity,
+            CHAN_PRODUCERS,
+            CHAN_CONSUMERS,
+            CHAN_PRODUCERS + CHAN_CONSUMERS,
+            r.oversubscribed,
+            r.median_secs,
+            r.mops_per_sec,
+            r.allocs_per_msg,
+            r.offered_mops,
+            r.samples,
+            r.p50_ns,
+            r.p99_ns,
+            r.p999_ns,
+            r.max_ns,
+            r.mean_ns,
+            if i + 1 == chan_rows.len() { "" } else { "," }
+        );
+    }
+    json.push_str("  ],\n  \"channel_batched_sharded_vs_single\": [\n");
+    json.push_str(&chan_cmps);
+    json.push_str("\n  ],\n");
+    let _ = writeln!(
+        json,
+        "  \"channel_batched_sharded_geomean\": {chan_geomean:.4}"
+    );
     json.push_str("}\n");
 
     std::fs::write(&out, json).expect("write JSON report");

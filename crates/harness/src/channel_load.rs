@@ -1,0 +1,336 @@
+//! Channel workloads for the sharded front-end (DESIGN.md §15): a
+//! closed-loop throughput cell and an open-loop bursty-arrival latency
+//! probe, both generic over the shard engine.
+//!
+//! The closed loop measures sustained transfer rate: producers push as
+//! fast as backpressure allows, so the number says "how fast can this
+//! configuration move messages". The open loop answers the deployment
+//! question instead — "at a *fixed offered rate*, what latency does a
+//! message see?" — by stamping every message with its **scheduled**
+//! arrival time and measuring receive-side lateness against that
+//! schedule. Stamping the schedule rather than the actual send instant
+//! makes the probe coordination-omission-free: when the channel stalls,
+//! the messages queued behind the stall are charged their full wait,
+//! not forgiven it.
+//!
+//! Latencies go into a [`LogHistogram`](crate::hist::LogHistogram) —
+//! record is a shift/mask/increment, and the receive buffer is
+//! preallocated — so the measurement path performs no allocation.
+
+use std::sync::Barrier;
+use std::time::{Duration, Instant};
+
+use kp_channel::Channel;
+use queue_traits::ConcurrentQueue;
+
+use crate::hist::LogHistogram;
+
+/// One closed-loop throughput cell.
+#[derive(Debug, Clone, Copy)]
+pub struct CellSpec {
+    /// Producer (sender) threads.
+    pub producers: usize,
+    /// Consumer (receiver) threads.
+    pub consumers: usize,
+    /// Messages each producer sends.
+    pub iters: usize,
+    /// Batch size: 1 uses the scalar `send`/`recv` path, larger values
+    /// use `send_batch`/`recv_batch` in chunks of this size.
+    pub batch: usize,
+}
+
+impl CellSpec {
+    /// Total messages the cell transfers.
+    pub fn messages(&self) -> usize {
+        self.producers * self.iters
+    }
+}
+
+/// One open-loop bursty-arrival latency probe.
+///
+/// Every producer emits `bursts` bursts of `burst` messages; burst `b`
+/// is *scheduled* to arrive at `b * gap` after the probe epoch, and all
+/// producers share the schedule, so the instantaneous arrival rate is
+/// `producers * burst` messages per `gap` — deliberately spiky. The
+/// offered rate is `producers * burst / gap` on average.
+#[derive(Debug, Clone, Copy)]
+pub struct OpenLoopSpec {
+    /// Producer (sender) threads.
+    pub producers: usize,
+    /// Consumer (receiver) threads.
+    pub consumers: usize,
+    /// Batch size for the send/receive paths (as in [`CellSpec`]).
+    pub batch: usize,
+    /// Messages per burst.
+    pub burst: usize,
+    /// Bursts per producer.
+    pub bursts: usize,
+    /// Scheduled gap between consecutive bursts.
+    pub gap: Duration,
+}
+
+impl OpenLoopSpec {
+    /// Total messages the probe offers.
+    pub fn messages(&self) -> usize {
+        self.producers * self.bursts * self.burst
+    }
+
+    /// Average offered rate in messages per second.
+    pub fn offered_per_sec(&self) -> f64 {
+        (self.producers * self.burst) as f64 / self.gap.as_secs_f64()
+    }
+}
+
+/// Runs one closed-loop cell on `chan` and returns the wall-clock time
+/// from the synchronized start until the last consumer drains the
+/// disconnect. The channel must be freshly constructed with
+/// `max_senders >= producers` and `max_receivers >= consumers`.
+pub fn run_closed_loop<Q: ConcurrentQueue<u64>>(
+    chan: &Channel<u64, Q>,
+    spec: &CellSpec,
+) -> Duration {
+    assert!(spec.batch >= 1, "batch must be at least 1");
+    let barrier = Barrier::new(spec.producers + spec.consumers);
+    let mut received = 0usize;
+    // Every worker stamps its own start (right after the barrier) and
+    // end; the cell's duration is the span from the earliest start to
+    // the latest end. Timing from the coordinating thread would be
+    // wrong under oversubscription: the whole run can finish before
+    // the coordinator is scheduled again.
+    let mut first_start: Option<Instant> = None;
+    let mut last_end: Option<Instant> = None;
+    let mut span = |start: Instant, end: Instant| {
+        first_start = Some(first_start.map_or(start, |f| f.min(start)));
+        last_end = Some(last_end.map_or(end, |l| l.max(end)));
+    };
+    std::thread::scope(|s| {
+        let producers: Vec<_> = (0..spec.producers as u64)
+            .map(|p| {
+                let mut tx = chan.sender();
+                let barrier = &barrier;
+                s.spawn(move || {
+                    barrier.wait();
+                    let start = Instant::now();
+                    if spec.batch == 1 {
+                        for i in 0..spec.iters as u64 {
+                            tx.send((p << 48) | i).expect("receivers vanished mid-run");
+                        }
+                    } else {
+                        let mut i = 0u64;
+                        while i < spec.iters as u64 {
+                            let n = spec.batch.min(spec.iters - i as usize) as u64;
+                            tx.send_batch((i..i + n).map(|j| (p << 48) | j))
+                                .expect("receivers vanished mid-run");
+                            i += n;
+                        }
+                    }
+                    (start, Instant::now())
+                })
+            })
+            .collect();
+        let consumers: Vec<_> = (0..spec.consumers)
+            .map(|_| {
+                let mut rx = chan.receiver();
+                let barrier = &barrier;
+                s.spawn(move || {
+                    barrier.wait();
+                    let start = Instant::now();
+                    let mut got = 0usize;
+                    if spec.batch == 1 {
+                        while rx.recv().is_ok() {
+                            got += 1;
+                        }
+                    } else {
+                        let mut buf = Vec::with_capacity(spec.batch);
+                        while let Ok(n) = rx.recv_batch(&mut buf, spec.batch) {
+                            got += n;
+                            buf.clear();
+                        }
+                    }
+                    (start, Instant::now(), got)
+                })
+            })
+            .collect();
+        for p in producers {
+            let (start, end) = p.join().expect("producer panicked");
+            span(start, end);
+        }
+        for c in consumers {
+            let (start, end, got) = c.join().expect("consumer panicked");
+            span(start, end);
+            received += got;
+        }
+    });
+    assert_eq!(
+        received,
+        spec.messages(),
+        "closed-loop cell lost or duplicated messages"
+    );
+    last_end.expect("at least one worker") - first_start.expect("at least one worker")
+}
+
+/// Waits (sleep for the coarse part, yield for the tail) until
+/// `deadline` nanoseconds past `t0`. The tail yields rather than spins:
+/// on an oversubscribed host a spinning producer would starve the very
+/// consumers whose latency the probe measures, and a few dozen µs of
+/// schedule slack simply shows up in the (schedule-relative) latency
+/// samples instead of being hidden.
+fn wait_until(t0: Instant, deadline: u64) {
+    loop {
+        let now = t0.elapsed().as_nanos() as u64;
+        if now >= deadline {
+            return;
+        }
+        let left = deadline - now;
+        if left > 200_000 {
+            // Leave ~100µs of yield headroom for sleep overshoot.
+            std::thread::sleep(Duration::from_nanos(left - 100_000));
+        } else {
+            std::thread::yield_now();
+        }
+    }
+}
+
+/// Runs one open-loop probe on `chan`; returns the merged receive-side
+/// latency histogram (nanoseconds against the arrival schedule).
+///
+/// The message payload *is* its scheduled arrival offset in
+/// nanoseconds; a consumer's latency sample is `elapsed - schedule` at
+/// the moment the message comes out of `recv`. Samples for a burst
+/// that the channel absorbs late therefore include the full queueing
+/// delay, even for messages the producer had not physically sent yet
+/// when the stall began.
+pub fn run_open_loop<Q: ConcurrentQueue<u64>>(
+    chan: &Channel<u64, Q>,
+    spec: &OpenLoopSpec,
+) -> LogHistogram {
+    assert!(spec.batch >= 1, "batch must be at least 1");
+    let barrier = Barrier::new(spec.producers + spec.consumers);
+    let gap = spec.gap.as_nanos() as u64;
+    // The schedule epoch predates the barrier; burst `b` is scheduled
+    // at `(b + 1) * gap`, so the first deadline is comfortably in the
+    // future by the time the barrier releases the workers.
+    let t0 = Instant::now();
+    let mut merged = LogHistogram::new();
+    let mut received = 0usize;
+    std::thread::scope(|s| {
+        for _ in 0..spec.producers {
+            let mut tx = chan.sender();
+            let barrier = &barrier;
+            s.spawn(move || {
+                barrier.wait();
+                for b in 0..spec.bursts as u64 {
+                    let sched = (b + 1) * gap;
+                    wait_until(t0, sched);
+                    if spec.batch == 1 {
+                        for _ in 0..spec.burst {
+                            tx.send(sched).expect("receivers vanished mid-run");
+                        }
+                    } else {
+                        let mut sent = 0usize;
+                        while sent < spec.burst {
+                            let n = spec.batch.min(spec.burst - sent);
+                            tx.send_batch(std::iter::repeat_n(sched, n))
+                                .expect("receivers vanished mid-run");
+                            sent += n;
+                        }
+                    }
+                }
+            });
+        }
+        let consumers: Vec<_> = (0..spec.consumers)
+            .map(|_| {
+                let mut rx = chan.receiver();
+                let barrier = &barrier;
+                s.spawn(move || {
+                    barrier.wait();
+                    let mut hist = LogHistogram::new();
+                    let mut got = 0usize;
+                    if spec.batch == 1 {
+                        while let Ok(sched) = rx.recv() {
+                            let now = t0.elapsed().as_nanos() as u64;
+                            hist.record(now.saturating_sub(sched));
+                            got += 1;
+                        }
+                    } else {
+                        let mut buf = Vec::with_capacity(spec.batch);
+                        while let Ok(n) = rx.recv_batch(&mut buf, spec.batch) {
+                            let now = t0.elapsed().as_nanos() as u64;
+                            for &sched in &buf {
+                                hist.record(now.saturating_sub(sched));
+                            }
+                            got += n;
+                            buf.clear();
+                        }
+                    }
+                    (hist, got)
+                })
+            })
+            .collect();
+        for c in consumers {
+            let (hist, got) = c.join().expect("consumer panicked");
+            merged.merge(&hist);
+            received += got;
+        }
+    });
+    assert_eq!(
+        received,
+        spec.messages(),
+        "open-loop probe lost or duplicated messages"
+    );
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kp_channel::ChannelConfig;
+
+    fn cfg(shards: usize) -> ChannelConfig {
+        ChannelConfig::new()
+            .with_shards(shards)
+            .with_max_senders(2)
+            .with_max_receivers(2)
+    }
+
+    #[test]
+    fn closed_loop_moves_every_message() {
+        for batch in [1, 8] {
+            let chan = Channel::wcq(cfg(2), 1024);
+            let spec = CellSpec { producers: 2, consumers: 2, iters: 500, batch };
+            let d = run_closed_loop(&chan, &spec);
+            assert!(d > Duration::ZERO);
+        }
+    }
+
+    #[test]
+    fn open_loop_records_every_latency() {
+        let chan = Channel::wcq(cfg(2), 1024);
+        let spec = OpenLoopSpec {
+            producers: 2,
+            consumers: 2,
+            batch: 8,
+            burst: 16,
+            bursts: 5,
+            gap: Duration::from_micros(200),
+        };
+        let hist = run_open_loop(&chan, &spec);
+        assert_eq!(hist.len(), spec.messages() as u64);
+        assert!(hist.quantile(0.5) <= hist.quantile(0.99));
+    }
+
+    #[test]
+    fn open_loop_works_on_unbounded_core() {
+        let chan = Channel::kp(cfg(1));
+        let spec = OpenLoopSpec {
+            producers: 2,
+            consumers: 2,
+            batch: 1,
+            burst: 8,
+            bursts: 3,
+            gap: Duration::from_micros(200),
+        };
+        let hist = run_open_loop(&chan, &spec);
+        assert_eq!(hist.len(), spec.messages() as u64);
+    }
+}

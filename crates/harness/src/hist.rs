@@ -1,0 +1,222 @@
+//! A fixed-footprint latency histogram with HdrHistogram-style
+//! power-of-two bucketing: each octave of the value range is split into
+//! `SUB` linear sub-buckets, giving a bounded relative error of
+//! `1/SUB` (~3%) across the whole `u64` range with one flat array of
+//! counters. `record` is a shift, a mask and an increment — no
+//! allocation, no branching on data — so it can sit directly on the
+//! latency-measurement hot path of an open-loop workload.
+
+/// Sub-buckets per octave as a power of two; 2^5 = 32 sub-buckets
+/// bounds the relative quantile error at ~3.1%.
+const SUB_BITS: u32 = 5;
+/// Sub-buckets per octave.
+const SUB: usize = 1 << SUB_BITS;
+/// Octaves above the linear range (`u64` has 64 bit positions; the
+/// first `SUB_BITS + 1` of them fit inside the linear range).
+const OCTAVES: usize = 64 - SUB_BITS as usize;
+/// Total counters: the linear range `0..2*SUB` plus `SUB` per octave.
+const BUCKETS: usize = 2 * SUB + (OCTAVES - 1) * SUB;
+
+/// Fixed-size log-linear histogram of `u64` samples (nanoseconds, in
+/// this workspace).
+pub struct LogHistogram {
+    counts: Box<[u64; BUCKETS]>,
+    total: u64,
+    max: u64,
+    sum: u128,
+}
+
+/// Maps a value to its bucket index.
+///
+/// Values below `2*SUB` map linearly (exact); a value with its most
+/// significant bit at position `m >= SUB_BITS + 1` keeps its top
+/// `SUB_BITS + 1` significant bits: octave `m - SUB_BITS` at `SUB`
+/// buckets each, past the `2*SUB` linear ones.
+#[inline]
+fn index_of(v: u64) -> usize {
+    if v < (2 * SUB) as u64 {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros(); // >= SUB_BITS + 1
+    let octave = (msb - SUB_BITS) as usize; // >= 1
+    let sub = ((v >> (msb - SUB_BITS)) as usize) & (SUB - 1);
+    SUB + octave * SUB + sub
+}
+
+/// Upper edge of a bucket: the largest value mapping into it. Reported
+/// quantiles use this edge, so they never understate a latency.
+fn upper_edge(index: usize) -> u64 {
+    if index < 2 * SUB {
+        return index as u64;
+    }
+    let octave = (index - SUB) / SUB;
+    let sub = (index - SUB) % SUB;
+    let base = 1u64 << (octave + SUB_BITS as usize);
+    let width = base >> SUB_BITS; // bucket width in this octave
+    base + (sub as u64 + 1) * width - 1
+}
+
+impl LogHistogram {
+    /// An empty histogram. The only allocation this type ever
+    /// performs.
+    pub fn new() -> LogHistogram {
+        LogHistogram { counts: Box::new([0; BUCKETS]), total: 0, max: 0, sum: 0 }
+    }
+
+    /// Records one sample. Allocation-free.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.counts[index_of(v)] += 1;
+        self.total += 1;
+        self.sum += v as u128;
+        if v > self.max {
+            self.max = v;
+        }
+    }
+
+    /// Number of recorded samples.
+    pub fn len(&self) -> u64 {
+        self.total
+    }
+
+    /// Whether no sample has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Largest recorded sample (exact, not bucketed).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of the recorded samples (exact sum over exact count).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        self.sum as f64 / self.total as f64
+    }
+
+    /// The `q`-quantile (`q` in `[0, 1]`), reported as the upper edge
+    /// of the bucket holding the rank-`ceil(q * n)` sample — within
+    /// ~3% above the true value, never below it. 0 on an empty
+    /// histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return upper_edge(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merges another histogram's samples into this one.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        if other.max > self.max {
+            self.max = other.max;
+        }
+    }
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_range_is_exact() {
+        let mut h = LogHistogram::new();
+        for v in 0..64u64 {
+            h.record(v);
+        }
+        assert_eq!(h.len(), 64);
+        assert_eq!(h.quantile(0.0), 0);
+        // Rank-32 sample is value 31; the linear range is exact.
+        assert_eq!(h.quantile(0.5), 31);
+        assert_eq!(h.quantile(1.0), 63);
+    }
+
+    #[test]
+    fn index_is_monotone_and_in_bounds() {
+        let mut last = 0;
+        let mut v = 1u64;
+        while v < u64::MAX / 3 {
+            let i = index_of(v);
+            assert!(i < BUCKETS, "index {i} out of bounds for {v}");
+            assert!(i >= last, "index not monotone at {v}");
+            last = i;
+            v = v * 3 + 1;
+        }
+        assert!(index_of(u64::MAX) < BUCKETS);
+    }
+
+    #[test]
+    fn upper_edge_brackets_its_bucket() {
+        let mut v = 1u64;
+        while v < u64::MAX / 5 {
+            let i = index_of(v);
+            let edge = upper_edge(i);
+            assert!(edge >= v, "edge {edge} below sample {v}");
+            // The edge itself still lands in the same bucket.
+            assert_eq!(index_of(edge), i, "edge {edge} escapes bucket of {v}");
+            v = v * 5 + 3;
+        }
+    }
+
+    #[test]
+    fn quantile_error_is_bounded() {
+        let mut h = LogHistogram::new();
+        for v in 1..=100_000u64 {
+            h.record(v);
+        }
+        for (q, exact) in [(0.5, 50_000.0), (0.99, 99_000.0), (0.999, 99_900.0)] {
+            let got = h.quantile(q) as f64;
+            assert!(got >= exact, "quantile {q} understated: {got} < {exact}");
+            assert!(got <= exact * 1.04, "quantile {q} overstated: {got} > {exact} * 1.04");
+        }
+    }
+
+    #[test]
+    fn merge_matches_union() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        let mut u = LogHistogram::new();
+        for v in 0..1000u64 {
+            if v % 2 == 0 { a.record(v * 17) } else { b.record(v * 17) }
+            u.record(v * 17);
+        }
+        a.merge(&b);
+        assert_eq!(a.len(), u.len());
+        assert_eq!(a.max(), u.max());
+        for q in [0.1, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(a.quantile(q), u.quantile(q));
+        }
+    }
+
+    #[test]
+    fn mean_and_max_are_exact() {
+        let mut h = LogHistogram::new();
+        for v in [10u64, 20, 30, 1_000_000] {
+            h.record(v);
+        }
+        assert_eq!(h.max(), 1_000_000);
+        assert!((h.mean() - 250_015.0).abs() < 1e-9);
+    }
+}

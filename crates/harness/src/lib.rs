@@ -29,7 +29,9 @@
 #![warn(missing_docs)]
 
 pub mod args;
+pub mod channel_load;
 pub mod figures;
+pub mod hist;
 pub mod latency;
 pub mod report;
 pub mod sched;

@@ -1,0 +1,36 @@
+//! Fault-injection hooks for the channel layer, compiled away unless
+//! the `chaos` cargo feature is enabled.
+//!
+//! Same contract as `wcq/src/chaos_hooks.rs`: every labeled
+//! `inject!("site")` sits immediately *before* the protocol step it
+//! names, so a fault plan can stall or yield-storm a thread in the
+//! window the wakeup protocol exists to survive. With the feature off
+//! the macro expands to nothing.
+//!
+//! The channel sites are **stall/storm sites only**: unlike the engine
+//! sites (`wcq.*`, `kp.*`), the channel's waiter registry is a lock, so
+//! kill plans must keep targeting engine sites. All sites sit outside
+//! lock-held regions.
+//!
+//! Site names (`chan.*`):
+//!
+//! | site | window it opens |
+//! |---|---|
+//! | `chan.route` | top of each single send, before the sticky-shard engine enqueue |
+//! | `chan.batch` | top of each `send_batch`/`recv_batch`, before the batch touches its shard |
+//! | `chan.park` | before a receiver publishes itself to the waiter registry (the Dekker store) |
+//! | `chan.wake` | before a notifier pops and wakes the next registered waiter |
+
+#[cfg(feature = "chaos")]
+macro_rules! inject {
+    ($site:expr) => {
+        ::chaos::hit($site)
+    };
+}
+
+#[cfg(not(feature = "chaos"))]
+macro_rules! inject {
+    ($site:expr) => {};
+}
+
+pub(crate) use inject;

@@ -1,0 +1,124 @@
+//! Channel error types, mirroring `std::sync::mpsc` naming so the API
+//! reads familiarly.
+
+use std::fmt;
+
+/// Error returned by [`Sender::try_send`](crate::Sender::try_send).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The sender's shard is at capacity (bounded cores only; the
+    /// value is handed back). Can be reported transiently while
+    /// concurrent dequeuers hold slot indices mid-flight.
+    Full(T),
+    /// Every receiver has been dropped; the value is handed back.
+    Disconnected(T),
+}
+
+impl<T> TrySendError<T> {
+    /// The value that could not be sent.
+    pub fn into_inner(self) -> T {
+        match self {
+            TrySendError::Full(v) | TrySendError::Disconnected(v) => v,
+        }
+    }
+}
+
+impl<T> fmt::Display for TrySendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrySendError::Full(_) => write!(f, "sending on a full channel"),
+            TrySendError::Disconnected(_) => write!(f, "sending on a disconnected channel"),
+        }
+    }
+}
+
+impl<T: fmt::Debug> std::error::Error for TrySendError<T> {}
+
+/// Error returned by [`Sender::send`](crate::Sender::send): every
+/// receiver has been dropped. The unsent value is handed back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sending on a disconnected channel")
+    }
+}
+
+impl<T: fmt::Debug> std::error::Error for SendError<T> {}
+
+/// Error returned by [`Receiver::try_recv`](crate::Receiver::try_recv).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// No value was available (senders may still produce one).
+    Empty,
+    /// Every sender has been dropped and all shards are drained.
+    Disconnected,
+}
+
+impl fmt::Display for TryRecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TryRecvError::Empty => write!(f, "receiving on an empty channel"),
+            TryRecvError::Disconnected => write!(f, "receiving on a disconnected channel"),
+        }
+    }
+}
+
+impl std::error::Error for TryRecvError {}
+
+/// Error returned by [`Receiver::recv`](crate::Receiver::recv): every
+/// sender has been dropped and all shards are drained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "receiving on a disconnected channel")
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// Error returned by [`Receiver::recv_timeout`](crate::Receiver::recv_timeout).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// The deadline passed with no value available.
+    Timeout,
+    /// Every sender has been dropped and all shards are drained.
+    Disconnected,
+}
+
+impl fmt::Display for RecvTimeoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecvTimeoutError::Timeout => write!(f, "timed out receiving on an empty channel"),
+            RecvTimeoutError::Disconnected => write!(f, "receiving on a disconnected channel"),
+        }
+    }
+}
+
+impl std::error::Error for RecvTimeoutError {}
+
+/// Error returned by [`Channel::try_sender`](crate::Channel::try_sender)
+/// and [`Channel::try_receiver`](crate::Channel::try_receiver).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubscribeError {
+    /// The channel is closed on that side (the last sender/receiver
+    /// already dropped and the disconnect latched).
+    Closed,
+    /// A shard's thread capacity is exhausted; raise
+    /// [`ChannelConfig`](crate::ChannelConfig) limits.
+    Capacity(queue_traits::RegistrationError),
+}
+
+impl fmt::Display for SubscribeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubscribeError::Closed => write!(f, "channel already closed"),
+            SubscribeError::Capacity(e) => write!(f, "shard capacity exhausted: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SubscribeError {}

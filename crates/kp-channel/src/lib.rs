@@ -1,0 +1,419 @@
+//! A sharded, batching MPMC channel front-end over any
+//! [`queue-traits`](queue_traits) engine.
+//!
+//! The engines in this workspace (KP and wCQ) pay a helping cost that
+//! grows with the number of threads contending on *one* queue instance.
+//! This crate recovers scalability the systems way: **shard** the
+//! channel across N engine instances with producer-sticky routing,
+//! **batch** sends and receives so a burst pays one shard acquisition,
+//! and layer **blocking / async receive** on top so the whole thing
+//! drops into a service. DESIGN.md §15 documents the ordering contract,
+//! the batching linearizability argument, and the waker protocol; the
+//! short version:
+//!
+//! - **Ordering.** Each [`Sender`] is pinned to one shard at creation
+//!   (round-robin assignment), and each shard is itself a linearizable
+//!   FIFO, so the channel preserves *FIFO per producer*: two values
+//!   sent by the same sender are received in send order. No order is
+//!   promised between values from different senders — that is the
+//!   relaxation sharding buys its throughput with.
+//! - **Wakeups.** Blocking and async receivers share one waiter
+//!   registry and a Dekker-style `sleepers` gauge: a receiver registers
+//!   *then* re-checks every shard before parking, a sender enqueues
+//!   *then* checks the gauge. Under the total order on the SeqCst gauge
+//!   operations and the engines' linearization points, one of the two
+//!   re-checks always observes the other side, so no wakeup is lost.
+//! - **Capacity.** Over a bounded core (wCQ) a full shard surfaces as
+//!   [`TrySendError::Full`] from [`Sender::try_send`], while
+//!   [`Sender::send`] treats it as backpressure and yields until a slot
+//!   frees. Unbounded cores (KP) never report full. Dropping the last
+//!   sender latches the channel *disconnected*: receivers drain what
+//!   remains, then see [`TryRecvError::Disconnected`].
+//!
+//! Handles borrow the channel (`Sender<'a, ..>`), matching the
+//! register-then-operate usage model of the engines. To move receivers
+//! into `'static` contexts (e.g. `tokio::spawn`), give the channel a
+//! `'static` home first — `Box::leak(Box::new(chan))` in
+//! `examples/ingest_server.rs`.
+
+#![warn(missing_docs)]
+
+mod chaos_hooks;
+mod errors;
+mod receiver;
+mod sender;
+#[cfg(test)]
+mod tests;
+
+pub use errors::{
+    RecvError, RecvTimeoutError, SendError, SubscribeError, TryRecvError, TrySendError,
+};
+pub use receiver::{Receiver, RecvFuture};
+pub use sender::Sender;
+
+use kp_sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use queue_traits::ConcurrentQueue;
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::sync::{Mutex, PoisonError};
+use std::task::Waker;
+
+use chaos_hooks::inject;
+
+/// Sizing knobs for a [`Channel`].
+///
+/// `max_senders`/`max_receivers` bound how many handles may be live at
+/// once; they size each shard's engine thread capacity (every receiver
+/// registers on every shard, senders are spread round-robin but bounded
+/// pessimistically).
+#[derive(Debug, Clone, Copy)]
+pub struct ChannelConfig {
+    /// Number of engine instances values are sharded over.
+    pub shards: usize,
+    /// Upper bound on simultaneously live [`Sender`]s.
+    pub max_senders: usize,
+    /// Upper bound on simultaneously live [`Receiver`]s.
+    pub max_receivers: usize,
+}
+
+impl ChannelConfig {
+    /// One shard, 16 senders, 16 receivers.
+    pub fn new() -> ChannelConfig {
+        ChannelConfig { shards: 1, max_senders: 16, max_receivers: 16 }
+    }
+
+    /// Sets the shard count (≥ 1).
+    pub fn with_shards(mut self, shards: usize) -> ChannelConfig {
+        assert!(shards >= 1, "a channel needs at least one shard");
+        self.shards = shards;
+        self
+    }
+
+    /// Sets the live-sender bound (≥ 1).
+    pub fn with_max_senders(mut self, n: usize) -> ChannelConfig {
+        assert!(n >= 1);
+        self.max_senders = n;
+        self
+    }
+
+    /// Sets the live-receiver bound (≥ 1).
+    pub fn with_max_receivers(mut self, n: usize) -> ChannelConfig {
+        assert!(n >= 1);
+        self.max_receivers = n;
+        self
+    }
+
+    /// Engine thread capacity each shard must provide: every receiver
+    /// registers on every shard, and in the worst case every sender
+    /// lands on one shard (handles outlive rebalancing).
+    pub fn threads_per_shard(&self) -> usize {
+        self.max_senders + self.max_receivers
+    }
+}
+
+impl Default for ChannelConfig {
+    fn default() -> Self {
+        ChannelConfig::new()
+    }
+}
+
+/// Everything a shard factory needs to build one engine instance.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardSpec {
+    /// This shard's index, `0..shards`.
+    pub index: usize,
+    /// Total shard count.
+    pub shards: usize,
+    /// Minimum thread capacity the engine must register.
+    pub threads: usize,
+}
+
+/// A waiter parked in [`Channel::recv`](Receiver::recv) (an OS thread)
+/// or pending in [`Receiver::poll_recv`] (a task waker).
+pub(crate) enum WaiterKind {
+    Thread(std::thread::Thread),
+    Task(Waker),
+}
+
+impl WaiterKind {
+    fn wake(self) {
+        match self {
+            WaiterKind::Thread(t) => t.unpark(),
+            WaiterKind::Task(w) => w.wake(),
+        }
+    }
+}
+
+/// FIFO registry of parked/pending receivers. Guarded by
+/// [`Channel::waiters`]; the `sleepers` gauge mirrors its length.
+pub(crate) struct WaiterList {
+    slots: VecDeque<(u64, WaiterKind)>,
+    next_id: u64,
+}
+
+/// The sharded channel. Mint handles with [`sender`](Channel::sender) /
+/// [`receiver`](Channel::receiver); the channel itself is the shared
+/// home the handles borrow.
+pub struct Channel<T: Send, Q: ConcurrentQueue<T>> {
+    shards: Box<[Q]>,
+    /// Round-robin cursor for sticky sender→shard assignment.
+    next_shard: AtomicUsize,
+    /// Live handle counts; reaching zero latches the matching `closed`.
+    tx_live: AtomicUsize,
+    rx_live: AtomicUsize,
+    /// Latched by the last sender/receiver drop. Once set, that side
+    /// never reopens: `try_sender`/`try_receiver` refuse.
+    tx_closed: AtomicBool,
+    rx_closed: AtomicBool,
+    /// Dekker gauge: number of entries in `waiters`. Senders read it
+    /// after enqueuing to decide whether a wake is needed without
+    /// taking the lock on the common path.
+    sleepers: AtomicUsize,
+    waiters: Mutex<WaiterList>,
+    _values: PhantomData<fn(T) -> T>,
+}
+
+impl<T: Send, Q: ConcurrentQueue<T>> Channel<T, Q> {
+    /// Builds a channel whose shards come from `factory` (called once
+    /// per shard, in index order).
+    pub fn with_factory(cfg: ChannelConfig, mut factory: impl FnMut(ShardSpec) -> Q) -> Self {
+        let threads = cfg.threads_per_shard();
+        let shards: Vec<Q> = (0..cfg.shards)
+            .map(|index| factory(ShardSpec { index, shards: cfg.shards, threads }))
+            .collect();
+        for (i, q) in shards.iter().enumerate() {
+            assert!(
+                q.thread_capacity() >= threads,
+                "shard {i} registers only {} handles, config needs {threads}",
+                q.thread_capacity()
+            );
+        }
+        Channel {
+            shards: shards.into_boxed_slice(),
+            next_shard: AtomicUsize::new(0),
+            tx_live: AtomicUsize::new(0),
+            rx_live: AtomicUsize::new(0),
+            tx_closed: AtomicBool::new(false),
+            rx_closed: AtomicBool::new(false),
+            sleepers: AtomicUsize::new(0),
+            waiters: Mutex::new(WaiterList { slots: VecDeque::new(), next_id: 0 }),
+            _values: PhantomData,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Whether the send side has closed (last sender dropped).
+    pub fn is_disconnected(&self) -> bool {
+        self.tx_closed.load(Ordering::Acquire)
+    }
+
+    /// Mints a sender pinned to the next shard round-robin.
+    ///
+    /// Minting concurrently with the drop of the last live sender is a
+    /// logical race: create the handles you need before the last one
+    /// can go away.
+    pub fn try_sender(&self) -> Result<Sender<'_, T, Q>, SubscribeError> {
+        if self.tx_closed.load(Ordering::Acquire) {
+            return Err(SubscribeError::Closed);
+        }
+        let shard = self.next_shard.fetch_add(1, Ordering::Relaxed) % self.shards.len();
+        let handle = self.shards[shard].register().map_err(SubscribeError::Capacity)?;
+        self.tx_live.fetch_add(1, Ordering::Relaxed);
+        Ok(Sender::new(self, handle, shard))
+    }
+
+    /// [`try_sender`](Channel::try_sender), panicking on failure.
+    pub fn sender(&self) -> Sender<'_, T, Q> {
+        self.try_sender().expect("cannot mint channel sender")
+    }
+
+    /// Mints a receiver holding one engine handle per shard.
+    pub fn try_receiver(&self) -> Result<Receiver<'_, T, Q>, SubscribeError> {
+        if self.rx_closed.load(Ordering::Acquire) {
+            return Err(SubscribeError::Closed);
+        }
+        let mut handles = Vec::with_capacity(self.shards.len());
+        for q in self.shards.iter() {
+            handles.push(q.register().map_err(SubscribeError::Capacity)?);
+        }
+        // Stagger each receiver's initial sweep cursor so concurrent
+        // receivers start draining *different* shards instead of all
+        // contending on shard 0's head.
+        let start = self.rx_live.fetch_add(1, Ordering::Relaxed) % self.shards.len();
+        Ok(Receiver::new(self, handles, start))
+    }
+
+    /// [`try_receiver`](Channel::try_receiver), panicking on failure.
+    pub fn receiver(&self) -> Receiver<'_, T, Q> {
+        self.try_receiver().expect("cannot mint channel receiver")
+    }
+
+    // ---- waiter registry (the waker protocol of DESIGN.md §15) ----
+
+    fn lock_waiters(&self) -> std::sync::MutexGuard<'_, WaiterList> {
+        // The registry stays consistent through a panicking waiter (all
+        // mutation is push/remove of plain entries), so poison is not
+        // load-bearing here.
+        self.waiters.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Publishes a waiter. The gauge increment is the Dekker store: it
+    /// is SeqCst so it is globally ordered before the caller's
+    /// subsequent shard re-check.
+    pub(crate) fn register_waiter(&self, kind: WaiterKind) -> u64 {
+        let mut w = self.lock_waiters();
+        let id = w.next_id;
+        w.next_id += 1;
+        w.slots.push_back((id, kind));
+        self.sleepers.fetch_add(1, Ordering::SeqCst);
+        id
+    }
+
+    /// Withdraws a registration. Returns `false` if a notifier already
+    /// popped it — a wake token was spent on the caller, who must
+    /// either consume it (by re-checking the shards) or pass it on via
+    /// [`wake_one`](Channel::wake_one).
+    pub(crate) fn cancel_waiter(&self, id: u64) -> bool {
+        let mut w = self.lock_waiters();
+        if let Some(pos) = w.slots.iter().position(|(i, _)| *i == id) {
+            w.slots.remove(pos);
+            self.sleepers.fetch_sub(1, Ordering::SeqCst);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Re-arms an existing async registration with a fresh waker,
+    /// so a task re-polled with a new context keeps exactly one slot.
+    /// Returns `false` if the registration was already popped.
+    pub(crate) fn rearm_waiter(&self, id: u64, waker: &Waker) -> bool {
+        let mut w = self.lock_waiters();
+        if let Some((_, kind)) = w.slots.iter_mut().find(|(i, _)| *i == id) {
+            *kind = WaiterKind::Task(waker.clone());
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Pops and wakes the oldest waiter, if any.
+    pub(crate) fn wake_one(&self) -> bool {
+        inject!("chan.wake");
+        let popped = {
+            let mut w = self.lock_waiters();
+            let popped = w.slots.pop_front();
+            if popped.is_some() {
+                self.sleepers.fetch_sub(1, Ordering::SeqCst);
+            }
+            popped
+        };
+        match popped {
+            // Wake outside the lock: a waker may run scheduler code.
+            Some((_, kind)) => {
+                kind.wake();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Sender-side notification after one enqueue. The gauge load is
+    /// the Dekker check: SeqCst, globally ordered after the enqueue.
+    pub(crate) fn notify_one(&self) {
+        if self.sleepers.load(Ordering::SeqCst) > 0 {
+            self.wake_one();
+        }
+    }
+
+    /// Sender-side notification after a batch of `n` enqueues: wakes up
+    /// to `n` waiters (one re-check each suffices to drain the batch or
+    /// prove it was drained by others).
+    pub(crate) fn notify_many(&self, n: usize) {
+        if n == 0 {
+            return;
+        }
+        let sleeping = self.sleepers.load(Ordering::SeqCst);
+        for _ in 0..n.min(sleeping) {
+            if !self.wake_one() {
+                break;
+            }
+        }
+    }
+
+    /// Wakes every waiter (disconnect broadcast).
+    pub(crate) fn wake_all(&self) {
+        while self.wake_one() {}
+    }
+
+    // ---- handle drop accounting ----
+
+    pub(crate) fn sender_dropped(&self) {
+        if self.tx_live.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Last sender: latch the disconnect, then broadcast so
+            // parked receivers re-check and observe it. The store is
+            // ordered before the registry critical section every woken
+            // receiver passes through in `cancel_waiter`.
+            self.tx_closed.store(true, Ordering::Release);
+            self.wake_all();
+        }
+    }
+
+    pub(crate) fn receiver_dropped(&self) {
+        if self.rx_live.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Senders never park, so a latch is all that is needed:
+            // their send loops poll it.
+            self.rx_closed.store(true, Ordering::Release);
+        }
+    }
+
+    pub(crate) fn rx_closed(&self) -> bool {
+        self.rx_closed.load(Ordering::Acquire)
+    }
+
+    pub(crate) fn tx_closed(&self) -> bool {
+        self.tx_closed.load(Ordering::Acquire)
+    }
+}
+
+impl<T: Send, Q: ConcurrentQueue<T>> std::fmt::Debug for Channel<T, Q> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Channel")
+            .field("shards", &self.shards.len())
+            .field("tx_live", &self.tx_live.load(Ordering::Relaxed))
+            .field("rx_live", &self.rx_live.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl<T: Send + 'static> Channel<T, wcq::WcQueue<T>> {
+    /// A channel over bounded wCQ ring shards, each holding at most
+    /// `shard_capacity` values (rounded up to a power of two by the
+    /// engine). Full shards surface as [`TrySendError::Full`].
+    pub fn wcq(cfg: ChannelConfig, shard_capacity: usize) -> Self {
+        Channel::with_factory(cfg, |s| {
+            wcq::WcQueue::with_config(s.threads, wcq::Config::new().with_capacity(shard_capacity))
+        })
+    }
+}
+
+impl<T: Send + 'static> Channel<T, kp_queue::WfQueue<T>> {
+    /// A channel over unbounded Kogan–Petrank shards; sends never
+    /// report full.
+    ///
+    /// Shards run the production fast-path/slow-path configuration
+    /// (DESIGN.md §12): the bounded Michael–Scott CAS loop first, the
+    /// paper's descriptor-and-helping machinery as the wait-free
+    /// fallback. The channel is a front-end, not a measurement rig —
+    /// the paper-series slow-only configurations stay available through
+    /// [`Channel::with_factory`] for ablation runs.
+    pub fn kp(cfg: ChannelConfig) -> Self {
+        Channel::with_factory(cfg, |s| {
+            kp_queue::WfQueue::with_config(s.threads, kp_queue::Config::fast())
+        })
+    }
+}

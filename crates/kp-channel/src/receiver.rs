@@ -1,0 +1,284 @@
+//! The consuming half: shard-rotating receive, blocking receive via
+//! thread parking, batched receive, and a `poll_recv`-based async
+//! receive.
+
+use crate::chaos_hooks::inject;
+use crate::{Channel, RecvError, RecvTimeoutError, TryRecvError, WaiterKind};
+use queue_traits::{ConcurrentQueue, QueueHandle};
+use std::future::Future;
+use std::pin::Pin;
+use std::task::{Context, Poll};
+use std::time::{Duration, Instant};
+
+/// A consumer handle holding one engine handle per shard.
+///
+/// Receivers rotate over shards, staying on a shard while it yields
+/// values (batch locality) and advancing on empty (fairness). Blocking
+/// ([`recv`](Receiver::recv)) and async ([`poll_recv`](Receiver::poll_recv))
+/// receives share the channel's waiter registry; the no-lost-wakeup
+/// argument is spelled out in DESIGN.md §15.
+///
+/// Not `Clone` — mint more receivers from the [`Channel`].
+pub struct Receiver<'a, T: Send, Q: ConcurrentQueue<T>> {
+    chan: &'a Channel<T, Q>,
+    handles: Box<[Q::Handle<'a>]>,
+    cursor: usize,
+    /// Live async registration from a `poll_recv` that returned
+    /// `Pending`; consumed (cancelled or re-armed) on the next poll or
+    /// on drop.
+    waiting: Option<u64>,
+}
+
+impl<'a, T: Send, Q: ConcurrentQueue<T>> Receiver<'a, T, Q> {
+    pub(crate) fn new(chan: &'a Channel<T, Q>, handles: Vec<Q::Handle<'a>>, cursor: usize) -> Self {
+        Receiver { chan, handles: handles.into_boxed_slice(), cursor, waiting: None }
+    }
+
+    /// One full rotation over the shards starting at the cursor;
+    /// leaves the cursor on the shard that produced a value.
+    fn sweep(&mut self) -> Option<T> {
+        let n = self.handles.len();
+        for i in 0..n {
+            let s = (self.cursor + i) % n;
+            if let Some(v) = self.handles[s].dequeue() {
+                self.cursor = s;
+                return Some(v);
+            }
+        }
+        None
+    }
+
+    /// Receives without blocking.
+    ///
+    /// `Disconnected` is only reported after a post-latch re-sweep: the
+    /// last sender's values are enqueued before its drop latches the
+    /// disconnect, so a sweep that starts after observing the latch
+    /// cannot miss them.
+    pub fn try_recv(&mut self) -> Result<T, TryRecvError> {
+        if let Some(v) = self.sweep() {
+            return Ok(v);
+        }
+        if self.chan.tx_closed() {
+            return match self.sweep() {
+                Some(v) => Ok(v),
+                None => Err(TryRecvError::Disconnected),
+            };
+        }
+        Err(TryRecvError::Empty)
+    }
+
+    /// Drains up to `max` immediately available values into `out`,
+    /// emptying the current shard before rotating — one engine batch
+    /// acquisition per shard visited (the engine's `dequeue_batch`
+    /// amortizes its per-operation fixed costs across the run of
+    /// values). Returns how many values were taken.
+    pub fn try_recv_batch(&mut self, out: &mut Vec<T>, max: usize) -> usize {
+        let n = self.handles.len();
+        let mut taken = 0;
+        for i in 0..n {
+            let s = (self.cursor + i) % n;
+            taken += self.handles[s].dequeue_batch(out, max - taken);
+            if taken >= max {
+                self.cursor = s;
+                break;
+            }
+        }
+        taken
+    }
+
+    /// Receives, parking the thread until a value or disconnect.
+    pub fn recv(&mut self) -> Result<T, RecvError> {
+        match self.recv_deadline(None) {
+            Ok(v) => Ok(v),
+            Err(RecvTimeoutError::Disconnected) => Err(RecvError),
+            Err(RecvTimeoutError::Timeout) => unreachable!("no deadline was set"),
+        }
+    }
+
+    /// [`recv`](Receiver::recv) with an upper bound on the wait.
+    pub fn recv_timeout(&mut self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        self.recv_deadline(Some(Instant::now() + timeout))
+    }
+
+    fn recv_deadline(&mut self, deadline: Option<Instant>) -> Result<T, RecvTimeoutError> {
+        loop {
+            match self.try_recv() {
+                Ok(v) => return Ok(v),
+                Err(TryRecvError::Disconnected) => return Err(RecvTimeoutError::Disconnected),
+                Err(TryRecvError::Empty) => {}
+            }
+            inject!("chan.park");
+            // Dekker publish: register (gauge up, SeqCst), then
+            // re-check every shard. A sender either sees the gauge or
+            // this re-check sees its value.
+            let id = self.chan.register_waiter(WaiterKind::Thread(std::thread::current()));
+            match self.try_recv() {
+                Ok(v) => {
+                    self.finish_wait(id);
+                    return Ok(v);
+                }
+                Err(TryRecvError::Disconnected) => {
+                    self.finish_wait(id);
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                Err(TryRecvError::Empty) => {}
+            }
+            match deadline {
+                None => std::thread::park(),
+                Some(dl) => {
+                    let now = Instant::now();
+                    if now < dl {
+                        std::thread::park_timeout(dl - now);
+                    }
+                }
+            }
+            // Whether woken, timed out, or spurious: withdraw, passing
+            // on any token a notifier spent on us while we were out.
+            self.finish_wait(id);
+            if let Some(dl) = deadline {
+                if Instant::now() >= dl {
+                    return match self.try_recv() {
+                        Ok(v) => Ok(v),
+                        Err(TryRecvError::Disconnected) => Err(RecvTimeoutError::Disconnected),
+                        Err(TryRecvError::Empty) => Err(RecvTimeoutError::Timeout),
+                    };
+                }
+            }
+        }
+    }
+
+    /// Withdraws registration `id`; if a notifier already popped it,
+    /// the wake token it spent on us is passed to the next waiter so a
+    /// token never dies with a receiver that did not need it.
+    fn finish_wait(&mut self, id: u64) {
+        if !self.chan.cancel_waiter(id) {
+            self.chan.wake_one();
+        }
+    }
+
+    /// Receives at least one and up to `max` values into `out`,
+    /// parking until the first value or disconnect. Returns how many
+    /// values were appended.
+    pub fn recv_batch(&mut self, out: &mut Vec<T>, max: usize) -> Result<usize, RecvError> {
+        assert!(max >= 1, "recv_batch needs room for at least one value");
+        inject!("chan.batch");
+        loop {
+            let taken = self.try_recv_batch(out, max);
+            if taken > 0 {
+                return Ok(taken);
+            }
+            if self.chan.tx_closed() {
+                // Post-latch re-sweep, as in try_recv.
+                let taken = self.try_recv_batch(out, max);
+                return if taken > 0 { Ok(taken) } else { Err(RecvError) };
+            }
+            inject!("chan.park");
+            let id = self.chan.register_waiter(WaiterKind::Thread(std::thread::current()));
+            let taken = self.try_recv_batch(out, max);
+            if taken > 0 {
+                self.finish_wait(id);
+                return Ok(taken);
+            }
+            if self.chan.tx_closed() {
+                self.finish_wait(id);
+                let taken = self.try_recv_batch(out, max);
+                return if taken > 0 { Ok(taken) } else { Err(RecvError) };
+            }
+            std::thread::park();
+            self.finish_wait(id);
+        }
+    }
+
+    /// Polls for a value, registering `cx`'s waker on `Pending`.
+    /// `Ready(None)` means disconnected and drained. This is the
+    /// primitive [`recv_async`](Receiver::recv_async) is built on; use
+    /// it directly from manual `Future` impls.
+    pub fn poll_recv(&mut self, cx: &mut Context<'_>) -> Poll<Option<T>> {
+        // A previous Pending poll may have left a registration behind.
+        // Re-arm it with the current waker; if a notifier already spent
+        // a token on us, the re-check below consumes it (we are being
+        // polled, which is exactly the re-check the token paid for).
+        if let Some(id) = self.waiting.take() {
+            if self.chan.rearm_waiter(id, cx.waker()) {
+                self.waiting = Some(id);
+            }
+        }
+        match self.try_recv() {
+            Ok(v) => {
+                self.drop_registration();
+                return Poll::Ready(Some(v));
+            }
+            Err(TryRecvError::Disconnected) => {
+                self.drop_registration();
+                return Poll::Ready(None);
+            }
+            Err(TryRecvError::Empty) => {}
+        }
+        if self.waiting.is_none() {
+            inject!("chan.park");
+            let id = self.chan.register_waiter(WaiterKind::Task(cx.waker().clone()));
+            // Dekker re-check with the registration published.
+            match self.try_recv() {
+                Ok(v) => {
+                    self.waiting = None;
+                    if !self.chan.cancel_waiter(id) {
+                        self.chan.wake_one();
+                    }
+                    return Poll::Ready(Some(v));
+                }
+                Err(TryRecvError::Disconnected) => {
+                    self.waiting = None;
+                    if !self.chan.cancel_waiter(id) {
+                        self.chan.wake_one();
+                    }
+                    return Poll::Ready(None);
+                }
+                Err(TryRecvError::Empty) => self.waiting = Some(id),
+            }
+        }
+        Poll::Pending
+    }
+
+    /// Cleans up async state on a Ready return: withdraw any live
+    /// registration, passing on a token that raced us to it.
+    fn drop_registration(&mut self) {
+        if let Some(id) = self.waiting.take() {
+            if !self.chan.cancel_waiter(id) {
+                self.chan.wake_one();
+            }
+        }
+    }
+
+    /// Receives asynchronously; resolves to `None` once the channel is
+    /// disconnected and drained. Drops into any executor whose wakers
+    /// follow the std contract — the tokio shim included.
+    pub fn recv_async(&mut self) -> RecvFuture<'_, 'a, T, Q> {
+        RecvFuture { rx: self }
+    }
+}
+
+impl<T: Send, Q: ConcurrentQueue<T>> Drop for Receiver<'_, T, Q> {
+    fn drop(&mut self) {
+        if let Some(id) = self.waiting.take() {
+            if !self.chan.cancel_waiter(id) {
+                // A token was spent on a receiver that is going away:
+                // hand it to the next waiter.
+                self.chan.wake_one();
+            }
+        }
+        self.chan.receiver_dropped();
+    }
+}
+
+/// Future returned by [`Receiver::recv_async`].
+pub struct RecvFuture<'r, 'a, T: Send, Q: ConcurrentQueue<T>> {
+    rx: &'r mut Receiver<'a, T, Q>,
+}
+
+impl<T: Send, Q: ConcurrentQueue<T>> Future for RecvFuture<'_, '_, T, Q> {
+    type Output = Option<T>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        self.get_mut().rx.poll_recv(cx)
+    }
+}

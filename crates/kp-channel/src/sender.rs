@@ -1,0 +1,119 @@
+//! The producing half: sticky-shard routing, blocking/non-blocking
+//! sends, and batched sends.
+
+use crate::chaos_hooks::inject;
+use crate::{Channel, SendError, TrySendError};
+use queue_traits::{ConcurrentQueue, QueueHandle};
+
+/// A producer handle. Pinned to one shard for its whole lifetime, which
+/// is what makes the channel FIFO-per-producer (DESIGN.md §15): every
+/// value a sender emits goes through the same linearizable FIFO.
+///
+/// Not `Clone` — mint more senders from the [`Channel`].
+pub struct Sender<'a, T: Send, Q: ConcurrentQueue<T>> {
+    chan: &'a Channel<T, Q>,
+    handle: Q::Handle<'a>,
+    shard: usize,
+    /// Reusable staging buffer for `send_batch` — the batch is buffered
+    /// here once, then handed to the engine's `try_enqueue_batch`, so
+    /// the steady state allocates nothing per batch.
+    scratch: Vec<T>,
+}
+
+impl<'a, T: Send, Q: ConcurrentQueue<T>> Sender<'a, T, Q> {
+    pub(crate) fn new(chan: &'a Channel<T, Q>, handle: Q::Handle<'a>, shard: usize) -> Self {
+        Sender { chan, handle, shard, scratch: Vec::new() }
+    }
+
+    /// The shard this sender is pinned to.
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+
+    /// Attempts to send without blocking. Fails with
+    /// [`TrySendError::Full`] if this sender's shard is at capacity
+    /// (bounded cores only) and [`TrySendError::Disconnected`] once
+    /// every receiver has dropped.
+    pub fn try_send(&mut self, value: T) -> Result<(), TrySendError<T>> {
+        inject!("chan.route");
+        if self.chan.rx_closed() {
+            return Err(TrySendError::Disconnected(value));
+        }
+        match self.handle.try_enqueue(value) {
+            Ok(()) => {
+                self.chan.notify_one();
+                Ok(())
+            }
+            Err(v) => Err(TrySendError::Full(v)),
+        }
+    }
+
+    /// Sends, treating a full shard as backpressure: yields and retries
+    /// until a slot frees up or the channel disconnects.
+    pub fn send(&mut self, value: T) -> Result<(), SendError<T>> {
+        let mut v = value;
+        loop {
+            match self.try_send(v) {
+                Ok(()) => return Ok(()),
+                Err(TrySendError::Disconnected(v)) => return Err(SendError(v)),
+                Err(TrySendError::Full(back)) => {
+                    // The shard holds values; make sure someone is
+                    // draining before we spin on it.
+                    self.chan.notify_one();
+                    v = back;
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+
+    /// Sends every value of a batch through the sticky shard, then
+    /// notifies sleepers once — one gauge check and at most
+    /// `batch`-many wakes for the whole burst, instead of one per
+    /// value. Full shards are treated as backpressure, like
+    /// [`send`](Sender::send).
+    ///
+    /// Returns how many values were sent. If the channel disconnects
+    /// mid-batch, the unsent remainder (the failing value included)
+    /// comes back in the error.
+    pub fn send_batch(
+        &mut self,
+        batch: impl IntoIterator<Item = T>,
+    ) -> Result<usize, SendError<Vec<T>>> {
+        inject!("chan.batch");
+        debug_assert!(self.scratch.is_empty());
+        self.scratch.extend(batch);
+        let mut sent = 0;
+        while !self.scratch.is_empty() {
+            if self.chan.rx_closed() {
+                // Receivers are gone; earlier values of the batch are
+                // unrecoverable anyway, but sleepers from before the
+                // close cannot exist (receivers drop awake), so no
+                // notify is owed. The refused value leads the
+                // remainder, still in send order.
+                return Err(SendError(std::mem::take(&mut self.scratch)));
+            }
+            // One engine batch acquisition for the whole run of values
+            // the shard will take (the engine amortizes its per-op
+            // fixed costs internally).
+            let n = self.handle.try_enqueue_batch(&mut self.scratch);
+            sent += n;
+            if !self.scratch.is_empty() {
+                // Full mid-batch: values enqueued so far have not been
+                // notified yet; a parked receiver must be woken to
+                // drain the full shard, or this retry loop would never
+                // terminate.
+                self.chan.notify_one();
+                std::thread::yield_now();
+            }
+        }
+        self.chan.notify_many(sent);
+        Ok(sent)
+    }
+}
+
+impl<T: Send, Q: ConcurrentQueue<T>> Drop for Sender<'_, T, Q> {
+    fn drop(&mut self) {
+        self.chan.sender_dropped();
+    }
+}

@@ -1,0 +1,244 @@
+//! Unit tests for the channel layer. Cross-engine integration and
+//! chaos coverage live in the workspace suites (`tests/channel.rs`,
+//! `tests/torture.rs`).
+
+use crate::{Channel, ChannelConfig, RecvTimeoutError, TryRecvError, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll, Wake, Waker};
+use std::time::Duration;
+
+fn small_cfg() -> ChannelConfig {
+    ChannelConfig::new().with_max_senders(4).with_max_receivers(4)
+}
+
+fn roundtrip<Q: queue_traits::ConcurrentQueue<u64>>(label: &str, chan: &Channel<u64, Q>) {
+    let mut tx = chan.sender();
+    let mut rx = chan.receiver();
+    for v in 0..100 {
+        tx.send(v).unwrap();
+    }
+    for v in 0..100 {
+        assert_eq!(rx.try_recv(), Ok(v), "core {label}");
+    }
+    assert_eq!(rx.try_recv(), Err(TryRecvError::Empty), "core {label}");
+}
+
+#[test]
+fn roundtrip_both_cores() {
+    // Capacity must cover the whole burst: one sticky sender, nobody
+    // draining until the sends are done.
+    roundtrip("wcq", &Channel::<u64, _>::wcq(small_cfg().with_shards(2), 128));
+    roundtrip("kp", &Channel::<u64, _>::kp(small_cfg().with_shards(2)));
+}
+
+#[test]
+fn full_surfaces_on_bounded_core() {
+    let chan = Channel::<u64, _>::wcq(small_cfg(), 8);
+    let mut tx = chan.sender();
+    let mut rx = chan.receiver();
+    let mut accepted = 0;
+    loop {
+        match tx.try_send(accepted) {
+            Ok(()) => accepted += 1,
+            Err(TrySendError::Full(v)) => {
+                assert_eq!(v, accepted);
+                break;
+            }
+            Err(e) => panic!("unexpected {e}"),
+        }
+        assert!(accepted <= 16, "capacity 8 ring accepted too much");
+    }
+    assert!(accepted >= 8, "ring of capacity 8 accepted only {accepted}");
+    // Draining frees slots again.
+    assert_eq!(rx.try_recv(), Ok(0));
+    tx.try_send(999).unwrap();
+}
+
+#[test]
+fn disconnect_drains_then_errors() {
+    let chan = Channel::<u64, _>::wcq(small_cfg().with_shards(3), 64);
+    let mut rx = chan.receiver();
+    {
+        let mut tx = chan.sender();
+        tx.send_batch(0..10).unwrap();
+    } // last sender drops: disconnect latches
+    assert!(chan.is_disconnected());
+    let mut got = Vec::new();
+    loop {
+        match rx.try_recv() {
+            Ok(v) => got.push(v),
+            Err(TryRecvError::Disconnected) => break,
+            Err(TryRecvError::Empty) => panic!("Empty after disconnect latch"),
+        }
+    }
+    got.sort_unstable();
+    assert_eq!(got, (0..10).collect::<Vec<_>>());
+}
+
+#[test]
+fn send_fails_when_receivers_gone() {
+    let chan = Channel::<u64, _>::kp(small_cfg());
+    let mut tx = chan.sender();
+    drop(chan.receiver());
+    assert!(matches!(tx.try_send(1), Err(TrySendError::Disconnected(1))));
+    assert!(tx.send(2).is_err());
+    let err = tx.send_batch(0..5).unwrap_err();
+    assert_eq!(err.0.len(), 5, "whole batch handed back");
+}
+
+#[test]
+fn batch_recv_prefers_current_shard() {
+    let chan = Channel::<u64, _>::wcq(small_cfg().with_shards(4), 64);
+    let mut tx = chan.sender();
+    let mut rx = chan.receiver();
+    assert_eq!(tx.send_batch(0..32).unwrap(), 32);
+    let mut out = Vec::new();
+    let n = rx.recv_batch(&mut out, 32).unwrap();
+    // One sender: everything sits on one shard, one batch drains it
+    // in FIFO order.
+    assert_eq!(n, 32);
+    assert_eq!(out, (0..32).collect::<Vec<_>>());
+}
+
+#[test]
+fn blocking_recv_wakes_on_send() {
+    let chan = Channel::<u64, _>::wcq(small_cfg().with_shards(2), 64);
+    let mut tx = chan.sender();
+    std::thread::scope(|s| {
+        let consumer = s.spawn(|| {
+            let mut rx = chan.receiver();
+            rx.recv_timeout(Duration::from_secs(10)).expect("wakeup lost")
+        });
+        // Give the consumer a chance to actually park.
+        std::thread::sleep(Duration::from_millis(50));
+        tx.send(7).unwrap();
+        assert_eq!(consumer.join().unwrap(), 7);
+    });
+}
+
+#[test]
+fn recv_timeout_expires_empty() {
+    let chan = Channel::<u64, _>::kp(small_cfg());
+    let _tx = chan.sender(); // keep connected so it is a true timeout
+    let mut rx = chan.receiver();
+    let t0 = std::time::Instant::now();
+    assert_eq!(
+        rx.recv_timeout(Duration::from_millis(20)),
+        Err(RecvTimeoutError::Timeout)
+    );
+    assert!(t0.elapsed() >= Duration::from_millis(20));
+}
+
+/// A test waker that records wakes without atomics (the audit keeps
+/// test scaffolding out of the manifest only when it stays lock-based).
+struct FlagWaker(Mutex<bool>);
+
+impl FlagWaker {
+    fn woken(self: &Arc<Self>) -> bool {
+        *self.0.lock().unwrap()
+    }
+}
+
+impl Wake for FlagWaker {
+    fn wake(self: Arc<Self>) {
+        *self.0.lock().unwrap() = true;
+    }
+}
+
+#[test]
+fn poll_recv_pending_then_woken() {
+    let chan = Channel::<u64, _>::wcq(small_cfg(), 64);
+    let mut tx = chan.sender();
+    let mut rx = chan.receiver();
+    let flag = Arc::new(FlagWaker(Mutex::new(false)));
+    let waker = Waker::from(flag.clone());
+    let mut cx = Context::from_waker(&waker);
+    assert!(matches!(rx.poll_recv(&mut cx), Poll::Pending));
+    assert!(!flag.woken());
+    tx.send(41).unwrap();
+    assert!(flag.woken(), "send must wake the pending receiver");
+    assert_eq!(rx.poll_recv(&mut cx), Poll::Ready(Some(41)));
+    drop(tx);
+    assert_eq!(rx.poll_recv(&mut cx), Poll::Ready(None), "disconnect resolves to None");
+}
+
+#[test]
+fn poll_recv_rearms_fresh_waker() {
+    let chan = Channel::<u64, _>::kp(small_cfg());
+    let mut tx = chan.sender();
+    let mut rx = chan.receiver();
+    let stale = Arc::new(FlagWaker(Mutex::new(false)));
+    let fresh = Arc::new(FlagWaker(Mutex::new(false)));
+    let stale_w = Waker::from(stale.clone());
+    let fresh_w = Waker::from(fresh.clone());
+    assert!(matches!(rx.poll_recv(&mut Context::from_waker(&stale_w)), Poll::Pending));
+    assert!(matches!(rx.poll_recv(&mut Context::from_waker(&fresh_w)), Poll::Pending));
+    tx.send(1).unwrap();
+    assert!(fresh.woken(), "latest waker must fire");
+    assert!(!stale.woken(), "stale waker must have been replaced, not duplicated");
+    assert_eq!(rx.poll_recv(&mut Context::from_waker(&fresh_w)), Poll::Ready(Some(1)));
+}
+
+#[test]
+fn fifo_per_producer_under_contention() {
+    const PRODUCERS: usize = 3;
+    const CONSUMERS: usize = 2;
+    const PER_PRODUCER: u64 = 2_000;
+    let chan = Channel::<u64, _>::wcq(
+        ChannelConfig::new()
+            .with_shards(2)
+            .with_max_senders(PRODUCERS)
+            .with_max_receivers(CONSUMERS),
+        256,
+    );
+    let received: Mutex<Vec<Vec<u64>>> = Mutex::new(Vec::new());
+    std::thread::scope(|s| {
+        let mut producers = Vec::new();
+        for p in 0..PRODUCERS as u64 {
+            let mut tx = chan.sender();
+            producers.push(s.spawn(move || {
+                for seq in 0..PER_PRODUCER {
+                    tx.send((p << 48) | seq).unwrap();
+                }
+            }));
+        }
+        let mut consumers = Vec::new();
+        for _ in 0..CONSUMERS {
+            let mut rx = chan.receiver();
+            let received = &received;
+            consumers.push(s.spawn(move || {
+                let mut got = Vec::new();
+                let mut buf = Vec::new();
+                while rx.recv_batch(&mut buf, 64).is_ok() {
+                    got.append(&mut buf);
+                }
+                received.lock().unwrap().push(got);
+            }));
+        }
+        for p in producers {
+            p.join().unwrap();
+        }
+        // Producers (and their senders) are gone; consumers drain out.
+        for c in consumers {
+            c.join().unwrap();
+        }
+    });
+    let all = received.lock().unwrap();
+    let mut seen: Vec<u64> = all.iter().flatten().copied().collect();
+    assert_eq!(seen.len() as u64, PRODUCERS as u64 * PER_PRODUCER, "exactly-once");
+    seen.sort_unstable();
+    seen.dedup();
+    assert_eq!(seen.len() as u64, PRODUCERS as u64 * PER_PRODUCER, "no duplicates");
+    // FIFO per producer: within one consumer, each producer's sequence
+    // numbers must be strictly increasing.
+    for got in all.iter() {
+        let mut last = [None::<u64>; PRODUCERS];
+        for &v in got {
+            let (p, seq) = ((v >> 48) as usize, v & 0xffff_ffff_ffff);
+            if let Some(prev) = last[p] {
+                assert!(seq > prev, "producer {p} reordered: {seq} after {prev}");
+            }
+            last[p] = Some(seq);
+        }
+    }
+}

@@ -701,6 +701,102 @@ impl<'q, T: Send> WfHandle<'q, T> {
         }
     }
 
+    /// Enqueues every value of `batch` in order (the queue is unbounded,
+    /// so nothing is ever refused), paying the per-call fixed costs —
+    /// reaper prologue, epoch pin, unwind guard, reap tick — once for
+    /// the whole batch instead of once per value. Each value is still
+    /// its own operation of the protocol (own fast-path attempt or
+    /// phase/descriptor publish), so the per-operation wait-freedom
+    /// bound is unchanged; strictly the entry/exit overhead is
+    /// amortized. The epoch pin is held across the batch, delaying
+    /// node reclamation by at most one batch — callers should keep
+    /// batches modest (the channel layer bounds them by its configured
+    /// batch size).
+    ///
+    /// Returns how many values were enqueued (always `batch.len()`).
+    ///
+    /// # Panic safety
+    ///
+    /// As [`enqueue`]: an unwind from inside the protocol completes the
+    /// published operation before resuming. Values of the batch not yet
+    /// submitted when the panic struck are dropped with the drain.
+    ///
+    /// [`enqueue`]: Self::enqueue
+    pub fn enqueue_batch(&mut self, batch: &mut Vec<T>) -> usize {
+        let n = batch.len();
+        if n == 0 {
+            return 0;
+        }
+        // Prologue strictly before pin (publisher-scan order, as in
+        // `enqueue`); one liveness beat covers the whole batch.
+        self.op_prologue();
+        let guard = epoch::pin();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            for value in batch.drain(..) {
+                // The watchdog still sees one bounded operation per
+                // value — batching must not relax the O(n) step budget.
+                chaos_hooks::op_begin();
+                if self.max_fast_failures > 0 {
+                    self.enqueue_fast_first(value, &guard);
+                } else {
+                    self.slow_enqueue(value, &guard);
+                }
+                chaos_hooks::op_end();
+            }
+            self.reap_tick(&guard);
+        }));
+        match result {
+            Ok(()) => n,
+            Err(payload) => {
+                self.recover_after_unwind(&guard);
+                resume_unwind(payload);
+            }
+        }
+    }
+
+    /// Dequeues up to `max` immediately available values into `out`,
+    /// stopping at the first empty observation; returns how many were
+    /// taken. The batched twin of [`enqueue_batch`]: per-call fixed
+    /// costs are paid once, each value is still its own bounded
+    /// operation, and the epoch pin spans the batch.
+    ///
+    /// [`enqueue_batch`]: Self::enqueue_batch
+    pub fn dequeue_batch(&mut self, out: &mut Vec<T>, max: usize) -> usize {
+        if max == 0 {
+            return 0;
+        }
+        self.op_prologue();
+        let guard = epoch::pin();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let mut taken = 0;
+            while taken < max {
+                chaos_hooks::op_begin();
+                let value = if self.max_fast_failures > 0 {
+                    self.dequeue_fast_first(&guard)
+                } else {
+                    self.slow_dequeue(&guard)
+                };
+                chaos_hooks::op_end();
+                match value {
+                    Some(v) => {
+                        out.push(v);
+                        taken += 1;
+                    }
+                    None => break,
+                }
+            }
+            self.reap_tick(&guard);
+            taken
+        }));
+        match result {
+            Ok(taken) => taken,
+            Err(payload) => {
+                self.recover_after_unwind(&guard);
+                resume_unwind(payload);
+            }
+        }
+    }
+
     /// Performs a fast-path append and **skips the tail swing**: the
     /// shared state a thread killed at `kp.fast.swing_tail` leaves
     /// behind when nothing runs its unwind recovery (sudden death).
@@ -729,6 +825,14 @@ impl<T: Send> QueueHandle<T> for WfHandle<'_, T> {
 
     fn dequeue(&mut self) -> Option<T> {
         WfHandle::dequeue(self)
+    }
+
+    fn try_enqueue_batch(&mut self, batch: &mut Vec<T>) -> usize {
+        WfHandle::enqueue_batch(self, batch)
+    }
+
+    fn dequeue_batch(&mut self, out: &mut Vec<T>, max: usize) -> usize {
+        WfHandle::dequeue_batch(self, out, max)
     }
 
     fn fast_path_stats(&self) -> Option<FastPathStats> {

@@ -23,19 +23,10 @@ pub trait QueueHandleExt<T>: QueueHandle<T> {
 
     /// Dequeues up to `max` immediately available values into `out`;
     /// returns how many were taken. Stops at the first empty
-    /// observation.
+    /// observation. Forwards to [`QueueHandle::dequeue_batch`], so
+    /// engine batch overrides apply here too.
     fn drain_into(&mut self, out: &mut Vec<T>, max: usize) -> usize {
-        let mut taken = 0;
-        while taken < max {
-            match self.dequeue() {
-                Some(v) => {
-                    out.push(v);
-                    taken += 1;
-                }
-                None => break,
-            }
-        }
-        taken
+        self.dequeue_batch(out, max)
     }
 
     /// Enqueues every value from an iterator.
@@ -87,5 +78,49 @@ mod tests {
     fn dequeue_spin_returns_available_value() {
         let mut h = VecHandle([7].into());
         assert_eq!(h.dequeue_spin(), 7);
+    }
+
+    /// A bounded handle for the default batch methods: refuses values
+    /// beyond its capacity so the partial-stop path is exercised.
+    struct BoundedHandle {
+        q: std::collections::VecDeque<u32>,
+        cap: usize,
+    }
+    impl QueueHandle<u32> for BoundedHandle {
+        fn enqueue(&mut self, v: u32) {
+            self.q.push_back(v);
+        }
+        fn dequeue(&mut self) -> Option<u32> {
+            self.q.pop_front()
+        }
+        fn try_enqueue(&mut self, v: u32) -> Result<(), u32> {
+            if self.q.len() >= self.cap {
+                return Err(v);
+            }
+            self.q.push_back(v);
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn try_enqueue_batch_stops_at_capacity_and_keeps_order() {
+        let mut h = BoundedHandle { q: Default::default(), cap: 3 };
+        let mut batch = vec![1, 2, 3, 4, 5];
+        assert_eq!(h.try_enqueue_batch(&mut batch), 3);
+        assert_eq!(batch, vec![4, 5], "refused value first, order intact");
+        let mut out = Vec::new();
+        assert_eq!(h.dequeue_batch(&mut out, 10), 3);
+        assert_eq!(out, vec![1, 2, 3]);
+        assert_eq!(h.try_enqueue_batch(&mut batch), 2, "retry drains the rest");
+        assert!(batch.is_empty());
+    }
+
+    #[test]
+    fn dequeue_batch_respects_max() {
+        let mut h = VecHandle([1, 2, 3, 4].into());
+        let mut out = Vec::new();
+        assert_eq!(h.dequeue_batch(&mut out, 2), 2);
+        assert_eq!(h.dequeue_batch(&mut out, 10), 2, "stops when empty");
+        assert_eq!(out, vec![1, 2, 3, 4]);
     }
 }

@@ -100,6 +100,71 @@ pub trait QueueHandle<T>: Send {
     /// if the queue is observed empty (the paper's `EmptyException`).
     fn dequeue(&mut self) -> Option<T>;
 
+    /// Attempts to insert `value` without blocking, handing it back if
+    /// the queue has no room. The default forwards to [`enqueue`]
+    /// (unbounded queues never report full); bounded engines override
+    /// this to surface their capacity limit, which layers like
+    /// `kp-channel` translate into a `Full` error instead of spinning.
+    ///
+    /// [`enqueue`]: QueueHandle::enqueue
+    fn try_enqueue(&mut self, value: T) -> Result<(), T> {
+        self.enqueue(value);
+        Ok(())
+    }
+
+    /// Enqueues the values of `batch` in order until the queue refuses
+    /// one (a bounded engine at capacity), removing the enqueued prefix
+    /// from `batch` and returning its length. On a partial stop the
+    /// refused value is back at the front of `batch`, order preserved,
+    /// so the caller can retry the same `Vec` after backpressure.
+    ///
+    /// The default loops [`try_enqueue`]; engines with per-operation
+    /// fixed costs (epoch pins, unwind guards, helping prologues)
+    /// override this to pay them once per batch.
+    ///
+    /// [`try_enqueue`]: QueueHandle::try_enqueue
+    fn try_enqueue_batch(&mut self, batch: &mut Vec<T>) -> usize {
+        let mut drain = batch.drain(..);
+        let mut sent = 0;
+        let mut tail: Option<(T, Vec<T>)> = None;
+        while let Some(value) = drain.next() {
+            match self.try_enqueue(value) {
+                Ok(()) => sent += 1,
+                Err(refused) => {
+                    // Collect the rest before the drain's drop discards it.
+                    tail = Some((refused, drain.by_ref().collect()));
+                    break;
+                }
+            }
+        }
+        drop(drain);
+        if let Some((refused, rest)) = tail {
+            batch.push(refused);
+            batch.extend(rest);
+        }
+        sent
+    }
+
+    /// Dequeues up to `max` immediately available values into `out`;
+    /// returns how many were taken. Stops at the first empty
+    /// observation. Engines override this to amortize per-operation
+    /// fixed costs, exactly as with [`try_enqueue_batch`].
+    ///
+    /// [`try_enqueue_batch`]: QueueHandle::try_enqueue_batch
+    fn dequeue_batch(&mut self, out: &mut Vec<T>, max: usize) -> usize {
+        let mut taken = 0;
+        while taken < max {
+            match self.dequeue() {
+                Some(v) => {
+                    out.push(v);
+                    taken += 1;
+                }
+                None => break,
+            }
+        }
+        taken
+    }
+
     /// Fast-path execution counters for this handle, or `None` for
     /// queues without a fast-path/slow-path split (the default).
     fn fast_path_stats(&self) -> Option<FastPathStats> {

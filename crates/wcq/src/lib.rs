@@ -469,6 +469,12 @@ impl<T: Send> QueueHandle<T> for WcqHandle<'_, T> {
         self.try_dequeue().ok()
     }
 
+    /// Non-blocking: surfaces the ring's capacity limit instead of
+    /// spinning, for layers that want a `Full` outcome.
+    fn try_enqueue(&mut self, value: T) -> Result<(), T> {
+        WcqHandle::try_enqueue(self, value).map_err(|Full(v)| v)
+    }
+
     fn fast_path_stats(&self) -> Option<FastPathStats> {
         Some(self.stats)
     }

@@ -1,0 +1,114 @@
+//! An ingest server skeleton: bursty producer threads feed a sharded
+//! wait-free channel, and a tokio task pool consumes it through the
+//! channel's async receiver — the deployment shape ROADMAP item 1
+//! names ("millions of users" ingest with tail-latency control).
+//!
+//! Producers are plain OS threads (network handlers, in real life)
+//! using `send_batch` so a burst costs one shard acquisition; consumer
+//! tasks await `recv_async` and park in the executor, not on a lock,
+//! while idle. Dropping the last sender disconnects the channel, the
+//! async receivers resolve `None`, and the task pool drains out.
+//!
+//! ```text
+//! cargo run --release --example ingest_server
+//! ```
+
+use std::time::{Duration, Instant};
+
+use wfq_repro::kp_channel::{Channel, ChannelConfig};
+use wfq_repro::wcq::WcQueue;
+
+const PRODUCERS: usize = 3;
+const CONSUMER_TASKS: usize = 4;
+const WORKERS: usize = 2;
+const BURSTS_PER_PRODUCER: usize = 50;
+const BURST: usize = 64;
+const SHARDS: usize = 4;
+const SHARD_CAPACITY: usize = 4096;
+
+fn main() {
+    let t0 = Instant::now();
+    // `tokio::spawn` needs `'static` receivers; give the channel a
+    // static home (a deliberate one-object leak, the usual pattern for
+    // process-lifetime services).
+    let chan: &'static Channel<u64, WcQueue<u64>> = Box::leak(Box::new(Channel::wcq(
+        ChannelConfig::new()
+            .with_shards(SHARDS)
+            .with_max_senders(PRODUCERS)
+            .with_max_receivers(CONSUMER_TASKS),
+        SHARD_CAPACITY,
+    )));
+
+    // Producer threads: each sends BURSTS_PER_PRODUCER bursts of BURST
+    // values, tagged (producer << 48 | seq) so consumers can audit
+    // FIFO-per-producer order end to end.
+    // All senders are minted before any producer thread can run to
+    // completion: minting concurrently with the drop of the last live
+    // sender would race the channel's disconnect latch.
+    let senders: Vec<_> = (0..PRODUCERS).map(|_| chan.sender()).collect();
+    let producers: Vec<_> = senders
+        .into_iter()
+        .enumerate()
+        .map(|(p, mut tx)| {
+            let p = p as u64;
+            std::thread::spawn(move || {
+                for burst in 0..BURSTS_PER_PRODUCER as u64 {
+                    let base = burst * BURST as u64;
+                    tx.send_batch((0..BURST as u64).map(|i| (p << 48) | (base + i)))
+                        .expect("receivers vanished");
+                    // A think-time gap makes the arrivals bursty and
+                    // lets consumers actually park between bursts.
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+            })
+        })
+        .collect();
+
+    let rt = tokio::runtime::Builder::new_multi_thread()
+        .worker_threads(WORKERS)
+        .enable_all()
+        .build()
+        .expect("building runtime");
+
+    let received: u64 = rt.block_on(async {
+        let mut tasks = Vec::new();
+        for _ in 0..CONSUMER_TASKS {
+            let mut rx = chan.receiver();
+            tasks.push(tokio::spawn(async move {
+                let mut count = 0u64;
+                let mut last_seq = [None::<u64>; PRODUCERS];
+                while let Some(v) = rx.recv_async().await {
+                    let (p, seq) = ((v >> 48) as usize, v & 0xffff_ffff_ffff);
+                    if let Some(prev) = last_seq[p] {
+                        assert!(seq > prev, "producer {p} reordered within a consumer");
+                    }
+                    last_seq[p] = Some(seq);
+                    count += 1;
+                    if count.is_multiple_of(1024) {
+                        tokio::task::yield_now().await;
+                    }
+                }
+                count
+            }));
+        }
+        // Block the runtime thread on the producers; consumer tasks
+        // keep running on the worker pool. When the last producer
+        // drops its sender the channel disconnects and every task's
+        // recv_async resolves None.
+        for p in producers {
+            p.join().expect("producer panicked");
+        }
+        let mut total = 0;
+        for t in tasks {
+            total += t.await.expect("consumer task cancelled");
+        }
+        total
+    });
+
+    let expected = (PRODUCERS * BURSTS_PER_PRODUCER * BURST) as u64;
+    assert_eq!(received, expected, "every ingested value must be consumed exactly once");
+    println!(
+        "ingest_server: {} values, {} producers -> {} shards -> {} async consumers on {} workers in {:?}",
+        received, PRODUCERS, SHARDS, CONSUMER_TASKS, WORKERS, t0.elapsed()
+    );
+}

@@ -5,18 +5,21 @@
 # the fast-path ablation cells (wf-fast vs wf-epoch opt_both,
 # wf-fast-hp vs wf-hp opt_both), and the reaper ablation
 # (opt_both+reap vs opt_both, plus an abandoned-handle reap-latency
-# probe) and writes throughput, allocs/op, fallback rates, and
-# reap/quarantine counts to BENCH_PR5.json at the repo root.
+# probe), the three-way engine shootout (wCQ vs both KP variants,
+# plus the stalled-reader residency probe), and the channel
+# shard x batch sweep with its open-loop p50/p99/p999 latency pass,
+# writing throughput, allocs/op, fallback rates, reap/quarantine
+# counts, and latency columns to BENCH_PR7.json at the repo root.
 # Scale knobs:
 #   ITERS    iterations per thread per rep   (default: 50000)
 #   REPS     reps per cell (median reported) (default: 5)
-#   OUT      output path                     (default: BENCH_PR5.json)
+#   OUT      output path                     (default: BENCH_PR7.json)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 ITERS="${ITERS:-50000}"
 REPS="${REPS:-5}"
-OUT="${OUT:-BENCH_PR5.json}"
+OUT="${OUT:-BENCH_PR7.json}"
 
 cargo build -p harness --release --bin bench_record
 cargo run -p harness --release -q --bin bench_record -- \

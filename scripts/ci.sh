@@ -34,7 +34,7 @@ echo "=== atomics audit self-test (gate must fail on an undocumented atomic) ===
 selftest_dir="$(mktemp -d)"
 trap 'rm -rf "$selftest_dir"' EXIT
 mkdir -p "$selftest_dir/crates"
-cp -r crates/kp-queue crates/hazard crates/idpool crates/wcq "$selftest_dir/crates/"
+cp -r crates/kp-queue crates/hazard crates/idpool crates/wcq crates/kp-channel "$selftest_dir/crates/"
 cat >> "$selftest_dir/crates/idpool/src/lib.rs" <<'EOF'
 
 fn _audit_selftest_undocumented(x: &kp_sync::atomic::AtomicUsize) -> usize {
@@ -69,6 +69,16 @@ cargo test -p wcq --release -q
 cargo test --release -q --test linearizability wcq
 cargo test --features chaos --release -q --test torture wcq
 cargo test --release -q --test memory_bound
+
+echo "=== channel gate (DESIGN.md SS15) ==="
+# The sharded channel front-end, end to end: the crate's unit suite,
+# the cross-engine integration tests (blocking, batched and async
+# receive over both shard cores), and the seeded chaos rounds --
+# FIFO-per-producer under stalls and the parked-receiver lost-wakeup
+# hunt at the chan.{route,batch,park,wake} sites.
+cargo test -p kp-channel --release -q
+cargo test --release -q --test channel
+cargo test --features chaos --release -q --test torture channel
 
 echo "=== soak: kill/restart with the reaper on (DESIGN.md SS13) ==="
 # Time-capped repetition of the abandoned-handle rounds: sudden-death

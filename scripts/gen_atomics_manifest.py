@@ -84,6 +84,16 @@ SC_WCQ = (
     "argument. SeqCst loads are free on x86 and the RMWs are lock-prefixed "
     "at any ordering"
 )
+SC_CHAN_DEKKER = (
+    "channel waker protocol (DESIGN.md SS15): the sleepers gauge and the shard "
+    "contents form a Dekker-style store-load pair -- a receiver registers "
+    "(gauge up) then re-checks every shard, a sender enqueues then checks the "
+    "gauge -- and both sides must share the single total order, or a sender "
+    "can read gauge==0 while the receiver's re-check misses the value: a "
+    "lost wakeup with the receiver parked forever. Acquire/Release admits "
+    "exactly that reordering"
+)
+
 SC_WCQ_REC = (
     "wCQ record handshake (DESIGN.md SS14): the owner's arg/gauge/ctrl "
     "publication and the helpers' gauge-probe/ctrl-scan/arg-dispatch reads "
@@ -128,6 +138,7 @@ HP = "crates/kp-queue/src/hp/pool.rs"
 HQ = "crates/kp-queue/src/hp/queue.rs"
 HTY = "crates/kp-queue/src/hp/types.rs"
 HTE = "crates/kp-queue/src/hp/tests.rs"
+CH = "crates/kp-channel/src/lib.rs"
 W = "crates/wcq/src/lib.rs"
 WR = "crates/wcq/src/ring.rs"
 WT = "crates/wcq/src/tests.rs"
@@ -404,6 +415,33 @@ TABLE = {
     (HI, "treiber_stack_conservation_under_contention"): spec("stats", WHY_TEST),
     (HI, "drop"): spec("stats", WHY_TEST),
     (HI, "retired_under_protection_survives_until_release_across_threads"): spec("stats", WHY_TEST),
+    # ----- kp-channel/src/lib.rs (waker protocol + lifecycle) ---------
+    (CH, "is_disconnected"): spec("stats", "advisory disconnect probe for callers; Acquire pairs with the latch store"),
+    (CH, "try_sender"): {
+        ("load", 0): spec("helper-guard", "refuses to mint on a closed channel; Acquire pairs with the latch store"),
+        ("fetch_add", 0): spec("stats", "round-robin shard assignment ticket; pure routing, no synchronization intent"),
+        ("fetch_add", 1): spec("helper-guard", "sender refcount up; Relaxed -- minting is ordered by the &Channel borrow, the AcqRel decrement in sender_dropped carries the ordering"),
+    },
+    (CH, "try_receiver"): {
+        ("load", 0): spec("helper-guard", "refuses to mint on a closed channel; Acquire pairs with the latch store"),
+        ("fetch_add", 0): spec("helper-guard", "receiver refcount up, doubling as the sweep-cursor stagger ticket; Relaxed for the same reason as try_sender's"),
+    },
+    (CH, "register_waiter"): spec("doorway", "sleepers gauge up: the Dekker publication a sender's notify check must observe", sc=SC_CHAN_DEKKER),
+    (CH, "cancel_waiter"): spec("doorway", "sleepers gauge down on withdrawal, balancing register_waiter under the registry lock", sc=SC_CHAN_DEKKER),
+    (CH, "wake_one"): spec("doorway", "sleepers gauge down as the notifier pops a waiter; keeps the gauge equal to the registry length", sc=SC_CHAN_DEKKER),
+    (CH, "notify_one"): spec("doorway", "sender-side Dekker check after an enqueue: a nonzero gauge means a receiver may have parked before the value landed", sc=SC_CHAN_DEKKER),
+    (CH, "notify_many"): spec("doorway", "batch variant of notify_one's Dekker check; bounds the wake fan-out by the observed gauge", sc=SC_CHAN_DEKKER),
+    (CH, "sender_dropped"): {
+        ("fetch_sub", 0): spec("helper-guard", "last-sender detection: AcqRel so the ==1 winner observes every peer's sends before latching"),
+        ("store", 0): spec("doorway", "the disconnect latch -- the point after which recv returns Disconnected; Release publishes it to the Acquire polls, and the wake_all broadcast re-checks it under the registry lock"),
+    },
+    (CH, "receiver_dropped"): {
+        ("fetch_sub", 0): spec("helper-guard", "last-receiver detection: AcqRel mirror of sender_dropped"),
+        ("store", 0): spec("doorway", "the send-side disconnect latch; senders poll it in their backpressure loops, so no broadcast is needed"),
+    },
+    (CH, "rx_closed"): spec("helper-guard", "send-path disconnect poll; Acquire pairs with the latch store"),
+    (CH, "tx_closed"): spec("helper-guard", "recv-path disconnect poll; Acquire pairs with the latch store"),
+    (CH, "fmt"): spec("stats", "Debug formatting; approximate values are fine"),
     # ----- wcq/lib.rs (record publication and retirement) -------------
     (W, "maybe_help"): {
         ("load", 0): spec("helper-guard", "pending-record gauge probe; zero skips the scan entirely", sc=SC_WCQ_REC),
@@ -530,7 +568,7 @@ HEADER = """\
 #   stats         - counters/diagnostics with no synchronization intent
 
 [audit]
-scope = ["crates/kp-queue", "crates/hazard", "crates/idpool", "crates/wcq"]
+scope = ["crates/kp-queue", "crates/hazard", "crates/idpool", "crates/wcq", "crates/kp-channel"]
 """
 
 SUPPRESSIONS = [

@@ -1,0 +1,125 @@
+//! Offline shim for the tokio API subset this workspace uses: a real
+//! (if small) multi-threaded executor behind `runtime::Builder`,
+//! `Runtime::block_on`, `tokio::spawn`, awaitable `JoinHandle`s, and
+//! `task::yield_now`. No I/O, no timers — the workspace drives the
+//! executor with channel wakers only (see shims/README.md).
+
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::task::{Context, Poll, Wake, Waker};
+
+pub mod runtime;
+pub mod task;
+
+pub use task::{spawn, JoinError, JoinHandle};
+
+/// The shared half of a runtime: an injector queue the workers (and
+/// `block_on`) drain.
+struct Scheduler {
+    queue: Mutex<VecDeque<Arc<Task>>>,
+    available: Condvar,
+    shutdown: AtomicBool,
+}
+
+impl Scheduler {
+    fn push(&self, task: Arc<Task>) {
+        self.queue.lock().unwrap().push_back(task);
+        self.available.notify_one();
+    }
+
+    /// Blocks until a task is available or shutdown.
+    fn pop_blocking(&self) -> Option<Arc<Task>> {
+        let mut q = self.queue.lock().unwrap();
+        loop {
+            if let Some(t) = q.pop_front() {
+                return Some(t);
+            }
+            if self.shutdown.load(Ordering::Acquire) {
+                return None;
+            }
+            q = self.available.wait(q).unwrap();
+        }
+    }
+
+    fn pop_now(&self) -> Option<Arc<Task>> {
+        self.queue.lock().unwrap().pop_front()
+    }
+}
+
+/// A spawned task: a type-erased future (its output is routed to the
+/// `JoinHandle` by the wrapper `spawn` builds around it).
+struct Task {
+    // `Option` so a completed future is dropped eagerly; the Mutex
+    // also serializes polls (a task is only ever queued once thanks to
+    // `scheduled`, but wakes race with completion).
+    future: Mutex<Option<Pin<Box<dyn Future<Output = ()> + Send>>>>,
+    /// True while the task sits in the injector queue; collapses
+    /// redundant wakes into one scheduling.
+    scheduled: AtomicBool,
+    sched: Arc<Scheduler>,
+}
+
+impl Task {
+    fn run(self: &Arc<Self>) {
+        // Clear `scheduled` before polling: a wake arriving *during*
+        // the poll must re-queue the task.
+        self.scheduled.store(false, Ordering::Release);
+        let waker = Waker::from(Arc::clone(self));
+        let mut cx = Context::from_waker(&waker);
+        let mut slot = self.future.lock().unwrap();
+        if let Some(fut) = slot.as_mut() {
+            match fut.as_mut().poll(&mut cx) {
+                Poll::Ready(()) => *slot = None,
+                Poll::Pending => {}
+            }
+        }
+    }
+}
+
+impl Wake for Task {
+    fn wake(self: Arc<Self>) {
+        if !self.scheduled.swap(true, Ordering::AcqRel) {
+            let sched = Arc::clone(&self.sched);
+            sched.push(self);
+        }
+    }
+}
+
+thread_local! {
+    /// The runtime the current thread belongs to (worker threads and
+    /// threads inside `block_on`); `tokio::spawn` targets it.
+    static CURRENT: std::cell::RefCell<Option<Arc<Scheduler>>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+struct EnterGuard(Option<Arc<Scheduler>>);
+
+fn enter(sched: Arc<Scheduler>) -> EnterGuard {
+    let prev = CURRENT.with(|c| c.borrow_mut().replace(sched));
+    EnterGuard(prev)
+}
+
+impl Drop for EnterGuard {
+    fn drop(&mut self) {
+        let prev = self.0.take();
+        CURRENT.with(|c| *c.borrow_mut() = prev);
+    }
+}
+
+fn current_scheduler() -> Arc<Scheduler> {
+    CURRENT.with(|c| c.borrow().clone()).expect(
+        "there is no reactor running, must be called from the context of a Tokio 1.x runtime",
+    )
+}
+
+/// Waker for `block_on`'s root future: unparks the blocked thread.
+struct ThreadUnparker(std::thread::Thread);
+
+impl Wake for ThreadUnparker {
+    fn wake(self: Arc<Self>) {
+        self.0.unpark();
+    }
+}

@@ -1,0 +1,124 @@
+//! `tokio::runtime` subset: `Builder::new_multi_thread()` and
+//! `Runtime::block_on`.
+
+use crate::{enter, EnterGuard, Scheduler, ThreadUnparker};
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::pin;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Condvar, Mutex};
+use std::task::{Context, Poll, Waker};
+
+/// Builds a [`Runtime`]. Only the multi-threaded flavor exists here.
+pub struct Builder {
+    worker_threads: usize,
+    thread_name: String,
+}
+
+impl Builder {
+    /// A builder for a runtime with a worker-thread pool.
+    pub fn new_multi_thread() -> Builder {
+        Builder { worker_threads: 2, thread_name: "tokio-worker".to_string() }
+    }
+
+    /// Sets the worker pool size (default 2 in this shim).
+    pub fn worker_threads(&mut self, n: usize) -> &mut Builder {
+        assert!(n >= 1);
+        self.worker_threads = n;
+        self
+    }
+
+    /// Accepted for API compatibility; the shim has no I/O or time
+    /// driver to enable.
+    pub fn enable_all(&mut self) -> &mut Builder {
+        self
+    }
+
+    /// Sets the worker thread name prefix.
+    pub fn thread_name(&mut self, name: impl Into<String>) -> &mut Builder {
+        self.thread_name = name.into();
+        self
+    }
+
+    /// Spawns the worker pool and returns the runtime.
+    pub fn build(&mut self) -> std::io::Result<Runtime> {
+        let sched = Arc::new(Scheduler {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            shutdown: std::sync::atomic::AtomicBool::new(false),
+        });
+        let workers = (0..self.worker_threads)
+            .map(|i| {
+                let sched = Arc::clone(&sched);
+                std::thread::Builder::new()
+                    .name(format!("{}-{i}", self.thread_name))
+                    .spawn(move || {
+                        let _ctx = enter(Arc::clone(&sched));
+                        while let Some(task) = sched.pop_blocking() {
+                            task.run();
+                        }
+                    })
+                    .expect("spawning runtime worker")
+            })
+            .collect();
+        Ok(Runtime { sched, workers })
+    }
+}
+
+/// A handle to the executor: spawned tasks run on its worker pool
+/// until the runtime is dropped.
+pub struct Runtime {
+    sched: Arc<Scheduler>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Runtime {
+    /// [`Builder::new_multi_thread`] with default settings.
+    pub fn new() -> std::io::Result<Runtime> {
+        Builder::new_multi_thread().build()
+    }
+
+    /// Runs `future` to completion on the current thread, parking
+    /// between polls; tasks it spawns run on the worker pool.
+    pub fn block_on<F: Future>(&self, future: F) -> F::Output {
+        let _ctx: EnterGuard = enter(Arc::clone(&self.sched));
+        let waker = Waker::from(Arc::new(ThreadUnparker(std::thread::current())));
+        let mut cx = Context::from_waker(&waker);
+        let mut future = pin!(future);
+        loop {
+            match future.as_mut().poll(&mut cx) {
+                Poll::Ready(out) => return out,
+                // `park` may wake spuriously or from a stale token;
+                // the loop simply re-polls.
+                Poll::Pending => std::thread::park(),
+            }
+        }
+    }
+
+    /// Spawns a future onto the worker pool from outside async
+    /// context.
+    pub fn spawn<F>(&self, future: F) -> crate::JoinHandle<F::Output>
+    where
+        F: Future + Send + 'static,
+        F::Output: Send + 'static,
+    {
+        crate::task::spawn_on(&self.sched, future)
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        self.sched.shutdown.store(true, Ordering::Release);
+        self.sched.available.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        // Pending tasks (and their futures) are dropped with the
+        // queue; their CompletionGuards mark the join handles
+        // cancelled.
+        while let Some(task) = self.sched.pop_now() {
+            let mut slot = task.future.lock().unwrap();
+            *slot = None;
+        }
+    }
+}

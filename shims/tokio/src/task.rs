@@ -1,0 +1,188 @@
+//! `tokio::task` subset: `spawn`, awaitable `JoinHandle`, `yield_now`.
+
+use crate::{current_scheduler, Scheduler, Task};
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::atomic::AtomicBool;
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll, Waker};
+
+/// Error returned when awaiting a task that can no longer produce a
+/// value (its runtime shut down before it completed). The shim never
+/// converts panics into `JoinError`; a panicking task aborts the test
+/// like any other thread panic.
+#[derive(Debug)]
+pub struct JoinError(());
+
+impl std::fmt::Display for JoinError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "task was cancelled")
+    }
+}
+
+impl std::error::Error for JoinError {}
+
+struct JoinState<T> {
+    result: Mutex<(Option<T>, Option<Waker>, bool)>,
+}
+
+/// An owned permission to await a spawned task's output.
+pub struct JoinHandle<T> {
+    state: Arc<JoinState<T>>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Whether the task has completed (successfully or by drop).
+    pub fn is_finished(&self) -> bool {
+        let s = self.state.result.lock().unwrap();
+        s.0.is_some() || s.2
+    }
+}
+
+impl<T> Future for JoinHandle<T> {
+    type Output = Result<T, JoinError>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let mut s = self.state.result.lock().unwrap();
+        if let Some(v) = s.0.take() {
+            return Poll::Ready(Ok(v));
+        }
+        if s.2 {
+            return Poll::Ready(Err(JoinError(())));
+        }
+        s.1 = Some(cx.waker().clone());
+        Poll::Pending
+    }
+}
+
+/// Routes a completed output (or a cancellation) to the join handle.
+struct CompletionGuard<T> {
+    state: Arc<JoinState<T>>,
+    done: bool,
+}
+
+impl<T> CompletionGuard<T> {
+    fn complete(&mut self, value: T) {
+        let waker = {
+            let mut s = self.state.result.lock().unwrap();
+            s.0 = Some(value);
+            s.1.take()
+        };
+        self.done = true;
+        if let Some(w) = waker {
+            w.wake();
+        }
+    }
+}
+
+impl<T> Drop for CompletionGuard<T> {
+    fn drop(&mut self) {
+        if self.done {
+            return;
+        }
+        // The future was dropped without completing (runtime shutdown):
+        // mark cancelled so a joiner is not left pending forever.
+        let waker = {
+            let mut s = self.state.result.lock().unwrap();
+            s.2 = true;
+            s.1.take()
+        };
+        if let Some(w) = waker {
+            w.wake();
+        }
+    }
+}
+
+pub(crate) fn spawn_on<F>(sched: &Arc<Scheduler>, future: F) -> JoinHandle<F::Output>
+where
+    F: Future + Send + 'static,
+    F::Output: Send + 'static,
+{
+    let state = Arc::new(JoinState { result: Mutex::new((None, None, false)) });
+    let mut guard = CompletionGuard { state: Arc::clone(&state), done: false };
+    let wrapped = async move {
+        let out = future.await;
+        guard.complete(out);
+    };
+    let task = Arc::new(Task {
+        future: Mutex::new(Some(Box::pin(wrapped))),
+        scheduled: AtomicBool::new(true),
+        sched: Arc::clone(sched),
+    });
+    sched.push(Arc::clone(&task));
+    JoinHandle { state }
+}
+
+/// Spawns a future onto the current runtime's worker pool. Panics
+/// outside a runtime context, like the real tokio.
+pub fn spawn<F>(future: F) -> JoinHandle<F::Output>
+where
+    F: Future + Send + 'static,
+    F::Output: Send + 'static,
+{
+    spawn_on(&current_scheduler(), future)
+}
+
+/// Yields the current task back to the executor once.
+pub async fn yield_now() {
+    struct YieldNow(bool);
+    impl Future for YieldNow {
+        type Output = ();
+        fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+            if self.0 {
+                return Poll::Ready(());
+            }
+            self.0 = true;
+            cx.waker().wake_by_ref();
+            Poll::Pending
+        }
+    }
+    YieldNow(false).await
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::runtime::Builder;
+
+    #[test]
+    fn spawn_and_join() {
+        let rt = Builder::new_multi_thread().worker_threads(2).enable_all().build().unwrap();
+        let out = rt.block_on(async {
+            let a = crate::spawn(async { 20 });
+            let b = crate::spawn(async {
+                crate::task::yield_now().await;
+                22
+            });
+            a.await.unwrap() + b.await.unwrap()
+        });
+        assert_eq!(out, 42);
+    }
+
+    #[test]
+    fn nested_spawn_and_thread_wakeups() {
+        let rt = Builder::new_multi_thread().worker_threads(3).build().unwrap();
+        let total: u64 = rt.block_on(async {
+            let handles: Vec<_> = (0..16u64)
+                .map(|i| {
+                    crate::spawn(async move {
+                        let inner = crate::spawn(async move { i });
+                        inner.await.unwrap() * 2
+                    })
+                })
+                .collect();
+            let mut sum = 0;
+            for h in handles {
+                sum += h.await.unwrap();
+            }
+            sum
+        });
+        assert_eq!(total, (0..16u64).map(|i| i * 2).sum());
+    }
+
+    #[test]
+    fn runtime_spawn_outside_async() {
+        let rt = Builder::new_multi_thread().worker_threads(1).build().unwrap();
+        let h = rt.spawn(async { "done" });
+        assert_eq!(rt.block_on(h).unwrap(), "done");
+    }
+}

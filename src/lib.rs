@@ -15,14 +15,20 @@
 //!   scheme (machine-checks the §5 lemmas on bounded configurations).
 //! * [`harness`] — workload generators and the figure-reproduction
 //!   drivers.
+//! * [`kp_channel`] — the sharded, batching channel front-end with
+//!   blocking/async receive (DESIGN.md §15).
+//! * [`wcq`] — the bounded wCQ ring-buffer engine (DESIGN.md §14), the
+//!   channel's fixed-capacity shard core.
 
 pub use harness;
 pub use hazard;
 pub use idpool;
+pub use kp_channel;
 pub use kp_model;
 pub use kp_queue;
 pub use linearize;
 pub use ms_queue;
+pub use wcq;
 
 /// The queue traits shared by every implementation.
 pub mod traits {

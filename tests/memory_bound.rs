@@ -24,9 +24,10 @@ static ALLOC: alloc_track::TrackingAlloc = alloc_track::TrackingAlloc;
 const OFFERED: usize = 50_000;
 const WCQ_CAPACITY: usize = 1 << 11;
 
-#[test]
-fn stalled_reader_memory_is_bounded_for_wcq_not_for_kp() {
-    // --- wCQ: live heap must not grow at all --------------------------
+/// One full stalled-reader run on a fresh ring; returns (live-byte,
+/// allocation-count) deltas over the measured window. The functional
+/// assertions (ring filled, order preserved on drain) stay inside.
+fn wcq_stalled_reader_run() -> (isize, isize) {
     let q: WcQueue<u64> = WcQueue::with_config(2, WcqConfig::new().with_capacity(WCQ_CAPACITY));
     let _stalled_reader = q.register().unwrap();
     let mut producer = q.register().unwrap();
@@ -35,8 +36,8 @@ fn stalled_reader_memory_is_bounded_for_wcq_not_for_kp() {
     for i in 0..16 {
         producer.try_enqueue(i).unwrap();
     }
-    let mark_bytes = alloc_track::live_bytes();
-    let mark_allocs = alloc_track::total_allocs();
+    let mark_bytes = alloc_track::live_bytes() as isize;
+    let mark_allocs = alloc_track::total_allocs() as isize;
     let mut accepted = 0usize;
     let mut rejected = 0usize;
     for i in 0..OFFERED {
@@ -45,16 +46,8 @@ fn stalled_reader_memory_is_bounded_for_wcq_not_for_kp() {
             Err(_full) => rejected += 1,
         }
     }
-    assert_eq!(
-        alloc_track::live_bytes(),
-        mark_bytes,
-        "wCQ live heap grew under a stalled reader"
-    );
-    assert_eq!(
-        alloc_track::total_allocs(),
-        mark_allocs,
-        "wCQ allocated on the enqueue path"
-    );
+    let live_delta = alloc_track::live_bytes() as isize - mark_bytes;
+    let alloc_delta = alloc_track::total_allocs() as isize - mark_allocs;
     // The ring really filled: everything beyond capacity was rejected,
     // nothing was silently dropped.
     assert_eq!(accepted, WCQ_CAPACITY - 16, "accepted up to capacity");
@@ -68,6 +61,22 @@ fn stalled_reader_memory_is_bounded_for_wcq_not_for_kp() {
     }
     assert_eq!(reader.dequeue(), None);
     drop(reader);
+    (live_delta, alloc_delta)
+}
+
+#[test]
+fn stalled_reader_memory_is_bounded_for_wcq_not_for_kp() {
+    // --- wCQ: live heap must not grow at all --------------------------
+    // The process-global counters can catch one-time lazy initialization
+    // from outside the queue (libtest's machinery, std internals) inside
+    // the measured window; a second fresh run cannot blame it, while a
+    // genuinely allocating op path fails both runs.
+    let (mut live_delta, mut alloc_delta) = wcq_stalled_reader_run();
+    if live_delta != 0 || alloc_delta != 0 {
+        (live_delta, alloc_delta) = wcq_stalled_reader_run();
+    }
+    assert_eq!(live_delta, 0, "wCQ live heap grew under a stalled reader");
+    assert_eq!(alloc_delta, 0, "wCQ allocated on the enqueue path");
 
     // --- KP engines: the same workload grows the live heap ------------
     // A node per enqueue is the design (that is what reclamation is

@@ -29,7 +29,10 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, Ordering};
 use std::sync::{Barrier, Mutex, Once};
 
+use std::time::Duration;
+
 use chaos::{ChaosKill, FaultPlan, ThreadSel};
+use kp_channel::{Channel, ChannelConfig, RecvTimeoutError};
 use kp_queue::{Config, ConcurrentQueue, WfQueue, WfQueueHp};
 use linearize::{check, History, Outcome, QueueModel, QueueOp, Recorder};
 use queue_traits::{testing, QueueHandle};
@@ -1291,4 +1294,293 @@ fn wcq_enqueuer_killed_at_finalize() {
         1,
         1
     );
+}
+
+/// The wCQ handle-death stranding bound (DESIGN.md §14): a ring has no
+/// reaper, so a suddenly-dead handle (kill unwinds out of an operation,
+/// then the handle is forgotten — no destructor) permanently strands at
+/// most **one value and one ring index**: the index it held in a local
+/// between taking it from one ring and appending it to the other, plus
+/// the value written to that index's data slot. This round kills two
+/// handles on a *small* ring, drains it, then fills to `Full` from a
+/// fresh handle: the fill must reach at least `capacity - kills` (each
+/// dead handle cost at most one index) and the value ledger must be
+/// short by at most one value per kill.
+#[test]
+fn wcq_killed_handles_strand_bounded_capacity() {
+    quiet_chaos_kills();
+    const CAP: usize = 64;
+    const KILLS: usize = 2;
+    // Victims enqueue (kill lands in the aq value append) or churn
+    // enqueue/dequeue pairs (kill lands in a claim or an fq recycle).
+    for (site, victim_dequeues) in [("wcq.enq", false), ("wcq.deq", true)] {
+        let session = chaos::install(
+            FaultPlan::new()
+                // Per-thread occurrence counting: every chaos-registered
+                // thread dies at its third visit to the site.
+                .kill(site, ThreadSel::Any, 2)
+                .with_storm(5, 1),
+        );
+        let q: WcQueue<u64> = WcQueue::with_config(KILLS + 1, WcqConfig::new().with_capacity(CAP));
+        let sink: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+        let attempted: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+        for k in 0..KILLS as u64 {
+            std::thread::scope(|s| {
+                s.spawn(|| {
+                    let h = q.register().expect("victim registers");
+                    let _token = chaos::register_thread(h.tid());
+                    let mut h = Some(h);
+                    let died = catch_unwind(AssertUnwindSafe(|| {
+                        let h = h.as_mut().unwrap();
+                        for i in 0..16u64 {
+                            let v = (k << 32) | i;
+                            attempted.lock().unwrap().push(v);
+                            h.enqueue(v);
+                            if victim_dequeues {
+                                if let Ok(x) = h.try_dequeue() {
+                                    sink.lock().unwrap().push(x);
+                                }
+                            }
+                        }
+                    }));
+                    let e = died.expect_err("the planned kill must fire");
+                    assert!(e.downcast_ref::<ChaosKill>().is_some());
+                    // Sudden death: no handle destructor, so whatever
+                    // index the victim held stays stranded.
+                    std::mem::forget(h.take());
+                });
+            });
+        }
+        let report = session.report();
+        assert_eq!(report.kills as usize, KILLS, "both victims died ({site})");
+
+        let mut h = q.register().expect("survivor slot free");
+        let mut drained = sink.into_inner().unwrap();
+        while let Ok(v) = h.try_dequeue() {
+            drained.push(v);
+        }
+        // Value ledger: nothing invented or duplicated, at most one
+        // value stranded per killed handle.
+        let attempted = attempted.into_inner().unwrap();
+        let live: HashSet<u64> = attempted.iter().copied().collect();
+        let mut seen = HashSet::new();
+        for &v in &drained {
+            assert!(live.contains(&v), "invented value {v:#x}");
+            assert!(seen.insert(v), "value {v:#x} dequeued twice");
+        }
+        let missing = live.len() - seen.len();
+        assert!(
+            missing <= KILLS,
+            "{missing} values missing after {KILLS} kills at {site} (bound: 1 per kill)"
+        );
+
+        // Capacity ledger: the drained ring accepts at least
+        // CAP - KILLS fresh values before Full.
+        let mut filled = 0usize;
+        while h.try_enqueue((1 << 60) | filled as u64).is_ok() {
+            filled += 1;
+        }
+        assert!(
+            filled >= CAP - KILLS,
+            "ring stranded more than one index per kill at {site}: \
+             filled {filled} of {CAP} after {KILLS} kills"
+        );
+        assert!(filled <= CAP, "ring overfilled: {filled} > {CAP}");
+    }
+}
+
+// ---------------------------------------------------------------------
+// channel front-end (DESIGN.md §15) chaos coverage
+// ---------------------------------------------------------------------
+
+/// The channel's instrumented sites (crates/kp-channel/src/chaos_hooks.rs)
+/// plus the wCQ engine sites underneath them, for seeded stall plans.
+/// The `chan.*` sites are stall/storm-only: the waiter registry is a
+/// lock, so kill plans must target engine sites instead.
+const CHAN_WCQ_SITES: &[&str] = &[
+    "chan.route",
+    "chan.batch",
+    "chan.park",
+    "chan.wake",
+    "wcq.enq",
+    "wcq.deq",
+    "wcq.help",
+    "wcq.finalize",
+    "wcq.threshold",
+];
+
+/// One channel round under an installed chaos plan: `producers`
+/// blocking senders (mixing scalar and batched sends) against
+/// `consumers` receivers alternating `recv_timeout` and `recv_batch`.
+/// Every value is tagged `(producer << 48) | seq`; each consumer audits
+/// FIFO-per-producer within its own stream (the §15 ordering contract),
+/// and the merged streams must be exactly-once. A receiver that times
+/// out while senders are still live is a **lost wakeup** — the
+/// generous timeout converts what would be a hang into a failure.
+fn channel_chaos_round<Q: ConcurrentQueue<u64>>(
+    chan: &Channel<u64, Q>,
+    producers: usize,
+    consumers: usize,
+    per: usize,
+    throttle: Option<Duration>,
+) {
+    let txs: Vec<_> = (0..producers).map(|_| chan.sender()).collect();
+    let rxs: Vec<_> = (0..consumers).map(|_| chan.receiver()).collect();
+    let streams: Vec<Vec<u64>> = std::thread::scope(|s| {
+        for (p, mut tx) in txs.into_iter().enumerate() {
+            s.spawn(move || {
+                let _token = chaos::register_thread(p);
+                let p = p as u64;
+                let mut seq = 0u64;
+                while (seq as usize) < per {
+                    if seq % 7 < 2 {
+                        let n = 8.min(per as u64 - seq);
+                        tx.send_batch((0..n).map(|i| (p << 48) | (seq + i)))
+                            .expect("receivers vanished");
+                        seq += n;
+                    } else {
+                        tx.send((p << 48) | seq).expect("receivers vanished");
+                        seq += 1;
+                    }
+                    // A think-time gap drains the shards so receivers
+                    // genuinely park — without it the queue never runs
+                    // dry and the park/wake protocol goes untested.
+                    if let Some(gap) = throttle {
+                        if seq % 8 == 0 {
+                            std::thread::sleep(gap);
+                        }
+                    }
+                }
+            });
+        }
+        let handles: Vec<_> = rxs
+            .into_iter()
+            .enumerate()
+            .map(|(c, mut rx)| {
+                s.spawn(move || {
+                    let _token = chaos::register_thread(producers + c);
+                    let mut stream = Vec::new();
+                    let mut buf = Vec::with_capacity(8);
+                    loop {
+                        // Alternate the two parked paths: the scalar
+                        // timeout wait and the batch wait.
+                        if stream.len() % 3 == 0 {
+                            match rx.recv_timeout(Duration::from_secs(10)) {
+                                Ok(v) => stream.push(v),
+                                Err(RecvTimeoutError::Disconnected) => break,
+                                Err(RecvTimeoutError::Timeout) => {
+                                    panic!("lost wakeup: receiver timed out with senders live")
+                                }
+                            }
+                        } else {
+                            match rx.recv_batch(&mut buf, 8) {
+                                Ok(_) => stream.append(&mut buf),
+                                Err(_) => break,
+                            }
+                        }
+                    }
+                    stream
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("consumer panicked")).collect()
+    });
+
+    let mut seen = HashSet::new();
+    for stream in &streams {
+        let mut last = vec![None::<u64>; producers];
+        for &v in stream {
+            assert!(seen.insert(v), "value {v:#x} delivered twice");
+            let (p, seq) = ((v >> 48) as usize, v & 0xffff_ffff_ffff);
+            if let Some(prev) = last[p] {
+                assert!(
+                    prev < seq,
+                    "producer {p} reordered within one consumer: {prev} before {seq}"
+                );
+            }
+            last[p] = Some(seq);
+        }
+    }
+    assert_eq!(seen.len(), producers * per, "lost values");
+}
+
+/// Seeded adversarial stalls across the whole channel stack — routing,
+/// batching, the park/wake protocol, and the wCQ engine underneath —
+/// must preserve the §15 contract: exactly-once, FIFO per producer
+/// within each consumer, and no lost wakeups.
+#[test]
+fn channel_fifo_per_producer_under_seeded_stalls() {
+    quiet_chaos_kills();
+    const PRODUCERS: usize = 2;
+    const CONSUMERS: usize = 2;
+    const THREADS: usize = PRODUCERS + CONSUMERS;
+    let per = testing::scaled(1_200);
+    for seed in [5u64, 77, 0xC0DE] {
+        let session = chaos::install(FaultPlan::seeded(seed, CHAN_WCQ_SITES, THREADS, 12));
+        let chan: Channel<u64, WcQueue<u64>> = Channel::wcq(
+            ChannelConfig::new()
+                .with_shards(2)
+                .with_max_senders(PRODUCERS)
+                .with_max_receivers(CONSUMERS),
+            256,
+        );
+        channel_chaos_round(&chan, PRODUCERS, CONSUMERS, per, None);
+        let report = session.report();
+        assert!(report.stalls > 0, "seeded plan must actually stall (seed {seed})");
+    }
+}
+
+/// The ISSUE acceptance scenario, aimed squarely at the blocking
+/// receiver: stalls parked **inside the park window** (between waiter
+/// registration and the pre-park re-check) and **inside the wake path**
+/// (between the sleepers-gauge read and the waiter pop), under a yield
+/// storm, on both shard cores. The Dekker sleepers protocol plus the
+/// wake-token pass-on rule must guarantee that no receiver stays parked
+/// while a value it could consume sits in a shard — a 10 s timeout
+/// turns a lost wakeup into a panic instead of a hang.
+#[test]
+fn channel_parked_receivers_never_lose_wakeups() {
+    quiet_chaos_kills();
+    const PRODUCERS: usize = 2;
+    const CONSUMERS: usize = 2;
+    let per = testing::scaled(800);
+    // Early occurrence indices: the round produces a handful of park
+    // windows per receiver (throttled producers, small ring), so deep
+    // indices would silently never fire and the assert below would
+    // reject the run.
+    for (hit, yields) in [(0u64, 60u32), (2, 200)] {
+        let plan = || {
+            FaultPlan::new()
+                .stall("chan.park", ThreadSel::Id(2), hit, yields)
+                .stall("chan.park", ThreadSel::Id(3), hit + 1, yields)
+                .stall("chan.wake", ThreadSel::Id(0), hit, yields)
+                .stall("chan.wake", ThreadSel::Id(1), hit + 1, yields)
+                .with_storm(9, 1)
+        };
+        {
+            let session = chaos::install(plan());
+            let chan: Channel<u64, WcQueue<u64>> = Channel::wcq(
+                ChannelConfig::new()
+                    .with_shards(2)
+                    .with_max_senders(PRODUCERS)
+                    .with_max_receivers(CONSUMERS),
+                64, // small ring: senders hit Full and the full retry/notify path
+            );
+            channel_chaos_round(&chan, PRODUCERS, CONSUMERS, per, Some(Duration::from_micros(200)));
+            let report = session.report();
+            assert!(report.stalls > 0, "park/wake stalls must fire (wcq hit={hit} steps={})", report.total_steps);
+        }
+        {
+            let session = chaos::install(plan());
+            let chan: Channel<u64, WfQueue<u64>> = Channel::kp(
+                ChannelConfig::new()
+                    .with_shards(2)
+                    .with_max_senders(PRODUCERS)
+                    .with_max_receivers(CONSUMERS),
+            );
+            channel_chaos_round(&chan, PRODUCERS, CONSUMERS, per, Some(Duration::from_micros(200)));
+            let report = session.report();
+            assert!(report.stalls > 0, "park/wake stalls must fire (kp hit={hit} steps={})", report.total_steps);
+        }
+    }
 }
