@@ -1,6 +1,6 @@
 //! Records the PR's perf baseline: throughput *and* allocation rate for
 //! the fast-path/slow-path execution split against its slow-path-only
-//! baseline, written as machine-readable JSON (default `BENCH_PR7.json`).
+//! baseline, written as machine-readable JSON (default `BENCH_PR8.json`).
 //!
 //! Every row carries a self-describing `engine` field ("kogan-petrank",
 //! "wcq", ...) and a `capacity` column (`null` for unbounded engines),
@@ -35,7 +35,13 @@
 //!    *scheduled* arrival time — coordination-omission-free, see
 //!    `harness::channel_load`. The headline is the per-engine speedup
 //!    of (shards=4, batch=64) over (shards=1, batch=1), geomean across
-//!    engines, acceptance ≥1.3×.
+//!    engines, acceptance ≥1.3×;
+//! 6. the PR8 overload ablation (DESIGN.md §16) — backpressured cells
+//!    on a deliberately small ring: the parked bounded send against a
+//!    bench-local spin-send (`try_send` + yield, the pre-overload
+//!    behavior), and the unbounded KP channel with the admission gate
+//!    on against the identical gate-off cell (acceptance: admission
+//!    on/off throughput geomean ≥0.97, i.e. ≤3% drift).
 //!
 //! A separate stalled-reader probe pins the bounded-memory claim: with
 //! a registered consumer that never consumes while producers keep
@@ -65,7 +71,7 @@ use harness::args::Args;
 use harness::channel_load::{self, CellSpec, OpenLoopSpec};
 use harness::hist::LogHistogram;
 use harness::{workload, SchedPolicy, Variant};
-use kp_channel::{Channel, ChannelConfig};
+use kp_channel::{Channel, ChannelConfig, OverloadConfig, TrySendError};
 use kp_queue::{Config, WfQueue, WfQueueHp};
 use queue_traits::{ConcurrentQueue, FastPathStats, QueueHandle};
 use wcq::WcQueue;
@@ -220,7 +226,7 @@ fn main() {
     let args = Args::from_env();
     let iters: usize = args.get_or("iters", 50_000);
     let reps: usize = args.get_or("reps", 3);
-    let out = args.get("out").unwrap_or("BENCH_PR7.json").to_string();
+    let out = args.get("out").unwrap_or("BENCH_PR8.json").to_string();
     let thread_counts: Vec<usize> = match args.get("threads") {
         Some(t) => vec![t.parse().unwrap_or_else(|_| {
             harness::args::bad_value_exit("threads", t, "expected a thread count")
@@ -589,6 +595,153 @@ fn main() {
         }
     }
 
+    // Grid 6: the overload ablation (DESIGN.md §16). Backpressured
+    // cells: a ring small enough that the closed-loop producers outrun
+    // the consumers and hit `Full` constantly, so the cell measures the
+    // refusal path, not the happy path. Three comparisons:
+    //   - wcq park vs spin: the parked bounded send against a
+    //     bench-local `try_send` + `yield_now` loop (the pre-overload
+    //     sender behavior);
+    //   - kp admission on vs off: the same blocking-send cell with and
+    //     without a per-shard depth quota (gate overhead + gated parks
+    //     vs an unbounded engine that never refuses);
+    //   - the admission-on/off ratio is the acceptance number: geomean
+    //     ≥0.97 (≤3% drift from the overload machinery).
+    const OVERLOAD_RING: usize = 256;
+    const OVERLOAD_QUOTA: usize = 256;
+    struct OverRow {
+        engine: &'static str,
+        mode: &'static str,
+        capacity: Option<usize>,
+        depth_quota: Option<usize>,
+        median_secs: f64,
+        mops_per_sec: f64,
+        allocs_per_msg: f64,
+        tx_parks: u64,
+        refusals_spun: bool,
+    }
+    let mut over_rows: Vec<OverRow> = Vec::new();
+    {
+        // One backpressured closed-loop cell: 2 producers send `iters`
+        // values each (parked or spinning on Full), 2 consumers drain
+        // batched until disconnect.
+        fn overload_cell<Q: queue_traits::ConcurrentQueue<u64>>(
+            chan: &Channel<u64, Q>,
+            spin: bool,
+            iters: usize,
+        ) -> Duration {
+            let txs: Vec<_> = (0..CHAN_PRODUCERS).map(|_| chan.sender()).collect();
+            let rxs: Vec<_> = (0..CHAN_CONSUMERS).map(|_| chan.receiver()).collect();
+            let start = std::time::Instant::now();
+            std::thread::scope(|s| {
+                for (p, mut tx) in txs.into_iter().enumerate() {
+                    s.spawn(move || {
+                        for i in 0..iters as u64 {
+                            let mut v = ((p as u64) << 48) | i;
+                            if spin {
+                                loop {
+                                    match tx.try_send(v) {
+                                        Ok(()) => break,
+                                        Err(TrySendError::Full(x)) => {
+                                            v = x;
+                                            std::thread::yield_now();
+                                        }
+                                        Err(TrySendError::Disconnected(_)) => {
+                                            panic!("receivers vanished")
+                                        }
+                                    }
+                                }
+                            } else {
+                                tx.send(v).expect("receivers vanished");
+                            }
+                        }
+                    });
+                }
+                for mut rx in rxs {
+                    s.spawn(move || {
+                        let mut buf = Vec::with_capacity(64);
+                        while rx.recv_batch(&mut buf, 64).is_ok() {
+                            buf.clear();
+                        }
+                    });
+                }
+            });
+            start.elapsed()
+        }
+        let over_cells: [(&'static str, &'static str, Option<usize>, Option<usize>); 4] = [
+            ("wcq", "park", Some(OVERLOAD_RING), None),
+            ("wcq", "spin", Some(OVERLOAD_RING), None),
+            ("kp", "admission-off", None, None),
+            ("kp", "admission-on", None, Some(OVERLOAD_QUOTA)),
+        ];
+        for (engine, mode, capacity, quota) in over_cells {
+            let spin = mode == "spin";
+            let mut durs = Vec::with_capacity(reps);
+            let mut allocs = Vec::with_capacity(reps);
+            let mut tx_parks = 0u64;
+            for _ in 0..reps {
+                let cfg = match quota {
+                    Some(q) => chan_config(2)
+                        .with_overload(OverloadConfig::disabled().with_depth_quota(q)),
+                    None => chan_config(2),
+                };
+                let (d, a) = if engine == "wcq" {
+                    let c: Channel<u64, WcQueue<u64>> = Channel::wcq(cfg, OVERLOAD_RING);
+                    let r = rep(|| overload_cell(&c, spin, chan_iters));
+                    tx_parks += c.health_snapshot().shards.iter().map(|s| s.tx_parks).sum::<u64>();
+                    r
+                } else {
+                    let c: Channel<u64, WfQueue<u64>> = Channel::kp(cfg);
+                    let r = rep(|| overload_cell(&c, spin, chan_iters));
+                    tx_parks += c.health_snapshot().shards.iter().map(|s| s.tx_parks).sum::<u64>();
+                    r
+                };
+                durs.push(d);
+                allocs.push(a);
+            }
+            let med = median(&mut durs);
+            allocs.sort();
+            let msgs = (CHAN_PRODUCERS * chan_iters) as f64;
+            let row = OverRow {
+                engine,
+                mode,
+                capacity,
+                depth_quota: quota,
+                median_secs: med.as_secs_f64(),
+                mops_per_sec: msgs / med.as_secs_f64() / 1e6,
+                allocs_per_msg: allocs[allocs.len() / 2] as f64 / msgs,
+                tx_parks,
+                refusals_spun: spin,
+            };
+            println!(
+                "overload {:4} {:13} t={}{}: {:>8.3} Mmsg/s, {:.4} allocs/msg, {} sender parks",
+                row.engine,
+                row.mode,
+                chan_threads,
+                if chan_oversub { " (oversub)" } else { "" },
+                row.mops_per_sec,
+                row.allocs_per_msg,
+                row.tx_parks
+            );
+            over_rows.push(row);
+        }
+    }
+    let over_pick = |engine: &str, mode: &str| {
+        over_rows
+            .iter()
+            .find(|r| r.engine == engine && r.mode == mode)
+            .expect("overload ablation cell")
+    };
+    let park_over_spin =
+        over_pick("wcq", "park").mops_per_sec / over_pick("wcq", "spin").mops_per_sec;
+    let admission_on_over_off = over_pick("kp", "admission-on").mops_per_sec
+        / over_pick("kp", "admission-off").mops_per_sec;
+    println!("overload wcq parked-send over spin-send: {park_over_spin:.4}x");
+    println!(
+        "overload kp admission on over off: {admission_on_over_off:.4}x \
+         (acceptance >= 0.97, i.e. <= 3% drift)"
+    );
+
     // Headline comparison for this PR: per engine, the fully batched +
     // sharded cell over the single-shard unbatched one; geomean across
     // engines, acceptance ≥1.3×.
@@ -949,7 +1102,7 @@ fn main() {
     }
 
     let mut json = String::new();
-    json.push_str("{\n  \"pr\": 7,\n");
+    json.push_str("{\n  \"pr\": 8,\n");
     let _ = writeln!(json, "  \"iters_per_thread\": {iters},");
     let _ = writeln!(json, "  \"reps\": {reps},");
     let _ = writeln!(json, "  \"cores\": {cores},");
@@ -1070,7 +1223,45 @@ fn main() {
     json.push_str("\n  ],\n");
     let _ = writeln!(
         json,
-        "  \"channel_batched_sharded_geomean\": {chan_geomean:.4}"
+        "  \"channel_batched_sharded_geomean\": {chan_geomean:.4},"
+    );
+    json.push_str("  \"overload_ablation\": [\n");
+    for (i, r) in over_rows.iter().enumerate() {
+        let capacity = match r.capacity {
+            Some(c) => c.to_string(),
+            None => "null".to_string(),
+        };
+        let quota = match r.depth_quota {
+            Some(q) => q.to_string(),
+            None => "null".to_string(),
+        };
+        let _ = writeln!(
+            json,
+            "    {{\"engine\": \"{}\", \"mode\": \"{}\", \"capacity\": {}, \
+             \"depth_quota\": {}, \"producers\": {}, \"consumers\": {}, \
+             \"oversubscribed\": {}, \"median_secs\": {:.6}, \
+             \"mops_per_sec\": {:.4}, \"allocs_per_msg\": {:.6}, \
+             \"tx_parks\": {}, \"refusals_spun\": {}}}{}",
+            engine_label(r.engine),
+            r.mode,
+            capacity,
+            quota,
+            CHAN_PRODUCERS,
+            CHAN_CONSUMERS,
+            chan_oversub,
+            r.median_secs,
+            r.mops_per_sec,
+            r.allocs_per_msg,
+            r.tx_parks,
+            r.refusals_spun,
+            if i + 1 == over_rows.len() { "" } else { "," }
+        );
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(json, "  \"overload_park_over_spin\": {park_over_spin:.4},");
+    let _ = writeln!(
+        json,
+        "  \"overload_admission_on_over_off\": {admission_on_over_off:.4}"
     );
     json.push_str("}\n");
 

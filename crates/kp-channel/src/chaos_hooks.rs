@@ -19,7 +19,11 @@
 //! | `chan.route` | top of each single send, before the sticky-shard engine enqueue |
 //! | `chan.batch` | top of each `send_batch`/`recv_batch`, before the batch touches its shard |
 //! | `chan.park` | before a receiver publishes itself to the waiter registry (the Dekker store) |
-//! | `chan.wake` | before a notifier pops and wakes the next registered waiter |
+//! | `chan.wake` | before a notifier pops and wakes the next registered waiter (rx and tx registries) |
+//! | `chan.send_park` | before a refused sender publishes itself to its shard's capacity registry |
+//! | `chan.admit` | top of the admission gate, before the quota/quarantine decision |
+//! | `chan.quarantine` | after the watchdog confirms a quarantine, before parked senders are rewoken |
+//! | `chan.probe` | after a probe slot is claimed, before the probe value reaches the engine |
 
 #[cfg(feature = "chaos")]
 macro_rules! inject {

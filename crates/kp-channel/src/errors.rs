@@ -47,6 +47,40 @@ impl<T> fmt::Display for SendError<T> {
 
 impl<T: fmt::Debug> std::error::Error for SendError<T> {}
 
+/// Error returned by [`Sender::send_timeout`](crate::Sender::send_timeout)
+/// and [`Sender::send_deadline`](crate::Sender::send_deadline). The
+/// unsent value is handed back in both arms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendTimeoutError<T> {
+    /// The deadline passed with the shard still refusing the value
+    /// (at capacity, over its admission quota, or quarantined).
+    Timeout(T),
+    /// Every receiver has been dropped.
+    Disconnected(T),
+}
+
+impl<T> SendTimeoutError<T> {
+    /// The value that could not be sent.
+    pub fn into_inner(self) -> T {
+        match self {
+            SendTimeoutError::Timeout(v) | SendTimeoutError::Disconnected(v) => v,
+        }
+    }
+}
+
+impl<T> fmt::Display for SendTimeoutError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SendTimeoutError::Timeout(_) => write!(f, "timed out sending on a full channel"),
+            SendTimeoutError::Disconnected(_) => {
+                write!(f, "sending on a disconnected channel")
+            }
+        }
+    }
+}
+
+impl<T: fmt::Debug> std::error::Error for SendTimeoutError<T> {}
+
 /// Error returned by [`Receiver::try_recv`](crate::Receiver::try_recv).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TryRecvError {

@@ -8,27 +8,36 @@
 //! **batch** sends and receives so a burst pays one shard acquisition,
 //! and layer **blocking / async receive** on top so the whole thing
 //! drops into a service. DESIGN.md §15 documents the ordering contract,
-//! the batching linearizability argument, and the waker protocol; the
-//! short version:
+//! the batching linearizability argument, and the waker protocol; §16
+//! the overload model; the short version:
 //!
 //! - **Ordering.** Each [`Sender`] is pinned to one shard at creation
 //!   (round-robin assignment), and each shard is itself a linearizable
 //!   FIFO, so the channel preserves *FIFO per producer*: two values
 //!   sent by the same sender are received in send order. No order is
 //!   promised between values from different senders — that is the
-//!   relaxation sharding buys its throughput with.
+//!   relaxation sharding buys its throughput with. (The opt-in
+//!   [`QuarantinePolicy::Reroute`] trades this guarantee away; see
+//!   its docs.)
 //! - **Wakeups.** Blocking and async receivers share one waiter
 //!   registry and a Dekker-style `sleepers` gauge: a receiver registers
 //!   *then* re-checks every shard before parking, a sender enqueues
-//!   *then* checks the gauge. Under the total order on the SeqCst gauge
-//!   operations and the engines' linearization points, one of the two
-//!   re-checks always observes the other side, so no wakeup is lost.
-//! - **Capacity.** Over a bounded core (wCQ) a full shard surfaces as
-//!   [`TrySendError::Full`] from [`Sender::try_send`], while
-//!   [`Sender::send`] treats it as backpressure and yields until a slot
-//!   frees. Unbounded cores (KP) never report full. Dropping the last
-//!   sender latches the channel *disconnected*: receivers drain what
-//!   remains, then see [`TryRecvError::Disconnected`].
+//!   *then* checks the gauge. Capacity-blocked senders park on a
+//!   symmetric per-shard registry that receivers notify after each
+//!   dequeue. Under the total order on the SeqCst gauge operations
+//!   and the engines' linearization points, one of the two re-checks
+//!   always observes the other side, so no wakeup is lost.
+//! - **Capacity and overload.** Over a bounded core (wCQ) a full shard
+//!   surfaces as [`TrySendError::Full`] from [`Sender::try_send`],
+//!   while [`Sender::send`] treats it as backpressure and *parks*
+//!   until a receiver frees a slot; [`Sender::send_timeout`] bounds
+//!   the wait. Unbounded cores (KP) never report full from the engine,
+//!   but an [`OverloadConfig`] can impose a soft depth/pressure quota
+//!   (admission control) and a shard-health watchdog that quarantines
+//!   shards whose consumers have stalled — see
+//!   [`Channel::health_snapshot`]. Dropping the last sender latches
+//!   the channel *disconnected*: receivers drain what remains, then
+//!   see [`TryRecvError::Disconnected`].
 //!
 //! Handles borrow the channel (`Sender<'a, ..>`), matching the
 //! register-then-operate usage model of the engines. To move receivers
@@ -40,32 +49,44 @@
 
 mod chaos_hooks;
 mod errors;
+mod overload;
+mod park;
 mod receiver;
 mod sender;
 #[cfg(test)]
 mod tests;
 
 pub use errors::{
-    RecvError, RecvTimeoutError, SendError, SubscribeError, TryRecvError, TrySendError,
+    RecvError, RecvTimeoutError, SendError, SendTimeoutError, SubscribeError, TryRecvError,
+    TrySendError,
 };
+pub use overload::{HealthSnapshot, HealthState, OverloadConfig, QuarantinePolicy, ShardSnapshot};
 pub use receiver::{Receiver, RecvFuture};
 pub use sender::Sender;
 
-use kp_sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use kp_sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use overload::{Gauges, HealthEvent, ShardHealth};
+use park::ParkRegistry;
+pub(crate) use park::{WaitGuard, WaiterKind};
 use queue_traits::ConcurrentQueue;
-use std::collections::VecDeque;
 use std::marker::PhantomData;
-use std::sync::{Mutex, PoisonError};
 use std::task::Waker;
+use std::time::Instant;
 
 use chaos_hooks::inject;
+
+/// Ops between a handle's opportunistic watchdog-tick attempts; the
+/// reaper's TICK_STRIDE idea at channel granularity, so hot paths pay
+/// one `Instant::now` per stride, not per op.
+pub(crate) const TICK_STRIDE: u32 = 16;
 
 /// Sizing knobs for a [`Channel`].
 ///
 /// `max_senders`/`max_receivers` bound how many handles may be live at
 /// once; they size each shard's engine thread capacity (every receiver
 /// registers on every shard, senders are spread round-robin but bounded
-/// pessimistically).
+/// pessimistically — which is also what lets `Reroute` senders register
+/// lazily on foreign shards).
 #[derive(Debug, Clone, Copy)]
 pub struct ChannelConfig {
     /// Number of engine instances values are sharded over.
@@ -74,12 +95,19 @@ pub struct ChannelConfig {
     pub max_senders: usize,
     /// Upper bound on simultaneously live [`Receiver`]s.
     pub max_receivers: usize,
+    /// Overload-control knobs; [`OverloadConfig::disabled`] by default.
+    pub overload: OverloadConfig,
 }
 
 impl ChannelConfig {
-    /// One shard, 16 senders, 16 receivers.
+    /// One shard, 16 senders, 16 receivers, overload control off.
     pub fn new() -> ChannelConfig {
-        ChannelConfig { shards: 1, max_senders: 16, max_receivers: 16 }
+        ChannelConfig {
+            shards: 1,
+            max_senders: 16,
+            max_receivers: 16,
+            overload: OverloadConfig::disabled(),
+        }
     }
 
     /// Sets the shard count (≥ 1).
@@ -103,9 +131,17 @@ impl ChannelConfig {
         self
     }
 
+    /// Sets the overload-control configuration (DESIGN.md §16).
+    pub fn with_overload(mut self, overload: OverloadConfig) -> ChannelConfig {
+        self.overload = overload;
+        self
+    }
+
     /// Engine thread capacity each shard must provide: every receiver
     /// registers on every shard, and in the worst case every sender
-    /// lands on one shard (handles outlive rebalancing).
+    /// lands on one shard (handles outlive rebalancing; `Reroute`
+    /// senders mint lazy foreign-shard handles out of the same
+    /// budget).
     pub fn threads_per_shard(&self) -> usize {
         self.max_senders + self.max_receivers
     }
@@ -128,27 +164,18 @@ pub struct ShardSpec {
     pub threads: usize,
 }
 
-/// A waiter parked in [`Channel::recv`](Receiver::recv) (an OS thread)
-/// or pending in [`Receiver::poll_recv`] (a task waker).
-pub(crate) enum WaiterKind {
-    Thread(std::thread::Thread),
-    Task(Waker),
-}
-
-impl WaiterKind {
-    fn wake(self) {
-        match self {
-            WaiterKind::Thread(t) => t.unpark(),
-            WaiterKind::Task(w) => w.wake(),
-        }
-    }
-}
-
-/// FIFO registry of parked/pending receivers. Guarded by
-/// [`Channel::waiters`]; the `sleepers` gauge mirrors its length.
-pub(crate) struct WaiterList {
-    slots: VecDeque<(u64, WaiterKind)>,
-    next_id: u64,
+/// Admission decision for one send (see [`Channel::admit`]).
+pub(crate) enum Gate {
+    /// Proceed to the engine.
+    Admit,
+    /// Refused by quota or quarantine. `reroute` is set when the
+    /// refusal came from a quarantined shard under
+    /// [`QuarantinePolicy::Reroute`] — the caller should try
+    /// [`Channel::reroute_target`] before treating it as `Full`.
+    Refuse {
+        /// Try another shard instead of backpressuring.
+        reroute: bool,
+    },
 }
 
 /// The sharded channel. Mint handles with [`sender`](Channel::sender) /
@@ -165,11 +192,24 @@ pub struct Channel<T: Send, Q: ConcurrentQueue<T>> {
     /// never reopens: `try_sender`/`try_receiver` refuse.
     tx_closed: AtomicBool,
     rx_closed: AtomicBool,
-    /// Dekker gauge: number of entries in `waiters`. Senders read it
-    /// after enqueuing to decide whether a wake is needed without
-    /// taking the lock on the common path.
-    sleepers: AtomicUsize,
-    waiters: Mutex<WaiterList>,
+    /// Receivers waiting for values.
+    rx_parks: ParkRegistry,
+    /// Capacity-blocked senders waiting for slots, one registry per
+    /// shard: a slot freed on shard `s` can only unblock a sender of
+    /// shard `s`, so a global registry would let wake tokens die on
+    /// senders of the wrong shard.
+    tx_parks: Box<[ParkRegistry]>,
+    /// Watchdog state, one per shard.
+    health: Box<[ShardHealth]>,
+    overload: OverloadConfig,
+    /// `overload.enabled()`, cached: the one branch disabled channels
+    /// pay per send.
+    overload_on: bool,
+    /// Wall-clock epoch for the watchdog's millisecond timestamps.
+    epoch: Instant,
+    /// Channel-epoch ms of the last claimed watchdog tick; claiming is
+    /// a CAS so exactly one thread runs each tick's state machine.
+    tick_claim: AtomicU64,
     _values: PhantomData<fn(T) -> T>,
 }
 
@@ -189,14 +229,19 @@ impl<T: Send, Q: ConcurrentQueue<T>> Channel<T, Q> {
             );
         }
         Channel {
+            tx_parks: shards.iter().map(|_| ParkRegistry::new()).collect(),
+            health: shards.iter().map(|_| ShardHealth::new()).collect(),
             shards: shards.into_boxed_slice(),
             next_shard: AtomicUsize::new(0),
             tx_live: AtomicUsize::new(0),
             rx_live: AtomicUsize::new(0),
             tx_closed: AtomicBool::new(false),
             rx_closed: AtomicBool::new(false),
-            sleepers: AtomicUsize::new(0),
-            waiters: Mutex::new(WaiterList { slots: VecDeque::new(), next_id: 0 }),
+            rx_parks: ParkRegistry::new(),
+            overload_on: cfg.overload.enabled(),
+            overload: cfg.overload,
+            epoch: Instant::now(),
+            tick_claim: AtomicU64::new(0),
             _values: PhantomData,
         }
     }
@@ -209,6 +254,11 @@ impl<T: Send, Q: ConcurrentQueue<T>> Channel<T, Q> {
     /// Whether the send side has closed (last sender dropped).
     pub fn is_disconnected(&self) -> bool {
         self.tx_closed.load(Ordering::Acquire)
+    }
+
+    /// The overload configuration this channel runs with.
+    pub fn overload_config(&self) -> &OverloadConfig {
+        &self.overload
     }
 
     /// Mints a sender pinned to the next shard round-robin.
@@ -252,80 +302,34 @@ impl<T: Send, Q: ConcurrentQueue<T>> Channel<T, Q> {
         self.try_receiver().expect("cannot mint channel receiver")
     }
 
-    // ---- waiter registry (the waker protocol of DESIGN.md §15) ----
+    // ---- receiver-side waiter registry (DESIGN.md §15) ----
 
-    fn lock_waiters(&self) -> std::sync::MutexGuard<'_, WaiterList> {
-        // The registry stays consistent through a panicking waiter (all
-        // mutation is push/remove of plain entries), so poison is not
-        // load-bearing here.
-        self.waiters.lock().unwrap_or_else(PoisonError::into_inner)
-    }
-
-    /// Publishes a waiter. The gauge increment is the Dekker store: it
-    /// is SeqCst so it is globally ordered before the caller's
-    /// subsequent shard re-check.
+    /// Publishes a receiver waiter (Dekker store; see `park.rs`).
     pub(crate) fn register_waiter(&self, kind: WaiterKind) -> u64 {
-        let mut w = self.lock_waiters();
-        let id = w.next_id;
-        w.next_id += 1;
-        w.slots.push_back((id, kind));
-        self.sleepers.fetch_add(1, Ordering::SeqCst);
-        id
+        self.rx_parks.register(kind)
     }
 
-    /// Withdraws a registration. Returns `false` if a notifier already
-    /// popped it — a wake token was spent on the caller, who must
-    /// either consume it (by re-checking the shards) or pass it on via
-    /// [`wake_one`](Channel::wake_one).
+    /// Withdraws a registration; `false` means a token was spent on
+    /// the caller (consume it or pass it on).
     pub(crate) fn cancel_waiter(&self, id: u64) -> bool {
-        let mut w = self.lock_waiters();
-        if let Some(pos) = w.slots.iter().position(|(i, _)| *i == id) {
-            w.slots.remove(pos);
-            self.sleepers.fetch_sub(1, Ordering::SeqCst);
-            true
-        } else {
-            false
-        }
+        self.rx_parks.cancel(id)
     }
 
-    /// Re-arms an existing async registration with a fresh waker,
-    /// so a task re-polled with a new context keeps exactly one slot.
-    /// Returns `false` if the registration was already popped.
+    /// Re-arms an async registration with a fresh waker.
     pub(crate) fn rearm_waiter(&self, id: u64, waker: &Waker) -> bool {
-        let mut w = self.lock_waiters();
-        if let Some((_, kind)) = w.slots.iter_mut().find(|(i, _)| *i == id) {
-            *kind = WaiterKind::Task(waker.clone());
-            true
-        } else {
-            false
-        }
+        self.rx_parks.rearm(id, waker)
     }
 
-    /// Pops and wakes the oldest waiter, if any.
+    /// Pops and wakes the oldest receiver waiter, if any.
     pub(crate) fn wake_one(&self) -> bool {
         inject!("chan.wake");
-        let popped = {
-            let mut w = self.lock_waiters();
-            let popped = w.slots.pop_front();
-            if popped.is_some() {
-                self.sleepers.fetch_sub(1, Ordering::SeqCst);
-            }
-            popped
-        };
-        match popped {
-            // Wake outside the lock: a waker may run scheduler code.
-            Some((_, kind)) => {
-                kind.wake();
-                true
-            }
-            None => false,
-        }
+        self.rx_parks.wake_one()
     }
 
     /// Sender-side notification after one enqueue. The gauge load is
     /// the Dekker check: SeqCst, globally ordered after the enqueue.
     pub(crate) fn notify_one(&self) {
-        if self.sleepers.load(Ordering::SeqCst) > 0 {
+        if self.rx_parks.sleepers() > 0 {
             self.wake_one();
         }
     }
@@ -337,7 +341,7 @@ impl<T: Send, Q: ConcurrentQueue<T>> Channel<T, Q> {
         if n == 0 {
             return;
         }
-        let sleeping = self.sleepers.load(Ordering::SeqCst);
+        let sleeping = self.rx_parks.sleepers();
         for _ in 0..n.min(sleeping) {
             if !self.wake_one() {
                 break;
@@ -345,9 +349,173 @@ impl<T: Send, Q: ConcurrentQueue<T>> Channel<T, Q> {
         }
     }
 
-    /// Wakes every waiter (disconnect broadcast).
+    /// Wakes every receiver waiter (disconnect broadcast).
     pub(crate) fn wake_all(&self) {
         while self.wake_one() {}
+    }
+
+    // ---- sender-side (capacity) waiter registry (DESIGN.md §16) ----
+
+    /// Shard `shard`'s capacity-waiter registry, for senders to park
+    /// on.
+    pub(crate) fn tx_registry(&self, shard: usize) -> &ParkRegistry {
+        &self.tx_parks[shard]
+    }
+
+    /// Receiver-side notification after draining `n` values from
+    /// `shard`: each freed slot can admit one parked sender. The gauge
+    /// load is the symmetric Dekker check, SeqCst-ordered after the
+    /// engine dequeue.
+    pub(crate) fn notify_tx(&self, shard: usize, n: usize) {
+        if n != 0 && self.tx_parks[shard].sleepers() > 0 {
+            inject!("chan.wake");
+            self.tx_parks[shard].notify_many(n);
+        }
+    }
+
+    // ---- overload control (DESIGN.md §16) ----
+
+    /// Milliseconds since channel creation (the watchdog clock).
+    pub(crate) fn now_ms(&self) -> u64 {
+        self.epoch.elapsed().as_millis() as u64
+    }
+
+    fn gauges(&self, shard: usize) -> Gauges {
+        let q = &self.shards[shard];
+        Gauges {
+            depth: q.depth_hint(),
+            capacity: q.capacity_hint(),
+            drained: q.drained_hint(),
+            pressure: q.pressure_hint(),
+        }
+    }
+
+    /// Opportunistic watchdog tick: claims the next tick slot by CAS
+    /// if `tick_interval` has passed, and runs the per-shard state
+    /// machine. Called from send/receive paths on a stride, and from
+    /// sender park loops directly (a stalled consumer means nobody
+    /// else is ticking).
+    pub(crate) fn maybe_tick(&self) {
+        if !self.overload_on {
+            return;
+        }
+        let now = self.now_ms();
+        let last = self.tick_claim.load(Ordering::Relaxed);
+        if now.saturating_sub(last) < self.overload.tick_interval.as_millis() as u64 {
+            return;
+        }
+        if self
+            .tick_claim
+            .compare_exchange(last, now, Ordering::Relaxed, Ordering::Relaxed)
+            .is_err()
+        {
+            return;
+        }
+        for shard in 0..self.shards.len() {
+            let g = self.gauges(shard);
+            match self.health[shard].observe(now, &g, &self.overload) {
+                Some(HealthEvent::Quarantined) => {
+                    inject!("chan.quarantine");
+                    // Senders parked on the shard must re-evaluate:
+                    // under Reroute they can leave, under Backpressure
+                    // they re-park with the bounded-poll floor.
+                    self.tx_parks[shard].wake_all();
+                }
+                Some(HealthEvent::Readmitted) => {
+                    self.tx_parks[shard].wake_all();
+                }
+                None => {}
+            }
+        }
+    }
+
+    /// Admission decision for one send to `shard`. With overload
+    /// control disabled this is a single branch.
+    pub(crate) fn admit(&self, shard: usize) -> Gate {
+        if !self.overload_on {
+            return Gate::Admit;
+        }
+        inject!("chan.admit");
+        let h = &self.health[shard];
+        if h.state() == HealthState::Quarantined {
+            // Inline re-admission: a recovered consumer shows up at
+            // the next send, not the next tick.
+            let g = self.gauges(shard);
+            if h.try_readmit(&g, &self.overload).is_some() {
+                self.tx_parks[shard].wake_all();
+                return Gate::Admit;
+            }
+            if h.claim_probe(self.now_ms(), &self.overload) {
+                inject!("chan.probe");
+                return Gate::Admit;
+            }
+            return Gate::Refuse {
+                reroute: self.overload.policy == QuarantinePolicy::Reroute,
+            };
+        }
+        if h.pressure_hot() {
+            return Gate::Refuse { reroute: false };
+        }
+        if let Some(quota) = self.overload.depth_quota {
+            if self.shards[shard].depth_hint().is_some_and(|d| d > quota) {
+                return Gate::Refuse { reroute: false };
+            }
+        }
+        Gate::Admit
+    }
+
+    /// The next non-quarantined shard after `home`, for
+    /// [`QuarantinePolicy::Reroute`]; `None` when every other shard is
+    /// also quarantined.
+    pub(crate) fn reroute_target(&self, home: usize) -> Option<usize> {
+        let n = self.shards.len();
+        (1..n)
+            .map(|i| (home + i) % n)
+            .find(|&s| self.health[s].state() != HealthState::Quarantined)
+    }
+
+    /// Shard `i`'s engine, for lazy foreign-shard handle registration.
+    pub(crate) fn shard_queue(&self, i: usize) -> &Q {
+        &self.shards[i]
+    }
+
+    /// Bounded-poll floor for senders parked on an *advisory-gauge*
+    /// refusal (quota or quarantine): such parks re-poll at the probe
+    /// interval instead of relying on a wakeup, because the gauges
+    /// carry no Dekker liveness guarantee. Engine-`Full` parks have
+    /// one (receiver dequeues notify the registry) and wait
+    /// indefinitely.
+    pub(crate) fn gate_poll_interval(&self) -> std::time::Duration {
+        self.overload.probe_interval
+    }
+
+    /// Operator view: per-shard gauges, quarantine state, and parking
+    /// counters. All advisory (relaxed reads of live counters).
+    pub fn health_snapshot(&self) -> HealthSnapshot {
+        HealthSnapshot {
+            shards: (0..self.shards.len())
+                .map(|i| {
+                    let g = self.gauges(i);
+                    let h = &self.health[i];
+                    let p = &self.tx_parks[i];
+                    ShardSnapshot {
+                        state: h.state(),
+                        depth: g.depth,
+                        capacity: g.capacity,
+                        drained: g.drained,
+                        pressure: g.pressure,
+                        quarantines: h.quarantine_count(),
+                        probes: h.probe_count(),
+                        tx_sleepers: p.sleepers(),
+                        tx_parks: p.park_count(),
+                        tx_wakes: p.wake_count(),
+                    }
+                })
+                .collect(),
+            rx_sleepers: self.rx_parks.sleepers(),
+            rx_parks: self.rx_parks.park_count(),
+            rx_wakes: self.rx_parks.wake_count(),
+        }
     }
 
     // ---- handle drop accounting ----
@@ -365,9 +533,13 @@ impl<T: Send, Q: ConcurrentQueue<T>> Channel<T, Q> {
 
     pub(crate) fn receiver_dropped(&self) {
         if self.rx_live.fetch_sub(1, Ordering::AcqRel) == 1 {
-            // Senders never park, so a latch is all that is needed:
-            // their send loops poll it.
+            // Latch first, then broadcast to capacity-parked senders:
+            // with no receivers left nobody will ever free a slot, so
+            // every parked sender must wake and observe Disconnected.
             self.rx_closed.store(true, Ordering::Release);
+            for reg in self.tx_parks.iter() {
+                reg.wake_all();
+            }
         }
     }
 
@@ -402,8 +574,9 @@ impl<T: Send + 'static> Channel<T, wcq::WcQueue<T>> {
 }
 
 impl<T: Send + 'static> Channel<T, kp_queue::WfQueue<T>> {
-    /// A channel over unbounded Kogan–Petrank shards; sends never
-    /// report full.
+    /// A channel over unbounded Kogan–Petrank shards; the engine never
+    /// reports full, though an [`OverloadConfig`] admission quota can
+    /// (DESIGN.md §16).
     ///
     /// Shards run the production fast-path/slow-path configuration
     /// (DESIGN.md §12): the bounded Michael–Scott CAS loop first, the

@@ -27,21 +27,34 @@ pub struct Receiver<'a, T: Send, Q: ConcurrentQueue<T>> {
     /// `Pending`; consumed (cancelled or re-armed) on the next poll or
     /// on drop.
     waiting: Option<u64>,
+    /// Stride counter for opportunistic watchdog ticks.
+    pace: u32,
 }
 
 impl<'a, T: Send, Q: ConcurrentQueue<T>> Receiver<'a, T, Q> {
     pub(crate) fn new(chan: &'a Channel<T, Q>, handles: Vec<Q::Handle<'a>>, cursor: usize) -> Self {
-        Receiver { chan, handles: handles.into_boxed_slice(), cursor, waiting: None }
+        Receiver { chan, handles: handles.into_boxed_slice(), cursor, waiting: None, pace: 0 }
+    }
+
+    /// Strided watchdog tick (see `Sender::tick`).
+    fn tick(&mut self) {
+        self.pace = self.pace.wrapping_add(1);
+        if self.pace.is_multiple_of(crate::TICK_STRIDE) {
+            self.chan.maybe_tick();
+        }
     }
 
     /// One full rotation over the shards starting at the cursor;
-    /// leaves the cursor on the shard that produced a value.
+    /// leaves the cursor on the shard that produced a value. Each
+    /// dequeue frees a slot, so capacity-parked senders of that shard
+    /// get notified (the symmetric Dekker check; DESIGN.md §16).
     fn sweep(&mut self) -> Option<T> {
         let n = self.handles.len();
         for i in 0..n {
             let s = (self.cursor + i) % n;
             if let Some(v) = self.handles[s].dequeue() {
                 self.cursor = s;
+                self.chan.notify_tx(s, 1);
                 return Some(v);
             }
         }
@@ -55,6 +68,7 @@ impl<'a, T: Send, Q: ConcurrentQueue<T>> Receiver<'a, T, Q> {
     /// disconnect, so a sweep that starts after observing the latch
     /// cannot miss them.
     pub fn try_recv(&mut self) -> Result<T, TryRecvError> {
+        self.tick();
         if let Some(v) = self.sweep() {
             return Ok(v);
         }
@@ -73,11 +87,16 @@ impl<'a, T: Send, Q: ConcurrentQueue<T>> Receiver<'a, T, Q> {
     /// amortizes its per-operation fixed costs across the run of
     /// values). Returns how many values were taken.
     pub fn try_recv_batch(&mut self, out: &mut Vec<T>, max: usize) -> usize {
+        self.tick();
         let n = self.handles.len();
         let mut taken = 0;
         for i in 0..n {
             let s = (self.cursor + i) % n;
-            taken += self.handles[s].dequeue_batch(out, max - taken);
+            let got = self.handles[s].dequeue_batch(out, max - taken);
+            // Freed `got` slots on shard `s`: admit as many parked
+            // senders (one registry check per shard visited).
+            self.chan.notify_tx(s, got);
+            taken += got;
             if taken >= max {
                 self.cursor = s;
                 break;
@@ -88,7 +107,7 @@ impl<'a, T: Send, Q: ConcurrentQueue<T>> Receiver<'a, T, Q> {
 
     /// Receives, parking the thread until a value or disconnect.
     pub fn recv(&mut self) -> Result<T, RecvError> {
-        match self.recv_deadline(None) {
+        match self.recv_until(None) {
             Ok(v) => Ok(v),
             Err(RecvTimeoutError::Disconnected) => Err(RecvError),
             Err(RecvTimeoutError::Timeout) => unreachable!("no deadline was set"),
@@ -96,11 +115,19 @@ impl<'a, T: Send, Q: ConcurrentQueue<T>> Receiver<'a, T, Q> {
     }
 
     /// [`recv`](Receiver::recv) with an upper bound on the wait.
+    /// Never returns [`Timeout`](RecvTimeoutError::Timeout) before the
+    /// deadline has actually passed.
     pub fn recv_timeout(&mut self, timeout: Duration) -> Result<T, RecvTimeoutError> {
-        self.recv_deadline(Some(Instant::now() + timeout))
+        self.recv_until(Some(Instant::now() + timeout))
     }
 
-    fn recv_deadline(&mut self, deadline: Option<Instant>) -> Result<T, RecvTimeoutError> {
+    /// [`recv_timeout`](Receiver::recv_timeout) against an absolute
+    /// deadline, for callers pacing several waits off one clock read.
+    pub fn recv_deadline(&mut self, deadline: Instant) -> Result<T, RecvTimeoutError> {
+        self.recv_until(Some(deadline))
+    }
+
+    fn recv_until(&mut self, deadline: Option<Instant>) -> Result<T, RecvTimeoutError> {
         loop {
             match self.try_recv() {
                 Ok(v) => return Ok(v),

@@ -1,13 +1,32 @@
-//! The producing half: sticky-shard routing, blocking/non-blocking
-//! sends, and batched sends.
+//! The producing half: sticky-shard routing, non-blocking sends,
+//! parked blocking sends with deadlines, and batched sends.
 
 use crate::chaos_hooks::inject;
-use crate::{Channel, SendError, TrySendError};
+use crate::{Channel, Gate, SendError, SendTimeoutError, TrySendError, WaitGuard, WaiterKind};
+use crate::TICK_STRIDE;
 use queue_traits::{ConcurrentQueue, QueueHandle};
+use std::time::{Duration, Instant};
+
+/// Why a send could not complete right now (internal refinement of
+/// [`TrySendError::Full`]: the park loop treats the two `Full` causes
+/// differently).
+enum Refusal<T> {
+    /// Every receiver dropped.
+    Disconnected(T),
+    /// The engine refused (bounded ring at capacity). Parking on this
+    /// is Dekker-sound: receivers notify the shard's capacity registry
+    /// after every dequeue, so an unbounded park is safe.
+    Engine(T),
+    /// The admission gate refused (quota or quarantine). The gauges
+    /// behind the gate are advisory, so parks on this must re-poll on
+    /// a bound instead of relying on a wakeup.
+    Gate(T),
+}
 
 /// A producer handle. Pinned to one shard for its whole lifetime, which
 /// is what makes the channel FIFO-per-producer (DESIGN.md §15): every
-/// value a sender emits goes through the same linearizable FIFO.
+/// value a sender emits goes through the same linearizable FIFO. (The
+/// opt-in [`QuarantinePolicy::Reroute`] relaxes exactly this.)
 ///
 /// Not `Clone` — mint more senders from the [`Channel`].
 pub struct Sender<'a, T: Send, Q: ConcurrentQueue<T>> {
@@ -18,11 +37,17 @@ pub struct Sender<'a, T: Send, Q: ConcurrentQueue<T>> {
     /// here once, then handed to the engine's `try_enqueue_batch`, so
     /// the steady state allocates nothing per batch.
     scratch: Vec<T>,
+    /// Lazily minted engine handles on reroute-target shards
+    /// (`Reroute` policy only); empty until the first reroute, so the
+    /// default policy pays nothing for the machinery.
+    alts: Vec<Option<Q::Handle<'a>>>,
+    /// Stride counter for opportunistic watchdog ticks.
+    pace: u32,
 }
 
 impl<'a, T: Send, Q: ConcurrentQueue<T>> Sender<'a, T, Q> {
     pub(crate) fn new(chan: &'a Channel<T, Q>, handle: Q::Handle<'a>, shard: usize) -> Self {
-        Sender { chan, handle, shard, scratch: Vec::new() }
+        Sender { chan, handle, shard, scratch: Vec::new(), alts: Vec::new(), pace: 0 }
     }
 
     /// The shard this sender is pinned to.
@@ -30,51 +55,238 @@ impl<'a, T: Send, Q: ConcurrentQueue<T>> Sender<'a, T, Q> {
         self.shard
     }
 
-    /// Attempts to send without blocking. Fails with
-    /// [`TrySendError::Full`] if this sender's shard is at capacity
-    /// (bounded cores only) and [`TrySendError::Disconnected`] once
-    /// every receiver has dropped.
-    pub fn try_send(&mut self, value: T) -> Result<(), TrySendError<T>> {
-        inject!("chan.route");
-        if self.chan.rx_closed() {
-            return Err(TrySendError::Disconnected(value));
-        }
-        match self.handle.try_enqueue(value) {
-            Ok(()) => {
-                self.chan.notify_one();
-                Ok(())
-            }
-            Err(v) => Err(TrySendError::Full(v)),
+    /// Strided watchdog tick: one `Instant::now` per [`TICK_STRIDE`]
+    /// sends, zero when overload control is off.
+    fn tick(&mut self) {
+        self.pace = self.pace.wrapping_add(1);
+        if self.pace.is_multiple_of(TICK_STRIDE) {
+            self.chan.maybe_tick();
         }
     }
 
-    /// Sends, treating a full shard as backpressure: yields and retries
-    /// until a slot frees up or the channel disconnects.
+    /// Makes sure a lazy engine handle exists for foreign `shard`.
+    /// `false` means the shard's thread capacity refused one (treated
+    /// as a refusal — the stock constructors size every shard for
+    /// every sender, so this only happens under exotic `with_factory`
+    /// setups).
+    fn ensure_alt(&mut self, shard: usize) -> bool {
+        if self.alts.is_empty() {
+            self.alts = (0..self.chan.shards()).map(|_| None).collect();
+        }
+        if self.alts[shard].is_none() {
+            match self.chan.shard_queue(shard).register() {
+                Ok(h) => self.alts[shard] = Some(h),
+                Err(_) => return false,
+            }
+        }
+        true
+    }
+
+    /// Enqueues on `shard`, minting a lazy handle for foreign shards.
+    /// `Err` hands the value back: the shard's engine is full or
+    /// refused a handle.
+    fn enqueue_on(&mut self, shard: usize, value: T) -> Result<(), T> {
+        if shard == self.shard {
+            return self.handle.try_enqueue(value);
+        }
+        if !self.ensure_alt(shard) {
+            return Err(value);
+        }
+        self.alts[shard].as_mut().expect("just minted").try_enqueue(value)
+    }
+
+    /// One admission check + enqueue attempt, classifying the refusal.
+    fn try_send_inner(&mut self, value: T) -> Result<(), Refusal<T>> {
+        if self.chan.rx_closed() {
+            return Err(Refusal::Disconnected(value));
+        }
+        match self.chan.admit(self.shard) {
+            Gate::Admit => match self.handle.try_enqueue(value) {
+                Ok(()) => {
+                    self.chan.notify_one();
+                    Ok(())
+                }
+                Err(v) => Err(Refusal::Engine(v)),
+            },
+            Gate::Refuse { reroute } => {
+                if reroute {
+                    if let Some(t) = self.chan.reroute_target(self.shard) {
+                        return match self.enqueue_on(t, value) {
+                            Ok(()) => {
+                                self.chan.notify_one();
+                                Ok(())
+                            }
+                            // The detour shard is also refusing; treat
+                            // as a gate refusal (bounded re-poll).
+                            Err(v) => Err(Refusal::Gate(v)),
+                        };
+                    }
+                }
+                Err(Refusal::Gate(value))
+            }
+        }
+    }
+
+    /// Attempts to send without blocking. Fails with
+    /// [`TrySendError::Full`] if this sender's shard refuses the value
+    /// — at capacity (bounded cores), over its admission quota, or
+    /// quarantined — and [`TrySendError::Disconnected`] once every
+    /// receiver has dropped.
+    pub fn try_send(&mut self, value: T) -> Result<(), TrySendError<T>> {
+        inject!("chan.route");
+        self.tick();
+        match self.try_send_inner(value) {
+            Ok(()) => Ok(()),
+            Err(Refusal::Disconnected(v)) => Err(TrySendError::Disconnected(v)),
+            Err(Refusal::Engine(v)) | Err(Refusal::Gate(v)) => Err(TrySendError::Full(v)),
+        }
+    }
+
+    /// Sends, treating a refusing shard as backpressure: parks on the
+    /// shard's capacity registry until a receiver frees a slot (or the
+    /// shard is re-admitted) or the channel disconnects.
     pub fn send(&mut self, value: T) -> Result<(), SendError<T>> {
+        match self.send_until(value, None) {
+            Ok(()) => Ok(()),
+            Err(SendTimeoutError::Disconnected(v)) => Err(SendError(v)),
+            Err(SendTimeoutError::Timeout(_)) => unreachable!("no deadline was set"),
+        }
+    }
+
+    /// [`send`](Sender::send) with an upper bound on the wait: returns
+    /// [`SendTimeoutError::Timeout`] (value handed back) once
+    /// `timeout` has elapsed with the shard still refusing. Never
+    /// returns `Timeout` before the deadline has actually passed.
+    pub fn send_timeout(&mut self, value: T, timeout: Duration) -> Result<(), SendTimeoutError<T>> {
+        self.send_until(value, Some(Instant::now() + timeout))
+    }
+
+    /// [`send_timeout`](Sender::send_timeout) against an absolute
+    /// deadline.
+    pub fn send_deadline(&mut self, value: T, deadline: Instant) -> Result<(), SendTimeoutError<T>> {
+        self.send_until(value, Some(deadline))
+    }
+
+    fn send_until(
+        &mut self,
+        value: T,
+        deadline: Option<Instant>,
+    ) -> Result<(), SendTimeoutError<T>> {
         let mut v = value;
         loop {
-            match self.try_send(v) {
+            inject!("chan.route");
+            self.tick();
+            match self.try_send_inner(v) {
                 Ok(()) => return Ok(()),
-                Err(TrySendError::Disconnected(v)) => return Err(SendError(v)),
-                Err(TrySendError::Full(back)) => {
-                    // The shard holds values; make sure someone is
-                    // draining before we spin on it.
-                    self.chan.notify_one();
-                    v = back;
-                    std::thread::yield_now();
+                Err(Refusal::Disconnected(x)) => return Err(SendTimeoutError::Disconnected(x)),
+                Err(Refusal::Engine(x)) | Err(Refusal::Gate(x)) => v = x,
+            }
+            // The shard refused: park on its capacity registry.
+            // Dekker publish: register (gauge up, SeqCst), then
+            // re-check. A receiver's dequeue either sees the gauge or
+            // this re-check sees the freed slot / recovered shard. The
+            // guard keeps the token pass-on rule through unwinds (a
+            // chaos kill inside the engine call below).
+            inject!("chan.send_park");
+            let guard =
+                WaitGuard::new(self.chan.tx_registry(self.shard), WaiterKind::Thread(std::thread::current()));
+            let gated = match self.try_send_inner(v) {
+                Ok(()) => {
+                    guard.finish();
+                    return Ok(());
+                }
+                Err(Refusal::Disconnected(x)) => {
+                    guard.finish();
+                    return Err(SendTimeoutError::Disconnected(x));
+                }
+                Err(Refusal::Engine(x)) => {
+                    v = x;
+                    false
+                }
+                Err(Refusal::Gate(x)) => {
+                    v = x;
+                    true
+                }
+            };
+            // Gate refusals re-poll on a bound — their gauges are
+            // advisory, so no wakeup is owed to them. Engine refusals
+            // may wait indefinitely (receivers notify this registry).
+            let poll = gated.then(|| self.chan.gate_poll_interval());
+            let wait = match (deadline, poll) {
+                (None, None) => None,
+                (None, Some(p)) => Some(p),
+                (Some(dl), p) => {
+                    let now = Instant::now();
+                    if now >= dl {
+                        // Deadline already passed: the registered
+                        // re-check above was the final attempt.
+                        guard.finish();
+                        return Err(SendTimeoutError::Timeout(v));
+                    }
+                    let left = dl - now;
+                    Some(p.map_or(left, |p| p.min(left)))
+                }
+            };
+            match wait {
+                None => std::thread::park(),
+                Some(d) => std::thread::park_timeout(d),
+            }
+            // Whether woken, timed out, or spurious: withdraw, passing
+            // on any token a notifier spent on us while we were out.
+            guard.finish();
+            // Keep the watchdog moving: with a stalled consumer the
+            // parked senders may be the only live threads.
+            self.chan.maybe_tick();
+            if let Some(dl) = deadline {
+                if Instant::now() >= dl {
+                    // One final attempt so a just-freed slot beats the
+                    // timeout; `Timeout` is only ever reported after
+                    // the deadline has truly passed.
+                    return match self.try_send_inner(v) {
+                        Ok(()) => Ok(()),
+                        Err(Refusal::Disconnected(x)) => {
+                            Err(SendTimeoutError::Disconnected(x))
+                        }
+                        Err(Refusal::Engine(x)) | Err(Refusal::Gate(x)) => {
+                            Err(SendTimeoutError::Timeout(x))
+                        }
+                    };
                 }
             }
         }
     }
 
+    /// One admission check + engine batch flush of `scratch`. Returns
+    /// how many values were enqueued and whether a refusal came from
+    /// the gate (advisory → bounded re-poll) rather than the engine.
+    fn flush_batch(&mut self) -> (usize, bool) {
+        match self.chan.admit(self.shard) {
+            Gate::Admit => (self.handle.try_enqueue_batch(&mut self.scratch), false),
+            Gate::Refuse { reroute } => {
+                if reroute {
+                    if let Some(t) = self.chan.reroute_target(self.shard) {
+                        if self.ensure_alt(t) {
+                            // Route the remainder through the detour
+                            // shard, preserving its internal order.
+                            let h = self.alts[t].as_mut().expect("just minted");
+                            return (h.try_enqueue_batch(&mut self.scratch), true);
+                        }
+                    }
+                }
+                (0, true)
+            }
+        }
+    }
+
     /// Sends every value of a batch through the sticky shard, then
-    /// notifies sleepers once — one gauge check and at most
-    /// `batch`-many wakes for the whole burst, instead of one per
-    /// value. Full shards are treated as backpressure, like
-    /// [`send`](Sender::send).
+    /// notifies sleepers once per blocked stretch — one gauge check
+    /// and at most `batch`-many wakes for the whole burst, instead of
+    /// one per value. A refusing shard is treated as backpressure: the
+    /// sender parks on the shard's capacity registry (one registration
+    /// per blocked stretch, not a wake per spin).
     ///
     /// Returns how many values were sent. If the channel disconnects
-    /// mid-batch, the unsent remainder (the failing value included)
+    /// mid-batch, the unsent remainder (the refused value included)
     /// comes back in the error.
     pub fn send_batch(
         &mut self,
@@ -84,30 +296,48 @@ impl<'a, T: Send, Q: ConcurrentQueue<T>> Sender<'a, T, Q> {
         debug_assert!(self.scratch.is_empty());
         self.scratch.extend(batch);
         let mut sent = 0;
+        let mut unnotified = 0;
         while !self.scratch.is_empty() {
+            self.tick();
             if self.chan.rx_closed() {
                 // Receivers are gone; earlier values of the batch are
-                // unrecoverable anyway, but sleepers from before the
+                // unrecoverable anyway, and sleepers from before the
                 // close cannot exist (receivers drop awake), so no
                 // notify is owed. The refused value leads the
                 // remainder, still in send order.
                 return Err(SendError(std::mem::take(&mut self.scratch)));
             }
-            // One engine batch acquisition for the whole run of values
-            // the shard will take (the engine amortizes its per-op
-            // fixed costs internally).
-            let n = self.handle.try_enqueue_batch(&mut self.scratch);
+            let (n, _) = self.flush_batch();
             sent += n;
-            if !self.scratch.is_empty() {
-                // Full mid-batch: values enqueued so far have not been
-                // notified yet; a parked receiver must be woken to
-                // drain the full shard, or this retry loop would never
-                // terminate.
-                self.chan.notify_one();
-                std::thread::yield_now();
+            unnotified += n;
+            if self.scratch.is_empty() {
+                break;
             }
+            // Blocked mid-batch. Hand receivers everything enqueued so
+            // far (they must drain the shard for the batch to move),
+            // then park behind one registration.
+            self.chan.notify_many(unnotified);
+            unnotified = 0;
+            inject!("chan.send_park");
+            let guard =
+                WaitGuard::new(self.chan.tx_registry(self.shard), WaiterKind::Thread(std::thread::current()));
+            let (n2, gated) = self.flush_batch();
+            sent += n2;
+            unnotified += n2;
+            if n2 == 0 && !self.scratch.is_empty() && !self.chan.rx_closed() {
+                // No progress with the registration published: park.
+                // Bounded when the refusal is advisory (gate), since
+                // no wakeup is owed to it; unbounded when the ring is
+                // full (receivers notify on every dequeue).
+                match gated.then(|| self.chan.gate_poll_interval()) {
+                    None => std::thread::park(),
+                    Some(p) => std::thread::park_timeout(p),
+                }
+            }
+            guard.finish();
+            self.chan.maybe_tick();
         }
-        self.chan.notify_many(sent);
+        self.chan.notify_many(unnotified);
         Ok(sent)
     }
 }

@@ -804,6 +804,45 @@ impl<T: Send> ConcurrentQueue<T> for WfQueueHp<T> {
     fn thread_capacity(&self) -> usize {
         self.max_threads()
     }
+
+    /// Same counter-derived gauge as the epoch engine (see
+    /// `WfQueue::depth_hint`): `None` with `stats` off so admission
+    /// control disables itself instead of trusting a fake zero.
+    fn depth_hint(&self) -> Option<usize> {
+        #[cfg(feature = "stats")]
+        {
+            Some(self.stats.depth())
+        }
+        #[cfg(not(feature = "stats"))]
+        {
+            None
+        }
+    }
+
+    fn drained_hint(&self) -> Option<u64> {
+        #[cfg(feature = "stats")]
+        {
+            Some(self.stats.drained())
+        }
+        #[cfg(not(feature = "stats"))]
+        {
+            None
+        }
+    }
+
+    /// Retire-cache overflows plus the shared pool's over-cap frees —
+    /// the same composition as [`WfQueueHp::stats`]. Zero with `stats`
+    /// off.
+    fn pressure_hint(&self) -> u64 {
+        #[cfg(feature = "stats")]
+        {
+            self.stats.cache_overflows.load(Ordering::Relaxed) + self.pool.overflows()
+        }
+        #[cfg(not(feature = "stats"))]
+        {
+            0
+        }
+    }
 }
 
 impl<T> Drop for WfQueueHp<T> {

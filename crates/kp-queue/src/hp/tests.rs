@@ -300,3 +300,24 @@ fn debug_format() {
     let q: WfQueueHp<u64> = WfQueueHp::new(2);
     assert!(format!("{q:?}").contains("WfQueueHp"));
 }
+
+/// Overload gauges on the hazard-pointer engine: same counter-derived
+/// contract as the epoch engine.
+#[cfg(feature = "stats")]
+#[test]
+fn depth_hint_tracks_residency_at_quiescence() {
+    let q: WfQueueHp<u64> = WfQueueHp::new(2);
+    assert_eq!(q.depth_hint(), Some(0));
+    let mut h = q.register().unwrap();
+    for i in 0..8 {
+        h.enqueue(i);
+    }
+    assert_eq!(q.depth_hint(), Some(8));
+    for _ in 0..8 {
+        h.dequeue().unwrap();
+    }
+    assert_eq!(h.dequeue(), None);
+    assert_eq!(q.depth_hint(), Some(0));
+    assert_eq!(q.drained_hint(), Some(8));
+    assert_eq!(q.capacity_hint(), None, "unbounded engine");
+}

@@ -956,6 +956,45 @@ impl<T: Send> ConcurrentQueue<T> for WfQueue<T> {
     fn thread_capacity(&self) -> usize {
         self.max_threads()
     }
+
+    /// Derived from the `stats` operation counters (three relaxed
+    /// loads), so it costs nothing the counters don't already. `None`
+    /// with the feature off — overload layers then disable depth-based
+    /// admission rather than trusting a fake zero.
+    fn depth_hint(&self) -> Option<usize> {
+        #[cfg(feature = "stats")]
+        {
+            Some(self.stats.depth())
+        }
+        #[cfg(not(feature = "stats"))]
+        {
+            None
+        }
+    }
+
+    fn drained_hint(&self) -> Option<u64> {
+        #[cfg(feature = "stats")]
+        {
+            Some(self.stats.drained())
+        }
+        #[cfg(not(feature = "stats"))]
+        {
+            None
+        }
+    }
+
+    /// The PR-6 memory-pressure signal: retire-cache overflows pushed
+    /// to the shared epoch collector. Zero with `stats` off.
+    fn pressure_hint(&self) -> u64 {
+        #[cfg(feature = "stats")]
+        {
+            self.stats.cache_overflows.load(Ordering::Relaxed)
+        }
+        #[cfg(not(feature = "stats"))]
+        {
+            0
+        }
+    }
 }
 
 impl<T> Drop for WfQueue<T> {

@@ -121,6 +121,27 @@ impl Stats {
     pub(crate) fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot::default()
     }
+
+    /// Monotonic count of values removed so far (empty dequeues carry
+    /// no value, so they are subtracted out). The overload layer's
+    /// drain heartbeat — three relaxed loads, no full snapshot.
+    #[cfg(feature = "stats")]
+    pub(crate) fn drained(&self) -> u64 {
+        self.dequeues
+            .load(Ordering::Relaxed)
+            .saturating_sub(self.empty_dequeues.load(Ordering::Relaxed))
+    }
+
+    /// Advisory resident-value gauge: completed enqueues minus values
+    /// drained. Loads the dequeue side first so a concurrent completion
+    /// between the loads errs toward overcounting, never negative —
+    /// exact at quiescence, stale by at most the number of in-flight
+    /// operations under load.
+    #[cfg(feature = "stats")]
+    pub(crate) fn depth(&self) -> usize {
+        let drained = self.drained();
+        self.enqueues.load(Ordering::Relaxed).saturating_sub(drained) as usize
+    }
 }
 
 /// A point-in-time copy of a queue's helping statistics.

@@ -528,3 +528,42 @@ fn many_variants_cross_thread_smoke() {
         assert!(q.is_empty());
     }
 }
+
+/// The counter-derived overload gauges: exact at quiescence on every
+/// variant, `empty_dequeues` excluded from drain, pressure monotone.
+#[cfg(feature = "stats")]
+#[test]
+fn depth_hint_tracks_residency_at_quiescence() {
+    for cfg in all_configs() {
+        let q: WfQueue<u64> = WfQueue::with_config(2, cfg);
+        assert_eq!(q.depth_hint(), Some(0));
+        assert_eq!(q.drained_hint(), Some(0));
+        assert_eq!(q.capacity_hint(), None, "KP engine is unbounded");
+        let mut h = q.register().unwrap();
+        for i in 0..10 {
+            h.enqueue(i);
+        }
+        assert_eq!(q.depth_hint(), Some(10));
+        for _ in 0..4 {
+            h.dequeue().unwrap();
+        }
+        assert_eq!(q.depth_hint(), Some(6));
+        assert_eq!(q.drained_hint(), Some(4));
+        // Empty dequeues complete but carry no value: gauge unmoved.
+        while h.dequeue().is_some() {}
+        assert_eq!(h.dequeue(), None);
+        assert_eq!(q.depth_hint(), Some(0));
+        assert_eq!(q.drained_hint(), Some(10));
+    }
+}
+
+/// With `stats` compiled out the gauges must report "cannot say", not a
+/// fake zero — the channel's admission control keys off this.
+#[cfg(not(feature = "stats"))]
+#[test]
+fn depth_hint_unknown_without_stats() {
+    let q: WfQueue<u64> = WfQueue::new(2);
+    assert_eq!(q.depth_hint(), None);
+    assert_eq!(q.drained_hint(), None);
+    assert_eq!(q.pressure_hint(), 0);
+}

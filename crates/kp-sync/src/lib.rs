@@ -39,8 +39,8 @@ compile_error!(
 /// over wholesale.
 pub mod atomic {
     pub use core::sync::atomic::{
-        compiler_fence, fence, AtomicBool, AtomicI64, AtomicIsize, AtomicPtr, AtomicU64, AtomicU8,
-        AtomicUsize, Ordering,
+        compiler_fence, fence, AtomicBool, AtomicI64, AtomicIsize, AtomicPtr, AtomicU32,
+        AtomicU64, AtomicU8, AtomicUsize, Ordering,
     };
 }
 

@@ -188,6 +188,44 @@ pub trait ConcurrentQueue<T: Send>: Send + Sync {
     fn thread_capacity(&self) -> usize {
         usize::MAX
     }
+
+    /// Best-effort count of values currently resident in the queue, or
+    /// `None` when the engine cannot say (the default).
+    ///
+    /// This is a *gauge, not a linearizable length*: engines derive it
+    /// from monotonic operation counters, so concurrent in-flight
+    /// operations make it stale by up to the number of live handles.
+    /// Overload layers (admission control, shard-health watchdogs)
+    /// must treat it as advisory — correct at quiescence, bounded-lag
+    /// under load — and never hang a liveness argument on it alone.
+    fn depth_hint(&self) -> Option<usize> {
+        None
+    }
+
+    /// Monotonic count of values removed from the queue so far (empty
+    /// dequeues excluded), or `None` when the engine does not track it.
+    /// A watchdog reads this twice and treats any advance as consumer
+    /// progress — the channel-granularity analogue of the reaper's
+    /// per-handle heartbeat.
+    fn drained_hint(&self) -> Option<u64> {
+        None
+    }
+
+    /// Monotonic memory-pressure signal: events where the engine's
+    /// recycling degraded under load (cache/pool overflows pushed to
+    /// the allocator or shared collector). `0` for engines with no
+    /// such machinery (the default).
+    fn pressure_hint(&self) -> u64 {
+        0
+    }
+
+    /// Fixed element capacity, or `None` for unbounded engines (the
+    /// default). Bounded engines report the construction-time cap so
+    /// layers above can reason about fullness without engine-specific
+    /// code.
+    fn capacity_hint(&self) -> Option<usize> {
+        None
+    }
 }
 
 /// Convenience: run `f` with a freshly registered handle, panicking if the
@@ -216,6 +254,32 @@ mod tests {
     fn registration_error_is_error() {
         fn takes_error<E: std::error::Error>(_: E) {}
         takes_error(RegistrationError { capacity: 1 });
+    }
+
+    #[test]
+    fn gauge_hints_default_to_unknown() {
+        /// A queue with no gauge machinery: every hint must fall back
+        /// to "cannot say" so overload layers disable themselves.
+        struct Opaque;
+        struct OpaqueHandle;
+        impl QueueHandle<u32> for OpaqueHandle {
+            fn enqueue(&mut self, _: u32) {}
+            fn dequeue(&mut self) -> Option<u32> {
+                None
+            }
+        }
+        impl ConcurrentQueue<u32> for Opaque {
+            type Handle<'a> = OpaqueHandle;
+            fn register(&self) -> Result<OpaqueHandle, RegistrationError> {
+                Ok(OpaqueHandle)
+            }
+        }
+        let q = Opaque;
+        assert_eq!(q.depth_hint(), None);
+        assert_eq!(q.drained_hint(), None);
+        assert_eq!(q.pressure_hint(), 0);
+        assert_eq!(q.capacity_hint(), None);
+        assert_eq!(q.thread_capacity(), usize::MAX);
     }
 
     #[test]

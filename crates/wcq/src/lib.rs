@@ -42,7 +42,8 @@ use std::fmt;
 use std::mem::MaybeUninit;
 
 use idpool::{IdGuard, IdPool};
-use kp_sync::atomic::Ordering;
+use kp_sync::atomic::{AtomicU64, Ordering};
+use kp_sync::CachePadded;
 use queue_traits::{ConcurrentQueue, FastPathStats, QueueHandle, RegistrationError};
 
 use crate::chaos_hooks::{op_begin, op_end};
@@ -147,6 +148,10 @@ pub struct WcQueue<T> {
     ids: IdPool,
     capacity: usize,
     patience: usize,
+    /// Monotonic count of completed value enqueues (depth gauge).
+    enq_done: CachePadded<AtomicU64>,
+    /// Monotonic count of values removed (depth gauge + drain signal).
+    deq_done: CachePadded<AtomicU64>,
 }
 
 // SAFETY: values move through the shared data array, but the rings hand
@@ -186,6 +191,8 @@ impl<T: Send> WcQueue<T> {
             ids: IdPool::new(threads),
             capacity,
             patience: config.patience,
+            enq_done: CachePadded::new(AtomicU64::new(0)),
+            deq_done: CachePadded::new(AtomicU64::new(0)),
         }
     }
 
@@ -204,6 +211,27 @@ impl<T> WcQueue<T> {
     /// threshold-reset column.
     pub fn threshold_resets(&self) -> u64 {
         self.aq.resets() + self.fq.resets()
+    }
+
+    /// Number of values resident right now, derived from two monotonic
+    /// completion counters (`Relaxed`: an advisory gauge with no
+    /// synchronization role). Exact at quiescence; under load it lags
+    /// by at most the number of in-flight operations, and a thread
+    /// killed between reading a value and recycling its index leaves a
+    /// permanent +1 — the same one-per-sudden-death allowance as the
+    /// ring's stranded-index rule (see [`Drop`] on the handle).
+    pub fn depth(&self) -> usize {
+        // Dequeues first: a concurrent completion between the two loads
+        // then errs toward overcounting, never toward a negative gauge.
+        let deq = self.deq_done.load(Ordering::Relaxed);
+        let enq = self.enq_done.load(Ordering::Relaxed);
+        enq.saturating_sub(deq) as usize
+    }
+
+    /// Monotonic count of values removed from the queue — the drain
+    /// heartbeat a shard-health watchdog compares across ticks.
+    pub fn drained(&self) -> u64 {
+        self.deq_done.load(Ordering::Relaxed)
     }
 
     /// Diagnostic: the current threshold-counter values of the
@@ -339,6 +367,18 @@ impl<T: Send> ConcurrentQueue<T> for WcQueue<T> {
     fn thread_capacity(&self) -> usize {
         self.ids.capacity()
     }
+
+    fn depth_hint(&self) -> Option<usize> {
+        Some(self.depth())
+    }
+
+    fn drained_hint(&self) -> Option<u64> {
+        Some(self.drained())
+    }
+
+    fn capacity_hint(&self) -> Option<usize> {
+        Some(self.capacity)
+    }
 }
 
 impl<T> Drop for WcQueue<T> {
@@ -420,6 +460,7 @@ impl<T: Send> WcqHandle<'_, T> {
         // of the (uninitialized) slot until the `aq` enqueue publishes it.
         unsafe { (*q.data[idx as usize].get()).write(value) };
         let slow2 = q.ring_enqueue(&q.aq, tid, idx);
+        q.enq_done.fetch_add(1, Ordering::Relaxed);
         op_end();
         self.tally(slow1 as u64 + slow2 as u64);
         Ok(())
@@ -441,6 +482,7 @@ impl<T: Send> WcqHandle<'_, T> {
         // before the index was published there, and this dequeuer owns
         // the slot exclusively until the `fq` enqueue recycles it.
         let value = unsafe { (*q.data[idx as usize].get()).assume_init_read() };
+        q.deq_done.fetch_add(1, Ordering::Relaxed);
         let slow2 = q.ring_enqueue(&q.fq, tid, idx);
         op_end();
         self.tally(slow1 as u64 + slow2 as u64);
@@ -501,6 +543,11 @@ impl<T> Drop for WcqHandle<'_, T> {
         if st == ST_DONE_OK {
             if arg_is_enq(arg) {
                 ring.ensure_finalized(tk, tid as u64, ring::arg_idx(arg));
+                if ring.sel() == SEL_AQ {
+                    // The killed thread's value enqueue took effect but
+                    // never reached its fast-path gauge bump.
+                    q.enq_done.fetch_add(1, Ordering::Relaxed);
+                }
             } else {
                 // The op logically dequeued something nobody will see.
                 // Consume the claim; if it was a value (aq), take it to
@@ -512,6 +559,8 @@ impl<T> Drop for WcqHandle<'_, T> {
                     // handle exclusive ownership of an initialized slot,
                     // exactly as in `try_dequeue`.
                     unsafe { (*q.data[idx as usize].get()).assume_init_drop() };
+                    // Grave-dropped values still left the queue.
+                    q.deq_done.fetch_add(1, Ordering::Relaxed);
                 }
                 stranded = Some(idx);
             }

@@ -264,3 +264,98 @@ fn threshold_resets_are_observed() {
         "empty/refill cycles must reset the threshold"
     );
 }
+
+#[test]
+fn depth_gauge_exact_at_quiescence() {
+    let q = small(16, 2);
+    assert_eq!(q.depth(), 0);
+    assert_eq!(q.depth_hint(), Some(0));
+    assert_eq!(q.drained_hint(), Some(0));
+    assert_eq!(q.capacity_hint(), Some(16));
+    assert_eq!(q.pressure_hint(), 0, "wcq has no overflow machinery");
+
+    let mut h = q.register().unwrap();
+    for i in 0..10 {
+        h.try_enqueue(i).unwrap();
+        assert_eq!(q.depth(), i as usize + 1);
+    }
+    for i in 0..4 {
+        h.try_dequeue().unwrap();
+        assert_eq!(q.depth(), 10 - (i + 1));
+    }
+    assert_eq!(q.drained(), 4);
+    // Refused operations move neither counter.
+    for _ in 0..10 {
+        h.try_enqueue(99).ok();
+        h.try_dequeue().ok();
+    }
+    while h.try_dequeue().is_ok() {}
+    assert_eq!(q.depth(), 0, "drained queue gauges empty");
+    assert_eq!(h.try_dequeue(), Err(Empty));
+    assert_eq!(q.depth(), 0, "empty dequeues do not move the gauge");
+}
+
+#[test]
+fn depth_gauge_exact_at_quiescence_slow_only() {
+    // Same invariant with every op forced through the helping slow
+    // path, so the slow-path completion also lands exactly one bump.
+    let q: WcQueue<u64> = WcQueue::with_config(2, Config::slow_only().with_capacity(8));
+    let mut h = q.register().unwrap();
+    for i in 0..8 {
+        h.try_enqueue(i).unwrap();
+    }
+    assert_eq!(q.depth(), 8);
+    assert!(matches!(h.try_enqueue(8), Err(Full(8))));
+    assert_eq!(q.depth(), 8, "refused enqueue does not bump the gauge");
+    for _ in 0..8 {
+        h.try_dequeue().unwrap();
+    }
+    assert_eq!(q.depth(), 0);
+    assert_eq!(q.drained(), 8);
+}
+
+#[test]
+fn depth_gauge_settles_under_contention() {
+    // 2 producers / 2 consumers churn; after join the gauge must land
+    // exactly on the residual count (here: zero) — monotonic counters
+    // cannot drift when every op completes normally.
+    const PER: u64 = 2_000;
+    let q = small(64, 4);
+    let taken = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for p in 0..2u64 {
+            let q = &q;
+            s.spawn(move || {
+                let mut h = q.register().unwrap();
+                for i in 0..PER {
+                    let mut v = (p << 32) | i;
+                    loop {
+                        match h.try_enqueue(v) {
+                            Ok(()) => break,
+                            Err(Full(back)) => {
+                                v = back;
+                                std::thread::yield_now();
+                            }
+                        }
+                    }
+                }
+            });
+        }
+        for _ in 0..2 {
+            let q = &q;
+            let taken = &taken;
+            s.spawn(move || {
+                let mut h = q.register().unwrap();
+                while taken.load(Ordering::Relaxed) < 2 * PER as usize {
+                    if h.try_dequeue().is_ok() {
+                        taken.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        std::thread::yield_now();
+                    }
+                }
+            });
+        }
+    });
+    assert_eq!(q.depth(), 0, "all values consumed, gauge must agree");
+    assert_eq!(q.drained(), 2 * PER);
+}

@@ -80,6 +80,20 @@ cargo test -p kp-channel --release -q
 cargo test --release -q --test channel
 cargo test --features chaos --release -q --test torture channel
 
+echo "=== overload gate (DESIGN.md SS16) ==="
+# Overload control, end to end: deadline accuracy (never early), parked
+# bounded send, admission control bounding the unbounded engines'
+# backlog (the alloc-track gate inside memory_bound), quarantine
+# detect/readmit + the full-quarantined-shard send_batch regression,
+# and the seeded chaos rounds -- the parked-sender lost-wakeup hunt at
+# chan.{send_park,wake}, deadline accuracy under stalls, and the
+# kill-mid-quarantine recovery round.
+cargo test --release -q --test overload
+cargo test --features chaos --release -q --test torture \
+    channel_parked_senders_never_lose_wakeups \
+    channel_deadlines_never_fire_early_under_seeded_stalls \
+    channel_quarantine_survives_consumer_killed_mid_drain
+
 echo "=== soak: kill/restart with the reaper on (DESIGN.md SS13) ==="
 # Time-capped repetition of the abandoned-handle rounds: sudden-death
 # kills at enqueue/dequeue/demotion sites with reaping, adoption,

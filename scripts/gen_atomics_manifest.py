@@ -94,6 +94,17 @@ SC_CHAN_DEKKER = (
     "exactly that reordering"
 )
 
+SC_PARK_DEKKER = (
+    "waiter-registry doorway (DESIGN.md SS15/SS16): the sleepers gauge and the "
+    "guarded condition (shard contents for receivers, free capacity for "
+    "senders) form a Dekker-style store-load pair -- a waiter registers "
+    "(gauge up) then re-checks the condition, a notifier makes the condition "
+    "true then reads the gauge -- and both sides must share the single total "
+    "order or the notifier can read gauge==0 while the waiter's re-check "
+    "misses the change: a lost wakeup with the waiter parked forever. "
+    "Acquire/Release admits exactly that reordering"
+)
+
 SC_WCQ_REC = (
     "wCQ record handshake (DESIGN.md SS14): the owner's arg/gauge/ctrl "
     "publication and the helpers' gauge-probe/ctrl-scan/arg-dispatch reads "
@@ -139,6 +150,8 @@ HQ = "crates/kp-queue/src/hp/queue.rs"
 HTY = "crates/kp-queue/src/hp/types.rs"
 HTE = "crates/kp-queue/src/hp/tests.rs"
 CH = "crates/kp-channel/src/lib.rs"
+PK = "crates/kp-channel/src/park.rs"
+OV = "crates/kp-channel/src/overload.rs"
 W = "crates/wcq/src/lib.rs"
 WR = "crates/wcq/src/ring.rs"
 WT = "crates/wcq/src/tests.rs"
@@ -305,9 +318,12 @@ TABLE = {
         ("compare_exchange", 0): spec("linearization", "test-only fixture: the fast append CAS without the step-3 tail swing -- same L74 linearization point as try_fast_enqueue", sc=SC_APPEND, steps=["FastAppend"]),
     },
     (Q, "drop"): spec("reclamation", WHY_TEARDOWN),
+    (Q, "pressure_hint"): spec("stats", "advisory memory-pressure gauge (cache overflows) for admission control; Relaxed monotonic counter read, no synchronization intent"),
     # ----- kp-queue/stats.rs -----------------------------------------
     (ST, "bump"): spec("stats", "monotonic helping counter; no synchronization intent"),
     (ST, "snapshot"): spec("stats", "counter snapshot; Relaxed per-counter reads, no cross-counter consistency promised"),
+    (ST, "drained"): spec("stats", "advisory drain heartbeat (dequeues minus empty dequeues) for the overload watchdog; Relaxed -- exact at quiescence, stale by in-flight ops under load, and the watchdog only compares it across ticks"),
+    (ST, "depth"): spec("stats", "advisory resident-value gauge; loads the dequeue side first (via drained) so a racing completion overcounts, never goes negative -- admission control treats it as a hint, not a bound"),
     # ----- kp-queue tests / examples ---------------------------------
     (QT, "drop"): spec("stats", WHY_TEST),
     (QT, "drop_releases_resident_values"): spec("stats", WHY_TEST),
@@ -339,6 +355,7 @@ TABLE = {
     (HP, "token_gate_disposes_exactly_once"): spec("stats", "test drives the two-token gate directly"),
     # ----- kp-queue/hp/queue.rs --------------------------------------
     (HQ, "len_approx_quiescent"): spec("stats", "quiescent-only O(n) walk", sc=SC_QUIESCENT),
+    (HQ, "pressure_hint"): spec("stats", "advisory memory-pressure gauge (cache overflows plus pool overflows) for admission control; Relaxed monotonic counter reads, no synchronization intent"),
     (HQ, "next_phase"): spec("doorway", "monotone phase ticket (SS3.3 AtomicCounter policy)", sc=SC_DOORWAY),
     (HQ, "help_enq"): {
         ("load", 0): spec("helper-guard", "tail-lag check (L72)", sc=SC_HELP),
@@ -442,6 +459,53 @@ TABLE = {
     (CH, "rx_closed"): spec("helper-guard", "send-path disconnect poll; Acquire pairs with the latch store"),
     (CH, "tx_closed"): spec("helper-guard", "recv-path disconnect poll; Acquire pairs with the latch store"),
     (CH, "fmt"): spec("stats", "Debug formatting; approximate values are fine"),
+    (CH, "maybe_tick"): {
+        ("load", 0): spec("stats", "tick-due probe on the watchdog's claim word; Relaxed -- recency not ordering, a stale read only delays a tick by one interval"),
+        ("compare_exchange", 0): spec("helper-guard", "elects one tick claimant per interval (the threadless watchdog, DESIGN.md SS16.3); Relaxed is sound because the gauges the winner reads are advisory relaxed counters and the state machine publishes through ShardHealth's Release stores, not through this CAS"),
+    },
+    # ----- kp-channel/src/park.rs (waiter registry, both sides) -------
+    (PK, "register"): {
+        ("fetch_add", 0): spec("doorway", "sleepers gauge up under the registry lock: the Dekker publication a notifier's post-step gauge read must observe", sc=SC_PARK_DEKKER),
+        ("fetch_add", 1): spec("stats", "total-parks counter for HealthSnapshot; no synchronization intent"),
+    },
+    (PK, "cancel"): spec("doorway", "sleepers gauge down on withdrawal, balancing register under the registry lock", sc=SC_PARK_DEKKER),
+    (PK, "wake_one"): {
+        ("fetch_sub", 0): spec("doorway", "sleepers gauge down as the notifier pops a waiter; keeps the gauge equal to the FIFO length", sc=SC_PARK_DEKKER),
+        ("fetch_add", 0): spec("stats", "wake-tokens-spent counter for HealthSnapshot; no synchronization intent"),
+    },
+    (PK, "notify_many"): spec("doorway", "notifier-side Dekker check after the engine steps: a nonzero gauge means a waiter may have registered before the condition turned true; also bounds the wake fan-out", sc=SC_PARK_DEKKER),
+    (PK, "sleepers"): spec("stats", "gauge snapshot for diagnostics and snapshot surfaces", sc="SeqCst matches the gauge's writers for simplicity; callers treat the value as advisory"),
+    (PK, "park_count"): spec("stats", "parks-counter snapshot; Relaxed pairs with the Relaxed bump"),
+    (PK, "wake_count"): spec("stats", "wakes-counter snapshot; Relaxed pairs with the Relaxed bump"),
+    # ----- kp-channel/src/overload.rs (watchdog state machine) --------
+    (OV, "state"): spec("helper-guard", "watchdog-state read; Acquire pairs with the Release transitions so a sender acting on Quarantined sees the transition's bookkeeping (baseline, probe pacing)"),
+    (OV, "pressure_hot"): spec("helper-guard", "reads the tick claimant's pressure verdict; Acquire pairs with observe's Release store -- senders must not recompute the delta themselves (it would race the claimant's prev_pressure swap)"),
+    (OV, "quarantine_count"): spec("stats", "quarantine-counter snapshot; Relaxed pairs with the Relaxed bump"),
+    (OV, "probe_count"): spec("stats", "probe-counter snapshot; Relaxed pairs with the Relaxed bump"),
+    (OV, "observe"): {
+        ("swap", 0): spec("helper-guard", "per-tick pressure delta base: swap installs this tick's reading and returns the last; single tick claimant, so Relaxed suffices -- readers take the verdict from `hot`, never from this word"),
+        ("store", 0): spec("helper-guard", "publishes the pressure verdict; Release so a sender's Acquire read observes a coherent flag"),
+        ("store", 1): spec("helper-guard", "freeze-oracle baseline: drain counter at suspicion time; Relaxed -- only the tick claimant and the inline re-admission read it, both advisory"),
+        ("store", 2): spec("helper-guard", "no-progress tick counter reset; tick-claimant-private between ticks"),
+        ("store", 3): spec("helper-guard", "suspicion wall-clock stamp for the min_stall floor; tick-claimant-private"),
+        ("store", 4): spec("helper-guard", "Healthy -> Suspect; Release publishes the baseline/stamp stores above to a future claimant's Acquire state read"),
+        ("load", 0): spec("helper-guard", "baseline read for the progress check; Relaxed, advisory gauge comparison"),
+        ("store", 5): spec("helper-guard", "Suspect -> Healthy (drain progressed or load receded); Release for symmetry with the other transitions"),
+        ("fetch_add", 0): spec("helper-guard", "counts a no-progress tick toward the stall_ticks patience; tick-claimant-private between ticks"),
+        ("load", 1): spec("helper-guard", "suspicion stamp read for the wall-clock floor; tick-claimant-private"),
+        ("fetch_add", 1): spec("stats", "times-quarantined counter; no synchronization intent"),
+        ("store", 6): spec("helper-guard", "paces the first probe a full interval out from the quarantine instant; claimed later by CAS in claim_probe"),
+        ("store", 7): spec("helper-guard", "Suspect -> Quarantined; Release publishes the probe pacing and counters to senders' Acquire state reads"),
+    },
+    (OV, "try_readmit"): {
+        ("load", 0): spec("helper-guard", "baseline read for the re-admission progress check; Relaxed, advisory gauge comparison"),
+        ("compare_exchange", 0): spec("helper-guard", "Quarantined -> Healthy re-admission CAS, raced by the tick claimant and every refused sender (inline promptness); a CAS so exactly one winner reports the Readmitted event (and wakes the shard's parked senders); AcqRel publishes the winner's view, failure Acquire only observes the state"),
+    },
+    (OV, "claim_probe"): {
+        ("load", 0): spec("helper-guard", "probe-due probe; Relaxed -- staleness only delays a probe"),
+        ("compare_exchange", 0): spec("helper-guard", "elects one paced probe per interval among refused senders; Relaxed is sound -- the admitted value travels through the engine's own synchronization, this CAS only rations the slots"),
+        ("fetch_add", 0): spec("stats", "probes-admitted counter; no synchronization intent"),
+    },
     # ----- wcq/lib.rs (record publication and retirement) -------------
     (W, "maybe_help"): {
         ("load", 0): spec("helper-guard", "pending-record gauge probe; zero skips the scan entirely", sc=SC_WCQ_REC),
@@ -454,12 +518,16 @@ TABLE = {
         ("fetch_add", 0): spec("doorway", "pending-gauge increment: the announcement the helpers' gauge probe must observe", sc=SC_WCQ_REC),
         ("store", 1): spec("doorway", "ctrl word goes PENDING; must follow the arg and gauge in the total order", sc=SC_WCQ_REC),
     },
-    (W, "drive"): spec("helper-guard", "owner re-reads its ctrl word between self-help rounds", sc=SC_WCQ_REC),
+    (W, "drive"): spec("helper-guard", "owner re-reads its ctrl word between self-help rounds; the slow-path completion also bumps the Relaxed depth-gauge counters (same argument as the fast-path bumps in try_enqueue/try_dequeue)", sc=SC_WCQ_REC),
+    (W, "depth"): spec("stats", "advisory resident-value gauge; dequeue counter loaded first so a racing completion overcounts, never goes negative -- exact at quiescence, +1 tolerance per sudden-death kill (stranded-index rule)"),
+    (W, "drained"): spec("stats", "monotonic drain heartbeat for the overload watchdog; Relaxed, compared across ticks only"),
     (W, "retire"): {
         ("load", 0): spec("helper-guard", "done-state read before the idle transition", sc=SC_WCQ_REC),
         ("compare_exchange", 0): spec("doorway", "DONE -> IDLE transition; a CAS so the gauge decrement below happens exactly once even against a racing generation", sc=SC_WCQ_REC),
         ("fetch_sub", 0): spec("doorway", "pending-gauge decrement, balancing publish's increment", sc=SC_WCQ_REC),
     },
+    (W, "try_enqueue"): spec("stats", "depth-gauge bump after the value is published in the ring; Relaxed -- the gauge is advisory (admission hint), the ring's own SeqCst protocol carries the value"),
+    (W, "try_dequeue"): spec("stats", "depth-gauge bump after the value is taken from the ring; Relaxed for the same reason as try_enqueue's"),
     (W, "drop"): spec("reclamation", "handle-drop cleanup: finishes or retires the dying handle's pending record (and recycles a stranded index) before the tid lease can be re-acquired", sc=SC_WCQ_REC),
     # ----- wcq/ring.rs (SCQ ring core + helping slow path) ------------
     (WR, "new"): spec("helper-guard", WHY_INIT),
@@ -544,6 +612,7 @@ TABLE = {
     (WT, "drop"): spec("stats", WHY_TEST),
     (WT, "drop_releases_leftover_values"): spec("stats", WHY_TEST),
     (WT, "full_and_empty_under_contention"): spec("stats", WHY_TEST),
+    (WT, "depth_gauge_settles_under_contention"): spec("stats", WHY_TEST),
 }
 
 HEADER = """\

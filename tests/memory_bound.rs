@@ -12,6 +12,7 @@
 //! One `#[test]` function: the `alloc-track` counters are
 //! process-global, so parallel tests in this binary would race them.
 
+use kp_channel::{Channel, ChannelConfig, OverloadConfig, TrySendError};
 use kp_queue::Config as KpConfig;
 use kp_queue::{ConcurrentQueue, QueueHandle, WfQueue, WfQueueHp};
 use wcq::{Config as WcqConfig, WcQueue};
@@ -113,5 +114,76 @@ fn stalled_reader_memory_is_bounded_for_wcq_not_for_kp() {
             growth >= floor,
             "wf-hp backlog should grow the heap (grew {growth}, floor {floor})"
         );
+    }
+
+    // --- KP behind the admission gate: backlog bounded by the quota ---
+    // The DESIGN.md §16 claim: an unbounded engine plus a soft depth
+    // quota behaves like a bounded one under a stalled consumer — the
+    // gate converts enqueues into `Full` refusals once the shard holds
+    // `quota` values, so live-heap growth is proportional to the quota,
+    // not to the offered load, and the refusal path itself is
+    // allocation-free (a gauge read and a compare, no node is built).
+    {
+        const QUOTA: usize = 256;
+        let chan: Channel<u64, WfQueue<u64>> = Channel::kp(
+            ChannelConfig::new()
+                .with_shards(1)
+                .with_max_senders(1)
+                .with_max_receivers(1)
+                .with_overload(OverloadConfig::disabled().with_depth_quota(QUOTA)),
+        );
+        let mut rx = chan.receiver(); // stalled: never drains during the window
+        let mut tx = chan.sender();
+        // Warm: a few accepted sends before the mark (first-touch lazy
+        // state: the engine's first nodes, epoch participant, etc.).
+        for i in 0..16u64 {
+            tx.try_send(i).unwrap();
+        }
+        let mark = alloc_track::live_bytes() as isize;
+        let mut accepted = 16usize;
+        let mut refused = 0usize;
+        let mut refusal_alloc_mark = None::<isize>;
+        for i in 16..OFFERED {
+            match tx.try_send(i as u64) {
+                Ok(()) => accepted += 1,
+                Err(TrySendError::Full(_)) => {
+                    // From the first refusal on, the shard is saturated:
+                    // every further offered value must run the
+                    // allocation-free refusal path.
+                    refusal_alloc_mark
+                        .get_or_insert_with(|| alloc_track::total_allocs() as isize);
+                    refused += 1;
+                }
+                Err(TrySendError::Disconnected(_)) => unreachable!("receiver is live"),
+            }
+        }
+        let growth = alloc_track::live_bytes() as isize - mark;
+        assert!(refused > 0, "the quota never engaged over {OFFERED} offers");
+        assert!(
+            accepted <= QUOTA + 2,
+            "gate admitted {accepted} values against a soft quota of {QUOTA}"
+        );
+        // Generous per-node budget (node + descriptor amortization);
+        // the point is the bound scales with QUOTA, not with OFFERED.
+        let quota_bound = (QUOTA as isize + 64) * 256;
+        assert!(
+            growth <= quota_bound,
+            "gated backlog grew {growth} bytes (bound {quota_bound}) — \
+             admission control failed to bound the live heap"
+        );
+        assert!(
+            growth < floor / 4,
+            "gated KP grew {growth}, within 4x of the ungated floor {floor}"
+        );
+        let refusal_allocs =
+            alloc_track::total_allocs() as isize - refusal_alloc_mark.unwrap();
+        assert_eq!(refusal_allocs, 0, "the refusal path allocated");
+
+        // The stalled consumer waking: everything accepted is there, in
+        // order, exactly once.
+        for expect in 0..accepted as u64 {
+            assert_eq!(rx.try_recv(), Ok(expect));
+        }
+        assert!(rx.try_recv().is_err());
     }
 }

@@ -32,7 +32,9 @@ use std::sync::{Barrier, Mutex, Once};
 use std::time::Duration;
 
 use chaos::{ChaosKill, FaultPlan, ThreadSel};
-use kp_channel::{Channel, ChannelConfig, RecvTimeoutError};
+use kp_channel::{
+    Channel, ChannelConfig, HealthState, OverloadConfig, RecvTimeoutError, SendTimeoutError,
+};
 use kp_queue::{Config, ConcurrentQueue, WfQueue, WfQueueHp};
 use linearize::{check, History, Outcome, QueueModel, QueueOp, Recorder};
 use queue_traits::{testing, QueueHandle};
@@ -1402,6 +1404,10 @@ const CHAN_WCQ_SITES: &[&str] = &[
     "chan.batch",
     "chan.park",
     "chan.wake",
+    "chan.send_park",
+    "chan.admit",
+    "chan.quarantine",
+    "chan.probe",
     "wcq.enq",
     "wcq.deq",
     "wcq.help",
@@ -1446,7 +1452,7 @@ fn channel_chaos_round<Q: ConcurrentQueue<u64>>(
                     // genuinely park — without it the queue never runs
                     // dry and the park/wake protocol goes untested.
                     if let Some(gap) = throttle {
-                        if seq % 8 == 0 {
+                        if seq.is_multiple_of(8) {
                             std::thread::sleep(gap);
                         }
                     }
@@ -1583,4 +1589,274 @@ fn channel_parked_receivers_never_lose_wakeups() {
             assert!(report.stalls > 0, "park/wake stalls must fire (kp hit={hit} steps={})", report.total_steps);
         }
     }
+}
+
+/// The sender-side mirror of the round above, aimed at the capacity
+/// park path added for overload control (DESIGN.md §16): stalls parked
+/// **inside the send-park window** (between a refused sender's waiter
+/// registration and its pre-park re-check) and **inside the wake path**
+/// (between the tx sleepers-gauge read and the waiter pop), under a
+/// yield storm. Producers use `send_timeout` with a generous deadline:
+/// a `Timeout` while receivers are still draining IS a lost wakeup,
+/// converted from a hang into a panic.
+#[test]
+fn channel_parked_senders_never_lose_wakeups() {
+    quiet_chaos_kills();
+    const PRODUCERS: usize = 2;
+    const CONSUMERS: usize = 2;
+    let per = testing::scaled(600);
+    for (hit, yields) in [(0u64, 60u32), (2, 200)] {
+        let session = chaos::install(
+            FaultPlan::new()
+                .stall("chan.send_park", ThreadSel::Id(0), hit, yields)
+                .stall("chan.send_park", ThreadSel::Id(1), hit + 1, yields)
+                .stall("chan.wake", ThreadSel::Id(2), hit, yields)
+                .stall("chan.wake", ThreadSel::Id(3), hit + 1, yields)
+                .with_storm(9, 1),
+        );
+        let chan: Channel<u64, WcQueue<u64>> = Channel::wcq(
+            ChannelConfig::new()
+                .with_shards(2)
+                .with_max_senders(PRODUCERS)
+                .with_max_receivers(CONSUMERS),
+            16, // tiny ring: senders saturate it and park constantly
+        );
+        let txs: Vec<_> = (0..PRODUCERS).map(|_| chan.sender()).collect();
+        let rxs: Vec<_> = (0..CONSUMERS).map(|_| chan.receiver()).collect();
+        let streams: Vec<Vec<u64>> = std::thread::scope(|s| {
+            for (p, mut tx) in txs.into_iter().enumerate() {
+                s.spawn(move || {
+                    let _token = chaos::register_thread(p);
+                    let p = p as u64;
+                    for seq in 0..per as u64 {
+                        match tx.send_timeout((p << 48) | seq, Duration::from_secs(10)) {
+                            Ok(()) => {}
+                            Err(SendTimeoutError::Timeout(v)) => panic!(
+                                "lost wakeup: sender timed out on {v:#x} with receivers live"
+                            ),
+                            Err(SendTimeoutError::Disconnected(_)) => {
+                                panic!("receivers vanished")
+                            }
+                        }
+                    }
+                });
+            }
+            let handles: Vec<_> = rxs
+                .into_iter()
+                .enumerate()
+                .map(|(c, mut rx)| {
+                    s.spawn(move || {
+                        let _token = chaos::register_thread(PRODUCERS + c);
+                        let mut stream = Vec::new();
+                        loop {
+                            match rx.recv_timeout(Duration::from_secs(10)) {
+                                Ok(v) => stream.push(v),
+                                Err(RecvTimeoutError::Disconnected) => break,
+                                Err(RecvTimeoutError::Timeout) => {
+                                    panic!("lost wakeup: receiver timed out with senders live")
+                                }
+                            }
+                            // Think time so the ring refills and the
+                            // senders genuinely park again.
+                            if stream.len() % 16 == 0 {
+                                std::thread::sleep(Duration::from_micros(100));
+                            }
+                        }
+                        stream
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("consumer panicked")).collect()
+        });
+        let mut seen = HashSet::new();
+        for stream in &streams {
+            let mut last = [None::<u64>; PRODUCERS];
+            for &v in stream {
+                assert!(seen.insert(v), "value {v:#x} delivered twice");
+                let (p, seq) = ((v >> 48) as usize, v & 0xffff_ffff_ffff);
+                if let Some(prev) = last[p] {
+                    assert!(prev < seq, "producer {p} reordered: {prev} before {seq}");
+                }
+                last[p] = Some(seq);
+            }
+        }
+        assert_eq!(seen.len(), PRODUCERS * per, "lost values");
+        let report = session.report();
+        assert!(
+            report.stalls > 0,
+            "send-park/wake stalls must fire (hit={hit} steps={})",
+            report.total_steps
+        );
+        let snap = chan.health_snapshot();
+        let parks: u64 = snap.shards.iter().map(|s| s.tx_parks).sum();
+        assert!(parks > 0, "senders never parked — the round tested nothing: {snap:?}");
+    }
+}
+
+/// Deadline accuracy under seeded adversarial stalls: with the chaos
+/// plan free to park threads inside the park/wake/admit windows, a
+/// timed wait may come back late — never early. Both directions are
+/// pinned: `recv_timeout` against an empty channel, `send_timeout`
+/// against a full ring and against a closed admission gate.
+#[test]
+fn channel_deadlines_never_fire_early_under_seeded_stalls() {
+    quiet_chaos_kills();
+    let timeout = Duration::from_millis(30);
+    for seed in [11u64, 99, 0xD1A1] {
+        let session = chaos::install(FaultPlan::seeded(seed, CHAN_WCQ_SITES, 2, 8));
+        {
+            // Full bounded ring: the engine refuses, the sender parks.
+            let chan: Channel<u64, WcQueue<u64>> = Channel::wcq(
+                ChannelConfig::new().with_shards(1).with_max_senders(1).with_max_receivers(1),
+                8,
+            );
+            let mut tx = chan.sender();
+            let mut rx = chan.receiver();
+            let _token = chaos::register_thread(0);
+            while tx.try_send(0).is_ok() {}
+            let start = std::time::Instant::now();
+            assert!(matches!(
+                tx.send_timeout(1, timeout),
+                Err(SendTimeoutError::Timeout(1))
+            ));
+            assert!(
+                start.elapsed() >= timeout,
+                "send_timeout returned early under stalls (seed {seed})"
+            );
+            // Empty after a full drain: the receiver parks.
+            while rx.try_recv().is_ok() {}
+            let start = std::time::Instant::now();
+            assert_eq!(rx.recv_timeout(timeout), Err(RecvTimeoutError::Timeout));
+            assert!(
+                start.elapsed() >= timeout,
+                "recv_timeout returned early under stalls (seed {seed})"
+            );
+        }
+        {
+            // Closed admission gate over the unbounded engine: the
+            // bounded re-poll park must still honor the deadline.
+            let chan: Channel<u64, WfQueue<u64>> = Channel::kp(
+                ChannelConfig::new()
+                    .with_shards(1)
+                    .with_max_senders(1)
+                    .with_max_receivers(1)
+                    .with_overload(OverloadConfig::disabled().with_depth_quota(4)),
+            );
+            let mut tx = chan.sender();
+            let _rx = chan.receiver();
+            while tx.try_send(0).is_ok() {}
+            let start = std::time::Instant::now();
+            assert!(matches!(
+                tx.send_timeout(1, timeout),
+                Err(SendTimeoutError::Timeout(1))
+            ));
+            assert!(
+                start.elapsed() >= timeout,
+                "gated send_timeout returned early under stalls (seed {seed})"
+            );
+        }
+        drop(session);
+    }
+}
+
+/// Kill-mid-quarantine: a consumer thread dies at an engine site while
+/// draining a quarantined shard. The quarantine episode must still
+/// converge — the surviving drain completes, the shard re-admits, and
+/// the ledger balances minus at most the one value that unwound away
+/// with the kill. (`chan.*` sites are stall-only, so the kill targets
+/// the KP fast-path dequeue step underneath — the path the channel's
+/// default `Config::fast()` engines drain through.)
+#[test]
+fn channel_quarantine_survives_consumer_killed_mid_drain() {
+    quiet_chaos_kills();
+    let session = chaos::install(
+        FaultPlan::new()
+            .kill("kp.fast.deq", ThreadSel::Id(0), 5)
+            .with_storm(7, 1),
+    );
+    let chan: Channel<u64, WfQueue<u64>> = Channel::kp(
+        ChannelConfig::new()
+            .with_shards(1)
+            .with_max_senders(1)
+            .with_max_receivers(2)
+            .with_overload(
+                OverloadConfig::disabled()
+                    .with_depth_quota(16)
+                    .with_watchdog(2, Duration::from_millis(5))
+                    .with_tick_interval(Duration::from_millis(1))
+                    .with_probe_interval(Duration::from_millis(2)),
+            ),
+    );
+    let mut tx = chan.sender();
+    // Stalled-consumer overload: overfill, then offer until quarantined.
+    let mut sent = 0u64;
+    while tx.try_send(sent).is_ok() {
+        sent += 1;
+    }
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    while chan.health_snapshot().quarantined() == 0 {
+        assert!(deadline > std::time::Instant::now(), "never quarantined");
+        let _ = tx.try_send(sent);
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    // Mint the survivor before the victim runs: the victim's drop must
+    // not be the last receiver leaving (that would latch the channel
+    // closed instead of testing recovery).
+    let mut rx = chan.receiver();
+
+    // The victim consumer drains the quarantined shard until the
+    // planned kill unwinds out of a dequeue; the value it was claiming
+    // may unwind away with it (at most one missing).
+    let mut drained: Vec<u64> = Vec::new();
+    let mut kills = 0usize;
+    std::thread::scope(|s| {
+        let drained = &mut drained;
+        let kills = &mut kills;
+        let chan = &chan;
+        s.spawn(move || {
+            let mut rx = chan.receiver();
+            let _token = chaos::register_thread(0);
+            loop {
+                match catch_unwind(AssertUnwindSafe(|| rx.try_recv())) {
+                    Ok(Ok(v)) => drained.push(v),
+                    Ok(Err(_)) => break, // empty: stop, the survivor takes over
+                    Err(e) => {
+                        assert!(
+                            e.downcast_ref::<ChaosKill>().is_some(),
+                            "only the planned kill may escape"
+                        );
+                        *kills += 1;
+                        break; // sudden death mid-quarantine
+                    }
+                }
+            }
+        });
+    });
+    assert_eq!(kills, 1, "the planned kill must land mid-drain");
+    assert_eq!(session.report().kills, 1);
+
+    // The surviving consumer finishes the drain; the shard re-admits.
+    while let Ok(v) = rx.try_recv() {
+        drained.push(v);
+    }
+    tx.send_timeout(sent, Duration::from_secs(30))
+        .expect("shard never re-admitted after the mid-quarantine kill");
+    assert_eq!(rx.recv_timeout(Duration::from_secs(10)), Ok(sent));
+    assert_eq!(chan.health_snapshot().shards[0].state, HealthState::Healthy);
+
+    // Ledger: nothing invented or duplicated, at most one value lost
+    // to the kill, order preserved across both drain phases.
+    let mut seen = HashSet::new();
+    let mut last = None::<u64>;
+    for &v in &drained {
+        assert!(v < sent, "invented value {v}");
+        assert!(seen.insert(v), "value {v} dequeued twice");
+        if let Some(prev) = last {
+            assert!(prev < v, "FIFO broke across the kill: {prev} before {v}");
+        }
+        last = Some(v);
+    }
+    let missing = sent as usize - seen.len();
+    assert!(missing <= 1, "{missing} values lost to one kill (bound: 1)");
 }
